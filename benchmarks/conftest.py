@@ -1,0 +1,33 @@
+"""Shared fixtures: benchmarks and plans are built once per session."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.runtime.plan import build_plan_from_graph
+from repro.workloads.specjvm import benchmark_names, build_benchmark
+
+#: The full suite; trimmed sets for the slower timing benchmarks.
+ALL_BENCHMARKS = benchmark_names()
+FAST_BENCHMARKS = [
+    "compress",
+    "crypto.aes",
+    "scimark.fft.large",
+    "scimark.monte_carlo",
+]
+BIG_BENCHMARKS = ["sunflow", "xml.transform", "xml.validation"]
+
+
+@pytest.fixture(scope="session")
+def built():
+    """name -> (benchmark, full graph, application plan), lazily built."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            benchmark = build_benchmark(name)
+            graph = build_callgraph(benchmark.program)
+            plan = build_plan_from_graph(graph, application_only=True)
+            cache[name] = (benchmark, graph, plan)
+        return cache[name]
+
+    return get

@@ -1,0 +1,110 @@
+"""Section 6.2's Breadcrumbs comparison: decoding cost and reliability.
+
+The paper dismisses Breadcrumbs because precise decoding is either
+expensive (their evaluation capped each decode at 5 seconds) or
+unreliable. This bench quantifies that on our substrate:
+
+* DeltaPath decoding is a walk over the context length — microseconds;
+* Breadcrumbs decoding is a search over the call graph whose cost grows
+  with the context space and whose result can be ambiguous or fail
+  within a budget.
+"""
+
+import pytest
+
+from repro.baselines.breadcrumbs import BreadcrumbsDecoder, BreadcrumbsProbe
+from repro.baselines.pcc import site_constants
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import ContextCollector
+
+
+@pytest.fixture(scope="module")
+def setting(built):
+    bench, graph, plan = built("crypto.aes")
+    constants = site_constants(plan.graph, instrumented=list(plan.site_av))
+
+    # One instrumented run per technique, same seed.
+    bc_probe = BreadcrumbsProbe(constants, cold_sites=set(constants))
+    bc_collector = ContextCollector(interest=plan.instrumented_nodes)
+    bench.make_interpreter(probe=bc_probe, seed=3, collector=bc_collector) \
+        .run(operations=20)
+
+    dp_probe = DeltaPathProbe(plan, cpt=True)
+    dp_collector = ContextCollector(interest=plan.instrumented_nodes)
+    bench.make_interpreter(probe=dp_probe, seed=3, collector=dp_collector) \
+        .run(operations=20)
+
+    return plan, constants, bc_probe, bc_collector, dp_collector
+
+
+def test_deltapath_decode_speed(benchmark, setting):
+    plan, constants, bc_probe, bc_collector, dp_collector = setting
+    samples = sorted(dp_collector.unique, key=str)[:50]
+    decoder = plan.decoder()
+
+    def decode_all():
+        for node, (stack, current) in samples:
+            decoder.decode(node, stack, current)
+
+    benchmark(decode_all)
+
+
+def test_breadcrumbs_decode_speed(benchmark, setting):
+    """Record-everything Breadcrumbs (the ~100%-overhead configuration)
+    decodes correctly — but via graph search, not a direct walk."""
+    plan, constants, bc_probe, bc_collector, dp_collector = setting
+    samples = sorted(bc_collector.unique, key=str)[:10]
+    decoder = BreadcrumbsDecoder(plan.graph, constants, bc_probe.recorded)
+
+    outcomes = []
+
+    def decode_all():
+        outcomes.clear()
+        for node, value in samples:
+            outcomes.append(decoder.decode(node, value, step_budget=20000))
+
+    benchmark.pedantic(decode_all, rounds=2, iterations=1)
+    assert any(o.matches for o in outcomes)
+
+
+def test_breadcrumbs_cheap_recording_is_unreliable(benchmark, built):
+    """With few recorded sites (the moderate-overhead configuration) and
+    a context-rich program, decoding within a budget fails, exhausts, or
+    walks orders of magnitude more edges than the context length — the
+    paper's 'inaccurate, unreliable and/or expensive' criticism."""
+    bench, graph, plan = built("sunflow")
+    constants = site_constants(plan.graph, instrumented=list(plan.site_av))
+    probe = BreadcrumbsProbe(constants, cold_sites=set())  # record nothing
+    collector = ContextCollector(interest=plan.instrumented_nodes)
+    bench.make_interpreter(probe=probe, seed=3, collector=collector) \
+        .run(operations=10)
+    decoder = BreadcrumbsDecoder(plan.graph, constants, probe.recorded)
+
+    # Deepest observed values: contexts through the application cascade.
+    samples = sorted(
+        collector.unique, key=lambda item: item[1], reverse=True
+    )[:5]
+
+    outcomes = []
+
+    def decode_all():
+        outcomes.clear()
+        for node, value in samples:
+            outcomes.append(decoder.decode(node, value, step_budget=50_000))
+
+    benchmark.pedantic(decode_all, rounds=1, iterations=1)
+    assert any(
+        o.exhausted_budget or o.ambiguous or o.failed or o.steps_used > 5000
+        for o in outcomes
+    )
+
+
+def test_decode_cost_ratio(setting):
+    """DeltaPath decoding explores ~context-length edges; Breadcrumbs
+    explores orders of magnitude more."""
+    plan, constants, bc_probe, bc_collector, dp_collector = setting
+    decoder = BreadcrumbsDecoder(plan.graph, constants, bc_probe.recorded)
+    node, value = sorted(bc_collector.unique, key=str)[0]
+    outcome = decoder.decode(node, value, step_budget=50000)
+    # The search walked far more edges than any single context contains.
+    assert outcome.steps_used > 100

@@ -1,0 +1,121 @@
+"""Related-work comparison (paper Section 7): every context-tracking
+technique in this repository on one workload, grouped for side-by-side
+pytest-benchmark output, plus the qualitative trade-offs each paragraph
+of Section 7 claims.
+
+Techniques: native (no tracking), stack walking, CCT, PCC, Breadcrumbs,
+PCCE-style per-edge switch, DeltaPath wo/CPT, DeltaPath w/CPT, hybrid.
+"""
+
+import pytest
+
+from repro.baselines.breadcrumbs import BreadcrumbsProbe
+from repro.baselines.cct import CCTProbe
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.baselines.pcce_probe import PerEdgeSwitchProbe
+from repro.baselines.stackwalk import StackWalkProbe
+from repro.core.hybrid import HybridProbe, build_hybrid_plan
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import ContextCollector
+from repro.runtime.probes import NullProbe
+
+OPERATIONS = 20
+BENCH = "crypto.signverify"
+
+
+def _probe_for(kind, bench, graph, plan):
+    constants = site_constants(plan.graph, instrumented=list(plan.site_av))
+    if kind == "native":
+        return NullProbe()
+    if kind == "stackwalk":
+        return StackWalkProbe(instrumented_nodes=plan.instrumented_nodes)
+    if kind == "cct":
+        return CCTProbe(instrumented_sites=set(plan.site_av))
+    if kind == "pcc":
+        return PCCProbe(constants)
+    if kind == "breadcrumbs":
+        return BreadcrumbsProbe(constants, cold_sites=set(constants))
+    if kind == "pcce-switch":
+        return PerEdgeSwitchProbe(plan)
+    if kind == "deltapath":
+        return DeltaPathProbe(plan, cpt=False)
+    if kind == "deltapath+cpt":
+        return DeltaPathProbe(plan, cpt=True)
+    if kind == "hybrid":
+        hybrid_plan = build_hybrid_plan(graph, {"Hot.h0", "Hot.h1"})
+        return HybridProbe(hybrid_plan, cpt=True)
+    raise ValueError(kind)
+
+
+TECHNIQUES = [
+    "native",
+    "stackwalk",
+    "cct",
+    "pcc",
+    "breadcrumbs",
+    "pcce-switch",
+    "deltapath",
+    "deltapath+cpt",
+    "hybrid",
+]
+
+
+@pytest.mark.parametrize("kind", TECHNIQUES)
+def test_technique_throughput(benchmark, built, kind):
+    bench, graph, plan = built(BENCH)
+    probe = _probe_for(kind, bench, graph, plan)
+    interp = bench.make_interpreter(probe=probe, seed=1)
+    interp.run(operations=2)
+    benchmark.group = "related-work"
+    benchmark.pedantic(
+        lambda: interp.run(operations=OPERATIONS), rounds=3, iterations=1
+    )
+
+
+def test_observation_cost_scales_with_depth_for_stackwalk(benchmark, built):
+    """Section 7, 'Stack Walking': per-observation cost is O(depth) —
+    snapshots on a deep stack copy more than snapshots on a shallow one."""
+    probe = StackWalkProbe()
+    shallow_cost = []
+    deep_cost = []
+
+    for depth, out in ((2, shallow_cost), (200, deep_cost)):
+        probe.begin_execution("main")
+        for i in range(depth):
+            probe.enter_function(f"f{i}")
+        import time
+
+        start = time.perf_counter()
+        for _ in range(2000):
+            probe.snapshot("x")
+        out.append(time.perf_counter() - start)
+        for i in reversed(range(depth)):
+            probe.exit_function(f"f{i}")
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert deep_cost[0] > shallow_cost[0] * 5
+
+
+def test_cct_space_grows_with_unique_contexts(benchmark, built):
+    """Section 7, 'Dynamic Calling Context Tree': a complete CCT's
+    space is proportional to the number of distinct contexts, unlike the
+    O(1)-state encodings."""
+    bench, graph, plan = built("sunflow")
+    probe = CCTProbe(instrumented_sites=set(plan.site_av))
+    collector = ContextCollector(interest=plan.instrumented_nodes)
+    interp = bench.make_interpreter(probe=probe, seed=1, collector=collector)
+
+    benchmark.pedantic(
+        lambda: interp.run(operations=15), rounds=1, iterations=1
+    )
+    # Tree nodes track distinct contexts (within a small factor).
+    uniques = collector.stats().unique_encodings
+    assert probe.size > uniques / 4
+    assert probe.size > 1000
+
+    # The DeltaPath agent's state, by contrast, is a bounded stack plus
+    # one integer, independent of how many contexts were observed.
+    dp = DeltaPathProbe(plan, cpt=True)
+    interp2 = bench.make_interpreter(probe=dp, seed=1)
+    interp2.run(operations=15)
+    assert dp.max_stack_depth < 16

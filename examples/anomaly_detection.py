@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Anomaly detection over calling contexts (paper Section 1's use case).
+
+Security monitors flag events issued from *unfamiliar* calling contexts
+(Feng et al., Oakland'03 — cited by the paper). Encodings make the check
+O(1): learn the set of (node, encoding) pairs during a training phase,
+then compare each production event's encoding against the set. Precise
+decoding then explains exactly *what* the anomalous path was — including
+a dynamically loaded plugin sneaking into a sensitive call, which the
+call-path-tracking gap makes visible.
+
+Run: ``python examples/anomaly_detection.py``
+"""
+
+from repro import DeltaPathProbe, Interpreter, build_plan, parse_program
+
+SOURCE = """
+    program Server.main
+
+    class Server
+    class Api
+    class HandlerBase
+    class GetHandler extends HandlerBase
+    class PutHandler extends HandlerBase
+    class Evil extends HandlerBase dynamic
+    class Sys
+
+    def Server.main
+      new GetHandler
+      new PutHandler
+      branch 0.25
+        new Evil                  # the attacker's plugin, sometimes loaded
+      end
+      loop 6
+        vcall HandlerBase.handle
+      end
+    end
+
+    def HandlerBase.handle
+      work 1
+    end
+    def GetHandler.handle
+      call Sys.read_file
+    end
+    def PutHandler.handle
+      call Api.check_quota
+      call Sys.write_file
+    end
+    def Evil.handle
+      call Sys.write_file          # writes WITHOUT the quota check!
+    end
+
+    def Api.check_quota
+      work 2
+    end
+    def Sys.read_file
+      event syscall_read
+    end
+    def Sys.write_file
+      event syscall_write          # the monitored, sensitive event
+    end
+"""
+
+
+class SyscallMonitor:
+    """Collects (tag, node, encoding) at event points."""
+
+    def __init__(self):
+        self.records = []
+
+    def on_entry(self, node, depth, probe):
+        pass
+
+    def on_exit(self, node):
+        pass
+
+    def on_event(self, tag, node, depth, probe):
+        self.records.append((tag, node, probe.snapshot(node)))
+
+
+def run(seed, plugin_weight="0.25"):
+    # Training uses weight 0.0 (a controlled environment: the plugin is
+    # never loaded); the static plan is identical either way because
+    # dynamic classes are invisible to the analysis.
+    program = parse_program(SOURCE.replace("branch 0.25", f"branch {plugin_weight}"))
+    plan = build_plan(program)
+    probe = DeltaPathProbe(plan, cpt=True)
+    monitor = SyscallMonitor()
+    Interpreter(program, probe=probe, seed=seed, collector=monitor).run(
+        operations=20
+    )
+    return plan, monitor
+
+
+def main():
+    # Training: a controlled environment without the plugin.
+    plan, baseline = run(seed=0, plugin_weight="0.0")
+    normal = {(node, snap) for _tag, node, snap in baseline.records}
+    print(f"training: learned {len(normal)} normal (event, context) pairs")
+
+    # Production: find a run where the plugin loads and acts.
+    for seed in range(40):
+        _plan, monitor = run(seed)
+        anomalies = [
+            (tag, node, snap)
+            for tag, node, snap in monitor.records
+            if (node, snap) not in normal
+        ]
+        if anomalies:
+            break
+    print(f"production run (seed {seed}): "
+          f"{len(monitor.records)} events, {len(anomalies)} anomalous\n")
+
+    decoder = plan.decoder()
+    shown = set()
+    for tag, node, (stack, current) in anomalies:
+        key = (node, stack, current)
+        if key in shown:
+            continue
+        shown.add(key)
+        decoded = decoder.decode(node, stack, current)
+        print(f"  ALERT {tag} from unfamiliar context:")
+        print(f"        {decoded}")
+        if decoded.has_gaps:
+            print("        ^ dynamically loaded code in the gap — the "
+                  "quota check was bypassed")
+    print("\nThe O(1) set lookup found the anomaly; precise decoding "
+          "explained it.")
+
+
+if __name__ == "__main__":
+    main()

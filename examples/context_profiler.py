@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Context-sensitive profiling with DeltaPath encodings.
+
+The paper's motivating use case (Section 1): "context sensitive
+profiling is powerful as it associates data such as execution
+frequencies ... with calling contexts". A profiler built on stack
+walking pays O(depth) per sample; built on DeltaPath it pays O(1) —
+store the (node, stack, id) triple as the histogram key and decode only
+the hot entries when reporting.
+
+This example profiles a synthetic SPECjvm-style benchmark, prints the
+hottest calling contexts (decoded on demand), and compares the cost of
+hash-key collection against stack-walk collection.
+
+Run: ``python examples/context_profiler.py``
+"""
+
+import time
+from collections import Counter
+
+from repro import ContextCollector, DeltaPathProbe, Interpreter, build_plan
+from repro.baselines.stackwalk import StackWalkProbe
+from repro.workloads.specjvm import build_benchmark
+
+OPERATIONS = 40
+TOP_N = 8
+
+
+class ProfilingCollector:
+    """Histogram of encoded contexts observed at function entries."""
+
+    def __init__(self, interest):
+        self.interest = interest
+        self.histogram = Counter()
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.histogram[(node, probe.snapshot(node))] += 1
+
+    def on_exit(self, node):
+        pass
+
+    def on_event(self, tag, node, depth, probe):
+        pass
+
+
+def profile_with_deltapath(benchmark, plan):
+    probe = DeltaPathProbe(plan, cpt=True)
+    collector = ProfilingCollector(plan.instrumented_nodes)
+    interp = benchmark.make_interpreter(
+        probe=probe, seed=11, collector=collector
+    )
+    start = time.perf_counter()
+    interp.run(operations=OPERATIONS)
+    elapsed = time.perf_counter() - start
+    return collector.histogram, elapsed
+
+
+def profile_with_stackwalk(benchmark, plan):
+    probe = StackWalkProbe(instrumented_nodes=plan.instrumented_nodes)
+    collector = ProfilingCollector(plan.instrumented_nodes)
+    interp = benchmark.make_interpreter(
+        probe=probe, seed=11, collector=collector
+    )
+    start = time.perf_counter()
+    interp.run(operations=OPERATIONS)
+    elapsed = time.perf_counter() - start
+    return collector.histogram, elapsed
+
+
+def main():
+    name = "mpegaudio"
+    print(f"building synthetic benchmark {name!r}...")
+    benchmark = build_benchmark(name)
+    plan = build_plan(benchmark.program, application_only=True)
+
+    histogram, dp_time = profile_with_deltapath(benchmark, plan)
+    print(f"\ncollected {sum(histogram.values())} samples over "
+          f"{len(histogram)} distinct contexts in {dp_time:.2f}s "
+          f"(DeltaPath-encoded keys)")
+
+    decoder = plan.decoder()
+    print(f"\ntop {TOP_N} hottest calling contexts:")
+    for (node, (stack, current)), count in histogram.most_common(TOP_N):
+        context = decoder.decode(node, stack, current)
+        print(f"  {count:>7}x  {context}")
+
+    sw_histogram, sw_time = profile_with_stackwalk(benchmark, plan)
+    print(f"\nsame profile via stack walking: {sw_time:.2f}s "
+          f"(vs {dp_time:.2f}s encoded)")
+
+    # The structural difference: a stack-walk key stores the whole stack
+    # per distinct context; an encoding key is O(1) words regardless of
+    # depth, and full contexts are reconstructed only for the report.
+    sw_words = sum(len(frames) for (_node, frames) in sw_histogram)
+    dp_words = sum(
+        2 + 2 * len(stack) for (_node, (stack, _id)) in histogram
+    )
+    print(f"histogram key storage: stack-walk {sw_words} words, "
+          f"encoded {dp_words} words "
+          f"({sw_words / max(dp_words, 1):.1f}x larger)")
+    print("(per observation, a stack walk copies every frame; the "
+          "encoding snapshot is the current ID plus a usually-one-entry "
+          "stack, and decoding happens once per *reported* context)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Event logging with instantly-decodable calling contexts.
+
+The paper's production-system scenario (Sections 1 and 7): logging a
+system-call-like event with just the program counter loses how the
+program got there; logging with a DeltaPath encoding attaches the whole
+calling context in two words, and — unlike PCC/Breadcrumbs — the log
+can be decoded deterministically and instantly, offline or on the spot.
+
+The demo program issues "syscall" events from a shared helper reached
+through several different component paths; the log decodes each event's
+full path precisely.
+
+Run: ``python examples/event_logging.py``
+"""
+
+from repro import DeltaPathProbe, Interpreter, build_plan, parse_program
+
+SOURCE = """
+    program Server.main
+
+    class Server
+    class Auth
+    class Api
+    class Storage
+    class Net
+
+    def Server.main
+      loop 2
+        call Api.handle_get
+        call Api.handle_put
+      end
+      call Auth.refresh
+    end
+
+    def Api.handle_get
+      call Storage.read
+    end
+
+    def Api.handle_put
+      call Auth.check
+      call Storage.write
+    end
+
+    def Auth.check
+      call Net.send          # syscall-ish
+    end
+
+    def Auth.refresh
+      call Net.send
+    end
+
+    def Storage.read
+      call Net.send
+      event disk_read
+    end
+
+    def Storage.write
+      call Net.send
+      event disk_write
+    end
+
+    def Net.send
+      event syscall_sendto   # the event we want contexts for
+    end
+"""
+
+
+class EventLog:
+    """What a production logger would persist: tag + (node, stack, id)."""
+
+    def __init__(self):
+        self.records = []
+
+    def on_entry(self, node, depth, probe):
+        pass
+
+    def on_exit(self, node):
+        pass
+
+    def on_event(self, tag, node, depth, probe):
+        self.records.append((tag, node, probe.snapshot(node)))
+
+
+def main():
+    program = parse_program(SOURCE)
+    plan = build_plan(program)
+    probe = DeltaPathProbe(plan, cpt=True)
+    log = EventLog()
+    Interpreter(program, probe=probe, collector=log).run()
+
+    print(f"captured {len(log.records)} events; decoding the log:\n")
+    decoder = plan.decoder()
+    for tag, node, (stack, current) in log.records:
+        context = decoder.decode(node, stack, current)
+        print(f"  [{tag:>16}] {context}")
+
+    print("\nNote how the same event tag (syscall_sendto) appears under "
+          "four different calling contexts,")
+    print("each recovered exactly from a two-word encoding — no stack "
+          "walking at log time, no hash ambiguity at read time.")
+
+
+if __name__ == "__main__":
+    main()

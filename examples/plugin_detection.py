@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Dynamic class loading and call path tracking (the paper's Figure 6).
+
+A plugin class is loaded at runtime; static analysis never saw it, so
+its calls create *unexpected call paths*. Without call path tracking the
+encoding silently decodes to a wrong (but plausible-looking) context.
+With CPT, the SID check at each instrumented entry detects the hazardous
+paths and the decoder reports the context with an explicit gap.
+
+Run: ``python examples/plugin_detection.py``
+"""
+
+from repro import DeltaPathProbe, Interpreter, build_plan
+from repro.workloads.paperprograms import figure6_program
+
+
+class TruthCollector:
+    """Keeps the true stack next to each snapshot, to show the contrast."""
+
+    def __init__(self, at_node):
+        self.at_node = at_node
+        self.shadow = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        self.shadow.append(node)
+        if node == self.at_node:
+            self.samples.append((probe.snapshot(node), tuple(self.shadow)))
+
+    def on_exit(self, node):
+        if self.shadow and self.shadow[-1] == node:
+            self.shadow.pop()
+
+    def on_event(self, tag, node, depth, probe):
+        pass
+
+
+def run(cpt: bool, seed: int):
+    program = figure6_program()
+    plan = build_plan(program)
+    probe = DeltaPathProbe(plan, cpt=cpt)
+    collector = TruthCollector("Util.e")
+    interp = Interpreter(program, probe=probe, seed=seed,
+                         collector=collector)
+    interp.run(operations=6)
+    return plan, probe, collector, interp
+
+
+def main():
+    # Find a seed where the plugin actually loads and runs.
+    seed = next(
+        s for s in range(30)
+        if "XImpl" in run(True, s)[3].loaded_classes
+    )
+
+    print("--- with call path tracking " + "-" * 34)
+    plan, probe, collector, _ = run(cpt=True, seed=seed)
+    decoder = plan.decoder()
+    print(f"hazardous UCPs detected: {probe.ucp_detections}\n")
+    shown = set()
+    for (stack, current), truth in collector.samples:
+        key = (stack, current)
+        if key in shown:
+            continue
+        shown.add(key)
+        decoded = decoder.decode("Util.e", stack, current)
+        marker = "  <-- UCP gap" if decoded.has_gaps else ""
+        print(f"  true stack : {' -> '.join(truth)}")
+        print(f"  decoded    : {decoded}{marker}\n")
+
+    print("--- without call path tracking " + "-" * 31)
+    plan, probe, collector, _ = run(cpt=False, seed=seed)
+    decoder = plan.decoder()
+    print(f"hazardous UCPs detected: {probe.ucp_detections} "
+          f"(nothing checks!)\n")
+    shown = set()
+    for (stack, current), truth in collector.samples:
+        key = ((stack, current), truth)  # a collision here IS the bug:
+        if key in shown:                 # dedupe per (encoding, truth)
+            continue
+        shown.add(key)
+        decoded = decoder.decode("Util.e", stack, current)
+        truth_str = " -> ".join(truth)
+        wrong = (
+            "  <-- WRONG (plugin frames were silently mis-attributed)"
+            if "XImpl.m" in truth and str(decoded).find("XImpl") < 0
+            and [n for n in truth if n != "XImpl.m"] != decoded.nodes(None)
+            else ""
+        )
+        print(f"  true stack : {truth_str}")
+        print(f"  decoded    : {decoded}{wrong}\n")
+
+
+if __name__ == "__main__":
+    main()

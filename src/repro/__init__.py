@@ -1,0 +1,101 @@
+"""DeltaPath: precise and scalable calling context encoding (CGO 2014).
+
+A full reproduction of Zeng et al.'s DeltaPath, built on pure-Python
+substrates: a call-graph core (:mod:`repro.graph`), a mini object-
+oriented language and interpreter standing in for Java bytecode and the
+JVM (:mod:`repro.lang`, :mod:`repro.runtime`), static analyses standing
+in for WALA (:mod:`repro.analysis`), the encoding algorithms themselves
+(:mod:`repro.core`), the baselines the paper compares against
+(:mod:`repro.baselines`), and the evaluation harness that regenerates
+every table and figure (:mod:`repro.workloads`, :mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import (
+        CallGraph, encode_deltapath, build_plan, DeltaPathProbe,
+        Interpreter, parse_program,
+    )
+
+    program = parse_program(SOURCE)
+    plan = build_plan(program)                  # static analysis + Alg. 2
+    probe = DeltaPathProbe(plan)                # the runtime agent
+    Interpreter(program, probe=probe).run()     # instrumented execution
+    stack, current = probe.snapshot(node)       # one context's encoding
+    plan.decode_snapshot(node, (stack, current))  # ...and back
+
+See README.md and examples/ for complete walkthroughs.
+"""
+
+from repro.core import (
+    UNBOUNDED,
+    W8,
+    W16,
+    W32,
+    W64,
+    AnchoredEncoding,
+    ContextDecoder,
+    DecodedContext,
+    DeltaPathEncoding,
+    EntryKind,
+    PCCEEncoding,
+    StackEntry,
+    Width,
+    compute_sids,
+    encode_anchored,
+    encode_deltapath,
+    encode_pcce,
+    verify_encoding,
+)
+from repro.graph import CallEdge, CallGraph, CallSite
+from repro.lang import MethodRef, Program, ProgramBuilder, parse_program
+from repro.postprocess import ContextTreeReport
+from repro.runtime import (
+    ContextCollector,
+    DeltaPathPlan,
+    DeltaPathProbe,
+    Interpreter,
+    NullProbe,
+    Probe,
+    build_plan,
+    build_plan_from_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnchoredEncoding",
+    "CallEdge",
+    "CallGraph",
+    "CallSite",
+    "ContextCollector",
+    "ContextDecoder",
+    "ContextTreeReport",
+    "DecodedContext",
+    "DeltaPathEncoding",
+    "DeltaPathPlan",
+    "DeltaPathProbe",
+    "EntryKind",
+    "Interpreter",
+    "MethodRef",
+    "NullProbe",
+    "PCCEEncoding",
+    "Probe",
+    "Program",
+    "ProgramBuilder",
+    "StackEntry",
+    "UNBOUNDED",
+    "W16",
+    "W32",
+    "W64",
+    "W8",
+    "Width",
+    "__version__",
+    "build_plan",
+    "build_plan_from_graph",
+    "compute_sids",
+    "encode_anchored",
+    "encode_deltapath",
+    "encode_pcce",
+    "parse_program",
+    "verify_encoding",
+]

@@ -1,0 +1,31 @@
+"""Static analysis substrate (the paper's WALA/0-CFA stand-in)."""
+
+from repro.analysis.callgraph_builder import (
+    CallSiteInfo,
+    Policy,
+    build_callgraph,
+    call_sites_of,
+)
+from repro.analysis.metrics import GraphMetrics, compute_metrics
+from repro.analysis.ucp_prediction import UcpPrediction, predict_ucps
+from repro.analysis.reachability import (
+    application_nodes,
+    library_nodes,
+    nodes_leading_to,
+    prune_unreachable,
+)
+
+__all__ = [
+    "CallSiteInfo",
+    "GraphMetrics",
+    "compute_metrics",
+    "Policy",
+    "UcpPrediction",
+    "predict_ucps",
+    "application_nodes",
+    "build_callgraph",
+    "call_sites_of",
+    "library_nodes",
+    "nodes_leading_to",
+    "prune_unreachable",
+]

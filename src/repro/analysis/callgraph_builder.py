@@ -1,0 +1,207 @@
+"""Call-graph construction from JIP programs (the WALA stand-in).
+
+The paper uses WALA's context-insensitive 0-CFA to build call graphs from
+Java bytecode. Our mini language has no local dataflow — virtual-call
+receivers are drawn from per-base-type pools of instantiated classes — so
+0-CFA's per-site receiver sets degenerate to exactly what Rapid Type
+Analysis computes. Three policies are provided:
+
+* **CHA** (class hierarchy analysis): a virtual site targets the resolved
+  method of *every* statically known subtype of its base class.
+* **RTA** (rapid type analysis): subtypes are restricted to classes
+  actually instantiated in reachable code (computed by a fixpoint).
+* **ZERO_CFA**: alias of RTA with the degeneracy documented — on JIP they
+  coincide; it exists so call sites in experiment configs can say what
+  the paper said.
+
+Dynamic classes (``Klass.dynamic``) are invisible to all policies; they
+only exist at runtime, which is precisely what creates the unexpected
+call paths of Section 4.1.
+
+Call-site labels are stable statement paths, e.g. ``"2"`` (third
+top-level statement) or ``"2.0.1"`` (inside nested blocks), so graphs are
+reproducible and sites can be matched back to statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.callgraph import CallGraph
+from repro.lang.model import (
+    Branch,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+)
+
+__all__ = ["Policy", "CallSiteInfo", "build_callgraph", "call_sites_of"]
+
+
+class Policy(enum.Enum):
+    """Dispatch-set approximation used for virtual call sites."""
+
+    CHA = "cha"
+    RTA = "rta"
+    ZERO_CFA = "0-cfa"
+
+
+@dataclass(frozen=True)
+class CallSiteInfo:
+    """A call statement located inside a method body."""
+
+    owner: MethodRef
+    label: str
+    stmt: Stmt  # StaticCall or VirtualCall
+
+    @property
+    def is_virtual(self) -> bool:
+        return isinstance(self.stmt, VirtualCall)
+
+
+def call_sites_of(method: Method, owner: MethodRef) -> List[CallSiteInfo]:
+    """All call statements of a method with their stable labels."""
+    sites: List[CallSiteInfo] = []
+
+    def walk(body: Sequence[Stmt], prefix: str) -> None:
+        for index, stmt in enumerate(body):
+            label = f"{prefix}{index}"
+            if isinstance(stmt, (StaticCall, VirtualCall)):
+                sites.append(CallSiteInfo(owner, label, stmt))
+            elif isinstance(stmt, Loop):
+                walk(stmt.body, f"{label}.")
+            elif isinstance(stmt, Branch):
+                walk(stmt.then, f"{label}.t")
+                walk(stmt.orelse, f"{label}.e")
+
+    walk(method.body, "")
+    return sites
+
+
+def build_callgraph(
+    program: Program,
+    policy: Policy = Policy.ZERO_CFA,
+    include_dynamic: bool = False,
+) -> CallGraph:
+    """Build the static call graph of ``program`` under ``policy``.
+
+    ``include_dynamic=True`` builds the *runtime-complete* graph (as if
+    every dynamic class had been loaded) — useful as a ground-truth
+    comparison in tests, never available to real static analysis.
+    """
+    program.validate()
+    if policy is Policy.CHA:
+        instantiated = None
+    else:
+        instantiated = _instantiated_classes(program, include_dynamic)
+
+    entry_name = str(program.entry)
+    graph = CallGraph(entry=entry_name)
+    _annotate_node(graph, program, program.entry)
+
+    worklist: List[MethodRef] = [program.entry]
+    seen: Set[MethodRef] = {program.entry}
+    while worklist:
+        ref = worklist.pop(0)
+        method = program.method(ref)
+        for site in call_sites_of(method, ref):
+            targets = _dispatch_targets(
+                program, site.stmt, instantiated, include_dynamic
+            )
+            for target in targets:
+                graph.add_node(str(target))
+                _annotate_node(graph, program, target)
+                graph.add_edge(str(ref), str(target), site.label)
+                if target not in seen:
+                    seen.add(target)
+                    worklist.append(target)
+    return graph
+
+
+def _annotate_node(graph: CallGraph, program: Program, ref: MethodRef) -> None:
+    klass = program.klass(ref.klass)
+    graph.add_node(
+        str(ref),
+        klass=ref.klass,
+        method=ref.method,
+        library=klass.library,
+        dynamic=klass.dynamic,
+    )
+
+
+def _dispatch_targets(
+    program: Program,
+    stmt: Stmt,
+    instantiated: Optional[Set[str]],
+    include_dynamic: bool,
+) -> List[MethodRef]:
+    """Resolved targets of a call statement under the active policy."""
+    if isinstance(stmt, StaticCall):
+        target_klass = program.klass(stmt.target.klass)
+        if target_klass.dynamic and not include_dynamic:
+            return []  # statically invisible
+        return [stmt.target]
+
+    assert isinstance(stmt, VirtualCall)
+    targets: List[MethodRef] = []
+    seen: Set[MethodRef] = set()
+    for subtype in program.subtypes(stmt.base, include_dynamic=include_dynamic):
+        if instantiated is not None and subtype not in instantiated:
+            continue
+        try:
+            resolved = program.resolve(subtype, stmt.method)
+        except Exception:
+            continue  # abstract-like subtype without the method
+        if not include_dynamic and program.klass(resolved.klass).dynamic:
+            continue
+        if resolved not in seen:
+            seen.add(resolved)
+            targets.append(resolved)
+    return targets
+
+
+def _instantiated_classes(
+    program: Program, include_dynamic: bool
+) -> Set[str]:
+    """RTA fixpoint: classes instantiated in methods reachable from the
+    entry, where reachability itself depends on the instantiated set."""
+    instantiated: Set[str] = set()
+    reachable: Set[MethodRef] = {program.entry}
+    changed = True
+    while changed:
+        changed = False
+        for ref in list(reachable):
+            method = program.method(ref)
+            for stmt in _walk(method.body):
+                if isinstance(stmt, New):
+                    klass = program.klass(stmt.klass)
+                    if klass.dynamic and not include_dynamic:
+                        continue
+                    if stmt.klass not in instantiated:
+                        instantiated.add(stmt.klass)
+                        changed = True
+                elif isinstance(stmt, (StaticCall, VirtualCall)):
+                    for target in _dispatch_targets(
+                        program, stmt, instantiated, include_dynamic
+                    ):
+                        if target not in reachable:
+                            reachable.add(target)
+                            changed = True
+    return instantiated
+
+
+def _walk(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from _walk(stmt.body)
+        elif isinstance(stmt, Branch):
+            yield from _walk(stmt.then)
+            yield from _walk(stmt.orelse)

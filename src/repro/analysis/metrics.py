@@ -1,0 +1,98 @@
+"""Call-graph shape metrics.
+
+Used to compare generated benchmark graphs against the paper's Table 1
+programs and to sanity-check workload generators: degree distributions,
+depth profile, virtual-dispatch share, and the context-count growth rate
+(the quantity that decides whether anchors will be needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.callgraph import CallGraph
+from repro.graph.contexts import context_counts
+from repro.graph.scc import remove_recursion
+from repro.graph.topo import topological_order
+
+__all__ = ["GraphMetrics", "compute_metrics"]
+
+
+@dataclass
+class GraphMetrics:
+    """Shape summary of one call graph."""
+
+    nodes: int
+    edges: int
+    call_sites: int
+    virtual_sites: int
+    virtual_fraction: float
+    max_out_degree: int
+    max_in_degree: int
+    avg_out_degree: float
+    #: Longest entry->node distance (in edges) over reachable nodes.
+    depth: int
+    #: Per-depth node counts (index = distance from the entry).
+    depth_histogram: List[int]
+    #: log10 of the total calling-context count (acyclic view).
+    log10_contexts: float
+    #: log10 of the maximum per-node context count — Table 1's "max ID"
+    #: for virtual-free graphs, a lower bound otherwise.
+    log10_max_node_contexts: float
+    back_edges: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.nodes} nodes, {self.edges} edges, "
+            f"{self.call_sites} sites ({self.virtual_fraction:.0%} virtual), "
+            f"depth {self.depth}, contexts ~1e{self.log10_contexts:.1f}"
+        )
+
+
+def compute_metrics(graph: CallGraph) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for ``graph`` (cycles allowed)."""
+    acyclic, removed = remove_recursion(graph)
+    reachable = acyclic.reachable_from(acyclic.entry)
+
+    # Longest path from the entry (DAG longest-path DP).
+    depth_of: Dict[str, int] = {acyclic.entry: 0}
+    for node in topological_order(acyclic):
+        if node not in reachable or node not in depth_of:
+            continue
+        for edge in acyclic.out_edges(node):
+            candidate = depth_of[node] + 1
+            if candidate > depth_of.get(edge.callee, -1):
+                depth_of[edge.callee] = candidate
+    depth = max(depth_of.values(), default=0)
+    histogram = [0] * (depth + 1)
+    for value in depth_of.values():
+        histogram[value] += 1
+
+    counts = context_counts(acyclic)
+    total = sum(counts.values())
+    biggest = max(counts.values(), default=1)
+
+    out_degrees = [len(graph.out_edges(n)) for n in graph.nodes]
+    in_degrees = [len(graph.in_edges(n)) for n in graph.nodes]
+    sites = len(graph.call_sites)
+    virtual = len(graph.virtual_sites)
+
+    return GraphMetrics(
+        nodes=len(graph),
+        edges=graph.num_edges,
+        call_sites=sites,
+        virtual_sites=virtual,
+        virtual_fraction=virtual / sites if sites else 0.0,
+        max_out_degree=max(out_degrees, default=0),
+        max_in_degree=max(in_degrees, default=0),
+        avg_out_degree=(
+            sum(out_degrees) / len(out_degrees) if out_degrees else 0.0
+        ),
+        depth=depth,
+        depth_histogram=histogram,
+        log10_contexts=math.log10(total) if total else 0.0,
+        log10_max_node_contexts=math.log10(biggest) if biggest else 0.0,
+        back_edges=len(removed),
+    )

@@ -1,0 +1,49 @@
+"""Reachability-based graph pruning and interest projections.
+
+Helpers shared by selective encoding (Section 4.2) and pruned encoding
+(Section 8, "Pruned and Relative Encoding").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Set
+
+from repro.graph.callgraph import CallGraph
+
+__all__ = [
+    "prune_unreachable",
+    "application_nodes",
+    "library_nodes",
+    "nodes_leading_to",
+]
+
+
+def prune_unreachable(graph: CallGraph) -> CallGraph:
+    """Subgraph of nodes reachable from the entry."""
+    return graph.subgraph(graph.reachable_from(graph.entry))
+
+
+def application_nodes(graph: CallGraph) -> List[str]:
+    """Nodes not flagged ``library`` (the encoding-application universe)."""
+    return [
+        n for n in graph.nodes if not graph.node_attrs(n).get("library", False)
+    ]
+
+
+def library_nodes(graph: CallGraph) -> List[str]:
+    return [
+        n for n in graph.nodes if graph.node_attrs(n).get("library", False)
+    ]
+
+
+def nodes_leading_to(graph: CallGraph, targets: Iterable[str]) -> Set[str]:
+    """Nodes that can reach any of ``targets`` (directly or transitively),
+    plus the targets themselves.
+
+    This is the static analysis of the paper's pruned encoding: functions
+    that never lead to a target function need no encoding operations.
+    """
+    result: Set[str] = set()
+    for target in targets:
+        result |= graph.reaching(target)
+    return result

@@ -1,0 +1,136 @@
+"""Predicting unexpected call paths before running anything.
+
+Call path tracking (Section 4.1) *reacts* to UCPs at runtime. When the
+dynamic classes are known in advance (packaged plugins, test fixtures),
+the same information supports a *static* prediction: diff the call graph
+the encoder saw against the runtime-complete graph (built with
+``include_dynamic=True``) and classify what the dynamic world adds:
+
+* **new dispatch edges** — statically known sites gaining dynamic
+  targets (the paper's B→X);
+* **detour entry points** — instrumented functions callable from
+  dynamic code, split into *hazardous* (their SID differs from what the
+  last instrumented site will have written — the check will fire) and
+  *benign* (SIDs coincide — the check passes and decoding silently
+  omits the dynamic frames, the paper's B→X→D).
+
+Tests validate the prediction against actual runtime detections on the
+paper's Figure 6 program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.callgraph_builder import Policy, build_callgraph
+from repro.core.sid import compute_sids
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.lang.model import Program
+
+__all__ = ["UcpPrediction", "predict_ucps"]
+
+
+@dataclass
+class UcpPrediction:
+    """Static prediction of runtime UCP behaviour."""
+
+    #: Edges only the runtime-complete graph has (caller, callee, label).
+    new_edges: List[CallEdge]
+    #: Dynamic functions reachable at runtime (absent statically).
+    dynamic_nodes: List[str]
+    #: (dynamic caller site, instrumented callee) pairs where the SID
+    #: check is predicted to fire (hazardous UCP).
+    hazardous: List[Tuple[CallEdge, str]]
+    #: Same shape, but the stale SID will coincide: benign UCP — the
+    #: encoding stays decodable with the dynamic frames omitted.
+    benign: List[Tuple[CallEdge, str]]
+
+    @property
+    def hazardous_entry_points(self) -> Set[str]:
+        """Instrumented functions where detections are predicted."""
+        return {callee for _edge, callee in self.hazardous}
+
+    @property
+    def benign_entry_points(self) -> Set[str]:
+        return {callee for _edge, callee in self.benign}
+
+
+def predict_ucps(
+    program: Program, policy: Policy = Policy.ZERO_CFA
+) -> UcpPrediction:
+    """Diff static vs runtime-complete graphs and classify detours.
+
+    The benign/hazardous split approximates the runtime check: a call
+    from dynamic code into instrumented function ``f`` is benign when
+    the *expected SID* in force can match ``f``'s — which happens when
+    the dynamic entry was reached via a statically-known virtual site
+    whose target set shares f's SID. We conservatively test each dynamic
+    incursion against the SID of the site that leads into the dynamic
+    region; multi-hop dynamic chains inherit that site's expectation
+    (the register is only rewritten by instrumented sites).
+    """
+    static = build_callgraph(program, policy=policy, include_dynamic=False)
+    complete = build_callgraph(program, policy=policy, include_dynamic=True)
+    sids = compute_sids(static)
+
+    static_edges = {
+        (e.caller, e.callee, e.label) for e in static.edges
+    }
+    new_edges = [
+        e
+        for e in complete.edges
+        if (e.caller, e.callee, e.label) not in static_edges
+    ]
+    static_nodes = set(static.nodes)
+    dynamic_nodes = [n for n in complete.nodes if n not in static_nodes]
+    dynamic_set = set(dynamic_nodes)
+
+    # Expected SID carried into each dynamic node: from the static sites
+    # that can dispatch into it (the last instrumented write before the
+    # detour). Propagate through dynamic-only chains.
+    expectation: Dict[str, Set[int]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for edge in new_edges:
+            if edge.callee not in dynamic_set:
+                continue
+            carried: Set[int] = set()
+            if edge.caller in static_nodes:
+                site = CallSite(edge.caller, edge.label)
+                if site in sids.sid_of_site:
+                    # The site exists statically: its write is in force.
+                    carried.add(sids.sid_of_site[site])
+                else:
+                    # A brand-new site in instrumented code cannot occur
+                    # (sites come from method bodies known statically
+                    # for static classes); treat defensively as unknown.
+                    carried.add(-1)
+            else:
+                carried |= expectation.get(edge.caller, set())
+            known = expectation.setdefault(edge.callee, set())
+            if not carried <= known:
+                known |= carried
+                changed = True
+
+    hazardous: List[Tuple[CallEdge, str]] = []
+    benign: List[Tuple[CallEdge, str]] = []
+    for edge in new_edges:
+        if edge.caller not in dynamic_set:
+            continue  # only dynamic -> static incursions detect
+        if edge.callee not in static_nodes:
+            continue
+        callee_sid = sids.sid_of_node.get(edge.callee)
+        expected = expectation.get(edge.caller, {-1})
+        if expected and expected <= {callee_sid}:
+            benign.append((edge, edge.callee))
+        else:
+            hazardous.append((edge, edge.callee))
+
+    return UcpPrediction(
+        new_edges=new_edges,
+        dynamic_nodes=dynamic_nodes,
+        hazardous=hazardous,
+        benign=benign,
+    )

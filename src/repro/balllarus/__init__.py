@@ -1,0 +1,21 @@
+"""Ball-Larus path profiling: the algorithm DeltaPath descends from."""
+
+from repro.balllarus.cfg import CFG, CFGEdge
+from repro.balllarus.interprocedural import (
+    interprocedural_path_bound,
+    intraprocedural_paths,
+    method_cfg,
+)
+from repro.balllarus.numbering import PathNumbering, number_paths
+from repro.balllarus.profiler import PathProfiler
+
+__all__ = [
+    "CFG",
+    "CFGEdge",
+    "PathNumbering",
+    "PathProfiler",
+    "interprocedural_path_bound",
+    "intraprocedural_paths",
+    "method_cfg",
+    "number_paths",
+]

@@ -1,0 +1,150 @@
+"""Intraprocedural control-flow graphs for Ball-Larus path profiling.
+
+The Ball-Larus algorithm (Section 2 of the paper) is the canonical
+ancestor of PCCE and DeltaPath: it numbers the acyclic paths from a
+function's entry to its exit so each path's edge-value sum is a unique
+integer in ``[0, NumPaths)``. This package implements it both as the
+background substrate the paper builds on and as an independently useful
+intraprocedural profiler.
+
+A :class:`CFG` is a directed graph of basic blocks with one entry and
+one exit. As in Ball-Larus, loops are handled by treating back edges
+specially (each back edge is split into entry->target and source->exit
+surrogate edges); :mod:`repro.balllarus.numbering` works on the acyclic
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["CFG", "CFGEdge"]
+
+
+@dataclass(frozen=True, order=True)
+class CFGEdge:
+    """A control-flow edge between basic blocks."""
+
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+class CFG:
+    """A single-entry single-exit control-flow graph."""
+
+    def __init__(self, entry: str = "entry", exit: str = "exit"):
+        self.entry = entry
+        self.exit = exit
+        self._succ: Dict[str, List[str]] = {entry: [], exit: []}
+        self._pred: Dict[str, List[str]] = {entry: [], exit: []}
+        self._edges: List[CFGEdge] = []
+
+    # ------------------------------------------------------------------
+    def add_block(self, name: str) -> None:
+        if name not in self._succ:
+            self._succ[name] = []
+            self._pred[name] = []
+
+    def add_edge(self, src: str, dst: str) -> CFGEdge:
+        self.add_block(src)
+        self.add_block(dst)
+        edge = CFGEdge(src, dst)
+        if edge in self._edges:
+            raise GraphError(f"duplicate CFG edge {edge}")
+        self._edges.append(edge)
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        return edge
+
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> List[str]:
+        return list(self._succ)
+
+    @property
+    def edges(self) -> List[CFGEdge]:
+        return list(self._edges)
+
+    def successors(self, block: str) -> List[str]:
+        return list(self._succ[block])
+
+    def predecessors(self, block: str) -> List[str]:
+        return list(self._pred[block])
+
+    # ------------------------------------------------------------------
+    def back_edges(self) -> List[CFGEdge]:
+        """Edges closing a cycle under DFS from the entry."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {b: WHITE for b in self._succ}
+        found: List[CFGEdge] = []
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        color[self.entry] = GREY
+        while stack:
+            block, idx = stack.pop()
+            succs = self._succ[block]
+            advanced = False
+            for i in range(idx, len(succs)):
+                nxt = succs[i]
+                if color[nxt] == GREY:
+                    found.append(CFGEdge(block, nxt))
+                elif color[nxt] == WHITE:
+                    stack.append((block, i + 1))
+                    color[nxt] = GREY
+                    stack.append((nxt, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[block] = BLACK
+        return found
+
+    def acyclic_view(self) -> "CFG":
+        """Ball-Larus loop handling: each back edge ``s -> t`` is removed
+        and replaced by surrogate edges ``entry -> t`` and ``s -> exit``
+        (unless already present), making the graph a DAG whose paths
+        represent the original paths' acyclic fragments."""
+        removed = set(self.back_edges())
+        view = CFG(entry=self.entry, exit=self.exit)
+        for block in self._succ:
+            view.add_block(block)
+        present: Set[CFGEdge] = set()
+        for edge in self._edges:
+            if edge in removed:
+                continue
+            view.add_edge(edge.src, edge.dst)
+            present.add(edge)
+        for edge in removed:
+            surrogate_in = CFGEdge(self.entry, edge.dst)
+            surrogate_out = CFGEdge(edge.src, self.exit)
+            if surrogate_in not in present and edge.dst != self.entry:
+                view.add_edge(self.entry, edge.dst)
+                present.add(surrogate_in)
+            if surrogate_out not in present and edge.src != self.exit:
+                view.add_edge(edge.src, self.exit)
+                present.add(surrogate_out)
+        return view
+
+    def validate(self) -> None:
+        """Entry has no predecessors, exit no successors, all blocks on
+        some entry->exit path (after the acyclic transformation)."""
+        if self._pred[self.entry]:
+            raise GraphError("entry block has predecessors")
+        if self._succ[self.exit]:
+            raise GraphError("exit block has successors")
+        # Reachability from the entry.
+        seen = {self.entry}
+        work = [self.entry]
+        while work:
+            block = work.pop()
+            for nxt in self._succ[block]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        unreachable = [b for b in self._succ if b not in seen]
+        if unreachable:
+            raise GraphError(f"unreachable blocks: {unreachable}")

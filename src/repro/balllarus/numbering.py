@@ -1,0 +1,128 @@
+"""The Ball-Larus path-numbering algorithm.
+
+For an acyclic CFG, assign each edge a value such that the sum of the
+values along any entry->exit path is a unique integer in
+``[0, NumPaths)``:
+
+    NumPaths(exit) = 1
+    NumPaths(v)    = sum of NumPaths(w) over successors w
+    val(v -> w_i)  = sum of NumPaths(w_j) for j < i
+
+(reverse topological order; successor order is the CFG's edge order).
+Decoding walks forward from the entry taking, at each block, the
+outgoing edge with the greatest value not exceeding the residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.balllarus.cfg import CFG, CFGEdge
+from repro.errors import CycleError, DecodingError
+
+__all__ = ["PathNumbering", "number_paths"]
+
+
+@dataclass
+class PathNumbering:
+    """Edge values + path counts for one acyclic CFG."""
+
+    cfg: CFG
+    num_paths: Dict[str, int]
+    edge_value: Dict[CFGEdge, int]
+
+    @property
+    def total_paths(self) -> int:
+        return self.num_paths[self.cfg.entry]
+
+    # ------------------------------------------------------------------
+    def path_id(self, blocks: List[str]) -> int:
+        """Encode an entry->exit path given as a block sequence."""
+        if not blocks or blocks[0] != self.cfg.entry:
+            raise DecodingError("path must start at the entry block")
+        if blocks[-1] != self.cfg.exit:
+            raise DecodingError("path must end at the exit block")
+        total = 0
+        for src, dst in zip(blocks, blocks[1:]):
+            edge = CFGEdge(src, dst)
+            if edge not in self.edge_value:
+                raise DecodingError(f"unknown edge {edge}")
+            total += self.edge_value[edge]
+        return total
+
+    def regenerate(self, path_id: int) -> List[str]:
+        """Decode a path id back into its block sequence."""
+        if not 0 <= path_id < max(self.total_paths, 1):
+            raise DecodingError(
+                f"path id {path_id} outside [0, {self.total_paths})"
+            )
+        blocks = [self.cfg.entry]
+        residual = path_id
+        current = self.cfg.entry
+        while current != self.cfg.exit:
+            best: Optional[str] = None
+            best_value = -1
+            for succ in self.cfg.successors(current):
+                value = self.edge_value[CFGEdge(current, succ)]
+                if best_value < value <= residual:
+                    best = succ
+                    best_value = value
+            if best is None:
+                raise DecodingError(
+                    f"no outgoing edge of {current!r} matches residual "
+                    f"{residual}"
+                )
+            residual -= best_value
+            current = best
+            blocks.append(current)
+        if residual != 0:
+            raise DecodingError(
+                f"reached exit with nonzero residual {residual}"
+            )
+        return blocks
+
+    def iter_paths(self) -> Iterator[List[str]]:
+        """All entry->exit paths (by decoding every id)."""
+        for path_id in range(self.total_paths):
+            yield self.regenerate(path_id)
+
+
+def number_paths(cfg: CFG) -> PathNumbering:
+    """Run the BL algorithm on (the acyclic view of) ``cfg``."""
+    acyclic = cfg.acyclic_view()
+    acyclic.validate()
+    order = _reverse_topological(acyclic)
+    num_paths: Dict[str, int] = {}
+    edge_value: Dict[CFGEdge, int] = {}
+    for block in order:
+        if block == acyclic.exit:
+            num_paths[block] = 1
+            continue
+        running = 0
+        for succ in acyclic.successors(block):
+            edge_value[CFGEdge(block, succ)] = running
+            running += num_paths[succ]
+        if running == 0:
+            # A dead end that is not the exit encodes nothing.
+            running = 1
+        num_paths[block] = running
+    return PathNumbering(cfg=acyclic, num_paths=num_paths, edge_value=edge_value)
+
+
+def _reverse_topological(cfg: CFG) -> List[str]:
+    outdegree = {b: len(cfg.successors(b)) for b in cfg.blocks}
+    ready = [b for b in cfg.blocks if outdegree[b] == 0]
+    order: List[str] = []
+    cursor = 0
+    while cursor < len(ready):
+        block = ready[cursor]
+        cursor += 1
+        order.append(block)
+        for pred in cfg.predecessors(block):
+            outdegree[pred] -= 1
+            if outdegree[pred] == 0:
+                ready.append(pred)
+    if len(order) != len(cfg.blocks):
+        raise CycleError("CFG still has a cycle after back-edge removal")
+    return order

@@ -1,0 +1,65 @@
+"""Runtime path profiling over a Ball-Larus numbering.
+
+A :class:`PathProfiler` mirrors the instrumentation a compiler would
+insert: a register ``r`` reset at the function entry, incremented by the
+edge value at each taken branch, and a counter bump ``count[r] += 1`` at
+the exit. Feeding it block transitions produces the classic BL path
+histogram, decodable back into block sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.balllarus.cfg import CFGEdge
+from repro.balllarus.numbering import PathNumbering
+from repro.errors import RuntimeEncodingError
+
+__all__ = ["PathProfiler"]
+
+
+class PathProfiler:
+    """Accumulates a path histogram from executed block transitions."""
+
+    def __init__(self, numbering: PathNumbering):
+        self.numbering = numbering
+        self.counts: Counter = Counter()
+        self._register = 0
+        self._current = None
+
+    # ------------------------------------------------------------------
+    def enter(self) -> None:
+        """Function entry: reset the path register."""
+        self._register = 0
+        self._current = self.numbering.cfg.entry
+
+    def take(self, block: str) -> None:
+        """A transition from the current block to ``block``."""
+        if self._current is None:
+            raise RuntimeEncodingError("take() before enter()")
+        edge = CFGEdge(self._current, block)
+        try:
+            self._register += self.numbering.edge_value[edge]
+        except KeyError:
+            raise RuntimeEncodingError(f"edge {edge} is not in the CFG") from None
+        self._current = block
+        if block == self.numbering.cfg.exit:
+            self.counts[self._register] += 1
+            self._current = None
+
+    def run_path(self, blocks: Iterable[str]) -> int:
+        """Convenience: execute one whole entry->exit path."""
+        blocks = list(blocks)
+        self.enter()
+        for block in blocks[1:]:
+            self.take(block)
+        return self.numbering.path_id(blocks)
+
+    # ------------------------------------------------------------------
+    def report(self) -> List[Tuple[List[str], int]]:
+        """(decoded path, count) pairs, hottest first."""
+        rows = []
+        for path_id, count in self.counts.most_common():
+            rows.append((self.numbering.regenerate(path_id), count))
+        return rows

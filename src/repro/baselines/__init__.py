@@ -1,0 +1,32 @@
+"""Baseline context-tracking techniques the paper compares against."""
+
+from repro.baselines.breadcrumbs import (
+    BreadcrumbsDecoder,
+    BreadcrumbsProbe,
+    DecodeOutcome,
+    cold_sites_from_profile,
+)
+from repro.baselines.cct import CCTProbe
+from repro.baselines.edgepruning import (
+    PrunedPCCEEncoding,
+    PrunedPCCEProbe,
+    encode_pruned_pcce,
+)
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.baselines.pcce_probe import PerEdgeSwitchProbe
+from repro.baselines.stackwalk import StackWalkProbe
+
+__all__ = [
+    "BreadcrumbsDecoder",
+    "BreadcrumbsProbe",
+    "CCTProbe",
+    "DecodeOutcome",
+    "PCCProbe",
+    "PerEdgeSwitchProbe",
+    "PrunedPCCEEncoding",
+    "PrunedPCCEProbe",
+    "StackWalkProbe",
+    "cold_sites_from_profile",
+    "encode_pruned_pcce",
+    "site_constants",
+]

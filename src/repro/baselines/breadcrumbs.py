@@ -1,0 +1,158 @@
+"""Breadcrumbs (Bond, Baker & Guyer, PLDI 2010): PCC plus decoding help.
+
+Breadcrumbs keeps PCC's hash encoding but records the hash value at
+relatively *cold* call sites during execution. Offline, a search over the
+static call graph reconstructs candidate contexts whose simulated PCC
+value matches the queried hash, using the recorded values as waypoints.
+The paper's Section 6.2 characterizes it: either high overhead (record at
+many sites) or unreliable/expensive decoding (their evaluation capped the
+search at 5 seconds per context).
+
+We reproduce that trade-off faithfully but with a *step* budget rather
+than a wall-clock one (deterministic tests):
+
+* :class:`BreadcrumbsProbe` = PCC + per-cold-site value recording;
+  ``cold_sites`` comes from a profiling pre-run and a hotness threshold.
+* :class:`BreadcrumbsDecoder` = depth-first search over the call graph
+  simulating PCC hashes; returns all matching contexts found within the
+  budget. More than one match = ambiguous; zero within budget = failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.baselines.pcc import PCCProbe
+from repro.graph.callgraph import CallEdge, CallGraph
+
+__all__ = [
+    "BreadcrumbsProbe",
+    "BreadcrumbsDecoder",
+    "DecodeOutcome",
+    "cold_sites_from_profile",
+]
+
+SiteKey = Tuple[str, Hashable]
+
+
+def cold_sites_from_profile(
+    site_counts: Dict[SiteKey, int], hot_threshold: int
+) -> Set[SiteKey]:
+    """Sites executed fewer than ``hot_threshold`` times are cold."""
+    return {
+        key for key, count in site_counts.items() if count < hot_threshold
+    }
+
+
+class BreadcrumbsProbe(PCCProbe):
+    """PCC plus value recording at cold call sites.
+
+    Recording cost scales with how many cold sites execute — the paper's
+    overhead knob. ``recorded`` maps ``(site, value_after_site)`` pairs
+    to hit counts, the breadcrumb store an offline decoder consults.
+    """
+
+    name = "breadcrumbs"
+
+    def __init__(
+        self,
+        constants: Dict[SiteKey, int],
+        cold_sites: Set[SiteKey],
+        word_bits: int = 32,
+    ):
+        super().__init__(constants, word_bits=word_bits)
+        self._cold = cold_sites
+        self.recorded: Dict[Tuple[SiteKey, int], int] = {}
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        super().before_call(caller, label, callee)
+        key = (caller, label)
+        if key in self._cold and key in self._constants:
+            record = (key, self._v)
+            self.recorded[record] = self.recorded.get(record, 0) + 1
+
+
+@dataclass
+class DecodeOutcome:
+    """Result of an offline Breadcrumbs decode attempt."""
+
+    matches: List[Tuple[CallEdge, ...]]
+    steps_used: int
+    exhausted_budget: bool
+
+    @property
+    def reliable(self) -> bool:
+        """Exactly one match found with budget to spare."""
+        return len(self.matches) == 1 and not self.exhausted_budget
+
+    @property
+    def ambiguous(self) -> bool:
+        return len(self.matches) > 1
+
+    @property
+    def failed(self) -> bool:
+        return not self.matches
+
+
+class BreadcrumbsDecoder:
+    """Offline search: which contexts of ``node`` hash to ``value``?
+
+    The search walks forward from the entry simulating the PCC hash along
+    every acyclic path to ``node``, pruned by recorded breadcrumb values
+    when available. ``step_budget`` bounds explored edges (the paper used
+    a 5-second wall-clock cap; a step cap keeps tests deterministic).
+    """
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        constants: Dict[SiteKey, int],
+        recorded: Optional[Dict[Tuple[SiteKey, int], int]] = None,
+        word_bits: int = 32,
+    ):
+        self.graph = graph
+        self.constants = constants
+        self.recorded = recorded or {}
+        self._mask = (1 << word_bits) - 1
+        self._recorded_sites = {key for key, _ in self.recorded}
+
+    def decode(
+        self, node: str, value: int, step_budget: int = 100_000
+    ) -> DecodeOutcome:
+        matches: List[Tuple[CallEdge, ...]] = []
+        steps = 0
+        exhausted = False
+
+        # Depth-first over (current node, hash so far, path), forward from
+        # the entry; acyclic exploration only (recursion would need the
+        # stack of hashes, which Breadcrumbs itself does not decode).
+        stack: List[Tuple[str, int, Tuple[CallEdge, ...]]] = [
+            (self.graph.entry, 0, ())
+        ]
+        while stack:
+            current, hashed, path = stack.pop()
+            if steps >= step_budget:
+                exhausted = True
+                break
+            if current == node and hashed == value:
+                matches.append(path)
+            for edge in self.graph.out_edges(current):
+                steps += 1
+                if any(e.callee == edge.callee for e in path):
+                    continue  # stay acyclic
+                constant = self.constants.get((edge.caller, edge.label))
+                if constant is None:
+                    next_hash = hashed
+                else:
+                    next_hash = (3 * (hashed + constant)) & self._mask
+                key = (edge.caller, edge.label)
+                if key in self._recorded_sites:
+                    # A recorded (cold) site: only hash values actually
+                    # observed there can be on a real path.
+                    if (key, next_hash) not in self.recorded:
+                        continue
+                stack.append((edge.callee, next_hash, path + (edge,)))
+        return DecodeOutcome(
+            matches=matches, steps_used=steps, exhausted_budget=exhausted
+        )

@@ -1,0 +1,79 @@
+"""Calling context tree (Ammons, Ball & Larus, PLDI 1997).
+
+A CCT interns each context as a tree node keyed by (parent, call site,
+callee). The current context is a pointer into the tree; a snapshot is a
+small integer node id (precise, decodable by walking parent links). The
+paper's related-work point: maintaining a complete CCT costs space and
+time proportional to the number of distinct contexts — unlike encodings,
+there is a heap allocation the first time any context appears — while
+sampling CCTs miss contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.runtime.probes import Probe
+
+__all__ = ["CCTProbe"]
+
+
+class CCTProbe(Probe):
+    """Maintains a calling context tree over instrumented calls."""
+
+    name = "cct"
+
+    #: Tree node ids are indexes into the parallel arrays below.
+    ROOT = 0
+
+    def __init__(self, instrumented_sites: Optional[Set[Tuple[str, Hashable]]] = None):
+        self._instrumented = instrumented_sites
+        # node id -> (parent id, site key, callee); root is sentinel.
+        self.parents: List[int] = [-1]
+        self.labels: List[Optional[Tuple[Tuple[str, Hashable], str]]] = [None]
+        self._children: Dict[Tuple[int, Tuple[str, Hashable], str], int] = {}
+        self._current = self.ROOT
+        self._path: List[int] = []
+
+    def begin_execution(self, entry: str) -> None:
+        self._current = self.ROOT
+        self._path.clear()
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        key = (caller, label)
+        if self._instrumented is not None and key not in self._instrumented:
+            self._path.append(-1)  # untracked frame
+            return
+        child_key = (self._current, key, callee)
+        node = self._children.get(child_key)
+        if node is None:
+            node = len(self.parents)
+            self.parents.append(self._current)
+            self.labels.append((key, callee))
+            self._children[child_key] = node
+        self._path.append(self._current)
+        self._current = node
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        previous = self._path.pop()
+        if previous != -1:
+            self._current = previous
+
+    def snapshot(self, node: str) -> int:
+        return self._current
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of interned context nodes (the CCT's space cost)."""
+        return len(self.parents)
+
+    def decode(self, node_id: int) -> List[Tuple[Tuple[str, Hashable], str]]:
+        """Walk parent links: the context as (site, callee) pairs, root-first."""
+        path = []
+        current = node_id
+        while current != self.ROOT:
+            path.append(self.labels[current])
+            current = self.parents[current]
+        path.reverse()
+        return path

@@ -1,0 +1,232 @@
+"""PCCE's scalability mechanism: edge pruning (paper Section 3.2).
+
+Before DeltaPath's anchors, PCCE kept encodings inside one integer by
+*pruning edges during static analysis* "to ensure that the resultant
+call graph can be encoded by a single integer", handling each pruned
+edge at runtime "the same way a runtime integer overflow is processed":
+push the current ID, reset to 0, continue. The paper's criticism — and
+the reason Algorithm 2 exists — is that on deep graphs "massive edges at
+the deep portion of the call graph would be pruned and the pruned edges
+are handled at a relatively high runtime cost".
+
+This module implements that baseline faithfully so the criticism can be
+*measured* (see ``benchmarks/test_ablations.py``):
+
+* :func:`encode_pruned_pcce` — PCCE's per-edge numbering, but any edge
+  whose addition value or NC contribution would overflow the width is
+  pruned: removed from the encoded graph and marked as a runtime push
+  point. NC restarts at 1 past fully-pruned nodes, so pruning recurs
+  every time the context count regrows to the limit — the "massive
+  edges" effect.
+* :class:`PrunedPCCEProbe` — the runtime agent: additions on kept
+  edges, a push/reset on pruned ones. Pushes reuse the RECURSION entry
+  kind (identical stack discipline: the new piece starts at the callee,
+  and the pruned edge itself is re-attached during decoding), so the
+  standard :class:`~repro.core.decoder.ContextDecoder` decodes these
+  observations unchanged.
+
+Like original PCCE, the encoder is defined for monomorphic graphs only
+(virtual call sites need Algorithm 1) and raises on polymorphic input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.core.widths import Width
+from repro.errors import DecodingError, EncodingError, RuntimeEncodingError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.scc import remove_recursion
+from repro.graph.topo import topological_order
+from repro.runtime.probes import Probe
+
+__all__ = ["PrunedPCCEEncoding", "encode_pruned_pcce", "PrunedPCCEProbe"]
+
+
+@dataclass
+class PrunedPCCEEncoding:
+    """PCCE numbering over the kept subgraph + the pruned edge set."""
+
+    #: The encoded (kept-edges-only, acyclic) graph.
+    graph: CallGraph
+    back_edges: List[CallEdge]
+    width: Width
+    nc: Dict[str, int]
+    av: Dict[CallEdge, int]
+    pruned: List[CallEdge]
+
+    @property
+    def pruned_count(self) -> int:
+        return len(self.pruned)
+
+    @property
+    def max_id(self) -> int:
+        return max(self.nc.values()) - 1 if self.nc else 0
+
+    def edge_increment(self, edge: CallEdge) -> int:
+        try:
+            return self.av[edge]
+        except KeyError:
+            raise EncodingError(
+                f"edge {edge} was pruned or never encoded"
+            ) from None
+
+    def decode(
+        self, node: str, value: int, stop: Optional[str] = None
+    ) -> List[CallEdge]:
+        """Greedy per-edge decoding over the kept subgraph."""
+        if node not in self.graph:
+            raise DecodingError(f"unknown node {node!r}")
+        start = stop if stop is not None else self.graph.entry
+        path: List[CallEdge] = []
+        current = node
+        residual = value
+        while current != start:
+            best: Optional[CallEdge] = None
+            best_av = -1
+            for edge in self.graph.in_edges(current):
+                av = self.av[edge]
+                if best_av < av <= residual:
+                    best = edge
+                    best_av = av
+            if best is None:
+                raise DecodingError(
+                    f"no kept incoming edge of {current!r} matches "
+                    f"residual {residual}"
+                )
+            path.append(best)
+            residual -= best_av
+            current = best.caller
+        if residual != 0:
+            raise DecodingError(
+                f"decoding reached {start!r} with residual {residual}"
+            )
+        path.reverse()
+        return path
+
+
+def encode_pruned_pcce(graph: CallGraph, width: Width) -> PrunedPCCEEncoding:
+    """PCCE numbering with width-driven edge pruning.
+
+    Processing nodes topologically, each incoming edge is *kept* while
+    the node's running context count stays within the width; edges that
+    would push it over are pruned (runtime push points). A node whose
+    kept-edge count is zero (everything pruned, or unreachable) restarts
+    with NC 1 — its contexts are encoded relative to the pushes.
+    """
+    acyclic, removed = remove_recursion(graph)
+    for site in acyclic.virtual_sites:
+        raise EncodingError(
+            f"PCCE edge pruning is defined for monomorphic graphs only; "
+            f"{site} is a virtual call site (use Algorithm 1/2 instead)"
+        )
+
+    nc: Dict[str, int] = {acyclic.entry: 1}
+    av: Dict[CallEdge, int] = {}
+    pruned: List[CallEdge] = []
+    kept_edges: Set[CallEdge] = set()
+
+    for node in topological_order(acyclic):
+        if node == acyclic.entry:
+            continue
+        running = 0
+        for edge in acyclic.in_edges(node):
+            contribution = nc.get(edge.caller, 0)
+            if contribution == 0:
+                # Caller unreachable: the edge never executes as part of
+                # a rooted context; keep it with a zero value.
+                av[edge] = running
+                kept_edges.add(edge)
+                continue
+            if not width.fits(running + contribution - 1):
+                pruned.append(edge)
+                continue
+            av[edge] = running
+            kept_edges.add(edge)
+            running += contribution
+        # Fresh piece start when everything incoming was pruned.
+        nc[node] = running if running > 0 else 1
+
+    encoded_graph = acyclic.without_edges(pruned)
+    return PrunedPCCEEncoding(
+        graph=encoded_graph,
+        back_edges=removed,
+        width=width,
+        nc=nc,
+        av=av,
+        pruned=pruned,
+    )
+
+
+class PrunedPCCEProbe(Probe):
+    """Runtime agent for the pruned encoding.
+
+    Pruned edges (and recursive back edges, which PCCE treats the same
+    way) push a RECURSION-kind entry and reset the ID; kept edges add
+    their per-edge value. ``push_count`` measures the runtime cost the
+    paper attributes to pruning.
+    """
+
+    name = "pcce-pruned"
+
+    def __init__(self, encoding: PrunedPCCEEncoding):
+        self.encoding = encoding
+        self._av: Dict[Tuple[str, Hashable], int] = {
+            (edge.caller, edge.label): value
+            for edge, value in encoding.av.items()
+        }
+        self._push_edges: Set[Tuple[str, Hashable, str]] = {
+            (edge.caller, edge.label, edge.callee)
+            for edge in list(encoding.pruned) + list(encoding.back_edges)
+        }
+        self._id = 0
+        self._stack: List[StackEntry] = []
+        self._records: List[object] = []
+        self.push_count = 0
+        self.add_count = 0
+
+    def begin_execution(self, entry: str) -> None:
+        self._id = 0
+        self._stack.clear()
+        self._records.clear()
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        if (caller, label, callee) in self._push_edges:
+            self._stack.append(
+                StackEntry(
+                    kind=EntryKind.RECURSION,
+                    node=callee,
+                    saved_id=self._id,
+                    site=CallSite(caller, label),
+                )
+            )
+            self._id = 0
+            self.push_count += 1
+            self._records.append("push")
+            return
+        av = self._av.get((caller, label))
+        if av is None:
+            self._records.append(None)
+            return
+        self._id += av
+        self.add_count += 1
+        self._records.append(av)
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        if not self._records:
+            raise RuntimeEncodingError(
+                f"unbalanced after_call at {caller}@{label}"
+            )
+        record = self._records.pop()
+        if record is None:
+            return
+        if record == "push":
+            entry = self._stack.pop()
+            self._id = entry.saved_id
+            return
+        self._id -= record
+
+    def snapshot(self, node: str) -> Tuple[Tuple[StackEntry, ...], int]:
+        return tuple(self._stack), self._id

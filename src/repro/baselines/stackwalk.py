@@ -1,0 +1,45 @@
+"""Stack walking: the classic way to obtain a calling context.
+
+Precise and needs no static analysis, but each observation costs time
+proportional to the stack depth (copying every frame), which is why the
+paper calls it "expensive" for continuous collection. The probe keeps a
+shadow stack of instrumented frames; ``snapshot`` copies it — the per-
+observation O(depth) cost the encodings avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.runtime.probes import Probe
+
+__all__ = ["StackWalkProbe"]
+
+
+class StackWalkProbe(Probe):
+    """Shadow-stack maintenance + O(depth) snapshots."""
+
+    name = "stackwalk"
+
+    def __init__(self, instrumented_nodes: Optional[Set[str]] = None):
+        self._instrumented = instrumented_nodes
+        self._frames: List[str] = []
+        self._pushed: List[bool] = []
+
+    def begin_execution(self, entry: str) -> None:
+        self._frames.clear()
+        self._pushed.clear()
+
+    def enter_function(self, node: str) -> None:
+        tracked = self._instrumented is None or node in self._instrumented
+        self._pushed.append(tracked)
+        if tracked:
+            self._frames.append(node)
+
+    def exit_function(self, node: str) -> None:
+        if self._pushed.pop():
+            self._frames.pop()
+
+    def snapshot(self, node: str) -> Tuple[str, ...]:
+        # The full walk: copies the stack every observation.
+        return tuple(self._frames)

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.bench.collisions import collision_study, render_collision_study
+from repro.bench.figure8 import (
+    CONFIGURATIONS,
+    figure8_row,
+    figure8_summary,
+    generate_figure8,
+    make_probe,
+    render_figure8,
+)
+from repro.bench.opcounts import (
+    HookCounter,
+    generate_opcounts,
+    opcount_row,
+    render_opcounts,
+)
+from repro.bench.paperdata import (
+    INT64_MAX,
+    PAPER_FIGURE8_SUMMARY,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from repro.bench.reporting import geomean, render_table, sci
+from repro.bench.scaling import render_scaling, scaling_rows
+from repro.bench.table1 import generate_table1, render_table1, table1_row
+from repro.bench.table2 import generate_table2, render_table2, table2_row
+from repro.bench.widthsweep import render_width_sweep, width_sweep
+
+__all__ = [
+    "CONFIGURATIONS",
+    "INT64_MAX",
+    "PAPER_FIGURE8_SUMMARY",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "collision_study",
+    "figure8_row",
+    "figure8_summary",
+    "generate_opcounts",
+    "HookCounter",
+    "generate_figure8",
+    "generate_table1",
+    "generate_table2",
+    "geomean",
+    "make_probe",
+    "render_collision_study",
+    "render_scaling",
+    "scaling_rows",
+    "opcount_row",
+    "render_figure8",
+    "render_opcounts",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "sci",
+    "table1_row",
+    "table2_row",
+    "render_width_sweep",
+    "width_sweep",
+]

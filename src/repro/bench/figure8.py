@@ -1,0 +1,158 @@
+"""Figure 8: normalized execution speed under each tracking technique.
+
+The paper plots, per benchmark, throughput normalized against the native
+(uninstrumented) run for PCC, DeltaPath without call path tracking, and
+DeltaPath with call path tracking. We measure interpreter throughput
+(operations/second) under the same four configurations; normalization
+against the native interpreter cancels the substrate constant, so the
+comparison — who is slower than whom, and by roughly how much — carries
+over even though the substrate is a Python interpreter rather than a JVM.
+
+``pytest benchmarks/test_figure8.py --benchmark-only`` produces the
+pytest-benchmark variant; :func:`generate_figure8` is the standalone
+harness used by the CLI and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.bench.paperdata import PAPER_FIGURE8_SUMMARY
+from repro.bench.reporting import Column, geomean, render_table
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import DeltaPathPlan, build_plan
+from repro.runtime.probes import NullProbe, Probe
+from repro.workloads.specjvm import Benchmark, benchmark_names, build_benchmark
+
+__all__ = [
+    "CONFIGURATIONS",
+    "make_probe",
+    "figure8_row",
+    "generate_figure8",
+    "render_figure8",
+    "figure8_summary",
+]
+
+CONFIGURATIONS = ("native", "pcc", "deltapath", "deltapath+cpt")
+
+
+def make_probe(config: str, plan: DeltaPathPlan) -> Probe:
+    """The probe for one Figure 8 configuration."""
+    if config == "native":
+        return NullProbe()
+    if config == "pcc":
+        return PCCProbe(
+            site_constants(plan.graph, instrumented=list(plan.site_av))
+        )
+    if config == "deltapath":
+        return DeltaPathProbe(plan, cpt=False)
+    if config == "deltapath+cpt":
+        return DeltaPathProbe(plan, cpt=True)
+    raise ValueError(f"unknown configuration {config!r}")
+
+
+def _time_run(
+    benchmark: Benchmark, probe: Probe, operations: int, seed: int
+) -> float:
+    interp = benchmark.make_interpreter(probe=probe, seed=seed)
+    interp.run(operations=2)  # warm up caches and class loading
+    start = time.perf_counter()
+    interp.run(operations=operations)
+    return time.perf_counter() - start
+
+
+def figure8_row(
+    name: str,
+    operations: int = 60,
+    repeats: int = 3,
+    seed: int = 1,
+    benchmark: Optional[Benchmark] = None,
+    plan: Optional[DeltaPathPlan] = None,
+) -> dict:
+    """Measure one benchmark under all four configurations.
+
+    Each configuration runs ``repeats`` times; the best (minimum) time is
+    used, the usual noise-robust choice for throughput measurements.
+    Speeds are normalized against native (native = 1.0).
+    """
+    benchmark = benchmark if benchmark is not None else build_benchmark(name)
+    plan = plan if plan is not None else build_plan(
+        benchmark.program, application_only=True
+    )
+    times: Dict[str, float] = {}
+    for config in CONFIGURATIONS:
+        best = min(
+            _time_run(benchmark, make_probe(config, plan), operations, seed)
+            for _ in range(repeats)
+        )
+        times[config] = best
+    native = times["native"]
+    row = {"name": name, "operations": operations}
+    for config in CONFIGURATIONS:
+        row[f"time_{config}"] = times[config]
+        row[f"speed_{config}"] = native / times[config]
+    return row
+
+
+def generate_figure8(
+    names: Optional[Sequence[str]] = None,
+    operations: int = 60,
+    repeats: int = 3,
+    seed: int = 1,
+) -> List[dict]:
+    names = list(names) if names is not None else benchmark_names()
+    return [
+        figure8_row(name, operations=operations, repeats=repeats, seed=seed)
+        for name in names
+    ]
+
+
+def figure8_summary(rows: Sequence[dict]) -> dict:
+    """Geomean slowdowns, the numbers Section 6.2 quotes."""
+    def slowdown(config: str) -> float:
+        return geomean(
+            [row[f"time_{config}"] / row["time_native"] for row in rows]
+        ) - 1.0
+
+    dp = slowdown("deltapath")
+    cpt = slowdown("deltapath+cpt")
+    pcc = slowdown("pcc")
+    return {
+        "deltapath_slowdown": dp,
+        "cpt_extra_slowdown": cpt - dp,
+        "pcc_slowdown": pcc,
+        "pcc_vs_deltapath": pcc - dp,
+        "paper": dict(PAPER_FIGURE8_SUMMARY),
+    }
+
+
+_COLUMNS: List[Column] = [
+    ("name", "program", str),
+    ("speed_native", "native", lambda v: f"{v:.2f}"),
+    ("speed_pcc", "PCC", lambda v: f"{v:.2f}"),
+    ("speed_deltapath", "DeltaPath", lambda v: f"{v:.2f}"),
+    ("speed_deltapath+cpt", "DP w/CPT", lambda v: f"{v:.2f}"),
+]
+
+
+def render_figure8(rows: Sequence[dict]) -> str:
+    table = render_table(
+        rows,
+        _COLUMNS,
+        title="Figure 8: normalized execution speed (native = 1.0)",
+    )
+    summary = figure8_summary(rows)
+    lines = [
+        table,
+        "",
+        f"geomean slowdown: DeltaPath wo/CPT "
+        f"{summary['deltapath_slowdown'] * 100:.1f}% "
+        f"(paper {PAPER_FIGURE8_SUMMARY['deltapath_slowdown'] * 100:.1f}%), "
+        f"CPT extra {summary['cpt_extra_slowdown'] * 100:.1f}% "
+        f"(paper {PAPER_FIGURE8_SUMMARY['cpt_extra_slowdown'] * 100:.1f}%), "
+        f"PCC vs DeltaPath {summary['pcc_vs_deltapath'] * 100:+.1f}% "
+        f"(paper {PAPER_FIGURE8_SUMMARY['pcc_vs_deltapath'] * 100:+.1f}%)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Deterministic instrumentation-cost accounting (Figure 8's companion).
+
+Wall-clock comparisons (Figure 8) are noisy and substrate-dependent; the
+*number of instrumentation operations* each technique executes per
+benchmark operation is exact and reproducible. :class:`HookCounter`
+wraps any probe and counts, per category, how many hook invocations did
+real work (consulted by the wrapped probe's tables); the report shows
+why the techniques cost what they cost:
+
+* PCC: site work only, nothing at entries/exits;
+* DeltaPath wo/CPT: site work + anchor-entry pushes;
+* DeltaPath w/CPT: adds per-entry SID checks and per-site SID writes;
+* stack walking: per-entry/exit work, expensive snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.bench.figure8 import CONFIGURATIONS, make_probe
+from repro.bench.reporting import Column, render_table, sci
+from repro.runtime.plan import DeltaPathPlan, build_plan
+from repro.runtime.probes import Probe
+from repro.workloads.specjvm import Benchmark, build_benchmark
+
+__all__ = ["HookCounter", "opcount_row", "generate_opcounts", "render_opcounts"]
+
+
+class HookCounter(Probe):
+    """Wraps a probe; counts hook invocations and boundary volume."""
+
+    def __init__(self, inner: Probe):
+        self.inner = inner
+        self.name = f"count({inner.name})"
+        self.calls = 0
+        self.entries = 0
+        self.exits = 0
+        self.snapshots = 0
+
+    def begin_execution(self, entry: str) -> None:
+        self.inner.begin_execution(entry)
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        self.calls += 1
+        self.inner.before_call(caller, label, callee)
+
+    def enter_function(self, node: str) -> None:
+        self.entries += 1
+        self.inner.enter_function(node)
+
+    def exit_function(self, node: str) -> None:
+        self.exits += 1
+        self.inner.exit_function(node)
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        self.inner.after_call(caller, label, callee)
+
+    def end_execution(self) -> None:
+        self.inner.end_execution()
+
+    def snapshot(self, node: str):
+        self.snapshots += 1
+        return self.inner.snapshot(node)
+
+
+def opcount_row(
+    name: str,
+    operations: int = 20,
+    seed: int = 1,
+    benchmark: Optional[Benchmark] = None,
+    plan: Optional[DeltaPathPlan] = None,
+) -> dict:
+    """Boundary counts + per-technique instrumented-site coverage."""
+    benchmark = benchmark if benchmark is not None else build_benchmark(name)
+    plan = plan if plan is not None else build_plan(
+        benchmark.program, application_only=True
+    )
+    row: dict = {"name": name, "operations": operations}
+    for config in CONFIGURATIONS:
+        counter = HookCounter(make_probe(config, plan))
+        interp = benchmark.make_interpreter(probe=counter, seed=seed)
+        interp.run(operations=operations)
+        row[f"calls_{config}"] = counter.calls
+        # Deterministic: identical workloads regardless of probe.
+        row["boundary_calls"] = counter.calls
+    # Instrumented-site executions (the work DeltaPath actually does):
+    # count dynamic hits of instrumented sites with a dedicated pass.
+    from repro.runtime.profiling import EdgeProfiler
+
+    profiler = EdgeProfiler()
+    benchmark.make_interpreter(probe=profiler, seed=seed).run(
+        operations=operations
+    )
+    instrumented_keys = set(plan.site_av)
+    instrumented_hits = sum(
+        count
+        for (caller, label, _callee), count in profiler.counts.items()
+        if (caller, label) in instrumented_keys
+    )
+    row["instrumented_site_hits"] = instrumented_hits
+    row["uninstrumented_hits"] = row["boundary_calls"] - instrumented_hits
+    row["instrumented_fraction"] = (
+        instrumented_hits / row["boundary_calls"]
+        if row["boundary_calls"]
+        else 0.0
+    )
+    return row
+
+
+def generate_opcounts(
+    names: Optional[Sequence[str]] = None,
+    operations: int = 20,
+    seed: int = 1,
+) -> List[dict]:
+    from repro.workloads.specjvm import benchmark_names
+
+    names = list(names) if names is not None else benchmark_names()
+    return [
+        opcount_row(name, operations=operations, seed=seed) for name in names
+    ]
+
+
+_COLUMNS: List[Column] = [
+    ("name", "program", str),
+    ("boundary_calls", "calls", sci),
+    ("instrumented_site_hits", "instrumented", sci),
+    ("uninstrumented_hits", "skipped", sci),
+    ("instrumented_fraction", "coverage", lambda v: f"{v:.0%}"),
+]
+
+
+def render_opcounts(rows: Sequence[dict]) -> str:
+    return render_table(
+        rows,
+        _COLUMNS,
+        title="Instrumentation volume per benchmark operation "
+        "(encoding-application setting)",
+    )

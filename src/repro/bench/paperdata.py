@@ -1,0 +1,113 @@
+"""The paper's published numbers (Tables 1-2, Section 6 text).
+
+Kept verbatim so harness output can print paper-vs-measured side by side
+and shape checks can assert the qualitative claims:
+
+* Table 1: sunflow and xml.validation exceed 64-bit encoding and need
+  6 / 7 anchors; encoding-application spaces are drastically smaller.
+* Figure 8 (text): DeltaPath wo/CPT averages 32.51% slowdown; CPT adds
+  6.79%; PCC is within ~0.5% of DeltaPath wo/CPT.
+* Table 2: PCC's unique-context counts trail DeltaPath's (collisions);
+  stack depths average 1-4.4 vs context depths 5.1-21.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["PaperTable1Row", "PaperTable2Row", "PAPER_TABLE1", "PAPER_TABLE2",
+           "PAPER_FIGURE8_SUMMARY", "INT64_MAX"]
+
+INT64_MAX = 2 ** 63 - 1
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    name: str
+    size_bytes: int
+    all_nodes: int
+    all_edges: int
+    all_cs: int
+    all_vcs: int
+    all_max_id: float
+    app_nodes: int
+    app_edges: int
+    app_cs: int
+    app_vcs: int
+    app_max_id: float
+
+    @property
+    def needs_anchors(self) -> bool:
+        return self.all_max_id > INT64_MAX
+
+
+@dataclass(frozen=True)
+class PaperTable2Row:
+    name: str
+    total_contexts: int
+    max_depth: int
+    avg_depth: float
+    pcc_unique: int
+    dp_unique: int
+    stack_max_depth: int
+    stack_avg_depth: float
+    max_ucp: int
+    avg_ucp: float
+    max_id: int
+
+
+PAPER_TABLE1: Dict[str, PaperTable1Row] = {
+    r.name: r
+    for r in [
+        PaperTable1Row("compiler.compiler", 114_000, 2308, 7329, 7003, 2839, 7.8e7, 112, 77, 93, 31, 12),
+        PaperTable1Row("compiler.sunflow", 85_000, 1846, 4185, 5511, 2490, 9.6e7, 117, 83, 104, 43, 12),
+        PaperTable1Row("compress", 59_000, 1298, 2675, 3391, 1394, 4e5, 98, 65, 93, 57, 32),
+        PaperTable1Row("crypto.aes", 133_000, 2656, 8201, 8369, 3487, 2.5e9, 99, 69, 91, 40, 25),
+        PaperTable1Row("crypto.rsa", 133_000, 2656, 8204, 8386, 3500, 3.6e8, 99, 76, 96, 41, 16),
+        PaperTable1Row("crypto.signverify", 135_000, 2694, 8290, 8548, 3576, 2.5e9, 96, 68, 108, 47, 37),
+        PaperTable1Row("mpegaudio", 261_000, 3132, 9734, 9579, 4116, 3.3e14, 252, 284, 497, 317, 130),
+        PaperTable1Row("scimark.fft.large", 57_000, 1279, 2636, 3321, 1347, 4e5, 78, 37, 41, 19, 5),
+        PaperTable1Row("scimark.lu.large", 57_000, 1273, 2616, 3304, 1331, 2.2e6, 76, 34, 40, 10, 4),
+        PaperTable1Row("scimark.monte_carlo", 56_000, 1260, 2590, 3262, 1311, 1.4e6, 62, 22, 24, 10, 4),
+        PaperTable1Row("scimark.sor.large", 57_000, 1269, 2614, 3303, 1339, 1.4e6, 73, 28, 32, 10, 4),
+        PaperTable1Row("scimark.sparse.large", 57_000, 1265, 2605, 3291, 1330, 2.2e6, 69, 26, 31, 9, 4),
+        PaperTable1Row("sunflow", 458_000, 7727, 25485, 27135, 13348, 4.4e21, 1069, 2093, 2995, 1485, 1.2e6),
+        PaperTable1Row("xml.transform", 752_000, 9766, 38010, 44266, 24969, 1.2e17, 1908, 4389, 6035, 2162, 1.2e10),
+        PaperTable1Row("xml.validation", 478_000, 6703, 23092, 28333, 15493, 4.6e19, 102, 75, 97, 38, 17),
+    ]
+}
+
+#: Anchor counts the paper reports for the two overflowing benchmarks.
+PAPER_ANCHORS = {"sunflow": 6, "xml.validation": 7}
+
+PAPER_TABLE2: Dict[str, PaperTable2Row] = {
+    r.name: r
+    for r in [
+        PaperTable2Row("compiler.compiler", 92_634, 15, 5.1, 141, 165, 11, 2.3, 3, 1.8, 4),
+        PaperTable2Row("compiler.sunflow", 63_705, 12, 5.4, 156, 185, 8, 2.3, 2, 1.6, 4),
+        PaperTable2Row("compress", 3_243_640_985, 12, 10.0, 113, 114, 2, 1.0, 2, 0.0, 31),
+        PaperTable2Row("crypto.aes", 14_431, 9, 5.6, 194, 217, 2, 1.6, 2, 1.0, 15),
+        PaperTable2Row("crypto.rsa", 538_625, 9, 6.0, 156, 179, 2, 2.0, 2, 1.0, 9),
+        PaperTable2Row("crypto.signverify", 541_682, 9, 6.0, 228, 242, 2, 2.0, 2, 1.0, 23),
+        PaperTable2Row("mpegaudio", 2_489_700_943, 17, 13.4, 389, 427, 3, 1.0, 2, 0.0, 66),
+        PaperTable2Row("scimark.fft.large", 566_237_360, 12, 10.0, 65, 101, 3, 1.0, 2, 0.0, 4),
+        PaperTable2Row("scimark.lu.large", 188_838_329, 10, 10.0, 53, 54, 2, 1.0, 2, 0.0, 2),
+        PaperTable2Row("scimark.monte_carlo", 5_033_167_760, 11, 10.0, 34, 35, 2, 1.0, 2, 0.0, 1),
+        PaperTable2Row("scimark.sor.large", 293_603_875, 10, 10.0, 48, 67, 3, 1.0, 2, 0.0, 2),
+        PaperTable2Row("scimark.sparse.large", 252_002_429, 11, 10.0, 46, 47, 2, 1.0, 2, 0.0, 2),
+        PaperTable2Row("sunflow", 2_840_077_292, 39, 21.8, 196_612, 200_452, 26, 4.4, 3, 1.0, 842_711),
+        PaperTable2Row("xml.transform", 92_333_406, 55, 15.5, 24_422, 24_556, 25, 3.1, 3, 0.1, 66_412),
+        PaperTable2Row("xml.validation", 12_900_727, 11, 9.0, 127, 141, 2, 2.0, 2, 1.0, 5),
+    ]
+}
+
+#: Section 6.2 summary numbers (geometric means over the suite).
+PAPER_FIGURE8_SUMMARY = {
+    "deltapath_slowdown": 0.3251,       # wo/CPT average slowdown
+    "cpt_extra_slowdown": 0.0679,       # additional with call path tracking
+    "pcc_vs_deltapath": 0.005,          # PCC ~0.5% above DeltaPath wo/CPT
+    "jikes_pcc_avg": 0.03,              # original PCC inside Jikes RVM
+    "breadcrumbs_accurate_overhead": 1.0,   # ~100% for "very accurate"
+    "breadcrumbs_moderate_extra": 0.20,     # +20% over PCC, lossy decoding
+}

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, Union
+
+__all__ = ["Column", "render_table", "sci", "geomean"]
+
+Column = Tuple[str, str, Callable[[object], str]]
+
+
+def sci(value: Union[int, float, None]) -> str:
+    """Compact numeric formatting: integers plain, big numbers 1.2e17."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 1e-3:
+        return f"{value:.1e}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def render_table(
+    rows: Sequence[dict], columns: Sequence[Column], title: str = ""
+) -> str:
+    """Render dict rows into an aligned text table.
+
+    ``columns`` is a sequence of (key, header, formatter).
+    """
+    headers = [header for _, header, _ in columns]
+    rendered: List[List[str]] = [headers]
+    for row in rows:
+        rendered.append(
+            [fmt(row.get(key)) for key, _, fmt in columns]
+        )
+    widths = [
+        max(len(line[i]) for line in rendered) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for index, line in enumerate(rendered):
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        )
+        if index == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's averaging for Figure 8)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,104 @@
+"""Table 1: static program characteristics, encoding-all vs -application.
+
+For each synthetic benchmark this reports, for both settings, the number
+of call-graph nodes and edges, instrumented call sites (CS), virtual call
+sites (VCS), the static maximum encoding ID (the encoding space needed,
+computed with an unbounded integer so the true requirement is visible),
+and the number of anchor nodes Algorithm 2 inserts for a 64-bit integer.
+
+The paper's numbers are attached to each row for side-by-side output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.bench.paperdata import INT64_MAX, PAPER_TABLE1
+from repro.bench.reporting import Column, render_table, sci
+from repro.core.anchored import encode_anchored
+from repro.core.selective import project_interesting, reattach_orphans
+from repro.core.widths import UNBOUNDED, W64
+from repro.graph.callgraph import CallGraph
+from repro.workloads.specjvm import Benchmark, benchmark_names, build_benchmark
+
+__all__ = ["table1_row", "generate_table1", "render_table1"]
+
+
+def _characterize(graph: CallGraph) -> dict:
+    """Static columns for one graph under one setting."""
+    unbounded = encode_anchored(graph, width=UNBOUNDED)
+    w64 = encode_anchored(graph, width=W64)
+    return {
+        "nodes": len(graph),
+        "edges": graph.num_edges,
+        "cs": len(graph.call_sites),
+        "vcs": len(graph.virtual_sites),
+        "max_id": float(unbounded.max_id),
+        "overflows_64bit": unbounded.max_id > INT64_MAX,
+        "anchors_64bit": len(w64.extra_anchors),
+    }
+
+
+def table1_row(name: str, benchmark: Optional[Benchmark] = None) -> dict:
+    """One benchmark's Table 1 row (both settings + paper reference)."""
+    benchmark = benchmark if benchmark is not None else build_benchmark(name)
+    graph = build_callgraph(benchmark.program)
+    app_selection = project_interesting(
+        graph, lambda n: not graph.node_attrs(n).get("library", False)
+    )
+    app_graph = reattach_orphans(app_selection)
+
+    row = {"name": name}
+    for prefix, characterized in (
+        ("all", _characterize(graph)),
+        ("app", _characterize(app_graph)),
+    ):
+        for key, value in characterized.items():
+            row[f"{prefix}_{key}"] = value
+
+    paper = PAPER_TABLE1.get(name)
+    if paper is not None:
+        row["paper_all_nodes"] = paper.all_nodes
+        row["paper_all_max_id"] = paper.all_max_id
+        row["paper_app_nodes"] = paper.app_nodes
+        row["paper_app_max_id"] = paper.app_max_id
+        row["paper_needs_anchors"] = paper.needs_anchors
+    return row
+
+
+def generate_table1(names: Optional[Sequence[str]] = None) -> List[dict]:
+    names = list(names) if names is not None else benchmark_names()
+    return [table1_row(name) for name in names]
+
+
+_COLUMNS: List[Column] = [
+    ("name", "program", str),
+    ("all_nodes", "nodes", sci),
+    ("all_edges", "edges", sci),
+    ("all_cs", "CS", sci),
+    ("all_vcs", "VCS", sci),
+    ("all_max_id", "max ID", sci),
+    ("anchors", "anchors", str),
+    ("app_nodes", "app nodes", sci),
+    ("app_cs", "app CS", sci),
+    ("app_max_id", "app max ID", sci),
+    ("paper_all_max_id", "paper max ID", sci),
+    ("paper_app_max_id", "paper app ID", sci),
+]
+
+
+def render_table1(rows: Sequence[dict]) -> str:
+    display = []
+    for row in rows:
+        shown = dict(row)
+        shown["anchors"] = (
+            str(row["all_anchors_64bit"]) if row["all_overflows_64bit"] else "-"
+        )
+        display.append(shown)
+    return render_table(
+        display,
+        _COLUMNS,
+        title="Table 1: static program characteristics "
+        "(encoding-all / encoding-application)",
+    )

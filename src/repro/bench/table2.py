@@ -1,0 +1,121 @@
+"""Table 2: dynamic program characteristics.
+
+For each benchmark the harness runs the same deterministic workload twice
+— once under the DeltaPath agent (with CPT) and once under PCC (probes
+consume no randomness, so both runs execute identical call sequences) —
+collecting contexts at every instrumented application-function entry,
+then reports the paper's columns:
+
+    total contexts, max/avg context depth,
+    unique contexts under PCC, unique contexts under DeltaPath,
+    DeltaPath stack max/avg depth, max/avg hazardous UCPs per context,
+    max dynamic encoding ID.
+
+Operation counts are scaled (the paper runs up to 5e9 context events; the
+default here is a few hundred operations ~ 1e4-1e5 events) — documented
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.bench.paperdata import PAPER_TABLE2
+from repro.bench.reporting import Column, render_table, sci
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import ContextCollector
+from repro.runtime.plan import DeltaPathPlan, build_plan
+from repro.workloads.specjvm import Benchmark, benchmark_names, build_benchmark
+
+__all__ = ["table2_row", "generate_table2", "render_table2"]
+
+DEFAULT_OPERATIONS = 120
+
+
+def table2_row(
+    name: str,
+    operations: int = DEFAULT_OPERATIONS,
+    seed: int = 1,
+    benchmark: Optional[Benchmark] = None,
+    plan: Optional[DeltaPathPlan] = None,
+) -> dict:
+    """Run one benchmark under DeltaPath and PCC; return the row."""
+    benchmark = benchmark if benchmark is not None else build_benchmark(name)
+    plan = plan if plan is not None else build_plan(
+        benchmark.program, application_only=True
+    )
+    interest = plan.instrumented_nodes
+
+    # DeltaPath (with call path tracking) run.
+    dp_probe = DeltaPathProbe(plan, cpt=True)
+    dp_collector = ContextCollector(interest=interest)
+    benchmark.make_interpreter(
+        probe=dp_probe, seed=seed, collector=dp_collector
+    ).run(operations=operations)
+    dp = dp_collector.stats()
+
+    # PCC run over the same instrumented call-site set, same seed.
+    pcc_probe = PCCProbe(
+        site_constants(plan.graph, instrumented=list(plan.site_av))
+    )
+    pcc_collector = ContextCollector(interest=interest)
+    benchmark.make_interpreter(
+        probe=pcc_probe, seed=seed, collector=pcc_collector
+    ).run(operations=operations)
+    pcc = pcc_collector.stats()
+
+    row = {
+        "name": name,
+        "operations": operations,
+        "total_contexts": dp.total_contexts,
+        "max_depth": dp.max_depth,
+        "avg_depth": dp.avg_depth,
+        "pcc_unique": pcc.unique_encodings,
+        "dp_unique": dp.unique_encodings,
+        "stack_max_depth": dp.max_stack_depth,
+        "stack_avg_depth": dp.avg_stack_depth,
+        "max_ucp": dp.max_ucp,
+        "avg_ucp": dp.avg_ucp,
+        "max_id": dp.max_id,
+        "ucp_detections": dp_probe.ucp_detections,
+    }
+    paper = PAPER_TABLE2.get(name)
+    if paper is not None:
+        row["paper_pcc_unique"] = paper.pcc_unique
+        row["paper_dp_unique"] = paper.dp_unique
+        row["paper_max_id"] = paper.max_id
+        row["paper_avg_depth"] = paper.avg_depth
+    return row
+
+
+def generate_table2(
+    names: Optional[Sequence[str]] = None,
+    operations: int = DEFAULT_OPERATIONS,
+    seed: int = 1,
+) -> List[dict]:
+    names = list(names) if names is not None else benchmark_names()
+    return [table2_row(name, operations=operations, seed=seed) for name in names]
+
+
+_COLUMNS: List[Column] = [
+    ("name", "program", str),
+    ("total_contexts", "contexts", sci),
+    ("max_depth", "max d", sci),
+    ("avg_depth", "avg d", sci),
+    ("pcc_unique", "PCC uniq", sci),
+    ("dp_unique", "DP uniq", sci),
+    ("stack_max_depth", "stk max", sci),
+    ("stack_avg_depth", "stk avg", sci),
+    ("max_ucp", "UCP max", sci),
+    ("avg_ucp", "UCP avg", sci),
+    ("max_id", "max ID", sci),
+    ("paper_dp_unique", "paper uniq", sci),
+    ("paper_max_id", "paper maxID", sci),
+]
+
+
+def render_table2(rows: Sequence[dict]) -> str:
+    return render_table(
+        rows, _COLUMNS, title="Table 2: dynamic program characteristics"
+    )

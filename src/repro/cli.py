@@ -1,0 +1,206 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1 [--benchmarks compress sunflow]
+    python -m repro table2 [--operations 120] [--seed 1]
+    python -m repro figure8 [--operations 60] [--repeats 3]
+    python -m repro collisions [--benchmark sunflow]
+    python -m repro widths [--benchmark xml.validation]
+    python -m repro opcounts [--benchmarks ...]
+    python -m repro scaling [--benchmark crypto.rsa]
+    python -m repro decode-demo
+    python -m repro list
+
+``deltapath-repro`` (the installed console script) is the same program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.workloads.specjvm import benchmark_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deltapath-repro",
+        description=(
+            "DeltaPath (CGO 2014) reproduction: regenerate the paper's "
+            "tables and figures on synthetic SPECjvm-shaped benchmarks."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="static program characteristics")
+    p1.add_argument("--benchmarks", nargs="*", default=None)
+
+    p2 = sub.add_parser("table2", help="dynamic program characteristics")
+    p2.add_argument("--benchmarks", nargs="*", default=None)
+    p2.add_argument("--operations", type=int, default=120)
+    p2.add_argument("--seed", type=int, default=1)
+
+    p8 = sub.add_parser("figure8", help="normalized execution speeds")
+    p8.add_argument("--benchmarks", nargs="*", default=None)
+    p8.add_argument("--operations", type=int, default=60)
+    p8.add_argument("--repeats", type=int, default=3)
+    p8.add_argument("--seed", type=int, default=1)
+
+    pc = sub.add_parser(
+        "collisions", help="PCC hash-collision study (Table 2's gap)"
+    )
+    pc.add_argument("--benchmark", default="sunflow")
+    pc.add_argument("--operations", type=int, default=40)
+
+    pw = sub.add_parser(
+        "widths", help="anchor count vs integer width (scalability)"
+    )
+    pw.add_argument("--benchmark", default="xml.validation")
+    pw.add_argument("--widths", nargs="*", type=int, default=None)
+
+    po = sub.add_parser(
+        "opcounts", help="instrumentation volume per benchmark operation"
+    )
+    po.add_argument("--benchmarks", nargs="*", default=None)
+    po.add_argument("--operations", type=int, default=20)
+
+    ps = sub.add_parser(
+        "scaling", help="statistics stability across operation counts"
+    )
+    ps.add_argument("--benchmark", default="crypto.rsa")
+    ps.add_argument("--scales", nargs="*", type=int, default=None)
+
+    sub.add_parser("list", help="list available benchmarks")
+    sub.add_parser(
+        "decode-demo",
+        help="encode and decode a context on the paper's Figure 5 graph",
+    )
+    return parser
+
+
+def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
+    if names is None or not names:
+        return None
+    known = set(benchmark_names())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        sys.exit(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"use 'list' to see the suite"
+        )
+    return names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("\n".join(benchmark_names()))
+        return 0
+
+    if args.command == "table1":
+        from repro.bench.table1 import generate_table1, render_table1
+
+        rows = generate_table1(_validate_benchmarks(args.benchmarks))
+        print(render_table1(rows))
+        return 0
+
+    if args.command == "table2":
+        from repro.bench.table2 import generate_table2, render_table2
+
+        rows = generate_table2(
+            _validate_benchmarks(args.benchmarks),
+            operations=args.operations,
+            seed=args.seed,
+        )
+        print(render_table2(rows))
+        return 0
+
+    if args.command == "figure8":
+        from repro.bench.figure8 import generate_figure8, render_figure8
+
+        rows = generate_figure8(
+            _validate_benchmarks(args.benchmarks),
+            operations=args.operations,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        print(render_figure8(rows))
+        return 0
+
+    if args.command == "collisions":
+        from repro.bench.collisions import collision_study, render_collision_study
+
+        rows = collision_study(args.benchmark, operations=args.operations)
+        print(render_collision_study(rows))
+        return 0
+
+    if args.command == "opcounts":
+        from repro.bench.opcounts import generate_opcounts, render_opcounts
+
+        rows = generate_opcounts(
+            _validate_benchmarks(args.benchmarks),
+            operations=args.operations,
+        )
+        print(render_opcounts(rows))
+        return 0
+
+    if args.command == "scaling":
+        from repro.bench.scaling import render_scaling, scaling_rows
+
+        rows = scaling_rows(
+            args.benchmark,
+            scales=tuple(args.scales) if args.scales else (15, 30, 60, 120),
+        )
+        print(render_scaling(rows))
+        return 0
+
+    if args.command == "widths":
+        from repro.bench.widthsweep import render_width_sweep, width_sweep
+
+        rows = width_sweep(
+            args.benchmark,
+            widths=tuple(args.widths) if args.widths else (16, 24, 32, 48, 64),
+        )
+        print(render_width_sweep(rows))
+        return 0
+
+    if args.command == "decode-demo":
+        _decode_demo()
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+def _decode_demo() -> None:
+    """The paper's Figure 5 walkthrough, end to end, on stdout."""
+    from repro.core.anchored import encode_anchored
+    from repro.core.widths import UNBOUNDED
+    from repro.graph.callgraph import CallEdge
+    from repro.workloads.paperfigures import figure5_anchors, figure5_graph
+
+    graph = figure5_graph()
+    encoding = encode_anchored(
+        graph, width=UNBOUNDED, initial_anchors=figure5_anchors()
+    )
+    print("Figure 5 graph with anchors:", ", ".join(encoding.anchors))
+    context = (
+        CallEdge("A", "C", "a2"),
+        CallEdge("C", "F", "c2"),
+        CallEdge("F", "G", "f1"),
+    )
+    stack, current = encoding.encode_context(context)
+    print(f"context A->C->F->G encodes to stack={list(stack)} id={current}")
+    decoded = encoding.decode_context("G", stack, current)
+    print(
+        "decoded back:",
+        " -> ".join([decoded[0].caller] + [e.callee for e in decoded]),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

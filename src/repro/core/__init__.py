@@ -1,0 +1,69 @@
+"""The paper's primary contribution: DeltaPath encoding algorithms."""
+
+from repro.core.anchored import AnchoredEncoding, encode_anchored
+from repro.core.anchorplan import suggest_anchors
+from repro.core.hybrid import (
+    HybridDecoder,
+    HybridPlan,
+    HybridProbe,
+    build_hybrid_plan,
+    trunk_from_profile,
+)
+from repro.core.decoder import ContextDecoder, DecodedContext, Segment
+from repro.core.deltapath import DeltaPathEncoding, encode_deltapath
+from repro.core.pcce import PCCEEncoding, encode_pcce
+from repro.core.pruned import RelativeContextLog, prune_for_targets
+from repro.core.recursion import RecursionPlan, plan_recursion
+from repro.core.selective import (
+    SelectionResult,
+    project_interesting,
+    reattach_orphans,
+)
+from repro.core.sid import SidTable, compute_sids
+from repro.core.stackmodel import EntryKind, StackEntry, pack_entry, unpack_entry
+from repro.core.territories import Territories, identify_territories
+from repro.core.verify import VerificationReport, verify_encoding
+from repro.core.visualize import encoding_dot
+from repro.core.widths import UNBOUNDED, W8, W16, W32, W64, Width
+
+__all__ = [
+    "AnchoredEncoding",
+    "ContextDecoder",
+    "DecodedContext",
+    "DeltaPathEncoding",
+    "EntryKind",
+    "HybridDecoder",
+    "HybridPlan",
+    "HybridProbe",
+    "PCCEEncoding",
+    "RecursionPlan",
+    "RelativeContextLog",
+    "Segment",
+    "SelectionResult",
+    "SidTable",
+    "StackEntry",
+    "Territories",
+    "UNBOUNDED",
+    "VerificationReport",
+    "W16",
+    "W32",
+    "W64",
+    "W8",
+    "Width",
+    "compute_sids",
+    "encode_anchored",
+    "encode_deltapath",
+    "encode_pcce",
+    "encoding_dot",
+    "build_hybrid_plan",
+    "prune_for_targets",
+    "trunk_from_profile",
+    "identify_territories",
+    "pack_entry",
+    "plan_recursion",
+    "project_interesting",
+    "reattach_orphans",
+    "unpack_entry",
+    "suggest_anchors",
+    "verify_encoding",
+]

@@ -1,0 +1,326 @@
+"""DeltaPath Algorithm 2: encoding that resolves encoding-space explosion.
+
+The number of calling contexts grows exponentially with call-graph size,
+so the addition values of Algorithm 1 can overflow any machine integer.
+Algorithm 2 picks *anchor nodes* that cut long contexts into pieces, each
+encodable within a fixed :class:`~repro.core.widths.Width`:
+
+* ``An`` starts as ``{main}``. Whenever computing a candidate addition
+  value would overflow while processing an edge ``<p, n, l>``, ``p`` is
+  added to ``An`` and the whole static analysis restarts.
+* CAV and ICC become two-dimensional — indexed by (node, anchor) — scoped
+  by anchor territories (:mod:`repro.core.territories`), because several
+  anchors' territories overlap and a call site needs one addition value
+  valid relative to every anchor that can reach it.
+* At runtime, entering an anchor pushes ``(anchor id, current ID)`` and
+  resets the ID to 0; returning pops. Each stack level plus the final ID
+  encodes one piece of the context.
+
+Extension beyond the paper (documented in DESIGN.md): if an overflow
+recurs on an edge whose caller is *already* an anchor, the paper's Line 15
+would loop forever. We then anchor all non-anchor callers of the target
+node's incoming edges; if there is nothing left to anchor the width is
+genuinely too small for the graph's in-degrees and we raise
+:class:`~repro.errors.EncodingOverflowError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.territories import Territories, identify_territories
+from repro.core.widths import UNBOUNDED, Width
+from repro.errors import DecodingError, EncodingError, EncodingOverflowError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.scc import remove_recursion
+from repro.graph.topo import topological_order
+
+__all__ = ["AnchoredEncoding", "encode_anchored"]
+
+
+class _Overflow(Exception):
+    """Internal signal: processing this site overflowed (paper's -1)."""
+
+    def __init__(self, edge: CallEdge):
+        super().__init__(str(edge))
+        self.edge = edge
+
+
+@dataclass
+class AnchoredEncoding:
+    """Result of Algorithm 2 for a specific integer width."""
+
+    graph: CallGraph
+    back_edges: List[CallEdge]
+    width: Width
+    anchors: List[str]
+    territories: Territories
+    #: ICC[(node, anchor)] — encoding-space bound for non-anchor nodes;
+    #: for anchor nodes only (a, a) -> 1 is present (paper Line 21).
+    icc: Dict[Tuple[str, str], int]
+    #: Final CAV table: upper bound of the encoding value observable *at
+    #: the entry of* node n relative to anchor r, including anchor nodes
+    #: (used to verify pushed IDs stay in range).
+    bound: Dict[Tuple[str, str], int]
+    av: Dict[CallSite, int]
+    restarts: int
+
+    # ------------------------------------------------------------------
+    # Instrumentation queries
+    # ------------------------------------------------------------------
+    def site_increment(self, site: CallSite) -> int:
+        try:
+            return self.av[site]
+        except KeyError:
+            raise EncodingError(f"call site {site} was not encoded") from None
+
+    def edge_increment(self, edge: CallEdge) -> int:
+        return self.site_increment(edge.site)
+
+    def is_anchor(self, node: str) -> bool:
+        return node in self._anchor_set
+
+    @property
+    def _anchor_set(self) -> Set[str]:
+        cached = getattr(self, "_anchor_set_cache", None)
+        if cached is None:
+            cached = set(self.anchors)
+            object.__setattr__(self, "_anchor_set_cache", cached)
+        return cached
+
+    @property
+    def max_id(self) -> int:
+        """Largest encoding value any single piece can take (static)."""
+        best = 1
+        for value in self.icc.values():
+            if value > best:
+                best = value
+        for value in self.bound.values():
+            if value > best:
+                best = value
+        return best - 1
+
+    @property
+    def extra_anchors(self) -> List[str]:
+        """Anchors beyond the entry (the count Table 1 reports: 6 / 7)."""
+        return [a for a in self.anchors if a != self.graph.entry]
+
+    # ------------------------------------------------------------------
+    # Reference encoding / decoding of whole contexts
+    # ------------------------------------------------------------------
+    def encode_context(
+        self, context: Tuple[CallEdge, ...]
+    ) -> Tuple[Tuple[Tuple[str, int], ...], int]:
+        """Encode a full context into ``(stack, current_id)``.
+
+        The stack holds ``(anchor, saved_id)`` pairs bottom-up, exactly
+        what the runtime maintains: invoking an anchor pushes the current
+        ID (after the incoming edge's addition) and resets to 0.
+        """
+        stack: List[Tuple[str, int]] = []
+        current = 0
+        for edge in context:
+            current += self.site_increment(edge.site)
+            if edge.callee in self._anchor_set:
+                stack.append((edge.callee, current))
+                current = 0
+        return tuple(stack), current
+
+    def decode_piece(
+        self,
+        node: str,
+        value: int,
+        anchor: str,
+        stop: Optional[str] = None,
+    ) -> List[CallEdge]:
+        """Decode one piece: a path from ``stop`` (default: ``anchor``)
+        to ``node``, whose edges lie in ``anchor``'s territory."""
+        start = stop if stop is not None else anchor
+        path: List[CallEdge] = []
+        current = node
+        residual = value
+        while current != start:
+            best: Optional[CallEdge] = None
+            best_av = -1
+            for edge in self.graph.in_edges(current):
+                if anchor not in self.territories.edge_anchors(edge):
+                    continue
+                av = self.av[edge.site]
+                if best_av < av <= residual:
+                    best = edge
+                    best_av = av
+            if best is None:
+                raise DecodingError(
+                    f"no incoming edge of {current!r} in territory of "
+                    f"{anchor!r} matches residual {residual}"
+                )
+            path.append(best)
+            residual -= best_av
+            current = best.caller
+        if residual != 0:
+            raise DecodingError(
+                f"piece decoding reached {start!r} with residual {residual}"
+            )
+        path.reverse()
+        return path
+
+    def decode_context(
+        self, node: str, stack: Iterable[Tuple[str, int]], value: int
+    ) -> List[CallEdge]:
+        """Decode a full context from ``(stack, current id)``.
+
+        Mirrors the paper's Section 3.2 decoding: recover the deepest
+        piece from the current ID and the stack-top anchor, pop, repeat.
+        """
+        entries = list(stack)
+        pieces: List[List[CallEdge]] = []
+        current_node = node
+        current_value = value
+        while entries:
+            anchor, saved = entries.pop()
+            pieces.append(
+                self.decode_piece(current_node, current_value, anchor)
+            )
+            current_node = anchor
+            current_value = saved
+        pieces.append(
+            self.decode_piece(current_node, current_value, self.graph.entry)
+        )
+        path: List[CallEdge] = []
+        for piece in reversed(pieces):
+            path.extend(piece)
+        return path
+
+
+def encode_anchored(
+    graph: CallGraph,
+    width: Width = UNBOUNDED,
+    initial_anchors: Iterable[str] = (),
+    max_restarts: Optional[int] = None,
+    edge_priority: Optional[Callable[[CallEdge], float]] = None,
+) -> AnchoredEncoding:
+    """Run Algorithm 2 until no addition value overflows ``width``.
+
+    ``initial_anchors`` lets callers seed extra anchors (the hybrid
+    encoding of Section 8 anchors the PCC trunk this way). ``max_restarts``
+    guards pathological widths; the default allows one restart per node.
+    ``edge_priority`` orders incoming-edge processing (higher first) —
+    prioritized (hot) edges receive the small/zero addition values.
+    """
+    acyclic, removed = remove_recursion(graph)
+    entry = acyclic.entry
+    anchors: List[str] = [entry]
+    for extra in initial_anchors:
+        if extra not in acyclic:
+            raise EncodingError(f"initial anchor {extra!r} is not a node")
+        if extra not in anchors:
+            anchors.append(extra)
+    if max_restarts is None:
+        max_restarts = len(acyclic.nodes) + 1
+
+    restarts = 0
+    while True:
+        try:
+            return _encode_once(
+                acyclic, removed, width, anchors, restarts, edge_priority
+            )
+        except _Overflow as overflow:
+            restarts += 1
+            if restarts > max_restarts:
+                raise EncodingOverflowError(
+                    f"gave up after {restarts - 1} restarts (width {width})"
+                )
+            _grow_anchors(acyclic, anchors, overflow.edge, width)
+
+
+def _grow_anchors(
+    graph: CallGraph, anchors: List[str], edge: CallEdge, width: Width
+) -> None:
+    """Paper Line 15 (+ the already-anchored fallback described above)."""
+    anchor_set = set(anchors)
+    if edge.caller not in anchor_set:
+        anchors.append(edge.caller)
+        return
+    added = False
+    for incoming in graph.in_edges(edge.callee):
+        if incoming.caller not in anchor_set:
+            anchors.append(incoming.caller)
+            anchor_set.add(incoming.caller)
+            added = True
+    if not added:
+        raise EncodingOverflowError(
+            f"width {width} cannot encode edge {edge}: all callers of "
+            f"{edge.callee!r} are already anchors"
+        )
+
+
+def _encode_once(
+    acyclic: CallGraph,
+    removed_back_edges: List[CallEdge],
+    width: Width,
+    anchors: List[str],
+    restarts: int,
+    edge_priority: Optional[Callable[[CallEdge], float]] = None,
+) -> AnchoredEncoding:
+    """One pass of Algorithm 2's main loop for a fixed anchor set."""
+    territories = identify_territories(acyclic, anchors)
+    anchor_set = set(anchors)
+
+    cav: Dict[Tuple[str, str], int] = {}
+    for node, reaching in territories.nanchors.items():
+        for anchor in reaching:
+            cav[(node, anchor)] = 0
+    icc: Dict[Tuple[str, str], int] = {}
+    av: Dict[CallSite, int] = {}
+    processed: Set[CallSite] = set()
+
+    def calculate_increment(site: CallSite) -> int:
+        edges = acyclic.site_targets(site)
+        a = 0
+        for edge in edges:
+            for anchor in territories.edge_anchors(edge):
+                candidate = cav.get((edge.callee, anchor), 0)
+                if candidate > a:
+                    a = candidate
+        for edge in edges:
+            for anchor in territories.edge_anchors(edge):
+                caller_icc = icc[(edge.caller, anchor)]
+                value = caller_icc + a
+                if not width.fits(value):
+                    raise _Overflow(edge)
+                cav[(edge.callee, anchor)] = value
+        return a
+
+    for node in topological_order(acyclic):
+        incoming = acyclic.in_edges(node)
+        if edge_priority is not None:
+            incoming = sorted(incoming, key=edge_priority, reverse=True)
+        for edge in incoming:
+            site = edge.site
+            if site in processed:
+                continue
+            processed.add(site)
+            if not territories.edge_anchors(edge):
+                # Site in a node unreachable from any anchor (dead code
+                # relative to the entry): never executes, zero increment.
+                av[site] = 0
+                continue
+            av[site] = calculate_increment(site)
+        if node in anchor_set:
+            icc[(node, node)] = 1
+        else:
+            for anchor in territories.node_anchors(node):
+                icc[(node, anchor)] = cav[(node, anchor)]
+
+    return AnchoredEncoding(
+        graph=acyclic,
+        back_edges=removed_back_edges,
+        width=width,
+        anchors=list(anchors),
+        territories=territories,
+        icc=icc,
+        bound=dict(cav),
+        av=av,
+        restarts=restarts,
+    )

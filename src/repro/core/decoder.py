@@ -1,0 +1,230 @@
+"""Full precise decoding of runtime encoding state.
+
+The runtime represents a calling context as ``(stack, current ID)`` plus
+the current function. The stack holds :class:`~repro.core.stackmodel.StackEntry`
+records pushed at anchor invocations, recursive calls, and hazardous-UCP
+detections. This module reverses the whole representation into a
+:class:`DecodedContext` — a sequence of decoded pieces with explicit
+markers where dynamically loaded (or excluded) components executed.
+
+Piece decoding uses the paper's bottom-up rule: at node ``n`` with
+residual ``v``, take the incoming edge with the greatest addition value
+not exceeding ``v``. For anchored encodings candidates are filtered to the
+governing anchor's territory, which restores the disjoint-sub-range
+invariant that makes the rule unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.anchored import AnchoredEncoding
+from repro.core.deltapath import DeltaPathEncoding
+from repro.core.pcce import PCCEEncoding
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.errors import DecodingError
+from repro.graph.callgraph import CallEdge, CallSite
+
+__all__ = ["Segment", "DecodedContext", "ContextDecoder"]
+
+Encoding = Union[PCCEEncoding, DeltaPathEncoding, AnchoredEncoding]
+
+
+@dataclass
+class Segment:
+    """One decoded piece of a context.
+
+    ``gap_before`` marks that unknown (uninstrumented) frames executed
+    between the previous segment and this one — the hazardous-UCP case.
+    When set, ``via_site`` is the last instrumented call site before the
+    gap (informational), and ``previous_ran`` says whether the previous
+    segment's final node actually executed: it is False when the call at
+    that site itself detoured into uninstrumented code, in which case the
+    final node is only the *expected* dispatch target (paper's Figure 6)
+    and renderers should drop it.
+    """
+
+    kind: Optional[EntryKind]  # None for the root (entry) segment
+    start: str
+    edges: List[CallEdge]
+    gap_before: bool = False
+    via_site: Optional[CallSite] = None
+    previous_ran: bool = True
+
+    @property
+    def nodes(self) -> List[str]:
+        result = [self.start]
+        for edge in self.edges:
+            result.append(edge.callee)
+        return result
+
+
+@dataclass
+class DecodedContext:
+    """A fully decoded calling context, root-first."""
+
+    segments: List[Segment]
+
+    def nodes(self, gap_marker: Optional[str] = "<?>") -> List[str]:
+        """Flatten into a node sequence.
+
+        Adjacent segments share their junction node (the anchor, or the
+        recursion callee) which is emitted once. Before a gap segment the
+        expected dispatch target is dropped (the dynamic callee was
+        something else) and ``gap_marker`` is inserted when not None.
+        """
+        result: List[str] = []
+        for index, segment in enumerate(self.segments):
+            names = segment.nodes
+            if segment.gap_before:
+                if result and not segment.previous_ran:
+                    result.pop()  # drop the expected (not actual) target
+                if gap_marker is not None:
+                    result.append(gap_marker)
+                result.extend(names)
+            else:
+                if result and result[-1] == names[0]:
+                    result.extend(names[1:])
+                else:
+                    result.extend(names)
+        return result
+
+    @property
+    def edges(self) -> List[CallEdge]:
+        """All decoded edges, root-first (gaps contribute nothing)."""
+        flat: List[CallEdge] = []
+        for segment in self.segments:
+            flat.extend(segment.edges)
+        return flat
+
+    @property
+    def has_gaps(self) -> bool:
+        return any(segment.gap_before for segment in self.segments)
+
+    def __str__(self) -> str:
+        return " -> ".join(self.nodes())
+
+
+class ContextDecoder:
+    """Decodes full runtime state against a static encoding."""
+
+    def __init__(self, encoding: Encoding):
+        self.encoding = encoding
+        self.graph = encoding.graph
+
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        node: str,
+        stack: Sequence[StackEntry] = (),
+        current_id: int = 0,
+    ) -> DecodedContext:
+        """Decode ``(stack, current_id)`` observed at ``node``.
+
+        The stack is given bottom-up (as the runtime maintains it); the
+        returned segments are root-first.
+        """
+        segments: List[Segment] = []
+        pending = list(stack)
+        cur_node, cur_value = node, current_id
+
+        while pending:
+            entry = pending.pop()
+            if entry.kind is EntryKind.ANCHOR:
+                edges = self._piece(cur_node, cur_value, entry.node)
+                segments.append(
+                    Segment(kind=EntryKind.ANCHOR, start=entry.node, edges=edges)
+                )
+                cur_node, cur_value = entry.node, entry.saved_id
+            elif entry.kind is EntryKind.RECURSION:
+                if entry.site is None:
+                    raise DecodingError("recursion entry lacks its call site")
+                edges = self._piece(cur_node, cur_value, entry.node)
+                back_edge = CallEdge(
+                    entry.site.caller, entry.node, entry.site.label
+                )
+                segments.append(
+                    Segment(
+                        kind=EntryKind.RECURSION,
+                        start=entry.node,
+                        edges=edges,
+                    )
+                )
+                # The recursive edge connects the outer piece to this one;
+                # attribute it to this segment's front.
+                segments[-1].edges.insert(0, back_edge)
+                segments[-1].start = entry.site.caller
+                cur_node, cur_value = entry.site.caller, entry.saved_id
+            elif entry.kind is EntryKind.UCP:
+                edges = self._piece(cur_node, cur_value, entry.node)
+                segments.append(
+                    Segment(
+                        kind=EntryKind.UCP,
+                        start=entry.node,
+                        edges=edges,
+                        gap_before=True,
+                        via_site=entry.site,
+                        previous_ran=entry.resume_executed,
+                    )
+                )
+                if entry.resume_node is None:
+                    # The outer piece ends at its own start node, which
+                    # the *next* stack entry (or the root) determines.
+                    cur_node, cur_value = None, entry.saved_id
+                else:
+                    cur_node, cur_value = entry.resume_node, entry.saved_id
+            else:  # pragma: no cover - exhaustive over EntryKind
+                raise DecodingError(f"unknown stack entry kind {entry.kind}")
+
+        root_edges = self._piece(cur_node, cur_value, self.graph.entry)
+        segments.append(Segment(kind=None, start=self.graph.entry, edges=root_edges))
+        segments.reverse()
+        return DecodedContext(segments=segments)
+
+    # ------------------------------------------------------------------
+    def _piece(
+        self, node: Optional[str], value: int, start: str
+    ) -> List[CallEdge]:
+        """Decode one piece from ``start`` to ``node``.
+
+        ``node`` may be None — a UCP entry whose outer piece ends at its
+        own start node (no instrumented activity since the piece began);
+        such a piece is empty and its value must be 0.
+        """
+        if node is None:
+            if value != 0:
+                raise DecodingError(
+                    f"empty piece at {start!r} has nonzero value {value}"
+                )
+            return []
+        return self._decode_piece(node, value, start)
+
+    def _decode_piece(self, node: str, value: int, start: str) -> List[CallEdge]:
+        """Decode one non-empty piece from ``start`` to ``node``."""
+        encoding = self.encoding
+        if isinstance(encoding, AnchoredEncoding):
+            anchor = self._governing_anchor(start)
+            return encoding.decode_piece(node, value, anchor, stop=start)
+        return encoding.decode(node, value, stop=start)
+
+    def _governing_anchor(self, start: str) -> str:
+        """Anchor whose territory covers a piece starting at ``start``.
+
+        If ``start`` is itself an anchor, its own territory applies.
+        Otherwise (recursion callee / UCP detector) any anchor that
+        reaches ``start`` without crossing anchors works: the piece's
+        edges are reachable from ``start`` anchor-free, hence lie in that
+        anchor's territory, and sub-range disjointness holds per anchor.
+        """
+        encoding = self.encoding
+        assert isinstance(encoding, AnchoredEncoding)
+        if encoding.is_anchor(start):
+            return start
+        reaching = encoding.territories.node_anchors(start)
+        if not reaching:
+            raise DecodingError(
+                f"piece start {start!r} is outside every anchor territory "
+                f"(statically unreachable function?)"
+            )
+        return reaching[0]

@@ -1,0 +1,173 @@
+"""Hybrid PCC + DeltaPath encoding (paper Section 8, future work).
+
+The idea: profile the program, call the functions appearing in the most
+frequent calling contexts the *trunk*, and
+
+* run cheap PCC hashing over the trunk, decoding its (few, hot) hash
+  values through a profiling-time mapping table;
+* run DeltaPath over the rest of the program, with the trunk acting the
+  way excluded components do in selective encoding — entering non-trunk
+  code from the trunk starts a fresh precisely-encoded piece (detected
+  by call path tracking), so the trunk's huge context population never
+  pressures DeltaPath's encoding space.
+
+An observation is then ``(pcc value, deltapath stack, deltapath id)``:
+shorter than a pure-DeltaPath stack when the trunk is deep, still
+precisely decodable outside the trunk, and decodable inside the trunk
+for every context seen during profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.core.decoder import DecodedContext
+from repro.core.widths import W64, Width
+from repro.errors import AnalysisError
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import DeltaPathPlan, build_plan_from_graph
+from repro.runtime.probes import Probe
+
+__all__ = [
+    "trunk_from_profile",
+    "HybridPlan",
+    "build_hybrid_plan",
+    "HybridProbe",
+    "HybridDecoder",
+]
+
+
+def trunk_from_profile(
+    histogram: Dict[Tuple[str, ...], int], top_k: int
+) -> Set[str]:
+    """Functions appearing in the ``top_k`` most frequent contexts.
+
+    ``histogram`` maps a context (tuple of function names, root-first)
+    to its observation count — e.g. a stack-walk profiling run.
+    """
+    if top_k <= 0:
+        raise AnalysisError("top_k must be positive")
+    hottest = sorted(histogram.items(), key=lambda kv: -kv[1])[:top_k]
+    trunk: Set[str] = set()
+    for context, _count in hottest:
+        trunk.update(context)
+    return trunk
+
+
+@dataclass
+class HybridPlan:
+    """Static artifacts of the hybrid scheme."""
+
+    graph: CallGraph
+    trunk: Set[str]
+    #: DeltaPath plan over the non-trunk part (trunk projected out).
+    dp_plan: DeltaPathPlan
+    #: PCC site constants over call sites located in trunk functions.
+    pcc_constants: Dict[Tuple[str, Hashable], int]
+
+
+def build_hybrid_plan(
+    graph: CallGraph, trunk: Iterable[str], width: Width = W64
+) -> HybridPlan:
+    """Project the trunk out of the DeltaPath world; hash inside it."""
+    trunk_set = set(trunk)
+    trunk_set.discard(graph.entry)  # the entry must stay encoded
+    # The trunk is projected out exactly the way selective encoding
+    # removes library components: non-trunk functions reachable only
+    # *through* the trunk are re-rooted with synthetic entry edges so
+    # their downstream encodings stay decodable.
+    from repro.core.selective import project_interesting, reattach_orphans
+
+    selection = project_interesting(graph, lambda n: n not in trunk_set)
+    non_trunk = reattach_orphans(selection)
+    dp_plan = build_plan_from_graph(non_trunk, width=width)
+    trunk_sites = [
+        (site.caller, site.label)
+        for site in graph.call_sites
+        if site.caller in trunk_set or site.caller == graph.entry
+    ]
+    constants = site_constants(graph, instrumented=trunk_sites)
+    return HybridPlan(
+        graph=graph, trunk=trunk_set, dp_plan=dp_plan, pcc_constants=constants
+    )
+
+
+class HybridProbe(Probe):
+    """PCC over the trunk + the DeltaPath agent over everything else."""
+
+    name = "hybrid"
+
+    def __init__(self, plan: HybridPlan, cpt: bool = True):
+        self.plan = plan
+        self.pcc = PCCProbe(plan.pcc_constants)
+        self.dp = DeltaPathProbe(plan.dp_plan, cpt=cpt)
+
+    def begin_execution(self, entry: str) -> None:
+        self.pcc.begin_execution(entry)
+        self.dp.begin_execution(entry)
+
+    def before_call(self, caller, label, callee) -> None:
+        self.pcc.before_call(caller, label, callee)
+        self.dp.before_call(caller, label, callee)
+
+    def enter_function(self, node) -> None:
+        self.dp.enter_function(node)
+
+    def exit_function(self, node) -> None:
+        self.dp.exit_function(node)
+
+    def after_call(self, caller, label, callee) -> None:
+        self.dp.after_call(caller, label, callee)
+        self.pcc.after_call(caller, label, callee)
+
+    def snapshot(self, node) -> Tuple[int, Tuple, int]:
+        stack, current = self.dp.snapshot(node)
+        return self.pcc.snapshot(node), stack, current
+
+
+@dataclass
+class HybridDecoded:
+    """A decoded hybrid observation."""
+
+    trunk_context: Optional[Tuple[str, ...]]
+    tail: DecodedContext
+
+    @property
+    def trunk_known(self) -> bool:
+        return self.trunk_context is not None
+
+    def nodes(self, gap_marker: Optional[str] = "<?>") -> List[str]:
+        tail_nodes = self.tail.nodes(gap_marker=gap_marker)
+        if self.trunk_context is None:
+            return tail_nodes
+        # The tail's root segment starts at the entry; the trunk context
+        # also starts there — splice without duplicating the entry.
+        merged = list(self.trunk_context)
+        if tail_nodes and merged and tail_nodes[0] == merged[0]:
+            tail_nodes = tail_nodes[1:]
+        return merged + tail_nodes
+
+
+class HybridDecoder:
+    """Decodes hybrid snapshots with a profiling-time trunk map.
+
+    ``trunk_map`` maps PCC values (as observed at trunk exits during a
+    profiling run) to trunk contexts. Values outside the map decode with
+    ``trunk_context=None`` — the PCC part is probabilistic; that is the
+    trade-off the paper describes.
+    """
+
+    def __init__(self, plan: HybridPlan, trunk_map: Dict[int, Tuple[str, ...]]):
+        self.plan = plan
+        self.trunk_map = dict(trunk_map)
+        self._decoder = plan.dp_plan.decoder()
+
+    def decode(self, node: str, snapshot: Tuple[int, Tuple, int]) -> HybridDecoded:
+        pcc_value, stack, current = snapshot
+        tail = self._decoder.decode(node, stack, current)
+        return HybridDecoded(
+            trunk_context=self.trunk_map.get(pcc_value), tail=tail
+        )

@@ -1,0 +1,145 @@
+"""PCCE: precise calling context encoding (Sumner et al.), the baseline.
+
+This is the Section-2 background algorithm DeltaPath builds on. It assigns
+an addition value to every call *edge* in two steps:
+
+1. ``NC[main] = 1``; ``NC[n]`` = sum of NC over incoming edges' callers.
+2. Per node, the first incoming edge gets addition value 0; each later
+   edge gets the sum of the NCs of the callers of the previously processed
+   edges.
+
+At runtime ``ID += AV`` before the call and ``ID -= AV`` after, so the pair
+``(ID, current function)`` identifies the context uniquely and decodes by
+repeatedly taking the incoming edge with the greatest addition value not
+exceeding the ID (Figure 1's walkthrough).
+
+PCCE's limitation — the reason DeltaPath exists — is visible here: addition
+values are *per edge*, so a virtual call site whose dispatch targets got
+different values cannot be instrumented with one constant.
+:meth:`PCCEEncoding.site_increment` surfaces the conflict explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import DecodingError, EncodingError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.contexts import context_counts
+from repro.graph.scc import remove_recursion
+from repro.graph.topo import topological_order
+
+__all__ = ["PCCEEncoding", "encode_pcce"]
+
+
+@dataclass
+class PCCEEncoding:
+    """Result of running PCCE over an acyclic call graph."""
+
+    graph: CallGraph
+    back_edges: List[CallEdge]
+    nc: Dict[str, int]
+    av: Dict[CallEdge, int]
+
+    # ------------------------------------------------------------------
+    # Instrumentation queries
+    # ------------------------------------------------------------------
+    def edge_increment(self, edge: CallEdge) -> int:
+        """Addition value of one call edge."""
+        try:
+            return self.av[edge]
+        except KeyError:
+            raise EncodingError(f"edge {edge} was not encoded") from None
+
+    def site_increment(self, site: CallSite) -> int:
+        """Single addition value for a call site, if one exists.
+
+        Raises :class:`EncodingError` when the site is virtual and its
+        dispatch targets received different addition values — exactly the
+        conflict the paper describes in Section 3.1 ("a call site may have
+        conflicted addition values due to the multiple dispatch targets").
+        """
+        edges = self.graph.site_targets(site)
+        values = {self.av[e] for e in edges}
+        if len(values) != 1:
+            raise EncodingError(
+                f"virtual call site {site} has conflicting PCCE addition "
+                f"values {sorted(values)}; PCCE cannot instrument it with "
+                f"a single constant"
+            )
+        return values.pop()
+
+    def has_site_conflicts(self) -> bool:
+        """True when some virtual site has conflicting addition values."""
+        for site in self.graph.virtual_sites:
+            edges = self.graph.site_targets(site)
+            if len({self.av[e] for e in edges}) != 1:
+                return True
+        return False
+
+    @property
+    def max_id(self) -> int:
+        """Static maximum encoding ID: the largest encoding space needed.
+
+        A context of node ``n`` encodes into ``[0, NC[n])``, so the
+        maximum possible ID is ``max_n NC[n] - 1``.
+        """
+        return max(self.nc.values()) - 1 if self.nc else 0
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding (reference semantics, used by tests)
+    # ------------------------------------------------------------------
+    def encode_context(self, context: Tuple[CallEdge, ...]) -> int:
+        """Sum of addition values along a context (the runtime's ID)."""
+        return sum(self.edge_increment(edge) for edge in context)
+
+    def decode(self, node: str, value: int, stop: str | None = None) -> List[CallEdge]:
+        """Recover the context ending at ``node`` for encoding ``value``.
+
+        Walks bottom-up: at each step take the incoming edge whose
+        addition value is the greatest not exceeding the residual value.
+        ``stop`` overrides the start node (used for recursion pieces that
+        began with a reset ID at the recursion target).
+        """
+        if node not in self.graph:
+            raise DecodingError(f"unknown node {node!r}")
+        start = stop if stop is not None else self.graph.entry
+        path: List[CallEdge] = []
+        current = node
+        residual = value
+        while current != start:
+            best: CallEdge | None = None
+            best_av = -1
+            for edge in self.graph.in_edges(current):
+                av = self.av[edge]
+                if best_av < av <= residual:
+                    best = edge
+                    best_av = av
+            if best is None:
+                raise DecodingError(
+                    f"no incoming edge of {current!r} matches residual "
+                    f"{residual} (corrupt encoding?)"
+                )
+            path.append(best)
+            residual -= best_av
+            current = best.caller
+        if residual != 0:
+            raise DecodingError(
+                f"decoding reached {start!r} with nonzero residual {residual}"
+            )
+        path.reverse()
+        return path
+
+
+def encode_pcce(graph: CallGraph) -> PCCEEncoding:
+    """Run the PCCE algorithm; back edges are removed first (recursion)."""
+    acyclic, removed = remove_recursion(graph)
+    nc = context_counts(acyclic)
+    av: Dict[CallEdge, int] = {}
+    for node in topological_order(acyclic):
+        running = 0
+        for edge in acyclic.in_edges(node):
+            av[edge] = running
+            running += nc[edge.caller]
+    return PCCEEncoding(graph=acyclic, back_edges=removed, nc=nc, av=av)

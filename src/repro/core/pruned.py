@@ -1,0 +1,116 @@
+"""Pruned and relative encoding (paper Section 8, future work).
+
+**Pruned encoding.** When only the calling contexts of a known set of
+*target functions* matter (event logging, targeted profiling), functions
+that never lead to a target need no encoding operations. The static
+analysis is a reachability closure: keep exactly the nodes from which
+some target is reachable (plus the targets). Every context of a target
+lies entirely inside that closure — each of its nodes reaches the
+target — so the pruned encoding is complete for the targets while
+instrumenting (often far) fewer call sites.
+
+**Relative encoding.** Successive log records usually share a long
+context prefix (e.g. ABD then ABDF). :class:`RelativeContextLog` stores
+a record as a reference to the previous record plus the suffix delta
+whenever the previous encoding state is a prefix of the new one, and
+reconstitutes absolute records on read — the paper's "reference to the
+previous encoding result and an encoding of the sub-path".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.reachability import nodes_leading_to
+from repro.errors import AnalysisError
+from repro.graph.callgraph import CallGraph
+
+__all__ = ["prune_for_targets", "RelativeContextLog"]
+
+
+def prune_for_targets(graph: CallGraph, targets: Iterable[str]) -> CallGraph:
+    """Subgraph of nodes that can reach a target (plus the entry).
+
+    The result is what :func:`repro.runtime.plan.build_plan_from_graph`
+    should encode; functions outside it execute uninstrumented and can
+    never appear on a target's context (closure under predecessors).
+    """
+    target_list = list(targets)
+    if not target_list:
+        raise AnalysisError("pruned encoding needs at least one target")
+    for target in target_list:
+        if target not in graph:
+            raise AnalysisError(f"target {target!r} is not in the graph")
+    keep = nodes_leading_to(graph, target_list)
+    keep.add(graph.entry)
+    return graph.subgraph(keep)
+
+
+@dataclass(frozen=True)
+class _Record:
+    """One stored log record: absolute, or relative to a previous one."""
+
+    node: str
+    # Absolute: the full (stack, id) snapshot.
+    snapshot: Optional[Tuple] = None
+    # Relative: index of the base record + the id delta (same stack).
+    base: Optional[int] = None
+    delta: Optional[int] = None
+
+
+class RelativeContextLog:
+    """Append-only context log with prefix-sharing compression.
+
+    A record is stored relatively when the previous record's snapshot
+    has the same encoding stack and its ID is <= the new ID (the typical
+    deeper-in-the-same-region case); only the small delta is kept.
+    """
+
+    def __init__(self):
+        self._records: List[_Record] = []
+        self._relative_count = 0
+
+    def append(self, node: str, snapshot: Tuple) -> int:
+        """Store a (node, (stack, id)) observation; returns its index."""
+        stack, current = snapshot
+        if self._records:
+            prev_index = len(self._records) - 1
+            prev_stack, prev_id = self._resolve(prev_index)[1]
+            if prev_stack == stack and prev_id <= current:
+                self._records.append(
+                    _Record(
+                        node=node,
+                        base=prev_index,
+                        delta=current - prev_id,
+                    )
+                )
+                self._relative_count += 1
+                return len(self._records) - 1
+        self._records.append(_Record(node=node, snapshot=(stack, current)))
+        return len(self._records) - 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def relative_fraction(self) -> float:
+        """Share of records stored as deltas (the compression win)."""
+        if not self._records:
+            return 0.0
+        return self._relative_count / len(self._records)
+
+    def get(self, index: int) -> Tuple[str, Tuple]:
+        """The absolute (node, snapshot) for a stored record."""
+        return self._resolve(index)
+
+    def _resolve(self, index: int) -> Tuple[str, Tuple]:
+        record = self._records[index]
+        if record.snapshot is not None:
+            return record.node, record.snapshot
+        base_node, (stack, base_id) = self._resolve(record.base)
+        return record.node, (stack, base_id + record.delta)
+
+    def __iter__(self):
+        for index in range(len(self._records)):
+            yield self.get(index)

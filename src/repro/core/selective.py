@@ -1,0 +1,84 @@
+"""Flexible (selective) encoding — paper Section 4.2.
+
+Users often care about application functions only; JVM/JDK internals are
+"black boxes". Selective encoding removes the uninteresting components
+from the call graph *before* running Algorithm 2 and relies on call path
+tracking at runtime to detect the resulting unexpected call paths, exactly
+the way dynamically loaded classes are handled. The more components are
+excluded, the less instrumentation executes.
+
+:func:`project_interesting` builds the reduced graph. Note a subtlety the
+paper's Figure 7 illustrates: after excluding JDK nodes, application
+functions that were only reachable *through* JDK code (G in the figure)
+keep their nodes but lose their incoming edges — they become statically
+entry-unreachable, and every arrival at them is a (handled) hazardous UCP.
+:func:`reattach_orphans` optionally adds synthetic entry edges so such
+functions still carry decodable encodings for their downstream calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.graph.callgraph import CallGraph
+
+__all__ = ["SelectionResult", "project_interesting", "reattach_orphans"]
+
+#: Label used for synthetic edges added by :func:`reattach_orphans`.
+SYNTHETIC_LABEL = "<synthetic-entry>"
+
+
+@dataclass
+class SelectionResult:
+    """The projected graph plus bookkeeping about what was removed."""
+
+    graph: CallGraph
+    kept: List[str]
+    excluded: List[str]
+    #: Application nodes that lost all incoming edges in the projection
+    #: (reachable only through excluded components).
+    orphans: List[str]
+
+
+def project_interesting(
+    graph: CallGraph,
+    interesting: Callable[[str], bool],
+    entry: Optional[str] = None,
+) -> SelectionResult:
+    """Project ``graph`` onto the nodes ``interesting`` accepts.
+
+    The entry is always kept. Edges with an excluded endpoint vanish; the
+    runtime's call path tracking compensates (Section 4.2).
+    """
+    entry_node = entry if entry is not None else graph.entry
+    kept = [n for n in graph.nodes if n == entry_node or interesting(n)]
+    kept_set = set(kept)
+    excluded = [n for n in graph.nodes if n not in kept_set]
+    projected = graph.subgraph(kept, entry=entry_node)
+
+    orphans = []
+    for node in projected.nodes:
+        if node == projected.entry:
+            continue
+        if not projected.in_edges(node) and graph.in_edges(node):
+            orphans.append(node)
+    return SelectionResult(
+        graph=projected, kept=kept, excluded=excluded, orphans=orphans
+    )
+
+
+def reattach_orphans(selection: SelectionResult) -> CallGraph:
+    """Return a copy of the projected graph with synthetic entry edges to
+    every orphan, so downstream encoding spaces remain rooted.
+
+    The synthetic edges never execute; they only give orphaned application
+    components a position in the encoding space. Runtime arrivals at an
+    orphan always come through a hazardous UCP, whose reset makes the
+    synthetic edge's addition value irrelevant (it is 0 or more but the
+    piece is decoded from the orphan itself).
+    """
+    graph = selection.graph.copy()
+    for orphan in selection.orphans:
+        graph.add_edge(graph.entry, orphan, (SYNTHETIC_LABEL, orphan))
+    return graph

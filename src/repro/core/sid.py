@@ -1,0 +1,108 @@
+"""Call path tracking set IDs (paper Section 4.1).
+
+Inspired by control-flow integrity: every node starts in its own set; for
+each call site, the sets of all its dispatch targets are merged; each
+final set gets a unique *set identifier* (SID). At runtime an instrumented
+call site stores the expected SID (the shared SID of its static targets)
+and every instrumented function entry compares it against the function's
+own SID — a mismatch means the call arrived through an *unexpected call
+path* (a dynamically loaded or excluded component) and is hazardous.
+
+Implemented with a union-find over the static call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.graph.callgraph import CallGraph, CallSite
+
+__all__ = ["SidTable", "compute_sids"]
+
+
+class _UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, items):
+        self._parent: Dict[str, str] = {item: item for item in items}
+        self._size: Dict[str, int] = {item: 1 for item in items}
+
+    def find(self, item: str) -> str:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+
+@dataclass
+class SidTable:
+    """SID assignment for the nodes of a static call graph."""
+
+    sid_of_node: Dict[str, int]
+    sid_of_site: Dict[CallSite, int]
+    num_sets: int
+
+    def node_sid(self, node: str) -> int:
+        try:
+            return self.sid_of_node[node]
+        except KeyError:
+            raise AnalysisError(f"node {node!r} has no SID") from None
+
+    def expected_sid(self, site: CallSite) -> int:
+        """The SID an instrumented call site stores before the call."""
+        try:
+            return self.sid_of_site[site]
+        except KeyError:
+            raise AnalysisError(f"call site {site} has no SID") from None
+
+    def is_benign(self, site: CallSite, entered: str) -> bool:
+        """Whether arriving at ``entered`` via ``site`` passes the check."""
+        return self.sid_of_site.get(site) == self.sid_of_node.get(entered)
+
+
+def compute_sids(graph: CallGraph) -> SidTable:
+    """Run the static half of call path tracking over ``graph``.
+
+    The graph passed here is the *encoded* graph: when selective encoding
+    excludes components, exclude them before calling this (the SIDs then
+    describe the instrumented world only).
+    """
+    uf = _UnionFind(graph.nodes)
+    for site in graph.call_sites:
+        edges = graph.site_targets(site)
+        first = edges[0].callee
+        for edge in edges[1:]:
+            uf.union(first, edge.callee)
+
+    sid_of_node: Dict[str, int] = {}
+    root_sid: Dict[str, int] = {}
+    for node in graph.nodes:
+        root = uf.find(node)
+        if root not in root_sid:
+            root_sid[root] = len(root_sid)
+        sid_of_node[node] = root_sid[root]
+
+    sid_of_site: Dict[CallSite, int] = {}
+    for site in graph.call_sites:
+        target = graph.site_targets(site)[0].callee
+        sid_of_site[site] = sid_of_node[target]
+
+    return SidTable(
+        sid_of_node=sid_of_node,
+        sid_of_site=sid_of_site,
+        num_sets=len(root_sid),
+    )

@@ -1,0 +1,106 @@
+"""Anchor territories (paper Section 3.2, function IdentifyTerritories).
+
+An *anchor node* divides long calling contexts into pieces. The territory
+of an anchor ``r`` is everything reachable from ``r`` by a bounded
+depth-first search that *retreats at other anchor nodes*: a DFS from ``r``
+visits a node's outgoing edges only if the node is ``r`` itself or a
+non-anchor. Other anchors encountered are included as boundary nodes (the
+edges leading to them belong to the territory — the addition on an edge
+entering an anchor executes before the push/reset at the anchor's entry).
+
+From the territories we derive:
+
+* ``nanchors[n]`` — anchors whose territory contains node ``n``;
+* ``eanchors[e]`` — anchors whose territory contains edge ``e``.
+
+These sets index the per-anchor CAV/ICC tables of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.callgraph import CallEdge, CallGraph
+
+__all__ = ["Territories", "identify_territories"]
+
+
+@dataclass
+class Territories:
+    """Anchor reachability sets for a fixed anchor set."""
+
+    anchors: List[str]
+    nanchors: Dict[str, List[str]]
+    eanchors: Dict[CallEdge, List[str]]
+
+    def node_anchors(self, node: str) -> List[str]:
+        """Anchors that can reach ``node`` within their territory."""
+        return self.nanchors.get(node, [])
+
+    def edge_anchors(self, edge: CallEdge) -> List[str]:
+        """Anchors that can reach ``edge`` within their territory."""
+        return self.eanchors.get(edge, [])
+
+    def territory_nodes(self, anchor: str) -> List[str]:
+        """All nodes in one anchor's territory (incl. boundary anchors)."""
+        return [n for n, rs in self.nanchors.items() if anchor in rs]
+
+    def territory_edges(self, anchor: str) -> List[CallEdge]:
+        return [e for e, rs in self.eanchors.items() if anchor in rs]
+
+
+def _bounded_dfs(
+    graph: CallGraph, root: str, anchors: Set[str]
+) -> Tuple[List[str], List[CallEdge]]:
+    """Paper's BoundedDFS: traverse from ``root``, retreat at anchors.
+
+    Returns (visited nodes, visited edges), deterministic order. Boundary
+    anchors are visited (their incoming edges are part of the territory)
+    but never expanded.
+    """
+    visited_nodes: Dict[str, None] = {root: None}
+    visited_edges: Dict[CallEdge, None] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for edge in graph.out_edges(node):
+            if edge not in visited_edges:
+                visited_edges[edge] = None
+            callee = edge.callee
+            if callee in visited_nodes:
+                continue
+            visited_nodes[callee] = None
+            if callee not in anchors:
+                stack.append(callee)
+    return list(visited_nodes), list(visited_edges)
+
+
+def identify_territories(
+    graph: CallGraph, anchors: Iterable[str]
+) -> Territories:
+    """Compute ``nanchors`` / ``eanchors`` for the given anchor set.
+
+    The entry node must be among the anchors (it always is in
+    Algorithm 2: ``An`` starts as ``{main}``).
+    """
+    anchor_list = list(dict.fromkeys(anchors))
+    anchor_set = set(anchor_list)
+    if graph.entry not in anchor_set:
+        raise GraphError(
+            f"entry {graph.entry!r} must be an anchor (got {anchor_list})"
+        )
+    for anchor in anchor_list:
+        if anchor not in graph:
+            raise GraphError(f"anchor {anchor!r} is not a node")
+
+    nanchors: Dict[str, List[str]] = {}
+    eanchors: Dict[CallEdge, List[str]] = {}
+    for anchor in anchor_list:
+        nodes, edges = _bounded_dfs(graph, anchor, anchor_set)
+        for node in nodes:
+            nanchors.setdefault(node, []).append(anchor)
+        for edge in edges:
+            eanchors.setdefault(edge, []).append(anchor)
+    return Territories(anchors=anchor_list, nanchors=nanchors, eanchors=eanchors)

@@ -1,0 +1,164 @@
+"""Exhaustive verification of encodings (the correctness oracle).
+
+For every reachable node of an acyclic call graph the verifier enumerates
+*all* calling contexts, encodes each with the static encoding under test,
+and checks the paper's two guarantees:
+
+1. **Uniqueness** — distinct contexts of the same node get distinct
+   encodings (for anchored encodings, distinct ``(stack, id)`` pairs).
+2. **Round trip** — decoding each encoding returns the original context.
+3. **Bounds** — every ID stays inside the advertised encoding space
+   (``[0, NC[n])`` for PCCE, ``[0, ICC[n])`` for Algorithm 1, and within
+   the integer width for Algorithm 2).
+
+This is deliberately brute force; tests use it on graphs small enough to
+enumerate, and property-based tests drive it with randomly generated
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.anchored import AnchoredEncoding
+from repro.core.deltapath import DeltaPathEncoding
+from repro.core.pcce import PCCEEncoding
+from repro.errors import EncodingError
+from repro.graph.callgraph import CallEdge
+from repro.graph.contexts import enumerate_contexts
+
+__all__ = ["VerificationReport", "verify_encoding"]
+
+Encoding = Union[PCCEEncoding, DeltaPathEncoding, AnchoredEncoding]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of exhaustively verifying an encoding."""
+
+    contexts_checked: int
+    nodes_checked: int
+    max_observed_id: int
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            preview = "; ".join(self.failures[:5])
+            raise EncodingError(
+                f"encoding verification failed "
+                f"({len(self.failures)} failures): {preview}"
+            )
+
+
+def verify_encoding(
+    encoding: Encoding,
+    limit_per_node: Optional[int] = None,
+    max_failures: int = 20,
+) -> VerificationReport:
+    """Exhaustively verify ``encoding`` over its (acyclic) graph."""
+    graph = encoding.graph
+    reachable = graph.reachable_from(graph.entry)
+    failures: List[str] = []
+    checked = 0
+    max_id = 0
+
+    anchored = isinstance(encoding, AnchoredEncoding)
+
+    for node in graph.nodes:
+        if node not in reachable:
+            continue
+        seen: Dict[object, Tuple[CallEdge, ...]] = {}
+        for context in enumerate_contexts(graph, node, limit=limit_per_node):
+            checked += 1
+            key, observed_max = _encode(encoding, context, node)
+            max_id = max(max_id, observed_max)
+
+            clash = seen.get(key)
+            if clash is not None and clash != context:
+                failures.append(
+                    f"collision at {node}: {_fmt(context)} and "
+                    f"{_fmt(clash)} both encode to {key}"
+                )
+            else:
+                seen[key] = context
+
+            decode_failure = _roundtrip(encoding, node, key, context)
+            if decode_failure:
+                failures.append(decode_failure)
+
+            bound_failure = _check_bounds(encoding, node, key)
+            if bound_failure:
+                failures.append(bound_failure)
+
+            if len(failures) >= max_failures:
+                return VerificationReport(
+                    contexts_checked=checked,
+                    nodes_checked=len(reachable),
+                    max_observed_id=max_id,
+                    failures=failures[:max_failures],
+                )
+    return VerificationReport(
+        contexts_checked=checked,
+        nodes_checked=len(reachable),
+        max_observed_id=max_id,
+        failures=failures,
+    )
+
+
+def _encode(encoding: Encoding, context, node):
+    """Encode a context; returns (hashable key, max id component seen)."""
+    if isinstance(encoding, AnchoredEncoding):
+        stack, current = encoding.encode_context(context)
+        ids = [saved for _, saved in stack] + [current]
+        return (stack, current), max(ids)
+    value = encoding.encode_context(context)
+    return value, value
+
+
+def _roundtrip(encoding: Encoding, node, key, context) -> Optional[str]:
+    try:
+        if isinstance(encoding, AnchoredEncoding):
+            stack, current = key
+            decoded = tuple(encoding.decode_context(node, stack, current))
+        else:
+            decoded = tuple(encoding.decode(node, key))
+    except Exception as exc:  # report, don't abort the sweep
+        return f"decode({node}, {key}) raised {type(exc).__name__}: {exc}"
+    if decoded != context:
+        return (
+            f"round trip mismatch at {node}: encoded {_fmt(context)}, "
+            f"decoded {_fmt(decoded)}"
+        )
+    return None
+
+
+def _check_bounds(encoding: Encoding, node, key) -> Optional[str]:
+    if isinstance(encoding, PCCEEncoding):
+        space = encoding.nc.get(node, 0)
+        if not 0 <= key < max(space, 1):
+            return f"id {key} outside [0, NC[{node}]={space})"
+    elif isinstance(encoding, DeltaPathEncoding):
+        space = encoding.icc.get(node, 0)
+        if not 0 <= key < max(space, 1):
+            return f"id {key} outside [0, ICC[{node}]={space})"
+    else:
+        assert isinstance(encoding, AnchoredEncoding)
+        stack, current = key
+        limit = encoding.width.max_value if encoding.width.bits < 128 else None
+        for _, saved in stack:
+            if limit is not None and saved > limit:
+                return f"pushed id {saved} exceeds width {encoding.width}"
+        if limit is not None and current > limit:
+            return f"current id {current} exceeds width {encoding.width}"
+    return None
+
+
+def _fmt(context) -> str:
+    if not context:
+        return "<entry>"
+    return ",".join(str(edge) for edge in context)

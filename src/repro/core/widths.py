@@ -1,0 +1,70 @@
+"""Integer-width policies.
+
+Python integers never overflow, but the paper's whole Section 3.2 is about
+what happens when addition values and ICC values exceed a machine integer.
+A :class:`Width` makes that limit explicit and testable: Algorithm 2 asks
+``width.fits(value)`` exactly where the paper says "if CAV[n][r] incurs an
+integer overflow".
+
+Encoding IDs are non-negative, so the usable range of a signed w-bit
+integer is ``[0, 2**(w-1) - 1]`` — matching the paper's remark that the
+64-bit maximum is "around 1.8e19" (i.e. 2**63 - 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Width", "W8", "W16", "W32", "W64", "UNBOUNDED"]
+
+
+@dataclass(frozen=True)
+class Width:
+    """A signed two's-complement integer width used for encoding IDs."""
+
+    bits: int
+
+    def __post_init__(self):
+        if self.bits < 2:
+            raise ValueError("width must be at least 2 bits")
+
+    @property
+    def max_value(self) -> int:
+        """Largest encodable ID (``2**(bits-1) - 1``)."""
+        return (1 << (self.bits - 1)) - 1
+
+    def fits(self, value: int) -> bool:
+        """Whether a non-negative value fits without overflow."""
+        return 0 <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return f"int{self.bits}"
+
+
+class _Unbounded(Width):
+    """Width that never overflows (Python-native big integers).
+
+    Useful to compute the *true* encoding-space requirement of a program
+    (the paper's "max. ID" column in Table 1) before deciding whether
+    anchors are needed.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "bits", 1 << 30)
+
+    @property
+    def max_value(self) -> int:  # pragma: no cover - never compared
+        raise OverflowError("unbounded width has no maximum")
+
+    def fits(self, value: int) -> bool:
+        return value >= 0
+
+    def __str__(self) -> str:
+        return "unbounded"
+
+
+W8 = Width(8)
+W16 = Width(16)
+W32 = Width(32)
+W64 = Width(64)
+UNBOUNDED = _Unbounded()

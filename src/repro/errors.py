@@ -1,0 +1,64 @@
+"""Exception hierarchy for the DeltaPath reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a call graph or CFG."""
+
+
+class CycleError(GraphError):
+    """An operation requiring an acyclic graph was given a cyclic one.
+
+    Carries the offending cycle (a list of node names) when known.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class ProgramError(ReproError):
+    """An ill-formed program in the mini object-oriented language."""
+
+
+class DispatchError(ProgramError):
+    """A virtual call could not be resolved to any concrete method."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis failed or was asked an unanswerable question."""
+
+
+class EncodingError(ReproError):
+    """The encoding algorithm could not produce a valid encoding."""
+
+
+class EncodingOverflowError(EncodingError):
+    """Anchor insertion cannot fix an overflow (width pathologically small).
+
+    Raised by Algorithm 2 when an addition value overflows even though the
+    caller of the offending edge is already an anchor node; this means a
+    single edge's contribution exceeds the integer width, which cannot
+    happen with realistic (32/64-bit) widths on our workloads.
+    """
+
+
+class DecodingError(ReproError):
+    """A context could not be recovered from an encoding."""
+
+
+class RuntimeEncodingError(ReproError):
+    """The instrumented runtime reached an inconsistent encoding state."""
+
+
+class WorkloadError(ReproError):
+    """A workload/benchmark specification is invalid."""

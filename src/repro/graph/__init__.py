@@ -1,0 +1,32 @@
+"""Call-graph substrate: the input shape consumed by every encoder."""
+
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.contexts import (
+    context_counts,
+    context_nodes,
+    count_contexts,
+    enumerate_all_contexts,
+    enumerate_contexts,
+)
+from repro.graph.dot import to_dot
+from repro.graph.scc import back_edges, recursive_nodes, remove_recursion, tarjan_sccs
+from repro.graph.topo import find_cycle, is_acyclic, topological_order
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "CallSite",
+    "back_edges",
+    "context_counts",
+    "context_nodes",
+    "count_contexts",
+    "enumerate_all_contexts",
+    "enumerate_contexts",
+    "find_cycle",
+    "is_acyclic",
+    "recursive_nodes",
+    "remove_recursion",
+    "tarjan_sccs",
+    "to_dot",
+    "topological_order",
+]

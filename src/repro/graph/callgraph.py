@@ -1,0 +1,321 @@
+"""Call graph data structures.
+
+The encoding algorithms in :mod:`repro.core` consume a call graph in the
+exact shape the paper defines (Section 3.1, Algorithm 1):
+
+    CG = <N, E> where each edge is a triple <caller, callee, label> and
+    <caller, label> is a *call site* that may dispatch to several callees.
+
+Nodes are function names (strings). A call site is identified by its caller
+and a label (the paper uses the bytecode index; we use any hashable label,
+typically an int or a string like ``"bb3:5"``). Multiple edges sharing one
+call site model virtual dispatch.
+
+All iteration orders are deterministic (insertion order) because the
+encoding algorithms' outputs depend on the order in which incoming edges
+are processed; determinism makes encodings reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["CallSite", "CallEdge", "CallGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class CallSite:
+    """A call site: a location inside ``caller`` that issues a call.
+
+    ``label`` plays the role of the bytecode index in the paper; two call
+    sites in the same caller are distinct iff their labels differ.
+    """
+
+    caller: str
+    label: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.caller}@{self.label}"
+
+
+@dataclass(frozen=True, order=True)
+class CallEdge:
+    """A directed call edge ``<caller, callee, label>`` (paper's triple)."""
+
+    caller: str
+    callee: str
+    label: Hashable
+
+    @property
+    def site(self) -> CallSite:
+        return CallSite(self.caller, self.label)
+
+    def __str__(self) -> str:
+        return f"{self.caller}-[{self.label}]->{self.callee}"
+
+
+class CallGraph:
+    """A directed multigraph of functions connected by labelled call edges.
+
+    Parameters
+    ----------
+    entry:
+        Name of the entry function (``main`` in the paper). It is created
+        automatically.
+
+    Notes
+    -----
+    * Parallel edges are allowed only when their labels differ; the same
+      triple may not be inserted twice.
+    * Several edges with the same ``(caller, label)`` model a virtual call
+      site with several dispatch targets.
+    """
+
+    def __init__(self, entry: str = "main"):
+        self._entry = entry
+        # node -> attribute dict (insertion ordered).
+        self._nodes: Dict[str, dict] = {}
+        # All edges in insertion order.
+        self._edges: List[CallEdge] = []
+        self._edge_set: Set[CallEdge] = set()
+        # node -> incoming/outgoing edges, insertion ordered.
+        self._in: Dict[str, List[CallEdge]] = {}
+        self._out: Dict[str, List[CallEdge]] = {}
+        # call site -> dispatch target edges, insertion ordered.
+        self._site_edges: Dict[CallSite, List[CallEdge]] = {}
+        self.add_node(entry)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, **attrs) -> None:
+        """Add a function node. Re-adding merges attributes."""
+        if name in self._nodes:
+            self._nodes[name].update(attrs)
+            return
+        self._nodes[name] = dict(attrs)
+        self._in[name] = []
+        self._out[name] = []
+
+    def add_edge(
+        self, caller: str, callee: str, label: Hashable = None
+    ) -> CallEdge:
+        """Add a call edge; creates missing endpoint nodes.
+
+        When ``label`` is None a fresh label unique within the caller is
+        generated, producing a monomorphic call site.
+        """
+        if label is None:
+            label = self._fresh_label(caller)
+        edge = CallEdge(caller, callee, label)
+        if edge in self._edge_set:
+            raise GraphError(f"duplicate call edge {edge}")
+        self.add_node(caller)
+        self.add_node(callee)
+        self._edges.append(edge)
+        self._edge_set.add(edge)
+        self._out[caller].append(edge)
+        self._in[callee].append(edge)
+        self._site_edges.setdefault(edge.site, []).append(edge)
+        return edge
+
+    def add_call(self, caller: str, targets: Iterable[str],
+                 label: Hashable = None) -> CallSite:
+        """Add one call site dispatching to every function in ``targets``.
+
+        Convenience for building virtual call sites: all resulting edges
+        share the same ``(caller, label)`` site.
+        """
+        targets = list(targets)
+        if not targets:
+            raise GraphError(f"call site in {caller!r} needs >= 1 target")
+        if label is None:
+            label = self._fresh_label(caller)
+        for callee in targets:
+            self.add_edge(caller, callee, label)
+        return CallSite(caller, label)
+
+    def _fresh_label(self, caller: str) -> int:
+        used = {e.label for e in self._out.get(caller, ())}
+        label = len(used)
+        while label in used:
+            label += 1
+        return label
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> str:
+        return self._entry
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[CallEdge]:
+        return list(self._edges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node_attrs(self, name: str) -> dict:
+        return self._nodes[name]
+
+    def in_edges(self, name: str) -> List[CallEdge]:
+        """Incoming edges of ``name`` in insertion order."""
+        return list(self._in[name])
+
+    def out_edges(self, name: str) -> List[CallEdge]:
+        """Outgoing edges of ``name`` in insertion order."""
+        return list(self._out[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Distinct callers of ``name`` in first-seen order."""
+        seen: Dict[str, None] = {}
+        for edge in self._in[name]:
+            seen.setdefault(edge.caller)
+        return list(seen)
+
+    def successors(self, name: str) -> List[str]:
+        """Distinct callees of ``name`` in first-seen order."""
+        seen: Dict[str, None] = {}
+        for edge in self._out[name]:
+            seen.setdefault(edge.callee)
+        return list(seen)
+
+    @property
+    def call_sites(self) -> List[CallSite]:
+        return list(self._site_edges)
+
+    def site_targets(self, site: CallSite) -> List[CallEdge]:
+        """Dispatch edges of a call site, in insertion order."""
+        try:
+            return list(self._site_edges[site])
+        except KeyError:
+            raise GraphError(f"unknown call site {site}") from None
+
+    def sites_in(self, caller: str) -> List[CallSite]:
+        """Call sites located in ``caller``, in insertion order."""
+        seen: Dict[CallSite, None] = {}
+        for edge in self._out[caller]:
+            seen.setdefault(edge.site)
+        return list(seen)
+
+    def is_virtual_site(self, site: CallSite) -> bool:
+        """True when the site has more than one dispatch target."""
+        return len(self._site_edges.get(site, ())) > 1
+
+    @property
+    def virtual_sites(self) -> List[CallSite]:
+        return [s for s, es in self._site_edges.items() if len(es) > 1]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[str], entry: Optional[str] = None) -> "CallGraph":
+        """Project onto ``keep``; edges with either endpoint dropped vanish.
+
+        Used by selective encoding (Section 4.2): excluded components are
+        removed wholesale and the runtime's call path tracking copes with
+        the resulting unexpected call paths.
+        """
+        keep_set = set(keep)
+        new_entry = entry if entry is not None else self._entry
+        if new_entry not in keep_set:
+            keep_set.add(new_entry)
+        sub = CallGraph(entry=new_entry)
+        for name in self._nodes:
+            if name in keep_set:
+                sub.add_node(name, **self._nodes[name])
+        for edge in self._edges:
+            if edge.caller in keep_set and edge.callee in keep_set:
+                sub.add_edge(edge.caller, edge.callee, edge.label)
+        return sub
+
+    def without_edges(self, drop: Iterable[CallEdge]) -> "CallGraph":
+        """Copy of the graph without the given edges (keeps all nodes)."""
+        drop_set = set(drop)
+        out = CallGraph(entry=self._entry)
+        for name in self._nodes:
+            out.add_node(name, **self._nodes[name])
+        for edge in self._edges:
+            if edge not in drop_set:
+                out.add_edge(edge.caller, edge.callee, edge.label)
+        return out
+
+    def copy(self) -> "CallGraph":
+        return self.without_edges(())
+
+    # ------------------------------------------------------------------
+    # Queries used by the encoders
+    # ------------------------------------------------------------------
+    def reachable_from(self, start: str) -> Set[str]:
+        """All nodes reachable from ``start`` (including it)."""
+        if start not in self._nodes:
+            raise GraphError(f"unknown node {start!r}")
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for edge in self._out[node]:
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    stack.append(edge.callee)
+        return seen
+
+    def reaching(self, target: str) -> Set[str]:
+        """All nodes from which ``target`` is reachable (including it)."""
+        if target not in self._nodes:
+            raise GraphError(f"unknown node {target!r}")
+        seen = {target}
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            for edge in self._in[node]:
+                if edge.caller not in seen:
+                    seen.add(edge.caller)
+                    stack.append(edge.caller)
+        return seen
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`GraphError`."""
+        if self._entry not in self._nodes:
+            raise GraphError(f"entry {self._entry!r} is not a node")
+        if self._in[self._entry]:
+            raise GraphError(
+                f"entry {self._entry!r} has incoming edges: "
+                f"{self._in[self._entry]}"
+            )
+        for edge in self._edges:
+            if edge.caller not in self._nodes or edge.callee not in self._nodes:
+                raise GraphError(f"edge {edge} has unknown endpoint")
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CallGraph(entry={self._entry!r}, nodes={len(self._nodes)}, "
+            f"edges={len(self._edges)}, sites={len(self._site_edges)})"
+        )
+
+    def stats(self) -> dict:
+        """Summary statistics in the shape of the paper's Table 1 columns."""
+        return {
+            "nodes": len(self._nodes),
+            "edges": len(self._edges),
+            "call_sites": len(self._site_edges),
+            "virtual_call_sites": len(self.virtual_sites),
+        }

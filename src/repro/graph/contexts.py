@@ -1,0 +1,111 @@
+"""Calling-context enumeration utilities.
+
+A *calling context* of node ``n`` is a path from the entry to ``n`` in the
+call graph (paper, Section 1). These helpers enumerate and count contexts
+on acyclic graphs; they are the ground-truth oracle for the encoders'
+correctness tests ("every context gets a unique code, and decoding returns
+the original path").
+
+Counting follows the paper's NC definition: ``NC[main] = 1`` and ``NC[n]``
+is the sum over *incoming edges* of the predecessor's NC (parallel edges
+and distinct call sites count separately, since the call site is part of
+the context).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.callgraph import CallEdge, CallGraph
+from repro.graph.topo import topological_order
+
+__all__ = [
+    "context_counts",
+    "count_contexts",
+    "enumerate_contexts",
+    "enumerate_all_contexts",
+    "context_nodes",
+]
+
+
+def context_counts(graph: CallGraph) -> Dict[str, int]:
+    """Paper's NC: number of calling contexts ending at each node.
+
+    Unreachable nodes get NC 0. Requires an acyclic graph.
+    """
+    order = topological_order(graph)
+    counts: Dict[str, int] = {n: 0 for n in graph.nodes}
+    counts[graph.entry] = 1
+    for node in order:
+        if counts[node] == 0:
+            continue
+        for edge in graph.out_edges(node):
+            counts[edge.callee] += counts[node]
+    return counts
+
+
+def count_contexts(graph: CallGraph, node: str) -> int:
+    """NC of one node (convenience wrapper)."""
+    if node not in graph:
+        raise GraphError(f"unknown node {node!r}")
+    return context_counts(graph)[node]
+
+
+def enumerate_contexts(
+    graph: CallGraph, node: str, limit: Optional[int] = None
+) -> Iterator[Tuple[CallEdge, ...]]:
+    """Yield every context ending at ``node`` as a tuple of edges.
+
+    Contexts are yielded root-first (the first edge leaves the entry).
+    A context of the entry itself is the empty tuple. ``limit`` bounds the
+    number of yielded contexts (a guard for exponential graphs).
+
+    The enumeration walks backwards from ``node``; on cyclic graphs it
+    raises :class:`CycleError` rather than looping forever.
+    """
+    if node not in graph:
+        raise GraphError(f"unknown node {node!r}")
+    # Cheap cycle guard: topological_order raises CycleError when cyclic.
+    topological_order(graph)
+
+    produced = 0
+    # Each stack frame: (current node, partial reversed edge list).
+    stack: List[Tuple[str, List[CallEdge]]] = [(node, [])]
+    while stack:
+        current, suffix = stack.pop()
+        if current == graph.entry:
+            yield tuple(reversed(suffix))
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+            continue
+        in_edges = graph.in_edges(current)
+        # Push in reverse so the first incoming edge is explored first.
+        for edge in reversed(in_edges):
+            stack.append((edge.caller, suffix + [edge]))
+
+
+def enumerate_all_contexts(
+    graph: CallGraph, limit_per_node: Optional[int] = None
+) -> Dict[str, List[Tuple[CallEdge, ...]]]:
+    """All contexts of all reachable nodes, keyed by ending node."""
+    reachable = graph.reachable_from(graph.entry)
+    result: Dict[str, List[Tuple[CallEdge, ...]]] = {}
+    for node in graph.nodes:
+        if node not in reachable:
+            continue
+        result[node] = list(
+            enumerate_contexts(graph, node, limit=limit_per_node)
+        )
+    return result
+
+
+def context_nodes(context: Tuple[CallEdge, ...], entry: str = "main") -> List[str]:
+    """Node sequence of a context, e.g. ``(AB, BD)`` -> ``[A, B, D]``."""
+    if not context:
+        return [entry]
+    nodes = [context[0].caller]
+    for edge in context:
+        nodes.append(edge.callee)
+    return nodes

@@ -1,0 +1,50 @@
+"""Graphviz DOT export for call graphs (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.graph.callgraph import CallEdge, CallGraph
+
+__all__ = ["to_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: CallGraph,
+    name: str = "callgraph",
+    node_label: Optional[Callable[[str], str]] = None,
+    edge_label: Optional[Callable[[CallEdge], str]] = None,
+    highlight: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the graph as DOT text.
+
+    ``node_label`` / ``edge_label`` customize annotations (e.g. show ICC
+    values next to node names, addition values on edges, as the paper's
+    figures do). ``highlight`` maps node name -> fill color (e.g. anchor
+    nodes).
+    """
+    highlight = highlight or {}
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=ellipse];"]
+    for node in graph.nodes:
+        label = node_label(node) if node_label else node
+        attrs = [f"label={_quote(label)}"]
+        if node in highlight:
+            attrs.append(f'style=filled, fillcolor="{highlight[node]}"')
+        if node == graph.entry:
+            attrs.append("shape=doublecircle")
+        lines.append(f"  {_quote(node)} [{', '.join(attrs)}];")
+    for edge in graph.edges:
+        attrs = []
+        if edge_label:
+            text = edge_label(edge)
+            if text:
+                attrs.append(f"label={_quote(text)}")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(edge.caller)} -> {_quote(edge.callee)}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

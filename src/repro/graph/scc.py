@@ -1,0 +1,135 @@
+"""Strongly connected components and back-edge classification.
+
+Recursion appears as cycles in the call graph. The paper (following PCCE)
+divides a recursive call path into acyclic sub-paths: back edges are
+removed for the static encoding and handled at runtime by pushing the
+current encoding ID onto a stack (Section 2 / Section 4.1).
+
+Two tools live here:
+
+* :func:`tarjan_sccs` — Tarjan's algorithm, iterative, deterministic.
+* :func:`back_edges` — the set of edges whose removal makes the graph
+  acyclic, computed by an entry-rooted DFS (edges to a node currently on
+  the DFS stack). This matches the instrumentation point the paper needs:
+  a *call site* known statically to re-enter an active function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.graph.callgraph import CallEdge, CallGraph
+
+__all__ = ["tarjan_sccs", "back_edges", "remove_recursion", "recursive_nodes"]
+
+
+def tarjan_sccs(graph: CallGraph) -> List[List[str]]:
+    """Strongly connected components in reverse topological order.
+
+    Iterative Tarjan (no recursion limit issues on 10k-node graphs).
+    """
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = graph.successors(node)
+            for i in range(child_idx, len(successors)):
+                succ = successors[i]
+                if succ not in index_of:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def back_edges(graph: CallGraph) -> List[CallEdge]:
+    """Edges closing a cycle, found by DFS from the entry then all nodes.
+
+    An edge is a back edge when its callee is on the current DFS stack.
+    Removing exactly these edges yields an acyclic graph. Deterministic:
+    DFS roots and successor order follow graph insertion order.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {n: WHITE for n in graph.nodes}
+    found: List[CallEdge] = []
+
+    roots = [graph.entry] + [n for n in graph.nodes if n != graph.entry]
+    for root in roots:
+        if color[root] != WHITE:
+            continue
+        work = [(root, 0)]
+        color[root] = GREY
+        while work:
+            node, edge_idx = work.pop()
+            out = graph.out_edges(node)
+            advanced = False
+            for i in range(edge_idx, len(out)):
+                edge = out[i]
+                state = color[edge.callee]
+                if state == GREY:
+                    found.append(edge)
+                elif state == WHITE:
+                    work.append((node, i + 1))
+                    color[edge.callee] = GREY
+                    work.append((edge.callee, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+    return found
+
+
+def remove_recursion(graph: CallGraph) -> tuple:
+    """Return ``(acyclic_graph, removed_back_edges)``.
+
+    The acyclic graph keeps every node; only back edges are dropped. The
+    removed edges are the call sites the runtime must treat as recursion
+    points (push ID, reset to 0).
+    """
+    removed = back_edges(graph)
+    return graph.without_edges(removed), removed
+
+
+def recursive_nodes(graph: CallGraph) -> Set[str]:
+    """Nodes on some cycle (members of a non-trivial SCC or self loop)."""
+    result: Set[str] = set()
+    for component in tarjan_sccs(graph):
+        if len(component) > 1:
+            result.update(component)
+    for edge in graph.edges:
+        if edge.caller == edge.callee:
+            result.add(edge.caller)
+    return result

@@ -1,0 +1,98 @@
+"""Topological ordering and cycle detection for call graphs.
+
+The encoding algorithms visit nodes "in topological order; a node is
+visited after all its predecessors have been visited" (paper, Section 3.1).
+Both orderings here are deterministic: ties are broken by graph insertion
+order, so encodings are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CycleError
+from repro.graph.callgraph import CallGraph
+
+__all__ = ["topological_order", "find_cycle", "is_acyclic"]
+
+
+def topological_order(graph: CallGraph) -> List[str]:
+    """Kahn's algorithm over distinct predecessor relations.
+
+    Parallel edges between the same pair of nodes count once. Raises
+    :class:`CycleError` (with a concrete cycle) if the graph is cyclic.
+    """
+    indegree: Dict[str, int] = {n: 0 for n in graph.nodes}
+    for node in graph.nodes:
+        for pred in graph.predecessors(node):
+            if pred != node:
+                indegree[node] += 1
+            else:
+                # A self loop is a cycle of length one.
+                raise CycleError(f"self loop at {node!r}", cycle=[node, node])
+
+    ready = [n for n in graph.nodes if indegree[n] == 0]
+    order: List[str] = []
+    cursor = 0
+    while cursor < len(ready):
+        node = ready[cursor]
+        cursor += 1
+        order.append(node)
+        for succ in graph.successors(node):
+            if succ == node:
+                continue
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    if len(order) != len(graph.nodes):
+        cycle = find_cycle(graph)
+        raise CycleError(
+            f"call graph is cyclic ({len(graph.nodes) - len(order)} nodes "
+            f"on cycles); remove back edges first",
+            cycle=cycle,
+        )
+    return order
+
+
+def find_cycle(graph: CallGraph) -> Optional[List[str]]:
+    """Return one cycle as ``[n0, n1, ..., n0]``, or None if acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {n: WHITE for n in graph.nodes}
+    parent: Dict[str, Optional[str]] = {}
+
+    for root in graph.nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[tuple] = [(root, iter(graph.successors(root)))]
+        color[root] = GREY
+        parent[root] = None
+        while stack:
+            node, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if color.get(succ, WHITE) == GREY:
+                    # Found a back edge node -> succ; reconstruct cycle.
+                    cycle = [succ]
+                    walker: Optional[str] = node
+                    while walker is not None and walker != succ:
+                        cycle.append(walker)
+                        walker = parent[walker]
+                    cycle.append(succ)
+                    cycle.reverse()
+                    return cycle
+                if color.get(succ, WHITE) == WHITE:
+                    color[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_acyclic(graph: CallGraph) -> bool:
+    """True when the graph has no directed cycle."""
+    return find_cycle(graph) is None

@@ -1,0 +1,183 @@
+"""Serialization of plans and snapshots (offline decoding support).
+
+The paper's production scenario — log two-word encodings now, decode
+them later — needs the static artifacts to travel: the process that
+decodes a log is usually not the process that produced it. This module
+round-trips a :class:`~repro.runtime.plan.DeltaPathPlan` and collected
+snapshots through plain JSON-compatible dictionaries:
+
+* :func:`plan_to_dict` / :func:`plan_from_dict` — the full plan (graph,
+  addition values, anchors, territories are *recomputed* from the graph
+  and anchor list, which is cheaper and safer than serializing them);
+* :func:`snapshot_to_dict` / :func:`snapshot_from_dict` — one collected
+  ``(stack, id)`` observation;
+* :func:`save_plan` / :func:`load_plan` — file convenience wrappers.
+
+Call-site labels may be strings, ints, or the synthetic-entry tuples the
+selective projection introduces; anything else is rejected up front
+rather than silently mangled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.core.widths import UNBOUNDED, Width
+from repro.errors import ReproError
+from repro.graph.callgraph import CallGraph, CallSite
+from repro.runtime.plan import DeltaPathPlan, build_plan_from_graph
+
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan",
+    "load_plan",
+    "snapshot_to_dict",
+    "snapshot_from_dict",
+]
+
+_FORMAT = "deltapath-plan-v1"
+
+
+def _label_to_json(label: Hashable):
+    if isinstance(label, (str, int)):
+        return label
+    if (
+        isinstance(label, tuple)
+        and len(label) == 2
+        and all(isinstance(part, str) for part in label)
+    ):
+        return {"tuple": list(label)}
+    raise ReproError(f"unserializable call-site label {label!r}")
+
+
+def _label_from_json(value):
+    if isinstance(value, dict):
+        return tuple(value["tuple"])
+    return value
+
+
+def plan_to_dict(plan: DeltaPathPlan) -> dict:
+    """Serialize a plan to a JSON-compatible dictionary.
+
+    Only the inputs are stored (graph, width, the already-chosen anchor
+    set); loading re-runs the deterministic encoding, which is fast and
+    guarantees the loaded plan is internally consistent.
+    """
+    graph = plan.graph
+    width = plan.encoding.width
+    return {
+        "format": _FORMAT,
+        "entry": graph.entry,
+        "width_bits": None if width is UNBOUNDED else width.bits,
+        "nodes": [
+            {"name": name, "attrs": graph.node_attrs(name)}
+            for name in graph.nodes
+        ],
+        # plan.graph is the pre-encoding graph: it still contains back
+        # edges (the encoder removes them on its own copy), so this list
+        # is complete for an exact rebuild.
+        "edges": [
+            {
+                "caller": edge.caller,
+                "callee": edge.callee,
+                "label": _label_to_json(edge.label),
+            }
+            for edge in graph.edges
+        ],
+        "anchors": list(plan.encoding.anchors),
+    }
+
+
+def plan_from_dict(data: dict) -> DeltaPathPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise ReproError(
+            f"not a serialized plan (format={data.get('format')!r})"
+        )
+    graph = CallGraph(entry=data["entry"])
+    for node in data["nodes"]:
+        graph.add_node(node["name"], **node.get("attrs", {}))
+    for edge in data["edges"]:
+        graph.add_edge(
+            edge["caller"], edge["callee"], _label_from_json(edge["label"])
+        )
+    width = (
+        UNBOUNDED if data["width_bits"] is None else Width(data["width_bits"])
+    )
+    plan = build_plan_from_graph(graph, width=width)
+    # Consistency guard: the deterministic rebuild must reproduce the
+    # anchor set chosen when the plan was saved.
+    if list(plan.encoding.anchors) != list(data["anchors"]):
+        raise ReproError(
+            f"loaded plan disagrees with saved anchors: "
+            f"{plan.encoding.anchors} != {data['anchors']}"
+        )
+    return plan
+
+
+def save_plan(plan: DeltaPathPlan, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle)
+
+
+def load_plan(path: str) -> DeltaPathPlan:
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def _entry_to_json(entry: StackEntry) -> dict:
+    record = {
+        "kind": entry.kind.name,
+        "node": entry.node,
+        "saved_id": entry.saved_id,
+    }
+    if entry.site is not None:
+        record["site"] = {
+            "caller": entry.site.caller,
+            "label": _label_to_json(entry.site.label),
+        }
+    if entry.expected_sid is not None:
+        record["expected_sid"] = entry.expected_sid
+    if entry.resume_node is not None:
+        record["resume_node"] = entry.resume_node
+        record["resume_executed"] = entry.resume_executed
+    return record
+
+
+def _entry_from_json(record: dict) -> StackEntry:
+    site = None
+    if "site" in record:
+        site = CallSite(
+            record["site"]["caller"], _label_from_json(record["site"]["label"])
+        )
+    return StackEntry(
+        kind=EntryKind[record["kind"]],
+        node=record["node"],
+        saved_id=record["saved_id"],
+        site=site,
+        expected_sid=record.get("expected_sid"),
+        resume_node=record.get("resume_node"),
+        resume_executed=record.get("resume_executed", True),
+    )
+
+
+def snapshot_to_dict(node: str, snapshot: Tuple) -> dict:
+    """Serialize one observation ``(node, (stack, id))``."""
+    stack, current = snapshot
+    return {
+        "node": node,
+        "id": current,
+        "stack": [_entry_to_json(entry) for entry in stack],
+    }
+
+
+def snapshot_from_dict(data: dict) -> Tuple[str, Tuple]:
+    """Inverse of :func:`snapshot_to_dict`."""
+    stack = tuple(_entry_from_json(record) for record in data["stack"])
+    return data["node"], (stack, data["id"])

@@ -1,0 +1,45 @@
+"""JIP: the mini object-oriented language the reproduction analyses/runs."""
+
+from repro.lang.builder import BodyBuilder, ProgramBuilder
+from repro.lang.inline import inlinable_methods, inline_methods
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+    iter_stmts,
+)
+from repro.lang.parser import parse_program
+from repro.lang.serialize import format_program, program_from_dict, program_to_dict
+
+__all__ = [
+    "BodyBuilder",
+    "Branch",
+    "Event",
+    "Klass",
+    "inlinable_methods",
+    "inline_methods",
+    "Loop",
+    "Method",
+    "MethodRef",
+    "New",
+    "Program",
+    "ProgramBuilder",
+    "StaticCall",
+    "Stmt",
+    "VirtualCall",
+    "Work",
+    "iter_stmts",
+    "format_program",
+    "parse_program",
+    "program_from_dict",
+    "program_to_dict",
+]

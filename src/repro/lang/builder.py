@@ -1,0 +1,209 @@
+"""Fluent construction of JIP programs.
+
+Example
+-------
+::
+
+    b = ProgramBuilder("Main.main")
+    with b.klass("Main") as main:
+        with main.method("main") as m:
+            m.new("Circle")
+            m.call("Util.log")
+            with m.loop(10) as body:
+                body.vcall("Shape", "draw")
+    with b.klass("Shape") as shape:
+        shape.method("draw").done()
+    ...
+    program = b.build()
+
+Builders are plain helpers; they emit the frozen dataclasses of
+:mod:`repro.lang.model`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+)
+
+__all__ = ["ProgramBuilder", "BodyBuilder"]
+
+
+class BodyBuilder:
+    """Accumulates statements for a method body or nested block."""
+
+    def __init__(self):
+        self._stmts: List[Stmt] = []
+
+    # -- statement emitters --------------------------------------------
+    def call(self, target: str) -> "BodyBuilder":
+        """Static call; ``target`` is ``"Klass.method"``."""
+        self._stmts.append(StaticCall(MethodRef.parse(target)))
+        return self
+
+    def vcall(self, base: str, method: str) -> "BodyBuilder":
+        self._stmts.append(VirtualCall(base, method))
+        return self
+
+    def new(self, klass: str) -> "BodyBuilder":
+        self._stmts.append(New(klass))
+        return self
+
+    def work(self, units: int = 1) -> "BodyBuilder":
+        self._stmts.append(Work(units))
+        return self
+
+    def event(self, tag: str) -> "BodyBuilder":
+        self._stmts.append(Event(tag))
+        return self
+
+    def loop(self, count: int) -> "_BlockContext":
+        return _BlockContext(self, lambda body: Loop(count, tuple(body)))
+
+    def branch(self, weight: float) -> "_BranchContext":
+        return _BranchContext(self, weight)
+
+    # -- finishing ------------------------------------------------------
+    @property
+    def statements(self) -> List[Stmt]:
+        return list(self._stmts)
+
+    def done(self) -> None:
+        """No-op terminator so one-liners read naturally."""
+
+
+class _BlockContext:
+    """``with``-block that wraps accumulated statements on exit."""
+
+    def __init__(self, parent: BodyBuilder, wrap):
+        self._parent = parent
+        self._wrap = wrap
+        self._inner = BodyBuilder()
+
+    def __enter__(self) -> BodyBuilder:
+        return self._inner
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._parent._stmts.append(self._wrap(self._inner.statements))
+
+
+class _BranchContext:
+    """Two-armed ``with``-block: ``then`` arm now, ``orelse`` optional."""
+
+    def __init__(self, parent: BodyBuilder, weight: float):
+        self._parent = parent
+        self._weight = weight
+        self._then = BodyBuilder()
+        self._orelse = BodyBuilder()
+        self._entered_else = False
+
+    def __enter__(self) -> "_BranchContext":
+        return self
+
+    @property
+    def then(self) -> BodyBuilder:
+        return self._then
+
+    @property
+    def orelse(self) -> BodyBuilder:
+        self._entered_else = True
+        return self._orelse
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._parent._stmts.append(
+                Branch(
+                    self._weight,
+                    tuple(self._then.statements),
+                    tuple(self._orelse.statements),
+                )
+            )
+
+
+class _MethodBuilder:
+    def __init__(self, klass_builder: "_KlassBuilder", name: str):
+        self._klass_builder = klass_builder
+        self.name = name
+        self.body = BodyBuilder()
+
+    def __enter__(self) -> BodyBuilder:
+        return self.body
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._klass_builder._finish_method(self)
+
+    def done(self) -> None:
+        """Finish an empty (or already populated) method without a block."""
+        self._klass_builder._finish_method(self)
+
+
+class _KlassBuilder:
+    def __init__(
+        self,
+        program_builder: "ProgramBuilder",
+        name: str,
+        extends: Optional[str],
+        dynamic: bool,
+        library: bool,
+    ):
+        self._program_builder = program_builder
+        self._klass = Klass(
+            name=name, superclass=extends, dynamic=dynamic, library=library
+        )
+        self._open_methods: List[str] = []
+
+    def method(self, name: str) -> _MethodBuilder:
+        return _MethodBuilder(self, name)
+
+    def _finish_method(self, mb: _MethodBuilder) -> None:
+        self._klass.define(Method(mb.name, tuple(mb.body.statements)))
+
+    def __enter__(self) -> "_KlassBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._program_builder._finish_class(self._klass)
+
+
+class ProgramBuilder:
+    """Top-level builder; see module docstring for usage."""
+
+    def __init__(self, entry: str):
+        self._entry = MethodRef.parse(entry)
+        self._classes: List[Klass] = []
+
+    def klass(
+        self,
+        name: str,
+        extends: Optional[str] = None,
+        dynamic: bool = False,
+        library: bool = False,
+    ) -> _KlassBuilder:
+        return _KlassBuilder(self, name, extends, dynamic, library)
+
+    def _finish_class(self, klass: Klass) -> None:
+        self._classes.append(klass)
+
+    def build(self, validate: bool = True) -> Program:
+        program = Program(self._entry)
+        for klass in self._classes:
+            program.add_class(klass)
+        if validate:
+            program.validate()
+        return program

@@ -1,0 +1,163 @@
+"""Method inlining for JIP programs (paper Section 8, "Optimizations").
+
+The paper attributes most of its residual overhead to "a few small hot
+functions" and notes it "can be largely reduced if the optimization of
+combining instrumentations is performed for inlined functions" — i.e.
+when the JIT inlines a callee, the callee's encoding additions fold into
+the caller and the per-call probe trips disappear.
+
+We realize the same effect at the IR level: :func:`inline_methods`
+splices the bodies of selected (small, statically-bound) methods into
+their callers. The instrumented call boundary vanishes, so the agent is
+simply never invoked for it — exactly what a bytecode agent sees after
+JIT inlining. Calling contexts are then defined modulo the inlined
+frames, the same semantics the original PCC adopted inside Jikes RVM.
+
+Only ``StaticCall`` sites are inlined (virtual dispatch would need
+speculation); recursive targets and targets above ``max_body_size`` are
+skipped; chains of inlinable calls are resolved by iterating to a
+fixpoint with a pass limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ProgramError
+from repro.lang.model import (
+    Branch,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    Program,
+    StaticCall,
+    Stmt,
+    iter_stmts,
+)
+
+__all__ = ["inline_methods", "inlinable_methods"]
+
+
+def _body_size(method: Method) -> int:
+    return sum(1 for _ in iter_stmts(method.body))
+
+
+def _is_self_recursive(ref: MethodRef, method: Method) -> bool:
+    return any(
+        isinstance(stmt, StaticCall) and stmt.target == ref
+        for stmt in iter_stmts(method.body)
+    )
+
+
+def inlinable_methods(
+    program: Program, max_body_size: int = 6
+) -> Set[MethodRef]:
+    """Heuristic inline candidates: small, non-recursive methods.
+
+    A practical default for the "small hot functions" case; callers can
+    also pass an explicit set to :func:`inline_methods` (e.g. from a
+    profile).
+    """
+    candidates: Set[MethodRef] = set()
+    for ref, method in program.methods():
+        if ref == program.entry:
+            continue
+        if program.klass(ref.klass).dynamic:
+            continue  # dynamic classes are not visible at compile time
+        if _is_self_recursive(ref, method):
+            continue
+        if _body_size(method) <= max_body_size:
+            candidates.add(ref)
+    return candidates
+
+
+def inline_methods(
+    program: Program,
+    targets: Iterable[MethodRef],
+    max_passes: int = 8,
+) -> Program:
+    """A copy of ``program`` with static calls to ``targets`` inlined.
+
+    Inlined methods keep their definitions (they may still be reached
+    through virtual dispatch or from non-inlined sites elsewhere); only
+    the *call sites* disappear. Each pass only substitutes bodies that
+    are themselves already free of target calls, so mutually-recursive
+    target sets are left uninlined (their sites survive) rather than
+    expanded forever; ``max_passes`` is a safety net for pathological
+    chains and raises :class:`ProgramError` when exceeded.
+    """
+    target_set = {ref for ref in targets}
+    for ref in target_set:
+        program.method(ref)  # existence check
+        if ref == program.entry:
+            raise ProgramError("cannot inline the entry method")
+
+    bodies: Dict[MethodRef, Tuple[Stmt, ...]] = {
+        ref: method.body for ref, method in program.methods()
+    }
+
+    def body_is_clean(body: Sequence[Stmt]) -> bool:
+        return not any(
+            isinstance(stmt, StaticCall) and stmt.target in target_set
+            for stmt in iter_stmts(body)
+        )
+
+    def substitute(body: Sequence[Stmt]) -> Tuple[Tuple[Stmt, ...], bool]:
+        """One pass: splice clean target bodies; returns (body, changed)."""
+        out: List[Stmt] = []
+        changed = False
+        for stmt in body:
+            if (
+                isinstance(stmt, StaticCall)
+                and stmt.target in target_set
+                and body_is_clean(bodies[stmt.target])
+            ):
+                out.extend(bodies[stmt.target])
+                changed = True
+            elif isinstance(stmt, Loop):
+                inner, inner_changed = substitute(stmt.body)
+                out.append(Loop(stmt.count, inner) if inner_changed else stmt)
+                changed |= inner_changed
+            elif isinstance(stmt, Branch):
+                then, then_changed = substitute(stmt.then)
+                orelse, else_changed = substitute(stmt.orelse)
+                if then_changed or else_changed:
+                    out.append(Branch(stmt.weight, then, orelse))
+                    changed = True
+                else:
+                    out.append(stmt)
+            else:
+                out.append(stmt)
+        return tuple(out), changed
+
+    for _ in range(max_passes):
+        any_changed = False
+        for ref in list(bodies):
+            new_body, changed = substitute(bodies[ref])
+            if changed:
+                bodies[ref] = new_body
+                any_changed = True
+        if not any_changed:
+            break
+    else:
+        raise ProgramError(
+            f"inlining did not converge in {max_passes} passes "
+            f"(mutually recursive targets?)"
+        )
+
+    # Rebuild the program with the new bodies.
+    result = Program(program.entry)
+    for klass in program.classes:
+        result.add_class(
+            Klass(
+                name=klass.name,
+                superclass=klass.superclass,
+                dynamic=klass.dynamic,
+                library=klass.library,
+            )
+        )
+    for ref, body in bodies.items():
+        result.klass(ref.klass).define(Method(ref.method, body))
+    result.validate()
+    return result

@@ -1,0 +1,240 @@
+"""A small textual format for JIP programs.
+
+Grammar (line-oriented, ``#`` comments, blocks closed with ``end``)::
+
+    program Main.main
+
+    class Shape                      # base class
+    class Circle extends Shape       # inheritance
+    class Plugin extends Shape dynamic   # loaded only at runtime
+    class Jdk library                # excludable (JDK-like) component
+
+    def Main.main                    # method definition
+      new Circle
+      call Util.setup                # static call
+      vcall Shape.draw               # virtual call: base class + method
+      loop 10                        # repeat block 10 times
+        work 5
+      end
+      branch 0.25                    # then-arm with probability 0.25
+        event rare_path
+      else
+        call Util.fast
+      end
+    end
+
+Class declarations may appear in any order relative to ``def`` blocks, but
+a superclass must be declared before its subclasses (as in the model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+)
+
+__all__ = ["parse_program"]
+
+
+def parse_program(text: str, validate: bool = True) -> Program:
+    """Parse JIP source text into a :class:`~repro.lang.model.Program`."""
+    parser = _Parser(text)
+    return parser.parse(validate=validate)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._lines = _significant_lines(text)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def parse(self, validate: bool) -> Program:
+        entry = self._parse_header()
+        program = Program(entry)
+        pending_methods: List[Tuple[MethodRef, Method]] = []
+
+        while not self._at_end():
+            lineno, tokens = self._peek()
+            keyword = tokens[0]
+            if keyword == "class":
+                program.add_class(self._parse_class())
+            elif keyword == "def":
+                pending_methods.append(self._parse_method())
+            else:
+                raise ProgramError(
+                    f"line {lineno}: expected 'class' or 'def', got "
+                    f"{keyword!r}"
+                )
+
+        for ref, method in pending_methods:
+            program.klass(ref.klass).define(method)
+        if validate:
+            program.validate()
+        return program
+
+    # ------------------------------------------------------------------
+    def _parse_header(self) -> MethodRef:
+        lineno, tokens = self._next()
+        if tokens[0] != "program" or len(tokens) != 2:
+            raise ProgramError(
+                f"line {lineno}: file must start with 'program Klass.method'"
+            )
+        return MethodRef.parse(tokens[1])
+
+    def _parse_class(self) -> Klass:
+        lineno, tokens = self._next()
+        # class NAME [extends SUPER] [dynamic] [library]
+        rest = tokens[1:]
+        if not rest:
+            raise ProgramError(f"line {lineno}: class needs a name")
+        name = rest[0]
+        superclass: Optional[str] = None
+        dynamic = library = False
+        i = 1
+        while i < len(rest):
+            word = rest[i]
+            if word == "extends":
+                if i + 1 >= len(rest):
+                    raise ProgramError(
+                        f"line {lineno}: 'extends' needs a class name"
+                    )
+                superclass = rest[i + 1]
+                i += 2
+            elif word == "dynamic":
+                dynamic = True
+                i += 1
+            elif word == "library":
+                library = True
+                i += 1
+            else:
+                raise ProgramError(
+                    f"line {lineno}: unexpected token {word!r} in class "
+                    f"declaration"
+                )
+        return Klass(
+            name=name, superclass=superclass, dynamic=dynamic, library=library
+        )
+
+    def _parse_method(self) -> Tuple[MethodRef, Method]:
+        lineno, tokens = self._next()
+        if len(tokens) != 2:
+            raise ProgramError(f"line {lineno}: expected 'def Klass.method'")
+        ref = MethodRef.parse(tokens[1])
+        body = self._parse_block(terminators=("end",))
+        self._expect("end")
+        return ref, Method(ref.method, tuple(body))
+
+    def _parse_block(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while True:
+            if self._at_end():
+                raise ProgramError("unexpected end of file inside a block")
+            lineno, tokens = self._peek()
+            keyword = tokens[0]
+            if keyword in terminators:
+                return stmts
+            self._next()
+            stmts.append(self._parse_stmt(lineno, tokens))
+
+    def _parse_stmt(self, lineno: int, tokens: List[str]) -> Stmt:
+        keyword, args = tokens[0], tokens[1:]
+        if keyword == "call":
+            self._arity(lineno, keyword, args, 1)
+            return StaticCall(MethodRef.parse(args[0]))
+        if keyword == "vcall":
+            self._arity(lineno, keyword, args, 1)
+            ref = MethodRef.parse(args[0])
+            return VirtualCall(ref.klass, ref.method)
+        if keyword == "new":
+            self._arity(lineno, keyword, args, 1)
+            return New(args[0])
+        if keyword == "work":
+            self._arity(lineno, keyword, args, 1)
+            return Work(self._int(lineno, args[0]))
+        if keyword == "event":
+            self._arity(lineno, keyword, args, 1)
+            return Event(args[0])
+        if keyword == "loop":
+            self._arity(lineno, keyword, args, 1)
+            count = self._int(lineno, args[0])
+            body = self._parse_block(terminators=("end",))
+            self._expect("end")
+            return Loop(count, tuple(body))
+        if keyword == "branch":
+            self._arity(lineno, keyword, args, 1)
+            weight = self._float(lineno, args[0])
+            then = self._parse_block(terminators=("else", "end"))
+            orelse: List[Stmt] = []
+            _, next_tokens = self._peek()
+            if next_tokens[0] == "else":
+                self._next()
+                orelse = self._parse_block(terminators=("end",))
+            self._expect("end")
+            return Branch(weight, tuple(then), tuple(orelse))
+        raise ProgramError(f"line {lineno}: unknown statement {keyword!r}")
+
+    # ------------------------------------------------------------------
+    def _arity(self, lineno: int, keyword: str, args: List[str], n: int) -> None:
+        if len(args) != n:
+            raise ProgramError(
+                f"line {lineno}: {keyword!r} takes {n} argument(s), got "
+                f"{len(args)}"
+            )
+
+    def _int(self, lineno: int, text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ProgramError(
+                f"line {lineno}: expected an integer, got {text!r}"
+            ) from None
+
+    def _float(self, lineno: int, text: str) -> float:
+        try:
+            return float(text)
+        except ValueError:
+            raise ProgramError(
+                f"line {lineno}: expected a number, got {text!r}"
+            ) from None
+
+    def _expect(self, keyword: str) -> None:
+        lineno, tokens = self._next()
+        if tokens[0] != keyword:
+            raise ProgramError(
+                f"line {lineno}: expected {keyword!r}, got {tokens[0]!r}"
+            )
+
+    def _peek(self) -> Tuple[int, List[str]]:
+        return self._lines[self._pos]
+
+    def _next(self) -> Tuple[int, List[str]]:
+        line = self._lines[self._pos]
+        self._pos += 1
+        return line
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._lines)
+
+
+def _significant_lines(text: str) -> List[Tuple[int, List[str]]]:
+    """Strip comments/blank lines; return (lineno, tokens) pairs."""
+    result = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code = raw.split("#", 1)[0].strip()
+        if code:
+            result.append((lineno, code.split()))
+    return result

@@ -1,0 +1,194 @@
+"""JIP program serialization (JSON) and pretty-printing back to source.
+
+Programs round-trip two ways:
+
+* :func:`program_to_dict` / :func:`program_from_dict` — a JSON-stable
+  structural form (fixtures, shipping workloads next to plans);
+* :func:`format_program` — regenerates parseable JIP source text, the
+  inverse of :func:`repro.lang.parser.parse_program` (useful to inspect
+  generated benchmarks and to diff program transformations like
+  inlining).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ProgramError
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+)
+
+__all__ = ["program_to_dict", "program_from_dict", "format_program"]
+
+_FORMAT = "jip-program-v1"
+
+
+# ----------------------------------------------------------------------
+# JSON form
+# ----------------------------------------------------------------------
+def _stmt_to_json(stmt: Stmt) -> dict:
+    if isinstance(stmt, StaticCall):
+        return {"op": "call", "target": str(stmt.target)}
+    if isinstance(stmt, VirtualCall):
+        return {"op": "vcall", "base": stmt.base, "method": stmt.method}
+    if isinstance(stmt, New):
+        return {"op": "new", "klass": stmt.klass}
+    if isinstance(stmt, Work):
+        return {"op": "work", "units": stmt.units}
+    if isinstance(stmt, Event):
+        return {"op": "event", "tag": stmt.tag}
+    if isinstance(stmt, Loop):
+        return {
+            "op": "loop",
+            "count": stmt.count,
+            "body": [_stmt_to_json(s) for s in stmt.body],
+        }
+    if isinstance(stmt, Branch):
+        return {
+            "op": "branch",
+            "weight": stmt.weight,
+            "then": [_stmt_to_json(s) for s in stmt.then],
+            "orelse": [_stmt_to_json(s) for s in stmt.orelse],
+        }
+    raise ProgramError(f"unserializable statement {stmt!r}")
+
+
+def _stmt_from_json(data: dict) -> Stmt:
+    op = data.get("op")
+    if op == "call":
+        return StaticCall(MethodRef.parse(data["target"]))
+    if op == "vcall":
+        return VirtualCall(data["base"], data["method"])
+    if op == "new":
+        return New(data["klass"])
+    if op == "work":
+        return Work(data["units"])
+    if op == "event":
+        return Event(data["tag"])
+    if op == "loop":
+        return Loop(
+            data["count"], tuple(_stmt_from_json(s) for s in data["body"])
+        )
+    if op == "branch":
+        return Branch(
+            data["weight"],
+            tuple(_stmt_from_json(s) for s in data["then"]),
+            tuple(_stmt_from_json(s) for s in data["orelse"]),
+        )
+    raise ProgramError(f"unknown statement op {op!r}")
+
+
+def program_to_dict(program: Program) -> dict:
+    return {
+        "format": _FORMAT,
+        "entry": str(program.entry),
+        "classes": [
+            {
+                "name": klass.name,
+                "superclass": klass.superclass,
+                "dynamic": klass.dynamic,
+                "library": klass.library,
+                "methods": [
+                    {
+                        "name": method.name,
+                        "body": [_stmt_to_json(s) for s in method.body],
+                    }
+                    for method in klass.methods.values()
+                ],
+            }
+            for klass in program.classes
+        ],
+    }
+
+
+def program_from_dict(data: dict, validate: bool = True) -> Program:
+    if data.get("format") != _FORMAT:
+        raise ProgramError(
+            f"not a serialized program (format={data.get('format')!r})"
+        )
+    program = Program(MethodRef.parse(data["entry"]))
+    for class_data in data["classes"]:
+        klass = Klass(
+            name=class_data["name"],
+            superclass=class_data.get("superclass"),
+            dynamic=class_data.get("dynamic", False),
+            library=class_data.get("library", False),
+        )
+        program.add_class(klass)
+        for method_data in class_data["methods"]:
+            klass.define(
+                Method(
+                    method_data["name"],
+                    tuple(
+                        _stmt_from_json(s) for s in method_data["body"]
+                    ),
+                )
+            )
+    if validate:
+        program.validate()
+    return program
+
+
+# ----------------------------------------------------------------------
+# Source form
+# ----------------------------------------------------------------------
+def _format_body(body: Sequence[Stmt], indent: int, out: List[str]) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, StaticCall):
+            out.append(f"{pad}call {stmt.target}")
+        elif isinstance(stmt, VirtualCall):
+            out.append(f"{pad}vcall {stmt.base}.{stmt.method}")
+        elif isinstance(stmt, New):
+            out.append(f"{pad}new {stmt.klass}")
+        elif isinstance(stmt, Work):
+            out.append(f"{pad}work {stmt.units}")
+        elif isinstance(stmt, Event):
+            out.append(f"{pad}event {stmt.tag}")
+        elif isinstance(stmt, Loop):
+            out.append(f"{pad}loop {stmt.count}")
+            _format_body(stmt.body, indent + 1, out)
+            out.append(f"{pad}end")
+        elif isinstance(stmt, Branch):
+            out.append(f"{pad}branch {stmt.weight:g}")
+            _format_body(stmt.then, indent + 1, out)
+            if stmt.orelse:
+                out.append(f"{pad}else")
+                _format_body(stmt.orelse, indent + 1, out)
+            out.append(f"{pad}end")
+        else:
+            raise ProgramError(f"unformattable statement {stmt!r}")
+
+
+def format_program(program: Program) -> str:
+    """Regenerate parseable JIP source for ``program``."""
+    lines: List[str] = [f"program {program.entry}", ""]
+    for klass in program.classes:
+        declaration = f"class {klass.name}"
+        if klass.superclass:
+            declaration += f" extends {klass.superclass}"
+        if klass.dynamic:
+            declaration += " dynamic"
+        if klass.library:
+            declaration += " library"
+        lines.append(declaration)
+    lines.append("")
+    for klass in program.classes:
+        for method in klass.methods.values():
+            lines.append(f"def {klass.name}.{method.name}")
+            _format_body(method.body, 1, lines)
+            lines.append("end")
+            lines.append("")
+    return "\n".join(lines)

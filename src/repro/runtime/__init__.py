@@ -1,0 +1,29 @@
+"""Execution substrate: interpreter, instrumentation agent, collection."""
+
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import CollectedStats, ContextCollector
+from repro.runtime.events import EventKind, Trace, TraceEvent
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import DeltaPathPlan, build_plan, build_plan_from_graph
+from repro.runtime.probes import NullProbe, Probe
+from repro.runtime.profiling import EdgeProfiler, edge_priority_from_counts
+from repro.runtime.threads import ThreadedRun, ThreadResult
+
+__all__ = [
+    "CollectedStats",
+    "ContextCollector",
+    "DeltaPathPlan",
+    "DeltaPathProbe",
+    "EdgeProfiler",
+    "EventKind",
+    "Interpreter",
+    "NullProbe",
+    "Probe",
+    "ThreadResult",
+    "ThreadedRun",
+    "Trace",
+    "TraceEvent",
+    "build_plan",
+    "build_plan_from_graph",
+    "edge_priority_from_counts",
+]

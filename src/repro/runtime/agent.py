@@ -1,0 +1,318 @@
+"""The DeltaPath runtime agent (probe).
+
+Executes the paper's instrumentation at the boundaries the interpreter
+reports:
+
+* **call site** (instrumented): ``ID += AV``; with call path tracking
+  (CPT), also store the expected SID. A dispatch onto a back-edge target
+  instead pushes a RECURSION entry and resets the ID.
+* **function entry** (instrumented): with CPT, compare the expected SID
+  against the function's own — mismatch pushes a UCP entry and resets;
+  then, if the function is an anchor, push an ANCHOR entry and reset.
+* **function exit**: pop whatever this frame's entry pushed, restoring
+  the saved ID.
+* **after call**: undo the site's effect (``ID -= AV`` or pop the
+  RECURSION entry).
+
+Uninstrumented functions (dynamically loaded classes, excluded library
+components) hit dictionary misses at the top of each hook and fall
+straight through — no encoding work, mirroring the paper's agent, which
+never rewrites those classes.
+
+Two implementation notes relative to the paper's Section 4.1:
+
+* The expected-SID register is written at instrumented sites and *saved
+  and restored around each instrumented call* (the paper: the expected
+  SID "along with the call site and the current encoding ID value is
+  saved"), so after a call returns, the register again describes the
+  caller's last outstanding expectation. Between instrumented sites the
+  register goes stale on purpose; a stale value coincidentally matching
+  an entered function's SID is a (rare) missed detection inherent to the
+  mechanism being reproduced.
+* Where the paper saves ``(expected SID, call site, ID)`` at every
+  instrumented site and pushes that saved triple on detection, we keep an
+  *owner stack*: the node whose piece-relative encoding value the current
+  ID represents (pushed at instrumented calls, popped on return). A UCP
+  entry records the owner at detection time, which makes decoding resume
+  at the correct frame even when instrumented calls completed between the
+  last site and the detection — a corner where the saved-triple scheme
+  would resume at an already-popped sibling frame. Same per-call cost
+  (one push/pop), strictly better decoding; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.errors import RuntimeEncodingError
+from repro.graph.callgraph import CallSite
+from repro.runtime.plan import DeltaPathPlan
+from repro.runtime.probes import Probe
+
+__all__ = ["DeltaPathProbe"]
+
+# Frame flags: which pops a function's exit owes.
+_F_NONE = 0
+_F_UCP = 1
+_F_ANCHOR = 2
+
+# Call-record sentinel for recursion sites.
+_REC = "rec"
+
+
+class DeltaPathProbe(Probe):
+    """Runtime encoding state driven by a :class:`DeltaPathPlan`."""
+
+    def __init__(self, plan: DeltaPathPlan, cpt: bool = True):
+        if cpt and plan.zero_elided:
+            raise RuntimeEncodingError(
+                "call path tracking needs every instrumented site to "
+                "write its expected SID; rebuild the plan without "
+                "elide_zero_av_sites (or run with cpt=False)"
+            )
+        self.plan = plan
+        self.cpt = cpt
+        self.name = "deltapath+cpt" if cpt else "deltapath"
+        # Hot-path lookup tables. One combined record per instrumented
+        # site: (addition value or None, expected SID, first static
+        # target, recursive targets or None).
+        self._site_info = {}
+        for key, av in plan.site_av.items():
+            self._site_info[key] = (
+                av,
+                plan.site_sid[key],
+                plan.site_target[key],
+                plan.site_recursion.get(key),
+            )
+        for key, rec in plan.site_recursion.items():
+            if key not in self._site_info:
+                self._site_info[key] = (
+                    None,
+                    plan.site_sid[key],
+                    plan.site_target[key],
+                    rec,
+                )
+        self._node_info = plan.node_info
+        self._anchor_nodes = frozenset(
+            node for node, (_sid, is_anchor) in plan.node_info.items()
+            if is_anchor
+        )
+        self._entry_node = plan.graph.entry
+        # Mutable encoding state.
+        self._id = 0
+        self._stack: List[StackEntry] = []
+        self._expected_sid = plan.entry_sid
+        self._expected_key: Optional[Tuple[str, Hashable]] = None
+        # Owner stack (CPT only): (node, executed) whose piece-relative
+        # value the current ID represents.
+        self._owner: List[Tuple[str, bool]] = [(self._entry_node, True)]
+        self._call_records: List[object] = []
+        # Frame records: (flags, replaced owner-top or None).
+        self._frames: List[Tuple[int, Optional[Tuple[str, bool]]]] = []
+        # Statistics.
+        self.ucp_detections = 0
+        self.max_stack_depth = 0
+        self.max_id_seen = 0
+
+    # ------------------------------------------------------------------
+    # Probe hooks
+    # ------------------------------------------------------------------
+    def begin_execution(self, entry: str) -> None:
+        self._id = 0
+        self._stack.clear()
+        self._call_records.clear()
+        self._frames.clear()
+        self._expected_sid = self.plan.entry_sid
+        self._expected_key = None
+        self._owner = [(self._entry_node, True)]
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        key = (caller, label)
+        info = self._site_info.get(key)
+        if info is None:
+            self._call_records.append(None)
+            return
+        av, sid, target, rec_targets = info
+        if rec_targets is not None and callee in rec_targets:
+            self._stack.append(
+                StackEntry(
+                    kind=EntryKind.RECURSION,
+                    node=callee,
+                    saved_id=self._id,
+                    site=CallSite(caller, label),
+                )
+            )
+            self._id = 0
+            if self.cpt:
+                self._call_records.append(
+                    (_REC, self._expected_sid, self._expected_key)
+                )
+                self._expected_sid = sid
+                self._expected_key = key
+                self._owner.append((callee, False))
+            else:
+                self._call_records.append((_REC, 0, None))
+            return
+        if av is None:
+            # A pure back-edge site dispatched to a non-recursive target
+            # never happens (all its edges are back edges), but stay safe.
+            self._call_records.append(None)
+            return
+        self._id += av
+        if self.cpt:
+            self._call_records.append(
+                (av, self._expected_sid, self._expected_key)
+            )
+            self._expected_sid = sid
+            self._expected_key = key
+            # The owner must be a *static* target of the site (a dynamic
+            # dispatch may land outside the encoded graph); all targets
+            # share the addition value, so the first is arithmetically
+            # exact. The callee's own entry corrects the name if it is
+            # instrumented.
+            self._owner.append((target, False))
+        else:
+            self._call_records.append((av, 0, None))
+
+    def enter_function(self, node: str) -> None:
+        if not self.cpt:
+            # Without call path tracking only anchor entries/exits carry
+            # any instrumentation (the paper's wo/CPT configuration).
+            if node in self._anchor_nodes:
+                self._stack.append(
+                    StackEntry(
+                        kind=EntryKind.ANCHOR, node=node, saved_id=self._id
+                    )
+                )
+                self._id = 0
+                depth = len(self._stack)
+                if depth > self.max_stack_depth:
+                    self.max_stack_depth = depth
+            return
+        info = self._node_info.get(node)
+        if info is None:
+            self._frames.append((_F_NONE, None))
+            return
+        sid, is_anchor = info
+        flags = _F_NONE
+        replaced: Optional[Tuple[str, bool]] = None
+        if self.cpt:
+            if self._expected_sid != sid:
+                resume_node, resume_executed = self._owner[-1]
+                self._stack.append(
+                    StackEntry(
+                        kind=EntryKind.UCP,
+                        node=node,
+                        saved_id=self._id,
+                        site=(
+                            CallSite(*self._expected_key)
+                            if self._expected_key is not None
+                            else None
+                        ),
+                        expected_sid=self._expected_sid,
+                        resume_node=resume_node,
+                        resume_executed=resume_executed,
+                    )
+                )
+                self._id = 0
+                self._owner.append((node, True))
+                self.ucp_detections += 1
+                flags |= _F_UCP
+        if is_anchor:
+            self._stack.append(
+                StackEntry(kind=EntryKind.ANCHOR, node=node, saved_id=self._id)
+            )
+            self._id = 0
+            if self.cpt:
+                self._owner.append((node, True))
+            flags |= _F_ANCHOR
+        if self.cpt and flags == _F_NONE:
+            # Plain instrumented entry: the current ID's value now belongs
+            # to this (executing) function.
+            replaced = self._owner[-1]
+            self._owner[-1] = (node, True)
+        self._frames.append((flags, replaced))
+        depth = len(self._stack)
+        if depth > self.max_stack_depth:
+            self.max_stack_depth = depth
+
+    def exit_function(self, node: str) -> None:
+        if not self.cpt:
+            if node in self._anchor_nodes:
+                self._id = self._pop(EntryKind.ANCHOR, node).saved_id
+            return
+        if not self._frames:
+            raise RuntimeEncodingError(f"unbalanced exit from {node!r}")
+        flags, replaced = self._frames.pop()
+        if flags & _F_ANCHOR:
+            self._id = self._pop(EntryKind.ANCHOR, node).saved_id
+            if self.cpt:
+                self._owner.pop()
+        if flags & _F_UCP:
+            self._id = self._pop(EntryKind.UCP, node).saved_id
+            if self.cpt:
+                self._owner.pop()
+        if replaced is not None:
+            self._owner[-1] = replaced
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        if not self._call_records:
+            raise RuntimeEncodingError(
+                f"unbalanced after_call at {caller}@{label}"
+            )
+        record = self._call_records.pop()
+        if record is None:
+            return
+        kind_or_av, saved_sid, saved_key = record
+        if kind_or_av is _REC:
+            entry = self._stack.pop()
+            if entry.kind is not EntryKind.RECURSION:
+                raise RuntimeEncodingError(
+                    f"expected RECURSION on stack top, found {entry.kind}"
+                )
+            self._id = entry.saved_id
+        else:
+            self._id -= kind_or_av
+        if self.cpt:
+            self._expected_sid = saved_sid
+            self._expected_key = saved_key
+            self._owner.pop()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def snapshot(self, node: str) -> Tuple[Tuple[StackEntry, ...], int]:
+        """The current encoding: ``(stack, ID)`` — hashable, decodable."""
+        if self._id > self.max_id_seen:
+            self.max_id_seen = self._id
+        return tuple(self._stack), self._id
+
+    def context_metrics(self) -> dict:
+        """Per-observation metrics for the Table 2 collector.
+
+        ``stack_depth`` counts the paper's way directly: the entry
+        function is always an anchor, so the stack's bottom element
+        records the entry node ("ideally, the stack only contains one
+        element") and ``len(stack)`` is the paper's depth.
+        """
+        ucp_entries = sum(1 for e in self._stack if e.kind is EntryKind.UCP)
+        return {
+            "stack_depth": len(self._stack),
+            "ucp": ucp_entries,
+            "id": self._id,
+        }
+
+    # ------------------------------------------------------------------
+    def _pop(self, kind: EntryKind, node: str) -> StackEntry:
+        if not self._stack:
+            raise RuntimeEncodingError(
+                f"encoding stack empty popping {kind.name} at {node!r}"
+            )
+        entry = self._stack.pop()
+        if entry.kind is not kind:
+            raise RuntimeEncodingError(
+                f"expected {kind.name} on stack top at {node!r}, found "
+                f"{entry.kind.name}"
+            )
+        return entry

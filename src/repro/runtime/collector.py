@@ -1,0 +1,155 @@
+"""Context collection for the dynamic-characteristics experiments.
+
+The paper's Table 2 collects "the encoded calling contexts at the entry
+of the instrumented application functions". The collector does exactly
+that: at every entry of a node of interest it takes the probe's snapshot
+and accumulates
+
+* total contexts collected,
+* max/avg context depth (number of interest functions on the stack —
+  the collector keeps its own shadow depth),
+* unique encodings (distinct ``(node, snapshot)`` pairs),
+* probe-specific metrics (DeltaPath stack depth, UCP count, max ID),
+* optionally the ground-truth contexts (shadow stack), which exposes
+  hash collisions: a baseline whose unique-encoding count is below the
+  unique-truth count has merged distinct contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+__all__ = ["ContextCollector", "CollectedStats"]
+
+
+@dataclass
+class CollectedStats:
+    """Summary in the shape of the paper's Table 2 columns."""
+
+    total_contexts: int
+    max_depth: int
+    avg_depth: float
+    unique_encodings: int
+    unique_truth: Optional[int]
+    max_stack_depth: Optional[int]
+    avg_stack_depth: Optional[float]
+    max_ucp: Optional[int]
+    avg_ucp: Optional[float]
+    max_id: Optional[int]
+
+    @property
+    def collisions(self) -> Optional[int]:
+        """Distinct contexts merged by the encoding (0 for precise ones)."""
+        if self.unique_truth is None:
+            return None
+        return self.unique_truth - self.unique_encodings
+
+
+class ContextCollector:
+    """Collects context observations at instrumented-function entries.
+
+    Parameters
+    ----------
+    interest:
+        Node names to collect at; ``None`` collects at every entry.
+    track_truth:
+        Also maintain the true context (shadow stack) per observation;
+        costs memory/time, used to measure baseline hash collisions.
+    sample_uniques_only:
+        When True, per-observation metric lists are not kept (cheaper for
+        very long runs); max/avg are still maintained incrementally.
+    """
+
+    def __init__(
+        self,
+        interest: Optional[Set[str]] = None,
+        track_truth: bool = False,
+        collect_events: bool = True,
+    ):
+        self.interest = interest
+        self.track_truth = track_truth
+        self.collect_events = collect_events
+
+        self.total = 0
+        self.depth_sum = 0
+        self.max_depth = 0
+        self.unique: Set[Tuple[str, Hashable]] = set()
+        self.truth_unique: Set[Tuple[str, Tuple[str, ...]]] = set()
+        self._shadow: List[str] = []
+
+        self._metrics_n = 0
+        self._stack_depth_sum = 0
+        self.max_stack_depth = 0
+        self._ucp_sum = 0
+        self.max_ucp = 0
+        self.max_id = 0
+        self._saw_metrics = False
+
+        #: (tag, node, snapshot) tuples from Event statements.
+        self.events: List[Tuple[str, str, Hashable]] = []
+
+    # ------------------------------------------------------------------
+    # Interpreter hooks
+    # ------------------------------------------------------------------
+    def on_entry(self, node: str, depth: int, probe) -> None:
+        if self.interest is not None and node not in self.interest:
+            return
+        self._shadow.append(node)
+        shadow_depth = len(self._shadow)
+        self.total += 1
+        self.depth_sum += shadow_depth
+        if shadow_depth > self.max_depth:
+            self.max_depth = shadow_depth
+
+        snapshot = probe.snapshot(node)
+        self.unique.add((node, snapshot))
+        if self.track_truth:
+            self.truth_unique.add((node, tuple(self._shadow)))
+
+        metrics = getattr(probe, "context_metrics", None)
+        if metrics is not None:
+            self._saw_metrics = True
+            values = metrics()
+            self._metrics_n += 1
+            stack_depth = values.get("stack_depth", 0)
+            ucp = values.get("ucp", 0)
+            current_id = values.get("id", 0)
+            self._stack_depth_sum += stack_depth
+            self._ucp_sum += ucp
+            if stack_depth > self.max_stack_depth:
+                self.max_stack_depth = stack_depth
+            if ucp > self.max_ucp:
+                self.max_ucp = ucp
+            if current_id > self.max_id:
+                self.max_id = current_id
+
+    def on_exit(self, node: str) -> None:
+        if self.interest is not None and node not in self.interest:
+            return
+        if self._shadow and self._shadow[-1] == node:
+            self._shadow.pop()
+
+    def on_event(self, tag: str, node: str, depth: int, probe) -> None:
+        if not self.collect_events:
+            return
+        self.events.append((tag, node, probe.snapshot(node)))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CollectedStats:
+        n = max(self.total, 1)
+        mn = max(self._metrics_n, 1)
+        return CollectedStats(
+            total_contexts=self.total,
+            max_depth=self.max_depth,
+            avg_depth=self.depth_sum / n,
+            unique_encodings=len(self.unique),
+            unique_truth=len(self.truth_unique) if self.track_truth else None,
+            max_stack_depth=self.max_stack_depth if self._saw_metrics else None,
+            avg_stack_depth=(
+                self._stack_depth_sum / mn if self._saw_metrics else None
+            ),
+            max_ucp=self.max_ucp if self._saw_metrics else None,
+            avg_ucp=self._ucp_sum / mn if self._saw_metrics else None,
+            max_id=self.max_id if self._saw_metrics else None,
+        )

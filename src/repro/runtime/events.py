@@ -1,0 +1,69 @@
+"""Execution event records and optional full tracing.
+
+The interpreter can record every call/return/event for tests that assert
+exact execution behaviour. Benchmarks run without a trace (recording
+everything would dominate the measurement, like writing a log per call).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+__all__ = ["EventKind", "TraceEvent", "Trace"]
+
+
+class EventKind(enum.Enum):
+    CALL = "call"
+    RETURN = "return"
+    EVENT = "event"
+    LOAD = "load"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dynamic event.
+
+    ``node`` is the executing function (callee for CALL/RETURN); ``site``
+    the call-site label for CALL/RETURN; ``tag`` the event tag or loaded
+    class name; ``depth`` the call depth *after* the event.
+    """
+
+    kind: EventKind
+    node: str
+    site: Optional[Hashable] = None
+    caller: Optional[str] = None
+    tag: Optional[str] = None
+    depth: int = 0
+
+
+class Trace:
+    """An append-only list of trace events with convenience queries."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def calls(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is EventKind.CALL]
+
+    def loads(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is EventKind.LOAD]
+
+    def tagged(self, tag: str) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.kind is EventKind.EVENT and e.tag == tag
+        ]
+
+    def max_depth(self) -> int:
+        return max((e.depth for e in self.events), default=0)

@@ -1,0 +1,312 @@
+"""The JIP interpreter: the reproduction's JVM stand-in.
+
+Executes a :class:`~repro.lang.model.Program` deterministically (seeded
+branch decisions and receiver choices), reporting every call boundary to
+a :class:`~repro.runtime.probes.Probe` — the instrumentation agent — and
+every function entry/exit to an optional collector (the measurement
+harness).
+
+Runtime semantics mirrored from the JVM where they matter to the paper:
+
+* **Dynamic dispatch** — a virtual call picks a receiver class from the
+  pool of *instantiated* classes compatible with the static base type,
+  then resolves the method Java-style up the superclass chain.
+* **Dynamic class loading** — classes flagged ``dynamic`` join the world
+  only when first instantiated or statically invoked; a load event is
+  recorded, and from then on virtual sites can dispatch into them (the
+  unexpected call paths of Section 4.1).
+* **Process persistence** — interpreter state (loaded classes, receiver
+  pools) persists across ``run()`` calls, like a warmed-up JVM running
+  successive benchmark operations.
+
+Call-site labels emitted to probes are identical to the labels
+:func:`repro.analysis.call_sites_of` produces, so static plans and the
+runtime agree without a lookup table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import DispatchError, WorkloadError
+from repro.lang.model import (
+    Branch,
+    Event,
+    Loop,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+)
+from repro.runtime.events import EventKind, Trace, TraceEvent
+from repro.runtime.probes import NullProbe, Probe
+
+__all__ = ["Interpreter"]
+
+
+class Interpreter:
+    """Executes JIP programs under a probe.
+
+    Parameters
+    ----------
+    program:
+        The validated program to run.
+    probe:
+        Instrumentation agent; defaults to :class:`NullProbe` (native).
+    seed:
+        Seeds branch decisions and receiver choices; same seed, same
+        execution, regardless of the probe (probes never consume
+        randomness), so overhead comparisons run identical workloads.
+    trace:
+        Optional :class:`Trace` recording every event (tests only).
+    collector:
+        Optional object with ``on_entry(node, depth)``, ``on_exit(node)``
+        and ``on_event(tag, node, depth)`` hooks (see
+        :mod:`repro.runtime.collector`).
+    max_depth:
+        Call-depth guard against runaway recursion in workloads.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        probe: Optional[Probe] = None,
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+        collector=None,
+        max_depth: int = 2000,
+    ):
+        program.validate()
+        self.program = program
+        self.probe = probe if probe is not None else NullProbe()
+        self.trace = trace
+        self.collector = collector
+        self.max_depth = max_depth
+        self._rng = random.Random(seed)
+        self._depth = 0
+        self._work_done = 0
+        # Loaded world: non-dynamic classes are pre-loaded (on the class
+        # path); dynamic ones join at first use.
+        self._loaded: set = {
+            k.name for k in program.classes if not k.dynamic
+        }
+        # base class -> ordered list of instantiated compatible classes.
+        self._pools: Dict[str, List[str]] = {}
+        self._pool_version = 0
+        # (base, method, pool version) -> dispatch candidates.
+        self._dispatch_cache: Dict[Tuple[str, str, int], List[MethodRef]] = {}
+        # (class, method) -> resolved ref or None.
+        self._resolve_cache: Dict[Tuple[str, str], Optional[MethodRef]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, operations: int = 1) -> None:
+        """Execute the entry method ``operations`` times."""
+        entry = self.program.entry
+        for _ in range(operations):
+            self.probe.begin_execution(str(entry))
+            self._invoke_entry(entry)
+            self.probe.end_execution()
+
+    @property
+    def work_done(self) -> int:
+        """Total abstract work units executed (sanity check for benches)."""
+        return self._work_done
+
+    @property
+    def loaded_classes(self) -> List[str]:
+        return sorted(self._loaded)
+
+    def instantiate(self, klass: str) -> None:
+        """Programmatically instantiate a class (workload setup)."""
+        self._do_new(klass)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _invoke_entry(self, entry: MethodRef) -> None:
+        node = str(entry)
+        self._depth = 1
+        self.probe.enter_function(node)
+        if self.collector is not None:
+            self.collector.on_entry(node, self._depth, self.probe)
+        self._exec_body(self.program.method(entry).body, entry, "")
+        if self.collector is not None:
+            self.collector.on_exit(node)
+        self.probe.exit_function(node)
+        self._depth = 0
+
+    def _exec_body(
+        self, body: Sequence[Stmt], owner: MethodRef, prefix: str
+    ) -> None:
+        for index, stmt in enumerate(body):
+            label = f"{prefix}{index}"
+            kind = type(stmt)
+            if kind is StaticCall:
+                self._do_static_call(stmt, owner, label)
+            elif kind is VirtualCall:
+                self._do_virtual_call(stmt, owner, label)
+            elif kind is Work:
+                self._do_work(stmt.units)
+            elif kind is Loop:
+                inner = f"{label}."
+                for _ in range(stmt.count):
+                    self._exec_body(stmt.body, owner, inner)
+            elif kind is Branch:
+                if self._rng.random() < stmt.weight:
+                    self._exec_body(stmt.then, owner, f"{label}.t")
+                else:
+                    self._exec_body(stmt.orelse, owner, f"{label}.e")
+            elif kind is New:
+                self._do_new(stmt.klass)
+            elif kind is Event:
+                self._do_event(stmt.tag, owner)
+            else:  # pragma: no cover - model is closed
+                raise WorkloadError(f"unknown statement {stmt!r}")
+
+    def _do_static_call(
+        self, stmt: StaticCall, owner: MethodRef, label: str
+    ) -> None:
+        target = stmt.target
+        self._ensure_loaded(target.klass)
+        self._call(owner, label, target)
+
+    def _do_virtual_call(
+        self, stmt: VirtualCall, owner: MethodRef, label: str
+    ) -> None:
+        candidates = self._dispatch_candidates(stmt.base, stmt.method)
+        if not candidates:
+            raise DispatchError(
+                f"{owner}@{label}: virtual call {stmt.base}.{stmt.method} "
+                f"has no instantiated receiver (instantiate a compatible "
+                f"class first)"
+            )
+        if len(candidates) == 1:
+            target = candidates[0]
+        else:
+            target = candidates[self._rng.randrange(len(candidates))]
+        self._call(owner, label, target)
+
+    def _call(self, owner: MethodRef, label: str, target: MethodRef) -> None:
+        caller_node = str(owner)
+        callee_node = str(target)
+        if self._depth >= self.max_depth:
+            raise WorkloadError(
+                f"call depth exceeded {self.max_depth} at "
+                f"{caller_node}@{label} -> {callee_node}"
+            )
+        probe = self.probe
+        probe.before_call(caller_node, label, callee_node)
+        self._depth += 1
+        if self.trace is not None:
+            self.trace.append(
+                TraceEvent(
+                    EventKind.CALL,
+                    node=callee_node,
+                    site=label,
+                    caller=caller_node,
+                    depth=self._depth,
+                )
+            )
+        probe.enter_function(callee_node)
+        if self.collector is not None:
+            self.collector.on_entry(callee_node, self._depth, probe)
+        self._exec_body(
+            self.program.method(target).body, target, ""
+        )
+        if self.collector is not None:
+            self.collector.on_exit(callee_node)
+        probe.exit_function(callee_node)
+        self._depth -= 1
+        if self.trace is not None:
+            self.trace.append(
+                TraceEvent(
+                    EventKind.RETURN,
+                    node=callee_node,
+                    site=label,
+                    caller=caller_node,
+                    depth=self._depth,
+                )
+            )
+        probe.after_call(caller_node, label, callee_node)
+
+    # ------------------------------------------------------------------
+    # World state
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self, klass_name: str) -> None:
+        if klass_name in self._loaded:
+            return
+        # Loading a class loads its superclass chain first (JVM rules).
+        for ancestor in reversed(self.program.supertypes(klass_name)):
+            if ancestor not in self._loaded:
+                self._loaded.add(ancestor)
+                if self.trace is not None:
+                    self.trace.append(
+                        TraceEvent(
+                            EventKind.LOAD, node=ancestor, tag=ancestor,
+                            depth=self._depth,
+                        )
+                    )
+
+    def _do_new(self, klass_name: str) -> None:
+        self._ensure_loaded(klass_name)
+        pools = self._pools
+        changed = False
+        for ancestor in self.program.supertypes(klass_name):
+            pool = pools.setdefault(ancestor, [])
+            if klass_name not in pool:
+                pool.append(klass_name)
+                changed = True
+        if changed:
+            self._pool_version += 1
+
+    def _dispatch_candidates(
+        self, base: str, method: str
+    ) -> List[MethodRef]:
+        key = (base, method, self._pool_version)
+        cached = self._dispatch_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates: List[MethodRef] = []
+        seen = set()
+        for receiver in self._pools.get(base, ()):
+            resolved = self._resolve(receiver, method)
+            if resolved is not None and resolved not in seen:
+                seen.add(resolved)
+                candidates.append(resolved)
+        self._dispatch_cache[key] = candidates
+        return candidates
+
+    def _resolve(self, klass: str, method: str) -> Optional[MethodRef]:
+        key = (klass, method)
+        if key in self._resolve_cache:
+            return self._resolve_cache[key]
+        try:
+            resolved = self.program.resolve(klass, method)
+        except DispatchError:
+            resolved = None
+        self._resolve_cache[key] = resolved
+        return resolved
+
+    def _do_work(self, units: int) -> None:
+        # Busy-work standing in for real computation between calls; cheap
+        # but not optimized away, so instrumentation overhead is measured
+        # against a realistic non-zero baseline.
+        acc = 0
+        for _ in range(units):
+            acc += 1
+        self._work_done += acc
+
+    def _do_event(self, tag: str, owner: MethodRef) -> None:
+        node = str(owner)
+        if self.collector is not None:
+            self.collector.on_event(tag, node, self._depth, self.probe)
+        if self.trace is not None:
+            self.trace.append(
+                TraceEvent(EventKind.EVENT, node=node, tag=tag, depth=self._depth)
+            )

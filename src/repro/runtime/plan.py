@@ -1,0 +1,199 @@
+"""Static instrumentation plans.
+
+A plan is everything the runtime agent needs, precomputed: per-call-site
+addition values, recursion sites, SIDs for call path tracking, anchor
+membership, and the encoding itself (for decoding). Building a plan runs
+the full static pipeline of the paper's Section 5:
+
+    program --0-CFA--> call graph --[selective projection]-->
+    encoded graph --Algorithm 2--> addition values + anchors
+                  --union-find--> SIDs
+                  --back edges--> recursion sites
+
+Plans are keyed by plain ``(caller, label)`` tuples rather than
+:class:`CallSite` objects so the probe's hot path is dictionary lookups
+on tuples the interpreter already has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.analysis.callgraph_builder import Policy, build_callgraph
+from repro.core.anchored import AnchoredEncoding, encode_anchored
+from repro.core.decoder import ContextDecoder, DecodedContext
+from repro.core.recursion import RecursionPlan, plan_recursion
+from repro.core.selective import project_interesting, reattach_orphans
+from repro.core.sid import SidTable, compute_sids
+from repro.core.widths import W64, Width
+from repro.graph.callgraph import CallGraph, CallSite
+from repro.lang.model import Program
+
+__all__ = ["DeltaPathPlan", "build_plan", "build_plan_from_graph"]
+
+SiteKey = Tuple[str, Hashable]
+
+
+@dataclass
+class DeltaPathPlan:
+    """Everything the DeltaPath agent consults at runtime."""
+
+    #: The graph the encoding ran on (selective projection applied).
+    graph: CallGraph
+    encoding: AnchoredEncoding
+    sids: SidTable
+    recursion: RecursionPlan
+    #: (caller, label) -> addition value.
+    site_av: Dict[SiteKey, int]
+    #: (caller, label) -> recursive dispatch targets (back-edge callees).
+    site_recursion: Dict[SiteKey, FrozenSet[str]]
+    #: (caller, label) -> expected SID stored before the call.
+    site_sid: Dict[SiteKey, int]
+    #: (caller, label) -> first static dispatch target (the "expected
+    #: callee" whose encoding value the ID represents after the site's
+    #: addition; all targets of a site share the addition value).
+    site_target: Dict[SiteKey, str]
+    #: node -> (SID, is_anchor) for every instrumented function.
+    node_info: Dict[str, Tuple[int, bool]]
+    #: SID of the entry function (the initial "expected" value).
+    entry_sid: int
+    #: True when zero-addition-value sites were dropped from the tables
+    #: (the Section 8 hot-edge optimization); incompatible with CPT.
+    zero_elided: bool = False
+
+    @property
+    def instrumented_nodes(self) -> Set[str]:
+        return set(self.node_info)
+
+    @property
+    def instrumented_site_count(self) -> int:
+        """Table 1's CS column: call sites carrying instrumentation."""
+        return len(
+            set(self.site_av) | set(self.site_recursion)
+        )
+
+    def decoder(self) -> ContextDecoder:
+        return ContextDecoder(self.encoding)
+
+    def decode_snapshot(self, node: str, snapshot) -> DecodedContext:
+        """Decode a probe snapshot ``(stack, id)`` taken at ``node``."""
+        stack, current_id = snapshot
+        return self.decoder().decode(node, stack, current_id)
+
+
+def build_plan_from_graph(
+    graph: CallGraph,
+    width: Width = W64,
+    application_only: bool = False,
+    edge_priority: Optional[Callable] = None,
+    elide_zero_av_sites: bool = False,
+    initial_anchors: Iterable[str] = (),
+) -> DeltaPathPlan:
+    """Build a plan from an already-constructed call graph.
+
+    ``application_only`` applies selective encoding (Section 4.2): nodes
+    whose ``library`` attribute is true are excluded from the encoded
+    world; orphaned application nodes are re-rooted with synthetic entry
+    edges so their downstream encodings stay decodable.
+
+    ``initial_anchors`` seeds Algorithm 2 (e.g. from
+    :func:`repro.core.anchorplan.suggest_anchors`, or to pin anchors in
+    tests); Algorithm 2 may still add more on overflow.
+
+    ``edge_priority`` (usually from
+    :func:`repro.runtime.profiling.edge_priority_from_counts`) makes hot
+    edges receive the zero addition values; ``elide_zero_av_sites`` then
+    drops those sites from the instrumentation tables entirely — the
+    Section 8 hot-edge optimization. Eliding is incompatible with call
+    path tracking (the agent enforces this).
+    """
+    if application_only:
+        selection = project_interesting(
+            graph,
+            lambda n: not graph.node_attrs(n).get("library", False),
+        )
+        encoded_graph = reattach_orphans(selection)
+    else:
+        encoded_graph = graph
+
+    recursion = plan_recursion(encoded_graph)
+    encoding = encode_anchored(
+        encoded_graph,
+        width=width,
+        edge_priority=edge_priority,
+        initial_anchors=initial_anchors,
+    )
+    sids = compute_sids(encoded_graph)
+
+    site_av: Dict[SiteKey, int] = {}
+    site_sid: Dict[SiteKey, int] = {}
+    site_target: Dict[SiteKey, str] = {}
+    for site, av in encoding.av.items():
+        key = (site.caller, site.label)
+        if _is_synthetic(site):
+            continue
+        if elide_zero_av_sites and av == 0:
+            continue  # encoding-free hot site: no instrumentation at all
+        site_av[key] = av
+        site_sid[key] = sids.expected_sid(site)
+        site_target[key] = encoded_graph.site_targets(site)[0].callee
+
+    site_recursion: Dict[SiteKey, FrozenSet[str]] = {}
+    for site, targets in recursion.recursive_targets.items():
+        key = (site.caller, site.label)
+        site_recursion[key] = targets
+        if key not in site_sid:
+            site_sid[key] = sids.expected_sid(site)
+        if key not in site_target:
+            site_target[key] = encoded_graph.site_targets(site)[0].callee
+
+    anchors = set(encoding.anchors)
+    node_info = {
+        node: (sids.node_sid(node), node in anchors)
+        for node in encoded_graph.nodes
+    }
+    return DeltaPathPlan(
+        graph=encoded_graph,
+        encoding=encoding,
+        sids=sids,
+        recursion=recursion,
+        site_av=site_av,
+        site_recursion=site_recursion,
+        site_sid=site_sid,
+        site_target=site_target,
+        node_info=node_info,
+        entry_sid=sids.node_sid(encoded_graph.entry),
+        zero_elided=elide_zero_av_sites,
+    )
+
+
+def build_plan(
+    program: Program,
+    policy: Policy = Policy.ZERO_CFA,
+    width: Width = W64,
+    application_only: bool = False,
+    edge_priority: Optional[Callable] = None,
+    elide_zero_av_sites: bool = False,
+    initial_anchors: Iterable[str] = (),
+) -> DeltaPathPlan:
+    """Full pipeline: program -> static call graph -> plan."""
+    graph = build_callgraph(program, policy=policy, include_dynamic=False)
+    return build_plan_from_graph(
+        graph,
+        width=width,
+        application_only=application_only,
+        edge_priority=edge_priority,
+        elide_zero_av_sites=elide_zero_av_sites,
+        initial_anchors=initial_anchors,
+    )
+
+
+def _is_synthetic(site: CallSite) -> bool:
+    """Synthetic orphan-reattachment edges never execute."""
+    label = site.label
+    return (
+        isinstance(label, tuple)
+        and len(label) == 2
+        and label[0] == "<synthetic-entry>"
+    )

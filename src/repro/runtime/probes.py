@@ -1,0 +1,66 @@
+"""Probe interface: the runtime half of an instrumentation agent.
+
+The paper's runtime component is a Java agent that rewrites call sites and
+method entries/exits at class-load time. Our interpreter reports every
+call boundary to a *probe*; the probe decides — from its static plan —
+which of those boundaries are instrumented and executes the corresponding
+encoding operations. Uninstrumented code (dynamic classes, excluded
+library components) therefore costs the probe nothing, matching the
+paper's "no encoding or UCP detection code is executed inside the
+excluded components".
+
+Probe call protocol (enforced by the interpreter, strictly LIFO):
+
+    before_call(caller, label, callee)
+    enter_function(callee)
+    ... nested activity ...
+    exit_function(callee)
+    after_call(caller, label, callee)
+
+``snapshot(node)`` returns a hashable encoding of the current calling
+context — what an application would log at an event point.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+__all__ = ["Probe", "NullProbe"]
+
+
+class Probe:
+    """Base probe: all hooks are no-ops; subclass and override."""
+
+    #: Human-readable configuration name (used in benchmark tables).
+    name = "base"
+
+    def begin_execution(self, entry: str) -> None:
+        """Called once before the entry function runs."""
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        """Called at a call site, before the callee's entry."""
+
+    def enter_function(self, node: str) -> None:
+        """Called at a function's entry point."""
+
+    def exit_function(self, node: str) -> None:
+        """Called at a function's exit point."""
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        """Called after the call returns, back in the caller."""
+
+    def end_execution(self) -> None:
+        """Called once after the entry function returns."""
+
+    def snapshot(self, node: str) -> Hashable:
+        """The current context encoding as observed at ``node``."""
+        raise NotImplementedError
+
+
+class NullProbe(Probe):
+    """The uninstrumented baseline (the paper's "native" runs)."""
+
+    name = "native"
+
+    def snapshot(self, node: str) -> Hashable:
+        return None

@@ -1,0 +1,65 @@
+"""Edge-frequency profiling (feeds the Section 8 hot-edge optimization).
+
+PCCE "profiles the program and then picks hot edges as encoding free
+ones, that is, those with the addition value as zero. DeltaPath can also
+benefit from this strategy." The pieces:
+
+* :class:`EdgeProfiler` — a probe that counts call-edge executions
+  (a profiling run's output);
+* :func:`edge_priority_from_counts` — turns the counts into the
+  ``edge_priority`` callable the encoders accept: hot edges are
+  processed first per node and therefore receive the small (usually
+  zero) addition values;
+* plans built with ``elide_zero_av_sites=True`` then drop zero-valued
+  sites from the instrumentation table entirely — the hot path executes
+  no encoding code at all. (Only valid without call path tracking: CPT
+  writes the expected SID at every instrumented site, so eliding a site
+  would silence its checks; :class:`~repro.runtime.agent.DeltaPathProbe`
+  refuses the combination.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.graph.callgraph import CallEdge
+from repro.runtime.probes import Probe
+
+__all__ = ["EdgeProfiler", "edge_priority_from_counts"]
+
+EdgeKey = Tuple[str, Hashable, str]
+
+
+class EdgeProfiler(Probe):
+    """Counts how often each (caller, label, callee) edge executes."""
+
+    name = "edge-profiler"
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        self.counts[(caller, label, callee)] += 1
+
+    def snapshot(self, node: str) -> None:
+        return None
+
+    def hottest(self, n: int = 10):
+        """The ``n`` most-executed edges, hottest first."""
+        return self.counts.most_common(n)
+
+
+def edge_priority_from_counts(
+    counts: Dict[EdgeKey, int]
+) -> Callable[[CallEdge], float]:
+    """An ``edge_priority`` for the encoders: hotter edges first.
+
+    Unprofiled edges get priority 0 (processed last, in graph order —
+    the sort is stable), so a partial profile degrades gracefully.
+    """
+
+    def priority(edge: CallEdge) -> float:
+        return float(counts.get((edge.caller, edge.label, edge.callee), 0))
+
+    return priority

@@ -1,0 +1,129 @@
+"""The exact call graphs of the paper's worked examples (Figures 1-7).
+
+These small graphs carry the paper's hand-computed numbers, so tests can
+pin our algorithms to the published values:
+
+* Figure 1 — PCCE example; NC values A..G = 1,1,1,2,4,3,8; context ACFG
+  encodes to 6 and decodes back.
+* Figure 4 — Algorithm 1 example; two virtual sites (in D and in C);
+  ICC[E] = 4, ICC[F] = 5 (vs NC[F] = 3), single addition value 2 for the
+  virtual site in D.
+* Figure 5 — Algorithm 2 example; anchors C and D; ICC[E][D] = 2,
+  addition value 2 for FG, and call path CFG encodes to ID 2 relative to
+  anchor C.
+* Figure 6 — incomplete call graph: the dynamically loaded node X makes
+  context ABXE a hazardous UCP and ABXD a benign one.
+* Figure 7 — selective encoding: JDK nodes D and F are excluded; only AB
+  is encoded and G detects a hazardous UCP at its entry.
+
+Call-site naming convention: ``"<caller-lowercase><index>"``; the paper's
+D/D' superscript pair becomes sites ``d1`` and ``d2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.callgraph import CallGraph
+
+__all__ = [
+    "figure1_graph",
+    "figure4_graph",
+    "figure5_graph",
+    "figure5_anchors",
+    "figure6_static_graph",
+    "figure6_dynamic_edges",
+    "figure7_full_graph",
+    "figure7_jdk_nodes",
+]
+
+
+def figure1_graph() -> CallGraph:
+    """Figure 1: the PCCE example (all call sites monomorphic)."""
+    g = CallGraph(entry="A")
+    g.add_edge("A", "B", "a1")
+    g.add_edge("A", "C", "a2")
+    g.add_edge("B", "D", "b1")
+    g.add_edge("C", "D", "c1")
+    g.add_edge("D", "E", "d1")   # the paper's D -> E
+    g.add_edge("D", "E", "d2")   # the paper's D' -> E (second site in D)
+    g.add_edge("D", "F", "d3")
+    g.add_edge("C", "F", "c2")
+    g.add_edge("E", "G", "e1")
+    g.add_edge("F", "G", "f1")
+    g.add_edge("C", "G", "c3")
+    return g
+
+
+def figure4_graph() -> CallGraph:
+    """Figure 4: Algorithm 1 example with two virtual call sites.
+
+    Site ``d2`` in D dispatches to E and F (the paper's D'E and DF);
+    site ``c2`` in C dispatches to F and G (the paper's CF and CG).
+    """
+    g = CallGraph(entry="A")
+    g.add_edge("A", "B", "a1")
+    g.add_edge("A", "C", "a2")
+    g.add_edge("B", "D", "b1")
+    g.add_edge("C", "D", "c1")
+    g.add_edge("D", "E", "d1")           # monomorphic DE
+    g.add_call("D", ["E", "F"], "d2")    # virtual: D'E and DF
+    g.add_call("C", ["F", "G"], "c2")    # virtual: CF and CG
+    g.add_edge("E", "G", "e1")
+    g.add_edge("F", "G", "f1")
+    return g
+
+
+def figure5_graph() -> CallGraph:
+    """Figure 5 uses the same program as Figure 4."""
+    return figure4_graph()
+
+
+def figure5_anchors() -> List[str]:
+    """The anchor nodes of Figure 5 (besides the entry)."""
+    return ["C", "D"]
+
+
+def figure6_static_graph() -> CallGraph:
+    """Figure 6: the call graph *as seen by static analysis*.
+
+    The dynamically loaded node X and its edges (B->X at site b1, X->D,
+    X->E) are absent here; see :func:`figure6_dynamic_edges`.
+    """
+    g = CallGraph(entry="A")
+    g.add_edge("A", "B", "a1")
+    g.add_edge("A", "C", "a2")
+    g.add_edge("B", "D", "b1")   # virtual site b1; at runtime also -> X
+    g.add_edge("C", "D", "c1")
+    g.add_edge("C", "E", "c2")
+    g.add_edge("D", "E", "d1")
+    return g
+
+
+def figure6_dynamic_edges() -> List[Tuple[str, str, str]]:
+    """Runtime-only edges of Figure 6: (caller, callee, site label).
+
+    ``B -> X`` shares site ``b1`` with the static ``B -> D`` edge (same
+    virtual call, new dispatch target from a dynamically loaded class);
+    X's own calls introduce the UCPs ``B -> X -> D`` (benign) and
+    ``B -> X -> E`` (hazardous).
+    """
+    return [("B", "X", "b1"), ("X", "D", "x1"), ("X", "E", "x2")]
+
+
+def figure7_full_graph() -> CallGraph:
+    """Figure 7: application nodes A, B, G; JDK nodes D, F.
+
+    The full (encoding-all) graph. The calling context ABDFG reaches the
+    application function G only through JDK code.
+    """
+    g = CallGraph(entry="A")
+    g.add_edge("A", "B", "a1")
+    g.add_edge("B", "D", "b1")
+    g.add_edge("D", "F", "d1")
+    g.add_edge("F", "G", "f1")
+    return g
+
+
+def figure7_jdk_nodes() -> List[str]:
+    return ["D", "F"]

@@ -1,0 +1,104 @@
+"""Executable JIP programs realizing the paper's Figure 6 and 7 scenarios.
+
+:func:`figure6_program` — dynamic class loading. A virtual call site in
+``Main.b`` statically dispatches only to ``DImpl.m``; the dynamically
+loaded ``XImpl`` adds an unseen target whose body produces both UCP kinds:
+
+* ``XImpl.m`` calls ``DImpl.m`` — a *benign* UCP (``B -> X -> D``): the
+  SID check at ``DImpl.m`` passes because the expected SID written at the
+  virtual site names exactly DImpl.m's set.
+* ``XImpl.m`` calls ``Util.e`` — a *hazardous* UCP (``B -> X -> E``): the
+  stale expected SID does not match ``Util.e``.
+
+:func:`figure7_program` — selective encoding. The application methods
+``Main.main``, ``Main.b`` and ``App.g`` reach each other only through the
+library (JDK-like) classes ``Jdk1``/``Jdk2``; with ``application_only``
+plans, only the ``Main.main -> Main.b`` edge is encoded and ``App.g``
+detects a hazardous UCP at its entry, exactly the paper's walkthrough.
+"""
+
+from __future__ import annotations
+
+from repro.lang.model import Program
+from repro.lang.parser import parse_program
+
+__all__ = ["figure6_program", "figure7_program"]
+
+_FIGURE6_SOURCE = """
+program Main.main
+
+class Base
+class DImpl extends Base
+class XImpl extends Base dynamic
+class Util
+class Main
+
+def Main.main
+  new DImpl
+  branch 0.5            # plugin sometimes loaded at runtime
+    new XImpl
+  end
+  call Main.b
+  call Main.c
+end
+
+def Main.b
+  vcall Base.m          # statically only DImpl.m; dynamically also XImpl.m
+end
+
+def Main.c
+  call DImpl.m
+  call Util.e
+end
+
+def DImpl.m
+  call Util.e
+end
+
+def XImpl.m             # dynamically loaded: never instrumented
+  call DImpl.m          # benign UCP  (B -> X -> D)
+  call Util.e           # hazardous UCP (B -> X -> E)
+end
+
+def Util.e
+  work 1
+end
+"""
+
+
+_FIGURE7_SOURCE = """
+program Main.main
+
+class Main
+class App
+class Jdk1 library
+class Jdk2 library
+
+def Main.main
+  call Main.b           # the only encoded edge (AB)
+end
+
+def Main.b
+  call Jdk1.d           # skipped: library target
+end
+
+def Jdk1.d
+  call Jdk2.f
+end
+
+def Jdk2.f
+  call App.g
+end
+
+def App.g               # detects the hazardous UCP at its entry
+  work 1
+end
+"""
+
+
+def figure6_program() -> Program:
+    return parse_program(_FIGURE6_SOURCE)
+
+
+def figure7_program() -> Program:
+    return parse_program(_FIGURE7_SOURCE)

@@ -1,0 +1,438 @@
+"""SPECjvm2008-shaped synthetic benchmarks (the paper's evaluation suite).
+
+The paper evaluates on the 15 SPECjvm2008 programs. We cannot run a JVM,
+so each benchmark is a synthetic JIP program whose *call-graph shape*
+matches what Table 1 reports, scaled down (library component ~1/8 of the
+paper's node counts; application component ~1/2):
+
+* a **library component** ("JDK"): a layered filler DAG plus a diamond
+  cascade whose depth is tuned per benchmark so the *encoding-all* static
+  maximum ID lands in the paper's band — in particular, sunflow and
+  xml.validation exceed the 64-bit limit (2^63-1 ~ 9.2e18) and force
+  anchor nodes, and nobody else does;
+* an **application component**: filler + per-benchmark hot loops,
+  optional recursion, an optional application-side cascade (sunflow,
+  xml.transform — the two with large encoding-application IDs in the
+  paper), and a dynamically loaded plugin that produces hazardous UCPs;
+* a bridge method connecting application to library, so encoding-all
+  sees the full blowup while encoding-application (selective) does not.
+
+A cascade of depth L with 3 lanes contributes *exactly* ``3**L`` to the
+maximum ICC (each layer multiplies the context count by 3 and cascades
+introduce no ICC inflation because lane methods have a single incoming
+edge), so the per-benchmark ``lib_cascade_layers`` below are simply
+``round(log3(paper max ID))``.
+
+Runtime cost is kept sub-exponential: filler calls execute under seeded
+coin flips (the static graph still contains every edge), and a cascade
+traversal executes one lane per layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    Stmt,
+    VirtualCall,
+    Work,
+)
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.probes import Probe
+from repro.workloads.synthetic import (
+    CascadeSpec,
+    ComponentSpec,
+    add_cascade,
+    add_component,
+)
+
+__all__ = ["BenchmarkSpec", "Benchmark", "SPECJVM_SPECS", "build_benchmark",
+           "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Shape parameters of one synthetic SPECjvm benchmark."""
+
+    name: str
+    #: Paper's Table 1 values this benchmark is modelled on (for reports).
+    paper_nodes_all: int
+    paper_max_id_all: float
+    paper_max_id_app: float
+    #: Library ("JDK") component size and blowup.
+    lib_methods: int
+    lib_cascade_layers: int
+    #: Application component size, blowup and dynamics.
+    app_methods: int
+    app_cascade_layers: int = 0
+    app_depth: int = 6
+    hot_loop: int = 12
+    #: Depth of the hot call chain; the hot loop dominates collected
+    #: contexts, so this tracks the paper's per-benchmark average depth.
+    hot_chain: int = 3
+    recursion: bool = False
+    recursion_weight: float = 0.45
+    plugin_load_weight: float = 0.3
+    cascade_runs: int = 1
+    seed: int = 0
+
+
+# Cascade depths: round(log3(paper max ID)); 3**41 and 3**45 exceed
+# 2**63 - 1 (sunflow, xml.validation) while 3**36 (xml.transform) does
+# not — matching which benchmarks the paper says need anchors.
+SPECJVM_SPECS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            name="compiler.compiler",
+            paper_nodes_all=2308, paper_max_id_all=7.8e7, paper_max_id_app=12,
+            lib_methods=288, lib_cascade_layers=16,
+            app_methods=56, app_depth=8, hot_loop=14, hot_chain=4,
+            recursion=True, seed=101,
+        ),
+        BenchmarkSpec(
+            name="compiler.sunflow",
+            paper_nodes_all=1846, paper_max_id_all=9.6e7, paper_max_id_app=12,
+            lib_methods=230, lib_cascade_layers=17,
+            app_methods=58, app_depth=8, hot_loop=14, hot_chain=4,
+            recursion=True, seed=102,
+        ),
+        BenchmarkSpec(
+            name="compress",
+            paper_nodes_all=1298, paper_max_id_all=4e5, paper_max_id_app=32,
+            lib_methods=162, lib_cascade_layers=12,
+            app_methods=49, app_depth=9, hot_loop=40, hot_chain=8, seed=103,
+        ),
+        BenchmarkSpec(
+            name="crypto.aes",
+            paper_nodes_all=2656, paper_max_id_all=2.5e9, paper_max_id_app=25,
+            lib_methods=332, lib_cascade_layers=20,
+            app_methods=50, app_depth=6, hot_loop=16, hot_chain=4, seed=104,
+        ),
+        BenchmarkSpec(
+            name="crypto.rsa",
+            paper_nodes_all=2656, paper_max_id_all=3.6e8, paper_max_id_app=16,
+            lib_methods=332, lib_cascade_layers=18,
+            app_methods=50, app_depth=6, hot_loop=16, hot_chain=4, seed=105,
+        ),
+        BenchmarkSpec(
+            name="crypto.signverify",
+            paper_nodes_all=2694, paper_max_id_all=2.5e9, paper_max_id_app=37,
+            lib_methods=336, lib_cascade_layers=20,
+            app_methods=48, app_depth=6, hot_loop=16, hot_chain=4, seed=106,
+        ),
+        BenchmarkSpec(
+            name="mpegaudio",
+            paper_nodes_all=3132, paper_max_id_all=3.3e14, paper_max_id_app=130,
+            lib_methods=391, lib_cascade_layers=30,
+            app_methods=126, app_depth=11, hot_loop=36, hot_chain=11, seed=107,
+        ),
+        BenchmarkSpec(
+            name="scimark.fft.large",
+            paper_nodes_all=1279, paper_max_id_all=4e5, paper_max_id_app=5,
+            lib_methods=160, lib_cascade_layers=12,
+            app_methods=39, app_depth=9, hot_loop=30, hot_chain=8, seed=108,
+        ),
+        BenchmarkSpec(
+            name="scimark.lu.large",
+            paper_nodes_all=1273, paper_max_id_all=2.2e6, paper_max_id_app=4,
+            lib_methods=159, lib_cascade_layers=13,
+            app_methods=38, app_depth=9, hot_loop=30, hot_chain=8, seed=109,
+        ),
+        BenchmarkSpec(
+            name="scimark.monte_carlo",
+            paper_nodes_all=1260, paper_max_id_all=1.4e6, paper_max_id_app=4,
+            lib_methods=157, lib_cascade_layers=13,
+            app_methods=31, app_depth=9, hot_loop=44, hot_chain=8, seed=110,
+        ),
+        BenchmarkSpec(
+            name="scimark.sor.large",
+            paper_nodes_all=1269, paper_max_id_all=1.4e6, paper_max_id_app=4,
+            lib_methods=158, lib_cascade_layers=13,
+            app_methods=36, app_depth=9, hot_loop=30, hot_chain=8, seed=111,
+        ),
+        BenchmarkSpec(
+            name="scimark.sparse.large",
+            paper_nodes_all=1265, paper_max_id_all=2.2e6, paper_max_id_app=4,
+            lib_methods=158, lib_cascade_layers=13,
+            app_methods=34, app_depth=9, hot_loop=30, hot_chain=8, seed=112,
+        ),
+        BenchmarkSpec(
+            name="sunflow",
+            paper_nodes_all=7727, paper_max_id_all=4.4e21, paper_max_id_app=1.2e6,
+            lib_methods=965, lib_cascade_layers=45,
+            app_methods=200, app_cascade_layers=13, app_depth=12,
+            hot_loop=24, hot_chain=19, recursion=True, cascade_runs=6, seed=113,
+        ),
+        BenchmarkSpec(
+            name="xml.transform",
+            paper_nodes_all=9766, paper_max_id_all=1.2e17, paper_max_id_app=1.2e10,
+            lib_methods=1220, lib_cascade_layers=36,
+            app_methods=380, app_cascade_layers=21, app_depth=14,
+            hot_loop=18, hot_chain=13, recursion=True, cascade_runs=4, seed=114,
+        ),
+        BenchmarkSpec(
+            name="xml.validation",
+            paper_nodes_all=6703, paper_max_id_all=4.6e19, paper_max_id_app=17,
+            lib_methods=838, lib_cascade_layers=41,
+            app_methods=51, app_depth=7, hot_loop=20, hot_chain=7, seed=115,
+        ),
+    ]
+}
+
+
+def benchmark_names() -> List[str]:
+    return list(SPECJVM_SPECS)
+
+
+@dataclass
+class Benchmark:
+    """A built benchmark: program + the classes runtime dispatch needs."""
+
+    spec: BenchmarkSpec
+    program: Program
+    instantiate: List[str]
+    plugin_class: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def make_interpreter(
+        self,
+        probe: Optional[Probe] = None,
+        seed: int = 0,
+        collector=None,
+        max_depth: int = 4000,
+    ) -> Interpreter:
+        """An interpreter with the receiver world pre-instantiated
+        (the static implementations; the plugin loads dynamically)."""
+        interp = Interpreter(
+            self.program,
+            probe=probe,
+            seed=seed,
+            collector=collector,
+            max_depth=max_depth,
+        )
+        for klass in self.instantiate:
+            interp.instantiate(klass)
+        return interp
+
+
+def build_benchmark(name: str) -> Benchmark:
+    """Construct one synthetic benchmark program by name."""
+    try:
+        spec = SPECJVM_SPECS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+        ) from None
+    return _build(spec)
+
+
+def _build(spec: BenchmarkSpec) -> Benchmark:
+    program = Program(MethodRef("Main", "main"))
+    program.add_class(Klass("Main"))
+    rng = random.Random(spec.seed)
+    instantiate: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Application component.
+    # ------------------------------------------------------------------
+    app_root, app_methods, app_inst = add_component(
+        program,
+        ComponentSpec(
+            prefix="App",
+            methods=spec.app_methods,
+            seed=spec.seed + 1,
+            depth_layers=spec.app_depth,
+        ),
+    )
+    instantiate.extend(app_inst)
+
+    # Hot call chain: tiny, frequently invoked methods (the paper's
+    # "small hot functions" that make compress/mpegaudio/monte_carlo
+    # slow). Its depth dominates the collected contexts' average depth,
+    # so it is sized per benchmark (spec.hot_chain).
+    program.add_class(Klass("Hot"))
+    program.klass("Hot").define(Method("leaf", (Work(2),)))
+    chain_len = max(spec.hot_chain, 1)
+    for i in reversed(range(chain_len)):
+        if i == chain_len - 1:
+            # The loop sits at the *bottom* of the chain, as real hot
+            # loops do: most collected contexts are at full chain depth.
+            body = (Loop(spec.hot_loop, (StaticCall(MethodRef("Hot", "leaf")),)),)
+        else:
+            body = (StaticCall(MethodRef("Hot", f"h{i + 1}")),)
+        program.klass("Hot").define(Method(f"h{i}", body))
+    program.klass("Hot").define(
+        Method("hot", (StaticCall(MethodRef("Hot", "h0")),))
+    )
+
+    # Recursion cluster (drives Table 2 stack depth > 1).
+    if spec.recursion:
+        program.add_class(Klass("Rec"))
+        program.klass("Rec").define(
+            Method(
+                "walk",
+                (
+                    Work(1),
+                    Branch(
+                        spec.recursion_weight,
+                        (StaticCall(MethodRef("Rec", "step")),),
+                    ),
+                ),
+            )
+        )
+        program.klass("Rec").define(
+            Method("step", (StaticCall(MethodRef("Rec", "walk")),))
+        )
+
+    # Application-side cascade (sunflow / xml.transform).
+    app_cascade_top: Optional[MethodRef] = None
+    if spec.app_cascade_layers:
+        top, bottom, lanes = add_cascade(
+            program,
+            CascadeSpec(
+                prefix="AC",
+                layers=spec.app_cascade_layers,
+                lanes=3,
+                library=False,
+            ),
+        )
+        app_cascade_top = top
+        instantiate.extend(lanes)
+
+    # Plugin: a dynamically loaded dispatch target (Section 4.1).
+    program.add_class(Klass("PluginBase"))
+    program.add_class(Klass("StaticHandler", superclass="PluginBase"))
+    # The static handler goes through the same glue method the dynamic
+    # plugin uses, keeping PluginGlue.relay statically reachable (and
+    # therefore instrumented — the nested-UCP path depends on it).
+    program.klass("StaticHandler").define(
+        Method("handle", (StaticCall(MethodRef("PluginGlue", "relay")),))
+    )
+    instantiate.append("StaticHandler")
+    plugin_class = "Plugin"
+    program.add_class(
+        Klass(plugin_class, superclass="PluginBase", dynamic=True)
+    )
+    # A second dispatch surface reachable from code the first plugin
+    # calls: when both plugins dispatch dynamically the detections nest
+    # (the paper's max UCP of 2-3 per context).
+    program.add_class(Klass("Base2"))
+    program.add_class(Klass("StaticAssist", superclass="Base2"))
+    program.klass("StaticAssist").define(Method("assist", (Work(1),)))
+    instantiate.append("StaticAssist")
+    program.add_class(Klass("Plugin2", superclass="Base2", dynamic=True))
+    hazard2 = app_methods[min(3, len(app_methods) - 1)]
+    program.klass("Plugin2").define(
+        Method("assist", (StaticCall(hazard2),))
+    )
+    # Glue: an application method the first plugin calls; its entry is
+    # the first UCP detection point, and its own virtual call can detour
+    # through the second plugin for a nested detection.
+    hazard_target = app_methods[min(2, len(app_methods) - 1)]
+    program.add_class(Klass("PluginGlue"))
+    program.klass("PluginGlue").define(
+        Method(
+            "relay",
+            (StaticCall(hazard_target), VirtualCall("Base2", "assist")),
+        )
+    )
+    program.klass(plugin_class).define(
+        Method(
+            "handle",
+            (
+                StaticCall(MethodRef("PluginGlue", "relay")),
+                StaticCall(MethodRef("Hot", "leaf")),
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Library ("JDK") component.
+    # ------------------------------------------------------------------
+    lib_root, _lib_methods, lib_inst = add_component(
+        program,
+        ComponentSpec(
+            prefix="Jdk",
+            methods=spec.lib_methods,
+            seed=spec.seed + 2,
+            library=True,
+            depth_layers=10,
+        ),
+    )
+    instantiate.extend(lib_inst)
+    lib_top, _lib_bottom, lib_lanes = add_cascade(
+        program,
+        CascadeSpec(
+            prefix="JC", layers=spec.lib_cascade_layers, lanes=3, library=True
+        ),
+    )
+    instantiate.extend(lib_lanes)
+
+    # Bridge: the single application method that enters the library, so
+    # the library cascade's context count multiplier is exactly 1.
+    program.add_class(Klass("Bridge"))
+    program.klass("Bridge").define(
+        Method(
+            "into_lib",
+            (
+                Branch(0.4, (StaticCall(lib_root),)),
+                StaticCall(lib_top),
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Setup: the program instantiates its own receiver classes (so RTA /
+    # 0-CFA see them), like a real benchmark's initialization.
+    # ------------------------------------------------------------------
+    program.add_class(Klass("Setup"))
+    program.klass("Setup").define(
+        Method("init", tuple(New(k) for k in instantiate))
+    )
+
+    # ------------------------------------------------------------------
+    # Main.main: one benchmark operation.
+    # ------------------------------------------------------------------
+    body: List[Stmt] = [
+        StaticCall(MethodRef("Setup", "init")),
+        Branch(spec.plugin_load_weight, (New(plugin_class),)),
+        Branch(spec.plugin_load_weight / 2, (New("Plugin2"),)),
+        Loop(4, (StaticCall(MethodRef("Hot", "hot")),)),
+        StaticCall(app_root),
+    ]
+    if spec.recursion:
+        body.append(StaticCall(MethodRef("Rec", "walk")))
+    if app_cascade_top is not None:
+        body.append(
+            Loop(spec.cascade_runs, (StaticCall(app_cascade_top),))
+        )
+    body.append(StaticCall(MethodRef("Bridge", "into_lib")))
+    body.append(
+        Loop(3, (VirtualCall("PluginBase", "handle"),))
+    )
+    body.append(Event("operation_done"))
+    program.klass("Main").define(Method("main", tuple(body)))
+
+    program.validate()
+    return Benchmark(
+        spec=spec,
+        program=program,
+        instantiate=instantiate,
+        plugin_class=plugin_class,
+    )

@@ -1,0 +1,165 @@
+"""Call-graph construction (CHA / RTA / 0-CFA) tests."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import Policy, build_callgraph, call_sites_of
+from repro.analysis.reachability import (
+    application_nodes,
+    library_nodes,
+    nodes_leading_to,
+    prune_unreachable,
+)
+from repro.graph.callgraph import CallSite
+from repro.lang.model import MethodRef
+from repro.lang.parser import parse_program
+from repro.workloads.paperprograms import figure6_program
+
+
+def _polymorphic_program():
+    return parse_program(
+        """
+        program Main.main
+        class Shape
+        class Circle extends Shape
+        class Square extends Shape
+        class Tri extends Shape
+        class Main
+        def Main.main
+          new Circle
+          new Square
+          vcall Shape.draw
+        end
+        def Shape.draw
+          work 1
+        end
+        def Circle.draw
+          work 1
+        end
+        def Square.draw
+          work 1
+        end
+        def Tri.draw
+          work 1
+        end
+        """
+    )
+
+
+class TestPolicies:
+    def test_cha_includes_uninstantiated_subtypes(self):
+        graph = build_callgraph(_polymorphic_program(), policy=Policy.CHA)
+        site = CallSite("Main.main", "2")
+        targets = {e.callee for e in graph.site_targets(site)}
+        # CHA: every subtype's resolution, including never-new'd Tri.
+        assert targets == {
+            "Shape.draw", "Circle.draw", "Square.draw", "Tri.draw",
+        }
+
+    def test_rta_restricts_to_instantiated(self):
+        graph = build_callgraph(_polymorphic_program(), policy=Policy.RTA)
+        site = CallSite("Main.main", "2")
+        targets = {e.callee for e in graph.site_targets(site)}
+        # Only Circle and Square are instantiated; Shape itself is not.
+        assert targets == {"Circle.draw", "Square.draw"}
+
+    def test_zero_cfa_equals_rta_on_jip(self):
+        rta = build_callgraph(_polymorphic_program(), policy=Policy.RTA)
+        cfa = build_callgraph(_polymorphic_program(), policy=Policy.ZERO_CFA)
+        assert {str(e) for e in rta.edges} == {str(e) for e in cfa.edges}
+
+    def test_virtual_site_shares_one_label(self):
+        graph = build_callgraph(_polymorphic_program(), policy=Policy.RTA)
+        site = CallSite("Main.main", "2")
+        assert graph.is_virtual_site(site)
+
+
+class TestDynamicInvisibility:
+    def test_dynamic_targets_absent_statically(self):
+        graph = build_callgraph(figure6_program(), policy=Policy.ZERO_CFA)
+        assert "XImpl.m" not in graph
+        site = CallSite("Main.b", "0")
+        assert {e.callee for e in graph.site_targets(site)} == {"DImpl.m"}
+
+    def test_include_dynamic_builds_runtime_complete_graph(self):
+        graph = build_callgraph(
+            figure6_program(), policy=Policy.ZERO_CFA, include_dynamic=True
+        )
+        assert "XImpl.m" in graph
+        site = CallSite("Main.b", "0")
+        assert {e.callee for e in graph.site_targets(site)} == {
+            "DImpl.m", "XImpl.m",
+        }
+
+    def test_rta_ignores_new_of_dynamic_class(self):
+        # The `new XImpl` under the branch must not leak into static RTA.
+        graph = build_callgraph(figure6_program(), policy=Policy.RTA)
+        assert "XImpl.m" not in graph
+
+
+class TestCallSiteLabels:
+    def test_nested_labels_are_stable_paths(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              loop 2
+                call U.a
+                branch 0.5
+                  call U.b
+                else
+                  call U.c
+                end
+              end
+            end
+            def U.a
+            end
+            def U.b
+            end
+            def U.c
+            end
+            """
+        )
+        owner = MethodRef("M", "m")
+        sites = call_sites_of(program.method(owner), owner)
+        labels = [s.label for s in sites]
+        assert labels == ["0.0", "0.1.t0", "0.1.e0"]
+
+    def test_library_attribute_propagated_to_nodes(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class L library
+            def M.m
+              call L.f
+            end
+            def L.f
+            end
+            """
+        )
+        graph = build_callgraph(program)
+        assert graph.node_attrs("L.f")["library"] is True
+        assert library_nodes(graph) == ["L.f"]
+        assert application_nodes(graph) == ["M.m"]
+
+
+class TestReachabilityHelpers:
+    def test_prune_unreachable(self):
+        from repro.graph.callgraph import CallGraph
+
+        g = CallGraph(entry="main")
+        g.add_edge("main", "a")
+        g.add_edge("dead", "deader")
+        pruned = prune_unreachable(g)
+        assert set(pruned.nodes) == {"main", "a"}
+
+    def test_nodes_leading_to(self):
+        from repro.graph.callgraph import CallGraph
+
+        g = CallGraph(entry="main")
+        g.add_edge("main", "a")
+        g.add_edge("main", "b")
+        g.add_edge("a", "t")
+        assert nodes_leading_to(g, ["t"]) == {"main", "a", "t"}

@@ -1,0 +1,85 @@
+"""Static UCP prediction validated against runtime detections."""
+
+import pytest
+
+from repro.analysis.ucp_prediction import predict_ucps
+from repro.core.stackmodel import EntryKind
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.workloads.paperprograms import figure6_program
+
+
+@pytest.fixture(scope="module")
+def prediction():
+    return predict_ucps(figure6_program())
+
+
+class TestFigure6Prediction:
+    def test_dynamic_node_found(self, prediction):
+        assert prediction.dynamic_nodes == ["XImpl.m"]
+
+    def test_new_edges_include_the_dispatch_and_the_detours(self, prediction):
+        triples = {
+            (e.caller, e.callee) for e in prediction.new_edges
+        }
+        assert ("Main.b", "XImpl.m") in triples   # B -> X
+        assert ("XImpl.m", "DImpl.m") in triples  # X -> D
+        assert ("XImpl.m", "Util.e") in triples   # X -> E
+
+    def test_hazardous_and_benign_split_matches_the_paper(self, prediction):
+        # Paper Figure 6: B->X->E hazardous, B->X->D benign.
+        assert prediction.hazardous_entry_points == {"Util.e"}
+        assert prediction.benign_entry_points == {"DImpl.m"}
+
+
+class TestPredictionMatchesRuntime:
+    def test_runtime_detections_only_at_predicted_points(self, prediction):
+        program = figure6_program()
+        plan = build_plan(program)
+        detected = set()
+        for seed in range(15):
+            probe = DeltaPathProbe(plan, cpt=True)
+            seen = []
+
+            class Spy:
+                def on_entry(self, node, depth, p):
+                    stack, _cur = p.snapshot(node)
+                    for entry in stack:
+                        if entry.kind is EntryKind.UCP:
+                            seen.append(entry.node)
+
+                def on_exit(self, node):
+                    pass
+
+                def on_event(self, *args):
+                    pass
+
+            Interpreter(program, probe=probe, seed=seed,
+                        collector=Spy()).run(operations=6)
+            detected |= set(seen)
+        assert detected  # the plugin did run in some seed
+        assert detected <= prediction.hazardous_entry_points
+
+
+class TestNoDynamicClasses:
+    def test_everything_empty_when_world_is_static(self):
+        from repro.lang.parser import parse_program
+
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              call U.f
+            end
+            def U.f
+            end
+            """
+        )
+        prediction = predict_ucps(program)
+        assert prediction.new_edges == []
+        assert prediction.dynamic_nodes == []
+        assert prediction.hazardous == []
+        assert prediction.benign == []

@@ -1,0 +1,131 @@
+"""Ball-Larus path numbering, regeneration and profiling."""
+
+import pytest
+
+from repro.balllarus.cfg import CFG, CFGEdge
+from repro.balllarus.numbering import number_paths
+from repro.balllarus.profiler import PathProfiler
+from repro.errors import DecodingError, GraphError, RuntimeEncodingError
+
+
+def diamond_cfg() -> CFG:
+    """entry -> (a | b) -> c -> (d | e) -> exit: 4 paths."""
+    cfg = CFG()
+    cfg.add_edge("entry", "a")
+    cfg.add_edge("entry", "b")
+    cfg.add_edge("a", "c")
+    cfg.add_edge("b", "c")
+    cfg.add_edge("c", "d")
+    cfg.add_edge("c", "e")
+    cfg.add_edge("d", "exit")
+    cfg.add_edge("e", "exit")
+    return cfg
+
+
+class TestNumbering:
+    def test_diamond_has_four_paths(self):
+        numbering = number_paths(diamond_cfg())
+        assert numbering.total_paths == 4
+
+    def test_path_ids_are_dense_and_unique(self):
+        numbering = number_paths(diamond_cfg())
+        ids = {
+            numbering.path_id(path) for path in numbering.iter_paths()
+        }
+        assert ids == set(range(4))
+
+    def test_roundtrip_every_path(self):
+        numbering = number_paths(diamond_cfg())
+        for path_id in range(numbering.total_paths):
+            path = numbering.regenerate(path_id)
+            assert numbering.path_id(path) == path_id
+
+    def test_straight_line_single_path(self):
+        cfg = CFG()
+        cfg.add_edge("entry", "a")
+        cfg.add_edge("a", "exit")
+        numbering = number_paths(cfg)
+        assert numbering.total_paths == 1
+        assert numbering.regenerate(0) == ["entry", "a", "exit"]
+
+    def test_out_of_range_id_rejected(self):
+        numbering = number_paths(diamond_cfg())
+        with pytest.raises(DecodingError):
+            numbering.regenerate(4)
+        with pytest.raises(DecodingError):
+            numbering.regenerate(-1)
+
+    def test_path_must_span_entry_to_exit(self):
+        numbering = number_paths(diamond_cfg())
+        with pytest.raises(DecodingError):
+            numbering.path_id(["a", "c", "d", "exit"])
+        with pytest.raises(DecodingError):
+            numbering.path_id(["entry", "a", "c"])
+
+
+class TestLoops:
+    def test_back_edge_split_into_surrogates(self):
+        cfg = CFG()
+        cfg.add_edge("entry", "head")
+        cfg.add_edge("head", "body")
+        cfg.add_edge("body", "head")  # the loop
+        cfg.add_edge("head", "exit")
+        acyclic = cfg.acyclic_view()
+        edges = set(acyclic.edges)
+        assert CFGEdge("body", "head") not in edges
+        assert CFGEdge("entry", "head") in edges
+        assert CFGEdge("body", "exit") in edges
+
+    def test_loop_cfg_numbers_fragments(self):
+        cfg = CFG()
+        cfg.add_edge("entry", "head")
+        cfg.add_edge("head", "body")
+        cfg.add_edge("body", "head")
+        cfg.add_edge("head", "exit")
+        numbering = number_paths(cfg)
+        # Fragments: entry->head->exit, entry->head->body->exit (surrogate),
+        # plus the surrogate-entry fragments from the back edge target.
+        assert numbering.total_paths >= 2
+        for path_id in range(numbering.total_paths):
+            path = numbering.regenerate(path_id)
+            assert path[0] == "entry" and path[-1] == "exit"
+
+
+class TestValidation:
+    def test_duplicate_edge_rejected(self):
+        cfg = CFG()
+        cfg.add_edge("entry", "exit")
+        with pytest.raises(GraphError):
+            cfg.add_edge("entry", "exit")
+
+    def test_unreachable_block_rejected(self):
+        cfg = CFG()
+        cfg.add_edge("entry", "exit")
+        cfg.add_block("island")
+        with pytest.raises(GraphError, match="unreachable"):
+            cfg.validate()
+
+
+class TestProfiler:
+    def test_histogram_counts_paths(self):
+        numbering = number_paths(diamond_cfg())
+        profiler = PathProfiler(numbering)
+        profiler.run_path(["entry", "a", "c", "d", "exit"])
+        profiler.run_path(["entry", "a", "c", "d", "exit"])
+        profiler.run_path(["entry", "b", "c", "e", "exit"])
+        report = profiler.report()
+        assert report[0] == (["entry", "a", "c", "d", "exit"], 2)
+        assert report[1] == (["entry", "b", "c", "e", "exit"], 1)
+
+    def test_take_before_enter_rejected(self):
+        numbering = number_paths(diamond_cfg())
+        profiler = PathProfiler(numbering)
+        with pytest.raises(RuntimeEncodingError):
+            profiler.take("a")
+
+    def test_unknown_edge_rejected(self):
+        numbering = number_paths(diamond_cfg())
+        profiler = PathProfiler(numbering)
+        profiler.enter()
+        with pytest.raises(RuntimeEncodingError):
+            profiler.take("e")  # entry -> e is not an edge

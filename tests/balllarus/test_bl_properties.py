@@ -1,0 +1,84 @@
+"""Property-based tests for Ball-Larus numbering on random CFGs."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.balllarus.cfg import CFG
+from repro.balllarus.numbering import number_paths
+from repro.balllarus.profiler import PathProfiler
+
+
+def random_dag_cfg(seed: int, blocks: int, extra_edges: int) -> CFG:
+    """A random layered DAG CFG: entry -> b0..bn -> exit, all reachable,
+    every block on some entry->exit path."""
+    rng = random.Random(seed)
+    cfg = CFG()
+    names = [f"b{i}" for i in range(blocks)]
+    order = ["entry"] + names + ["exit"]
+    # Spine guarantees a path touching everything.
+    for src, dst in zip(order, order[1:]):
+        cfg.add_edge(src, dst)
+    index = {name: i for i, name in enumerate(order)}
+    for _ in range(extra_edges):
+        a, b = rng.sample(order, 2)
+        if index[a] > index[b]:
+            a, b = b, a
+        if index[a] == index[b]:
+            continue
+        try:
+            cfg.add_edge(a, b)
+        except Exception:
+            continue  # duplicate edge: skip
+    return cfg
+
+
+CFGS = st.builds(
+    random_dag_cfg,
+    seed=st.integers(0, 5000),
+    blocks=st.integers(1, 8),
+    extra_edges=st.integers(0, 12),
+)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=80,
+    derandomize=True,
+)
+
+
+class TestNumberingProperties:
+    @given(cfg=CFGS)
+    @settings(**COMMON)
+    def test_ids_dense_and_unique(self, cfg):
+        numbering = number_paths(cfg)
+        ids = [numbering.path_id(path) for path in numbering.iter_paths()]
+        assert sorted(ids) == list(range(numbering.total_paths))
+
+    @given(cfg=CFGS)
+    @settings(**COMMON)
+    def test_regenerate_inverts_path_id(self, cfg):
+        numbering = number_paths(cfg)
+        for path_id in range(numbering.total_paths):
+            path = numbering.regenerate(path_id)
+            assert numbering.path_id(path) == path_id
+
+    @given(cfg=CFGS)
+    @settings(**COMMON)
+    def test_edge_values_non_negative(self, cfg):
+        numbering = number_paths(cfg)
+        assert all(v >= 0 for v in numbering.edge_value.values())
+
+    @given(cfg=CFGS)
+    @settings(**COMMON)
+    def test_profiler_register_matches_path_id(self, cfg):
+        numbering = number_paths(cfg)
+        profiler = PathProfiler(numbering)
+        for path in numbering.iter_paths():
+            profiler.run_path(path)
+        # Every path counted exactly once, under its own id.
+        assert sorted(profiler.counts) == list(range(numbering.total_paths))
+        assert all(count == 1 for count in profiler.counts.values())

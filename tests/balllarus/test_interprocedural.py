@@ -1,0 +1,133 @@
+"""Method-body CFG lowering and the Melski-Reps explosion bound."""
+
+import math
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.balllarus.interprocedural import (
+    interprocedural_path_bound,
+    intraprocedural_paths,
+    method_cfg,
+)
+from repro.balllarus.numbering import number_paths
+from repro.graph.contexts import context_counts
+from repro.graph.scc import remove_recursion
+from repro.lang.model import MethodRef
+from repro.lang.parser import parse_program
+
+
+def _program(src):
+    return parse_program(src)
+
+
+class TestMethodCFG:
+    def test_straight_line_has_one_path(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              call U.a
+              work 1
+              call U.a
+            end
+            def U.a
+            end
+            """
+        )
+        cfg = method_cfg(program.method(MethodRef("M", "m")))
+        assert number_paths(cfg).total_paths == 1
+
+    def test_each_branch_doubles_paths(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            def M.m
+              branch 0.5
+                work 1
+              end
+              branch 0.5
+                work 1
+              else
+                work 2
+              end
+            end
+            """
+        )
+        cfg = method_cfg(program.method(MethodRef("M", "m")))
+        assert number_paths(cfg).total_paths == 4
+
+    def test_loop_contributes_fragments(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            def M.m
+              loop 3
+                work 1
+              end
+            end
+            """
+        )
+        cfg = method_cfg(program.method(MethodRef("M", "m")))
+        # Back edge split into surrogate fragments: > 1 path.
+        assert number_paths(cfg).total_paths >= 2
+
+    def test_intraprocedural_paths_all_methods(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              branch 0.5
+                call U.a
+              end
+            end
+            def U.a
+            end
+            """
+        )
+        counts = intraprocedural_paths(program)
+        assert counts[MethodRef("M", "m")] == 2
+        assert counts[MethodRef("U", "a")] == 1
+
+
+class TestExplosionBound:
+    def test_bound_dwarfs_context_count(self):
+        """The related-work claim: whole-program path spaces explode
+        while calling-context counts stay encodable."""
+        from repro.workloads.specjvm import build_benchmark
+
+        benchmark = build_benchmark("compress")
+        graph = build_callgraph(benchmark.program)
+        bound, _table = interprocedural_path_bound(benchmark.program, graph)
+        acyclic, _removed = remove_recursion(graph)
+        contexts = sum(context_counts(acyclic).values())
+        assert math.log10(bound) > 50 * math.log10(contexts)
+
+    def test_bound_multiplies_at_calls(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              call U.a
+              call U.a
+            end
+            def U.a
+              branch 0.5
+                work 1
+              end
+            end
+            """
+        )
+        graph = build_callgraph(program)
+        bound, table = interprocedural_path_bound(program, graph)
+        # Two calls to a 2-path callee: 2 ** 2 = 4 whole-program paths,
+        # while M.m has only 1 calling context per node.
+        assert bound == 4

@@ -1,0 +1,157 @@
+"""Breadcrumbs, CCT and stack-walking baseline tests."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.baselines.breadcrumbs import (
+    BreadcrumbsDecoder,
+    BreadcrumbsProbe,
+    cold_sites_from_profile,
+)
+from repro.baselines.cct import CCTProbe
+from repro.baselines.pcc import site_constants
+from repro.baselines.stackwalk import StackWalkProbe
+from repro.lang.parser import parse_program
+from repro.runtime.collector import ContextCollector
+from repro.runtime.interpreter import Interpreter
+
+SRC = """
+    program Main.main
+    class Main
+    class U
+    def Main.main
+      call Main.left
+      call Main.right
+      loop 5
+        call Main.hot
+      end
+    end
+    def Main.left
+      call U.shared
+    end
+    def Main.right
+      call U.shared
+    end
+    def Main.hot
+      call U.shared
+    end
+    def U.shared
+      work 1
+    end
+"""
+
+
+def _setup():
+    program = parse_program(SRC)
+    graph = build_callgraph(program)
+    constants = site_constants(graph)
+    return program, graph, constants
+
+
+class TestBreadcrumbs:
+    def test_cold_site_classification(self):
+        counts = {("a", 1): 100, ("b", 2): 1, ("c", 3): 7}
+        assert cold_sites_from_profile(counts, hot_threshold=10) == {
+            ("b", 2), ("c", 3),
+        }
+
+    def test_recording_happens_at_cold_sites_only(self):
+        program, graph, constants = _setup()
+        cold = {("Main.left", "0"), ("Main.right", "0")}
+        probe = BreadcrumbsProbe(constants, cold_sites=cold)
+        Interpreter(program, probe=probe).run()
+        recorded_sites = {site for (site, _value) in probe.recorded}
+        assert recorded_sites <= cold
+        assert recorded_sites  # both cold sites executed
+
+    def test_offline_decode_finds_the_context(self):
+        program, graph, constants = _setup()
+        probe = BreadcrumbsProbe(constants, cold_sites=set())
+        collector = ContextCollector(track_truth=True)
+        Interpreter(program, probe=probe, collector=collector).run()
+        decoder = BreadcrumbsDecoder(graph, constants, probe.recorded)
+        # Pick any observed (node, value); decoding must find >= 1 match.
+        node, value = next(iter(collector.unique))
+        outcome = decoder.decode(node, value)
+        assert outcome.matches
+        for context in outcome.matches:
+            assert context == () or context[0].caller == "Main.main"
+
+    def test_budget_exhaustion_reported(self):
+        program, graph, constants = _setup()
+        decoder = BreadcrumbsDecoder(graph, constants, {})
+        outcome = decoder.decode("U.shared", 12345678, step_budget=2)
+        assert outcome.exhausted_budget or outcome.failed
+
+    def test_recorded_values_prune_search(self):
+        program, graph, constants = _setup()
+        cold = {("Main.left", "0"), ("Main.right", "0")}
+        probe = BreadcrumbsProbe(constants, cold_sites=cold)
+        Interpreter(program, probe=probe).run()
+        with_crumbs = BreadcrumbsDecoder(graph, constants, probe.recorded)
+        without = BreadcrumbsDecoder(graph, constants, {})
+        # Query a V value that never occurred: with recorded waypoints the
+        # pruned search does no more work than the unpruned one.
+        a = with_crumbs.decode("U.shared", 999_999_999)
+        b = without.decode("U.shared", 999_999_999)
+        assert a.steps_used <= b.steps_used
+
+
+class TestCCT:
+    def test_contexts_interned_once(self):
+        program, graph, constants = _setup()
+        sites = set(constants)
+        probe = CCTProbe(instrumented_sites=sites)
+        Interpreter(program, probe=probe).run()
+        # Distinct contexts: main, left, right, hot, shared-via-left,
+        # shared-via-right, shared-via-hot -> 6 interned non-root nodes
+        # (main itself is the root).
+        assert probe.size == 7  # root + 6
+
+    def test_decode_walks_parents(self):
+        program, graph, constants = _setup()
+        probe = CCTProbe(instrumented_sites=set(constants))
+        collector = ContextCollector(track_truth=True)
+        Interpreter(program, probe=probe, collector=collector).run()
+        for (node, snapshot), in zip(collector.unique):
+            path = probe.decode(snapshot)
+            assert all(isinstance(step, tuple) for step in path)
+
+    def test_snapshot_constant_while_hot_loop_repeats(self):
+        program, graph, constants = _setup()
+        probe = CCTProbe(instrumented_sites=set(constants))
+        collector = ContextCollector()
+        Interpreter(program, probe=probe, collector=collector).run()
+        # The hot loop creates one context, observed 5 times: unique
+        # encodings stay small while total grows.
+        stats = collector.stats()
+        assert stats.total_contexts > stats.unique_encodings
+
+
+class TestStackWalk:
+    def test_snapshot_is_exact_context(self):
+        program, graph, constants = _setup()
+        probe = StackWalkProbe()
+        collector = ContextCollector(track_truth=True)
+        Interpreter(program, probe=probe, collector=collector).run()
+        stats = collector.stats()
+        # Stack walking is precise: uniques == truth.
+        assert stats.unique_encodings == stats.unique_truth
+
+    def test_snapshot_copies_have_independent_identity(self):
+        probe = StackWalkProbe()
+        probe.enter_function("a")
+        snap1 = probe.snapshot("a")
+        probe.enter_function("b")
+        snap2 = probe.snapshot("b")
+        assert snap1 == ("a",)
+        assert snap2 == ("a", "b")
+
+    def test_instrumented_filter(self):
+        probe = StackWalkProbe(instrumented_nodes={"a"})
+        probe.enter_function("a")
+        probe.enter_function("lib")
+        assert probe.snapshot("lib") == ("a",)
+        probe.exit_function("lib")
+        probe.exit_function("a")
+        assert probe.snapshot("x") == ()

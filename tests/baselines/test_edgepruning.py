@@ -1,0 +1,134 @@
+"""PCCE edge pruning: correctness and the Section 3.2 comparison."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.baselines.edgepruning import (
+    PrunedPCCEProbe,
+    encode_pruned_pcce,
+)
+from repro.core.decoder import ContextDecoder
+from repro.core.widths import UNBOUNDED, W8, W32, W64
+from repro.errors import EncodingError
+from repro.graph.callgraph import CallGraph
+from repro.lang.model import Klass, Method, MethodRef, Program, StaticCall
+from repro.runtime.interpreter import Interpreter
+from repro.workloads.synthetic import add_parallel_cascade
+
+
+def _cascade_program(layers: int, fan: int = 3) -> Program:
+    program = Program(MethodRef("Main", "main"))
+    program.add_class(Klass("Main"))
+    top, _bottom = add_parallel_cascade(program, "H", layers=layers, fan=fan)
+    program.klass("Main").define(Method("main", (StaticCall(top),)))
+    program.validate()
+    return program
+
+
+class Shadow:
+    def __init__(self):
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        self.stack.append(node)
+        self.samples.append((node, probe.snapshot(node), tuple(self.stack)))
+
+    def on_exit(self, node):
+        if self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+class TestEncoder:
+    def test_wide_width_prunes_nothing_and_matches_pcce(self):
+        from repro.core.pcce import encode_pcce
+
+        program = _cascade_program(layers=6)
+        graph = build_callgraph(program)
+        pruned = encode_pruned_pcce(graph, UNBOUNDED)
+        plain = encode_pcce(graph)
+        assert pruned.pruned_count == 0
+        assert pruned.nc == plain.nc
+        assert pruned.av == plain.av
+
+    def test_narrow_width_prunes_the_deep_portion(self):
+        program = _cascade_program(layers=20)
+        graph = build_callgraph(program)
+        encoding = encode_pruned_pcce(graph, W8)
+        # 3**k exceeds 127 from layer ~5; 2 of 3 edges pruned per deeper
+        # hub: "massive edges at the deep portion ... would be pruned".
+        assert encoding.pruned_count > 20
+        assert encoding.max_id <= W8.max_value
+
+    def test_virtual_sites_rejected(self):
+        g = CallGraph(entry="main")
+        g.add_call("main", ["a", "b"], "v")
+        with pytest.raises(EncodingError, match="monomorphic"):
+            encode_pruned_pcce(g, W32)
+
+    def test_kept_subgraph_decodes_greedily(self):
+        program = _cascade_program(layers=8)
+        graph = build_callgraph(program)
+        encoding = encode_pruned_pcce(graph, UNBOUNDED)
+        from repro.graph.contexts import enumerate_contexts
+
+        node = "HP8.step"
+        for context in enumerate_contexts(encoding.graph, node, limit=200):
+            value = sum(encoding.edge_increment(e) for e in context)
+            assert tuple(encoding.decode(node, value)) == context
+
+
+class TestRuntime:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_snapshots_decode_to_truth_across_prunes(self, seed):
+        program = _cascade_program(layers=18)
+        graph = build_callgraph(program)
+        encoding = encode_pruned_pcce(graph, W8)
+        probe = PrunedPCCEProbe(encoding)
+        shadow = Shadow()
+        Interpreter(program, probe=probe, seed=seed,
+                    collector=shadow).run(operations=3)
+        decoder = ContextDecoder(encoding)
+        for node, (stack, current), truth in shadow.samples:
+            decoded = decoder.decode(node, stack, current)
+            assert decoded.nodes(gap_marker=None) == list(truth)
+        assert probe.push_count > 0  # the prunes actually fired
+
+    def test_balanced_state_after_operations(self):
+        program = _cascade_program(layers=18)
+        graph = build_callgraph(program)
+        probe = PrunedPCCEProbe(encode_pruned_pcce(graph, W8))
+        Interpreter(program, probe=probe, seed=1).run(operations=4)
+        stack, current = probe.snapshot("Main.main")
+        assert stack == () and current == 0
+
+
+class TestScalabilityComparison:
+    """Section 3.2's argument: on hub-shaped growth, a few anchors beat
+    massive pruning — statically and at runtime."""
+
+    def test_anchors_beat_pruning_on_hub_cascades(self):
+        from repro.runtime.agent import DeltaPathProbe
+        from repro.runtime.plan import build_plan_from_graph
+
+        program = _cascade_program(layers=45)
+        graph = build_callgraph(program)
+
+        pruned = encode_pruned_pcce(graph, W32)
+        pcce_probe = PrunedPCCEProbe(pruned)
+        Interpreter(program, probe=pcce_probe, seed=3).run(operations=10)
+
+        plan = build_plan_from_graph(graph, width=W32)
+        dp_probe = DeltaPathProbe(plan, cpt=False)
+        Interpreter(program, probe=dp_probe, seed=3).run(operations=10)
+
+        anchors = len(plan.encoding.extra_anchors)
+        assert anchors < pruned.pruned_count / 10
+        # Runtime pushes: DeltaPath crosses at most (anchors+1) stack
+        # levels per traversal; pruning pushes at most layers deep.
+        pcce_pushes_per_op = pcce_probe.push_count / 10
+        dp_pushes_per_op = dp_probe.max_stack_depth  # upper bound
+        assert dp_pushes_per_op < pcce_pushes_per_op / 3

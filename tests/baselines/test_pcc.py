@@ -1,0 +1,96 @@
+"""PCC baseline behaviour (Bond-McKinley hashing)."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.baselines.pcc import PCCProbe, site_constants
+from repro.lang.parser import parse_program
+from repro.runtime.collector import ContextCollector
+from repro.runtime.interpreter import Interpreter
+
+SRC = """
+    program Main.main
+    class Main
+    class U
+    def Main.main
+      call Main.left
+      call Main.right
+    end
+    def Main.left
+      call U.shared
+    end
+    def Main.right
+      call U.shared
+    end
+    def U.shared
+      work 1
+    end
+"""
+
+
+def _run_pcc(src=SRC, site_bits=32, seed=0, track_truth=True):
+    program = parse_program(src)
+    graph = build_callgraph(program)
+    constants = site_constants(graph, site_bits=site_bits)
+    probe = PCCProbe(constants)
+    collector = ContextCollector(track_truth=track_truth)
+    Interpreter(
+        program, probe=probe, seed=seed, collector=collector
+    ).run()
+    return probe, collector
+
+
+class TestHashing:
+    def test_distinct_contexts_usually_distinct_values(self):
+        probe, collector = _run_pcc()
+        stats = collector.stats()
+        # Two paths to U.shared -> two (node, V) pairs expected here.
+        assert stats.unique_encodings == stats.unique_truth
+
+    def test_value_restored_after_call(self):
+        program = parse_program(SRC)
+        graph = build_callgraph(program)
+        probe = PCCProbe(site_constants(graph))
+        Interpreter(program, probe=probe).run()
+        assert probe.snapshot("Main.main") == 0  # back at the entry value
+
+    def test_deterministic_across_runs(self):
+        p1, c1 = _run_pcc()
+        p2, c2 = _run_pcc()
+        assert c1.unique == c2.unique
+
+    def test_uninstrumented_sites_do_not_touch_v(self):
+        program = parse_program(SRC)
+        probe = PCCProbe({})  # nothing instrumented
+        collector = ContextCollector()
+        Interpreter(program, probe=probe, collector=collector).run()
+        assert {snap for _, snap in collector.unique} == {0}
+
+
+class TestCollisions:
+    def test_tiny_site_hashes_collide(self):
+        """With 2-bit site constants, structurally different contexts
+        collide — PCC's unique count drops below the truth (the paper's
+        Table 2 effect, exaggerated)."""
+        # A fan of many distinct one-call contexts into one sink.
+        lines = ["program Main.main", "class Main", "class U"]
+        body = ["def Main.main"]
+        for i in range(12):
+            body.append(f"  call Main.mid{i}")
+        body.append("end")
+        for i in range(12):
+            body.append(f"def Main.mid{i}")
+            body.append("  call U.sink")
+            body.append("end")
+        body.append("def U.sink")
+        body.append("end")
+        src = "\n".join(lines + body)
+        probe, collector = _run_pcc(src, site_bits=2)
+        stats = collector.stats()
+        assert stats.unique_truth == 25  # 1 + 12 + 12
+        assert stats.unique_encodings < stats.unique_truth
+        assert stats.collisions > 0
+
+    def test_full_width_rarely_collides_here(self):
+        probe, collector = _run_pcc(site_bits=32)
+        assert collector.stats().collisions == 0

@@ -1,0 +1,114 @@
+"""Width sweep experiment and call-graph metrics."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.analysis.metrics import compute_metrics
+from repro.bench.widthsweep import render_width_sweep, width_sweep
+from repro.workloads.paperfigures import figure4_graph
+from repro.workloads.specjvm import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def validation_graph():
+    return build_callgraph(build_benchmark("xml.validation").program)
+
+
+class TestWidthSweep:
+    def test_anchors_decrease_with_width(self, validation_graph):
+        rows = width_sweep(
+            "xml.validation", widths=(24, 32, 64), graph=validation_graph
+        )
+        anchors = [row["anchors"] for row in rows]
+        assert anchors == sorted(anchors, reverse=True)
+        assert anchors[-1] < anchors[0]
+
+    def test_every_width_fits_its_pieces(self, validation_graph):
+        rows = width_sweep(
+            "xml.validation", widths=(24, 32, 64), graph=validation_graph
+        )
+        assert all(row["fits"] for row in rows)
+
+    def test_render(self, validation_graph):
+        rows = width_sweep(
+            "xml.validation", widths=(32,), graph=validation_graph
+        )
+        text = render_width_sweep(rows)
+        assert "int32" in text and "anchors" in text
+
+
+class TestGraphMetrics:
+    def test_figure4_metrics(self):
+        metrics = compute_metrics(figure4_graph())
+        assert metrics.nodes == 7
+        assert metrics.edges == 11  # 9 sites, 2 of them virtual with 2 targets
+        assert metrics.virtual_sites == 2
+        assert metrics.depth == 4  # A -> C -> D -> E/F -> G
+        assert metrics.back_edges == 0
+        assert metrics.depth_histogram[0] == 1  # the entry
+
+    def test_summary_is_readable(self):
+        metrics = compute_metrics(figure4_graph())
+        text = metrics.summary()
+        assert "7 nodes" in text and "virtual" in text
+
+    def test_benchmark_graph_depth_and_contexts(self, validation_graph):
+        metrics = compute_metrics(validation_graph)
+        # The 41-layer library cascade dominates the depth profile.
+        assert metrics.depth > 80
+        assert metrics.log10_max_node_contexts > 19
+        assert 0 < metrics.virtual_fraction < 0.5
+
+    def test_cyclic_graph_counts_back_edges(self):
+        from repro.graph.callgraph import CallGraph
+
+        g = CallGraph(entry="main")
+        g.add_edge("main", "a")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a", "back")
+        metrics = compute_metrics(g)
+        assert metrics.back_edges == 1
+        assert metrics.depth == 2
+
+
+class TestOpCounts:
+    def test_boundary_volume_identical_across_probes(self):
+        from repro.bench.opcounts import opcount_row
+
+        row = opcount_row("scimark.lu.large", operations=5)
+        from repro.bench.figure8 import CONFIGURATIONS
+
+        counts = {row[f"calls_{c}"] for c in CONFIGURATIONS}
+        assert len(counts) == 1  # probes never change the workload
+
+    def test_coverage_below_one_under_selective_encoding(self):
+        from repro.bench.opcounts import opcount_row
+
+        row = opcount_row("compress", operations=5)
+        assert 0 < row["instrumented_fraction"] < 1
+        assert (
+            row["instrumented_site_hits"] + row["uninstrumented_hits"]
+            == row["boundary_calls"]
+        )
+
+    def test_hook_counter_delegates(self):
+        from repro.bench.opcounts import HookCounter
+        from repro.runtime.probes import NullProbe
+
+        counter = HookCounter(NullProbe())
+        counter.begin_execution("m")
+        counter.before_call("m", 0, "f")
+        counter.enter_function("f")
+        counter.exit_function("f")
+        counter.after_call("m", 0, "f")
+        counter.end_execution()
+        assert counter.snapshot("f") is None
+        assert (counter.calls, counter.entries, counter.exits,
+                counter.snapshots) == (1, 1, 1, 1)
+
+    def test_render(self):
+        from repro.bench.opcounts import opcount_row, render_opcounts
+
+        text = render_opcounts([opcount_row("scimark.sor.large",
+                                            operations=3)])
+        assert "coverage" in text

@@ -1,0 +1,196 @@
+"""Algorithm 2 pinned to the paper's Figure 5 walkthrough, plus overflow
+behaviour on synthetic blow-up graphs."""
+
+import pytest
+
+from repro.core.anchored import encode_anchored
+from repro.core.deltapath import encode_deltapath
+from repro.core.verify import verify_encoding
+from repro.core.widths import UNBOUNDED, W8, W16, W32, Width
+from repro.errors import EncodingOverflowError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.contexts import enumerate_contexts
+from repro.workloads.paperfigures import figure5_anchors, figure5_graph
+
+
+@pytest.fixture()
+def fig5():
+    return encode_anchored(
+        figure5_graph(), width=UNBOUNDED, initial_anchors=figure5_anchors()
+    )
+
+
+class TestFigure5Territories:
+    def test_anchor_set(self, fig5):
+        assert set(fig5.anchors) == {"A", "C", "D"}
+
+    def test_e_is_only_in_d_territory(self, fig5):
+        assert fig5.territories.node_anchors("E") == ["D"]
+
+    def test_fg_edge_in_both_c_and_d_territories(self, fig5):
+        edge = CallEdge("F", "G", "f1")
+        assert set(fig5.territories.edge_anchors(edge)) == {"C", "D"}
+
+    def test_anchor_outgoing_edges_only_in_own_territory(self, fig5):
+        for edge in fig5.graph.out_edges("C"):
+            assert fig5.territories.edge_anchors(edge) == ["C"]
+
+    def test_boundary_anchor_is_visited_not_expanded(self, fig5):
+        # D is in A's territory as a boundary node (edge BD enters it)...
+        assert "A" in fig5.territories.node_anchors("D")
+        # ...but D's outgoing edges are not part of A's territory.
+        for edge in fig5.graph.out_edges("D"):
+            assert "A" not in fig5.territories.edge_anchors(edge)
+
+
+class TestFigure5Encoding:
+    def test_icc_e_relative_to_d_is_two(self, fig5):
+        # Paper: "ICC[E][D] = 2 means the ICC of E relative to anchor D is 2".
+        assert fig5.icc[("E", "D")] == 2
+
+    def test_virtual_site_in_c_gets_zero(self, fig5):
+        # Paper walkthrough: max{CAV[F][C], CAV[G][C]} = 0.
+        assert fig5.site_increment(CallSite("C", "c2")) == 0
+
+    def test_fg_gets_two(self, fig5):
+        # Paper: "max{CAV[G][D], CAV[G][C]} = 2 is used ... for FG".
+        assert fig5.site_increment(CallSite("F", "f1")) == 2
+
+    def test_anchor_icc_is_one(self, fig5):
+        assert fig5.icc[("C", "C")] == 1
+        assert fig5.icc[("D", "D")] == 1
+
+    def test_context_cfg_encodes_to_stack_c_and_id_two(self, fig5):
+        context = (
+            CallEdge("A", "C", "a2"),
+            CallEdge("C", "F", "c2"),
+            CallEdge("F", "G", "f1"),
+        )
+        stack, current = fig5.encode_context(context)
+        assert current == 2  # paper: "the encoding ID value 2"
+        assert [anchor for anchor, _ in stack] == ["C"]
+
+    def test_decode_cfg_piece(self, fig5):
+        piece = fig5.decode_piece("G", 2, "C")
+        assert [(e.caller, e.callee) for e in piece] == [("C", "F"), ("F", "G")]
+
+    def test_full_roundtrip_all_contexts(self, fig5):
+        report = verify_encoding(fig5)
+        assert report.ok, report.failures
+
+    def test_decode_context_recovers_acfg(self, fig5):
+        context = (
+            CallEdge("A", "C", "a2"),
+            CallEdge("C", "F", "c2"),
+            CallEdge("F", "G", "f1"),
+        )
+        stack, current = fig5.encode_context(context)
+        decoded = fig5.decode_context("G", stack, current)
+        assert tuple(decoded) == context
+
+
+def _blowup_graph(layers: int, lanes: int = 2) -> CallGraph:
+    """A layered diamond graph whose context count is lanes**layers."""
+    g = CallGraph(entry="main")
+    previous = "main"
+    for layer in range(layers):
+        junction = f"j{layer}"
+        for lane in range(lanes):
+            mid = f"m{layer}_{lane}"
+            g.add_edge(previous, mid, f"s{layer}_{lane}")
+            g.add_edge(mid, junction, f"t{layer}_{lane}")
+        previous = junction
+    return g
+
+
+class TestOverflowAndAnchors:
+    def test_unbounded_width_needs_no_extra_anchors(self):
+        enc = encode_anchored(_blowup_graph(8), width=UNBOUNDED)
+        assert enc.extra_anchors == []
+        assert enc.max_id == 2 ** 8 - 1
+
+    def test_small_width_forces_anchors(self):
+        enc = encode_anchored(_blowup_graph(16), width=W8)
+        assert enc.extra_anchors  # 2**16 contexts cannot fit in int8
+        assert enc.max_id <= W8.max_value
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+    def test_anchored_encoding_respects_width_everywhere(self):
+        enc = encode_anchored(_blowup_graph(20), width=W16)
+        for value in enc.icc.values():
+            assert value <= W16.max_value
+        for value in enc.bound.values():
+            assert value <= W16.max_value
+
+    def test_wider_width_needs_fewer_anchors(self):
+        narrow = encode_anchored(_blowup_graph(20), width=W8)
+        wide = encode_anchored(_blowup_graph(20), width=W16)
+        assert len(wide.extra_anchors) <= len(narrow.extra_anchors)
+
+    def test_restart_counter_reported(self):
+        enc = encode_anchored(_blowup_graph(16), width=W8)
+        assert enc.restarts == len(enc.extra_anchors) or enc.restarts >= len(
+            enc.extra_anchors
+        )
+
+    def test_hopeless_width_raises(self):
+        # Width 2 encodes only {0, 1}. Eight parallel call sites from the
+        # entry to one callee need eight disjoint sub-ranges, and no
+        # anchor insertion can shrink a single edge's contribution.
+        g = CallGraph(entry="main")
+        for i in range(8):
+            g.add_edge("main", "sink", f"s{i}")
+        with pytest.raises(EncodingOverflowError):
+            encode_anchored(g, width=Width(2))
+
+    def test_many_callers_fit_tiny_width_via_anchors(self):
+        # Distinct anchors disambiguate: with every middle node anchored,
+        # each context is (stack entry naming the anchor, ID 0), so even
+        # a 2-bit width suffices here.
+        g = CallGraph(entry="main")
+        for i in range(8):
+            mid = f"m{i}"
+            g.add_edge("main", mid)
+            g.add_edge(mid, "sink")
+        enc = encode_anchored(g, width=Width(2))
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+    def test_anchored_equals_plain_when_no_overflow(self):
+        graph = _blowup_graph(6)
+        plain = encode_deltapath(graph)
+        anchored = encode_anchored(graph, width=W32)
+        assert anchored.extra_anchors == []
+        for site in plain.av:
+            assert anchored.site_increment(site) == plain.site_increment(site)
+
+
+class TestAnchoredRecursion:
+    def test_back_edges_removed_before_anchoring(self):
+        g = _blowup_graph(4)
+        g.add_edge("j3", "m0_0", "loop")  # cycle back to the top
+        enc = encode_anchored(g, width=UNBOUNDED)
+        assert [(e.caller, e.callee) for e in enc.back_edges] == [
+            ("j3", "m0_0")
+        ]
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+
+class TestInitialAnchors:
+    def test_seeded_anchor_is_kept(self):
+        enc = encode_anchored(
+            _blowup_graph(6), width=UNBOUNDED, initial_anchors=["j2"]
+        )
+        assert "j2" in enc.anchors
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+    def test_unknown_seed_rejected(self):
+        from repro.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            encode_anchored(
+                _blowup_graph(3), width=UNBOUNDED, initial_anchors=["nope"]
+            )

@@ -1,0 +1,100 @@
+"""Anchor pre-seeding heuristic."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.anchored import encode_anchored
+from repro.core.anchorplan import suggest_anchors
+from repro.core.verify import verify_encoding
+from repro.core.widths import UNBOUNDED, W8, W16, Width
+from repro.errors import EncodingOverflowError
+from repro.graph.callgraph import CallGraph
+from repro.workloads.synthetic import random_callgraph
+
+
+def _blowup(layers: int, lanes: int = 2) -> CallGraph:
+    g = CallGraph(entry="main")
+    previous = "main"
+    for layer in range(layers):
+        junction = f"j{layer}"
+        for lane in range(lanes):
+            mid = f"m{layer}_{lane}"
+            g.add_edge(previous, mid)
+            g.add_edge(mid, junction)
+        previous = junction
+    return g
+
+
+class TestSuggestions:
+    def test_no_suggestions_when_width_suffices(self):
+        assert suggest_anchors(_blowup(4), W16) == []
+
+    def test_suggestions_appear_under_pressure(self):
+        seeds = suggest_anchors(_blowup(20), W8)
+        assert seeds
+        # Seeds sit at the growth frontier, not at the entry.
+        assert "main" not in seeds
+
+    def test_seeded_encoding_needs_few_or_no_restarts(self):
+        graph = _blowup(24)
+        vanilla = encode_anchored(graph, width=W8)
+        seeds = suggest_anchors(graph, W8)
+        seeded = encode_anchored(graph, width=W8, initial_anchors=seeds)
+        assert seeded.restarts <= max(vanilla.restarts // 2, 1)
+        report = verify_encoding(seeded, limit_per_node=3000)
+        assert report.ok, report.failures
+
+    def test_benchmark_scale_improvement(self):
+        from repro.analysis.callgraph_builder import build_callgraph
+        from repro.workloads.specjvm import build_benchmark
+
+        graph = build_callgraph(build_benchmark("crypto.aes").program)
+        width = Width(24)
+        vanilla = encode_anchored(graph, width=width)
+        seeds = suggest_anchors(graph, width)
+        seeded = encode_anchored(graph, width=width, initial_anchors=seeds)
+        assert seeded.restarts < vanilla.restarts
+        assert seeded.max_id <= width.max_value
+
+
+class TestSafetyProperty:
+    """A bad seed set can cost anchors, never correctness."""
+
+    GRAPHS = st.builds(
+        random_callgraph,
+        seed=st.integers(0, 3000),
+        layers=st.integers(2, 5),
+        width=st.integers(1, 4),
+        extra_edges=st.integers(0, 8),
+        virtual_sites=st.integers(0, 3),
+    )
+
+    @given(graph=GRAPHS, bits=st.integers(5, 12))
+    @settings(
+        deadline=None,
+        max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+        derandomize=True,
+    )
+    def test_seeded_encodings_always_verify(self, graph, bits):
+        width = Width(bits)
+        seeds = suggest_anchors(graph, width)
+        try:
+            encoding = encode_anchored(
+                graph, width=width, initial_anchors=seeds
+            )
+        except EncodingOverflowError:
+            return
+        report = verify_encoding(encoding, limit_per_node=3000)
+        assert report.ok, report.failures
+
+    @given(graph=GRAPHS)
+    @settings(
+        deadline=None,
+        max_examples=30,
+        suppress_health_check=[HealthCheck.too_slow],
+        derandomize=True,
+    )
+    def test_unbounded_width_suggests_nothing(self, graph):
+        assert suggest_anchors(graph, UNBOUNDED) == []

@@ -1,0 +1,153 @@
+"""ContextDecoder segment assembly across all stack-entry kinds."""
+
+import pytest
+
+from repro.core.anchored import encode_anchored
+from repro.core.decoder import ContextDecoder
+from repro.core.deltapath import encode_deltapath
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.core.widths import UNBOUNDED
+from repro.errors import DecodingError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.workloads.paperfigures import figure5_anchors, figure5_graph
+
+
+@pytest.fixture()
+def chain():
+    """main -> f -> g with a recursive edge g -> f."""
+    g = CallGraph(entry="main")
+    g.add_edge("main", "f", "m0")
+    g.add_edge("f", "g", "f0")
+    g.add_edge("g", "f", "g0")  # back edge
+    return g
+
+
+class TestRecursionDecoding:
+    def test_recursion_entry_reassembles_cycle(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        # Runtime state for main -> f -> g -> (recursive) f -> g:
+        entry = StackEntry(
+            kind=EntryKind.RECURSION,
+            node="f",
+            saved_id=0,
+            site=CallSite("g", "g0"),
+        )
+        decoded = decoder.decode("g", [entry], 0)
+        assert decoded.nodes() == ["main", "f", "g", "f", "g"]
+        assert not decoded.has_gaps
+
+    def test_recursion_entry_requires_site(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(kind=EntryKind.RECURSION, node="f", saved_id=0)
+        with pytest.raises(DecodingError, match="call site"):
+            decoder.decode("g", [entry], 0)
+
+    def test_nested_recursion_entries(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        rec = StackEntry(
+            kind=EntryKind.RECURSION, node="f", saved_id=0,
+            site=CallSite("g", "g0"),
+        )
+        decoded = decoder.decode("g", [rec, rec], 0)
+        assert decoded.nodes() == ["main", "f", "g", "f", "g", "f", "g"]
+
+
+class TestUCPDecoding:
+    def test_gap_segment_with_unexecuted_target_dropped(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(
+            kind=EntryKind.UCP,
+            node="g",
+            saved_id=0,
+            site=CallSite("main", "m0"),
+            resume_node="f",
+            resume_executed=False,
+        )
+        decoded = decoder.decode("g", [entry], 0)
+        assert decoded.has_gaps
+        # f was only the expected target; it is dropped from the display.
+        assert decoded.nodes() == ["main", "<?>", "g"]
+        assert decoded.nodes(gap_marker=None) == ["main", "g"]
+
+    def test_gap_segment_with_executed_resume_kept(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(
+            kind=EntryKind.UCP,
+            node="g",
+            saved_id=0,
+            site=CallSite("main", "m0"),
+            resume_node="f",
+            resume_executed=True,
+        )
+        decoded = decoder.decode("g", [entry], 0)
+        assert decoded.nodes() == ["main", "f", "<?>", "g"]
+
+    def test_none_resume_ends_outer_piece_at_entry(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(
+            kind=EntryKind.UCP, node="g", saved_id=0,
+            resume_node=None, resume_executed=True,
+        )
+        decoded = decoder.decode("g", [entry], 0)
+        assert decoded.nodes() == ["main", "<?>", "g"]
+
+    def test_none_resume_with_nonzero_value_rejected(self, chain):
+        encoding = encode_deltapath(chain)
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(
+            kind=EntryKind.UCP, node="g", saved_id=3,
+            resume_node=None,
+        )
+        with pytest.raises(DecodingError, match="empty piece"):
+            decoder.decode("g", [entry], 0)
+
+
+class TestAnchoredDecoding:
+    def test_anchor_segments_share_junction_node(self):
+        graph = figure5_graph()
+        encoding = encode_anchored(
+            graph, width=UNBOUNDED, initial_anchors=figure5_anchors()
+        )
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(kind=EntryKind.ANCHOR, node="C", saved_id=0)
+        decoded = decoder.decode("G", [entry], 2)
+        assert decoded.nodes() == ["A", "C", "F", "G"]
+        # Two segments: root piece A..C and anchor piece C..G.
+        assert len(decoded.segments) == 2
+        assert decoded.segments[1].kind is EntryKind.ANCHOR
+
+    def test_edges_property_flattens(self):
+        graph = figure5_graph()
+        encoding = encode_anchored(
+            graph, width=UNBOUNDED, initial_anchors=figure5_anchors()
+        )
+        decoder = ContextDecoder(encoding)
+        entry = StackEntry(kind=EntryKind.ANCHOR, node="C", saved_id=0)
+        decoded = decoder.decode("G", [entry], 2)
+        assert [(e.caller, e.callee) for e in decoded.edges] == [
+            ("A", "C"), ("C", "F"), ("F", "G"),
+        ]
+
+    def test_str_rendering(self):
+        graph = figure5_graph()
+        encoding = encode_anchored(
+            graph, width=UNBOUNDED, initial_anchors=figure5_anchors()
+        )
+        decoded = ContextDecoder(encoding).decode(
+            "G", [StackEntry(kind=EntryKind.ANCHOR, node="C", saved_id=0)], 2
+        )
+        assert str(decoded) == "A -> C -> F -> G"
+
+
+class TestEmptyState:
+    def test_entry_point_decodes_to_itself(self, chain):
+        encoding = encode_deltapath(chain)
+        decoded = ContextDecoder(encoding).decode("main", [], 0)
+        assert decoded.nodes() == ["main"]
+        assert decoded.edges == []

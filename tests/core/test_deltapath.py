@@ -1,0 +1,133 @@
+"""Algorithm 1 pinned to the paper's Figure 4 walkthrough."""
+
+import pytest
+
+from repro.core.deltapath import encode_deltapath
+from repro.core.pcce import encode_pcce
+from repro.core.verify import verify_encoding
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.contexts import context_counts, enumerate_contexts
+from repro.workloads.paperfigures import figure1_graph, figure4_graph
+
+
+@pytest.fixture()
+def fig4():
+    return encode_deltapath(figure4_graph())
+
+
+class TestFigure4ICC:
+    def test_icc_values_match_paper_walkthrough(self, fig4):
+        # The paper's Section 3.1 walkthrough gives ICC[B]=1, ICC[C]=1,
+        # ICC[D]=2, ICC[E]=4, and states NC[F]=3 while ICC[F]=5.
+        assert fig4.icc["A"] == 1
+        assert fig4.icc["B"] == 1
+        assert fig4.icc["C"] == 1
+        assert fig4.icc["D"] == 2
+        assert fig4.icc["E"] == 4
+        assert fig4.icc["F"] == 5
+
+    def test_icc_gap_versus_nc_for_f(self, fig4):
+        # "NC[F] = 3, while ICC[F] = 5; the gap ... enables a uniform
+        # addition value 2 for the virtual call site" (paper).
+        nc = context_counts(fig4.graph)
+        assert nc["F"] == 3
+        assert fig4.icc["F"] - nc["F"] == 2
+
+
+class TestFigure4AdditionValues:
+    def test_virtual_site_in_d_gets_two(self, fig4):
+        assert fig4.site_increment(CallSite("D", "d2")) == 2
+
+    def test_virtual_site_in_c_gets_four(self, fig4):
+        assert fig4.site_increment(CallSite("C", "c2")) == 4
+
+    def test_cd_gets_one(self, fig4):
+        assert fig4.site_increment(CallSite("C", "c1")) == 1
+
+    def test_single_value_per_site_even_when_virtual(self, fig4):
+        for site in fig4.graph.virtual_sites:
+            value = fig4.site_increment(site)
+            for edge in fig4.graph.site_targets(site):
+                assert fig4.edge_increment(edge) == value
+
+
+class TestFigure4Uniqueness:
+    def test_all_contexts_unique_per_node(self, fig4):
+        report = verify_encoding(fig4)
+        assert report.ok, report.failures
+
+    def test_abdf_and_acf_no_longer_collide(self, fig4):
+        # The paper's motivating conflict: with a naive single value of 2,
+        # ABDF and ACF would both encode to 2. Algorithm 1 separates them.
+        abdf = (
+            CallEdge("A", "B", "a1"),
+            CallEdge("B", "D", "b1"),
+            CallEdge("D", "F", "d2"),
+        )
+        acf = (CallEdge("A", "C", "a2"), CallEdge("C", "F", "c2"))
+        assert fig4.encode_context(abdf) != fig4.encode_context(acf)
+
+    def test_ids_stay_below_icc(self, fig4):
+        for node in fig4.graph.nodes:
+            for context in enumerate_contexts(fig4.graph, node):
+                assert 0 <= fig4.encode_context(context) < fig4.icc[node]
+
+
+class TestDecoding:
+    def test_roundtrip_every_context(self, fig4):
+        for node in fig4.graph.nodes:
+            for context in enumerate_contexts(fig4.graph, node):
+                value = fig4.encode_context(context)
+                assert tuple(fig4.decode(node, value)) == context
+
+
+class TestDegenerateToPCCE:
+    """Without virtual calls, Algorithm 1 must coincide with PCCE."""
+
+    def test_icc_equals_nc_on_figure1(self):
+        graph = figure1_graph()
+        dp = encode_deltapath(graph)
+        nc = context_counts(dp.graph)
+        for node in dp.graph.nodes:
+            assert dp.icc[node] == nc[node]
+
+    def test_addition_values_match_pcce_on_figure1(self):
+        graph = figure1_graph()
+        dp = encode_deltapath(graph)
+        pc = encode_pcce(figure1_graph())
+        for edge in dp.graph.edges:
+            assert dp.edge_increment(edge) == pc.edge_increment(edge)
+
+
+class TestEdgeCases:
+    def test_entry_only_graph(self):
+        enc = encode_deltapath(CallGraph(entry="main"))
+        assert enc.icc == {"main": 1}
+        assert enc.max_id == 0
+
+    def test_unreachable_component_is_harmless(self):
+        g = CallGraph(entry="main")
+        g.add_edge("main", "a", "m1")
+        g.add_edge("dead", "deader", "z1")  # never reachable from main
+        enc = encode_deltapath(g)
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+    def test_diamond_fan_in(self):
+        g = CallGraph(entry="main")
+        for mid in ("l", "r"):
+            g.add_edge("main", mid)
+            g.add_edge(mid, "sink")
+        enc = encode_deltapath(g)
+        assert enc.icc["sink"] == 2
+        report = verify_encoding(enc)
+        assert report.ok, report.failures
+
+    def test_shared_virtual_site_across_levels(self):
+        # A virtual site whose targets sit at different topological depths.
+        g = CallGraph(entry="main")
+        g.add_call("main", ["x", "y"], "m1")
+        g.add_edge("x", "y", "x1")
+        enc = encode_deltapath(g)
+        report = verify_encoding(enc)
+        assert report.ok, report.failures

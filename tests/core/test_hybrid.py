@@ -1,0 +1,168 @@
+"""Hybrid PCC + DeltaPath encoding (Section 8 future work)."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.core.hybrid import (
+    HybridDecoder,
+    HybridProbe,
+    build_hybrid_plan,
+    trunk_from_profile,
+)
+from repro.errors import AnalysisError
+from repro.lang.parser import parse_program
+from repro.runtime.interpreter import Interpreter
+
+SRC = """
+    program Main.main
+    class Main
+    class Trunk
+    class Cold
+    def Main.main
+      loop 8
+        call Trunk.hot           # the hot region (trunk)
+      end
+      call Cold.rare
+    end
+    def Trunk.hot
+      call Trunk.inner
+    end
+    def Trunk.inner
+      branch 0.2
+        call Cold.escape         # trunk occasionally enters cold code
+      end
+    end
+    def Cold.rare
+      call Cold.leaf
+    end
+    def Cold.escape
+      call Cold.leaf
+    end
+    def Cold.leaf
+      work 1
+    end
+"""
+
+
+def _setup():
+    program = parse_program(SRC)
+    graph = build_callgraph(program)
+    trunk = {"Trunk.hot", "Trunk.inner"}
+    plan = build_hybrid_plan(graph, trunk)
+    return program, graph, plan
+
+
+class TestTrunkSelection:
+    def test_trunk_from_profile_takes_top_contexts(self):
+        histogram = {
+            ("Main.main", "Trunk.hot"): 1000,
+            ("Main.main", "Trunk.hot", "Trunk.inner"): 900,
+            ("Main.main", "Cold.rare"): 3,
+        }
+        trunk = trunk_from_profile(histogram, top_k=2)
+        assert trunk == {"Main.main", "Trunk.hot", "Trunk.inner"}
+
+    def test_top_k_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            trunk_from_profile({}, top_k=0)
+
+
+class TestHybridPlan:
+    def test_trunk_excluded_from_deltapath_world(self):
+        _, _, plan = _setup()
+        assert "Trunk.hot" not in plan.dp_plan.instrumented_nodes
+        assert "Cold.leaf" in plan.dp_plan.instrumented_nodes
+
+    def test_trunk_sites_get_pcc_constants(self):
+        _, _, plan = _setup()
+        callers = {caller for caller, _label in plan.pcc_constants}
+        assert "Trunk.hot" in callers or "Trunk.inner" in callers
+
+    def test_entry_never_in_trunk(self):
+        program = parse_program(SRC)
+        graph = build_callgraph(program)
+        plan = build_hybrid_plan(graph, {"Main.main", "Trunk.hot"})
+        assert "Main.main" not in plan.trunk
+
+
+class CollectAll:
+    def __init__(self, nodes):
+        self.nodes = nodes
+        self.shadow = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        self.shadow.append(node)
+        if node in self.nodes:
+            self.samples.append(
+                (node, probe.snapshot(node), tuple(self.shadow))
+            )
+
+    def on_exit(self, node):
+        if self.shadow and self.shadow[-1] == node:
+            self.shadow.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+class TestHybridRuntime:
+    def test_cold_pieces_decode_precisely(self):
+        program, graph, plan = _setup()
+        probe = HybridProbe(plan, cpt=True)
+        collector = CollectAll({"Cold.leaf"})
+        Interpreter(program, probe=probe, seed=4,
+                    collector=collector).run(operations=4)
+        assert collector.samples
+
+        # Profiling pass: build the trunk map from PCC values seen when
+        # the trunk escaped into cold code.
+        trunk_map = {}
+        for node, (pcc_value, stack, current), truth in collector.samples:
+            trunk_prefix = tuple(
+                f for f in truth if f in plan.trunk or f == "Main.main"
+            )
+            trunk_map.setdefault(pcc_value, trunk_prefix)
+
+        decoder = HybridDecoder(plan, trunk_map)
+        for node, snapshot, truth in collector.samples:
+            decoded = decoder.decode(node, snapshot)
+            # The DeltaPath tail is precise over non-trunk functions.
+            tail_nodes = [
+                n for n in decoded.tail.nodes(gap_marker=None)
+                if n not in plan.trunk
+            ]
+            expected_tail = [
+                f for f in truth if f not in plan.trunk
+            ]
+            assert tail_nodes == expected_tail
+
+    def test_trunk_map_resolves_known_hashes(self):
+        program, graph, plan = _setup()
+        probe = HybridProbe(plan, cpt=True)
+        collector = CollectAll({"Cold.leaf"})
+        Interpreter(program, probe=probe, seed=4,
+                    collector=collector).run(operations=4)
+        escapes = [
+            s for s in collector.samples if "Trunk.inner" in s[2]
+        ]
+        assert escapes, "trunk never escaped into cold code"
+        node, snapshot, truth = escapes[0]
+        pcc_value = snapshot[0]
+        trunk_map = {pcc_value: ("Main.main", "Trunk.hot", "Trunk.inner")}
+        decoded = HybridDecoder(plan, trunk_map).decode(node, snapshot)
+        assert decoded.trunk_known
+        names = decoded.nodes(gap_marker=None)
+        assert names[:3] == ["Main.main", "Trunk.hot", "Trunk.inner"]
+        assert names[-1] == "Cold.leaf"
+
+    def test_unknown_hash_degrades_gracefully(self):
+        program, graph, plan = _setup()
+        probe = HybridProbe(plan, cpt=True)
+        collector = CollectAll({"Cold.leaf"})
+        Interpreter(program, probe=probe, seed=4,
+                    collector=collector).run(operations=2)
+        node, snapshot, truth = collector.samples[0]
+        decoded = HybridDecoder(plan, {}).decode(node, snapshot)
+        assert not decoded.trunk_known
+        assert decoded.nodes()  # the precise tail is still available

@@ -1,0 +1,140 @@
+"""PCCE baseline pinned to the paper's Figure 1 walkthrough."""
+
+import pytest
+
+from repro.core.pcce import encode_pcce
+from repro.core.verify import verify_encoding
+from repro.errors import EncodingError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.workloads.paperfigures import figure1_graph, figure4_graph
+
+
+@pytest.fixture()
+def fig1():
+    return encode_pcce(figure1_graph())
+
+
+class TestFigure1NC:
+    def test_nc_values_match_paper(self, fig1):
+        assert fig1.nc == {
+            "A": 1, "B": 1, "C": 1, "D": 2, "E": 4, "F": 3, "G": 8,
+        }
+
+    def test_max_id_is_nc_of_g_minus_one(self, fig1):
+        assert fig1.max_id == 7
+
+
+class TestFigure1AdditionValues:
+    def test_first_edges_get_zero(self, fig1):
+        assert fig1.edge_increment(CallEdge("A", "B", "a1")) == 0
+        assert fig1.edge_increment(CallEdge("B", "D", "b1")) == 0
+        assert fig1.edge_increment(CallEdge("E", "G", "e1")) == 0
+
+    def test_cd_gets_nc_of_b(self, fig1):
+        assert fig1.edge_increment(CallEdge("C", "D", "c1")) == 1
+
+    def test_fg_gets_nc_of_e(self, fig1):
+        # FG is processed after EG, so its value is NC[E] = 4.
+        assert fig1.edge_increment(CallEdge("F", "G", "f1")) == 4
+
+    def test_cg_gets_sum_of_nc_e_and_nc_f(self, fig1):
+        # "CG's addition value ... is the sum (7) of the NC of E (4) and
+        # that of F (3)" (paper, Section 2).
+        assert fig1.edge_increment(CallEdge("C", "G", "c3")) == 7
+
+    def test_cf_gets_nc_of_d(self, fig1):
+        assert fig1.edge_increment(CallEdge("C", "F", "c2")) == 2
+
+
+class TestFigure1EncodingAndDecoding:
+    def test_acfg_encodes_to_six(self, fig1):
+        context = (
+            CallEdge("A", "C", "a2"),
+            CallEdge("C", "F", "c2"),
+            CallEdge("F", "G", "f1"),
+        )
+        assert fig1.encode_context(context) == 6
+
+    def test_decoding_six_at_g_recovers_acfg(self, fig1):
+        path = fig1.decode("G", 6)
+        assert [e.callee for e in path] == ["C", "F", "G"]
+        assert path[0].caller == "A"
+
+    def test_ab_and_ac_share_id_zero_but_differ_by_node(self, fig1):
+        ab = (CallEdge("A", "B", "a1"),)
+        ac = (CallEdge("A", "C", "a2"),)
+        assert fig1.encode_context(ab) == 0
+        assert fig1.encode_context(ac) == 0  # fine: ending nodes differ
+
+    def test_all_g_contexts_encode_to_0_through_7(self, fig1):
+        from repro.graph.contexts import enumerate_contexts
+
+        ids = sorted(
+            fig1.encode_context(c)
+            for c in enumerate_contexts(fig1.graph, "G")
+        )
+        assert ids == list(range(8))
+
+    def test_exhaustive_verification_passes(self, fig1):
+        report = verify_encoding(fig1)
+        assert report.ok, report.failures
+        assert report.max_observed_id == 7
+
+
+class TestVirtualSiteConflict:
+    """PCCE's limitation: virtual sites get conflicting addition values."""
+
+    def test_figure4_virtual_site_conflicts(self):
+        enc = encode_pcce(figure4_graph())
+        assert enc.has_site_conflicts()
+
+    def test_site_increment_raises_on_conflict(self):
+        enc = encode_pcce(figure4_graph())
+        conflicted = None
+        for site in enc.graph.virtual_sites:
+            edges = enc.graph.site_targets(site)
+            if len({enc.av[e] for e in edges}) != 1:
+                conflicted = site
+                break
+        assert conflicted is not None
+        with pytest.raises(EncodingError, match="conflicting"):
+            enc.site_increment(conflicted)
+
+    def test_monomorphic_sites_have_single_increment(self, fig1):
+        for site in fig1.graph.call_sites:
+            fig1.site_increment(site)  # must not raise
+
+
+class TestRecursionRemoval:
+    def test_back_edge_removed_and_recorded(self):
+        g = CallGraph(entry="main")
+        g.add_edge("main", "f", "m1")
+        g.add_edge("f", "g", "f1")
+        g.add_edge("g", "f", "g1")  # recursion f -> g -> f
+        enc = encode_pcce(g)
+        assert [(e.caller, e.callee) for e in enc.back_edges] == [("g", "f")]
+        assert enc.nc == {"main": 1, "f": 1, "g": 1}
+
+    def test_decode_recursion_piece_with_stop(self):
+        g = CallGraph(entry="main")
+        g.add_edge("main", "f", "m1")
+        g.add_edge("f", "g", "f1")
+        g.add_edge("g", "f", "g1")
+        enc = encode_pcce(g)
+        # A piece beginning at f (after a recursion reset) ending at g.
+        piece = enc.decode("g", 0, stop="f")
+        assert [(e.caller, e.callee) for e in piece] == [("f", "g")]
+
+
+class TestDecodingErrors:
+    def test_nonzero_residual_rejected(self, fig1):
+        from repro.errors import DecodingError
+
+        with pytest.raises(DecodingError):
+            fig1.decode("B", 5)
+
+    def test_unknown_node_rejected(self, fig1):
+        from repro.errors import DecodingError
+
+        with pytest.raises(DecodingError):
+            fig1.decode("Z", 0)

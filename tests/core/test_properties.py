@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for the encoding invariants.
+
+The verifier (:mod:`repro.core.verify`) is the oracle: for any call
+graph, every context must get a unique encoding that decodes back. The
+strategies here drive the seeded generators in
+:mod:`repro.workloads.synthetic` — hypothesis shrinks over the structure
+parameters, the generators keep graphs well-formed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.anchored import encode_anchored
+from repro.core.deltapath import encode_deltapath
+from repro.core.pcce import encode_pcce
+from repro.core.sid import compute_sids
+from repro.core.verify import verify_encoding
+from repro.core.widths import UNBOUNDED, Width
+from repro.errors import EncodingOverflowError
+from repro.graph.contexts import context_counts
+from repro.graph.topo import is_acyclic
+from repro.workloads.synthetic import random_callgraph
+
+GRAPHS = st.builds(
+    random_callgraph,
+    seed=st.integers(0, 10_000),
+    layers=st.integers(2, 6),
+    width=st.integers(1, 5),
+    extra_edges=st.integers(0, 10),
+    virtual_sites=st.integers(0, 4),
+    max_dispatch=st.integers(2, 4),
+)
+
+CYCLIC_GRAPHS = st.builds(
+    random_callgraph,
+    seed=st.integers(0, 10_000),
+    layers=st.integers(2, 5),
+    width=st.integers(1, 4),
+    extra_edges=st.integers(0, 6),
+    virtual_sites=st.integers(0, 3),
+    back_edges=st.integers(1, 3),
+)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=60,
+    derandomize=True,  # reproducible example streams for a repro repo
+)
+
+
+class TestAlgorithm1Properties:
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_unique_and_roundtrip(self, graph):
+        report = verify_encoding(
+            encode_deltapath(graph), limit_per_node=4000
+        )
+        assert report.ok, report.failures
+
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_icc_at_least_nc(self, graph):
+        encoding = encode_deltapath(graph)
+        nc = context_counts(encoding.graph)
+        for node in encoding.graph.reachable_from(encoding.graph.entry):
+            assert encoding.icc[node] >= nc[node]
+
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_monomorphic_graphs_match_pcce(self, graph):
+        if graph.virtual_sites:
+            encoding = encode_deltapath(graph)
+            # Virtual graphs: ICC may exceed NC; nothing more to check.
+            assert encoding is not None
+            return
+        dp = encode_deltapath(graph)
+        pcce = encode_pcce(graph)
+        for edge in dp.graph.edges:
+            assert dp.edge_increment(edge) == pcce.edge_increment(edge)
+
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_addition_values_non_negative(self, graph):
+        encoding = encode_deltapath(graph)
+        assert all(av >= 0 for av in encoding.av.values())
+
+
+class TestAlgorithm2Properties:
+    @given(graph=GRAPHS, bits=st.integers(4, 16))
+    @settings(**COMMON)
+    def test_width_respected_or_overflow_error(self, graph, bits):
+        width = Width(bits)
+        try:
+            encoding = encode_anchored(graph, width=width)
+        except EncodingOverflowError:
+            return  # legitimately impossible width
+        for value in encoding.icc.values():
+            assert value <= width.max_value
+        for value in encoding.bound.values():
+            assert value <= width.max_value
+        report = verify_encoding(encoding, limit_per_node=4000)
+        assert report.ok, report.failures
+
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_unbounded_never_needs_anchors(self, graph):
+        encoding = encode_anchored(graph, width=UNBOUNDED)
+        assert encoding.extra_anchors == []
+
+    @given(graph=GRAPHS, bits=st.integers(4, 10))
+    @settings(**COMMON)
+    def test_anchor_set_grows_monotonically_with_narrower_width(
+        self, graph, bits
+    ):
+        try:
+            narrow = encode_anchored(graph, width=Width(bits))
+            wide = encode_anchored(graph, width=Width(bits + 8))
+        except EncodingOverflowError:
+            return
+        assert len(wide.extra_anchors) <= len(narrow.extra_anchors)
+
+
+class TestRecursionProperties:
+    @given(graph=CYCLIC_GRAPHS)
+    @settings(**COMMON)
+    def test_back_edge_removal_yields_acyclic_verified_encoding(self, graph):
+        encoding = encode_deltapath(graph)
+        assert is_acyclic(encoding.graph)
+        report = verify_encoding(encoding, limit_per_node=4000)
+        assert report.ok, report.failures
+
+    @given(graph=CYCLIC_GRAPHS)
+    @settings(**COMMON)
+    def test_removed_edges_are_exactly_the_difference(self, graph):
+        encoding = encode_deltapath(graph)
+        kept = {(e.caller, e.callee, e.label) for e in encoding.graph.edges}
+        removed = {
+            (e.caller, e.callee, e.label) for e in encoding.back_edges
+        }
+        original = {(e.caller, e.callee, e.label) for e in graph.edges}
+        assert kept | removed == original
+        assert not (kept & removed)
+
+
+class TestSidProperties:
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_virtual_site_targets_share_sid(self, graph):
+        sids = compute_sids(graph)
+        for site in graph.call_sites:
+            target_sids = {
+                sids.node_sid(e.callee) for e in graph.site_targets(site)
+            }
+            assert len(target_sids) == 1
+            assert sids.expected_sid(site) in target_sids
+
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_every_node_has_a_sid(self, graph):
+        sids = compute_sids(graph)
+        for node in graph.nodes:
+            assert sids.node_sid(node) >= 0
+        assert sids.num_sets <= len(graph.nodes)

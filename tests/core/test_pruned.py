@@ -1,0 +1,146 @@
+"""Pruned and relative encoding (Section 8 future work)."""
+
+import pytest
+
+from repro.core.pruned import RelativeContextLog, prune_for_targets
+from repro.errors import AnalysisError
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan, build_plan_from_graph
+from repro.workloads.paperfigures import figure4_graph
+
+SRC = """
+    program Main.main
+    class Main
+    class U
+    def Main.main
+      call Main.a
+      call Main.b
+    end
+    def Main.a
+      call U.target
+    end
+    def Main.b
+      call U.other
+    end
+    def U.target
+      work 1
+    end
+    def U.other
+      call U.leaf
+    end
+    def U.leaf
+      work 1
+    end
+"""
+
+
+class TestPruneForTargets:
+    def test_figure4_paper_example(self):
+        """Paper: with targets D and F, 'we can skip the encoding
+        operations in E and G'."""
+        graph = figure4_graph()
+        pruned = prune_for_targets(graph, ["D", "F"])
+        assert set(pruned.nodes) == {"A", "B", "C", "D"} | {"F"}
+        assert "E" not in pruned
+        assert "G" not in pruned
+
+    def test_pruned_graph_keeps_all_target_contexts(self):
+        from repro.graph.contexts import enumerate_contexts
+
+        graph = figure4_graph()
+        pruned = prune_for_targets(graph, ["F"])
+        full_contexts = {
+            tuple(c) for c in enumerate_contexts(graph, "F")
+        }
+        pruned_contexts = {
+            tuple(c) for c in enumerate_contexts(pruned, "F")
+        }
+        assert full_contexts == pruned_contexts
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(AnalysisError):
+            prune_for_targets(figure4_graph(), ["Z"])
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(AnalysisError):
+            prune_for_targets(figure4_graph(), [])
+
+
+class TestPrunedRuntime:
+    def test_pruned_plan_instruments_fewer_sites_and_still_decodes(self):
+        from repro.analysis.callgraph_builder import build_callgraph
+
+        program = parse_program(SRC)
+        graph = build_callgraph(program)
+        full_plan = build_plan_from_graph(graph)
+        pruned_plan = build_plan_from_graph(
+            prune_for_targets(graph, ["U.target"])
+        )
+        assert (
+            pruned_plan.instrumented_site_count
+            < full_plan.instrumented_site_count
+        )
+
+        samples = []
+
+        class Collect:
+            def on_entry(self, node, depth, probe):
+                if node == "U.target":
+                    samples.append(probe.snapshot(node))
+
+            def on_exit(self, node):
+                pass
+
+            def on_event(self, *args):
+                pass
+
+        probe = DeltaPathProbe(pruned_plan, cpt=True)
+        Interpreter(program, probe=probe, collector=Collect()).run()
+        assert samples
+        decoder = pruned_plan.decoder()
+        for stack, current in samples:
+            decoded = decoder.decode("U.target", stack, current)
+            assert decoded.nodes() == ["Main.main", "Main.a", "U.target"]
+
+
+class TestRelativeContextLog:
+    def test_deepening_sequence_compresses(self):
+        log = RelativeContextLog()
+        log.append("A", ((), 0))
+        log.append("B", ((), 3))   # same stack, larger id -> relative
+        log.append("C", ((), 7))   # relative again
+        assert len(log) == 3
+        assert log.relative_fraction == pytest.approx(2 / 3)
+
+    def test_records_resolve_to_absolute_values(self):
+        log = RelativeContextLog()
+        log.append("A", ((), 0))
+        log.append("B", ((), 3))
+        log.append("C", ((), 7))
+        assert log.get(0) == ("A", ((), 0))
+        assert log.get(1) == ("B", ((), 3))
+        assert log.get(2) == ("C", ((), 7))
+
+    def test_stack_change_stores_absolute(self):
+        from repro.core.stackmodel import EntryKind, StackEntry
+
+        entry = StackEntry(kind=EntryKind.ANCHOR, node="X", saved_id=1)
+        log = RelativeContextLog()
+        log.append("A", ((), 5))
+        log.append("B", ((entry,), 0))  # different stack -> absolute
+        assert log.relative_fraction == 0.0
+        assert log.get(1) == ("B", ((entry,), 0))
+
+    def test_id_decrease_stores_absolute(self):
+        log = RelativeContextLog()
+        log.append("A", ((), 5))
+        log.append("B", ((), 2))
+        assert log.relative_fraction == 0.0
+
+    def test_iteration_yields_absolute_records(self):
+        log = RelativeContextLog()
+        log.append("A", ((), 1))
+        log.append("B", ((), 4))
+        assert list(log) == [("A", ((), 1)), ("B", ((), 4))]

@@ -1,0 +1,109 @@
+"""Selective (flexible) encoding — paper Figure 7 / Section 4.2."""
+
+import pytest
+
+from repro.core.selective import project_interesting, reattach_orphans
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.workloads.paperfigures import figure7_full_graph, figure7_jdk_nodes
+from repro.workloads.paperprograms import figure7_program
+
+
+class TestProjection:
+    def test_figure7_projection_drops_jdk_edges(self):
+        graph = figure7_full_graph()
+        jdk = set(figure7_jdk_nodes())
+        selection = project_interesting(graph, lambda n: n not in jdk)
+        assert set(selection.graph.nodes) == {"A", "B", "G"}
+        # Only AB survives; BD, DF, FG vanish with the JDK nodes.
+        assert [(e.caller, e.callee) for e in selection.graph.edges] == [
+            ("A", "B")
+        ]
+
+    def test_orphan_detection(self):
+        graph = figure7_full_graph()
+        jdk = set(figure7_jdk_nodes())
+        selection = project_interesting(graph, lambda n: n not in jdk)
+        # G is reachable only through JDK code: an orphan.
+        assert selection.orphans == ["G"]
+        assert set(selection.excluded) == jdk
+
+    def test_reattach_orphans_restores_reachability(self):
+        graph = figure7_full_graph()
+        jdk = set(figure7_jdk_nodes())
+        selection = project_interesting(graph, lambda n: n not in jdk)
+        rooted = reattach_orphans(selection)
+        assert "G" in rooted.reachable_from("A")
+
+
+class FullCollector:
+    def __init__(self):
+        self.shadow = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        self.shadow.append(node)
+        self.samples.append((node, probe.snapshot(node), tuple(self.shadow)))
+
+    def on_exit(self, node):
+        if self.shadow and self.shadow[-1] == node:
+            self.shadow.pop()
+
+    def on_event(self, tag, node, depth, probe):
+        pass
+
+
+class TestSelectiveRuntime:
+    """The executable Figure 7: JDK classes excluded from encoding."""
+
+    def _run(self):
+        program = figure7_program()
+        plan = build_plan(program, application_only=True)
+        probe = DeltaPathProbe(plan, cpt=True)
+        collector = FullCollector()
+        Interpreter(program, probe=probe, collector=collector).run()
+        return plan, probe, collector
+
+    def test_jdk_methods_not_instrumented(self):
+        plan, _, _ = self._run()
+        assert "Jdk1.d" not in plan.instrumented_nodes
+        assert "Jdk2.f" not in plan.instrumented_nodes
+        assert {"Main.main", "Main.b", "App.g"} <= plan.instrumented_nodes
+
+    def test_only_ab_site_carries_an_addition(self):
+        plan, _, _ = self._run()
+        real_sites = set(plan.site_av)
+        # Main.b's call site targets only JDK code: not instrumented.
+        assert ("Main.b", "0") not in real_sites
+        assert ("Main.main", "0") in real_sites
+
+    def test_g_detects_hazardous_ucp(self):
+        _, probe, _ = self._run()
+        assert probe.ucp_detections == 1
+
+    def test_decoded_context_is_application_only(self):
+        """Paper: 'Finally, ABG, which consists of application methods
+        only, can be recovered from the encoding result.'"""
+        plan, _, collector = self._run()
+        decoder = plan.decoder()
+        found = False
+        for node, (stack, current), truth in collector.samples:
+            if node != "App.g":
+                continue
+            decoded = decoder.decode(node, stack, current)
+            assert decoded.has_gaps
+            names = decoded.nodes(gap_marker=None)
+            assert names == ["Main.main", "Main.b", "App.g"]
+            found = True
+        assert found
+
+    def test_more_exclusion_means_less_instrumentation(self):
+        program = figure7_program()
+        full = build_plan(program, application_only=False)
+        selective = build_plan(program, application_only=True)
+        assert (
+            selective.instrumented_site_count < full.instrumented_site_count
+        )
+        assert len(selective.instrumented_nodes) < len(full.instrumented_nodes)

@@ -1,0 +1,51 @@
+"""Paper-style DOT rendering of encodings."""
+
+import pytest
+
+from repro.core.anchored import encode_anchored
+from repro.core.deltapath import encode_deltapath
+from repro.core.pcce import encode_pcce
+from repro.core.visualize import encoding_dot
+from repro.core.widths import UNBOUNDED
+from repro.workloads.paperfigures import (
+    figure1_graph,
+    figure4_graph,
+    figure5_anchors,
+    figure5_graph,
+)
+
+
+class TestEncodingDot:
+    def test_pcce_shows_nc_values(self):
+        dot = encoding_dot(encode_pcce(figure1_graph()))
+        assert "NC=8" in dot  # node G
+        assert "+7" in dot    # edge CG's addition value
+
+    def test_deltapath_shows_icc_values(self):
+        dot = encoding_dot(encode_deltapath(figure4_graph()))
+        assert "ICC=5" in dot  # node F
+        assert "+2" in dot     # the virtual site in D
+
+    def test_zero_values_omitted_like_the_figures(self):
+        dot = encoding_dot(encode_pcce(figure1_graph()))
+        assert "+0" not in dot
+
+    def test_anchored_highlights_anchors_and_per_anchor_icc(self):
+        encoding = encode_anchored(
+            figure5_graph(), width=UNBOUNDED,
+            initial_anchors=figure5_anchors(),
+        )
+        dot = encoding_dot(encoding, name="fig5")
+        assert "fig5" in dot
+        assert "lightblue" in dot         # anchors C and D filled
+        assert "ICC[D]=2" in dot          # node E relative to anchor D
+
+    def test_entry_not_highlighted(self):
+        encoding = encode_anchored(
+            figure5_graph(), width=UNBOUNDED,
+            initial_anchors=figure5_anchors(),
+        )
+        dot = encoding_dot(encoding)
+        for line in dot.splitlines():
+            if '"A"' in line and "->" not in line:
+                assert "lightblue" not in line

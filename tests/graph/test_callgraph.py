@@ -1,0 +1,238 @@
+"""Call-graph data structure tests."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.contexts import (
+    context_counts,
+    context_nodes,
+    count_contexts,
+    enumerate_contexts,
+)
+from repro.graph.dot import to_dot
+from repro.graph.scc import back_edges, recursive_nodes, tarjan_sccs
+from repro.graph.topo import find_cycle, is_acyclic, topological_order
+
+
+@pytest.fixture()
+def diamond():
+    g = CallGraph(entry="main")
+    g.add_edge("main", "l", "s1")
+    g.add_edge("main", "r", "s2")
+    g.add_edge("l", "sink", "s3")
+    g.add_edge("r", "sink", "s4")
+    return g
+
+
+class TestConstruction:
+    def test_entry_created_automatically(self):
+        g = CallGraph(entry="main")
+        assert "main" in g
+        assert len(g) == 1
+
+    def test_duplicate_edge_rejected(self, diamond):
+        with pytest.raises(GraphError, match="duplicate"):
+            diamond.add_edge("main", "l", "s1")
+
+    def test_parallel_edges_with_distinct_labels_allowed(self):
+        g = CallGraph()
+        g.add_edge("main", "f", "a")
+        g.add_edge("main", "f", "b")
+        assert g.num_edges == 2
+        assert len(g.sites_in("main")) == 2
+
+    def test_auto_labels_are_fresh(self):
+        g = CallGraph()
+        e1 = g.add_edge("main", "a")
+        e2 = g.add_edge("main", "b")
+        assert e1.label != e2.label
+
+    def test_add_call_builds_virtual_site(self):
+        g = CallGraph()
+        site = g.add_call("main", ["a", "b", "c"], "v")
+        assert g.is_virtual_site(site)
+        assert [e.callee for e in g.site_targets(site)] == ["a", "b", "c"]
+
+    def test_add_call_needs_targets(self):
+        g = CallGraph()
+        with pytest.raises(GraphError):
+            g.add_call("main", [])
+
+    def test_node_attrs_merge(self):
+        g = CallGraph()
+        g.add_node("f", library=True)
+        g.add_node("f", dynamic=False)
+        assert g.node_attrs("f") == {"library": True, "dynamic": False}
+
+
+class TestAccessors:
+    def test_in_out_edges_in_insertion_order(self, diamond):
+        assert [e.caller for e in diamond.in_edges("sink")] == ["l", "r"]
+        assert [e.callee for e in diamond.out_edges("main")] == ["l", "r"]
+
+    def test_predecessors_successors_deduplicated(self):
+        g = CallGraph()
+        g.add_edge("main", "f", "a")
+        g.add_edge("main", "f", "b")
+        assert g.predecessors("f") == ["main"]
+        assert g.successors("main") == ["f"]
+
+    def test_unknown_site_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.site_targets(CallSite("main", "nope"))
+
+    def test_stats(self, diamond):
+        assert diamond.stats() == {
+            "nodes": 4,
+            "edges": 4,
+            "call_sites": 4,
+            "virtual_call_sites": 0,
+        }
+
+
+class TestDerivedGraphs:
+    def test_subgraph_drops_cross_edges(self, diamond):
+        sub = diamond.subgraph(["main", "l", "sink"])
+        assert "r" not in sub
+        assert [(e.caller, e.callee) for e in sub.edges] == [
+            ("main", "l"), ("l", "sink"),
+        ]
+
+    def test_subgraph_always_keeps_entry(self, diamond):
+        sub = diamond.subgraph(["sink"])
+        assert "main" in sub
+
+    def test_without_edges_keeps_nodes(self, diamond):
+        pruned = diamond.without_edges(
+            [CallEdge("l", "sink", "s3")]
+        )
+        assert "l" in pruned
+        assert pruned.num_edges == 3
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.add_edge("sink", "extra")
+        assert "extra" not in diamond
+
+
+class TestReachability:
+    def test_reachable_from(self, diamond):
+        assert diamond.reachable_from("l") == {"l", "sink"}
+
+    def test_reaching(self, diamond):
+        assert diamond.reaching("sink") == {"main", "l", "r", "sink"}
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.reachable_from("ghost")
+
+    def test_validate_rejects_entry_with_predecessors(self):
+        g = CallGraph(entry="main")
+        g.add_edge("f", "main")
+        with pytest.raises(GraphError, match="incoming"):
+            g.validate()
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, diamond):
+        order = topological_order(diamond)
+        pos = {n: i for i, n in enumerate(order)}
+        for edge in diamond.edges:
+            assert pos[edge.caller] < pos[edge.callee]
+
+    def test_cycle_raises_with_cycle_attached(self):
+        g = CallGraph()
+        g.add_edge("main", "a")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a", "back")
+        with pytest.raises(CycleError) as info:
+            topological_order(g)
+        assert info.value.cycle is not None
+        assert info.value.cycle[0] == info.value.cycle[-1]
+
+    def test_self_loop_detected(self):
+        g = CallGraph()
+        g.add_edge("main", "f")
+        g.add_edge("f", "f", "self")
+        assert not is_acyclic(g)
+        with pytest.raises(CycleError):
+            topological_order(g)
+
+    def test_find_cycle_none_on_dag(self, diamond):
+        assert find_cycle(diamond) is None
+
+
+class TestSCC:
+    def test_mutual_recursion_one_component(self):
+        g = CallGraph()
+        g.add_edge("main", "a")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a", "back")
+        components = [set(c) for c in tarjan_sccs(g)]
+        assert {"a", "b"} in components
+
+    def test_back_edges_break_all_cycles(self):
+        g = CallGraph()
+        g.add_edge("main", "a")
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a", "back1")
+        g.add_edge("b", "b", "self")
+        removed = back_edges(g)
+        assert is_acyclic(g.without_edges(removed))
+
+    def test_recursive_nodes_include_self_loops(self):
+        g = CallGraph()
+        g.add_edge("main", "f")
+        g.add_edge("f", "f", "self")
+        assert recursive_nodes(g) == {"f"}
+
+
+class TestContexts:
+    def test_counts_with_parallel_edges(self):
+        g = CallGraph()
+        g.add_edge("main", "f", "a")
+        g.add_edge("main", "f", "b")
+        g.add_edge("f", "g")
+        counts = context_counts(g)
+        assert counts["f"] == 2
+        assert counts["g"] == 2
+
+    def test_enumeration_matches_counts(self, diamond):
+        counts = context_counts(diamond)
+        for node in diamond.nodes:
+            assert len(list(enumerate_contexts(diamond, node))) == counts[node]
+
+    def test_entry_context_is_empty_tuple(self, diamond):
+        assert list(enumerate_contexts(diamond, "main")) == [()]
+
+    def test_limit_caps_enumeration(self, diamond):
+        assert len(list(enumerate_contexts(diamond, "sink", limit=1))) == 1
+
+    def test_context_nodes_formats_path(self):
+        ctx = (CallEdge("main", "a", 0), CallEdge("a", "b", 0))
+        assert context_nodes(ctx) == ["main", "a", "b"]
+        assert context_nodes((), entry="main") == ["main"]
+
+    def test_count_contexts_unknown_node(self, diamond):
+        with pytest.raises(GraphError):
+            count_contexts(diamond, "ghost")
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, diamond):
+        text = to_dot(diamond)
+        assert '"main" -> "l"' in text
+        assert "digraph" in text
+
+    def test_dot_labels_and_highlights(self, diamond):
+        text = to_dot(
+            diamond,
+            node_label=lambda n: f"{n}!",
+            edge_label=lambda e: str(e.label),
+            highlight={"sink": "red"},
+        )
+        assert 'label="main!"' in text
+        assert 'fillcolor="red"' in text
+        assert 'label="s1"' in text

@@ -1,0 +1,255 @@
+"""JIP language model, builder and parser tests."""
+
+import pytest
+
+from repro.errors import DispatchError, ProgramError
+from repro.lang.builder import ProgramBuilder
+from repro.lang.model import (
+    Branch,
+    Event,
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+    VirtualCall,
+    Work,
+    iter_stmts,
+)
+from repro.lang.parser import parse_program
+
+
+def _shapes_program() -> Program:
+    return parse_program(
+        """
+        program Main.main
+        class Shape
+        class Circle extends Shape
+        class Square extends Shape
+        class Main
+        def Main.main
+          new Circle
+          new Square
+          vcall Shape.draw
+        end
+        def Shape.draw
+          work 1
+        end
+        def Circle.draw
+          work 2
+        end
+        """
+    )
+
+
+class TestMethodRef:
+    def test_parse(self):
+        ref = MethodRef.parse("Main.main")
+        assert ref == MethodRef("Main", "main")
+        assert str(ref) == "Main.main"
+
+    @pytest.mark.parametrize("bad", ["Main", ".main", "Main.", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ProgramError):
+            MethodRef.parse(bad)
+
+
+class TestHierarchy:
+    def test_subtypes_include_self_and_transitive(self):
+        program = _shapes_program()
+        assert program.subtypes("Shape") == ["Shape", "Circle", "Square"]
+
+    def test_subtypes_can_exclude_dynamic(self):
+        program = Program(MethodRef("M", "m"))
+        program.add_class(Klass("Base"))
+        program.add_class(Klass("Plug", superclass="Base", dynamic=True))
+        assert program.subtypes("Base", include_dynamic=False) == ["Base"]
+        assert program.subtypes("Base") == ["Base", "Plug"]
+
+    def test_supertypes_bottom_up(self):
+        program = _shapes_program()
+        assert program.supertypes("Circle") == ["Circle", "Shape"]
+
+    def test_superclass_must_be_declared_first(self):
+        program = Program(MethodRef("M", "m"))
+        with pytest.raises(ProgramError, match="unknown"):
+            program.add_class(Klass("Kid", superclass="Missing"))
+
+
+class TestResolution:
+    def test_override_wins(self):
+        program = _shapes_program()
+        assert program.resolve("Circle", "draw") == MethodRef("Circle", "draw")
+
+    def test_inherited_method(self):
+        program = _shapes_program()
+        assert program.resolve("Square", "draw") == MethodRef("Shape", "draw")
+
+    def test_missing_method_raises(self):
+        program = _shapes_program()
+        with pytest.raises(DispatchError):
+            program.resolve("Circle", "area")
+
+
+class TestValidation:
+    def test_entry_must_exist(self):
+        program = Program(MethodRef("Main", "main"))
+        program.add_class(Klass("Main"))
+        with pytest.raises(ProgramError, match="entry"):
+            program.validate()
+
+    def test_static_call_target_must_exist(self):
+        with pytest.raises(ProgramError, match="unknown"):
+            parse_program(
+                """
+                program Main.main
+                class Main
+                def Main.main
+                  call Missing.nope
+                end
+                """
+            )
+
+    def test_virtual_call_needs_some_target(self):
+        with pytest.raises(ProgramError, match="no resolvable target"):
+            parse_program(
+                """
+                program Main.main
+                class Main
+                class Base
+                def Main.main
+                  vcall Base.nothing
+                end
+                """
+            )
+
+    def test_dynamic_entry_rejected(self):
+        program = Program(MethodRef("Main", "main"))
+        program.add_class(Klass("Main", dynamic=True))
+        program.klass("Main").define(Method("main"))
+        with pytest.raises(ProgramError, match="dynamic"):
+            program.validate()
+
+
+class TestParser:
+    def test_loop_and_branch_structure(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            def M.m
+              loop 3
+                work 5
+              end
+              branch 0.5
+                event hot
+              else
+                work 1
+              end
+            end
+            """
+        )
+        body = program.method(MethodRef("M", "m")).body
+        assert isinstance(body[0], Loop)
+        assert body[0].count == 3
+        assert isinstance(body[1], Branch)
+        assert body[1].weight == 0.5
+        assert isinstance(body[1].then[0], Event)
+        assert isinstance(body[1].orelse[0], Work)
+
+    def test_class_flags(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class L library
+            class B
+            class P extends B dynamic
+            def M.m
+            end
+            """
+        )
+        assert program.klass("L").library
+        assert program.klass("P").dynamic
+        assert program.klass("P").superclass == "B"
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_program(
+            """
+            # a header comment
+            program M.m
+
+            class M   # trailing comment
+            def M.m
+              work 1  # inline
+            end
+            """
+        )
+        assert program.has_method(MethodRef("M", "m"))
+
+    def test_unknown_statement_reports_line(self):
+        with pytest.raises(ProgramError, match="line 5"):
+            parse_program(
+                "program M.m\n"
+                "class M\n"
+                "\n"
+                "def M.m\n"
+                "  frobnicate 3\n"
+                "end\n"
+            )
+
+    def test_unclosed_block_rejected(self):
+        with pytest.raises(ProgramError, match="end of file"):
+            parse_program(
+                """
+                program M.m
+                class M
+                def M.m
+                  loop 3
+                    work 1
+                end
+                """
+            )
+
+
+class TestBuilder:
+    def test_builder_matches_parser(self):
+        b = ProgramBuilder("Main.main")
+        with b.klass("Shape"):
+            pass
+        with b.klass("Circle", extends="Shape") as circle:
+            with circle.method("draw") as m:
+                m.work(2)
+        with b.klass("Main") as main:
+            with main.method("main") as m:
+                m.new("Circle")
+                with m.loop(2) as inner:
+                    inner.vcall("Shape", "draw")
+        program = b.build()
+        body = program.method(MethodRef("Main", "main")).body
+        assert isinstance(body[0], New)
+        assert isinstance(body[1], Loop)
+        assert isinstance(body[1].body[0], VirtualCall)
+
+    def test_branch_builder(self):
+        b = ProgramBuilder("M.m")
+        with b.klass("M") as m_cls:
+            with m_cls.method("m") as m:
+                with m.branch(0.3) as br:
+                    br.then.work(1)
+                    br.orelse.event("cold")
+        program = b.build()
+        stmt = program.method(MethodRef("M", "m")).body[0]
+        assert isinstance(stmt, Branch)
+        assert isinstance(stmt.then[0], Work)
+        assert isinstance(stmt.orelse[0], Event)
+
+
+class TestIterStmts:
+    def test_recurses_into_blocks(self):
+        program = _shapes_program()
+        loop = Loop(2, (Work(1), Branch(0.5, (Work(2),), (Work(3),))))
+        kinds = [type(s).__name__ for s in iter_stmts((loop,))]
+        assert kinds == ["Loop", "Work", "Branch", "Work", "Work"]

@@ -1,0 +1,120 @@
+"""Program JSON/source round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.lang.parser import parse_program
+from repro.lang.serialize import (
+    format_program,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.workloads.paperprograms import figure6_program
+from repro.workloads.specjvm import build_benchmark
+
+SRC = """
+    program Main.main
+    class Main
+    class Shape
+    class Circle extends Shape
+    class Plugin extends Shape dynamic
+    class Jdk library
+    def Main.main
+      new Circle
+      loop 3
+        vcall Shape.draw
+      end
+      branch 0.25
+        event rare
+      else
+        work 7
+      end
+      call Jdk.io
+    end
+    def Shape.draw
+      work 1
+    end
+    def Circle.draw
+      work 2
+    end
+    def Plugin.draw
+      work 3
+    end
+    def Jdk.io
+    end
+"""
+
+
+def _bodies(program):
+    return {
+        str(ref): method.body for ref, method in program.methods()
+    }
+
+
+class TestJsonRoundtrip:
+    def test_exact_roundtrip(self):
+        program = parse_program(SRC)
+        data = json.loads(json.dumps(program_to_dict(program)))
+        loaded = program_from_dict(data)
+        assert _bodies(loaded) == _bodies(program)
+        assert loaded.klass("Plugin").dynamic
+        assert loaded.klass("Jdk").library
+        assert loaded.klass("Circle").superclass == "Shape"
+
+    def test_figure6_roundtrip(self):
+        program = figure6_program()
+        loaded = program_from_dict(program_to_dict(program))
+        assert _bodies(loaded) == _bodies(program)
+
+    def test_generated_benchmark_roundtrip(self):
+        program = build_benchmark("scimark.fft.large").program
+        loaded = program_from_dict(program_to_dict(program))
+        assert _bodies(loaded) == _bodies(program)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ProgramError, match="format"):
+            program_from_dict({"format": "nope"})
+
+
+class TestSourceRoundtrip:
+    def test_format_then_parse_is_identity(self):
+        program = parse_program(SRC)
+        regenerated = parse_program(format_program(program))
+        assert _bodies(regenerated) == _bodies(program)
+
+    def test_formatting_preserves_class_flags(self):
+        text = format_program(parse_program(SRC))
+        assert "class Plugin extends Shape dynamic" in text
+        assert "class Jdk library" in text
+
+    def test_figure6_source_roundtrip(self):
+        program = figure6_program()
+        regenerated = parse_program(format_program(program))
+        assert _bodies(regenerated) == _bodies(program)
+
+    def test_inlined_program_diffable(self):
+        """The formatter makes transformations inspectable."""
+        from repro.lang.inline import inline_methods
+        from repro.lang.model import MethodRef
+
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              call U.t
+            end
+            def U.t
+              work 9
+            end
+            """
+        )
+        inlined = inline_methods(program, [MethodRef("U", "t")])
+        before = format_program(program)
+        after = format_program(inlined)
+        assert "call U.t" in before
+        assert "call U.t" not in after
+        assert "work 9" in after  # spliced into M.m

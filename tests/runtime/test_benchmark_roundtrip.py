@@ -1,0 +1,95 @@
+"""Benchmark-scale decode-everything test.
+
+The synthetic sunflow benchmark has every complication at once at real
+scale: a 13-layer virtual application cascade (1.6e6 contexts, W16
+forces anchors), recursion, two dynamic plugins, and an excluded
+library. Every snapshot collected over full operations must decode to
+the shadow stack exactly — thousands of decodes across all mechanisms.
+"""
+
+import pytest
+
+from repro.core.widths import W16, W64
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan
+from repro.workloads.specjvm import build_benchmark
+
+
+class Shadow:
+    def __init__(self, interest):
+        self.interest = interest
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.stack.append(node)
+            self.samples.append(
+                (node, probe.snapshot(node), tuple(self.stack))
+            )
+
+    def on_exit(self, node):
+        if node in self.interest and self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+@pytest.fixture(scope="module")
+def sunflow():
+    return build_benchmark("sunflow")
+
+
+@pytest.mark.parametrize("width", [W64, W16])
+def test_sunflow_decodes_everything(sunflow, width):
+    plan = build_plan(
+        sunflow.program, width=width, application_only=True
+    )
+    if width is W16:
+        assert plan.encoding.extra_anchors  # 1.6e6 contexts > int16
+    probe = DeltaPathProbe(plan, cpt=True)
+    shadow = Shadow(plan.instrumented_nodes)
+    interp = sunflow.make_interpreter(
+        probe=probe, seed=7, collector=shadow
+    )
+    interp.run(operations=8)
+
+    assert len(shadow.samples) > 2000
+    decoder = plan.decoder()
+    distinct = {}
+    for node, (stack, current), truth in shadow.samples:
+        key = (node, stack, current)
+        if key in distinct:
+            # Same encoding must always correspond to the same truth.
+            assert distinct[key] == truth
+            continue
+        distinct[key] = truth
+        decoded = decoder.decode(node, stack, current)
+        assert decoded.nodes(gap_marker=None) == list(truth)
+
+
+def test_sunflow_cpt_and_plain_agree_when_no_plugin_runs(sunflow):
+    """With no dynamic detours, wo/CPT snapshots carry the same
+    (stack, id) pairs as w/CPT ones — CPT only adds checks."""
+    plan = build_plan(sunflow.program, application_only=True)
+    for seed in range(10):
+        interp = sunflow.make_interpreter(seed=seed)
+        interp.run(operations=1)
+        dynamic = {"Plugin", "Plugin2"}
+        if not dynamic & set(interp.loaded_classes):
+            break
+    else:
+        pytest.skip("every seed loaded a plugin")
+
+    snapshots = {}
+    for cpt in (True, False):
+        probe = DeltaPathProbe(plan, cpt=cpt)
+        shadow = Shadow(plan.instrumented_nodes)
+        sunflow.make_interpreter(
+            probe=probe, seed=seed, collector=shadow
+        ).run(operations=1)
+        snapshots[cpt] = [
+            (node, snap) for node, snap, _truth in shadow.samples
+        ]
+    assert snapshots[True] == snapshots[False]

@@ -1,0 +1,167 @@
+"""Dynamic class loading and call path tracking (paper Figure 6 / Sec 4.1)."""
+
+import pytest
+
+from repro.core.stackmodel import EntryKind
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.workloads.paperprograms import figure6_program
+
+
+class GapCollector:
+    """Records every snapshot with the true full (all-frames) stack."""
+
+    def __init__(self):
+        self.shadow = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        self.shadow.append(node)
+        self.samples.append((node, probe.snapshot(node), tuple(self.shadow)))
+
+    def on_exit(self, node):
+        if self.shadow and self.shadow[-1] == node:
+            self.shadow.pop()
+
+    def on_event(self, tag, node, depth, probe):
+        pass
+
+
+def _run_figure6(seed, cpt=True):
+    program = figure6_program()
+    plan = build_plan(program)
+    probe = DeltaPathProbe(plan, cpt=cpt)
+    collector = GapCollector()
+    interp = Interpreter(program, probe=probe, seed=seed, collector=collector)
+    interp.run(operations=8)
+    return plan, probe, collector
+
+
+def _seed_that_loads_plugin():
+    """Find a seed where the dynamic class actually gets loaded."""
+    for seed in range(20):
+        program = figure6_program()
+        interp = Interpreter(program, seed=seed)
+        interp.run(operations=8)
+        if "XImpl" in interp.loaded_classes:
+            return seed
+    pytest.fail("no seed loads the plugin")
+
+
+class TestHazardousUCPDetection:
+    def test_hazardous_ucp_detected_when_plugin_runs(self):
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed)
+        assert probe.ucp_detections > 0
+
+    def test_no_ucp_without_dynamic_loading(self):
+        # Seeds where the plugin never loads must never detect UCPs.
+        for seed in range(20):
+            program = figure6_program()
+            plan = build_plan(program)
+            probe = DeltaPathProbe(plan, cpt=True)
+            interp = Interpreter(program, probe=probe, seed=seed)
+            interp.run(operations=1)
+            if "XImpl" not in interp.loaded_classes:
+                assert probe.ucp_detections == 0
+                return
+        pytest.fail("every seed loaded the plugin?")
+
+    def test_ucp_entry_names_detecting_function(self):
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed)
+        ucp_nodes = set()
+        for node, (stack, _), _ in collector.samples:
+            for entry in stack:
+                if entry.kind is EntryKind.UCP:
+                    ucp_nodes.add(entry.node)
+        # The hazardous UCP B -> X -> E is detected at Util.e's entry.
+        assert "Util.e" in ucp_nodes
+
+
+class TestDecodingWithGaps:
+    def test_every_snapshot_decodes_consistently(self):
+        """Decoded contexts must equal the true stack projected onto
+        instrumented functions, with gaps where the plugin ran."""
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed)
+        decoder = plan.decoder()
+        instrumented = plan.instrumented_nodes
+        checked_gap = False
+        for node, (stack, current), truth in collector.samples:
+            if node not in instrumented:
+                # Observation points live in instrumented code only (the
+                # paper collects at instrumented function entries).
+                continue
+            decoded = decoder.decode(node, stack, current)
+            names = decoded.nodes(gap_marker=None)
+            expected = [f for f in truth if f in instrumented]
+            assert names == expected, (
+                f"at {node}: decoded {names}, expected {expected} "
+                f"(full truth {list(truth)})"
+            )
+            if decoded.has_gaps:
+                checked_gap = True
+                assert "XImpl.m" in truth  # gaps only from the plugin
+        assert checked_gap, "workload never exercised a hazardous UCP"
+
+    def test_benign_ucp_decodes_without_gap(self):
+        """B -> X -> D: decoding yields Main.b -> DImpl.m with no gap
+        (the paper's 'benign' case — X is silently absent)."""
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed)
+        decoder = plan.decoder()
+        found = False
+        for node, (stack, current), truth in collector.samples:
+            if node != "DImpl.m" or "XImpl.m" not in truth:
+                continue
+            if truth[-2] != "XImpl.m":
+                continue
+            decoded = decoder.decode(node, stack, current)
+            assert not decoded.has_gaps
+            assert decoded.nodes() == ["Main.main", "Main.b", "DImpl.m"]
+            found = True
+        assert found, "benign UCP path never executed"
+
+    def test_hazardous_path_shows_gap_marker(self):
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed)
+        decoder = plan.decoder()
+        found = False
+        for node, (stack, current), truth in collector.samples:
+            if node != "Util.e" or "XImpl.m" not in truth:
+                continue
+            if truth[-2] != "XImpl.m":
+                continue
+            decoded = decoder.decode(node, stack, current)
+            assert decoded.has_gaps
+            names = decoded.nodes()  # default marker "<?>"
+            assert names == ["Main.main", "Main.b", "<?>", "Util.e"]
+            found = True
+        assert found, "hazardous UCP path never executed"
+
+
+class TestWithoutCPT:
+    def test_wo_cpt_misdecodes_hazardous_path(self):
+        """Without call path tracking the encoding silently decodes the
+        hazardous context to a wrong but plausible context — the paper's
+        motivation for CPT (Figure 6's ABXE decoding to ACE)."""
+        seed = _seed_that_loads_plugin()
+        plan, probe, collector = _run_figure6(seed, cpt=False)
+        assert probe.ucp_detections == 0
+        decoder = plan.decoder()
+        saw_wrong = False
+        instrumented = plan.instrumented_nodes
+        for node, (stack, current), truth in collector.samples:
+            if node != "Util.e" or "XImpl.m" not in truth:
+                continue
+            if truth[-2] != "XImpl.m":
+                continue
+            decoded = decoder.decode(node, stack, current)
+            names = decoded.nodes(gap_marker=None)
+            expected = [f for f in truth if f in instrumented]
+            if names != expected:
+                saw_wrong = True
+        assert saw_wrong, "wo/CPT run decoded everything correctly?"

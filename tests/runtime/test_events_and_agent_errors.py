@@ -1,0 +1,138 @@
+"""Trace recording and the agent's consistency guards."""
+
+import pytest
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.errors import RuntimeEncodingError
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.events import EventKind, Trace, TraceEvent
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+
+SRC = """
+    program M.m
+    class M
+    class P dynamic
+    class U
+    def M.m
+      new P
+      call U.a
+      event checkpoint
+      call P.f
+    end
+    def U.a
+      work 1
+    end
+    def P.f
+      work 1
+    end
+"""
+
+
+class TestTrace:
+    def test_trace_records_all_kinds(self):
+        program = parse_program(SRC)
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        kinds = {event.kind for event in trace}
+        assert kinds == {
+            EventKind.CALL,
+            EventKind.RETURN,
+            EventKind.EVENT,
+            EventKind.LOAD,
+        }
+
+    def test_load_events_name_the_class(self):
+        program = parse_program(SRC)
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        assert [e.node for e in trace.loads()] == ["P"]
+
+    def test_tagged_lookup(self):
+        program = parse_program(SRC)
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        tagged = trace.tagged("checkpoint")
+        assert len(tagged) == 1
+        assert tagged[0].node == "M.m"
+        assert trace.tagged("nope") == []
+
+    def test_depth_tracking(self):
+        program = parse_program(SRC)
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        assert trace.max_depth() == 2  # M.m -> U.a / P.f
+
+    def test_len_and_iter(self):
+        trace = Trace()
+        trace.append(TraceEvent(EventKind.CALL, node="x"))
+        assert len(trace) == 1
+        assert list(trace)[0].node == "x"
+
+
+class TestAgentGuards:
+    """The probe detects protocol violations instead of corrupting."""
+
+    def _probe(self):
+        program = parse_program(SRC)
+        return DeltaPathProbe(build_plan(program))
+
+    def test_unbalanced_exit_rejected(self):
+        probe = self._probe()
+        with pytest.raises(RuntimeEncodingError, match="unbalanced exit"):
+            probe.exit_function("M.m")
+
+    def test_unbalanced_after_call_rejected(self):
+        probe = self._probe()
+        with pytest.raises(RuntimeEncodingError, match="unbalanced after_call"):
+            probe.after_call("M.m", "0", "U.a")
+
+    def test_mismatched_stack_pop_rejected(self):
+        probe = self._probe()
+        # Force a frame that owes an anchor pop, then corrupt the stack.
+        probe.enter_function("M.m")  # entry is an anchor: pushes
+        probe._stack[-1] = StackEntry(
+            kind=EntryKind.RECURSION, node="M.m", saved_id=0
+        )
+        with pytest.raises(RuntimeEncodingError, match="expected ANCHOR"):
+            probe.exit_function("M.m")
+
+    def test_pop_from_empty_stack_rejected(self):
+        probe = self._probe()
+        probe.enter_function("M.m")
+        probe._stack.clear()
+        with pytest.raises(RuntimeEncodingError, match="stack empty"):
+            probe.exit_function("M.m")
+
+
+class TestUninstrumentedWorld:
+    def test_dynamic_class_methods_cost_nothing(self):
+        """Calls inside dynamic classes never touch the encoding state."""
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        probe = DeltaPathProbe(plan, cpt=False)
+        assert "P.f" not in plan.instrumented_nodes
+        Interpreter(program, probe=probe, seed=1).run()
+        stack, current = probe.snapshot("M.m")
+        assert stack == () and current == 0
+
+    def test_snapshot_marks_max_id(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        probe = DeltaPathProbe(plan)
+
+        seen = []
+
+        class Grab:
+            def on_entry(self, node, depth, p):
+                seen.append(p.snapshot(node))
+
+            def on_exit(self, node):
+                pass
+
+            def on_event(self, *args):
+                pass
+
+        Interpreter(program, probe=probe, collector=Grab()).run()
+        assert probe.max_id_seen == max(s[1] for s in seen)

@@ -1,0 +1,288 @@
+"""Interpreter execution semantics."""
+
+import pytest
+
+from repro.errors import DispatchError, WorkloadError
+from repro.lang.parser import parse_program
+from repro.runtime.events import EventKind, Trace
+from repro.runtime.interpreter import Interpreter
+
+
+def _program(src: str):
+    return parse_program(src)
+
+
+class TestBasicExecution:
+    def test_calls_and_returns_are_traced_lifo(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              call U.a
+            end
+            def U.a
+              call U.b
+            end
+            def U.b
+            end
+            """
+        )
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        kinds = [(e.kind, e.node) for e in trace]
+        assert kinds == [
+            (EventKind.CALL, "U.a"),
+            (EventKind.CALL, "U.b"),
+            (EventKind.RETURN, "U.b"),
+            (EventKind.RETURN, "U.a"),
+        ]
+
+    def test_loop_repeats_body(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              loop 4
+                call U.a
+              end
+            end
+            def U.a
+            end
+            """
+        )
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        assert len(trace.calls()) == 4
+
+    def test_site_labels_match_static_analysis(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class U
+            def M.m
+              loop 1
+                call U.a
+              end
+            end
+            def U.a
+            end
+            """
+        )
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        assert trace.calls()[0].site == "0.0"
+
+    def test_work_accumulates(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            def M.m
+              loop 3
+                work 10
+              end
+            end
+            """
+        )
+        interp = Interpreter(program)
+        interp.run()
+        assert interp.work_done == 30
+
+
+class TestDeterminism:
+    SRC = """
+        program M.m
+        class M
+        class S
+        class A extends S
+        class B extends S
+        def M.m
+          new A
+          new B
+          loop 10
+            branch 0.5
+              vcall S.f
+            end
+          end
+        end
+        def S.f
+        end
+        def A.f
+        end
+        def B.f
+        end
+    """
+
+    def test_same_seed_same_trace(self):
+        t1, t2 = Trace(), Trace()
+        Interpreter(_program(self.SRC), seed=42, trace=t1).run()
+        Interpreter(_program(self.SRC), seed=42, trace=t2).run()
+        assert [(e.kind, e.node) for e in t1] == [(e.kind, e.node) for e in t2]
+
+    def test_different_seed_differs(self):
+        t1, t2 = Trace(), Trace()
+        Interpreter(_program(self.SRC), seed=1, trace=t1).run()
+        Interpreter(_program(self.SRC), seed=2, trace=t2).run()
+        # With 10 coin flips and dispatch choices, traces should differ.
+        assert [(e.kind, e.node) for e in t1] != [(e.kind, e.node) for e in t2]
+
+
+class TestDispatch:
+    def test_dispatch_uses_overrides(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class S
+            class A extends S
+            def M.m
+              new A
+              vcall S.f
+            end
+            def S.f
+            end
+            def A.f
+            end
+            """
+        )
+        trace = Trace()
+        Interpreter(program, trace=trace).run()
+        assert trace.calls()[0].node == "A.f"
+
+    def test_no_receiver_raises(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class S
+            def M.m
+              vcall S.f
+            end
+            def S.f
+            end
+            """
+        )
+        with pytest.raises(DispatchError, match="no instantiated receiver"):
+            Interpreter(program).run()
+
+
+class TestDynamicLoading:
+    def test_dynamic_class_loads_on_new(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class S
+            class P extends S dynamic
+            def M.m
+              new P
+              vcall S.f
+            end
+            def S.f
+            end
+            def P.f
+            end
+            """
+        )
+        trace = Trace()
+        interp = Interpreter(program, trace=trace)
+        assert "P" not in interp.loaded_classes
+        interp.run()
+        assert "P" in interp.loaded_classes
+        assert trace.calls()[0].node == "P.f"
+
+    def test_static_call_loads_dynamic_class(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class P dynamic
+            def M.m
+              call P.f
+            end
+            def P.f
+            end
+            """
+        )
+        interp = Interpreter(program)
+        interp.run()
+        assert "P" in interp.loaded_classes
+
+
+class TestRecursionGuard:
+    def test_unbounded_recursion_raises(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            def M.m
+              call M.m
+            end
+            """
+        )
+        with pytest.raises(WorkloadError, match="depth"):
+            Interpreter(program, max_depth=50).run()
+
+
+class TestStatePersistsAcrossRuns:
+    def test_pools_survive_operations(self):
+        program = _program(
+            """
+            program M.m
+            class M
+            class S
+            class A extends S
+            def M.m
+              vcall S.f
+            end
+            def S.f
+            end
+            def A.f
+            end
+            """
+        )
+        interp = Interpreter(program)
+        interp.instantiate("A")  # warm the world once
+        interp.run(operations=3)  # all three operations can dispatch
+
+
+class TestDispatchCacheInvalidation:
+    def test_dynamic_load_extends_dispatch_candidates_mid_run(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class S
+            class A extends S
+            class P extends S dynamic
+            def M.m
+              new A
+              vcall S.f
+              new P
+              vcall S.f
+            end
+            def S.f
+            end
+            def A.f
+            end
+            def P.f
+            end
+            """
+        )
+        # Across many seeds, the second vcall must be able to pick P.f
+        # (cache invalidated by the pool-version bump) while the first
+        # can only ever pick A.f.
+        first_targets, second_targets = set(), set()
+        for seed in range(12):
+            trace = Trace()
+            Interpreter(program, trace=trace, seed=seed).run()
+            calls = [e for e in trace.calls() if e.caller == "M.m"]
+            first_targets.add(calls[0].node)
+            second_targets.add(calls[1].node)
+        assert first_targets == {"A.f"}
+        assert second_targets == {"A.f", "P.f"}

@@ -1,0 +1,409 @@
+"""The everything-at-once integration test.
+
+One program combines every mechanism the paper describes: virtual
+dispatch, deep diamond blow-up that overflows a tiny width (anchors),
+recursion (back edges), a library component excluded by selective
+encoding, and a dynamically loaded plugin (hazardous UCPs). Every
+collected snapshot must decode to the true instrumented stack, with gaps
+exactly where uninstrumented code ran.
+"""
+
+import pytest
+
+from repro.core.stackmodel import EntryKind
+from repro.core.widths import W16, W64
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+
+SRC = """
+    program Main.main
+
+    class Main
+    class Base
+    class ImplA extends Base
+    class ImplB extends Base
+    class Plug extends Base dynamic
+    class Rec
+    class Lib library
+    class App
+
+    def Main.main
+      new ImplA
+      new ImplB
+      branch 0.5
+        new Plug
+      end
+      loop 4
+        vcall Base.go           # virtual; sometimes the plugin
+      end
+      call Rec.spin             # recursion
+      call App.enter            # diamond cascade (width pressure)
+      call Lib.helper           # excluded library
+    end
+
+    def Base.go
+      work 1
+    end
+    def ImplA.go
+      call App.enter
+    end
+    def ImplB.go
+      call Rec.spin
+    end
+    def Plug.go                  # dynamic: never instrumented
+      call App.leaf              # hazardous UCP at App.leaf
+    end
+
+    def Rec.spin
+      branch 0.6
+        call Rec.step
+      end
+    end
+    def Rec.step
+      call Rec.spin
+    end
+
+    def App.enter
+      call App.d0
+    end
+    def App.d0
+      branch 0.5
+        call App.l0
+      else
+        call App.r0
+      end
+    end
+    def App.l0
+      call App.d1
+    end
+    def App.r0
+      call App.d1
+    end
+    def App.d1
+      branch 0.5
+        call App.l1
+      else
+        call App.r1
+      end
+    end
+    def App.l1
+      call App.d2
+    end
+    def App.r1
+      call App.d2
+    end
+    def App.d2
+      branch 0.5
+        call App.l2
+      else
+        call App.r2
+      end
+    end
+    def App.l2
+      call App.d3
+    end
+    def App.r2
+      call App.d3
+    end
+    def App.d3
+      branch 0.5
+        call App.l3
+      else
+        call App.r3
+      end
+    end
+    def App.l3
+      call App.d4
+    end
+    def App.r3
+      call App.d4
+    end
+    def App.d4
+      branch 0.5
+        call App.l4
+      else
+        call App.r4
+      end
+    end
+    def App.l4
+      call App.d5
+    end
+    def App.r4
+      call App.d5
+    end
+    def App.d5
+      branch 0.5
+        call App.l5
+      else
+        call App.r5
+      end
+    end
+    def App.l5
+      call App.d6
+    end
+    def App.r5
+      call App.d6
+    end
+    def App.d6
+      branch 0.5
+        call App.l6
+      else
+        call App.r6
+      end
+    end
+    def App.l6
+      call App.d7
+    end
+    def App.r6
+      call App.d7
+    end
+    def App.d7
+      branch 0.5
+        call App.l7
+      else
+        call App.r7
+      end
+    end
+    def App.l7
+      call App.d8
+    end
+    def App.r7
+      call App.d8
+    end
+    def App.d8
+      branch 0.5
+        call App.l8
+      else
+        call App.r8
+      end
+    end
+    def App.l8
+      call App.d9
+    end
+    def App.r8
+      call App.d9
+    end
+    def App.d9
+      branch 0.5
+        call App.l9
+      else
+        call App.r9
+      end
+    end
+    def App.l9
+      call App.d10
+    end
+    def App.r9
+      call App.d10
+    end
+    def App.d10
+      branch 0.5
+        call App.l10
+      else
+        call App.r10
+      end
+    end
+    def App.l10
+      call App.d11
+    end
+    def App.r10
+      call App.d11
+    end
+    def App.d11
+      branch 0.5
+        call App.l11
+      else
+        call App.r11
+      end
+    end
+    def App.l11
+      call App.d12
+    end
+    def App.r11
+      call App.d12
+    end
+    def App.d12
+      branch 0.5
+        call App.l12
+      else
+        call App.r12
+      end
+    end
+    def App.l12
+      call App.d13
+    end
+    def App.r12
+      call App.d13
+    end
+    def App.d13
+      branch 0.5
+        call App.l13
+      else
+        call App.r13
+      end
+    end
+    def App.l13
+      call App.d14
+    end
+    def App.r13
+      call App.d14
+    end
+    def App.d14
+      branch 0.5
+        call App.l14
+      else
+        call App.r14
+      end
+    end
+    def App.l14
+      call App.d15
+    end
+    def App.r14
+      call App.d15
+    end
+    def App.d15
+      branch 0.5
+        call App.l15
+      else
+        call App.r15
+      end
+    end
+    def App.l15
+      call App.d16
+    end
+    def App.r15
+      call App.d16
+    end
+    def App.d16
+      branch 0.5
+        call App.l16
+      else
+        call App.r16
+      end
+    end
+    def App.l16
+      call App.d17
+    end
+    def App.r16
+      call App.d17
+    end
+    def App.d17
+      branch 0.5
+        call App.l17
+      else
+        call App.r17
+      end
+    end
+    def App.l17
+      call App.leaf
+    end
+    def App.r17
+      call App.leaf
+    end
+    def App.leaf
+      work 1
+      event observe
+    end
+
+    def Lib.helper
+      call Lib.inner
+    end
+    def Lib.inner
+      call App.leaf              # app reached through the library: UCP
+    end
+"""
+
+
+class Shadow:
+    def __init__(self, interest):
+        self.interest = interest
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.stack.append(node)
+            self.samples.append(
+                (node, probe.snapshot(node), tuple(self.stack))
+            )
+
+    def on_exit(self, node):
+        if node in self.interest and self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+def _run(width, seed, operations=6):
+    program = parse_program(SRC)
+    plan = build_plan(program, width=width, application_only=True)
+    probe = DeltaPathProbe(plan, cpt=True)
+    shadow = Shadow(plan.instrumented_nodes)
+    interp = Interpreter(
+        program, probe=probe, seed=seed, collector=shadow
+    )
+    interp.run(operations=operations)
+    return plan, probe, shadow, interp
+
+
+@pytest.mark.parametrize("width", [W64, W16])
+@pytest.mark.parametrize("seed", [0, 3, 11, 29])
+def test_every_snapshot_decodes_to_truth(width, seed):
+    plan, probe, shadow, interp = _run(width, seed)
+    assert shadow.samples
+    decoder = plan.decoder()
+    for node, (stack, current), truth in shadow.samples:
+        decoded = decoder.decode(node, stack, current)
+        assert decoded.nodes(gap_marker=None) == list(truth), (
+            f"width={width}, seed={seed}, node={node}: "
+            f"{decoded.nodes(gap_marker=None)} != {list(truth)}"
+        )
+
+
+def test_all_mechanisms_actually_fired():
+    """The test is only meaningful if every mechanism exercised."""
+    seen_kinds = set()
+    plugin_ran = False
+    ucp_total = 0
+    for seed in range(12):
+        plan, probe, shadow, interp = _run(W16, seed)
+        ucp_total += probe.ucp_detections
+        if "Plug" in interp.loaded_classes:
+            plugin_ran = True
+        for _node, (stack, _cur), _truth in shadow.samples:
+            for entry in stack:
+                seen_kinds.add(entry.kind)
+    non_entry_anchor = False
+    for seed in range(12):
+        plan, probe, shadow, interp = _run(W16, seed, operations=2)
+        for _node, (stack, _cur), _truth in shadow.samples:
+            for entry in stack:
+                if (
+                    entry.kind is EntryKind.ANCHOR
+                    and entry.node != "Main.main"
+                ):
+                    non_entry_anchor = True
+    assert EntryKind.ANCHOR in seen_kinds
+    assert non_entry_anchor                   # W16 forced real anchors
+    assert EntryKind.RECURSION in seen_kinds  # Rec.spin recursed
+    assert EntryKind.UCP in seen_kinds        # library/plugin detours
+    assert plugin_ran
+    assert ucp_total > 0
+
+
+def test_w16_needed_anchors_w64_did_not():
+    program = parse_program(SRC)
+    w16_plan = build_plan(program, width=W16, application_only=True)
+    w64_plan = build_plan(program, width=W64, application_only=True)
+    assert w16_plan.encoding.extra_anchors
+    assert not w64_plan.encoding.extra_anchors
+
+
+def test_library_is_uninstrumented():
+    program = parse_program(SRC)
+    plan = build_plan(program, application_only=True)
+    assert "Lib.helper" not in plan.instrumented_nodes
+    assert "Lib.inner" not in plan.instrumented_nodes

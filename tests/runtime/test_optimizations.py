@@ -1,0 +1,248 @@
+"""Section 8 optimizations: inlining and profile-guided hot edges."""
+
+import pytest
+
+from repro.errors import ProgramError, RuntimeEncodingError
+from repro.lang.inline import inlinable_methods, inline_methods
+from repro.lang.model import MethodRef
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.runtime.profiling import EdgeProfiler, edge_priority_from_counts
+
+HOT_SRC = """
+    program M.m
+    class M
+    class Hot
+    class Cold
+    def M.m
+      loop 50
+        call Hot.tiny          # the hot edge
+      end
+      call Cold.rare           # the cold edge
+    end
+    def Hot.tiny
+      work 1
+    end
+    def Cold.rare
+      call Hot.tiny
+    end
+"""
+
+
+class Shadow:
+    def __init__(self, interest):
+        self.interest = interest
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.stack.append(node)
+            self.samples.append((node, probe.snapshot(node), tuple(self.stack)))
+
+    def on_exit(self, node):
+        if node in self.interest and self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+class TestInlining:
+    NEST_SRC = """
+        program M.m
+        class M
+        class U
+        def M.m
+          loop 3
+            call U.a
+          end
+        end
+        def U.a
+          call U.b
+          work 1
+        end
+        def U.b
+          work 2
+        end
+    """
+
+    def test_inlined_call_sites_disappear(self):
+        program = parse_program(self.NEST_SRC)
+        inlined = inline_methods(program, [MethodRef("U", "b")])
+        plan_before = build_plan(program)
+        plan_after = build_plan(inlined)
+        assert (
+            plan_after.instrumented_site_count
+            < plan_before.instrumented_site_count
+        )
+        assert "U.b" not in plan_after.graph  # unreachable once inlined
+
+    def test_inline_chains_resolve_to_fixpoint(self):
+        program = parse_program(self.NEST_SRC)
+        inlined = inline_methods(
+            program, [MethodRef("U", "a"), MethodRef("U", "b")]
+        )
+        plan = build_plan(inlined)
+        # Only M.m remains reachable: all calls folded away.
+        assert set(plan.graph.reachable_from("M.m")) == {"M.m"}
+
+    def test_semantics_preserved_work_done(self):
+        program = parse_program(self.NEST_SRC)
+        inlined = inline_methods(
+            program, [MethodRef("U", "a"), MethodRef("U", "b")]
+        )
+        i1, i2 = Interpreter(program, seed=1), Interpreter(inlined, seed=1)
+        i1.run()
+        i2.run()
+        assert i1.work_done == i2.work_done
+
+    def test_inlined_plan_still_roundtrips(self):
+        program = parse_program(HOT_SRC)
+        inlined = inline_methods(program, [MethodRef("Hot", "tiny")])
+        plan = build_plan(inlined)
+        probe = DeltaPathProbe(plan, cpt=True)
+        shadow = Shadow(plan.instrumented_nodes)
+        Interpreter(inlined, probe=probe, seed=2, collector=shadow).run()
+        decoder = plan.decoder()
+        for node, (stack, current), truth in shadow.samples:
+            assert decoder.decode(node, stack, current).nodes() == list(truth)
+
+    def test_probe_invocations_drop_after_inlining(self):
+        program = parse_program(HOT_SRC)
+        inlined = inline_methods(program, [MethodRef("Hot", "tiny")])
+        before, after = EdgeProfiler(), EdgeProfiler()
+        Interpreter(program, probe=before, seed=1).run()
+        Interpreter(inlined, probe=after, seed=1).run()
+        # The 50 hot calls vanish from the boundary stream.
+        assert sum(after.counts.values()) <= sum(before.counts.values()) - 50
+
+    def test_candidates_exclude_recursive_and_dynamic(self):
+        program = parse_program(
+            """
+            program M.m
+            class M
+            class P dynamic
+            def M.m
+              call M.r
+            end
+            def M.r
+              branch 0.5
+                call M.r
+              end
+            end
+            def P.f
+            end
+            """
+        )
+        candidates = inlinable_methods(program)
+        assert MethodRef("M", "r") not in candidates  # recursive
+        assert MethodRef("P", "f") not in candidates  # dynamic class
+
+    def test_entry_cannot_be_inlined(self):
+        program = parse_program(HOT_SRC)
+        with pytest.raises(ProgramError, match="entry"):
+            inline_methods(program, [MethodRef("M", "m")])
+
+    def test_mutual_recursion_left_uninlined(self):
+        """A mutually-recursive target set cannot be expanded; its call
+        sites must survive untouched instead of looping forever."""
+        program = parse_program(
+            """
+            program M.m
+            class M
+            def M.m
+              call M.a
+            end
+            def M.a
+              call M.b
+            end
+            def M.b
+              call M.a
+            end
+            """
+        )
+        inlined = inline_methods(
+            program, [MethodRef("M", "a"), MethodRef("M", "b")]
+        )
+        for ref in (MethodRef("M", "m"), MethodRef("M", "a"), MethodRef("M", "b")):
+            assert inlined.method(ref).body == program.method(ref).body
+
+
+class TestHotEdgeOptimization:
+    def _profile(self, program):
+        profiler = EdgeProfiler()
+        Interpreter(program, probe=profiler, seed=1).run(operations=3)
+        return profiler
+
+    def test_profiler_identifies_the_hot_edge(self):
+        program = parse_program(HOT_SRC)
+        profiler = self._profile(program)
+        (hot_edge, hot_count), = profiler.hottest(1)
+        assert hot_edge == ("M.m", "0.0", "Hot.tiny")
+        assert hot_count == 150  # 50 iterations x 3 operations
+
+    def test_priority_gives_hot_edge_the_zero_value(self):
+        program = parse_program(HOT_SRC)
+        profiler = self._profile(program)
+        priority = edge_priority_from_counts(profiler.counts)
+        plan = build_plan(program, edge_priority=priority)
+        # Hot.tiny has two callers; with priority, the hot one gets 0.
+        assert plan.site_av[("M.m", "0.0")] == 0
+        assert plan.site_av[("Cold.rare", "0")] > 0
+
+    def test_without_priority_graph_order_decides(self):
+        program = parse_program(HOT_SRC)
+        plan = build_plan(program)
+        # Insertion order also puts M.m first here; the point of the
+        # optimization is that this is guaranteed under a profile, not
+        # accidental. Both plans must verify identically.
+        from repro.core.verify import verify_encoding
+
+        assert verify_encoding(plan.encoding).ok
+
+    def test_elided_plan_skips_hot_site_entirely(self):
+        program = parse_program(HOT_SRC)
+        profiler = self._profile(program)
+        priority = edge_priority_from_counts(profiler.counts)
+        plan = build_plan(
+            program, edge_priority=priority, elide_zero_av_sites=True
+        )
+        assert ("M.m", "0.0") not in plan.site_av
+        assert plan.zero_elided
+
+    def test_elided_plan_still_decodes_correctly(self):
+        program = parse_program(HOT_SRC)
+        profiler = self._profile(program)
+        priority = edge_priority_from_counts(profiler.counts)
+        plan = build_plan(
+            program, edge_priority=priority, elide_zero_av_sites=True
+        )
+        probe = DeltaPathProbe(plan, cpt=False)
+        shadow = Shadow(plan.instrumented_nodes)
+        Interpreter(program, probe=probe, seed=4, collector=shadow).run()
+        decoder = plan.decoder()
+        for node, (stack, current), truth in shadow.samples:
+            assert (
+                decoder.decode(node, stack, current).nodes(None)
+                == list(truth)
+            )
+
+    def test_cpt_refuses_elided_plans(self):
+        program = parse_program(HOT_SRC)
+        plan = build_plan(program, elide_zero_av_sites=True)
+        with pytest.raises(RuntimeEncodingError, match="expected SID"):
+            DeltaPathProbe(plan, cpt=True)
+
+    def test_priority_verifies_on_paper_graph(self):
+        """Any processing order keeps the invariant (Figure 2)."""
+        from repro.core.deltapath import encode_deltapath
+        from repro.core.verify import verify_encoding
+        from repro.workloads.paperfigures import figure4_graph
+
+        reverse = encode_deltapath(
+            figure4_graph(), edge_priority=lambda e: -hash(str(e)) % 97
+        )
+        assert verify_encoding(reverse).ok

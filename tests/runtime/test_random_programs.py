@@ -1,0 +1,130 @@
+"""End-to-end property test: random JIP programs, instrumented runs,
+decode-vs-shadow-stack equality.
+
+Programs are generated from the component/cascade building blocks with
+no dynamic classes and no exclusions, so the static world is complete
+and every decoded context must equal the shadow stack exactly — with
+and without call path tracking, at full and tiny integer widths.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.widths import W8, W64
+from repro.lang.model import (
+    Klass,
+    Loop,
+    Method,
+    MethodRef,
+    New,
+    Program,
+    StaticCall,
+)
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.workloads.synthetic import CascadeSpec, ComponentSpec, add_cascade, add_component
+
+
+def make_program(seed: int, methods: int, cascade_layers: int) -> Program:
+    program = Program(MethodRef("Main", "main"))
+    program.add_class(Klass("Main"))
+    root, _refs, instantiate = add_component(
+        program,
+        ComponentSpec(
+            prefix="C",
+            methods=methods,
+            seed=seed,
+            depth_layers=4,
+            dynamic_weight=0.5,
+        ),
+    )
+    body = [New(k) for k in instantiate]
+    if cascade_layers:
+        top, _bottom, lanes = add_cascade(
+            program, CascadeSpec(prefix="K", layers=cascade_layers, lanes=2)
+        )
+        body.extend(New(k) for k in lanes)
+        body.append(Loop(2, (StaticCall(top),)))
+    body.append(StaticCall(root))
+    program.klass("Main").define(Method("main", tuple(body)))
+    program.validate()
+    return program
+
+
+class Shadow:
+    def __init__(self, interest):
+        self.interest = interest
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.stack.append(node)
+            self.samples.append(
+                (node, probe.snapshot(node), tuple(self.stack))
+            )
+
+    def on_exit(self, node):
+        if node in self.interest and self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+PARAMS = st.tuples(
+    st.integers(0, 3000),       # generator seed
+    st.integers(4, 18),         # component methods
+    st.integers(0, 5),          # cascade layers
+    st.integers(0, 50),         # interpreter seed
+    st.booleans(),              # cpt
+)
+
+
+@given(params=PARAMS)
+@settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+def test_random_program_roundtrip(params):
+    gen_seed, methods, cascade_layers, run_seed, cpt = params
+    program = make_program(gen_seed, methods, cascade_layers)
+    plan = build_plan(program, width=W64)
+    probe = DeltaPathProbe(plan, cpt=cpt)
+    shadow = Shadow(plan.instrumented_nodes)
+    Interpreter(
+        program, probe=probe, seed=run_seed, collector=shadow
+    ).run(operations=2)
+    assert shadow.samples
+    decoder = plan.decoder()
+    for node, (stack, current), truth in shadow.samples:
+        decoded = decoder.decode(node, stack, current)
+        assert decoded.nodes(gap_marker=None) == list(truth)
+
+
+@given(params=st.tuples(st.integers(0, 1000), st.integers(0, 20)))
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+def test_tiny_width_forces_anchors_and_still_roundtrips(params):
+    gen_seed, run_seed = params
+    # 10 two-lane cascade layers: 1024 contexts, far beyond int8.
+    program = make_program(gen_seed, methods=6, cascade_layers=10)
+    plan = build_plan(program, width=W8)
+    probe = DeltaPathProbe(plan, cpt=True)
+    shadow = Shadow(plan.instrumented_nodes)
+    Interpreter(
+        program, probe=probe, seed=run_seed, collector=shadow
+    ).run(operations=2)
+    assert plan.encoding.extra_anchors
+    decoder = plan.decoder()
+    for node, (stack, current), truth in shadow.samples:
+        decoded = decoder.decode(node, stack, current)
+        assert decoded.nodes(gap_marker=None) == list(truth)

@@ -1,0 +1,238 @@
+"""End-to-end correctness: run instrumented programs and decode every
+collected snapshot back to the true calling context.
+
+This is the system-level oracle: interpreter + agent + encoding + decoder
+must agree with a shadow stack for programs with virtual dispatch,
+recursion, anchors (tiny widths) — with and without call path tracking —
+as long as no dynamically loaded/excluded code runs (those cases are
+covered separately with gap-aware assertions).
+"""
+
+import pytest
+
+from repro.core.widths import UNBOUNDED, W8, W64
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+
+
+class RoundtripCollector:
+    """Records (node, snapshot, true instrumented stack) triples."""
+
+    def __init__(self, interest):
+        self.interest = interest
+        self.shadow = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node not in self.interest:
+            return
+        self.shadow.append(node)
+        self.samples.append((node, probe.snapshot(node), tuple(self.shadow)))
+
+    def on_exit(self, node):
+        if node in self.interest and self.shadow and self.shadow[-1] == node:
+            self.shadow.pop()
+
+    def on_event(self, tag, node, depth, probe):
+        pass
+
+
+def assert_roundtrip(program, width=W64, cpt=True, seed=0, operations=3):
+    """Run instrumented; decode every snapshot; compare with truth."""
+    plan = build_plan(program, width=width)
+    probe = DeltaPathProbe(plan, cpt=cpt)
+    collector = RoundtripCollector(plan.instrumented_nodes)
+    interp = Interpreter(program, probe=probe, seed=seed, collector=collector)
+    interp.run(operations=operations)
+    assert collector.samples, "workload produced no observations"
+    decoder = plan.decoder()
+    for node, (stack, current), truth in collector.samples:
+        decoded = decoder.decode(node, stack, current)
+        names = decoded.nodes(gap_marker=None)
+        assert names == list(truth), (
+            f"decode mismatch at {node}: decoded {names}, truth {list(truth)}"
+        )
+    return plan, probe, collector
+
+
+DIAMOND = """
+    program Main.main
+    class Main
+    class U
+    def Main.main
+      call Main.left
+      call Main.right
+    end
+    def Main.left
+      call U.shared
+    end
+    def Main.right
+      call U.shared
+    end
+    def U.shared
+      call U.leaf
+    end
+    def U.leaf
+      work 1
+    end
+"""
+
+VIRTUAL = """
+    program Main.main
+    class Main
+    class Shape
+    class Circle extends Shape
+    class Square extends Shape
+    class Sink
+    def Main.main
+      new Circle
+      new Square
+      loop 6
+        vcall Shape.draw
+      end
+    end
+    def Shape.draw
+      call Sink.collect
+    end
+    def Circle.draw
+      call Sink.collect
+    end
+    def Square.draw
+      call Sink.collect
+    end
+    def Sink.collect
+      work 1
+    end
+"""
+
+RECURSIVE = """
+    program Main.main
+    class Main
+    class R
+    def Main.main
+      call R.walk
+    end
+    def R.walk
+      branch 0.7
+        call R.step
+      end
+    end
+    def R.step
+      call R.walk
+    end
+"""
+
+MUTUAL_WITH_VIRTUAL = """
+    program Main.main
+    class Main
+    class Node
+    class Leaf extends Node
+    class Inner extends Node
+    def Main.main
+      new Leaf
+      new Inner
+      loop 4
+        vcall Node.visit
+      end
+    end
+    def Node.visit
+      work 1
+    end
+    def Leaf.visit
+      work 1
+    end
+    def Inner.visit
+      branch 0.6
+        vcall Node.visit
+      end
+    end
+"""
+
+
+class TestPlainPrograms:
+    def test_diamond(self):
+        assert_roundtrip(parse_program(DIAMOND))
+
+    def test_virtual_dispatch(self):
+        assert_roundtrip(parse_program(VIRTUAL), seed=7)
+
+    def test_without_cpt_is_also_precise_when_static_world_is_complete(self):
+        assert_roundtrip(parse_program(VIRTUAL), cpt=False, seed=3)
+
+
+class TestRecursion:
+    def test_direct_recursion(self):
+        for seed in range(5):
+            assert_roundtrip(parse_program(RECURSIVE), seed=seed)
+
+    def test_recursion_through_virtual_calls(self):
+        for seed in range(5):
+            assert_roundtrip(parse_program(MUTUAL_WITH_VIRTUAL), seed=seed)
+
+    def test_recursion_without_cpt(self):
+        assert_roundtrip(parse_program(RECURSIVE), cpt=False, seed=2)
+
+
+class TestAnchors:
+    def test_tiny_width_forces_anchor_pushes(self):
+        # W8 forces anchors on a 10-layer diamond chain (1024 contexts);
+        # decoding must reassemble pieces across anchor stack entries.
+        src = """
+            program Main.main
+            class Main
+            class U
+            def Main.main
+              call U.l0
+            end
+        """
+        for i in range(10):
+            src += f"""
+            def U.l{i}
+              branch 0.5
+                call U.a{i}
+              else
+                call U.b{i}
+              end
+            end
+            def U.a{i}
+              call U.l{i + 1}
+            end
+            def U.b{i}
+              call U.l{i + 1}
+            end
+            """
+        src += """
+            def U.l10
+              work 1
+            end
+        """
+        program = parse_program(src)
+        plan, probe, _ = assert_roundtrip(program, width=W8, seed=11)
+        assert plan.encoding.extra_anchors, "W8 should have forced anchors"
+        assert probe.max_stack_depth >= 1
+
+    def test_wide_width_no_anchors_same_program(self):
+        src = VIRTUAL
+        plan, _, _ = assert_roundtrip(parse_program(src), width=W64)
+        assert plan.encoding.extra_anchors == []
+
+
+class TestProbeBalance:
+    def test_stack_empty_after_each_operation(self):
+        program = parse_program(VIRTUAL)
+        plan = build_plan(program)
+        probe = DeltaPathProbe(plan, cpt=True)
+        interp = Interpreter(program, probe=probe, seed=1)
+        interp.run(operations=5)
+        stack, current = probe.snapshot("Main.main")
+        assert stack == ()
+        assert current == 0
+
+    def test_multiple_operations_reuse_probe(self):
+        program = parse_program(RECURSIVE)
+        plan = build_plan(program)
+        probe = DeltaPathProbe(plan, cpt=True)
+        interp = Interpreter(program, probe=probe, seed=9)
+        interp.run(operations=10)  # must not raise unbalanced errors

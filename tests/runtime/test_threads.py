@@ -1,0 +1,97 @@
+"""Per-thread encoding state isolation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import ContextCollector
+from repro.runtime.plan import build_plan
+from repro.runtime.threads import ThreadedRun
+
+SRC = """
+    program M.m
+    class M
+    class U
+    def M.m
+      loop 2
+        call M.a
+      end
+      call M.b
+    end
+    def M.a
+      call U.leaf
+    end
+    def M.b
+      call U.leaf
+    end
+    def U.leaf
+      work 1
+    end
+"""
+
+
+def _make_run(threads=3, seed=5):
+    program = parse_program(SRC)
+    plan = build_plan(program)
+    run = ThreadedRun(
+        program,
+        probe_factory=lambda tid: DeltaPathProbe(plan, cpt=True),
+        threads=threads,
+        collector_factory=lambda tid: ContextCollector(
+            interest=plan.instrumented_nodes
+        ),
+        seed=seed,
+    )
+    return plan, run
+
+
+class TestThreadedRun:
+    def test_operations_distributed_across_threads(self):
+        plan, run = _make_run(threads=3)
+        results = run.run(total_operations=30)
+        assert sum(r.operations for r in results) == 30
+        assert all(r.operations > 0 for r in results)
+
+    def test_probe_state_isolated_per_thread(self):
+        plan, run = _make_run(threads=4)
+        run.run(total_operations=20)
+        for result in run.results:
+            stack, current = result.probe.snapshot("M.m")
+            assert stack == ()  # each thread's state balanced on its own
+            assert current == 0
+
+    def test_per_thread_contexts_decode(self):
+        plan, run = _make_run(threads=2)
+        run.run(total_operations=10)
+        decoder = plan.decoder()
+        for result in run.results:
+            for node, (stack, current) in result.collector.unique:
+                decoded = decoder.decode(node, stack, current)
+                assert decoded.nodes()[0] == "M.m"
+
+    def test_merged_uniques_match_single_thread_universe(self):
+        # The program has 5 distinct contexts; every thread observes a
+        # subset and the union is bounded by the universe.
+        plan, run = _make_run(threads=3)
+        run.run(total_operations=30)
+        merged = run.merged_unique_contexts()
+        assert 1 <= len(merged) <= 5
+        assert len(merged) == 5  # 30 ops see everything
+
+    def test_scheduler_is_seeded(self):
+        _, run1 = _make_run(seed=9)
+        _, run2 = _make_run(seed=9)
+        ops1 = [r.operations for r in run1.run(20)]
+        ops2 = [r.operations for r in run2.run(20)]
+        assert ops1 == ops2
+
+    def test_zero_threads_rejected(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        with pytest.raises(WorkloadError):
+            ThreadedRun(
+                program,
+                probe_factory=lambda tid: DeltaPathProbe(plan),
+                threads=0,
+            )

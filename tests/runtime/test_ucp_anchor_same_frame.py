@@ -1,0 +1,130 @@
+"""The same function entry pushing both a UCP and an ANCHOR entry.
+
+When an anchor node is reached through excluded (uninstrumented) code,
+its entry must first detect the hazardous UCP (push, reset) and then
+perform its anchor push — two stack entries from one frame, popped in
+reverse at its exit. This is the trickiest entry/exit pairing in the
+agent; the kitchen-sink test hits it only probabilistically, so this
+test constructs it deterministically.
+"""
+
+import pytest
+
+from repro.core.stackmodel import EntryKind
+from repro.core.widths import W8
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+
+# The diamond chain holds 2**10 contexts (W8 overflows at 127), so
+# Algorithm 2 must anchor inside it; Lib.detour re-enters the chain
+# through uninstrumented library code. The detour's target is chosen in
+# two phases: first build the plan with a placeholder to learn where the
+# anchors landed (the application projection is identical either way —
+# library edges are excluded), then point the detour at an anchor so its
+# entry deterministically pushes UCP + ANCHOR from one frame.
+_DIAMONDS = "\n".join(
+    f"""
+    def App.d{i}
+      branch 0.5
+        call App.l{i}
+      else
+        call App.r{i}
+      end
+    end
+    def App.l{i}
+      call App.d{i + 1}
+    end
+    def App.r{i}
+      call App.d{i + 1}
+    end
+    """
+    for i in range(10)
+)
+
+SRC = """
+    program Main.main
+    class Main
+    class App
+    class Lib library
+
+    def Main.main
+      call App.d0              # the instrumented route
+      call Lib.detour          # the uninstrumented route
+    end
+
+    def Lib.detour
+      call App.{detour_target} # re-enters the chain mid-way (UCP there)
+    end
+
+    {diamonds}
+
+    def App.d10
+      work 1
+    end
+""".replace("{diamonds}", _DIAMONDS)
+
+
+class Shadow:
+    def __init__(self, interest):
+        self.interest = interest
+        self.stack = []
+        self.samples = []
+
+    def on_entry(self, node, depth, probe):
+        if node in self.interest:
+            self.stack.append(node)
+            self.samples.append(
+                (node, probe.snapshot(node), tuple(self.stack))
+            )
+
+    def on_exit(self, node):
+        if node in self.interest and self.stack and self.stack[-1] == node:
+            self.stack.pop()
+
+    def on_event(self, *args):
+        pass
+
+
+def _find_double_push_setup():
+    """Build the two-phase setup and run until the double push occurs."""
+    # Pin an anchor at the detour's target: initial_anchors makes the
+    # double push deterministic instead of chasing Algorithm 2's own
+    # insertion-order-sensitive placement.
+    program = parse_program(SRC.format(detour_target="d5"))
+    plan = build_plan(
+        program, width=W8, application_only=True,
+        initial_anchors=["App.d5"],
+    )
+    assert "App.d5" in plan.encoding.anchors
+
+    for seed in range(20):
+        probe = DeltaPathProbe(plan, cpt=True)
+        shadow = Shadow(plan.instrumented_nodes)
+        Interpreter(program, probe=probe, seed=seed,
+                    collector=shadow).run(operations=2)
+        for node, (stack, _cur), _truth in shadow.samples:
+            for below, above in zip(stack, stack[1:]):
+                if (
+                    below.kind is EntryKind.UCP
+                    and above.kind is EntryKind.ANCHOR
+                    and below.node == above.node
+                ):
+                    return program, plan, probe, shadow, below.node
+    pytest.fail("no run produced a UCP+ANCHOR double push")
+
+
+def test_double_push_occurs_and_decodes():
+    program, plan, probe, shadow, double_node = _find_double_push_setup()
+    decoder = plan.decoder()
+    for node, (stack, current), truth in shadow.samples:
+        decoded = decoder.decode(node, stack, current)
+        assert decoded.nodes(gap_marker=None) == list(truth)
+
+
+def test_double_push_balances_at_exit():
+    program, plan, probe, shadow, double_node = _find_double_push_setup()
+    # After the operations completed, every push was popped.
+    stack, current = probe.snapshot("Main.main")
+    assert stack == () and current == 0

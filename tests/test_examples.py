@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting. Each runs in-process (cheap) with stdout captured.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_example_inventory():
+    assert len(EXAMPLES) >= 5, EXAMPLES
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = _run(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reproduces_figure4_numbers():
+    output = _run("quickstart.py")
+    assert "'E': 4" in output and "'F': 5" in output
+    assert "(paper: 2): 2" in output
+    assert "(paper: 4): 4" in output
+
+
+def test_plugin_detection_shows_both_behaviours():
+    output = _run("plugin_detection.py")
+    assert "<-- UCP gap" in output
+    assert "WRONG" in output
+
+
+def test_event_logging_decodes_contexts():
+    output = _run("event_logging.py")
+    assert output.count("syscall_sendto") >= 4
+    assert "Auth.check -> Net.send" in output
+
+
+def test_selective_encoding_walkthrough():
+    output = _run("selective_encoding.py")
+    assert "Main.main -> Main.b -> <?> -> App.g" in output
+
+
+def test_offline_decode_roundtrip():
+    output = _run("offline_decode.py")
+    assert "distinct contexts" in output
+    assert "dynamic code in the gap" in output

@@ -1,0 +1,168 @@
+"""Plan and snapshot serialization (offline decoding)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.lang.parser import parse_program
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+from repro.workloads.paperprograms import figure6_program, figure7_program
+
+SRC = """
+    program M.m
+    class M
+    class U
+    def M.m
+      call M.a
+      call M.b
+      call M.rec
+    end
+    def M.a
+      call U.leaf
+    end
+    def M.b
+      call U.leaf
+    end
+    def M.rec
+      branch 0.4
+        call M.rec
+      end
+    end
+    def U.leaf
+      work 1
+    end
+"""
+
+
+def _collect_snapshots(program, plan, nodes, seed=3, operations=4):
+    samples = []
+
+    class Grab:
+        def on_entry(self, node, depth, probe):
+            if node in nodes:
+                samples.append((node, probe.snapshot(node)))
+
+        def on_exit(self, node):
+            pass
+
+        def on_event(self, *args):
+            pass
+
+    probe = DeltaPathProbe(plan, cpt=True)
+    Interpreter(program, probe=probe, seed=seed, collector=Grab()).run(
+        operations=operations
+    )
+    return samples
+
+
+class TestPlanRoundtrip:
+    def test_plan_roundtrips_through_json(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        data = json.loads(json.dumps(plan_to_dict(plan)))
+        loaded = plan_from_dict(data)
+        assert loaded.site_av == plan.site_av
+        assert loaded.node_info == plan.node_info
+        assert loaded.encoding.anchors == plan.encoding.anchors
+
+    def test_selective_plan_with_synthetic_edges_roundtrips(self):
+        program = figure7_program()
+        plan = build_plan(program, application_only=True)
+        loaded = plan_from_dict(
+            json.loads(json.dumps(plan_to_dict(plan)))
+        )
+        assert loaded.site_av == plan.site_av
+
+    def test_recursive_plan_keeps_back_edges(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        loaded = plan_from_dict(plan_to_dict(plan))
+        assert loaded.site_recursion == plan.site_recursion
+
+    def test_file_helpers(self, tmp_path):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        loaded = load_plan(path)
+        assert loaded.site_av == plan.site_av
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ReproError, match="format"):
+            plan_from_dict({"format": "something-else"})
+
+    def test_unserializable_label_rejected(self):
+        from repro.graph.callgraph import CallGraph
+        from repro.runtime.plan import build_plan_from_graph
+
+        g = CallGraph(entry="main")
+        g.add_edge("main", "f", frozenset({"weird"}))
+        plan = build_plan_from_graph(g)
+        with pytest.raises(ReproError, match="unserializable"):
+            plan_to_dict(plan)
+
+
+class TestOfflineDecoding:
+    """The production flow: serialize plan + log, decode elsewhere."""
+
+    def test_snapshots_decode_identically_after_roundtrip(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        samples = _collect_snapshots(
+            program, plan, {"U.leaf", "M.rec"}
+        )
+        assert samples
+
+        # "Ship" everything through JSON.
+        wire_plan = json.dumps(plan_to_dict(plan))
+        wire_log = json.dumps(
+            [snapshot_to_dict(node, snap) for node, snap in samples]
+        )
+
+        # "Another process" decodes.
+        loaded = plan_from_dict(json.loads(wire_plan))
+        decoder = loaded.decoder()
+        original_decoder = plan.decoder()
+        for record in json.loads(wire_log):
+            node, snapshot = snapshot_from_dict(record)
+            stack, current = snapshot
+            offline = decoder.decode(node, stack, current)
+            online = original_decoder.decode(node, *_split(snapshot))
+            assert offline.nodes() == online.nodes()
+
+    def test_ucp_entries_survive_serialization(self):
+        program = figure6_program()
+        plan = build_plan(program)
+        for seed in range(20):
+            samples = _collect_snapshots(
+                program, plan, {"Util.e"}, seed=seed, operations=8
+            )
+            with_stack = [
+                (node, snap) for node, snap in samples if snap[0]
+            ]
+            if with_stack:
+                break
+        assert with_stack, "no UCP was recorded"
+        node, snapshot = with_stack[0]
+        record = snapshot_to_dict(node, snapshot)
+        back_node, back_snapshot = snapshot_from_dict(
+            json.loads(json.dumps(record))
+        )
+        assert back_node == node
+        assert back_snapshot == snapshot
+
+
+def _split(snapshot):
+    stack, current = snapshot
+    return stack, current

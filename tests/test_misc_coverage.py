@@ -1,0 +1,195 @@
+"""Odds and ends: error types, base probe contract, CLI subcommands,
+cycle guards, CCT decoding content."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    AnalysisError,
+    CycleError,
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    GraphError,
+    ProgramError,
+    ReproError,
+    RuntimeEncodingError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            GraphError, CycleError, ProgramError, AnalysisError,
+            EncodingError, EncodingOverflowError, DecodingError,
+            RuntimeEncodingError, WorkloadError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_overflow_is_an_encoding_error(self):
+        assert issubclass(EncodingOverflowError, EncodingError)
+
+    def test_cycle_error_carries_cycle(self):
+        error = CycleError("loop", cycle=["a", "b", "a"])
+        assert error.cycle == ["a", "b", "a"]
+        assert CycleError("no detail").cycle is None
+
+
+class TestBaseProbe:
+    def test_hooks_are_no_ops(self):
+        from repro.runtime.probes import Probe
+
+        probe = Probe()
+        probe.begin_execution("main")
+        probe.before_call("a", 0, "b")
+        probe.enter_function("b")
+        probe.exit_function("b")
+        probe.after_call("a", 0, "b")
+        probe.end_execution()
+        with pytest.raises(NotImplementedError):
+            probe.snapshot("b")
+
+    def test_null_probe_snapshot_is_none(self):
+        from repro.runtime.probes import NullProbe
+
+        assert NullProbe().snapshot("x") is None
+
+
+class TestContextEnumerationGuards:
+    def test_cyclic_graph_rejected(self):
+        from repro.graph.callgraph import CallGraph
+        from repro.graph.contexts import enumerate_contexts
+
+        g = CallGraph(entry="main")
+        g.add_edge("main", "a")
+        g.add_edge("a", "a", "self")
+        with pytest.raises(CycleError):
+            list(enumerate_contexts(g, "a"))
+
+
+class TestCCTDecoding:
+    def test_decode_returns_site_callee_pairs(self):
+        from repro.baselines.cct import CCTProbe
+
+        probe = CCTProbe()
+        probe.before_call("main", "0", "f")
+        probe.before_call("f", "1", "g")
+        node_id = probe.snapshot("g")
+        probe.after_call("f", "1", "g")
+        probe.after_call("main", "0", "f")
+        decoded = probe.decode(node_id)
+        assert decoded == [
+            (("main", "0"), "f"),
+            (("f", "1"), "g"),
+        ]
+
+    def test_root_decodes_empty(self):
+        from repro.baselines.cct import CCTProbe
+
+        probe = CCTProbe()
+        assert probe.decode(CCTProbe.ROOT) == []
+
+
+class TestCLISubcommands:
+    def test_widths_subcommand(self, capsys):
+        assert main([
+            "widths", "--benchmark", "crypto.rsa", "--widths", "32", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "int32" in out and "int64" in out
+
+    def test_collisions_subcommand(self, capsys):
+        assert main([
+            "collisions", "--benchmark", "compress", "--operations", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "deltapath" in out
+
+    def test_figure8_subset(self, capsys):
+        assert main([
+            "figure8", "--benchmarks", "scimark.lu.large",
+            "--operations", "5", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "geomean slowdown" in out
+
+
+class TestParserCorners:
+    def test_branch_without_else(self):
+        from repro.lang.model import Branch, MethodRef
+        from repro.lang.parser import parse_program
+
+        program = parse_program(
+            """
+            program M.m
+            class M
+            def M.m
+              branch 0.5
+                work 1
+              end
+            end
+            """
+        )
+        stmt = program.method(MethodRef("M", "m")).body[0]
+        assert isinstance(stmt, Branch)
+        assert stmt.orelse == ()
+
+    def test_bad_weight_rejected(self):
+        from repro.errors import ProgramError
+        from repro.lang.parser import parse_program
+
+        with pytest.raises(ProgramError):
+            parse_program(
+                """
+                program M.m
+                class M
+                def M.m
+                  branch 1.5
+                    work 1
+                  end
+                end
+                """
+            )
+
+    def test_negative_loop_rejected(self):
+        from repro.errors import ProgramError
+        from repro.lang.parser import parse_program
+
+        with pytest.raises(ProgramError):
+            parse_program(
+                """
+                program M.m
+                class M
+                def M.m
+                  loop -3
+                    work 1
+                  end
+                end
+                """
+            )
+
+
+class TestHybridDecodedSplicing:
+    def test_nodes_splice_shares_entry(self):
+        from repro.core.decoder import DecodedContext, Segment
+        from repro.core.hybrid import HybridDecoded
+
+        tail = DecodedContext(
+            segments=[Segment(kind=None, start="main", edges=[])]
+        )
+        decoded = HybridDecoded(
+            trunk_context=("main", "hot"), tail=tail
+        )
+        assert decoded.nodes() == ["main", "hot"]
+
+    def test_unknown_trunk_yields_tail_only(self):
+        from repro.core.decoder import DecodedContext, Segment
+        from repro.core.hybrid import HybridDecoded
+
+        tail = DecodedContext(
+            segments=[Segment(kind=None, start="main", edges=[])]
+        )
+        decoded = HybridDecoded(trunk_context=None, tail=tail)
+        assert not decoded.trunk_known
+        assert decoded.nodes() == ["main"]

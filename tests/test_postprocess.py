@@ -1,0 +1,115 @@
+"""Context-tree aggregation of decoded logs."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.postprocess import GAP, ContextTreeReport, TreeNode
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan
+
+
+class TestTreeNode:
+    def test_child_interned_once(self):
+        root = TreeNode("r")
+        a1 = root.child("a")
+        a2 = root.child("a")
+        assert a1 is a2
+
+    def test_total_sums_descendants(self):
+        root = TreeNode("r")
+        root.child("a").count = 2
+        root.child("a").child("b").count = 3
+        assert root.total == 5
+
+
+class TestReport:
+    def _sample_report(self):
+        report = ContextTreeReport()
+        report.add_path(["main", "a", "leaf"], count=10)
+        report.add_path(["main", "b", "leaf"], count=3)
+        report.add_path(["main", "a"], count=1)
+        report.add_path(["main", GAP, "evil"], count=2)
+        return report
+
+    def test_render_orders_by_weight(self):
+        text = self._sample_report().render()
+        lines = text.splitlines()
+        main_line = next(l for l in lines if l.endswith("main"))
+        assert main_line.strip().startswith("16")  # 10 + 3 + 1 + 2
+        # 'a' subtree (11) printed before 'b' subtree (3).
+        assert text.index(" a") < text.index(" b")
+
+    def test_gap_marked(self):
+        text = self._sample_report().render()
+        assert "[dynamic gap]" in text
+
+    def test_min_total_hides_cold_subtrees(self):
+        text = self._sample_report().render(min_total=5)
+        assert " b" not in text
+        assert "(hidden)" in text
+
+    def test_max_depth_truncates(self):
+        text = self._sample_report().render(max_depth=1)
+        assert "leaf" not in text
+
+    def test_hottest_paths(self):
+        hottest = self._sample_report().hottest_paths(2)
+        assert hottest[0] == (10, ("main", "a", "leaf"))
+        assert hottest[1] == (3, ("main", "b", "leaf"))
+
+
+class TestEndToEnd:
+    SRC = """
+        program M.m
+        class M
+        class U
+        def M.m
+          loop 5
+            call M.hot
+          end
+          call M.cold
+        end
+        def M.hot
+          call U.leaf
+        end
+        def M.cold
+          call U.leaf
+        end
+        def U.leaf
+          work 1
+        end
+    """
+
+    def test_decoded_log_aggregates_into_tree(self):
+        program = parse_program(self.SRC)
+        plan = build_plan(program)
+        probe = DeltaPathProbe(plan)
+        from collections import Counter
+
+        histogram = Counter()
+
+        class Grab:
+            def on_entry(self, node, depth, p):
+                histogram[(node, p.snapshot(node))] += 1
+
+            def on_exit(self, node):
+                pass
+
+            def on_event(self, *args):
+                pass
+
+        Interpreter(program, probe=probe, collector=Grab()).run()
+
+        report = ContextTreeReport()
+        decoder = plan.decoder()
+        for (node, (stack, current)), count in histogram.items():
+            report.add(decoder.decode(node, stack, current), count)
+
+        hottest = report.hottest_paths(1)[0]
+        assert hottest == (5, ("M.m", "M.hot")) or hottest == (
+            5,
+            ("M.m", "M.hot", "U.leaf"),
+        )
+        text = report.render()
+        assert "M.hot" in text and "M.cold" in text

@@ -1,0 +1,150 @@
+"""Property-based tests for the graph/program transformations.
+
+Each transformation claims an invariant; hypothesis drives it with the
+seeded generators:
+
+* selective projection keeps every context made of kept nodes;
+* pruning for targets preserves the targets' context sets exactly;
+* inlining preserves program semantics (work done, dispatch decisions);
+* plan serialization is a faithful round trip.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pruned import prune_for_targets
+from repro.core.selective import project_interesting
+from repro.graph.contexts import enumerate_contexts
+from repro.io import plan_from_dict, plan_to_dict
+from repro.lang.inline import inlinable_methods, inline_methods
+from repro.lang.model import Klass, Method, MethodRef, New, Program, StaticCall
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.plan import build_plan, build_plan_from_graph
+from repro.workloads.synthetic import ComponentSpec, add_component, random_callgraph
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=40,
+    derandomize=True,
+)
+
+GRAPHS = st.builds(
+    random_callgraph,
+    seed=st.integers(0, 5000),
+    layers=st.integers(2, 5),
+    width=st.integers(1, 4),
+    extra_edges=st.integers(0, 8),
+    virtual_sites=st.integers(0, 3),
+)
+
+
+def _component_program(seed: int, methods: int) -> Program:
+    program = Program(MethodRef("Main", "main"))
+    program.add_class(Klass("Main"))
+    root, _refs, instantiate = add_component(
+        program,
+        ComponentSpec(prefix="C", methods=methods, seed=seed, depth_layers=4),
+    )
+    body = tuple(New(k) for k in instantiate) + (StaticCall(root),)
+    program.klass("Main").define(Method("main", body))
+    program.validate()
+    return program
+
+
+class TestSelectiveProjectionProperties:
+    @given(graph=GRAPHS, drop_seed=st.integers(0, 100))
+    @settings(**COMMON)
+    def test_kept_only_contexts_survive_projection(self, graph, drop_seed):
+        import random
+
+        rng = random.Random(drop_seed)
+        nodes = [n for n in graph.nodes if n != graph.entry]
+        dropped = {n for n in nodes if rng.random() < 0.3}
+        selection = project_interesting(graph, lambda n: n not in dropped)
+        projected = selection.graph
+
+        for node in projected.nodes:
+            if node not in graph.reachable_from(graph.entry):
+                continue
+            original = {
+                context
+                for context in enumerate_contexts(graph, node, limit=2000)
+                if all(
+                    e.caller not in dropped and e.callee not in dropped
+                    for e in context
+                )
+            }
+            if node not in projected.reachable_from(projected.entry):
+                continue
+            kept = set(enumerate_contexts(projected, node, limit=2000))
+            assert kept == original
+
+
+class TestPruningProperties:
+    @given(graph=GRAPHS, pick=st.integers(0, 10 ** 6))
+    @settings(**COMMON)
+    def test_target_context_sets_preserved_exactly(self, graph, pick):
+        reachable = sorted(graph.reachable_from(graph.entry))
+        target = reachable[pick % len(reachable)]
+        pruned = prune_for_targets(graph, [target])
+        original = set(enumerate_contexts(graph, target, limit=5000))
+        preserved = set(enumerate_contexts(pruned, target, limit=5000))
+        assert original == preserved
+
+    @given(graph=GRAPHS, pick=st.integers(0, 10 ** 6))
+    @settings(**COMMON)
+    def test_pruned_graph_is_a_subgraph(self, graph, pick):
+        reachable = sorted(graph.reachable_from(graph.entry))
+        target = reachable[pick % len(reachable)]
+        pruned = prune_for_targets(graph, [target])
+        all_edges = {(e.caller, e.callee, e.label) for e in graph.edges}
+        for edge in pruned.edges:
+            assert (edge.caller, edge.callee, edge.label) in all_edges
+
+
+class TestInliningProperties:
+    @given(
+        seed=st.integers(0, 2000),
+        methods=st.integers(4, 14),
+        run_seed=st.integers(0, 20),
+    )
+    @settings(**COMMON)
+    def test_semantics_preserved_on_random_programs(
+        self, seed, methods, run_seed
+    ):
+        program = _component_program(seed, methods)
+        candidates = inlinable_methods(program, max_body_size=4)
+        inlined = inline_methods(program, candidates)
+
+        original = Interpreter(program, seed=run_seed)
+        transformed = Interpreter(inlined, seed=run_seed)
+        original.run(operations=2)
+        transformed.run(operations=2)
+        assert original.work_done == transformed.work_done
+
+    @given(seed=st.integers(0, 2000), methods=st.integers(4, 12))
+    @settings(**COMMON)
+    def test_inlined_plan_never_grows(self, seed, methods):
+        program = _component_program(seed, methods)
+        candidates = inlinable_methods(program, max_body_size=4)
+        before = build_plan(program)
+        after = build_plan(inline_methods(program, candidates))
+        assert (
+            after.instrumented_site_count <= before.instrumented_site_count
+        )
+
+
+class TestSerializationProperties:
+    @given(graph=GRAPHS)
+    @settings(**COMMON)
+    def test_plan_roundtrip_is_exact(self, graph):
+        plan = build_plan_from_graph(graph)
+        loaded = plan_from_dict(plan_to_dict(plan))
+        assert loaded.site_av == plan.site_av
+        assert loaded.site_sid == plan.site_sid
+        assert loaded.site_recursion == plan.site_recursion
+        assert loaded.node_info == plan.node_info
+        assert loaded.encoding.anchors == plan.encoding.anchors
+        assert loaded.encoding.icc == plan.encoding.icc

@@ -1,0 +1,114 @@
+"""Synthetic SPECjvm suite: structure and determinism."""
+
+import pytest
+
+from repro.analysis.callgraph_builder import build_callgraph
+from repro.bench.paperdata import INT64_MAX, PAPER_TABLE1
+from repro.core.anchored import encode_anchored
+from repro.core.widths import UNBOUNDED
+from repro.errors import WorkloadError
+from repro.runtime.interpreter import Interpreter
+from repro.workloads.specjvm import (
+    SPECJVM_SPECS,
+    benchmark_names,
+    build_benchmark,
+)
+from repro.workloads.synthetic import random_callgraph
+
+
+class TestSuiteShape:
+    def test_fifteen_benchmarks_matching_the_paper(self):
+        assert len(benchmark_names()) == 15
+        assert set(benchmark_names()) == set(PAPER_TABLE1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            build_benchmark("quake3")
+
+    @pytest.mark.parametrize("name", ["compress", "crypto.rsa"])
+    def test_programs_validate_and_build_graphs(self, name):
+        benchmark = build_benchmark(name)
+        graph = build_callgraph(benchmark.program)
+        graph.validate()
+        assert len(graph) > 100
+        assert graph.virtual_sites
+
+    def test_library_and_application_parts_present(self):
+        benchmark = build_benchmark("compress")
+        graph = build_callgraph(benchmark.program)
+        libs = [
+            n for n in graph.nodes
+            if graph.node_attrs(n).get("library")
+        ]
+        apps = [
+            n for n in graph.nodes
+            if not graph.node_attrs(n).get("library")
+        ]
+        assert len(libs) > len(apps)  # the JDK dominates, as in Table 1
+
+    def test_plugin_class_is_dynamic(self):
+        benchmark = build_benchmark("compress")
+        assert benchmark.program.klass(benchmark.plugin_class).dynamic
+
+
+class TestEncodingBands:
+    def test_compress_band(self):
+        graph = build_callgraph(build_benchmark("compress").program)
+        space = encode_anchored(graph, width=UNBOUNDED).max_id
+        assert 1e5 <= space <= 1e7  # paper: 4e5
+
+    def test_only_paper_overflowers_exceed_int64(self):
+        # Cheap proxy: the cascade depth determines the band; check the
+        # two designated benchmarks against one non-overflower.
+        overflow, regular = {}, {}
+        for name in ("xml.validation", "mpegaudio"):
+            graph = build_callgraph(build_benchmark(name).program)
+            space = encode_anchored(graph, width=UNBOUNDED).max_id
+            (overflow if name == "xml.validation" else regular)[name] = space
+        assert overflow["xml.validation"] > INT64_MAX
+        assert regular["mpegaudio"] <= INT64_MAX
+
+
+class TestDeterminism:
+    def test_same_build_twice_identical_graph(self):
+        g1 = build_callgraph(build_benchmark("crypto.aes").program)
+        g2 = build_callgraph(build_benchmark("crypto.aes").program)
+        assert [str(e) for e in g1.edges] == [str(e) for e in g2.edges]
+
+    def test_runs_are_reproducible(self):
+        benchmark = build_benchmark("scimark.lu.large")
+        results = []
+        for _ in range(2):
+            interp = benchmark.make_interpreter(seed=9)
+            interp.run(operations=3)
+            results.append(interp.work_done)
+        assert results[0] == results[1]
+
+    def test_operations_accumulate_work(self):
+        benchmark = build_benchmark("scimark.lu.large")
+        interp = benchmark.make_interpreter(seed=9)
+        interp.run(operations=1)
+        first = interp.work_done
+        interp.run(operations=1)
+        assert interp.work_done > first
+
+
+class TestRandomCallgraphGenerator:
+    def test_everything_reachable(self):
+        g = random_callgraph(seed=5, layers=5, width=4, extra_edges=8)
+        assert g.reachable_from(g.entry) == set(g.nodes)
+
+    def test_virtual_sites_created(self):
+        g = random_callgraph(seed=5, virtual_sites=3, max_dispatch=3)
+        assert g.virtual_sites
+
+    def test_back_edges_create_cycles(self):
+        from repro.graph.topo import is_acyclic
+
+        g = random_callgraph(seed=5, layers=5, back_edges=2)
+        assert not is_acyclic(g)
+
+    def test_seeded_determinism(self):
+        g1 = random_callgraph(seed=77)
+        g2 = random_callgraph(seed=77)
+        assert [str(e) for e in g1.edges] == [str(e) for e in g2.edges]
