@@ -9,23 +9,38 @@ in for WALA (:mod:`repro.analysis`), the encoding algorithms themselves
 (:mod:`repro.baselines`), and the evaluation harness that regenerates
 every table and figure (:mod:`repro.workloads`, :mod:`repro.bench`).
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the documented entry point)::
 
-    from repro import (
-        CallGraph, encode_deltapath, build_plan, DeltaPathProbe,
-        Interpreter, parse_program,
-    )
+    from repro import Encoder, parse_program
 
     program = parse_program(SOURCE)
-    plan = build_plan(program)                  # static analysis + Alg. 2
-    probe = DeltaPathProbe(plan)                # the runtime agent
+    enc = Encoder()                             # PlanConfig() defaults
+    plan = enc.plan(program)                    # static analysis + Alg. 2
+    probe = enc.probe(plan)                     # the runtime agent
     Interpreter(program, probe=probe).run()     # instrumented execution
     stack, current = probe.snapshot(node)       # one context's encoding
     plan.decode_snapshot(node, (stack, current))  # ...and back
 
-See README.md and examples/ for complete walkthroughs.
+    # dynamic class loading: repair instead of rebuild
+    delta = enc.delta_for_loaded_classes(program, plan, loaded)
+    update = enc.apply_delta(plan, delta)       # dirty territories only
+    probe.hot_swap(update, at_node)             # live context survives
+
+See README.md, docs/API.md and examples/ for complete walkthroughs.
 """
 
+from repro.api import (
+    Encoder,
+    Encoding,
+    GraphDelta,
+    PlanConfig,
+    PlanUpdate,
+    ReencodeResult,
+    delta_for_loaded_classes,
+    diff_graphs,
+    encode,
+    reencode,
+)
 from repro.core import (
     UNBOUNDED,
     W8,
@@ -45,6 +60,16 @@ from repro.core import (
     encode_deltapath,
     encode_pcce,
     verify_encoding,
+)
+from repro.errors import (
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    GraphError,
+    PlanSwapError,
+    ReproError,
+    RuntimeEncodingError,
+    UnreachableCallerError,
 )
 from repro.graph import CallEdge, CallGraph, CallSite
 from repro.lang import MethodRef, Program, ProgramBuilder, parse_program
@@ -72,9 +97,23 @@ __all__ = [
     "ContextTreeReport",
     "DecodedContext",
     "DeltaPathEncoding",
+    "DecodingError",
     "DeltaPathPlan",
     "DeltaPathProbe",
+    "Encoder",
+    "Encoding",
+    "EncodingError",
+    "EncodingOverflowError",
     "EntryKind",
+    "GraphDelta",
+    "GraphError",
+    "PlanConfig",
+    "PlanSwapError",
+    "PlanUpdate",
+    "ReencodeResult",
+    "ReproError",
+    "RuntimeEncodingError",
+    "UnreachableCallerError",
     "Interpreter",
     "MethodRef",
     "NullProbe",
@@ -93,9 +132,13 @@ __all__ = [
     "build_plan",
     "build_plan_from_graph",
     "compute_sids",
+    "delta_for_loaded_classes",
+    "diff_graphs",
+    "encode",
     "encode_anchored",
     "encode_deltapath",
     "encode_pcce",
     "parse_program",
+    "reencode",
     "verify_encoding",
 ]

@@ -9,6 +9,7 @@ Usage::
     python -m repro widths [--benchmark xml.validation]
     python -m repro opcounts [--benchmarks ...]
     python -m repro scaling [--benchmark crypto.rsa]
+    python -m repro incremental [--sizes 64 256 1024]
     python -m repro decode-demo
     python -m repro list
 
@@ -73,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--benchmark", default="crypto.rsa")
     ps.add_argument("--scales", nargs="*", type=int, default=None)
+
+    pi = sub.add_parser(
+        "incremental",
+        help="repair cost after a class-loading delta: O(dirty), not O(N)",
+    )
+    pi.add_argument("--sizes", nargs="*", type=int, default=None)
+    pi.add_argument("--width", type=int, default=8)
+    pi.add_argument("--repeats", type=int, default=3)
 
     sub.add_parser("list", help="list available benchmarks")
     sub.add_parser(
@@ -157,6 +166,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             scales=tuple(args.scales) if args.scales else (15, 30, 60, 120),
         )
         print(render_scaling(rows))
+        return 0
+
+    if args.command == "incremental":
+        from repro.bench.incremental import (
+            DEFAULT_SIZES,
+            incremental_rows,
+            render_incremental,
+        )
+        from repro.core.widths import Width
+
+        rows = incremental_rows(
+            sizes=tuple(args.sizes) if args.sizes else DEFAULT_SIZES,
+            width=Width(args.width),
+            repeats=args.repeats,
+        )
+        print(render_incremental(rows))
         return 0
 
     if args.command == "widths":

@@ -26,12 +26,18 @@ genuinely too small for the graph's in-degrees and we raise
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.territories import Territories, identify_territories
 from repro.core.widths import UNBOUNDED, Width
-from repro.errors import DecodingError, EncodingError, EncodingOverflowError
+from repro.errors import (
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    UnreachableCallerError,
+)
 from repro.graph.callgraph import CallEdge, CallGraph, CallSite
 from repro.graph.scc import remove_recursion
 from repro.graph.topo import topological_order
@@ -127,6 +133,34 @@ class AnchoredEncoding:
                 current = 0
         return tuple(stack), current
 
+    def decode(
+        self, node: str, value: int, stop: Optional[str] = None
+    ) -> List[CallEdge]:
+        """Decode the current piece — the :class:`Encoding`-protocol form.
+
+        With an anchored encoding a bare ``(node, value)`` pair only
+        identifies the piece since the last anchor entry; this decodes
+        that piece from ``stop`` (default: the entry, i.e. a context that
+        never entered an extra anchor). Use :meth:`decode_context` with
+        the runtime's anchor stack to recover a full context.
+        """
+        if node not in self.graph:
+            raise DecodingError(f"unknown node {node!r}")
+        start = stop if stop is not None else self.graph.entry
+        if start not in self.graph:
+            raise DecodingError(f"unknown start node {start!r}")
+        if start in self._anchor_set:
+            anchor = start
+        else:
+            reaching = self.territories.node_anchors(start)
+            if not reaching:
+                raise DecodingError(
+                    f"cannot decode at {start!r}: no anchor territory "
+                    f"covers it (unreachable from {self.graph.entry!r})"
+                )
+            anchor = reaching[0]
+        return self.decode_piece(node, value, anchor, stop=start)
+
     def decode_piece(
         self,
         node: str,
@@ -195,19 +229,51 @@ class AnchoredEncoding:
 
 def encode_anchored(
     graph: CallGraph,
+    *args,
     width: Width = UNBOUNDED,
     initial_anchors: Iterable[str] = (),
     max_restarts: Optional[int] = None,
     edge_priority: Optional[Callable[[CallEdge], float]] = None,
+    strict_reachability: bool = False,
 ) -> AnchoredEncoding:
     """Run Algorithm 2 until no addition value overflows ``width``.
+
+    All options are keyword-only, shared with :func:`encode_deltapath`
+    and :func:`encode_pcce` where they apply:
 
     ``initial_anchors`` lets callers seed extra anchors (the hybrid
     encoding of Section 8 anchors the PCC trunk this way). ``max_restarts``
     guards pathological widths; the default allows one restart per node.
     ``edge_priority`` orders incoming-edge processing (higher first) —
     prioritized (hot) edges receive the small/zero addition values.
+    ``strict_reachability`` raises
+    :class:`~repro.errors.UnreachableCallerError` for call sites whose
+    caller no anchor territory covers (i.e. the entry cannot reach),
+    instead of silently assigning them a zero addition value.
     """
+    if args:
+        warnings.warn(
+            "positional arguments to encode_anchored are deprecated; "
+            "use keywords: encode_anchored(graph, width=..., "
+            "initial_anchors=..., max_restarts=..., edge_priority=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("width", "initial_anchors", "max_restarts", "edge_priority")
+        if len(args) > len(names):
+            raise TypeError(
+                f"encode_anchored takes at most {1 + len(names)} "
+                f"positional arguments ({1 + len(args)} given)"
+            )
+        defaults = (UNBOUNDED, (), None, None)
+        positional = dict(zip(names, args))
+        width = positional.get("width", width)
+        if initial_anchors == defaults[1]:
+            initial_anchors = positional.get("initial_anchors", ())
+        if max_restarts is defaults[2]:
+            max_restarts = positional.get("max_restarts")
+        if edge_priority is defaults[3]:
+            edge_priority = positional.get("edge_priority")
     acyclic, removed = remove_recursion(graph)
     entry = acyclic.entry
     anchors: List[str] = [entry]
@@ -222,9 +288,23 @@ def encode_anchored(
     restarts = 0
     while True:
         try:
-            return _encode_once(
+            encoding = _encode_once(
                 acyclic, removed, width, anchors, restarts, edge_priority
             )
+            if strict_reachability:
+                dead = [
+                    site
+                    for site in acyclic.call_sites
+                    if not encoding.territories.node_anchors(site.caller)
+                ]
+                if dead:
+                    raise UnreachableCallerError(
+                        f"{len(dead)} call site(s) have callers unreachable "
+                        f"from {entry!r}: "
+                        f"{', '.join(str(s) for s in dead[:5])}",
+                        sites=dead,
+                    )
+            return encoding
         except _Overflow as overflow:
             restarts += 1
             if restarts > max_restarts:

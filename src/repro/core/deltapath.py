@@ -25,10 +25,17 @@ coincides with PCCE (asserted by tests).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import DecodingError, EncodingError
+from repro.core.widths import UNBOUNDED, Width
+from repro.errors import (
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    UnreachableCallerError,
+)
 from repro.graph.callgraph import CallEdge, CallGraph, CallSite
 from repro.graph.scc import remove_recursion
 from repro.graph.topo import topological_order
@@ -82,6 +89,8 @@ class DeltaPathEncoding:
         if node not in self.graph:
             raise DecodingError(f"unknown node {node!r}")
         start = stop if stop is not None else self.graph.entry
+        if start not in self.graph:
+            raise DecodingError(f"unknown start node {start!r}")
         path: List[CallEdge] = []
         current = node
         residual = value
@@ -89,11 +98,23 @@ class DeltaPathEncoding:
             best: Optional[CallEdge] = None
             best_av = -1
             for edge in self.graph.in_edges(current):
+                if edge.caller != start and self.icc.get(edge.caller, 0) == 0:
+                    # Unreachable caller: its sub-range [av, av + ICC) is
+                    # empty, so no valid residual selects this edge — but
+                    # its addition value can tie with a reachable edge's,
+                    # and first-wins tie-breaking must not pick it.
+                    continue
                 av = self.av[edge.site]
                 if best_av < av <= residual:
                     best = edge
                     best_av = av
             if best is None:
+                if node not in self.graph.reachable_from(start):
+                    raise DecodingError(
+                        f"cannot decode a context of {node!r}: it is "
+                        f"unreachable from {start!r}, so no valid context "
+                        f"exists"
+                    )
                 raise DecodingError(
                     f"no incoming edge of {current!r} matches residual "
                     f"{residual}"
@@ -111,23 +132,53 @@ class DeltaPathEncoding:
 
 def encode_deltapath(
     graph: CallGraph,
+    *args,
+    width: Width = UNBOUNDED,
     edge_priority: Optional[Callable[[CallEdge], float]] = None,
+    strict_reachability: bool = False,
 ) -> DeltaPathEncoding:
     """Run Algorithm 1. Back edges (recursion) are removed first.
 
-    ``edge_priority`` orders each node's incoming edges before
-    processing (higher first). The invariant holds for any order; the
-    order only decides *which* edges get the small (often zero)
-    addition values — the paper's Section 8 hot-edge optimization gives
-    hot edges priority so they become encoding-free.
+    All options are keyword-only, shared with :func:`encode_pcce` and
+    :func:`encode_anchored`:
+
+    * ``width`` — integer width the encoding must fit; Algorithm 1 has
+      no anchors to fall back on, so an overflow raises
+      :class:`~repro.errors.EncodingOverflowError` (use
+      :func:`encode_anchored` for bounded widths on large graphs).
+    * ``edge_priority`` orders each node's incoming edges before
+      processing (higher first). The invariant holds for any order; the
+      order only decides *which* edges get the small (often zero)
+      addition values — the paper's Section 8 hot-edge optimization
+      gives hot edges priority so they become encoding-free.
+    * ``strict_reachability`` — raise
+      :class:`~repro.errors.UnreachableCallerError` for call sites whose
+      caller the entry cannot reach, instead of silently assigning them
+      a zero increment.
     """
+    if args:
+        warnings.warn(
+            "positional arguments to encode_deltapath are deprecated; "
+            "use encode_deltapath(graph, edge_priority=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > 1:
+            raise TypeError(
+                f"encode_deltapath takes one positional argument "
+                f"({1 + len(args)} given)"
+            )
+        if edge_priority is None:
+            edge_priority = args[0]
     acyclic, removed = remove_recursion(graph)
     cav: Dict[str, int] = {n: 0 for n in acyclic.nodes}
     icc: Dict[str, int] = {}
     av: Dict[CallSite, int] = {}
     processed: Set[CallSite] = set()
+    unreachable: List[CallSite] = []
 
     entry = acyclic.entry
+    reachable = acyclic.reachable_from(entry)
     icc[entry] = 1
 
     def calculate_increment(site: CallSite) -> int:
@@ -138,8 +189,15 @@ def encode_deltapath(
             if cav[edge.callee] > a:
                 a = cav[edge.callee]
         caller_icc = icc[site.caller]
+        value = caller_icc + a
+        if not width.fits(value):
+            raise EncodingOverflowError(
+                f"Algorithm 1 overflowed width {width} at site {site} "
+                f"(candidate CAV {value}); use encode_anchored for "
+                f"width-bounded encoding"
+            )
         for edge in edges:
-            cav[edge.callee] = caller_icc + a
+            cav[edge.callee] = value
         return a
 
     for node in topological_order(acyclic):
@@ -150,16 +208,23 @@ def encode_deltapath(
             site = edge.site
             if site in processed:
                 continue
-            if site.caller not in icc:
-                # Caller unreachable from the entry: its ICC was never
-                # assigned. Such sites never execute, so give them a zero
-                # increment and skip CAV updates.
-                av[site] = 0
-                processed.add(site)
-                continue
             processed.add(site)
+            if site.caller not in reachable:
+                # Caller unreachable from the entry: the site can never
+                # execute. All encoders treat this case uniformly — a
+                # zero increment, and no CAV updates so the dead site
+                # does not inflate the reachable encoding space.
+                av[site] = 0
+                unreachable.append(site)
+                continue
             av[site] = calculate_increment(site)
         if node != entry:
             icc[node] = cav[node]
 
+    if strict_reachability and unreachable:
+        raise UnreachableCallerError(
+            f"{len(unreachable)} call site(s) have callers unreachable "
+            f"from {entry!r}: {', '.join(str(s) for s in unreachable[:5])}",
+            sites=unreachable,
+        )
     return DeltaPathEncoding(graph=acyclic, back_edges=removed, icc=icc, av=av)

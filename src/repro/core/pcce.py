@@ -22,9 +22,15 @@ different values cannot be instrumented with one constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import DecodingError, EncodingError
+from repro.core.widths import UNBOUNDED, Width
+from repro.errors import (
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    UnreachableCallerError,
+)
 from repro.graph.callgraph import CallEdge, CallGraph, CallSite
 from repro.graph.contexts import context_counts
 from repro.graph.scc import remove_recursion
@@ -105,6 +111,8 @@ class PCCEEncoding:
         if node not in self.graph:
             raise DecodingError(f"unknown node {node!r}")
         start = stop if stop is not None else self.graph.entry
+        if start not in self.graph:
+            raise DecodingError(f"unknown start node {start!r}")
         path: List[CallEdge] = []
         current = node
         residual = value
@@ -112,11 +120,22 @@ class PCCEEncoding:
             best: CallEdge | None = None
             best_av = -1
             for edge in self.graph.in_edges(current):
+                if edge.caller != start and self.nc.get(edge.caller, 0) == 0:
+                    # Unreachable caller: empty sub-range [av, av + NC);
+                    # skip so an addition-value tie with a reachable edge
+                    # cannot make first-wins pick the dead edge.
+                    continue
                 av = self.av[edge]
                 if best_av < av <= residual:
                     best = edge
                     best_av = av
             if best is None:
+                if node not in self.graph.reachable_from(start):
+                    raise DecodingError(
+                        f"cannot decode a context of {node!r}: it is "
+                        f"unreachable from {start!r}, so no valid context "
+                        f"exists"
+                    )
                 raise DecodingError(
                     f"no incoming edge of {current!r} matches residual "
                     f"{residual} (corrupt encoding?)"
@@ -132,14 +151,59 @@ class PCCEEncoding:
         return path
 
 
-def encode_pcce(graph: CallGraph) -> PCCEEncoding:
-    """Run the PCCE algorithm; back edges are removed first (recursion)."""
+def encode_pcce(
+    graph: CallGraph,
+    *,
+    width: Width = UNBOUNDED,
+    edge_priority: Optional[Callable[[CallEdge], float]] = None,
+    strict_reachability: bool = False,
+) -> PCCEEncoding:
+    """Run the PCCE algorithm; back edges are removed first (recursion).
+
+    All options are keyword-only, shared with :func:`encode_deltapath`
+    and :func:`encode_anchored`:
+
+    * ``width`` — integer width the encoding must fit. PCCE has no
+      anchor fallback, so ``NC`` exceeding the width raises
+      :class:`~repro.errors.EncodingOverflowError`.
+    * ``edge_priority`` orders each node's incoming edges before
+      addition values are assigned (higher first), so prioritized edges
+      receive the small/zero values.
+    * ``strict_reachability`` — raise
+      :class:`~repro.errors.UnreachableCallerError` for call edges whose
+      caller the entry cannot reach, instead of silently assigning them
+      a zero addition value.
+    """
     acyclic, removed = remove_recursion(graph)
     nc = context_counts(acyclic)
     av: Dict[CallEdge, int] = {}
+    unreachable: List[CallSite] = []
     for node in topological_order(acyclic):
+        if not width.fits(nc[node]):
+            raise EncodingOverflowError(
+                f"PCCE overflowed width {width} at {node!r} "
+                f"(NC {nc[node]}); use encode_anchored for width-bounded "
+                f"encoding"
+            )
         running = 0
-        for edge in acyclic.in_edges(node):
+        incoming = acyclic.in_edges(node)
+        if edge_priority is not None:
+            incoming = sorted(incoming, key=edge_priority, reverse=True)
+        for edge in incoming:
+            if nc[edge.caller] == 0:
+                # Unreachable caller: uniform zero increment, consumes
+                # no encoding-space slot (NC contribution is 0 anyway).
+                av[edge] = 0
+                if edge.site not in unreachable:
+                    unreachable.append(edge.site)
+                continue
             av[edge] = running
             running += nc[edge.caller]
+    if strict_reachability and unreachable:
+        raise UnreachableCallerError(
+            f"{len(unreachable)} call site(s) have callers unreachable "
+            f"from {acyclic.entry!r}: "
+            f"{', '.join(str(s) for s in unreachable[:5])}",
+            sites=unreachable,
+        )
     return PCCEEncoding(graph=acyclic, back_edges=removed, nc=nc, av=av)

@@ -1,0 +1,511 @@
+"""Incremental re-encoding: Algorithm 2 confined to the dirty region.
+
+Rebuilding a :class:`~repro.core.anchored.AnchoredEncoding` from scratch
+after a small call-graph delta repeats the whole static pipeline even
+when one loaded class added a handful of edges. This module recomputes
+CAV / ICC / addition values only inside the *dirty region* — the anchor
+territories that the changed edges can influence — and reuses every
+other anchor's tables verbatim, so untouched anchors keep their addition
+values and encoding IDs captured before the change stay decodable.
+
+Soundness rests on three structural facts of the territory machinery
+(:mod:`repro.core.territories`):
+
+1. Every edge of a call site shares the site's caller, and an edge lies
+   in anchor ``r``'s territory iff its caller does (and the caller is
+   expandable there — ``r`` itself or a non-anchor). So "site needs
+   recomputation" reduces to "caller sits in a dirty territory".
+2. A *clean* anchor's territory is exactly unchanged: territories only
+   move when a touched node lies inside them or the anchor set changes,
+   and both conditions mark the anchor dirty.
+3. Algorithm 2's CAV/ICC tables are per-(node, anchor) and its
+   correctness invariant (disjoint decode sub-ranges) holds per anchor
+   for *any* topological processing order. Recomputed sites read and
+   write only dirty-anchor entries once the dirty set is closed under
+   territory overlap, so the restricted pass is the exact projection of
+   a full pass onto the dirty anchors.
+
+The result is *decode-equivalent* to a from-scratch rebuild (every
+context round-trips; property tests enforce this), not table-identical:
+processing order inside the dirty region may assign different — equally
+valid — addition values.
+
+Overflow during the restricted pass grows the anchor set exactly like
+the batch algorithm (paper Line 15 plus the already-anchored fallback),
+dirties every territory the new anchor punctures, and retries; if the
+incremental machinery cannot converge it falls back to a full
+:func:`~repro.core.anchored.encode_anchored` run, reported via
+:attr:`ReencodeResult.fell_back`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.anchored import AnchoredEncoding, _grow_anchors, _Overflow, encode_anchored
+from repro.core.territories import Territories, _bounded_dfs
+from repro.core.widths import Width
+from repro.errors import EncodingError, EncodingOverflowError, GraphError
+from repro.graph.callgraph import CallEdge, CallGraph, CallSite
+from repro.graph.scc import remove_recursion
+
+__all__ = ["ReencodeResult", "reencode"]
+
+
+@dataclass
+class ReencodeResult:
+    """Outcome of an incremental re-encode."""
+
+    encoding: AnchoredEncoding
+    #: Anchors whose territories were recomputed (empty when the delta
+    #: touched nothing reachable).
+    dirty_anchors: List[str] = field(default_factory=list)
+    #: Nodes inside recomputed territories.
+    dirty_nodes: Set[str] = field(default_factory=set)
+    #: Call sites whose addition values were recomputed.
+    sites_recomputed: int = 0
+    #: Call sites whose addition values were reused verbatim.
+    sites_reused: int = 0
+    #: Anchor-growth restarts performed during the incremental pass.
+    restarts: int = 0
+    #: True when the incremental path gave up and ran the batch encoder.
+    fell_back: bool = False
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.sites_recomputed + self.sites_reused
+        return self.sites_reused / total if total else 1.0
+
+
+def reencode(
+    new_graph: CallGraph,
+    old: AnchoredEncoding,
+    *,
+    touched: Optional[Set[str]] = None,
+    width: Optional[Width] = None,
+    edge_priority: Optional[Callable[[CallEdge], float]] = None,
+    max_restarts: Optional[int] = None,
+) -> ReencodeResult:
+    """Re-encode ``new_graph`` reusing ``old``'s clean territories.
+
+    ``touched`` is the set of nodes whose incident edge set changed
+    (:meth:`repro.analysis.incremental.GraphDelta.touched_nodes`); when
+    omitted it is derived by diffing edge sets, which is exact but costs
+    a linear scan. Over-approximating ``touched`` is always safe — it
+    only enlarges the dirty region.
+
+    ``width`` defaults to the old encoding's width. The old anchor set
+    is kept (minus anchors whose nodes were removed) and may grow on
+    overflow, exactly like the batch algorithm.
+    """
+    if width is None:
+        width = old.width
+    if new_graph.entry != old.graph.entry:
+        return _fallback(new_graph, old, width, edge_priority)
+
+    acyclic, removed_back = remove_recursion(new_graph)
+
+    if touched is None:
+        touched = _touched_from_diff(old, acyclic)
+    else:
+        touched = set(touched) | _back_edge_churn(old, removed_back)
+
+    old_terr = old.territories
+    old_anchor_set = set(old.anchors)
+    anchors: List[str] = [a for a in old.anchors if a in acyclic]
+    if acyclic.entry not in anchors:
+        anchors.insert(0, acyclic.entry)
+    anchor_set = set(anchors)
+    dropped_anchors = [a for a in old.anchors if a not in anchor_set]
+
+    if max_restarts is None:
+        max_restarts = len(acyclic.nodes) + 1
+
+    # ------------------------------------------------------------------
+    # Seed the dirty set: every anchor whose old territory contains a
+    # touched node. New nodes are reached transitively — the edge that
+    # attaches them has a touched caller inside some territory.
+    # ------------------------------------------------------------------
+    dirty: Set[str] = set()
+    for node in touched:
+        for r in old_terr.node_anchors(node):
+            if r in anchor_set:
+                dirty.add(r)
+    for a in dropped_anchors:
+        # The hole left by a removed anchor is covered by whichever
+        # territories contained it as a boundary node.
+        for r in old_terr.node_anchors(a):
+            if r in anchor_set:
+                dirty.add(r)
+
+    order_index = {a: i for i, a in enumerate(anchors)}
+    restarts = 0
+    new_cov: Dict[str, Tuple[List[str], List[CallEdge]]] = {}
+    # Old-graph coverage of anchors whose tables we discard; memoised so
+    # the merge and the territory patching share one bounded DFS each.
+    old_cov: Dict[str, Tuple[List[str], List[CallEdge]]] = {}
+
+    def old_coverage(a: str) -> Tuple[List[str], List[CallEdge]]:
+        if a not in old_cov:
+            old_cov[a] = _bounded_dfs(old.graph, a, old_anchor_set)
+        return old_cov[a]
+
+    while True:
+        # Close the dirty set under territory overlap: every non-anchor
+        # node inside a dirty territory must have *all* its covering
+        # anchors dirty, so recomputed sites never touch a clean table.
+        while True:
+            for a in sorted(dirty, key=lambda x: order_index.get(x, 1 << 30)):
+                if a not in new_cov:
+                    new_cov[a] = _bounded_dfs(acyclic, a, anchor_set)
+            need: Set[str] = set()
+            for a in dirty:
+                for node in new_cov[a][0]:
+                    if node in anchor_set:
+                        continue  # boundary anchors own their sites
+                    for r in old_terr.node_anchors(node):
+                        if r in anchor_set and r not in dirty:
+                            need.add(r)
+            if not need:
+                break
+            dirty |= need
+
+        if restarts > max_restarts:
+            return _fallback(new_graph, old, width, edge_priority, anchors)
+
+        territories = _merge_territories(
+            acyclic, old, anchors, dirty, dropped_anchors, new_cov, old_coverage
+        )
+        try:
+            pass_result = _restricted_pass(
+                acyclic,
+                territories,
+                anchor_set,
+                dirty,
+                new_cov,
+                width,
+                edge_priority,
+            )
+            break
+        except _Overflow as overflow:
+            restarts += 1
+            before = set(anchors)
+            try:
+                _grow_anchors(acyclic, anchors, overflow.edge, width)
+            except EncodingOverflowError:
+                raise  # genuinely unencodable at this width
+            grown = [a for a in anchors if a not in before]
+            anchor_set = set(anchors)
+            order_index = {a: i for i, a in enumerate(anchors)}
+            for a in grown:
+                # The new anchor punctures every territory that contained
+                # it: those anchors must re-run their bounded DFS.
+                for r in territories.node_anchors(a):
+                    if r in anchor_set:
+                        dirty.add(r)
+                dirty.add(a)
+            new_cov.clear()  # retreat points changed for everyone dirty
+
+    cav, icc_pass, av_pass = pass_result
+
+    # ------------------------------------------------------------------
+    # Merge: reuse every clean-territory table entry verbatim. All stale
+    # entries are keyed by a dirty/dropped anchor (per-anchor tables) or
+    # by a site of a touched caller, so patching stays delta-proportional
+    # apart from the shallow dict copies.
+    # ------------------------------------------------------------------
+    icc = dict(old.icc)
+    bound = dict(old.bound)
+    for a in sorted(dirty | set(dropped_anchors),
+                    key=lambda x: order_index.get(x, 1 << 30)):
+        if a not in old_anchor_set:
+            continue  # anchor born this pass: no old table entries
+        for node in old_coverage(a)[0]:
+            icc.pop((node, a), None)
+            bound.pop((node, a), None)
+    icc.update(icc_pass)
+    bound.update(cav)
+
+    av: Dict[CallSite, int] = dict(old.av)
+    for node in touched:
+        if node not in old.graph:
+            continue
+        for site in old.graph.sites_in(node):
+            if not _site_exists(acyclic, site):
+                av.pop(site, None)
+    av.update(av_pass)
+    # Sites of touched callers that sit outside every territory
+    # (entry-unreachable regions) carry a zero increment, mirroring the
+    # batch pass; unchanged unreachable sites keep their old zero.
+    for node in touched:
+        if node not in acyclic:
+            continue
+        for site in acyclic.sites_in(node):
+            if site not in av:
+                av[site] = 0
+
+    encoding = AnchoredEncoding(
+        graph=acyclic,
+        back_edges=removed_back,
+        width=width,
+        anchors=list(anchors),
+        territories=territories,
+        icc=icc,
+        bound=bound,
+        av=av,
+        restarts=old.restarts + restarts,
+    )
+    dirty_nodes = {n for a in dirty for n in new_cov[a][0]}
+    return ReencodeResult(
+        encoding=encoding,
+        dirty_anchors=sorted(dirty, key=lambda x: order_index.get(x, 1 << 30)),
+        dirty_nodes=dirty_nodes,
+        sites_recomputed=len(av_pass),
+        sites_reused=len(av) - len(av_pass),
+        restarts=restarts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pieces
+# ----------------------------------------------------------------------
+def _touched_from_diff(old: AnchoredEncoding, acyclic: CallGraph) -> Set[str]:
+    """Exact touched set by edge diff (used when the caller has no delta).
+
+    Compares the new acyclic edge set against the old acyclic edges plus
+    the old back edges; classification churn shows up automatically.
+    """
+    old_edges = set(old.graph.edges) | set(old.back_edges)
+    new_edges = set(acyclic.edges)
+    touched: Set[str] = set()
+    for edge in old_edges ^ new_edges:
+        touched.add(edge.caller)
+        touched.add(edge.callee)
+    old_nodes = set(old.graph.nodes)
+    new_nodes = set(acyclic.nodes)
+    touched |= old_nodes ^ new_nodes
+    return touched
+
+
+def _back_edge_churn(
+    old: AnchoredEncoding, removed_back: List[CallEdge]
+) -> Set[str]:
+    """Nodes whose back-edge classification changed.
+
+    An edge that used to be a back edge and no longer is (or vice versa)
+    appears/disappears from the acyclic graph even though the delta never
+    listed it; its endpoints must count as touched.
+    """
+    churn = set(old.back_edges) ^ set(removed_back)
+    out: Set[str] = set()
+    for edge in churn:
+        out.add(edge.caller)
+        out.add(edge.callee)
+    return out
+
+
+def _merge_territories(
+    acyclic: CallGraph,
+    old: AnchoredEncoding,
+    anchors: List[str],
+    dirty: Set[str],
+    dropped_anchors: List[str],
+    new_cov: Dict[str, Tuple[List[str], List[CallEdge]]],
+    old_coverage,
+) -> Territories:
+    """Old territories with the dirty anchors' coverage re-derived."""
+    old_terr = old.territories
+    old_anchor_set = set(old.anchors)
+    stale = [
+        a
+        for a in dict.fromkeys(list(dirty) + dropped_anchors)
+        if a in old_anchor_set
+    ]
+
+    nanchors: Dict[str, List[str]] = dict(old_terr.nanchors)
+    eanchors: Dict[CallEdge, List[str]] = dict(old_terr.eanchors)
+
+    def strip(mapping, key, anchor):
+        current = mapping.get(key)
+        if current and anchor in current:
+            # Copy-on-write: the value lists are shared with the old
+            # Territories, which must stay usable for pre-swap decodes.
+            mapping[key] = [r for r in current if r != anchor]
+            if not mapping[key]:
+                del mapping[key]
+
+    for a in stale:
+        nodes, edges = old_coverage(a)
+        for node in nodes:
+            strip(nanchors, node, a)
+        for edge in edges:
+            strip(eanchors, edge, a)
+
+    for a in [x for x in anchors if x in dirty]:
+        nodes, edges = new_cov[a]
+        for node in nodes:
+            existing = nanchors.get(node)
+            nanchors[node] = (list(existing) if existing else []) + [a]
+        for edge in edges:
+            existing = eanchors.get(edge)
+            eanchors[edge] = (list(existing) if existing else []) + [a]
+
+    # Removed nodes/edges leave no stale entries: any anchor covering a
+    # removed element had a touched node in its territory and is dirty,
+    # so the strip above cleared every such key.
+    return Territories(anchors=list(anchors), nanchors=nanchors, eanchors=eanchors)
+
+
+def _site_exists(graph: CallGraph, site: CallSite) -> bool:
+    try:
+        return bool(graph.site_targets(site))
+    except GraphError:
+        return False
+
+
+def _restricted_pass(
+    acyclic: CallGraph,
+    territories: Territories,
+    anchor_set: Set[str],
+    dirty: Set[str],
+    new_cov: Dict[str, Tuple[List[str], List[CallEdge]]],
+    width: Width,
+    edge_priority: Optional[Callable[[CallEdge], float]],
+):
+    """Algorithm 2's main loop restricted to the dirty territories.
+
+    Processes exactly the call sites whose callers can be expanded inside
+    a dirty territory, in a topological order of the dirty-node-induced
+    subgraph. Because the dirty set is closed under territory overlap,
+    every CAV/ICC read and write lands on a (node, dirty-anchor) pair
+    maintained by this pass — clean tables are never consulted.
+    """
+    region: Set[str] = set()
+    for a in dirty:
+        region.update(new_cov[a][0])
+    # Callers whose outgoing sites this pass owns: non-anchor nodes in
+    # any dirty territory, plus the dirty anchors themselves. Boundary
+    # anchors inside a dirty territory keep their own (clean or dirty)
+    # tables for their outgoing sites.
+    expandable: Set[str] = {n for n in region if n not in anchor_set} | (
+        dirty & region
+    )
+
+    cav: Dict[Tuple[str, str], int] = {}
+    for a in dirty:
+        for node in new_cov[a][0]:
+            cav[(node, a)] = 0
+    icc: Dict[Tuple[str, str], int] = {}
+    av: Dict[CallSite, int] = {}
+    processed: Set[CallSite] = set()
+
+    def calculate_increment(site: CallSite) -> int:
+        edges = acyclic.site_targets(site)
+        a = 0
+        for edge in edges:
+            for anchor in territories.edge_anchors(edge):
+                candidate = cav.get((edge.callee, anchor), 0)
+                if candidate > a:
+                    a = candidate
+        for edge in edges:
+            for anchor in territories.edge_anchors(edge):
+                caller_icc = icc[(edge.caller, anchor)]
+                value = caller_icc + a
+                if not width.fits(value):
+                    raise _Overflow(edge)
+                cav[(edge.callee, anchor)] = value
+        return a
+
+    for node in _region_topo(acyclic, region):
+        # Anchor ICC is the constant 1, so it can be assigned on entry;
+        # non-anchor ICC must wait until the node's incoming sites have
+        # written its CAV entries (bottom of this loop body).
+        if node in anchor_set and node in dirty:
+            icc[(node, node)] = 1
+        incoming = [
+            e for e in acyclic.in_edges(node) if e.caller in expandable
+        ]
+        if edge_priority is not None:
+            incoming = sorted(incoming, key=edge_priority, reverse=True)
+        for edge in incoming:
+            site = edge.site
+            if site in processed:
+                continue
+            processed.add(site)
+            if not territories.edge_anchors(edge):
+                av[site] = 0
+                continue
+            av[site] = calculate_increment(site)
+        if node not in anchor_set:
+            for anchor in territories.node_anchors(node):
+                if anchor not in dirty:
+                    raise EncodingError(
+                        f"dirty-set closure violated at {node!r} / "
+                        f"{anchor!r} (internal invariant)"
+                    )
+                icc[(node, anchor)] = cav[(node, anchor)]
+    return cav, icc, av
+
+
+def _region_topo(acyclic: CallGraph, region: Set[str]) -> List[str]:
+    """Topological order of the subgraph induced by ``region``.
+
+    Edges from outside the region impose no ordering constraints: their
+    callers' tables are clean and already final.
+    """
+    indegree: Dict[str, int] = {}
+    for node in acyclic.nodes:
+        if node not in region:
+            continue
+        count = 0
+        for pred in acyclic.predecessors(node):
+            if pred in region and pred != node:
+                count += 1
+        indegree[node] = count
+    ready = [n for n, d in indegree.items() if d == 0]
+    order: List[str] = []
+    cursor = 0
+    while cursor < len(ready):
+        node = ready[cursor]
+        cursor += 1
+        order.append(node)
+        for succ in acyclic.successors(node):
+            if succ == node or succ not in region:
+                continue
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(indegree):  # pragma: no cover - DAG subgraphs
+        raise EncodingError("dirty region is cyclic after back-edge removal")
+    return order
+
+
+def _fallback(
+    new_graph: CallGraph,
+    old: AnchoredEncoding,
+    width: Width,
+    edge_priority: Optional[Callable[[CallEdge], float]],
+    anchors: Optional[List[str]] = None,
+) -> ReencodeResult:
+    """Full batch re-encode, seeded with the surviving anchor set."""
+    seeds = [
+        a
+        for a in (anchors if anchors is not None else old.anchors)
+        if a in new_graph and a != new_graph.entry
+    ]
+    encoding = encode_anchored(
+        new_graph,
+        width=width,
+        initial_anchors=seeds,
+        edge_priority=edge_priority,
+    )
+    return ReencodeResult(
+        encoding=encoding,
+        dirty_anchors=list(encoding.anchors),
+        dirty_nodes=set(encoding.graph.nodes),
+        sites_recomputed=len(encoding.av),
+        sites_reused=0,
+        restarts=encoding.restarts,
+        fell_back=True,
+    )

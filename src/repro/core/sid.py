@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.errors import AnalysisError
 from repro.graph.callgraph import CallGraph, CallSite
 
-__all__ = ["SidTable", "compute_sids"]
+__all__ = ["SidTable", "compute_sids", "update_sids"]
 
 
 class _UnionFind:
@@ -72,6 +72,101 @@ class SidTable:
     def is_benign(self, site: CallSite, entered: str) -> bool:
         """Whether arriving at ``entered`` via ``site`` passes the check."""
         return self.sid_of_site.get(site) == self.sid_of_node.get(entered)
+
+
+def update_sids(old: SidTable, graph: CallGraph, delta) -> SidTable:
+    """Update a SID table after a :class:`GraphDelta` was applied.
+
+    ``graph`` is the post-delta graph. For *additive* deltas (the dynamic
+    class-loading case) SID sets only ever merge, so the update runs a
+    union-find over whole old SID classes — O(delta) unions — instead of
+    re-running every per-site union in the graph. Surviving classes keep
+    their old SID numbers; classes absorbed by a merge take the smallest
+    SID among the merged classes; classes made only of new nodes get
+    fresh SIDs above ``old.num_sets``. Stable numbering is what makes
+    plan hot-swap remapping mostly the identity.
+
+    Deltas that remove nodes or edges can *split* SID sets, which
+    union-find cannot undo, so they fall back to :func:`compute_sids`
+    (itself a single linear pass — the expensive part of plan repair is
+    re-encoding, never SIDs).
+    """
+    if not delta.is_additive:
+        return compute_sids(graph)
+
+    # Union-find over SID *classes*: an old node is represented by its
+    # old SID (an int), a new node by a ("new", name) key.
+    parent: Dict[object, object] = {}
+
+    def find(key: object) -> object:
+        parent.setdefault(key, key)
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    def key_of(node: str) -> object:
+        sid = old.sid_of_node.get(node)
+        return ("new", node) if sid is None else sid
+
+    sites = list(dict.fromkeys(edge.site for edge in delta.added_edges))
+    for site in sites:
+        targets = graph.site_targets(site)
+        first = find(key_of(targets[0].callee))
+        for edge in targets[1:]:
+            root = find(key_of(edge.callee))
+            if root != first:
+                parent[root] = first
+
+    # Canonical SID per class: the smallest old SID it contains, else a
+    # fresh number (assigned in added-node order, deterministically).
+    canon: Dict[object, int] = {}
+    for key in list(parent):
+        if isinstance(key, int):
+            root = find(key)
+            if root not in canon or key < canon[root]:
+                canon[root] = key
+    # New nodes: listed additions plus endpoints edges create implicitly
+    # (minus re-adds of nodes that already had SIDs).
+    new_names = [n for n in delta.added_nodes if n not in old.sid_of_node]
+    for edge in delta.added_edges:
+        for name in (edge.caller, edge.callee):
+            if name not in old.sid_of_node and name not in delta.added_nodes:
+                new_names.append(name)
+    new_names = list(dict.fromkeys(new_names))
+    fresh = old.num_sets
+    for name in new_names:
+        root = find(("new", name))
+        if root not in canon:
+            canon[root] = fresh
+            fresh += 1
+
+    value_remap = {
+        key: canon[find(key)]
+        for key in parent
+        if isinstance(key, int) and canon[find(key)] != key
+    }
+    sid_of_node = dict(old.sid_of_node)
+    sid_of_site = dict(old.sid_of_site)
+    if value_remap:
+        for node, sid in sid_of_node.items():
+            if sid in value_remap:
+                sid_of_node[node] = value_remap[sid]
+        for site, sid in sid_of_site.items():
+            if sid in value_remap:
+                sid_of_site[site] = value_remap[sid]
+    for name in new_names:
+        sid_of_node[name] = canon[find(("new", name))]
+    for site in sites:
+        sid_of_site[site] = sid_of_node[graph.site_targets(site)[0].callee]
+
+    return SidTable(
+        sid_of_node=sid_of_node,
+        sid_of_site=sid_of_site,
+        num_sets=len(set(sid_of_node.values())),
+    )
 
 
 def compute_sids(graph: CallGraph) -> SidTable:

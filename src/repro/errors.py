@@ -52,12 +52,38 @@ class EncodingOverflowError(EncodingError):
     """
 
 
+class UnreachableCallerError(EncodingError):
+    """A call site's caller cannot be reached from the entry.
+
+    All encoders treat such sites uniformly: by default they receive a
+    zero addition value (the site can never execute), and under
+    ``strict_reachability=True`` this error is raised instead. Carries
+    the offending call sites when known.
+    """
+
+    def __init__(self, message: str, sites: list | None = None):
+        super().__init__(message)
+        self.sites = list(sites) if sites is not None else None
+
+
 class DecodingError(ReproError):
     """A context could not be recovered from an encoding."""
 
 
 class RuntimeEncodingError(ReproError):
     """The instrumented runtime reached an inconsistent encoding state."""
+
+
+class PlanSwapError(RuntimeEncodingError):
+    """A plan hot-swap cannot be performed at the current point.
+
+    Raised by :meth:`repro.runtime.agent.DeltaPathProbe.hot_swap` when the
+    probe's live encoding state cannot be remapped onto the new plan —
+    e.g. a currently-open encoding piece crosses an anchor that only
+    exists in the new plan, or a decoded edge vanished from the new
+    graph. The swap is recoverable: retry at a later safe point (the next
+    anchor entry or operation boundary).
+    """
 
 
 class WorkloadError(ReproError):

@@ -138,6 +138,40 @@ class CallGraph:
             self.add_edge(caller, callee, label)
         return CallSite(caller, label)
 
+    def remove_edge(self, edge: CallEdge) -> None:
+        """Remove one call edge; endpoint nodes stay.
+
+        Raises :class:`GraphError` when the edge is absent. Used by the
+        incremental re-encoding path (:mod:`repro.analysis.incremental`)
+        to apply deltas without rebuilding the whole graph.
+        """
+        if edge not in self._edge_set:
+            raise GraphError(f"cannot remove missing edge {edge}")
+        self._edges.remove(edge)
+        self._edge_set.discard(edge)
+        self._out[edge.caller].remove(edge)
+        self._in[edge.callee].remove(edge)
+        remaining = self._site_edges[edge.site]
+        remaining.remove(edge)
+        if not remaining:
+            del self._site_edges[edge.site]
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node and every edge incident to it.
+
+        The entry node cannot be removed.
+        """
+        if name not in self._nodes:
+            raise GraphError(f"cannot remove unknown node {name!r}")
+        if name == self._entry:
+            raise GraphError(f"cannot remove the entry node {name!r}")
+        for edge in list(self._in[name]) + list(self._out[name]):
+            if edge in self._edge_set:
+                self.remove_edge(edge)
+        del self._nodes[name]
+        del self._in[name]
+        del self._out[name]
+
     def _fresh_label(self, caller: str) -> int:
         used = {e.label for e in self._out.get(caller, ())}
         label = len(used)
@@ -162,6 +196,10 @@ class CallGraph:
 
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
+
+    def has_edge(self, edge: CallEdge) -> bool:
+        """Whether this exact (caller, callee, label) edge is present."""
+        return edge in self._edge_set
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -45,9 +45,9 @@ from __future__ import annotations
 from typing import Hashable, List, Optional, Tuple
 
 from repro.core.stackmodel import EntryKind, StackEntry
-from repro.errors import RuntimeEncodingError
+from repro.errors import PlanSwapError, RuntimeEncodingError
 from repro.graph.callgraph import CallSite
-from repro.runtime.plan import DeltaPathPlan
+from repro.runtime.plan import DeltaPathPlan, PlanUpdate
 from repro.runtime.probes import Probe
 
 __all__ = ["DeltaPathProbe"]
@@ -71,12 +71,34 @@ class DeltaPathProbe(Probe):
                 "write its expected SID; rebuild the plan without "
                 "elide_zero_av_sites (or run with cpt=False)"
             )
-        self.plan = plan
         self.cpt = cpt
         self.name = "deltapath+cpt" if cpt else "deltapath"
-        # Hot-path lookup tables. One combined record per instrumented
-        # site: (addition value or None, expected SID, first static
-        # target, recursive targets or None).
+        self._bind_plan(plan)
+        # Mutable encoding state.
+        self._id = 0
+        self._stack: List[StackEntry] = []
+        self._expected_sid = plan.entry_sid
+        self._expected_key: Optional[Tuple[str, Hashable]] = None
+        # Owner stack (CPT only): (node, executed) whose piece-relative
+        # value the current ID represents.
+        self._owner: List[Tuple[str, bool]] = [(self._entry_node, True)]
+        self._call_records: List[object] = []
+        # Frame records: (flags, replaced owner-top or None).
+        self._frames: List[Tuple[int, Optional[Tuple[str, bool]]]] = []
+        # Statistics.
+        self.ucp_detections = 0
+        self.max_stack_depth = 0
+        self.max_id_seen = 0
+        self.hot_swaps = 0
+
+    def _bind_plan(self, plan: DeltaPathPlan) -> None:
+        """(Re)build the hot-path lookup tables from ``plan``.
+
+        One combined record per instrumented site: (addition value or
+        None, expected SID, first static target, recursive targets or
+        None).
+        """
+        self.plan = plan
         self._site_info = {}
         for key, av in plan.site_av.items():
             self._site_info[key] = (
@@ -99,21 +121,6 @@ class DeltaPathProbe(Probe):
             if is_anchor
         )
         self._entry_node = plan.graph.entry
-        # Mutable encoding state.
-        self._id = 0
-        self._stack: List[StackEntry] = []
-        self._expected_sid = plan.entry_sid
-        self._expected_key: Optional[Tuple[str, Hashable]] = None
-        # Owner stack (CPT only): (node, executed) whose piece-relative
-        # value the current ID represents.
-        self._owner: List[Tuple[str, bool]] = [(self._entry_node, True)]
-        self._call_records: List[object] = []
-        # Frame records: (flags, replaced owner-top or None).
-        self._frames: List[Tuple[int, Optional[Tuple[str, bool]]]] = []
-        # Statistics.
-        self.ucp_detections = 0
-        self.max_stack_depth = 0
-        self.max_id_seen = 0
 
     # ------------------------------------------------------------------
     # Probe hooks
@@ -134,6 +141,15 @@ class DeltaPathProbe(Probe):
             self._call_records.append(None)
             return
         av, sid, target, rec_targets = info
+        if self.cpt and self._owner[-1][0] != caller:
+            # The caller's frame predates its own instrumentation: it was
+            # live inside a gap when a hot swap made its sites known (an
+            # instrumented caller's entry always makes it the owner).
+            # Its piece-relative position is unrepresentable, so treat
+            # the call as uninstrumented — the callee's entry then runs
+            # the SID check and re-establishes the gap representation.
+            self._call_records.append(None)
+            return
         if rec_targets is not None and callee in rec_targets:
             self._stack.append(
                 StackEntry(
@@ -278,6 +294,94 @@ class DeltaPathProbe(Probe):
             self._expected_sid = saved_sid
             self._expected_key = saved_key
             self._owner.pop()
+
+    # ------------------------------------------------------------------
+    # Plan repair
+    # ------------------------------------------------------------------
+    def hot_swap(self, update: PlanUpdate, at_node: str) -> None:
+        """Swap in a repaired plan without losing the live context.
+
+        ``update`` comes from :meth:`DeltaPathPlan.apply_delta` on the
+        plan this probe is running; ``at_node`` is the node of the
+        current innermost instrumented frame — any safe point where
+        :meth:`snapshot` would be valid, such as the function entry that
+        just detected a hazardous UCP. The whole encoding state (stack,
+        current ID, per-call records, expected-SID register) is rewritten
+        into the new encoding, so the in-flight context keeps decoding —
+        a UCP caused by dynamic loading becomes a *repair*, not a restart.
+
+        Raises :class:`~repro.errors.PlanSwapError`, leaving the probe
+        untouched, when the live state cannot be expressed under the new
+        encoding (see :meth:`PlanUpdate.remap_snapshot`); the caller may
+        retry at a later safe point or fall back to ``begin_execution``.
+        """
+        if update.old_plan is not self.plan:
+            raise PlanSwapError(
+                "plan update was derived from a different plan than the "
+                "one this probe is running"
+            )
+        if self.cpt and update.plan.zero_elided:
+            raise RuntimeEncodingError(
+                "call path tracking needs every instrumented site to "
+                "write its expected SID; the repaired plan elides "
+                "zero-AV sites"
+            )
+        remapped = update.remap_snapshot(at_node, tuple(self._stack), self._id)
+        # Rewrite the per-call bookkeeping: each non-None record pairs
+        # with one context event, in push (root-first) order.
+        record_events = [
+            event for event in remapped.events
+            if event[0] == "rec" or event[3]
+        ]
+        new_records: List[object] = []
+        index = 0
+        for record in self._call_records:
+            if record is None:
+                new_records.append(None)
+                continue
+            if index >= len(record_events):
+                raise PlanSwapError(
+                    "more in-flight call records than decoded context "
+                    "calls; probe state is inconsistent"
+                )
+            event = record_events[index]
+            index += 1
+            kind_or_av, _saved_sid, saved_key = record
+            if (kind_or_av is _REC) != (event[0] == "rec"):
+                raise PlanSwapError(
+                    "in-flight call records disagree with the decoded "
+                    "context about recursion"
+                )
+            new_value = _REC if kind_or_av is _REC else event[2]
+            new_records.append(
+                (new_value, self._remap_sid(update.plan, saved_key), saved_key)
+            )
+        if index != len(record_events):
+            raise PlanSwapError(
+                "decoded context contains calls with no in-flight record; "
+                "probe state is inconsistent"
+            )
+        new_expected = self._remap_sid(update.plan, self._expected_key)
+        # All checks passed: commit atomically.
+        self._bind_plan(update.plan)
+        self._stack = list(remapped.stack)
+        self._id = remapped.current_id
+        self._call_records = new_records
+        if self.cpt:
+            self._expected_sid = new_expected
+        self.hot_swaps += 1
+
+    def _remap_sid(self, plan: DeltaPathPlan, key) -> int:
+        if not self.cpt:
+            return 0
+        if key is None:
+            return plan.entry_sid
+        try:
+            return plan.site_sid[key]
+        except KeyError:
+            raise PlanSwapError(
+                f"site {key} has no expected SID under the new plan"
+            ) from None
 
     # ------------------------------------------------------------------
     # Observation

@@ -17,20 +17,41 @@ on tuples the interpreter already has.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+import warnings
+from dataclasses import dataclass, replace as _dc_replace
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.callgraph_builder import Policy, build_callgraph
+from repro.analysis.incremental import GraphDelta, apply_delta as _apply_graph_delta
 from repro.core.anchored import AnchoredEncoding, encode_anchored
 from repro.core.decoder import ContextDecoder, DecodedContext
 from repro.core.recursion import RecursionPlan, plan_recursion
+from repro.core.reencode import ReencodeResult, reencode
 from repro.core.selective import project_interesting, reattach_orphans
-from repro.core.sid import SidTable, compute_sids
+from repro.core.sid import SidTable, compute_sids, update_sids
+from repro.core.stackmodel import EntryKind, StackEntry
 from repro.core.widths import W64, Width
+from repro.errors import DecodingError, EncodingError, PlanSwapError
 from repro.graph.callgraph import CallGraph, CallSite
 from repro.lang.model import Program
 
-__all__ = ["DeltaPathPlan", "build_plan", "build_plan_from_graph"]
+__all__ = [
+    "DeltaPathPlan",
+    "PlanUpdate",
+    "RemappedSnapshot",
+    "build_plan",
+    "build_plan_from_graph",
+]
 
 SiteKey = Tuple[str, Hashable]
 
@@ -81,9 +102,52 @@ class DeltaPathPlan:
         stack, current_id = snapshot
         return self.decoder().decode(node, stack, current_id)
 
+    def apply_delta(
+        self, delta: GraphDelta, *, max_restarts: Optional[int] = None
+    ) -> "PlanUpdate":
+        """Repair this plan after a call-graph delta (dynamic loading).
+
+        Runs the incremental pipeline — :func:`repro.core.reencode.reencode`
+        over the dirty territories, :func:`repro.core.sid.update_sids`,
+        a linear recursion re-scan — and rebuilds the site tables, instead
+        of re-running Algorithm 2 over the whole graph. Returns a
+        :class:`PlanUpdate` carrying the new plan plus the ID-remap table
+        that translates encoding state (snapshots, probe stacks) captured
+        under this plan into the new encoding; hand it to
+        :meth:`~repro.runtime.agent.DeltaPathProbe.hot_swap` to repair a
+        live probe.
+
+        ``delta`` must be expressed against :attr:`graph` — for plans
+        built with ``application_only`` that is the *projected* graph,
+        so project the delta before applying it.
+        """
+        new_graph = _apply_graph_delta(self.graph, delta)
+        result = reencode(
+            new_graph,
+            self.encoding,
+            touched=delta.touched_nodes(),
+            max_restarts=max_restarts,
+        )
+        recursion = plan_recursion(new_graph)
+        sids = update_sids(self.sids, new_graph, delta)
+        new_plan = _assemble_plan(
+            new_graph, result.encoding, sids, recursion, self.zero_elided
+        )
+        promoted = frozenset(result.encoding.anchors) - frozenset(
+            self.encoding.anchors
+        )
+        return PlanUpdate(
+            old_plan=self,
+            plan=new_plan,
+            delta=delta,
+            reencode=result,
+            promoted_anchors=promoted,
+        )
+
 
 def build_plan_from_graph(
     graph: CallGraph,
+    *args,
     width: Width = W64,
     application_only: bool = False,
     edge_priority: Optional[Callable] = None,
@@ -108,6 +172,33 @@ def build_plan_from_graph(
     Section 8 hot-edge optimization. Eliding is incompatible with call
     path tracking (the agent enforces this).
     """
+    if args:
+        warnings.warn(
+            "positional arguments to build_plan_from_graph are "
+            "deprecated; pass keywords, or use repro.api.Encoder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = (
+            "width",
+            "application_only",
+            "edge_priority",
+            "elide_zero_av_sites",
+            "initial_anchors",
+        )
+        if len(args) > len(names):
+            raise TypeError(
+                f"build_plan_from_graph takes at most {1 + len(names)} "
+                f"positional arguments ({1 + len(args)} given)"
+            )
+        supplied = dict(zip(names, args))
+        width = supplied.get("width", width)
+        application_only = supplied.get("application_only", application_only)
+        edge_priority = supplied.get("edge_priority", edge_priority)
+        elide_zero_av_sites = supplied.get(
+            "elide_zero_av_sites", elide_zero_av_sites
+        )
+        initial_anchors = supplied.get("initial_anchors", initial_anchors)
     if application_only:
         selection = project_interesting(
             graph,
@@ -125,7 +216,19 @@ def build_plan_from_graph(
         initial_anchors=initial_anchors,
     )
     sids = compute_sids(encoded_graph)
+    return _assemble_plan(
+        encoded_graph, encoding, sids, recursion, elide_zero_av_sites
+    )
 
+
+def _assemble_plan(
+    encoded_graph: CallGraph,
+    encoding: AnchoredEncoding,
+    sids: SidTable,
+    recursion: RecursionPlan,
+    elide_zero_av_sites: bool,
+) -> DeltaPathPlan:
+    """Build the runtime lookup tables from the analysis artifacts."""
     site_av: Dict[SiteKey, int] = {}
     site_sid: Dict[SiteKey, int] = {}
     site_target: Dict[SiteKey, str] = {}
@@ -170,6 +273,7 @@ def build_plan_from_graph(
 
 def build_plan(
     program: Program,
+    *args,
     policy: Policy = Policy.ZERO_CFA,
     width: Width = W64,
     application_only: bool = False,
@@ -178,6 +282,35 @@ def build_plan(
     initial_anchors: Iterable[str] = (),
 ) -> DeltaPathPlan:
     """Full pipeline: program -> static call graph -> plan."""
+    if args:
+        warnings.warn(
+            "positional arguments to build_plan are deprecated; pass "
+            "keywords, or use repro.api.Encoder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = (
+            "policy",
+            "width",
+            "application_only",
+            "edge_priority",
+            "elide_zero_av_sites",
+            "initial_anchors",
+        )
+        if len(args) > len(names):
+            raise TypeError(
+                f"build_plan takes at most {1 + len(names)} positional "
+                f"arguments ({1 + len(args)} given)"
+            )
+        supplied = dict(zip(names, args))
+        policy = supplied.get("policy", policy)
+        width = supplied.get("width", width)
+        application_only = supplied.get("application_only", application_only)
+        edge_priority = supplied.get("edge_priority", edge_priority)
+        elide_zero_av_sites = supplied.get(
+            "elide_zero_av_sites", elide_zero_av_sites
+        )
+        initial_anchors = supplied.get("initial_anchors", initial_anchors)
     graph = build_callgraph(program, policy=policy, include_dynamic=False)
     return build_plan_from_graph(
         graph,
@@ -187,6 +320,171 @@ def build_plan(
         elide_zero_av_sites=elide_zero_av_sites,
         initial_anchors=initial_anchors,
     )
+
+
+@dataclass(frozen=True)
+class RemappedSnapshot:
+    """Encoding state translated from an old plan to its successor.
+
+    ``stack`` and ``current_id`` are the same context expressed in the
+    new encoding: decoding them under the new plan yields the context the
+    inputs decoded to under the old plan. ``events`` lists the
+    addition-value history of the live context root-first — one
+    ``("rec", site_key)`` per in-flight recursive call and one
+    ``("av", site_key, new_av, had_record)`` per in-flight ordinary call
+    (``had_record`` is False for sites the old plan left uninstrumented,
+    e.g. elided zero-AV sites) — which is what
+    :meth:`~repro.runtime.agent.DeltaPathProbe.hot_swap` consumes to
+    rewrite its per-call bookkeeping.
+    """
+
+    stack: Tuple[StackEntry, ...]
+    current_id: int
+    events: Tuple[tuple, ...]
+
+
+@dataclass
+class PlanUpdate:
+    """A repaired plan plus the ID-remap table back to its predecessor.
+
+    Produced by :meth:`DeltaPathPlan.apply_delta`. ``plan`` is the new
+    plan; :meth:`remap_snapshot` translates encoding state captured under
+    ``old_plan`` — probe snapshots, or a live probe's internal stack —
+    into the new encoding. Translation can fail with
+    :class:`~repro.errors.PlanSwapError` when the live state cannot be
+    represented under the new encoding (see :meth:`remap_snapshot`);
+    callers should retry at a later safe point or fall back to a restart.
+    """
+
+    old_plan: DeltaPathPlan
+    plan: DeltaPathPlan
+    delta: GraphDelta
+    reencode: ReencodeResult
+    #: Nodes that are anchors under the new encoding but were not before.
+    promoted_anchors: FrozenSet[str]
+
+    def remap_snapshot(
+        self,
+        node: str,
+        stack: Tuple[StackEntry, ...] = (),
+        current_id: int = 0,
+    ) -> RemappedSnapshot:
+        """Translate ``(stack, current_id)`` observed at ``node``.
+
+        The state is decoded under the old plan, then every piece is
+        re-encoded by summing the new addition values along its edges, so
+        the remapped state decodes to the identical context under the new
+        plan. Raises :class:`~repro.errors.PlanSwapError` when no such
+        translation exists:
+
+        * a context edge was removed by the delta;
+        * a context edge changed recursion classification (a normal call
+          became a back edge or vice versa) — the stack would need an
+          entry the old run never pushed (or one too many);
+        * a node was *promoted* to anchor while a frame past it is live —
+          under the new encoding its entry resets the ID, a reset the old
+          run never performed (ghost resume targets that never executed
+          are exempt);
+        * a site the old plan left uninstrumented acquired a nonzero
+          addition value while a call through it is in flight.
+        """
+        try:
+            decoded = self.old_plan.decoder().decode(node, stack, current_id)
+        except DecodingError as exc:
+            raise PlanSwapError(
+                f"state at {node!r} does not decode under the old plan: {exc}"
+            ) from exc
+        segments = decoded.segments
+        new_graph = self.plan.graph
+        new_back = frozenset(self.plan.recursion.removed_edges)
+        events: List[tuple] = []
+        values: List[int] = []
+        for i, segment in enumerate(segments):
+            value = 0
+            edges = segment.edges
+            last = len(edges) - 1
+            for j, edge in enumerate(edges):
+                key = (edge.caller, edge.label)
+                if not new_graph.has_edge(edge):
+                    raise PlanSwapError(
+                        f"live context contains {edge}, which the new "
+                        f"graph no longer has"
+                    )
+                if segment.kind is EntryKind.RECURSION and j == 0:
+                    # The decoder-injected back edge: the runtime pushed a
+                    # RECURSION entry here, so it must stay a back edge.
+                    if not self.plan.recursion.is_recursive_call(
+                        edge.site, edge.callee
+                    ):
+                        raise PlanSwapError(
+                            f"in-flight recursive call {edge} is not a "
+                            f"back edge under the new plan"
+                        )
+                    events.append(("rec", key))
+                    continue
+                if edge in new_back:
+                    raise PlanSwapError(
+                        f"in-flight call {edge} became a back edge under "
+                        f"the new plan; its frame cannot be restructured"
+                    )
+                if edge.callee in self.promoted_anchors and not (
+                    j == last and _is_ghost_boundary(segments, i)
+                ):
+                    raise PlanSwapError(
+                        f"{edge.callee!r} was promoted to anchor but a "
+                        f"live frame entered it without the ID reset the "
+                        f"new encoding requires"
+                    )
+                av = self.plan.site_av.get(key)
+                if av is None:
+                    try:
+                        av = self.plan.encoding.site_increment(edge.site)
+                    except EncodingError as exc:
+                        raise PlanSwapError(
+                            f"site of in-flight call {edge} has no "
+                            f"addition value under the new plan"
+                        ) from exc
+                had_record = key in self.old_plan.site_av
+                if not had_record and av != 0:
+                    raise PlanSwapError(
+                        f"site {key} was uninstrumented under the old "
+                        f"plan but has addition value {av} under the new "
+                        f"one; its in-flight call cannot be undone"
+                    )
+                events.append(("av", key, av, had_record))
+                value += av
+            values.append(value)
+        new_stack = tuple(
+            self._remap_entry(entry, values[index])
+            for index, entry in enumerate(stack)
+        )
+        return RemappedSnapshot(
+            stack=new_stack,
+            current_id=values[-1],
+            events=tuple(events),
+        )
+
+    def _remap_entry(self, entry: StackEntry, saved_id: int) -> StackEntry:
+        if entry.kind is EntryKind.UCP and entry.site is not None:
+            key = (entry.site.caller, entry.site.label)
+            expected = self.plan.site_sid.get(key, entry.expected_sid)
+            return _dc_replace(entry, saved_id=saved_id, expected_sid=expected)
+        return _dc_replace(entry, saved_id=saved_id)
+
+
+def _is_ghost_boundary(segments, index: int) -> bool:
+    """Whether segment ``index`` ends at a resume target that never ran.
+
+    The final callee of a piece followed by a UCP gap whose
+    ``previous_ran`` is False is only the *expected* dispatch target of a
+    call that detoured into unloaded code — no frame of it is live, so
+    promoting it to anchor cannot invalidate the state: the piece merely
+    ends at its territory boundary.
+    """
+    if index + 1 >= len(segments):
+        return False
+    nxt = segments[index + 1]
+    return nxt.kind is EntryKind.UCP and not nxt.previous_ran
 
 
 def _is_synthetic(site: CallSite) -> bool:

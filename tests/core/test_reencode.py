@@ -1,0 +1,240 @@
+"""Incremental re-encoding (dirty territories) against the batch oracle.
+
+The central property: after any :class:`GraphDelta`, :func:`reencode`
+must produce an encoding *decode-equivalent* to running Algorithm 2 from
+scratch on the new graph — every context gets a unique value that decodes
+back (checked exhaustively by the verifier), and when the incremental
+pass did not fall back, its merged territory tables must equal a
+from-scratch :func:`identify_territories` exactly.
+
+The suite runs well over 200 random deltas (the acceptance floor for the
+rebuild-equivalence property).
+"""
+
+import random
+
+from repro.analysis.incremental import GraphDelta, apply_delta, diff_graphs
+from repro.core.anchored import encode_anchored
+from repro.core.reencode import ReencodeResult, reencode
+from repro.core.territories import identify_territories
+from repro.core.verify import verify_encoding
+from repro.core.widths import UNBOUNDED, W16, W64, Width
+from repro.errors import EncodingError
+from repro.graph.callgraph import CallGraph
+from repro.workloads.synthetic import random_callgraph
+
+N_RANDOM_DELTAS = 210  # acceptance criterion: >= 200
+
+
+def random_delta(rng, graph, k):
+    """A k-change delta over ``graph``; returns (new_graph, delta)."""
+    g2 = graph.copy()
+    removable = [e for e in g2.edges]
+    added, removed, added_nodes = [], [], {}
+    for i in range(k):
+        if rng.random() < 0.4 and removable:
+            edge = removable.pop(rng.randrange(len(removable)))
+            g2.remove_edge(edge)
+            removed.append(edge)
+            continue
+        caller = rng.choice(g2.nodes)
+        if rng.random() < 0.3:
+            callee = f"loaded_{i}_{rng.randrange(10 ** 6)}"
+            added_nodes[callee] = {}
+        else:
+            callee = rng.choice(
+                [n for n in g2.nodes if n != g2.entry]
+            )
+        added.append(g2.add_edge(caller, callee))
+    return g2, GraphDelta(
+        added_nodes=added_nodes,
+        added_edges=tuple(added),
+        removed_edges=tuple(removed),
+    )
+
+
+def territories_equal(merged, fresh):
+    mine = {k: sorted(v) for k, v in merged.nanchors.items() if v}
+    theirs = {k: sorted(v) for k, v in fresh.nanchors.items() if v}
+    if mine != theirs:
+        return False
+    mine_e = {k: sorted(v) for k, v in merged.eanchors.items() if v}
+    theirs_e = {k: sorted(v) for k, v in fresh.eanchors.items() if v}
+    return mine_e == theirs_e
+
+
+class TestRebuildEquivalence:
+    def test_random_deltas_decode_like_a_rebuild(self):
+        verified = 0
+        fallbacks = 0
+        trial = 0
+        while verified < N_RANDOM_DELTAS:
+            trial += 1
+            rng = random.Random(9000 + trial)
+            graph = random_callgraph(
+                seed=trial,
+                layers=3 + trial % 3,
+                width=3 + trial % 2,
+                extra_edges=4 + trial % 6,
+                virtual_sites=trial % 3,
+                back_edges=trial % 3,
+            )
+            width = Width(10) if trial % 2 else W16
+            try:
+                old = encode_anchored(graph, width=width)
+            except EncodingError:
+                continue
+            new_graph, delta = random_delta(rng, graph, k=1 + trial % 4)
+            result = reencode(
+                new_graph, old, touched=delta.touched_nodes(), width=width
+            )
+            assert isinstance(result, ReencodeResult)
+            encoding = result.encoding
+
+            # Decode-equivalence with a from-scratch rebuild: exhaustive
+            # uniqueness + round-trip over every context of the new graph
+            # (the same oracle the batch encoder must pass), plus — when
+            # the dirty-region pass ran — exact equality of the merged
+            # territory tables with freshly identified ones.
+            report = verify_encoding(encoding, limit_per_node=300)
+            assert report.ok, (trial, report.failures[:3])
+            rebuilt = encode_anchored(
+                new_graph, width=width, initial_anchors=encoding.anchors
+            )
+            assert verify_encoding(rebuilt, limit_per_node=300).ok
+            if not result.fell_back:
+                fresh = identify_territories(
+                    encoding.graph, encoding.anchors
+                )
+                assert territories_equal(encoding.territories, fresh), trial
+            else:
+                fallbacks += 1
+            verified += 1
+        # The incremental path must be the norm, not the exception.
+        assert fallbacks < verified / 4
+
+    def test_diff_graphs_delta_matches_manual_delta(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            graph = random_callgraph(seed=seed, layers=4, width=3)
+            new_graph, _ = random_delta(rng, graph, k=3)
+            delta = diff_graphs(graph, new_graph)
+            redone = apply_delta(graph, delta)
+            assert sorted(redone.nodes) == sorted(new_graph.nodes)
+            assert sorted(map(str, redone.edges)) == sorted(
+                map(str, new_graph.edges)
+            )
+
+
+class TestReuseAndLocality:
+    def hub_chain(self, hubs, fan=3):
+        """Chain of hubs with parallel edges: anchors appear regularly,
+        so a local delta dirties a bounded number of territories."""
+        g = CallGraph("main")
+        prev = "main"
+        for h in range(hubs):
+            hub = f"hub{h}"
+            for lane in range(fan):
+                g.add_edge(prev, hub, f"lane{lane}")
+            g.add_edge(hub, f"leaf{h}a")
+            g.add_edge(hub, f"leaf{h}b")
+            prev = hub
+        return g
+
+    def test_dirty_region_is_local_not_global(self):
+        width = Width(8)
+        dirty_sizes = []
+        for hubs in (8, 16, 32, 64):
+            graph = self.hub_chain(hubs)
+            old = encode_anchored(graph, width=width)
+            g2 = graph.copy()
+            edge = g2.add_edge("hub2", "leaf2c")
+            delta = GraphDelta(
+                added_nodes={"leaf2c": {}}, added_edges=(edge,)
+            )
+            result = reencode(
+                g2, old, touched=delta.touched_nodes(), width=width
+            )
+            assert not result.fell_back
+            assert verify_encoding(result.encoding, limit_per_node=50).ok
+            dirty_sizes.append(len(result.dirty_nodes))
+        # Same local delta => same dirty region, independent of N.
+        assert len(set(dirty_sizes)) == 1, dirty_sizes
+
+    def test_site_reuse_dominates_on_large_graph(self):
+        graph = self.hub_chain(48)
+        old = encode_anchored(graph, width=Width(8))
+        g2 = graph.copy()
+        edge = g2.add_edge("hub10", "leaf10c")
+        result = reencode(g2, old, touched={"hub10", "leaf10c"},
+                          width=Width(8))
+        assert result.reuse_fraction > 0.9
+        assert result.sites_recomputed < 30
+
+
+class TestEdgeAndFallbackCases:
+    def test_empty_delta_reuses_everything(self):
+        graph = random_callgraph(seed=1, layers=4, width=3)
+        old = encode_anchored(graph, width=W64)
+        result = reencode(graph.copy(), old, touched=set())
+        assert result.sites_recomputed == 0
+        assert verify_encoding(result.encoding, limit_per_node=200).ok
+
+    def test_entry_change_falls_back(self):
+        graph = CallGraph("main")
+        graph.add_edge("main", "a")
+        old = encode_anchored(graph, width=W64)
+        other = CallGraph("main2")
+        other.add_edge("main2", "a")
+        result = reencode(other, old)
+        assert result.fell_back
+        assert verify_encoding(result.encoding).ok
+
+    def test_overflow_in_dirty_region_grows_anchors(self):
+        # int3 keeps context counts <= 3. The seed chain needs no anchors;
+        # the delta multiplies b's and c's context counts past the width,
+        # so the restricted pass must overflow at b->c, promote "b" to an
+        # anchor, and converge on the retry — all without falling back.
+        graph = CallGraph("main")
+        graph.add_edge("main", "a", "m0")
+        graph.add_edge("a", "b", "a0")
+        graph.add_edge("b", "c", "b0")
+        width = Width(3)
+        old = encode_anchored(graph, width=width)
+        assert old.anchors == [graph.entry]
+        g2 = graph.copy()
+        adds = tuple(
+            [g2.add_edge("a", "b", f"extra{lane}") for lane in range(2)]
+            + [g2.add_edge("b", "c", "extra")]
+        )
+        delta = GraphDelta(added_edges=adds)
+        result = reencode(g2, old, touched=delta.touched_nodes(),
+                          width=width)
+        assert not result.fell_back
+        assert result.restarts > 0
+        assert "b" in result.encoding.anchors
+        assert verify_encoding(result.encoding).ok
+
+    def test_width_change_is_respected(self):
+        graph = random_callgraph(seed=3, layers=4, width=3, extra_edges=6)
+        old = encode_anchored(graph, width=UNBOUNDED)
+        result = reencode(graph.copy(), old, touched=set(), width=Width(6))
+        report = verify_encoding(result.encoding, limit_per_node=200)
+        assert report.ok
+
+    def test_node_removal_delta(self):
+        graph = random_callgraph(seed=11, layers=4, width=3, extra_edges=4)
+        victims = [
+            n for n in graph.nodes
+            if n != graph.entry and not graph.out_edges(n)
+        ]
+        assert victims
+        g2 = graph.copy()
+        g2.remove_node(victims[0])
+        old = encode_anchored(graph, width=W16)
+        delta = diff_graphs(graph, g2)
+        assert not delta.is_additive
+        result = reencode(g2, old, touched=delta.touched_nodes(),
+                          width=W16)
+        assert verify_encoding(result.encoding, limit_per_node=200).ok
+        assert victims[0] not in result.encoding.graph
