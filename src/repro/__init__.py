@@ -26,16 +26,23 @@ Quickstart (the :mod:`repro.api` facade is the documented entry point)::
     update = enc.apply_delta(plan, delta)       # dirty territories only
     probe.hot_swap(update, at_node)             # live context survives
 
+    # millions of samples: decode off the hot path, sharded + cached
+    service = enc.service(plan).start()         # repro.service backend
+    service.submit(node, (stack, current), plan=probe.plan)
+    service.flush(); service.top_contexts(5)    # hottest calling contexts
+
 See README.md, docs/API.md and examples/ for complete walkthroughs.
 """
 
 from repro.api import (
+    ContextService,
     Encoder,
     Encoding,
     GraphDelta,
     PlanConfig,
     PlanUpdate,
     ReencodeResult,
+    ServiceConfig,
     delta_for_loaded_classes,
     diff_graphs,
     encode,
@@ -94,6 +101,7 @@ __all__ = [
     "CallSite",
     "ContextCollector",
     "ContextDecoder",
+    "ContextService",
     "ContextTreeReport",
     "DecodedContext",
     "DeltaPathEncoding",
@@ -113,6 +121,7 @@ __all__ = [
     "ReencodeResult",
     "ReproError",
     "RuntimeEncodingError",
+    "ServiceConfig",
     "UnreachableCallerError",
     "Interpreter",
     "MethodRef",

@@ -14,6 +14,10 @@ and the incremental (dynamic class loading) path:
   (frozen, reusable) place.
 * :class:`Encoder` — a configured pipeline: build plans, spawn probes,
   and repair plans incrementally when classes load at runtime.
+* :class:`ContextService` / :class:`ServiceConfig` — the collection
+  backend (:mod:`repro.service`): sharded, cached decode + ingestion of
+  probe snapshots, with top-K/rollup/UCP queries. :meth:`Encoder.service`
+  builds one bound to a plan.
 
 Quickstart::
 
@@ -22,12 +26,15 @@ Quickstart::
     enc = Encoder(PlanConfig(width=W32, application_only=True))
     plan = enc.plan(program)           # 0-CFA + Algorithm 2 + SIDs
     probe = enc.probe(plan)            # runtime agent
+    service = enc.service(plan).start()     # decode/aggregate backend
     ...                                # run instrumented code
     update = enc.apply_delta(plan, delta)   # incremental repair
     probe.hot_swap(update, at_node)         # live state survives
+    service.install_update(update)          # new decode epoch, no loss
 
 The incremental lifecycle (detect UCP -> build delta -> apply ->
-hot-swap) is documented end to end in docs/API.md.
+hot-swap) and the service (ingest -> aggregate -> query) are documented
+end to end in docs/API.md.
 """
 
 from __future__ import annotations
@@ -71,15 +78,18 @@ from repro.runtime.plan import (
     build_plan,
     build_plan_from_graph,
 )
+from repro.service import ContextService, ServiceConfig
 
 __all__ = [
     "ALGORITHMS",
+    "ContextService",
     "Encoder",
     "Encoding",
     "GraphDelta",
     "PlanConfig",
     "PlanUpdate",
     "ReencodeResult",
+    "ServiceConfig",
     "apply_delta",
     "delta_for_loaded_classes",
     "diff_graphs",
@@ -267,6 +277,22 @@ class Encoder:
     def probe(self, plan: DeltaPathPlan) -> DeltaPathProbe:
         """The runtime agent for a plan, honoring the config's ``cpt``."""
         return DeltaPathProbe(plan, cpt=self.config.cpt)
+
+    def service(
+        self,
+        plan: DeltaPathPlan,
+        config: Optional[ServiceConfig] = None,
+        **kwargs,
+    ) -> ContextService:
+        """The collection backend for a plan (not yet started).
+
+        Pass a :class:`ServiceConfig` or its keywords (``shards``,
+        ``workers``, ``queue_capacity``, ``backpressure``, cache sizes).
+        Call :meth:`ContextService.start` (or use it as a context
+        manager) before submitting; wire collection with
+        ``ContextCollector(sink=service.sink())``.
+        """
+        return ContextService(plan, config, **kwargs)
 
     # -- incremental path ----------------------------------------------
     def delta_for_loaded_classes(

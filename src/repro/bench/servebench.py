@@ -1,0 +1,433 @@
+"""``serve-bench``: throughput study of the ``repro.service`` backend.
+
+Two questions, answered on a synthetic hot-context workload (deep
+lane-chain graphs whose contexts share long piece prefixes, sampled with
+a Zipf-shaped popularity curve — the traffic shape of a real profiler
+where a few contexts dominate):
+
+1. **Decode throughput.** How fast does the memoizing
+   :class:`~repro.service.DecodeEngine` decode the stream versus the
+   uncached baseline (same engine, caches disabled)? The acceptance bar
+   is >= 10x on the hot-context stream.
+2. **Ingestion under hot swap.** Producer threads feed the full
+   :class:`~repro.service.ContextService` while a plan repair
+   (``apply_delta`` -> ``install_update``) lands mid-stream. The service
+   must lose no samples (block backpressure) and serve no mixed-epoch
+   decodes: pre-swap samples decode under the pre-swap plan even when
+   drained after the swap.
+
+``python -m repro serve-bench [--quick] [--json out.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.incremental import GraphDelta
+from repro.bench.reporting import Column, render_table, sci
+from repro.core.widths import Width
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import DeltaPathPlan, build_plan_from_graph
+from repro.service import ContextService, DecodeEngine, ServiceConfig
+
+__all__ = [
+    "lane_chain",
+    "build_workload",
+    "decode_study",
+    "ingest_study",
+    "serve_bench",
+    "render_serve_bench",
+    "write_bench_json",
+]
+
+Observation = Tuple[str, Tuple[tuple, int]]
+
+DEFAULT_DEPTH = 40
+DEFAULT_LANES = 2
+DEFAULT_CONTEXTS = 400
+DEFAULT_SAMPLES = 120_000
+DEFAULT_WIDTH = Width(16)
+QUICK_SAMPLES = 15_000
+QUICK_CONTEXTS = 150
+#: Zipf exponent of the popularity curve.
+ZIPF_S = 1.2
+
+
+def lane_chain(depth: int = DEFAULT_DEPTH, lanes: int = DEFAULT_LANES) -> CallGraph:
+    """A depth-``depth`` chain with ``lanes`` parallel call sites per hop.
+
+    Lane choices multiply the context count (``lanes**depth``), so a
+    narrow width forces Algorithm 2 to anchor every few hops — contexts
+    become multi-piece stacks whose outer pieces are shared, which is
+    exactly what the interning cache exploits.
+    """
+    graph = CallGraph("main")
+    prev = "main"
+    for d in range(depth):
+        node = f"f{d}"
+        for lane in range(lanes):
+            graph.add_edge(prev, node, f"d{d}l{lane}")
+        prev = node
+    return graph
+
+
+def _walk_snapshot(
+    plan: DeltaPathPlan, path: Sequence[Tuple[str, str, str]]
+) -> Observation:
+    """Drive a fresh probe along ``path``; return (leaf, snapshot)."""
+    probe = DeltaPathProbe(plan, cpt=True)
+    probe.begin_execution(plan.graph.entry)
+    probe.enter_function(plan.graph.entry)
+    node = plan.graph.entry
+    for caller, label, callee in path:
+        probe.before_call(caller, label, callee)
+        probe.enter_function(callee)
+        node = callee
+    return node, probe.snapshot(node)
+
+
+def build_workload(
+    depth: int = DEFAULT_DEPTH,
+    lanes: int = DEFAULT_LANES,
+    contexts: int = DEFAULT_CONTEXTS,
+    seed: int = 1,
+    width: Width = DEFAULT_WIDTH,
+) -> Tuple[CallGraph, DeltaPathPlan, List[Observation], List[float]]:
+    """The synthetic hot-context population.
+
+    Returns ``(graph, plan, observations, weights)``: ``contexts``
+    distinct contexts (random lane choices, random depths) plus their
+    Zipf weights, heaviest first.
+    """
+    rng = random.Random(seed)
+    graph = lane_chain(depth, lanes)
+    plan = build_plan_from_graph(graph, width=width)
+    seen = set()
+    observations: List[Observation] = []
+    while len(observations) < contexts:
+        d = rng.randrange(max(depth // 2, 1), depth)
+        path = []
+        prev = "main"
+        choices = []
+        for hop in range(d):
+            lane = rng.randrange(lanes)
+            choices.append(lane)
+            path.append((prev, f"d{hop}l{lane}", f"f{hop}"))
+            prev = f"f{hop}"
+        key = (d, tuple(choices))
+        if key in seen:
+            continue
+        seen.add(key)
+        observations.append(_walk_snapshot(plan, path))
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(contexts)]
+    return graph, plan, observations, weights
+
+
+def _stream(
+    observations: Sequence[Observation],
+    weights: Sequence[float],
+    samples: int,
+    seed: int,
+) -> List[Observation]:
+    rng = random.Random(seed + 7)
+    return rng.choices(observations, weights=weights, k=samples)
+
+
+# ----------------------------------------------------------------------
+# Study 1: decode throughput, cached vs uncached
+# ----------------------------------------------------------------------
+def decode_study(
+    plan: DeltaPathPlan,
+    stream: Sequence[Observation],
+    *,
+    piece_cache: int = 1 << 16,
+    context_cache: int = 1 << 16,
+) -> Dict[str, object]:
+    """Decode the whole stream through one engine configuration."""
+    engine = DecodeEngine(
+        plan, piece_cache=piece_cache, context_cache=context_cache
+    )
+    start = time.perf_counter()
+    for node, snapshot in stream:
+        engine.decode_path(node, snapshot)
+    elapsed = time.perf_counter() - start
+    caches = engine.cache_stats()
+    return {
+        "samples": len(stream),
+        "elapsed_ms": elapsed * 1000.0,
+        "per_s": len(stream) / elapsed if elapsed else float("inf"),
+        "piece_hit_rate": _hit_rate(caches["pieces"]),
+        "context_hit_rate": _hit_rate(caches["contexts"]),
+    }
+
+
+def _hit_rate(stats: dict) -> float:
+    total = stats["hits"] + stats["misses"]
+    return stats["hits"] / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Study 2: concurrent ingestion racing a plan hot swap
+# ----------------------------------------------------------------------
+def _swap_delta(graph: CallGraph, depth: int) -> Tuple[GraphDelta, str, str]:
+    """One loaded class hanging off the chain's midpoint."""
+    mid = f"f{depth // 2}"
+    g2 = graph.copy()
+    edge = g2.add_edge(mid, "plugin.m", "load")
+    return (
+        GraphDelta(added_nodes={"plugin.m": {}}, added_edges=(edge,)),
+        mid,
+        edge.label,
+    )
+
+
+def ingest_study(
+    graph: CallGraph,
+    plan: DeltaPathPlan,
+    stream: Sequence[Observation],
+    *,
+    depth: int = DEFAULT_DEPTH,
+    lanes: int = DEFAULT_LANES,
+    producers: int = 3,
+    workers: int = 2,
+    shards: int = 8,
+    seed: int = 1,
+    swap_at: float = 0.4,
+) -> Dict[str, object]:
+    """Feed the service from ``producers`` threads; swap plans mid-stream.
+
+    The last producer waits for the swap and then submits post-swap
+    traffic (walks into the newly loaded class) under the repaired plan,
+    while the others keep submitting pre-swap snapshots — which the
+    service must keep decoding under the *old* epoch.
+    """
+    delta, mid, label = _swap_delta(graph, depth)
+    update = plan.apply_delta(delta)
+
+    # Post-swap traffic: contexts that only exist under the new plan.
+    rng = random.Random(seed + 13)
+    new_observations = []
+    for _ in range(16):
+        d = depth // 2
+        path = [("main", f"d0l{rng.randrange(lanes)}", "f0")]
+        for hop in range(1, d + 1):
+            path.append(
+                (f"f{hop - 1}", f"d{hop}l{rng.randrange(lanes)}", f"f{hop}")
+            )
+        path.append((mid, label, "plugin.m"))
+        new_observations.append(_walk_snapshot(update.plan, path))
+    new_stream = rng.choices(new_observations, k=max(len(stream) // 4, 1))
+
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            shards=shards,
+            workers=workers,
+            backpressure="block",
+            queue_capacity=4096,
+        ),
+    )
+    service.start()
+    swap_installed = threading.Event()
+    swap_trigger = threading.Event()
+    old_submitted = [0] * producers
+    errors: List[BaseException] = []
+
+    slices = [stream[i::producers] for i in range(producers)]
+    trigger_index = int(len(slices[0]) * swap_at)
+
+    def produce_old(pid: int) -> None:
+        try:
+            for index, (node, snapshot) in enumerate(slices[pid]):
+                if pid == 0 and index == trigger_index:
+                    swap_trigger.set()
+                service.submit(node, snapshot, plan=plan)
+                old_submitted[pid] += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def produce_new() -> None:
+        try:
+            swap_installed.wait(timeout=60)
+            for node, snapshot in new_stream:
+                service.submit(node, snapshot, plan=update.plan)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=produce_old, args=(pid,), daemon=True)
+        for pid in range(producers)
+    ] + [threading.Thread(target=produce_new, daemon=True)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    # The swap races live pre-swap submissions by construction: it is
+    # installed while producer 0 (and the others) are still submitting.
+    swap_trigger.wait(timeout=60)
+    service.install_update(update)
+    swap_installed.set()
+    for thread in threads:
+        thread.join(timeout=120)
+    service.flush(timeout=120)
+    elapsed = time.perf_counter() - start
+    if errors:  # pragma: no cover - producer failure is a bench bug
+        raise errors[0]
+
+    metrics = service.service_metrics()
+    total_submitted = metrics["submitted"]
+    plugin_count = service.function_totals().get("plugin.m", 0)
+    result = {
+        "samples": total_submitted,
+        "elapsed_ms": elapsed * 1000.0,
+        "per_s": total_submitted / elapsed if elapsed else float("inf"),
+        "queue_peak": metrics["queue_peak"],
+        "lost": total_submitted - metrics["aggregated"],
+        "dropped": metrics["dropped"],
+        "decode_errors": metrics["decode_errors"],
+        "mixed_epoch": metrics["epoch_mismatches"],
+        "hot_swaps": metrics["hot_swaps"],
+        "pre_swap_samples": sum(old_submitted),
+        "post_swap_samples": len(new_stream),
+        "plugin_samples": plugin_count,
+        "unique_contexts": metrics["unique_contexts"],
+        "shard_imbalance": metrics["shards"]["imbalance"],
+        "decode_p50_us": metrics["decode_latency"]["p50_us"],
+        "decode_p99_us": metrics["decode_latency"]["p99_us"],
+    }
+    service.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# The full benchmark
+# ----------------------------------------------------------------------
+def serve_bench(
+    quick: bool = False,
+    *,
+    depth: int = DEFAULT_DEPTH,
+    lanes: int = DEFAULT_LANES,
+    contexts: Optional[int] = None,
+    samples: Optional[int] = None,
+    shards: int = 8,
+    workers: int = 2,
+    producers: int = 3,
+    seed: int = 1,
+    top: int = 5,
+) -> Dict[str, object]:
+    """Run both studies; returns the JSON-ready result dict."""
+    if contexts is None:
+        contexts = QUICK_CONTEXTS if quick else DEFAULT_CONTEXTS
+    if samples is None:
+        samples = QUICK_SAMPLES if quick else DEFAULT_SAMPLES
+    graph, plan, observations, weights = build_workload(
+        depth=depth, lanes=lanes, contexts=contexts, seed=seed
+    )
+    stream = _stream(observations, weights, samples, seed)
+
+    uncached = decode_study(plan, stream, piece_cache=0, context_cache=0)
+    piece_only = decode_study(plan, stream, context_cache=0)
+    cached = decode_study(plan, stream)
+    speedup = (
+        cached["per_s"] / uncached["per_s"] if uncached["per_s"] else None
+    )
+
+    ingest = ingest_study(
+        graph,
+        plan,
+        stream,
+        depth=depth,
+        lanes=lanes,
+        producers=producers,
+        workers=workers,
+        shards=shards,
+        seed=seed,
+    )
+
+    engine = DecodeEngine(plan)
+    counts: Dict[Tuple[str, ...], int] = {}
+    for node, snapshot in stream:
+        path, _gaps, _epoch = engine.decode_path(node, snapshot)
+        counts[path] = counts.get(path, 0) + 1
+    hottest = sorted(counts.items(), key=lambda kv: -kv[1])[:top]
+
+    return {
+        "benchmark": "serve-bench",
+        "quick": quick,
+        "workload": {
+            "depth": depth,
+            "lanes": lanes,
+            "contexts": contexts,
+            "samples": samples,
+            "width_bits": DEFAULT_WIDTH.bits,
+            "anchors": len(plan.encoding.anchors),
+            "seed": seed,
+        },
+        "decode": {
+            "uncached": uncached,
+            "piece_cache": piece_only,
+            "cached": cached,
+            "speedup": speedup,
+        },
+        "ingest": ingest,
+        "top_contexts": [
+            {"count": count, "path": list(path)} for path, count in hottest
+        ],
+    }
+
+
+_DECODE_COLUMNS: List[Column] = [
+    ("config", "config", str),
+    ("samples", "samples", sci),
+    ("elapsed_ms", "elapsed ms", sci),
+    ("per_s", "decodes/s", sci),
+    ("piece_hit_rate", "piece hit", sci),
+    ("context_hit_rate", "ctx hit", sci),
+]
+
+
+def render_serve_bench(result: Dict[str, object]) -> str:
+    """Human-readable report of one :func:`serve_bench` run."""
+    decode = result["decode"]
+    rows = [
+        dict(config=name, **decode[name])
+        for name in ("uncached", "piece_cache", "cached")
+    ]
+    lines = [
+        render_table(
+            rows,
+            _DECODE_COLUMNS,
+            title=(
+                "serve-bench decode throughput (hot-context stream, "
+                f"speedup cached/uncached: {sci(decode['speedup'])}x)"
+            ),
+        ),
+        "",
+    ]
+    ingest = result["ingest"]
+    lines.append(
+        "ingestion under hot swap: "
+        f"{sci(ingest['samples'])} samples at {sci(ingest['per_s'])}/s, "
+        f"queue peak {ingest['queue_peak']}, "
+        f"lost {ingest['lost']}, mixed-epoch {ingest['mixed_epoch']}, "
+        f"decode errors {ingest['decode_errors']}, "
+        f"plugin contexts {sci(ingest['plugin_samples'])}"
+    )
+    lines.append("")
+    lines.append("hottest contexts:")
+    for entry in result["top_contexts"]:
+        path = entry["path"]
+        shown = " -> ".join(path if len(path) <= 6 else
+                            path[:3] + ["..."] + path[-2:])
+        lines.append(f"  {entry['count']:>8}  {shown}")
+    return "\n".join(lines)
+
+
+def write_bench_json(result: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: the paper's tables/figures plus the service.
 
 Usage::
 
@@ -10,83 +10,130 @@ Usage::
     python -m repro opcounts [--benchmarks ...]
     python -m repro scaling [--benchmark crypto.rsa]
     python -m repro incremental [--sizes 64 256 1024]
+    python -m repro serve-bench [--quick] [--json BENCH_serve.json]
     python -m repro decode-demo
     python -m repro list
 
 ``deltapath-repro`` (the installed console script) is the same program.
+Every subcommand is enumerated with a one-line description by
+``python -m repro --help``; each also has its own ``--help``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.workloads.specjvm import benchmark_names
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "COMMANDS"]
+
+#: (name, one-line description) for every subcommand, in display order.
+#: The single source of truth: the parser, the ``--help`` epilog and the
+#: dispatch table are all built from the registrations below.
+COMMANDS: List[Tuple[str, str]] = []
+
+
+def _command(sub, name: str, description: str, **kwargs):
+    """Register a subcommand so ``--help`` enumerates it."""
+    COMMANDS.append((name, description))
+    return sub.add_parser(
+        name, help=description, description=description, **kwargs
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    COMMANDS.clear()
     parser = argparse.ArgumentParser(
         prog="deltapath-repro",
         description=(
             "DeltaPath (CGO 2014) reproduction: regenerate the paper's "
-            "tables and figures on synthetic SPECjvm-shaped benchmarks."
+            "tables and figures on synthetic SPECjvm-shaped benchmarks, "
+            "and benchmark the repro.service collection backend."
         ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
 
-    p1 = sub.add_parser("table1", help="static program characteristics")
+    p1 = _command(sub, "table1", "static program characteristics (Table 1)")
     p1.add_argument("--benchmarks", nargs="*", default=None)
 
-    p2 = sub.add_parser("table2", help="dynamic program characteristics")
+    p2 = _command(sub, "table2", "dynamic program characteristics (Table 2)")
     p2.add_argument("--benchmarks", nargs="*", default=None)
     p2.add_argument("--operations", type=int, default=120)
     p2.add_argument("--seed", type=int, default=1)
 
-    p8 = sub.add_parser("figure8", help="normalized execution speeds")
+    p8 = _command(sub, "figure8", "normalized execution speeds (Figure 8)")
     p8.add_argument("--benchmarks", nargs="*", default=None)
     p8.add_argument("--operations", type=int, default=60)
     p8.add_argument("--repeats", type=int, default=3)
     p8.add_argument("--seed", type=int, default=1)
 
-    pc = sub.add_parser(
-        "collisions", help="PCC hash-collision study (Table 2's gap)"
+    pc = _command(
+        sub, "collisions", "PCC hash-collision study (Table 2's gap)"
     )
     pc.add_argument("--benchmark", default="sunflow")
     pc.add_argument("--operations", type=int, default=40)
 
-    pw = sub.add_parser(
-        "widths", help="anchor count vs integer width (scalability)"
+    pw = _command(
+        sub, "widths", "anchor count vs integer width (scalability)"
     )
     pw.add_argument("--benchmark", default="xml.validation")
     pw.add_argument("--widths", nargs="*", type=int, default=None)
 
-    po = sub.add_parser(
-        "opcounts", help="instrumentation volume per benchmark operation"
+    po = _command(
+        sub, "opcounts", "instrumentation volume per benchmark operation"
     )
     po.add_argument("--benchmarks", nargs="*", default=None)
     po.add_argument("--operations", type=int, default=20)
 
-    ps = sub.add_parser(
-        "scaling", help="statistics stability across operation counts"
+    ps = _command(
+        sub, "scaling", "statistics stability across operation counts"
     )
     ps.add_argument("--benchmark", default="crypto.rsa")
     ps.add_argument("--scales", nargs="*", type=int, default=None)
 
-    pi = sub.add_parser(
+    pi = _command(
+        sub,
         "incremental",
-        help="repair cost after a class-loading delta: O(dirty), not O(N)",
+        "repair cost after a class-loading delta: O(dirty), not O(N)",
     )
     pi.add_argument("--sizes", nargs="*", type=int, default=None)
     pi.add_argument("--width", type=int, default=8)
     pi.add_argument("--repeats", type=int, default=3)
 
-    sub.add_parser("list", help="list available benchmarks")
-    sub.add_parser(
+    pv = _command(
+        sub,
+        "serve-bench",
+        "repro.service throughput: cached decode + ingestion under hot swap",
+    )
+    pv.add_argument(
+        "--quick", action="store_true",
+        help="small sample counts (CI smoke size)",
+    )
+    pv.add_argument("--depth", type=int, default=None)
+    pv.add_argument("--contexts", type=int, default=None)
+    pv.add_argument("--samples", type=int, default=None)
+    pv.add_argument("--shards", type=int, default=8)
+    pv.add_argument("--workers", type=int, default=2)
+    pv.add_argument("--producers", type=int, default=3)
+    pv.add_argument("--seed", type=int, default=1)
+    pv.add_argument("--top", type=int, default=5)
+    pv.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full result as JSON (BENCH_*.json artifact)",
+    )
+
+    _command(sub, "list", "list available benchmarks")
+    _command(
+        sub,
         "decode-demo",
-        help="encode and decode a context on the paper's Figure 5 graph",
+        "encode and decode a context on the paper's Figure 5 graph",
+    )
+
+    parser.epilog = "commands:\n" + "\n".join(
+        f"  {name:<12} {description}" for name, description in COMMANDS
     )
     return parser
 
@@ -141,6 +188,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_figure8(rows))
         return 0
 
+    if args.command == "widths":
+        from repro.bench.widthsweep import render_width_sweep, width_sweep
+
+        rows = width_sweep(
+            args.benchmark,
+            widths=tuple(args.widths) if args.widths else (16, 24, 32, 48, 64),
+        )
+        print(render_width_sweep(rows))
+        return 0
+
     if args.command == "collisions":
         from repro.bench.collisions import collision_study, render_collision_study
 
@@ -184,14 +241,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_incremental(rows))
         return 0
 
-    if args.command == "widths":
-        from repro.bench.widthsweep import render_width_sweep, width_sweep
-
-        rows = width_sweep(
-            args.benchmark,
-            widths=tuple(args.widths) if args.widths else (16, 24, 32, 48, 64),
+    if args.command == "serve-bench":
+        from repro.bench.servebench import (
+            DEFAULT_DEPTH,
+            render_serve_bench,
+            serve_bench,
+            write_bench_json,
         )
-        print(render_width_sweep(rows))
+
+        result = serve_bench(
+            quick=args.quick,
+            depth=args.depth if args.depth else DEFAULT_DEPTH,
+            contexts=args.contexts,
+            samples=args.samples,
+            shards=args.shards,
+            workers=args.workers,
+            producers=args.producers,
+            seed=args.seed,
+            top=args.top,
+        )
+        print(render_serve_bench(result))
+        if args.json:
+            write_bench_json(result, args.json)
+            print(f"\nwrote {args.json}")
         return 0
 
     if args.command == "decode-demo":

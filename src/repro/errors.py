@@ -88,3 +88,27 @@ class PlanSwapError(RuntimeEncodingError):
 
 class WorkloadError(ReproError):
     """A workload/benchmark specification is invalid."""
+
+
+class ServiceError(ReproError):
+    """The context-decode/ingestion service was misused or overloaded."""
+
+
+class IngestOverflowError(ServiceError):
+    """The ingestion queue is full and the policy is ``"error"``.
+
+    Raised by :meth:`repro.service.ContextService.submit` (and the
+    underlying :class:`repro.service.ingest.BoundedQueue`) when a
+    producer outruns the workers and the configured backpressure policy
+    turns overload into an error instead of blocking or dropping.
+    """
+
+
+class EpochError(ServiceError):
+    """A sample referenced a plan epoch the service no longer retains.
+
+    Every sample is stamped with the epoch of the plan its snapshot was
+    captured under; decoding always uses exactly that epoch's plan.
+    When epoch retention is bounded and an older epoch has been pruned,
+    its samples can no longer be decoded and this error is raised.
+    """

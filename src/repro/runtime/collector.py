@@ -10,15 +10,26 @@ and accumulates
   the collector keeps its own shadow depth),
 * unique encodings (distinct ``(node, snapshot)`` pairs),
 * probe-specific metrics (DeltaPath stack depth, UCP count, max ID),
-* optionally the ground-truth contexts (shadow stack), which exposes
+* optionally ground-truth uniqueness (shadow stack), which exposes
   hash collisions: a baseline whose unique-encoding count is below the
   unique-truth count has merged distinct contexts.
+
+Ground-truth retention is opt-in *per metric*: ``track_truth`` buys the
+collision count (unique-truth cardinality, kept as fixed-size digests),
+and only ``retain_truth`` additionally keeps the actual context tuples —
+large runs that measure collisions no longer hold every truth context in
+memory, and runs that measure neither hold nothing.
+
+A collector can also stream observations onward: give it a ``sink``
+(e.g. :meth:`repro.service.ContextService.sink`) and every snapshot is
+handed off as ``sink(node, snapshot, probe)`` for ingestion/aggregation.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Hashable, List, Optional, Set, Tuple
 
 __all__ = ["ContextCollector", "CollectedStats"]
 
@@ -46,6 +57,22 @@ class CollectedStats:
         return self.unique_truth - self.unique_encodings
 
 
+def _truth_digest(node: str, shadow: Tuple[str, ...]) -> bytes:
+    """A fixed-size fingerprint of one ground-truth context.
+
+    16-byte blake2b over the length-prefixed frames: collision
+    probability is negligible at any realistic context population, and
+    memory per unique context drops from the full frame tuple to 16
+    bytes.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(node.encode())
+    for frame in shadow:
+        h.update(b"\x1f")
+        h.update(frame.encode())
+    return h.digest()
+
+
 class ContextCollector:
     """Collects context observations at instrumented-function entries.
 
@@ -54,11 +81,19 @@ class ContextCollector:
     interest:
         Node names to collect at; ``None`` collects at every entry.
     track_truth:
-        Also maintain the true context (shadow stack) per observation;
-        costs memory/time, used to measure baseline hash collisions.
-    sample_uniques_only:
-        When True, per-observation metric lists are not kept (cheaper for
-        very long runs); max/avg are still maintained incrementally.
+        Measure ground-truth uniqueness (the collision metric). Keeps a
+        16-byte digest per unique truth context, not the context itself.
+    retain_truth:
+        Additionally retain the full truth-context tuples in
+        :attr:`truth_unique` (for code that enumerates them). Implies
+        ``track_truth``; costs memory proportional to unique contexts.
+    collect_events:
+        Keep per-Event ``(tag, node, snapshot)`` records; disable for
+        long runs that only need the aggregate statistics.
+    sink:
+        Optional handoff called as ``sink(node, snapshot, probe)`` for
+        every observation — the bridge into
+        :class:`repro.service.ContextService` ingestion.
     """
 
     def __init__(
@@ -66,16 +101,22 @@ class ContextCollector:
         interest: Optional[Set[str]] = None,
         track_truth: bool = False,
         collect_events: bool = True,
+        retain_truth: bool = False,
+        sink: Optional[Callable[[str, Hashable, object], None]] = None,
     ):
         self.interest = interest
-        self.track_truth = track_truth
+        self.track_truth = track_truth or retain_truth
+        self.retain_truth = retain_truth
         self.collect_events = collect_events
+        self.sink = sink
 
         self.total = 0
         self.depth_sum = 0
         self.max_depth = 0
         self.unique: Set[Tuple[str, Hashable]] = set()
+        #: Full truth contexts; populated only under ``retain_truth``.
         self.truth_unique: Set[Tuple[str, Tuple[str, ...]]] = set()
+        self._truth_digests: Set[bytes] = set()
         self._shadow: List[str] = []
 
         self._metrics_n = 0
@@ -105,7 +146,12 @@ class ContextCollector:
         snapshot = probe.snapshot(node)
         self.unique.add((node, snapshot))
         if self.track_truth:
-            self.truth_unique.add((node, tuple(self._shadow)))
+            shadow = tuple(self._shadow)
+            self._truth_digests.add(_truth_digest(node, shadow))
+            if self.retain_truth:
+                self.truth_unique.add((node, shadow))
+        if self.sink is not None:
+            self.sink(node, snapshot, probe)
 
         metrics = getattr(probe, "context_metrics", None)
         if metrics is not None:
@@ -144,7 +190,9 @@ class ContextCollector:
             max_depth=self.max_depth,
             avg_depth=self.depth_sum / n,
             unique_encodings=len(self.unique),
-            unique_truth=len(self.truth_unique) if self.track_truth else None,
+            unique_truth=(
+                len(self._truth_digests) if self.track_truth else None
+            ),
             max_stack_depth=self.max_stack_depth if self._saw_metrics else None,
             avg_stack_depth=(
                 self._stack_depth_sum / mn if self._saw_metrics else None

@@ -1,0 +1,44 @@
+"""The collection/aggregation backend: decode off the hot path, at scale.
+
+``repro.service`` is the layer real profilers put behind their probes: a
+sharded, cached context-decode and ingestion service. Probes stay as
+cheap as the paper promises (integer additions); this package owns
+everything that happens to the collected integers afterwards:
+
+* :class:`DecodeEngine` — epoch-aware decoding with an anchor-aware
+  interning cache: decoded pieces are shared across contexts, repeated
+  hot contexts decode in O(1), and plan hot swaps (PR 1) invalidate by
+  epoch instead of by flushing the world.
+* :class:`BoundedQueue` / :class:`WorkerPool` — batched ingestion with
+  explicit backpressure (block / drop-newest / drop-oldest / error).
+* :class:`ShardedContextTree` — lock-striped calling-context trees that
+  merge on read (top-K, per-function rollups, UCP counts).
+* :class:`ContextService` — the facade wiring all of it together, with
+  full metrics (counters, queue depth, cache hit rates, latency
+  histograms). Also exported from :mod:`repro.api` / the package root.
+
+Benchmark with ``python -m repro serve-bench``.
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.engine import DecodeEngine
+from repro.service.ingest import POLICIES, BoundedQueue, Sample, WorkerPool
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.service import ContextService, ServiceConfig
+from repro.service.shards import ShardedContextTree, ShardStats
+
+__all__ = [
+    "BoundedQueue",
+    "CacheStats",
+    "ContextService",
+    "DecodeEngine",
+    "LRUCache",
+    "LatencyHistogram",
+    "POLICIES",
+    "Sample",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ShardStats",
+    "ShardedContextTree",
+    "WorkerPool",
+]

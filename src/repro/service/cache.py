@@ -1,0 +1,111 @@
+"""Epoch-keyed LRU caching for the decode service.
+
+Decoding is the service's hot path and it is *piecewise*: a context is a
+stack of pieces, each fully determined by ``(plan epoch, piece start,
+node, residual value)``. Hot contexts share pieces — every context below
+an anchor shares that anchor's outer pieces — so the cache interns
+decoded pieces once and lets thousands of distinct contexts reuse them.
+
+Keys carry the plan epoch. A hot swap installs a new epoch; entries of
+the old epoch stop matching immediately (correctness) and are reclaimed
+either lazily by LRU eviction or eagerly by :meth:`LRUCache.drop_epoch`
+(memory). Nothing ever serves a decode across epochs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of one cache's counters."""
+
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    epoch_drops: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A small thread-safe LRU map with epoch-aware invalidation.
+
+    Keys are tuples whose **first element is the plan epoch**; values are
+    immutable decode results. ``capacity <= 0`` disables caching (every
+    ``get`` misses), which is how the benchmark measures the uncached
+    baseline through identical code paths.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._epoch_drops = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, or None. Refreshes LRU recency on hit."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def drop_epoch(self, epoch: int) -> int:
+        """Eagerly evict every entry of ``epoch``; returns the count."""
+        with self._lock:
+            stale = [k for k in self._data if k[0] == epoch]
+            for key in stale:
+                del self._data[key]
+            self._epoch_drops += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                size=len(self._data),
+                capacity=self.capacity,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                epoch_drops=self._epoch_drops,
+            )

@@ -1,0 +1,210 @@
+"""Batched ingestion: a bounded queue with explicit backpressure.
+
+Producer threads (probes, collectors, network frontends) call
+:meth:`BoundedQueue.put`; worker threads drain *batches* and hand them to
+an aggregation callback. The queue is deliberately explicit about what
+happens under overload — the four policies every real collection backend
+ends up choosing between:
+
+``"block"``
+    Producers wait for space (lossless backpressure; the default).
+``"drop-newest"``
+    The incoming sample is discarded (cheapest, biased against bursts).
+``"drop-oldest"``
+    The oldest queued sample is discarded to make room (keeps the
+    freshest traffic).
+``"error"``
+    Raise :class:`~repro.errors.IngestOverflowError` at the producer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.stackmodel import StackEntry
+from repro.errors import IngestOverflowError, ServiceError
+
+__all__ = ["Sample", "BoundedQueue", "WorkerPool", "POLICIES"]
+
+POLICIES = ("block", "drop-newest", "drop-oldest", "error")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One context observation on its way into the aggregator.
+
+    ``epoch`` is stamped at submission time with the epoch of the plan
+    the snapshot was captured under; the decode engine uses exactly that
+    epoch's plan, which is what makes a hot swap race-free: pre-swap
+    samples decode under the pre-swap plan even if they are drained
+    after the swap.
+    """
+
+    node: str
+    stack: Tuple[StackEntry, ...]
+    current_id: int
+    epoch: int
+    weight: int = 1
+    meta: Optional[dict] = field(default=None, compare=False)
+
+    @property
+    def snapshot(self) -> Tuple[Tuple[StackEntry, ...], int]:
+        return (self.stack, self.current_id)
+
+
+class BoundedQueue:
+    """A thread-safe bounded FIFO of :class:`Sample` with drop policies."""
+
+    def __init__(self, capacity: int = 4096, policy: str = "block"):
+        if capacity < 1:
+            raise ServiceError("queue capacity must be at least 1")
+        if policy not in POLICIES:
+            raise ServiceError(
+                f"unknown backpressure policy {policy!r}; expected one of "
+                f"{', '.join(POLICIES)}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._items: "deque[Sample]" = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def put(self, sample: Sample, timeout: Optional[float] = None) -> bool:
+        """Enqueue ``sample`` under the configured policy.
+
+        Returns True when the sample was queued, False when it (or an
+        older sample, under ``"drop-oldest"``) was dropped. ``"block"``
+        with a ``timeout`` that elapses drops the sample (counted).
+        """
+        with self._not_full:
+            if self._closed:
+                raise ServiceError("queue is closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == "error":
+                    self.dropped += 1
+                    raise IngestOverflowError(
+                        f"ingestion queue full ({self.capacity} samples)"
+                    )
+                if self.policy == "drop-newest":
+                    self.dropped += 1
+                    return False
+                if self.policy == "drop-oldest":
+                    self._items.popleft()
+                    self.dropped += 1
+                else:  # block
+                    if not self._not_full.wait_for(
+                        lambda: len(self._items) < self.capacity
+                        or self._closed,
+                        timeout=timeout,
+                    ):
+                        self.dropped += 1
+                        return False
+                    if self._closed:
+                        raise ServiceError("queue is closed")
+            self._items.append(sample)
+            self._not_empty.notify()
+            return True
+
+    def get_batch(
+        self, max_batch: int, timeout: Optional[float] = None
+    ) -> List[Sample]:
+        """Up to ``max_batch`` samples; [] on close-and-empty or timeout."""
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            ):
+                return []
+            batch: List[Sample] = []
+            while self._items and len(batch) < max_batch:
+                batch.append(self._items.popleft())
+            if batch:
+                self._not_full.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """No more puts; pending samples remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class WorkerPool:
+    """N daemon threads draining one queue into a batch handler.
+
+    The handler receives each drained batch (a non-empty list of
+    samples). Handler exceptions are routed to ``on_error`` — one bad
+    batch must not kill a worker — and the pool keeps draining.
+    """
+
+    def __init__(
+        self,
+        queue: BoundedQueue,
+        handler: Callable[[Sequence[Sample]], None],
+        *,
+        workers: int = 2,
+        batch_size: int = 256,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+        poll_interval: float = 0.05,
+    ):
+        if workers < 1:
+            raise ServiceError("need at least one worker")
+        if batch_size < 1:
+            raise ServiceError("batch size must be at least 1")
+        self._queue = queue
+        self._handler = handler
+        self._batch_size = batch_size
+        self._on_error = on_error
+        self._poll = poll_interval
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-ingest-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def _run(self) -> None:
+        while True:
+            batch = self._queue.get_batch(self._batch_size, timeout=self._poll)
+            if not batch:
+                if self._queue.closed and not len(self._queue):
+                    return
+                continue
+            try:
+                self._handler(batch)
+            except BaseException as exc:  # noqa: BLE001 - keep draining
+                if self._on_error is not None:
+                    self._on_error(exc)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for workers to finish (call after ``queue.close()``)."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return any(t.is_alive() for t in self._threads)

@@ -1,0 +1,148 @@
+"""Service observability: counters and latency histograms.
+
+Everything the service does is counted — samples submitted, dropped,
+decoded, aggregated; batches drained; queue high-water mark; decode
+errors; hot swaps — and the two latencies that matter (per-sample decode,
+per-batch drain) go into power-of-two histograms. ``snapshot()`` flattens
+the whole thing into a plain dict for benchmarks, tests and the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram over microseconds.
+
+    Bucket ``i`` counts observations in ``[2**i, 2**(i+1))`` µs (bucket 0
+    also absorbs sub-microsecond observations). Cheap enough for the hot
+    path: one comparison loop over ~32 buckets, no allocation.
+    """
+
+    BUCKETS = 32
+
+    def __init__(self):
+        self._counts = [0] * self.BUCKETS
+        self._total = 0
+        self._sum_us = 0.0
+        self._max_us = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        us = seconds * 1e6
+        bucket = 0
+        threshold = 2.0
+        while us >= threshold and bucket < self.BUCKETS - 1:
+            threshold *= 2.0
+            bucket += 1
+        with self._lock:
+            self._counts[bucket] += 1
+            self._total += 1
+            self._sum_us += us
+            if us > self._max_us:
+                self._max_us = us
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean_us(self) -> float:
+        with self._lock:
+            return self._sum_us / self._total if self._total else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self._max_us
+
+    def percentile_us(self, q: float) -> float:
+        """Upper bucket bound holding the ``q``-quantile (0 < q <= 1)."""
+        with self._lock:
+            if not self._total:
+                return 0.0
+            rank = q * self._total
+            seen = 0
+            for bucket, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    return float(2 ** (bucket + 1))
+            return float(2 ** self.BUCKETS)  # pragma: no cover
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_us, 3),
+            "p50_us": self.percentile_us(0.50),
+            "p99_us": self.percentile_us(0.99),
+            "max_us": round(self._max_us, 3),
+        }
+
+
+class ServiceMetrics:
+    """All of the service's counters behind one lock.
+
+    The counters are plain attributes mutated under :meth:`count`;
+    recent decode errors are kept in a bounded ring so operators can see
+    *why* samples failed without the list growing with traffic.
+    """
+
+    ERROR_RING = 16
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.dropped = 0
+        self.ingested = 0
+        self.aggregated = 0
+        self.decode_errors = 0
+        self.epoch_mismatches = 0
+        self.batches = 0
+        self.queue_peak = 0
+        self.hot_swaps = 0
+        self.decode_latency = LatencyHistogram()
+        self.batch_latency = LatencyHistogram()
+        self._recent_errors: List[str] = []
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.queue_peak:
+                self.queue_peak = depth
+
+    def record_error(self, message: str) -> None:
+        with self._lock:
+            self.decode_errors += 1
+            self._recent_errors.append(message)
+            del self._recent_errors[: -self.ERROR_RING]
+
+    @property
+    def recent_errors(self) -> List[str]:
+        with self._lock:
+            return list(self._recent_errors)
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "submitted": self.submitted,
+                "dropped": self.dropped,
+                "ingested": self.ingested,
+                "aggregated": self.aggregated,
+                "decode_errors": self.decode_errors,
+                "epoch_mismatches": self.epoch_mismatches,
+                "batches": self.batches,
+                "queue_peak": self.queue_peak,
+                "hot_swaps": self.hot_swaps,
+                "recent_errors": list(self._recent_errors),
+            }
+        out["decode_latency"] = self.decode_latency.snapshot()
+        out["batch_latency"] = self.batch_latency.snapshot()
+        if queue_depth is not None:
+            out["queue_depth"] = queue_depth
+        return out

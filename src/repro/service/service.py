@@ -1,0 +1,313 @@
+"""`ContextService`: the collection backend over DeltaPath encodings.
+
+The paper makes a calling context a small integer precisely so the hot
+path only does additions and the *decoding* can happen elsewhere. This
+module is the "elsewhere": probes submit ``(node, snapshot)``
+observations; producer threads feed a bounded queue; workers drain
+batches, decode them through the epoch-aware memoizing
+:class:`~repro.service.engine.DecodeEngine`, and aggregate into
+:class:`~repro.service.shards.ShardedContextTree`; queries (top-K hot
+contexts, per-function rollups, UCP counts) merge shards on read.
+
+Hot swaps plug straight into PR 1's machinery: call
+:meth:`ContextService.install_update` with the :class:`PlanUpdate` used
+for ``probe.hot_swap`` and the service bumps its plan epoch. Samples are
+stamped with their plan's epoch at submission, and decoding always uses
+exactly the stamped epoch's plan — a swap therefore loses no queued
+samples and can never serve a mixed-epoch decode.
+
+Typical wiring::
+
+    service = ContextService(plan, ServiceConfig(workers=2, shards=8))
+    service.start()
+    collector = ContextCollector(sink=service.sink())
+    Interpreter(program, probe=probe, collector=collector).run()
+    service.flush()
+    service.top_contexts(5)        # [(count, path), ...]
+    service.function_totals()      # {function: inclusive count}
+    service.stop()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DecodingError, EpochError, ServiceError
+from repro.postprocess import ContextTreeReport
+from repro.runtime.plan import DeltaPathPlan, PlanUpdate
+from repro.service.engine import DecodeEngine
+from repro.service.ingest import BoundedQueue, Sample, WorkerPool
+from repro.service.metrics import ServiceMetrics
+from repro.service.shards import ShardedContextTree
+
+__all__ = ["ServiceConfig", "ContextService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every sizing knob of the service in one frozen place."""
+
+    #: Number of aggregation shards (lock striping of the CCT).
+    shards: int = 8
+    #: Worker threads draining the ingestion queue.
+    workers: int = 2
+    #: Bounded-queue capacity (samples).
+    queue_capacity: int = 4096
+    #: Maximum samples per drained batch.
+    batch_size: int = 256
+    #: Overload policy: "block" | "drop-newest" | "drop-oldest" | "error".
+    backpressure: str = "block"
+    #: LRU capacity of the interned-piece cache (0 disables).
+    piece_cache: int = 1 << 16
+    #: LRU capacity of the whole-context cache (0 disables).
+    context_cache: int = 1 << 16
+    #: How many recent plan epochs stay decodable (None = all).
+    retain_epochs: Optional[int] = None
+
+
+class ContextService:
+    """Sharded, cached context-decode and ingestion service."""
+
+    def __init__(
+        self,
+        plan: DeltaPathPlan,
+        config: Optional[ServiceConfig] = None,
+        **kwargs,
+    ):
+        if config is not None and kwargs:
+            raise ServiceError(
+                "pass either a ServiceConfig or config keywords, not both"
+            )
+        self.config = config if config is not None else ServiceConfig(**kwargs)
+        self.engine = DecodeEngine(
+            plan,
+            piece_cache=self.config.piece_cache,
+            context_cache=self.config.context_cache,
+            retain_epochs=self.config.retain_epochs,
+        )
+        self.tree = ShardedContextTree(self.config.shards)
+        self.metrics = ServiceMetrics()
+        self._queue = BoundedQueue(
+            self.config.queue_capacity, self.config.backpressure
+        )
+        self._pool = WorkerPool(
+            self._queue,
+            self._handle_batch,
+            workers=self.config.workers,
+            batch_size=self.config.batch_size,
+            on_error=lambda exc: self.metrics.record_error(repr(exc)),
+        )
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ContextService":
+        if self._stopped:
+            raise ServiceError("service was stopped; build a new one")
+        if not self._started:
+            self._started = True
+            self._pool.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Close ingestion; with ``drain`` wait for queued samples."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._queue.close()
+        if self._started and drain:
+            self._pool.join(timeout=timeout)
+
+    def __enter__(self) -> "ContextService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Ingestion (producer side)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        node: str,
+        snapshot: Tuple[Sequence, int],
+        *,
+        plan: Optional[DeltaPathPlan] = None,
+        weight: int = 1,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Queue one observation for ingestion.
+
+        ``plan`` names the plan the snapshot was captured under (e.g.
+        ``probe.plan``); it resolves to the epoch the sample is stamped
+        with. Omitted, the current epoch is assumed — only correct when
+        no hot swap can be in flight between capture and submission.
+        Returns False when the sample was dropped by the backpressure
+        policy.
+        """
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        epoch = (
+            self.engine.epoch if plan is None else self.engine.epoch_of(plan)
+        )
+        stack, current_id = snapshot
+        sample = Sample(
+            node=node,
+            stack=tuple(stack),
+            current_id=current_id,
+            epoch=epoch,
+            weight=weight,
+        )
+        self.metrics.count("submitted")
+        self.metrics.observe_queue_depth(len(self._queue))
+        # Drops of every flavour (newest, oldest, timeout, error) are
+        # tallied by the queue itself so accounting stays exact even when
+        # the discarded sample is not the one being submitted.
+        return self._queue.put(sample, timeout=timeout)
+
+    def submit_many(
+        self,
+        observations: Sequence[Tuple[str, Tuple[Sequence, int]]],
+        *,
+        plan: Optional[DeltaPathPlan] = None,
+    ) -> int:
+        """Submit many ``(node, snapshot)`` pairs; returns accepted count."""
+        accepted = 0
+        for node, snapshot in observations:
+            if self.submit(node, snapshot, plan=plan):
+                accepted += 1
+        return accepted
+
+    def sink(self) -> Callable:
+        """A :class:`~repro.runtime.collector.ContextCollector` sink.
+
+        The collector calls it as ``sink(node, snapshot, probe)``; the
+        probe's current plan stamps the sample's epoch, so collection
+        keeps working across hot swaps with no extra wiring.
+        """
+
+        def _sink(node, snapshot, probe=None):
+            self.submit(
+                node, snapshot, plan=getattr(probe, "plan", None)
+            )
+
+        return _sink
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything submitted so far is aggregated."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            snap = self.metrics.snapshot()
+            done = (
+                snap["aggregated"]
+                + snap["decode_errors"]
+                + snap["epoch_mismatches"]
+                + self._queue.dropped
+            )
+            if not len(self._queue) and done >= snap["submitted"]:
+                return
+            time.sleep(0.002)
+        raise ServiceError(f"flush timed out after {timeout}s")
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def install_update(self, update: PlanUpdate) -> int:
+        """Adopt a repaired plan (PR 1 ``apply_delta`` output).
+
+        Returns the new epoch. Samples already queued under older epochs
+        still decode under their own plans; new submissions against the
+        repaired plan stamp the new epoch.
+        """
+        epoch = self.engine.install_update(update)
+        self.metrics.count("hot_swaps")
+        return epoch
+
+    def install_plan(self, plan: DeltaPathPlan) -> int:
+        """Adopt a full rebuild as the next epoch."""
+        epoch = self.engine.install(plan)
+        self.metrics.count("hot_swaps")
+        return epoch
+
+    @property
+    def epoch(self) -> int:
+        return self.engine.epoch
+
+    @property
+    def plan(self) -> DeltaPathPlan:
+        return self.engine.plan
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _handle_batch(self, batch: Sequence[Sample]) -> None:
+        start = time.perf_counter()
+        for sample in batch:
+            self.metrics.count("ingested")
+            t0 = time.perf_counter()
+            try:
+                path, has_gaps, used_epoch = self.engine.decode_path(
+                    sample.node, sample.snapshot, epoch=sample.epoch
+                )
+            except (DecodingError, EpochError) as exc:
+                self.metrics.record_error(
+                    f"{sample.node}@epoch{sample.epoch}: {exc}"
+                )
+                continue
+            self.metrics.decode_latency.observe(time.perf_counter() - t0)
+            if used_epoch != sample.epoch:  # pragma: no cover - invariant
+                self.metrics.count("epoch_mismatches")
+                continue
+            self.tree.add(path, has_gaps, sample.weight)
+            self.metrics.count("aggregated")
+        self.metrics.count("batches")
+        self.metrics.batch_latency.observe(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def top_contexts(self, k: int = 10) -> List[Tuple[int, Tuple[str, ...]]]:
+        """The ``k`` hottest calling contexts as (count, node path)."""
+        return self.tree.top_contexts(k)
+
+    def function_totals(self, leaf_only: bool = False) -> Dict[str, int]:
+        """Per-function rollups (see :meth:`ShardedContextTree.function_totals`)."""
+        return self.tree.function_totals(leaf_only=leaf_only)
+
+    def ucp_stats(self) -> Dict[str, int]:
+        """How much traffic crossed dynamic-loading gaps."""
+        total = self.tree.total_samples
+        gaps = self.tree.gap_samples
+        return {
+            "samples": total,
+            "gap_samples": gaps,
+            "gap_free_samples": total - gaps,
+        }
+
+    def report(self) -> ContextTreeReport:
+        """The merged calling-context tree (a fresh copy)."""
+        return self.tree.merged_report()
+
+    def render_report(
+        self, min_total: int = 1, max_depth: Optional[int] = None
+    ) -> str:
+        return self.tree.render(min_total=min_total, max_depth=max_depth)
+
+    def service_metrics(self) -> Dict[str, object]:
+        """Counters + latency histograms + cache + shard balance."""
+        out = self.metrics.snapshot(queue_depth=len(self._queue))
+        out["dropped"] = self._queue.dropped
+        out["caches"] = self.engine.cache_stats()
+        stats = self.tree.shard_stats()
+        out["shards"] = {
+            "count": self.config.shards,
+            "samples": stats.sizes,
+            "imbalance": round(stats.imbalance, 3),
+        }
+        out["epochs_retained"] = self.engine.retained_epochs()
+        out["unique_contexts"] = self.tree.unique_contexts
+        return out

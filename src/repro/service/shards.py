@@ -1,0 +1,166 @@
+"""Sharded calling-context-tree aggregation, merged on read.
+
+Workers aggregate decoded paths into N independent shards — each a
+path histogram plus flat rollup counters behind its own lock — so
+concurrent batches contend only when they hash to the same shard. Reads
+(top-K, rollups, rendering) merge the shards into a fresh
+:class:`~repro.postprocess.ContextTreeReport`; the write path never
+blocks on a reader building a report.
+
+Sharding is by context path hash, so all observations of one context
+land in one shard and per-context counts never need cross-shard
+reconciliation — merging is pure addition.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.postprocess import ContextTreeReport
+
+__all__ = ["ShardStats", "ShardedContextTree"]
+
+Path = Tuple[str, ...]
+
+
+class _Shard:
+    """One lock-guarded slice of the aggregate state."""
+
+    __slots__ = (
+        "lock", "counts", "leaf_totals", "gap_samples", "samples",
+    )
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        #: path -> observation count (the histogram top-K reads).
+        self.counts: Dict[Path, int] = {}
+        #: leaf function -> observation count.
+        self.leaf_totals: Dict[str, int] = {}
+        self.gap_samples = 0
+        self.samples = 0
+
+
+class ShardStats:
+    """Read-side summary of shard balance."""
+
+    def __init__(self, sizes: List[int]):
+        self.sizes = sizes
+
+    @property
+    def total(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean shard load (1.0 = perfectly even)."""
+        if not self.sizes or not self.total:
+            return 1.0
+        mean = self.total / len(self.sizes)
+        return max(self.sizes) / mean if mean else 1.0
+
+
+class ShardedContextTree:
+    """N calling-context-tree shards that merge on read."""
+
+    def __init__(self, shards: int = 8):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self._shards = [_Shard() for _ in range(shards)]
+
+    def _shard_for(self, path: Path) -> _Shard:
+        return self._shards[hash(path) % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def add(self, path: Path, has_gaps: bool = False, weight: int = 1) -> None:
+        """Aggregate one decoded context path, ``weight`` times."""
+        shard = self._shard_for(path)
+        with shard.lock:
+            shard.counts[path] = shard.counts.get(path, 0) + weight
+            if path:
+                leaf = path[-1]
+                shard.leaf_totals[leaf] = (
+                    shard.leaf_totals.get(leaf, 0) + weight
+                )
+            if has_gaps:
+                shard.gap_samples += weight
+            shard.samples += weight
+
+    # ------------------------------------------------------------------
+    # Read path (merge on read)
+    # ------------------------------------------------------------------
+    def top_contexts(self, k: int = 10) -> List[Tuple[int, Path]]:
+        """The ``k`` hottest contexts as (count, path), heaviest first."""
+        merged: Dict[Path, int] = {}
+        for shard in self._shards:
+            with shard.lock:
+                for path, count in shard.counts.items():
+                    merged[path] = merged.get(path, 0) + count
+        ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
+        return [(count, path) for path, count in ranked[:k]]
+
+    def function_totals(self, leaf_only: bool = False) -> Dict[str, int]:
+        """Per-function rollups.
+
+        ``leaf_only=True`` counts samples whose context *ends* at the
+        function (exclusive/self counts); otherwise every function
+        appearing anywhere in a context is credited once per observation
+        (inclusive counts, the flame-graph number).
+        """
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            with shard.lock:
+                if leaf_only:
+                    for leaf, count in shard.leaf_totals.items():
+                        totals[leaf] = totals.get(leaf, 0) + count
+                else:
+                    for path, count in shard.counts.items():
+                        for name in set(path):
+                            totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def merged_report(self) -> ContextTreeReport:
+        """One tree containing every shard's contexts (a fresh copy)."""
+        report = ContextTreeReport()
+        for shard in self._shards:
+            with shard.lock:
+                for path, count in shard.counts.items():
+                    report.add_path(path, count)
+        return report
+
+    @property
+    def total_samples(self) -> int:
+        return sum(s.samples for s in self._shards)
+
+    @property
+    def gap_samples(self) -> int:
+        """Samples whose decode crossed a dynamic-loading gap (UCP)."""
+        return sum(s.gap_samples for s in self._shards)
+
+    @property
+    def unique_contexts(self) -> int:
+        return sum(len(s.counts) for s in self._shards)
+
+    def shard_stats(self) -> ShardStats:
+        return ShardStats([s.samples for s in self._shards])
+
+    def count_of(self, path: Path) -> int:
+        """The aggregated count of one exact context path."""
+        shard = self._shard_for(path)
+        with shard.lock:
+            return shard.counts.get(path, 0)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.counts.clear()
+                shard.leaf_totals.clear()
+                shard.gap_samples = 0
+                shard.samples = 0
+
+    def render(self, min_total: int = 1, max_depth: Optional[int] = None) -> str:
+        return self.merged_report().render(
+            min_total=min_total, max_depth=max_depth
+        )

@@ -350,3 +350,140 @@ class TestFigure6Repair:
         interp.run(operations=8)
         assert collector2.ucp_after_unwind is not None
         assert probe2.ucp_detections == collector2.ucp_after_unwind
+
+
+# ----------------------------------------------------------------------
+# Hot swap racing concurrent ingestion (repro.service epochs)
+# ----------------------------------------------------------------------
+
+class TestHotSwapUnderIngestion:
+    """A swap during ingestion loses no samples and never mixes epochs.
+
+    The delta both removes an edge (a->c) and adds a node (x off e), so
+    the two failure modes are distinguishable in the aggregate:
+
+    * a pre-swap snapshot decoded under the *new* plan yields the wrong
+      path ``main-b-c-e`` (the AVs shifted) — its count must stay 0;
+    * a post-swap snapshot (through ``x``) decoded under the *old* plan
+      raises (``x`` is unknown there) — ``decode_errors`` must stay 0.
+    """
+
+    PATH_ACE = [("main", "s1", "a"), ("a", "s3", "c"), ("c", "s6", "e")]
+    PATH_BCD = [("main", "s2", "b"), ("b", "s4", "c"), ("c", "s5", "d")]
+    PATH_X = [("main", "s2", "b"), ("b", "s4", "c"), ("c", "s6", "e"),
+              ("e", "load_x", "x")]
+
+    def setup_method(self):
+        g = sample_graph()
+        self.plan = build_plan_from_graph(g)
+        g2 = g.copy()
+        victim = next(
+            e for e in g.edges if e.caller == "a" and e.callee == "c"
+        )
+        added = g2.add_edge("e", "x", "load_x")
+        self.update = self.plan.apply_delta(
+            GraphDelta(
+                added_nodes={"x": {}},
+                added_edges=(added,),
+                removed_edges=(victim,),
+            )
+        )
+
+    def snap(self, plan, path):
+        probe = DeltaPathProbe(plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        walk(probe, path)
+        return path[-1][2], probe.snapshot(path[-1][2])
+
+    def test_concurrent_producers_race_the_swap(self):
+        import threading
+
+        from repro.service import ContextService
+
+        pre_ace = self.snap(self.plan, self.PATH_ACE)
+        pre_bcd = self.snap(self.plan, self.PATH_BCD)
+        post_x = self.snap(self.update.plan, self.PATH_X)
+        PRE, POST = 150, 120
+
+        halfway = threading.Event()
+        swapped = threading.Event()
+        with ContextService(self.plan, workers=2, shards=4) as service:
+            def pre_producer(obs):
+                node, snapshot = obs
+                for i in range(PRE):
+                    service.submit(node, snapshot, plan=self.plan)
+                    if i == PRE // 2:
+                        halfway.set()
+
+            def post_producer():
+                swapped.wait(timeout=10)
+                node, snapshot = post_x
+                for _ in range(POST):
+                    service.submit(node, snapshot, plan=self.update.plan)
+
+            threads = [
+                threading.Thread(target=pre_producer, args=(pre_ace,)),
+                threading.Thread(target=pre_producer, args=(pre_bcd,)),
+                threading.Thread(target=post_producer),
+            ]
+            for t in threads:
+                t.start()
+            halfway.wait(timeout=10)
+            assert service.install_update(self.update) == 1
+            swapped.set()
+            for t in threads:
+                t.join(timeout=10)
+            service.flush()
+
+            m = service.service_metrics()
+            assert m["submitted"] == 2 * PRE + POST
+            assert m["aggregated"] == 2 * PRE + POST  # nothing lost
+            assert m["dropped"] == 0
+            assert m["decode_errors"] == 0  # no new-under-old decodes
+            assert m["epoch_mismatches"] == 0
+            assert m["hot_swaps"] == 1
+            tree = service.tree
+            assert tree.count_of(("main", "a", "c", "e")) == PRE
+            assert tree.count_of(("main", "b", "c", "d")) == PRE
+            assert tree.count_of(("main", "b", "c", "e", "x")) == POST
+            # The mixed-epoch signature path was never aggregated.
+            assert tree.count_of(("main", "b", "c", "e")) == 0
+
+    def test_queued_preswap_samples_drain_after_swap(self):
+        from repro.service import ContextService
+
+        node, snapshot = self.snap(self.plan, self.PATH_ACE)
+        with ContextService(self.plan, workers=1) as service:
+            for _ in range(64):
+                service.submit(node, snapshot, plan=self.plan)
+            # Swap while (at least some of) those samples are queued.
+            service.install_update(self.update)
+            service.flush()
+            assert service.tree.count_of(("main", "a", "c", "e")) == 64
+            assert service.tree.count_of(("main", "b", "c", "e")) == 0
+            m = service.service_metrics()
+            assert m["decode_errors"] == 0
+            assert m["epoch_mismatches"] == 0
+
+    def test_one_probe_across_the_swap_via_sink(self):
+        from repro.service import ContextService
+
+        with ContextService(self.plan) as service:
+            sink = service.sink()
+            probe = DeltaPathProbe(self.plan, cpt=True)
+            probe.begin_execution("main")
+            probe.enter_function("main")
+            walk(probe, self.PATH_BCD[:2] + [("c", "s6", "e")])
+            sink("e", probe.snapshot("e"), probe)  # stamped epoch 0
+
+            service.install_update(self.update)
+            probe.hot_swap(self.update, "e")
+            walk(probe, [("e", "load_x", "x")])
+            sink("x", probe.snapshot("x"), probe)  # stamped epoch 1
+
+            service.flush()
+            assert service.tree.count_of(("main", "b", "c", "e")) == 1
+            assert service.tree.count_of(("main", "b", "c", "e", "x")) == 1
+            m = service.service_metrics()
+            assert m["decode_errors"] == 0 and m["epoch_mismatches"] == 0

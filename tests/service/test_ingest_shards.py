@@ -1,0 +1,219 @@
+"""The ingestion pipeline (queue + workers) and sharded aggregation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import IngestOverflowError, ServiceError
+from repro.service.ingest import POLICIES, BoundedQueue, Sample, WorkerPool
+from repro.service.shards import ShardedContextTree
+
+
+def mk(i, epoch=0, weight=1):
+    return Sample(node=f"n{i}", stack=(), current_id=i, epoch=epoch,
+                  weight=weight)
+
+
+class TestBoundedQueue:
+    def test_fifo_and_batching(self):
+        q = BoundedQueue(capacity=8)
+        for i in range(5):
+            assert q.put(mk(i))
+        assert len(q) == 5
+        batch = q.get_batch(3)
+        assert [s.current_id for s in batch] == [0, 1, 2]
+        assert [s.current_id for s in q.get_batch(10)] == [3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            BoundedQueue(capacity=0)
+        with pytest.raises(ServiceError):
+            BoundedQueue(policy="yolo")
+        assert set(POLICIES) == {"block", "drop-newest", "drop-oldest", "error"}
+
+    def test_drop_newest(self):
+        q = BoundedQueue(capacity=2, policy="drop-newest")
+        assert q.put(mk(0)) and q.put(mk(1))
+        assert not q.put(mk(2))
+        assert q.dropped == 1
+        assert [s.current_id for s in q.get_batch(10)] == [0, 1]
+
+    def test_drop_oldest(self):
+        q = BoundedQueue(capacity=2, policy="drop-oldest")
+        q.put(mk(0))
+        q.put(mk(1))
+        assert q.put(mk(2))  # queued, but sample 0 was evicted
+        assert q.dropped == 1
+        assert [s.current_id for s in q.get_batch(10)] == [1, 2]
+
+    def test_error_policy(self):
+        q = BoundedQueue(capacity=1, policy="error")
+        q.put(mk(0))
+        with pytest.raises(IngestOverflowError):
+            q.put(mk(1))
+        assert q.dropped == 1
+
+    def test_block_timeout_drops(self):
+        q = BoundedQueue(capacity=1, policy="block")
+        q.put(mk(0))
+        assert not q.put(mk(1), timeout=0.01)
+        assert q.dropped == 1
+
+    def test_block_unblocks_when_drained(self):
+        q = BoundedQueue(capacity=1, policy="block")
+        q.put(mk(0))
+        done = []
+
+        def producer():
+            done.append(q.put(mk(1), timeout=5))
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.02)
+        assert q.get_batch(1)[0].current_id == 0
+        t.join(timeout=5)
+        assert done == [True]
+        assert q.get_batch(1)[0].current_id == 1
+
+    def test_close_rejects_puts_but_allows_draining(self):
+        q = BoundedQueue(capacity=4)
+        q.put(mk(0))
+        q.close()
+        assert q.closed
+        with pytest.raises(ServiceError):
+            q.put(mk(1))
+        assert [s.current_id for s in q.get_batch(10)] == [0]
+        assert q.get_batch(10) == []  # closed and empty: immediate []
+
+    def test_get_batch_timeout_on_empty(self):
+        q = BoundedQueue(capacity=4)
+        start = time.monotonic()
+        assert q.get_batch(1, timeout=0.01) == []
+        assert time.monotonic() - start < 1.0
+
+
+class TestWorkerPool:
+    def test_drains_everything_then_exits(self):
+        q = BoundedQueue(capacity=64)
+        seen = []
+        lock = threading.Lock()
+
+        def handler(batch):
+            with lock:
+                seen.extend(s.current_id for s in batch)
+
+        pool = WorkerPool(q, handler, workers=3, batch_size=7,
+                          poll_interval=0.01)
+        pool.start()
+        pool.start()  # idempotent
+        for i in range(200):
+            q.put(mk(i))
+        q.close()
+        pool.join(timeout=10)
+        assert not pool.alive
+        assert sorted(seen) == list(range(200))
+
+    def test_handler_errors_do_not_kill_workers(self):
+        q = BoundedQueue(capacity=64)
+        errors, ok = [], []
+        lock = threading.Lock()
+
+        def handler(batch):
+            for s in batch:
+                if s.current_id == 3:
+                    raise RuntimeError("bad sample")
+            with lock:
+                ok.extend(s.current_id for s in batch)
+
+        pool = WorkerPool(q, handler, workers=1, batch_size=1,
+                          on_error=errors.append, poll_interval=0.01)
+        pool.start()
+        for i in range(6):
+            q.put(mk(i))
+        q.close()
+        pool.join(timeout=10)
+        assert len(errors) == 1
+        assert isinstance(errors[0], RuntimeError)
+        assert sorted(ok) == [0, 1, 2, 4, 5]
+
+    def test_validation(self):
+        q = BoundedQueue()
+        with pytest.raises(ServiceError):
+            WorkerPool(q, lambda b: None, workers=0)
+        with pytest.raises(ServiceError):
+            WorkerPool(q, lambda b: None, batch_size=0)
+
+
+class TestShardedContextTree:
+    def test_counts_and_top_contexts(self):
+        tree = ShardedContextTree(shards=4)
+        tree.add(("main", "a"), weight=3)
+        tree.add(("main", "b"), weight=1)
+        tree.add(("main", "a", "c"), weight=2)
+        assert tree.total_samples == 6
+        assert tree.unique_contexts == 3
+        assert tree.count_of(("main", "a")) == 3
+        assert tree.count_of(("nope",)) == 0
+        top = tree.top_contexts(2)
+        assert top == [(3, ("main", "a")), (2, ("main", "a", "c"))]
+
+    def test_function_totals_inclusive_vs_leaf(self):
+        tree = ShardedContextTree(shards=2)
+        tree.add(("main", "a", "b"), weight=2)
+        tree.add(("main", "b"), weight=1)
+        leaf = tree.function_totals(leaf_only=True)
+        assert leaf == {"b": 3}
+        inclusive = tree.function_totals()
+        assert inclusive == {"main": 3, "a": 2, "b": 3}
+
+    def test_gap_accounting(self):
+        tree = ShardedContextTree()
+        tree.add(("main", "?"), has_gaps=True, weight=2)
+        tree.add(("main",))
+        assert tree.gap_samples == 2
+        assert tree.total_samples == 3
+
+    def test_merged_report_and_render(self):
+        tree = ShardedContextTree(shards=3)
+        tree.add(("main", "a"), weight=5)
+        tree.add(("main", "a", "b"), weight=2)
+        report = tree.merged_report()
+        assert report.hottest_paths(1)[0][0] == 5
+        out = tree.render()
+        assert "main" in out and "a" in out
+
+    def test_clear_and_stats(self):
+        tree = ShardedContextTree(shards=2)
+        for i in range(20):
+            tree.add(("main", f"f{i}"))
+        stats = tree.shard_stats()
+        assert stats.total == 20
+        assert stats.imbalance >= 1.0
+        tree.clear()
+        assert tree.total_samples == 0
+        assert tree.unique_contexts == 0
+        assert tree.shard_stats().imbalance == 1.0
+
+    def test_concurrent_adds_lose_nothing(self):
+        tree = ShardedContextTree(shards=4)
+        paths = [("main", f"f{i % 10}") for i in range(1000)]
+
+        def writer(chunk):
+            for p in chunk:
+                tree.add(p)
+
+        threads = [
+            threading.Thread(target=writer, args=(paths[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tree.total_samples == 1000
+        assert sum(c for c, _ in tree.top_contexts(10)) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedContextTree(shards=0)

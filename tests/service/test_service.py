@@ -1,0 +1,200 @@
+"""End-to-end ContextService: ingest -> decode -> aggregate -> query."""
+
+import pytest
+
+from repro.api import Encoder
+from repro.errors import ServiceError
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.collector import ContextCollector
+from repro.runtime.plan import build_plan_from_graph
+from repro.service import ContextService, ServiceConfig
+
+
+def sample_graph():
+    g = CallGraph("main")
+    g.add_edge("main", "a", "s1")
+    g.add_edge("main", "b", "s2")
+    g.add_edge("a", "c", "s3")
+    g.add_edge("b", "c", "s4")
+    g.add_edge("c", "d", "s5")
+    g.add_edge("c", "e", "s6")
+    return g
+
+
+def walk_snapshot(plan, path):
+    probe = DeltaPathProbe(plan, cpt=True)
+    probe.begin_execution(plan.graph.entry)
+    probe.enter_function(plan.graph.entry)
+    node = plan.graph.entry
+    for caller, label, callee in path:
+        probe.before_call(caller, label, callee)
+        probe.enter_function(callee)
+        node = callee
+    return node, probe.snapshot(node)
+
+
+PATH_ACE = [("main", "s1", "a"), ("a", "s3", "c"), ("c", "s6", "e")]
+PATH_BCD = [("main", "s2", "b"), ("b", "s4", "c"), ("c", "s5", "d")]
+
+
+@pytest.fixture
+def plan():
+    return build_plan_from_graph(sample_graph())
+
+
+class TestLifecycle:
+    def test_submit_before_start(self, plan):
+        service = ContextService(plan)
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with pytest.raises(ServiceError):
+            service.submit(node, snap)
+
+    def test_stop_is_final(self, plan):
+        service = ContextService(plan).start()
+        service.stop()
+        service.stop()  # idempotent
+        with pytest.raises(ServiceError):
+            service.start()
+
+    def test_context_manager(self, plan):
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with ContextService(plan) as service:
+            assert service.submit(node, snap)
+            service.flush()
+            assert service.top_contexts(1) == [(1, ("main", "a", "c", "e"))]
+
+    def test_config_xor_kwargs(self, plan):
+        with pytest.raises(ServiceError):
+            ContextService(plan, ServiceConfig(), shards=2)
+
+
+class TestEndToEnd:
+    def test_ingest_aggregate_query(self, plan):
+        ace = walk_snapshot(plan, PATH_ACE)
+        bcd = walk_snapshot(plan, PATH_BCD)
+        with ContextService(plan, shards=4, workers=2) as service:
+            for _ in range(3):
+                assert service.submit(*ace)
+            assert service.submit(*bcd, weight=2)
+            service.flush()
+
+            assert service.top_contexts(5) == [
+                (3, ("main", "a", "c", "e")),
+                (2, ("main", "b", "c", "d")),
+            ]
+            totals = service.function_totals()
+            assert totals["main"] == 5 and totals["c"] == 5
+            assert totals["e"] == 3 and totals["d"] == 2
+            leaf = service.function_totals(leaf_only=True)
+            assert leaf == {"e": 3, "d": 2}
+            assert service.ucp_stats() == {
+                "samples": 5, "gap_samples": 0, "gap_free_samples": 5,
+            }
+            assert service.report().hottest_paths(1)[0][0] == 3
+            assert "main" in service.render_report()
+
+    def test_submit_many_and_metrics(self, plan):
+        obs = [walk_snapshot(plan, PATH_ACE)] * 4
+        with ContextService(plan) as service:
+            assert service.submit_many(obs) == 4
+            service.flush()
+            m = service.service_metrics()
+            assert m["submitted"] == 4
+            assert m["aggregated"] == 4
+            assert m["dropped"] == 0
+            assert m["decode_errors"] == 0
+            assert m["epoch_mismatches"] == 0
+            assert m["unique_contexts"] == 1
+            assert m["epochs_retained"] == [0]
+            assert m["shards"]["count"] == 8
+            # Three repeats after the first hit the context cache.
+            assert m["caches"]["contexts"]["hits"] == 3
+
+    def test_decode_error_is_counted_not_fatal(self, plan):
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with ContextService(plan) as service:
+            assert service.submit("not-a-node", snap)
+            assert service.submit(node, snap)
+            service.flush()
+            m = service.service_metrics()
+            assert m["decode_errors"] == 1
+            assert m["aggregated"] == 1
+            assert any("not-a-node" in e for e in m["recent_errors"])
+            assert service.top_contexts(1) == [(1, ("main", "a", "c", "e"))]
+
+
+class TestCollectorSink:
+    def test_collector_streams_into_service(self, plan):
+        with ContextService(plan) as service:
+            collector = ContextCollector(sink=service.sink())
+            probe = DeltaPathProbe(plan, cpt=True)
+            probe.begin_execution("main")
+            probe.enter_function("main")
+            collector.on_entry("main", 1, probe)
+            for caller, label, callee in PATH_ACE:
+                probe.before_call(caller, label, callee)
+                probe.enter_function(callee)
+                collector.on_entry(callee, 1, probe)
+            service.flush()
+            assert service.tree.total_samples == 4  # main, a, c, e entries
+            assert service.tree.count_of(("main", "a", "c", "e")) == 1
+            assert collector.stats().total_contexts == 4
+
+    def test_sink_without_probe_uses_current_epoch(self, plan):
+        with ContextService(plan) as service:
+            node, snap = walk_snapshot(plan, PATH_ACE)
+            service.sink()(node, snap)  # probe omitted
+            service.flush()
+            assert service.tree.total_samples == 1
+
+
+class TestCollectorTruthModes:
+    def drive(self, plan, collector):
+        probe = DeltaPathProbe(plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        collector.on_entry("main", 1, probe)
+        for caller, label, callee in PATH_ACE:
+            probe.before_call(caller, label, callee)
+            probe.enter_function(callee)
+            collector.on_entry(callee, 1, probe)
+
+    def test_default_retains_no_truth(self, plan):
+        collector = ContextCollector()
+        self.drive(plan, collector)
+        assert collector.stats().unique_truth is None
+        assert not collector.truth_unique
+
+    def test_track_truth_counts_without_retaining(self, plan):
+        collector = ContextCollector(track_truth=True)
+        self.drive(plan, collector)
+        assert collector.stats().unique_truth == 4
+        assert collector.stats().collisions == 0
+        assert not collector.truth_unique  # digests only
+
+    def test_retain_truth_keeps_tuples(self, plan):
+        collector = ContextCollector(retain_truth=True)
+        assert collector.track_truth  # implied
+        self.drive(plan, collector)
+        assert collector.stats().unique_truth == 4
+        assert ("e", ("main", "a", "c", "e")) in collector.truth_unique
+
+
+class TestEncoderFacade:
+    def test_encoder_service(self, plan):
+        enc = Encoder()
+        service = enc.service(plan, workers=1, shards=2)
+        assert isinstance(service, ContextService)
+        assert service.config.workers == 1
+        node, snap = walk_snapshot(plan, PATH_BCD)
+        with service:
+            service.submit(node, snap)
+            service.flush()
+            assert service.top_contexts(1) == [(1, ("main", "b", "c", "d"))]
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.ContextService is ContextService
+        assert repro.ServiceConfig is ServiceConfig
