@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.analysis.callgraph_builder import Policy, call_sites_of
 from repro.errors import GraphError
 from repro.graph.callgraph import CallEdge, CallGraph
@@ -162,19 +163,24 @@ def apply_delta(
     Validation: removed edges/nodes must exist, added edges must not,
     and the entry node cannot be removed.
     """
-    target = graph if in_place else graph.copy()
-    for edge in delta.removed_edges:
-        target.remove_edge(edge)
-    for name in delta.removed_nodes:
-        target.remove_node(name)
-    for name, attrs in delta.added_nodes.items():
-        target.add_node(name, **attrs)
-    for edge in delta.added_edges:
-        if edge.callee == target.entry:
-            raise GraphError(
-                f"delta edge {edge} would give the entry an incoming edge"
-            )
-        target.add_edge(edge.caller, edge.callee, edge.label)
+    with obs.span("delta.apply", delta=delta.summary()):
+        target = graph if in_place else graph.copy()
+        for edge in delta.removed_edges:
+            target.remove_edge(edge)
+        for name in delta.removed_nodes:
+            target.remove_node(name)
+        for name, attrs in delta.added_nodes.items():
+            target.add_node(name, **attrs)
+        for edge in delta.added_edges:
+            if edge.callee == target.entry:
+                raise GraphError(
+                    f"delta edge {edge} would give the entry an incoming "
+                    f"edge"
+                )
+            target.add_edge(edge.caller, edge.callee, edge.label)
+    registry = obs.get_registry()
+    registry.counter("delta.applied").inc()
+    registry.gauge("delta.last_touched_nodes").set(len(delta.touched_nodes()))
     return target
 
 
@@ -233,6 +239,19 @@ def delta_for_loaded_classes(
     the time a delta is built the class has been instantiated or is
     about to be invoked.
     """
+    with obs.span("delta.loaded_classes") as sp:
+        delta = _delta_for_loaded_classes(program, graph, loaded, policy)
+        sp.set("summary", delta.summary())
+    obs.counter("delta.loaded_scans").inc()
+    return delta
+
+
+def _delta_for_loaded_classes(
+    program: Program,
+    graph: CallGraph,
+    loaded: Iterable[str],
+    policy: Policy = Policy.ZERO_CFA,
+) -> GraphDelta:
     program.validate()
     known_classes = _graph_world(program, graph)
     loaded_new = [

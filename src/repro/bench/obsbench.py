@@ -1,0 +1,254 @@
+"""``obs-bench``: what the observability layer itself costs.
+
+The paper's argument is that context encoding is cheap enough to leave
+on in production; ``repro.obs`` must clear the same bar, or its numbers
+measure the instrumentation instead of the encoder. Two studies:
+
+1. **Probe hot-loop overhead.** The probe cycle
+   (``before_call``/``enter_function``/``snapshot``/``exit_function``/
+   ``after_call``) timed under four configurations: a baseline probe
+   whose ``snapshot`` has the pre-obs body, the shipped probe with
+   sampling disabled (the production default — one integer increment and
+   one test per snapshot), sampling every Nth snapshot, and sampling
+   plus an enabled tracer. The acceptance bar is disabled-mode overhead
+   within noise of the baseline (<= 5%).
+2. **Trace layer coverage.** One end-to-end traced lifecycle — plan
+   build, class-loading delta, live probe hot swap, service ingestion —
+   must produce spans from at least three layers (``encode``/``plan``,
+   ``probe``, ``service``), proving the Chrome trace export shows the
+   whole pipeline, not one subsystem.
+
+``python -m repro obs-bench [--smoke] [--json BENCH_obs.json]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.incremental import GraphDelta
+from repro.bench.reporting import Column, render_table, sci
+from repro.bench.servebench import write_bench_json
+from repro.core.widths import Width
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan_from_graph
+from repro.service import ContextService
+
+__all__ = [
+    "probe_overhead_study",
+    "trace_layers_demo",
+    "obs_bench",
+    "render_obs_bench",
+    "write_bench_json",
+]
+
+DEFAULT_DEPTH = 12
+DEFAULT_ITERATIONS = 600
+SMOKE_ITERATIONS = 60
+DEFAULT_REPEATS = 5
+SMOKE_REPEATS = 2
+DEFAULT_SAMPLE_RATE = 64
+
+
+class _BaselineProbe(DeltaPathProbe):
+    """The probe with the pre-obs ``snapshot`` body: the cost floor.
+
+    Overriding just ``snapshot`` isolates exactly what ``repro.obs``
+    added to the hot path (the sample counter, the rate test, and — when
+    sampling — the timed observation).
+    """
+
+    def snapshot(self, node):
+        if self._id > self.max_id_seen:
+            self.max_id_seen = self._id
+        return tuple(self._stack), self._id
+
+
+def _chain_workload(depth: int) -> Tuple[CallGraph, List[Tuple[str, str, str]]]:
+    """A straight call chain plus its (caller, label, callee) walk."""
+    graph = CallGraph("main")
+    path = []
+    prev = "main"
+    for d in range(depth):
+        node = f"w{d}"
+        graph.add_edge(prev, node, f"c{d}")
+        path.append((prev, f"c{d}", node))
+        prev = node
+    return graph, path
+
+
+def _time_loop(probe: DeltaPathProbe, path, iterations: int) -> float:
+    """Run ``iterations`` full descend/snapshot/unwind cycles; seconds."""
+    probe.begin_execution("main")
+    probe.enter_function("main")
+    start = time.perf_counter()
+    for _ in range(iterations):
+        for caller, label, callee in path:
+            probe.before_call(caller, label, callee)
+            probe.enter_function(callee)
+            probe.snapshot(callee)
+        for caller, label, callee in reversed(path):
+            probe.exit_function(callee)
+            probe.after_call(caller, label, callee)
+    elapsed = time.perf_counter() - start
+    probe.end_execution()
+    return elapsed
+
+
+def probe_overhead_study(
+    *,
+    depth: int = DEFAULT_DEPTH,
+    iterations: int = DEFAULT_ITERATIONS,
+    repeats: int = DEFAULT_REPEATS,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+) -> List[Dict[str, object]]:
+    """Per-op probe cost under each observability mode.
+
+    One "op" is a full call-edge cycle: ``before_call`` + ``enter`` +
+    ``snapshot`` + ``exit`` + ``after_call``. Each configuration is
+    timed ``repeats`` times and the fastest run kept — scheduler noise
+    only ever inflates. The previous obs configuration is restored on
+    exit.
+    """
+    graph, path = _chain_workload(depth)
+    plan = build_plan_from_graph(graph, width=Width(32))
+    configs = [
+        ("baseline", _BaselineProbe, 0, False),
+        ("disabled", DeltaPathProbe, 0, False),
+        ("sampled", DeltaPathProbe, sample_rate, False),
+        ("traced", DeltaPathProbe, sample_rate, True),
+    ]
+    prev_rate = obs.probe_sample_rate()
+    prev_tracing = obs.tracing_enabled()
+    rows: List[Dict[str, object]] = []
+    try:
+        for name, probe_cls, rate, tracing in configs:
+            obs.configure(probe_sample_rate=rate, tracing=tracing)
+            best = min(
+                _time_loop(probe_cls(plan, cpt=True), path, iterations)
+                for _ in range(repeats)
+            )
+            ops = iterations * len(path)
+            rows.append({"config": name, "ns_per_op": best / ops * 1e9})
+    finally:
+        obs.configure(probe_sample_rate=prev_rate, tracing=prev_tracing)
+    base = rows[0]["ns_per_op"]
+    for row in rows:
+        row["overhead_pct"] = (row["ns_per_op"] / base - 1.0) * 100.0
+    return rows
+
+
+def trace_layers_demo() -> Dict[str, object]:
+    """One traced lifecycle touching every instrumented layer.
+
+    Build a plan (``plan.*``/``encode.*`` spans), apply a class-loading
+    delta to it (``plan.apply_delta``), hot-swap a live probe
+    (``probe.hot_swap``), walk into the loaded class and ingest the
+    snapshot through the service (``service.batch``). Runs with the
+    default tracer forced on; the previous enabled state is restored.
+    """
+    tracer = obs.get_tracer()
+    prev = tracer.enabled
+    before = len(tracer)
+    tracer.enabled = True
+    try:
+        graph, path = _chain_workload(6)
+        plan = build_plan_from_graph(graph, width=Width(32))
+        mid = path[2][2]
+        g2 = graph.copy()
+        edge = g2.add_edge(mid, "plugin.m", "load")
+        delta = GraphDelta(added_nodes={"plugin.m": {}}, added_edges=(edge,))
+        update = plan.apply_delta(delta)
+
+        probe = DeltaPathProbe(plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        for caller, label, callee in path[:3]:
+            probe.before_call(caller, label, callee)
+            probe.enter_function(callee)
+        probe.hot_swap(update, mid)
+        probe.before_call(mid, "load", "plugin.m")
+        probe.enter_function("plugin.m")
+        snapshot = probe.snapshot("plugin.m")
+
+        with ContextService(update.plan, workers=1, shards=2) as service:
+            service.submit("plugin.m", snapshot, plan=update.plan)
+            service.flush()
+    finally:
+        tracer.enabled = prev
+    return {
+        "events": len(tracer) - before,
+        "layers": sorted(tracer.layers()),
+        "spans": sorted(tracer.span_names()),
+    }
+
+
+def obs_bench(
+    smoke: bool = False,
+    *,
+    depth: int = DEFAULT_DEPTH,
+    iterations: Optional[int] = None,
+    repeats: Optional[int] = None,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+) -> Dict[str, object]:
+    """Run both studies; returns the JSON-ready result dict.
+
+    The ``registry`` key is the flattened process registry — the same
+    dotted namespace (``service.submitted``, ``probe.hot_swap_us`` ...)
+    that ``serve-bench`` embeds in BENCH_serve.json.
+    """
+    if iterations is None:
+        iterations = SMOKE_ITERATIONS if smoke else DEFAULT_ITERATIONS
+    if repeats is None:
+        repeats = SMOKE_REPEATS if smoke else DEFAULT_REPEATS
+    overhead = probe_overhead_study(
+        depth=depth,
+        iterations=iterations,
+        repeats=repeats,
+        sample_rate=sample_rate,
+    )
+    trace = trace_layers_demo()
+    return {
+        "benchmark": "obs-bench",
+        "smoke": smoke,
+        "workload": {
+            "depth": depth,
+            "iterations": iterations,
+            "repeats": repeats,
+            "sample_rate": sample_rate,
+        },
+        "overhead": overhead,
+        "trace": trace,
+        "registry": obs.flatten(),
+    }
+
+
+_OVERHEAD_COLUMNS: List[Column] = [
+    ("config", "config", str),
+    ("ns_per_op", "ns/op", sci),
+    ("overhead_pct", "overhead %", sci),
+]
+
+
+def render_obs_bench(result: Dict[str, object]) -> str:
+    """Human-readable report of one :func:`obs_bench` run."""
+    lines = [
+        render_table(
+            result["overhead"],
+            _OVERHEAD_COLUMNS,
+            title=(
+                "obs-bench probe hot-loop cost "
+                "(op = call + enter + snapshot + exit + return)"
+            ),
+        ),
+        "",
+    ]
+    trace = result["trace"]
+    lines.append(
+        f"trace demo: {trace['events']} events across layers: "
+        + ", ".join(trace["layers"])
+    )
+    lines.append("spans: " + ", ".join(trace["spans"]))
+    return "\n".join(lines)

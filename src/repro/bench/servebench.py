@@ -278,7 +278,10 @@ def ingest_study(
     if errors:  # pragma: no cover - producer failure is a bench bug
         raise errors[0]
 
-    metrics = service.service_metrics()
+    # stats() = service_metrics() plus the flattened obs registry, so
+    # BENCH_serve.json and BENCH_obs.json share one metric namespace
+    # (dotted names like ``service.submitted``).
+    metrics = service.stats()
     total_submitted = metrics["submitted"]
     plugin_count = service.function_totals().get("plugin.m", 0)
     result = {
@@ -298,6 +301,7 @@ def ingest_study(
         "shard_imbalance": metrics["shards"]["imbalance"],
         "decode_p50_us": metrics["decode_latency"]["p50_us"],
         "decode_p99_us": metrics["decode_latency"]["p99_us"],
+        "registry": metrics["registry"],
     }
     service.stop()
     return result

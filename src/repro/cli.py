@@ -11,20 +11,30 @@ Usage::
     python -m repro scaling [--benchmark crypto.rsa]
     python -m repro incremental [--sizes 64 256 1024]
     python -m repro serve-bench [--quick] [--json BENCH_serve.json]
+    python -m repro obs [--format prometheus|json]
+    python -m repro obs-bench [--smoke] [--json BENCH_obs.json]
     python -m repro decode-demo
     python -m repro list
 
 ``deltapath-repro`` (the installed console script) is the same program.
 Every subcommand is enumerated with a one-line description by
 ``python -m repro --help``; each also has its own ``--help``.
+
+Every subcommand additionally takes ``--metrics-out PATH`` (dump the
+:mod:`repro.obs` registry after the run: JSON flatten, or Prometheus
+text when PATH ends in ``.prom``) and ``--trace-out PATH`` (enable the
+tracer and write a Chrome trace-event JSON loadable in
+``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.workloads.specjvm import benchmark_names
 
 __all__ = ["main", "build_parser", "COMMANDS"]
@@ -36,11 +46,27 @@ COMMANDS: List[Tuple[str, str]] = []
 
 
 def _command(sub, name: str, description: str, **kwargs):
-    """Register a subcommand so ``--help`` enumerates it."""
+    """Register a subcommand so ``--help`` enumerates it.
+
+    Every subcommand gets the observability artifact flags: the
+    registry and the tracer are process-wide, so any run can export
+    what it touched.
+    """
     COMMANDS.append((name, description))
-    return sub.add_parser(
+    parser = sub.add_parser(
         name, help=description, description=description, **kwargs
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the obs registry after the run (JSON flatten; "
+             "Prometheus text when PATH ends in .prom)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable tracing and write Chrome trace-event JSON "
+             "(chrome://tracing / Perfetto)",
+    )
+    return parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +151,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full result as JSON (BENCH_*.json artifact)",
     )
 
+    pob = _command(
+        sub,
+        "obs",
+        "run a traced demo workload and print the metrics registry",
+    )
+    pob.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="registry output format (default: prometheus)",
+    )
+    pob.add_argument(
+        "--no-demo", action="store_true",
+        help="print the registry as-is, without the demo workload",
+    )
+
+    pb = _command(
+        sub,
+        "obs-bench",
+        "observability overhead: probe hot loop + trace layer coverage",
+    )
+    pb.add_argument(
+        "--smoke", action="store_true",
+        help="tiny iteration counts (CI smoke size)",
+    )
+    pb.add_argument("--depth", type=int, default=None)
+    pb.add_argument("--iterations", type=int, default=None)
+    pb.add_argument("--repeats", type=int, default=None)
+    pb.add_argument("--sample-rate", type=int, default=64)
+    pb.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full result as JSON (BENCH_obs.json artifact)",
+    )
+
     _command(sub, "list", "list available benchmarks")
     _command(
         sub,
@@ -153,7 +211,38 @@ def _validate_benchmarks(names: Optional[List[str]]) -> Optional[List[str]]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        obs.configure(tracing=True)
+    if (metrics_out or trace_out) and not obs.probe_sample_rate():
+        # Exporting implies the user wants probe.snapshot_us too; any
+        # probes built during the run sample every 64th snapshot.
+        obs.configure(probe_sample_rate=64)
+    try:
+        return _dispatch(args)
+    finally:
+        # Artifacts are written even when the run fails: a partial
+        # trace of a crashed run is exactly when you want one.
+        if metrics_out:
+            _write_metrics(metrics_out)
+            print(f"wrote {metrics_out}")
+        if trace_out:
+            obs.get_tracer().write_chrome(trace_out)
+            print(f"wrote {trace_out}")
 
+
+def _write_metrics(path: str) -> None:
+    if path.endswith(".prom"):
+        with open(path, "w") as fh:
+            fh.write(obs.expose_prometheus())
+        return
+    with open(path, "w") as fh:
+        json.dump(obs.flatten(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         print("\n".join(benchmark_names()))
         return 0
@@ -261,6 +350,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             top=args.top,
         )
         print(render_serve_bench(result))
+        if args.json:
+            write_bench_json(result, args.json)
+            print(f"\nwrote {args.json}")
+        return 0
+
+    if args.command == "obs":
+        if not args.no_demo:
+            from repro.bench.obsbench import trace_layers_demo
+
+            info = trace_layers_demo()
+            print(
+                f"demo: traced {info['events']} events across layers: "
+                + ", ".join(info["layers"])
+            )
+            print()
+        if args.format == "json":
+            print(json.dumps(obs.flatten(), indent=2, sort_keys=True))
+        else:
+            print(obs.expose_prometheus(), end="")
+        return 0
+
+    if args.command == "obs-bench":
+        from repro.bench.obsbench import (
+            obs_bench,
+            render_obs_bench,
+            write_bench_json,
+        )
+
+        result = obs_bench(
+            smoke=args.smoke,
+            **{
+                key: value
+                for key, value in (
+                    ("depth", args.depth),
+                    ("iterations", args.iterations),
+                    ("repeats", args.repeats),
+                    ("sample_rate", args.sample_rate),
+                )
+                if value is not None
+            },
+        )
+        print(render_obs_bench(result))
         if args.json:
             write_bench_json(result, args.json)
             print(f"\nwrote {args.json}")

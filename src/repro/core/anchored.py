@@ -26,10 +26,12 @@ genuinely too small for the graph's in-degrees and we raise
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.territories import Territories, identify_territories
 from repro.core.widths import UNBOUNDED, Width
 from repro.errors import (
@@ -274,50 +276,78 @@ def encode_anchored(
             max_restarts = positional.get("max_restarts")
         if edge_priority is defaults[3]:
             edge_priority = positional.get("edge_priority")
-    acyclic, removed = remove_recursion(graph)
-    entry = acyclic.entry
-    anchors: List[str] = [entry]
-    for extra in initial_anchors:
-        if extra not in acyclic:
-            raise EncodingError(f"initial anchor {extra!r} is not a node")
-        if extra not in anchors:
-            anchors.append(extra)
-    if max_restarts is None:
-        max_restarts = len(acyclic.nodes) + 1
+    t_start = time.perf_counter()
+    with obs.span(
+        "encode.anchored", nodes=len(graph.nodes), width=str(width)
+    ) as sp:
+        with obs.span("encode.scc"):
+            acyclic, removed = remove_recursion(graph)
+        entry = acyclic.entry
+        anchors: List[str] = [entry]
+        for extra in initial_anchors:
+            if extra not in acyclic:
+                raise EncodingError(f"initial anchor {extra!r} is not a node")
+            if extra not in anchors:
+                anchors.append(extra)
+        if max_restarts is None:
+            max_restarts = len(acyclic.nodes) + 1
 
-    restarts = 0
-    while True:
-        try:
-            encoding = _encode_once(
-                acyclic, removed, width, anchors, restarts, edge_priority
-            )
-            if strict_reachability:
-                dead = [
-                    site
-                    for site in acyclic.call_sites
-                    if not encoding.territories.node_anchors(site.caller)
-                ]
-                if dead:
-                    raise UnreachableCallerError(
-                        f"{len(dead)} call site(s) have callers unreachable "
-                        f"from {entry!r}: "
-                        f"{', '.join(str(s) for s in dead[:5])}",
-                        sites=dead,
-                    )
-            return encoding
-        except _Overflow as overflow:
-            restarts += 1
-            if restarts > max_restarts:
-                raise EncodingOverflowError(
-                    f"gave up after {restarts - 1} restarts (width {width})"
+        restarts = 0
+        while True:
+            try:
+                encoding = _encode_once(
+                    acyclic, removed, width, anchors, restarts, edge_priority
                 )
-            _grow_anchors(acyclic, anchors, overflow.edge, width)
+                if strict_reachability:
+                    dead = [
+                        site
+                        for site in acyclic.call_sites
+                        if not encoding.territories.node_anchors(site.caller)
+                    ]
+                    if dead:
+                        raise UnreachableCallerError(
+                            f"{len(dead)} call site(s) have callers "
+                            f"unreachable from {entry!r}: "
+                            f"{', '.join(str(s) for s in dead[:5])}",
+                            sites=dead,
+                        )
+                sp.set("anchors", len(anchors))
+                sp.set("restarts", restarts)
+                _record_encode_metrics(encoding, t_start)
+                return encoding
+            except _Overflow as overflow:
+                restarts += 1
+                if restarts > max_restarts:
+                    raise EncodingOverflowError(
+                        f"gave up after {restarts - 1} restarts "
+                        f"(width {width})"
+                    )
+                _grow_anchors(acyclic, anchors, overflow.edge, width)
+
+
+def _record_encode_metrics(
+    encoding: AnchoredEncoding, t_start: float
+) -> None:
+    registry = obs.get_registry()
+    registry.counter("encode.runs").inc()
+    registry.counter("encode.restarts").inc(encoding.restarts)
+    registry.histogram("encode.duration_us").observe(
+        time.perf_counter() - t_start
+    )
+    registry.gauge("encode.last_nodes").set(len(encoding.graph.nodes))
+    registry.gauge("encode.last_sites").set(len(encoding.av))
+    registry.gauge("encode.last_anchors").set(len(encoding.anchors))
+    territory_nodes = sum(
+        len(reaching) for reaching in encoding.territories.nanchors.values()
+    )
+    registry.gauge("encode.last_territory_nodes").set(territory_nodes)
 
 
 def _grow_anchors(
     graph: CallGraph, anchors: List[str], edge: CallEdge, width: Width
 ) -> None:
     """Paper Line 15 (+ the already-anchored fallback described above)."""
+    obs.counter("encode.anchor_growths").inc()
     anchor_set = set(anchors)
     if edge.caller not in anchor_set:
         anchors.append(edge.caller)
@@ -344,7 +374,9 @@ def _encode_once(
     edge_priority: Optional[Callable[[CallEdge], float]] = None,
 ) -> AnchoredEncoding:
     """One pass of Algorithm 2's main loop for a fixed anchor set."""
-    territories = identify_territories(acyclic, anchors)
+    obs.counter("encode.passes").inc()
+    with obs.span("encode.territories", anchors=len(anchors)):
+        territories = identify_territories(acyclic, anchors)
     anchor_set = set(anchors)
 
     cav: Dict[Tuple[str, str], int] = {}
@@ -372,26 +404,29 @@ def _encode_once(
                 cav[(edge.callee, anchor)] = value
         return a
 
-    for node in topological_order(acyclic):
-        incoming = acyclic.in_edges(node)
-        if edge_priority is not None:
-            incoming = sorted(incoming, key=edge_priority, reverse=True)
-        for edge in incoming:
-            site = edge.site
-            if site in processed:
-                continue
-            processed.add(site)
-            if not territories.edge_anchors(edge):
-                # Site in a node unreachable from any anchor (dead code
-                # relative to the entry): never executes, zero increment.
-                av[site] = 0
-                continue
-            av[site] = calculate_increment(site)
-        if node in anchor_set:
-            icc[(node, node)] = 1
-        else:
-            for anchor in territories.node_anchors(node):
-                icc[(node, anchor)] = cav[(node, anchor)]
+    with obs.span("encode.cav_icc", anchors=len(anchors)) as sp:
+        for node in topological_order(acyclic):
+            incoming = acyclic.in_edges(node)
+            if edge_priority is not None:
+                incoming = sorted(incoming, key=edge_priority, reverse=True)
+            for edge in incoming:
+                site = edge.site
+                if site in processed:
+                    continue
+                processed.add(site)
+                if not territories.edge_anchors(edge):
+                    # Site in a node unreachable from any anchor (dead code
+                    # relative to the entry): never executes, zero
+                    # increment.
+                    av[site] = 0
+                    continue
+                av[site] = calculate_increment(site)
+            if node in anchor_set:
+                icc[(node, node)] = 1
+            else:
+                for anchor in territories.node_anchors(node):
+                    icc[(node, anchor)] = cav[(node, anchor)]
+        sp.set("sites", len(av))
 
     return AnchoredEncoding(
         graph=acyclic,

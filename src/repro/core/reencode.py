@@ -40,9 +40,11 @@ incremental machinery cannot converge it falls back to a full
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.anchored import AnchoredEncoding, _grow_anchors, _Overflow, encode_anchored
 from repro.core.territories import Territories, _bounded_dfs
 from repro.core.widths import Width
@@ -99,6 +101,49 @@ def reencode(
     is kept (minus anchors whose nodes were removed) and may grow on
     overflow, exactly like the batch algorithm.
     """
+    t_start = time.perf_counter()
+    with obs.span(
+        "reencode.incremental", nodes=len(new_graph.nodes)
+    ) as sp:
+        result = _reencode(
+            new_graph,
+            old,
+            touched=touched,
+            width=width,
+            edge_priority=edge_priority,
+            max_restarts=max_restarts,
+        )
+        sp.set("dirty_nodes", len(result.dirty_nodes))
+        sp.set("dirty_anchors", len(result.dirty_anchors))
+        sp.set("fell_back", result.fell_back)
+    registry = obs.get_registry()
+    registry.counter("reencode.runs").inc()
+    registry.counter("reencode.restarts").inc(result.restarts)
+    if result.fell_back:
+        registry.counter("reencode.fallbacks").inc()
+    registry.histogram("reencode.duration_us").observe(
+        time.perf_counter() - t_start
+    )
+    registry.gauge("reencode.last_dirty_nodes").set(len(result.dirty_nodes))
+    registry.gauge("reencode.last_dirty_anchors").set(
+        len(result.dirty_anchors)
+    )
+    registry.gauge("reencode.last_sites_recomputed").set(
+        result.sites_recomputed
+    )
+    registry.gauge("reencode.last_sites_reused").set(result.sites_reused)
+    return result
+
+
+def _reencode(
+    new_graph: CallGraph,
+    old: AnchoredEncoding,
+    *,
+    touched: Optional[Set[str]] = None,
+    width: Optional[Width] = None,
+    edge_priority: Optional[Callable[[CallEdge], float]] = None,
+    max_restarts: Optional[int] = None,
+) -> ReencodeResult:
     if width is None:
         width = old.width
     if new_graph.entry != old.graph.entry:

@@ -86,6 +86,15 @@ class PlanSwapError(RuntimeEncodingError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The metrics registry or tracer was misused.
+
+    Raised by :mod:`repro.obs` when an instrument name is re-registered
+    with a different kind, or an instrument is constructed with invalid
+    bounds (e.g. a labeled counter with zero label capacity).
+    """
+
+
 class WorkloadError(ReproError):
     """A workload/benchmark specification is invalid."""
 

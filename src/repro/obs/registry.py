@@ -1,0 +1,401 @@
+"""Process-wide metric instruments and the registry that names them.
+
+Four instrument kinds, all thread-safe and allocation-free on their hot
+methods:
+
+* :class:`Counter` — monotonically increasing integer.
+* :class:`Gauge` — a last-written (or high-water-mark) value.
+* :class:`LatencyHistogram` — log2-bucketed microsecond histogram whose
+  ``observe`` is O(1): the bucket index is ``int(us).bit_length() - 1``,
+  not a threshold scan.
+* :class:`LabeledCounter` — a counter split by a string label with a
+  *bounded* label set: once ``max_labels`` distinct labels exist, new
+  labels fold into the ``__other__`` overflow bucket, so an error storm
+  with unique messages cannot grow memory without bound.
+
+A :class:`MetricsRegistry` names instruments (get-or-create, kind
+checked), snapshots them into plain dicts, flattens them into a dotted
+namespace, and renders Prometheus text exposition. Registries compose:
+``attach`` mounts a child registry (e.g. one service instance's scope)
+under its name, and every exporter walks the children, which is how
+``repro.service`` metrics and the cross-layer ``repro.obs`` metrics end
+up in one namespace.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LabeledCounter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, delta: int = 1) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` gives high-water-mark semantics."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram over microseconds.
+
+    Bucket ``i`` counts observations in ``[2**i, 2**(i+1))`` µs (bucket 0
+    also absorbs sub-microsecond observations). ``observe`` is O(1): the
+    bucket index is the bit length of the truncated microsecond value,
+    clamped to the bucket range — no threshold loop, no allocation.
+    """
+
+    BUCKETS = 32
+
+    __slots__ = ("name", "_counts", "_total", "_sum_us", "_max_us", "_lock")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counts = [0] * self.BUCKETS
+        self._total = 0
+        self._sum_us = 0.0
+        self._max_us = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        us = seconds * 1e6
+        self.observe_us(us)
+
+    def observe_us(self, us: float) -> None:
+        # floor(log2(us)) for us >= 2, clamped into [0, BUCKETS-1]; the
+        # int() truncation agrees with the bucket bounds because they are
+        # integral powers of two.
+        iv = int(us)
+        if iv < 2:
+            bucket = 0
+        else:
+            bucket = iv.bit_length() - 1
+            if bucket > self.BUCKETS - 1:
+                bucket = self.BUCKETS - 1
+        with self._lock:
+            self._counts[bucket] += 1
+            self._total += 1
+            self._sum_us += us
+            if us > self._max_us:
+                self._max_us = us
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    @property
+    def mean_us(self) -> float:
+        with self._lock:
+            return self._sum_us / self._total if self._total else 0.0
+
+    @property
+    def max_us(self) -> float:
+        with self._lock:
+            return self._max_us
+
+    @property
+    def sum_us(self) -> float:
+        with self._lock:
+            return self._sum_us
+
+    def bucket_counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def percentile_us(self, q: float) -> float:
+        """Upper bucket bound holding the ``q``-quantile (0 < q <= 1)."""
+        with self._lock:
+            if not self._total:
+                return 0.0
+            rank = q * self._total
+            seen = 0
+            for bucket, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    return float(2 ** (bucket + 1))
+            return float(2 ** self.BUCKETS)  # pragma: no cover
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_us, 3),
+            "p50_us": self.percentile_us(0.50),
+            "p99_us": self.percentile_us(0.99),
+            "max_us": round(self.max_us, 3),
+        }
+
+
+class LabeledCounter:
+    """A counter split by label, with bounded label cardinality.
+
+    The first ``max_labels`` distinct labels get their own bucket; every
+    later new label folds into :data:`OVERFLOW`. Existing labels keep
+    counting exactly whatever the arrival order was, so hot labels that
+    showed up early never lose precision to a late storm of unique ones.
+    """
+
+    OVERFLOW = "__other__"
+
+    __slots__ = ("name", "max_labels", "_counts", "_lock")
+
+    def __init__(self, name: str, max_labels: int = 64):
+        if max_labels < 1:
+            raise ObservabilityError("max_labels must be >= 1")
+        self.name = name
+        self.max_labels = max_labels
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, label: str, delta: int = 1) -> None:
+        with self._lock:
+            if label not in self._counts and len(self._counts) >= self.max_labels:
+                label = self.OVERFLOW
+            self._counts[label] = self._counts.get(label, 0) + delta
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+def _prom_name(*parts: str) -> str:
+    out = "_".join(p for p in parts if p)
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in out)
+
+
+def _prom_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+class MetricsRegistry:
+    """Named instruments plus attached child registries.
+
+    ``counter`` / ``gauge`` / ``histogram`` / ``labeled_counter`` are
+    get-or-create: the first call under a name fixes the instrument kind
+    and later calls must agree (a mismatch raises
+    :class:`~repro.errors.ObservabilityError`). Children attached with
+    :meth:`attach` appear in every exporter under their own name as a
+    namespace prefix.
+    """
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+        self._children: Dict[str, "MetricsRegistry"] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        return self._get(name, LatencyHistogram, lambda: LatencyHistogram(name))
+
+    def labeled_counter(self, name: str, max_labels: int = 64) -> LabeledCounter:
+        return self._get(
+            name, LabeledCounter, lambda: LabeledCounter(name, max_labels)
+        )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def attach(self, child: "MetricsRegistry") -> "MetricsRegistry":
+        """Mount ``child`` under its name; replaces a previous child of
+        the same name (the bounded, latest-wins behaviour wanted for
+        short-lived scopes like per-service registries)."""
+        if child is self:
+            raise ObservabilityError("a registry cannot attach itself")
+        with self._lock:
+            self._children[child.name] = child
+        return child
+
+    def detach(self, name: str) -> None:
+        with self._lock:
+            self._children.pop(name, None)
+
+    def children(self) -> Dict[str, "MetricsRegistry"]:
+        with self._lock:
+            return dict(self._children)
+
+    def reset(self) -> None:
+        """Drop every instrument and child (tests and benchmarks)."""
+        with self._lock:
+            self._instruments.clear()
+            self._children.clear()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def _items(self):
+        with self._lock:
+            return list(self._instruments.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Structured snapshot: one dict per instrument kind + children."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        labeled: Dict[str, Dict[str, int]] = {}
+        for name, instrument in self._items():
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            elif isinstance(instrument, LatencyHistogram):
+                histograms[name] = instrument.snapshot()
+            elif isinstance(instrument, LabeledCounter):
+                labeled[name] = instrument.snapshot()
+        out: Dict[str, object] = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "labeled": labeled,
+        }
+        children = {
+            name: child.snapshot() for name, child in self.children().items()
+        }
+        if children:
+            out["children"] = children
+        return out
+
+    def flatten(self) -> Dict[str, float]:
+        """The whole tree as one flat dotted-name -> number mapping."""
+        flat: Dict[str, float] = {}
+        for name, instrument in self._items():
+            if isinstance(instrument, Counter):
+                flat[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                flat[name] = instrument.value
+            elif isinstance(instrument, LatencyHistogram):
+                for key, value in instrument.snapshot().items():
+                    flat[f"{name}.{key}"] = value
+            elif isinstance(instrument, LabeledCounter):
+                for label, value in instrument.snapshot().items():
+                    flat[f"{name}.{label}"] = value
+        for child_name, child in self.children().items():
+            for key, value in child.flatten().items():
+                flat[f"{child_name}.{key}"] = value
+        return flat
+
+    def expose_prometheus(self) -> str:
+        """Prometheus text exposition format (v0.0.4) for the tree."""
+        lines: List[str] = []
+        self._expose_into(lines, prefix=self.name)
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def _expose_into(self, lines: List[str], prefix: str) -> None:
+        for name, instrument in sorted(self._items()):
+            metric = _prom_name(prefix, name)
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_prom_float(instrument.value)}")
+            elif isinstance(instrument, LatencyHistogram):
+                lines.append(f"# TYPE {metric} histogram")
+                counts = instrument.bucket_counts()
+                # Emit cumulative buckets up to the last non-empty one.
+                last = 0
+                for index, count in enumerate(counts):
+                    if count:
+                        last = index
+                cumulative = 0
+                for index in range(last + 1):
+                    cumulative += counts[index]
+                    bound = 2 ** (index + 1)
+                    lines.append(
+                        f'{metric}_bucket{{le="{bound}"}} {cumulative}'
+                    )
+                total = instrument.count
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+                lines.append(f"{metric}_sum {_prom_float(instrument.sum_us)}")
+                lines.append(f"{metric}_count {total}")
+            elif isinstance(instrument, LabeledCounter):
+                lines.append(f"# TYPE {metric} counter")
+                for label, value in sorted(instrument.snapshot().items()):
+                    lines.append(
+                        f'{metric}{{key="{_prom_label_value(label)}"}} {value}'
+                    )
+        for child_name, child in sorted(self.children().items()):
+            child._expose_into(lines, prefix=_prom_name(prefix, child_name))
+
+
+def _prom_float(value: float) -> str:
+    return repr(round(float(value), 6))

@@ -1,0 +1,204 @@
+"""Span tracing with Chrome trace-event and JSONL exporters.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("encode.anchored", width="16") as sp:
+        ...
+        sp.set("anchors", len(anchors))
+
+Spans nest (per-thread depth is recorded on each event), carry arbitrary
+attributes, and cost nothing when the tracer is disabled — ``span()``
+then returns a shared no-op whose ``__enter__``/``set``/``__exit__`` do
+no work and allocate nothing.
+
+Finished spans land in a bounded ring (newest win) and export two ways:
+
+* :meth:`Tracer.chrome_trace` / :meth:`Tracer.write_chrome` — the Chrome
+  trace-event JSON object format (``{"traceEvents": [...]}``, complete
+  ``"X"`` events plus instant ``"i"`` events), loadable in
+  ``chrome://tracing`` and Perfetto.
+* :meth:`Tracer.write_jsonl` — one raw event per line for ad-hoc
+  processing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+
+class _NoopSpan:
+    """Shared do-nothing span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span; records itself into its tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def set(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        tls = self._tracer._tls
+        self._depth = getattr(tls, "depth", 0)
+        tls.depth = self._depth + 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        end = time.perf_counter()
+        self._tracer._tls.depth = self._depth
+        self._tracer._record(
+            {
+                "name": self.name,
+                "ph": "X",
+                "ts": (self._start - self._tracer._epoch) * 1e6,
+                "dur": (end - self._start) * 1e6,
+                "tid": threading.get_ident(),
+                "depth": self._depth,
+                "args": self.attrs,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects span events; thread-safe; bounded memory."""
+
+    def __init__(self, enabled: bool = True, max_events: int = 100_000):
+        self.enabled = enabled
+        self._events: deque = deque(maxlen=max_events)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def instant(self, name: str, **attrs) -> None:
+        """A zero-duration marker event (Chrome ``"i"`` phase)."""
+        if not self.enabled:
+            return
+        self._record(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": (time.perf_counter() - self._epoch) * 1e6,
+                "tid": threading.get_ident(),
+                "depth": getattr(self._tls, "depth", 0),
+                "args": attrs,
+            }
+        )
+
+    def _record(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Access / export
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The events as a Chrome trace-event JSON object."""
+        pid = os.getpid()
+        trace_events = []
+        for event in self.events():
+            out = {
+                "name": event["name"],
+                "ph": event["ph"],
+                "ts": round(event["ts"], 3),
+                "pid": pid,
+                "tid": event["tid"],
+                "cat": str(event["name"]).split(".", 1)[0],
+                "args": _jsonable(event["args"]),
+            }
+            if event["ph"] == "X":
+                out["dur"] = round(event["dur"], 3)
+            else:
+                out["s"] = "t"
+            trace_events.append(out)
+        trace_events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for event in self.events():
+                record = dict(event)
+                record["args"] = _jsonable(record["args"])
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+
+    def span_names(self) -> List[str]:
+        """Distinct event names, insertion-ordered (test/CI helper)."""
+        seen: Dict[str, None] = {}
+        for event in self.events():
+            seen.setdefault(str(event["name"]), None)
+        return list(seen)
+
+    def layers(self) -> List[str]:
+        """Distinct top-level name components ("encode", "service", ...)."""
+        seen: Dict[str, None] = {}
+        for event in self.events():
+            seen.setdefault(str(event["name"]).split(".", 1)[0], None)
+        return list(seen)
+
+
+def _jsonable(args: Optional[Dict[str, object]]) -> Dict[str, object]:
+    if not args:
+        return {}
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out

@@ -42,8 +42,10 @@ Two implementation notes relative to the paper's Section 4.1:
 
 from __future__ import annotations
 
+import time
 from typing import Hashable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.stackmodel import EntryKind, StackEntry
 from repro.errors import PlanSwapError, RuntimeEncodingError
 from repro.graph.callgraph import CallSite
@@ -90,6 +92,15 @@ class DeltaPathProbe(Probe):
         self.max_stack_depth = 0
         self.max_id_seen = 0
         self.hot_swaps = 0
+        # Observability (repro.obs): with the default sample rate 0 the
+        # snapshot hot path pays one integer increment and one test; a
+        # rate N times every Nth snapshot into probe.snapshot_us.
+        self._obs_rate = obs.probe_sample_rate()
+        self._obs_n = 0
+        self._obs_hist = (
+            obs.histogram("probe.snapshot_us") if self._obs_rate else None
+        )
+        self._obs_tracer = obs.get_tracer() if self._obs_rate else None
 
     def _bind_plan(self, plan: DeltaPathPlan) -> None:
         """(Re)build the hot-path lookup tables from ``plan``.
@@ -315,6 +326,20 @@ class DeltaPathProbe(Probe):
         encoding (see :meth:`PlanUpdate.remap_snapshot`); the caller may
         retry at a later safe point or fall back to ``begin_execution``.
         """
+        t_start = time.perf_counter()
+        registry = obs.get_registry()
+        try:
+            with obs.span("probe.hot_swap", node=at_node):
+                self._hot_swap(update, at_node)
+        except PlanSwapError:
+            registry.counter("probe.hot_swap_failures").inc()
+            raise
+        registry.counter("probe.hot_swaps").inc()
+        registry.histogram("probe.hot_swap_us").observe(
+            time.perf_counter() - t_start
+        )
+
+    def _hot_swap(self, update: PlanUpdate, at_node: str) -> None:
         if update.old_plan is not self.plan:
             raise PlanSwapError(
                 "plan update was derived from a different plan than the "
@@ -390,7 +415,25 @@ class DeltaPathProbe(Probe):
         """The current encoding: ``(stack, ID)`` — hashable, decodable."""
         if self._id > self.max_id_seen:
             self.max_id_seen = self._id
+        self._obs_n = n = self._obs_n + 1
+        rate = self._obs_rate
+        if rate and not n % rate:
+            t0 = time.perf_counter()
+            out = (tuple(self._stack), self._id)
+            self._obs_hist.observe(time.perf_counter() - t0)
+            tracer = self._obs_tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "probe.snapshot", node=node, stack_depth=len(out[0])
+                )
+            return out
         return tuple(self._stack), self._id
+
+    def end_execution(self) -> None:
+        """Flush the sampled-observation tallies into the registry."""
+        if self._obs_rate and self._obs_n:
+            obs.counter("probe.snapshots").inc(self._obs_n)
+            self._obs_n = 0
 
     def context_metrics(self) -> dict:
         """Per-observation metrics for the Table 2 collector.

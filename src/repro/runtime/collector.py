@@ -31,6 +31,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional, Set, Tuple
 
+from repro import obs
+
 __all__ = ["ContextCollector", "CollectedStats"]
 
 
@@ -183,6 +185,16 @@ class ContextCollector:
 
     # ------------------------------------------------------------------
     def stats(self) -> CollectedStats:
+        # Gauges, not counters: stats() may be called repeatedly and the
+        # registry should always reflect the latest aggregate state.
+        registry = obs.get_registry()
+        registry.gauge("collector.total_contexts").set(self.total)
+        registry.gauge("collector.unique_encodings").set(len(self.unique))
+        registry.gauge("collector.max_depth").set(self.max_depth)
+        if self.track_truth:
+            registry.gauge("collector.unique_truth").set(
+                len(self._truth_digests)
+            )
         n = max(self.total, 1)
         mn = max(self._metrics_n, 1)
         return CollectedStats(

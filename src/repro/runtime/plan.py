@@ -17,6 +17,7 @@ on tuples the interpreter already has.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, replace as _dc_replace
 from typing import (
@@ -31,6 +32,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.analysis.callgraph_builder import Policy, build_callgraph
 from repro.analysis.incremental import GraphDelta, apply_delta as _apply_graph_delta
 from repro.core.anchored import AnchoredEncoding, encode_anchored
@@ -121,20 +123,29 @@ class DeltaPathPlan:
         built with ``application_only`` that is the *projected* graph,
         so project the delta before applying it.
         """
-        new_graph = _apply_graph_delta(self.graph, delta)
-        result = reencode(
-            new_graph,
-            self.encoding,
-            touched=delta.touched_nodes(),
-            max_restarts=max_restarts,
-        )
-        recursion = plan_recursion(new_graph)
-        sids = update_sids(self.sids, new_graph, delta)
-        new_plan = _assemble_plan(
-            new_graph, result.encoding, sids, recursion, self.zero_elided
-        )
-        promoted = frozenset(result.encoding.anchors) - frozenset(
-            self.encoding.anchors
+        t_start = time.perf_counter()
+        with obs.span("plan.apply_delta", delta=delta.summary()) as sp:
+            new_graph = _apply_graph_delta(self.graph, delta)
+            result = reencode(
+                new_graph,
+                self.encoding,
+                touched=delta.touched_nodes(),
+                max_restarts=max_restarts,
+            )
+            recursion = plan_recursion(new_graph)
+            sids = update_sids(self.sids, new_graph, delta)
+            new_plan = _assemble_plan(
+                new_graph, result.encoding, sids, recursion, self.zero_elided
+            )
+            promoted = frozenset(result.encoding.anchors) - frozenset(
+                self.encoding.anchors
+            )
+            sp.set("dirty_nodes", len(result.dirty_nodes))
+            sp.set("promoted_anchors", len(promoted))
+        registry = obs.get_registry()
+        registry.counter("plan.deltas_applied").inc()
+        registry.histogram("plan.apply_delta_us").observe(
+            time.perf_counter() - t_start
         )
         return PlanUpdate(
             old_plan=self,
@@ -199,26 +210,38 @@ def build_plan_from_graph(
             "elide_zero_av_sites", elide_zero_av_sites
         )
         initial_anchors = supplied.get("initial_anchors", initial_anchors)
-    if application_only:
-        selection = project_interesting(
-            graph,
-            lambda n: not graph.node_attrs(n).get("library", False),
-        )
-        encoded_graph = reattach_orphans(selection)
-    else:
-        encoded_graph = graph
+    t_start = time.perf_counter()
+    with obs.span("plan.build", nodes=len(graph.nodes)) as sp:
+        if application_only:
+            with obs.span("plan.project"):
+                selection = project_interesting(
+                    graph,
+                    lambda n: not graph.node_attrs(n).get("library", False),
+                )
+                encoded_graph = reattach_orphans(selection)
+        else:
+            encoded_graph = graph
 
-    recursion = plan_recursion(encoded_graph)
-    encoding = encode_anchored(
-        encoded_graph,
-        width=width,
-        edge_priority=edge_priority,
-        initial_anchors=initial_anchors,
-    )
-    sids = compute_sids(encoded_graph)
-    return _assemble_plan(
-        encoded_graph, encoding, sids, recursion, elide_zero_av_sites
-    )
+        with obs.span("plan.recursion"):
+            recursion = plan_recursion(encoded_graph)
+        encoding = encode_anchored(
+            encoded_graph,
+            width=width,
+            edge_priority=edge_priority,
+            initial_anchors=initial_anchors,
+        )
+        with obs.span("plan.sids"):
+            sids = compute_sids(encoded_graph)
+        with obs.span("plan.assemble"):
+            plan = _assemble_plan(
+                encoded_graph, encoding, sids, recursion, elide_zero_av_sites
+            )
+        sp.set("anchors", len(encoding.anchors))
+        sp.set("sites", len(plan.site_av))
+    registry = obs.get_registry()
+    registry.counter("plan.builds").inc()
+    registry.histogram("plan.build_us").observe(time.perf_counter() - t_start)
+    return plan
 
 
 def _assemble_plan(

@@ -1,10 +1,26 @@
-"""Service observability: counters and latency histograms.
+"""Service observability: a thin shim over the shared metrics registry.
 
-Everything the service does is counted — samples submitted, dropped,
-decoded, aggregated; batches drained; queue high-water mark; decode
-errors; hot swaps — and the two latencies that matter (per-sample decode,
-per-batch drain) go into power-of-two histograms. ``snapshot()`` flattens
-the whole thing into a plain dict for benchmarks, tests and the CLI.
+Historically this module owned its own counter and histogram classes;
+they are now generalized into :mod:`repro.obs` and ``ServiceMetrics``
+delegates every counter, gauge and latency histogram to a scoped
+:class:`~repro.obs.MetricsRegistry` (named ``service``) which it
+attaches to the process-wide registry — so service metrics share one
+namespace and one export path (Prometheus / JSON / ``repro obs``) with
+the encode, re-encode and probe metrics, with no duplicated counter
+definitions.
+
+The public surface is unchanged: the counters read as plain attributes,
+``count(name)`` increments, ``record_error`` keeps a bounded ring of
+recent messages, and ``snapshot()`` flattens everything into the same
+dict shape as before. ``LatencyHistogram`` is re-exported from
+:mod:`repro.obs` for compatibility (its ``observe`` is now O(1)).
+
+Error cardinality is bounded twice over: the ring keeps the last
+:data:`ServiceMetrics.ERROR_RING` messages, and the per-kind breakdown
+(``errors_by_kind``) caps distinct keys at
+:data:`ServiceMetrics.MAX_ERROR_KINDS` with an ``__other__`` overflow
+bucket, so an error storm with unique messages cannot grow memory
+without bound.
 """
 
 from __future__ import annotations
@@ -12,113 +28,83 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
+from repro import obs
+from repro.obs.registry import LatencyHistogram, MetricsRegistry
+
 __all__ = ["LatencyHistogram", "ServiceMetrics"]
 
 
-class LatencyHistogram:
-    """Log2-bucketed latency histogram over microseconds.
-
-    Bucket ``i`` counts observations in ``[2**i, 2**(i+1))`` µs (bucket 0
-    also absorbs sub-microsecond observations). Cheap enough for the hot
-    path: one comparison loop over ~32 buckets, no allocation.
-    """
-
-    BUCKETS = 32
-
-    def __init__(self):
-        self._counts = [0] * self.BUCKETS
-        self._total = 0
-        self._sum_us = 0.0
-        self._max_us = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, seconds: float) -> None:
-        us = seconds * 1e6
-        bucket = 0
-        threshold = 2.0
-        while us >= threshold and bucket < self.BUCKETS - 1:
-            threshold *= 2.0
-            bucket += 1
-        with self._lock:
-            self._counts[bucket] += 1
-            self._total += 1
-            self._sum_us += us
-            if us > self._max_us:
-                self._max_us = us
-
-    @property
-    def count(self) -> int:
-        return self._total
-
-    @property
-    def mean_us(self) -> float:
-        with self._lock:
-            return self._sum_us / self._total if self._total else 0.0
-
-    @property
-    def max_us(self) -> float:
-        return self._max_us
-
-    def percentile_us(self, q: float) -> float:
-        """Upper bucket bound holding the ``q``-quantile (0 < q <= 1)."""
-        with self._lock:
-            if not self._total:
-                return 0.0
-            rank = q * self._total
-            seen = 0
-            for bucket, count in enumerate(self._counts):
-                seen += count
-                if seen >= rank:
-                    return float(2 ** (bucket + 1))
-            return float(2 ** self.BUCKETS)  # pragma: no cover
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_us": round(self.mean_us, 3),
-            "p50_us": self.percentile_us(0.50),
-            "p99_us": self.percentile_us(0.99),
-            "max_us": round(self._max_us, 3),
-        }
-
-
 class ServiceMetrics:
-    """All of the service's counters behind one lock.
+    """The service's counters, registry-backed.
 
-    The counters are plain attributes mutated under :meth:`count`;
-    recent decode errors are kept in a bounded ring so operators can see
-    *why* samples failed without the list growing with traffic.
+    ``registry`` lets callers supply their own scope (tests); by default
+    each instance gets a fresh ``MetricsRegistry("service")`` so two
+    services never share counts, and the instance is attached to the
+    process-wide :func:`repro.obs.get_registry` (latest wins) so the
+    unified exporters see the live service.
     """
 
     ERROR_RING = 16
+    #: Cap on distinct error-kind labels (overflow folds into __other__).
+    MAX_ERROR_KINDS = 64
+    #: Truncation length for error-kind labels.
+    ERROR_KIND_CHARS = 120
 
-    def __init__(self):
+    _COUNTERS = (
+        "submitted",
+        "dropped",
+        "ingested",
+        "aggregated",
+        "decode_errors",
+        "epoch_mismatches",
+        "batches",
+        "hot_swaps",
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        attach: bool = True,
+    ):
+        self.registry = (
+            registry if registry is not None else MetricsRegistry("service")
+        )
+        if attach and self.registry is not obs.get_registry():
+            obs.get_registry().attach(self.registry)
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.dropped = 0
-        self.ingested = 0
-        self.aggregated = 0
-        self.decode_errors = 0
-        self.epoch_mismatches = 0
-        self.batches = 0
-        self.queue_peak = 0
-        self.hot_swaps = 0
-        self.decode_latency = LatencyHistogram()
-        self.batch_latency = LatencyHistogram()
         self._recent_errors: List[str] = []
+        for name in self._COUNTERS:
+            self.registry.counter(name)
+        self.registry.gauge("queue_peak")
+        self.decode_latency = self.registry.histogram("decode_latency_us")
+        self.batch_latency = self.registry.histogram("batch_latency_us")
+        self._error_kinds = self.registry.labeled_counter(
+            "errors_by_kind", max_labels=self.MAX_ERROR_KINDS
+        )
+
+    # ------------------------------------------------------------------
+    # Compatibility surface
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        # Only consulted for names not found normally: expose the
+        # counters (and queue peak) as the plain attributes they were.
+        if name in ServiceMetrics._COUNTERS:
+            return self.registry.counter(name).value
+        if name == "queue_peak":
+            return int(self.registry.gauge(name).value)
+        raise AttributeError(name)
 
     def count(self, name: str, delta: int = 1) -> None:
-        with self._lock:
-            setattr(self, name, getattr(self, name) + delta)
+        self.registry.counter(name).inc(delta)
 
     def observe_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            if depth > self.queue_peak:
-                self.queue_peak = depth
+        self.registry.gauge("queue_peak").set_max(depth)
 
     def record_error(self, message: str) -> None:
+        self.registry.counter("decode_errors").inc()
+        self._error_kinds.inc(message[: self.ERROR_KIND_CHARS])
         with self._lock:
-            self.decode_errors += 1
             self._recent_errors.append(message)
             del self._recent_errors[: -self.ERROR_RING]
 
@@ -128,19 +114,13 @@ class ServiceMetrics:
             return list(self._recent_errors)
 
     def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, object]:
-        with self._lock:
-            out: Dict[str, object] = {
-                "submitted": self.submitted,
-                "dropped": self.dropped,
-                "ingested": self.ingested,
-                "aggregated": self.aggregated,
-                "decode_errors": self.decode_errors,
-                "epoch_mismatches": self.epoch_mismatches,
-                "batches": self.batches,
-                "queue_peak": self.queue_peak,
-                "hot_swaps": self.hot_swaps,
-                "recent_errors": list(self._recent_errors),
-            }
+        out: Dict[str, object] = {
+            name: self.registry.counter(name).value
+            for name in self._COUNTERS
+        }
+        out["queue_peak"] = int(self.registry.gauge("queue_peak").value)
+        out["recent_errors"] = self.recent_errors
+        out["errors_by_kind"] = self._error_kinds.snapshot()
         out["decode_latency"] = self.decode_latency.snapshot()
         out["batch_latency"] = self.batch_latency.snapshot()
         if queue_depth is not None:

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import DecodingError, EpochError, ServiceError
 from repro.postprocess import ContextTreeReport
 from repro.runtime.plan import DeltaPathPlan, PlanUpdate
@@ -246,26 +247,27 @@ class ContextService:
     # ------------------------------------------------------------------
     def _handle_batch(self, batch: Sequence[Sample]) -> None:
         start = time.perf_counter()
-        for sample in batch:
-            self.metrics.count("ingested")
-            t0 = time.perf_counter()
-            try:
-                path, has_gaps, used_epoch = self.engine.decode_path(
-                    sample.node, sample.snapshot, epoch=sample.epoch
-                )
-            except (DecodingError, EpochError) as exc:
-                self.metrics.record_error(
-                    f"{sample.node}@epoch{sample.epoch}: {exc}"
-                )
-                continue
-            self.metrics.decode_latency.observe(time.perf_counter() - t0)
-            if used_epoch != sample.epoch:  # pragma: no cover - invariant
-                self.metrics.count("epoch_mismatches")
-                continue
-            self.tree.add(path, has_gaps, sample.weight)
-            self.metrics.count("aggregated")
-        self.metrics.count("batches")
-        self.metrics.batch_latency.observe(time.perf_counter() - start)
+        with obs.span("service.batch", samples=len(batch)):
+            for sample in batch:
+                self.metrics.count("ingested")
+                t0 = time.perf_counter()
+                try:
+                    path, has_gaps, used_epoch = self.engine.decode_path(
+                        sample.node, sample.snapshot, epoch=sample.epoch
+                    )
+                except (DecodingError, EpochError) as exc:
+                    self.metrics.record_error(
+                        f"{sample.node}@epoch{sample.epoch}: {exc}"
+                    )
+                    continue
+                self.metrics.decode_latency.observe(time.perf_counter() - t0)
+                if used_epoch != sample.epoch:  # pragma: no cover - invariant
+                    self.metrics.count("epoch_mismatches")
+                    continue
+                self.tree.add(path, has_gaps, sample.weight)
+                self.metrics.count("aggregated")
+            self.metrics.count("batches")
+            self.metrics.batch_latency.observe(time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Query API
@@ -310,4 +312,21 @@ class ContextService:
         }
         out["epochs_retained"] = self.engine.retained_epochs()
         out["unique_contexts"] = self.tree.unique_contexts
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """:meth:`service_metrics` plus the flat registry namespace.
+
+        ``registry`` holds the same dotted names
+        (``service.submitted``, ``service.decode_latency_us.p99_us``,
+        ...) that the process-wide exporters (``repro obs``,
+        ``--metrics-out``, Prometheus) publish — one metric namespace
+        shared by ``BENCH_serve.json`` and ``BENCH_obs.json``.
+        """
+        out = self.service_metrics()
+        registry = self.metrics.registry
+        out["registry"] = {
+            f"{registry.name}.{key}": value
+            for key, value in registry.flatten().items()
+        }
         return out

@@ -1,0 +1,264 @@
+"""repro.obs.registry: instruments, thread safety, exporters."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LabeledCounter,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestLatencyHistogramBuckets:
+    @staticmethod
+    def reference_bucket(us):
+        """The O(BUCKETS) threshold scan the bit-length trick replaces."""
+        iv = int(us)
+        if iv < 2:
+            return 0
+        bucket = 0
+        for b in range(LatencyHistogram.BUCKETS):
+            if iv >= 2 ** b:
+                bucket = b
+        return min(bucket, LatencyHistogram.BUCKETS - 1)
+
+    @pytest.mark.parametrize(
+        "us",
+        [0, 0.4, 1, 1.99, 2, 3, 3.99, 4, 7, 8, 15, 16, 17, 100, 1023, 1024,
+         1025, 2.5e5, 2 ** 20, 2 ** 20 + 1, 2 ** 31 - 1, 2 ** 31, 2 ** 33,
+         2 ** 40, 1e15],
+    )
+    def test_bit_length_bucket_matches_reference_scan(self, us):
+        hist = LatencyHistogram("t")
+        hist.observe_us(us)
+        counts = hist.bucket_counts()
+        assert counts[self.reference_bucket(us)] == 1
+        assert sum(counts) == 1
+
+    def test_observe_converts_seconds_to_us(self):
+        hist = LatencyHistogram("t")
+        hist.observe(0.001)  # 1000 us -> bucket 9 ([512, 1024))
+        assert hist.bucket_counts()[9] == 1
+        assert hist.mean_us == pytest.approx(1000.0)
+
+    def test_top_bucket_clamps(self):
+        hist = LatencyHistogram("t")
+        hist.observe_us(2 ** 60)
+        assert hist.bucket_counts()[LatencyHistogram.BUCKETS - 1] == 1
+
+    def test_max_and_percentiles(self):
+        hist = LatencyHistogram("t")
+        for us in [3, 3, 3, 3, 100]:
+            hist.observe_us(us)
+        assert hist.max_us == 100
+        assert hist.count == 5
+        assert hist.percentile_us(0.5) == 4.0  # bucket [2,4) upper bound
+        assert hist.percentile_us(0.99) == 128.0  # bucket [64,128)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["max_us"] == 100
+        assert snap["p50_us"] == 4.0
+
+    def test_empty_snapshot(self):
+        snap = LatencyHistogram("t").snapshot()
+        assert snap == {
+            "count": 0, "mean_us": 0.0, "p50_us": 0.0, "p99_us": 0.0,
+            "max_us": 0.0,
+        }
+
+
+class TestThreadHammer:
+    THREADS = 8
+    OBSERVES = 2500
+
+    def _hammer(self, work):
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_exact_total(self):
+        counter = Counter("c")
+        self._hammer(
+            lambda t: [counter.inc() for _ in range(self.OBSERVES)]
+        )
+        assert counter.value == self.THREADS * self.OBSERVES
+
+    def test_histogram_exact_totals(self):
+        hist = LatencyHistogram("h")
+
+        def work(t):
+            for i in range(self.OBSERVES):
+                hist.observe_us(i % 100)
+
+        self._hammer(work)
+        expected = self.THREADS * self.OBSERVES
+        assert hist.count == expected
+        assert sum(hist.bucket_counts()) == expected
+        # Integer-valued floats: the sum is exact.
+        assert hist.sum_us == self.THREADS * sum(
+            i % 100 for i in range(self.OBSERVES)
+        )
+        assert hist.max_us == 99
+
+    def test_labeled_counter_exact_total_under_overflow(self):
+        errors = LabeledCounter("e", max_labels=4)
+
+        def work(t):
+            for i in range(self.OBSERVES):
+                errors.inc(f"kind{i % 10}")
+
+        self._hammer(work)
+        assert errors.total == self.THREADS * self.OBSERVES
+        assert len(errors.snapshot()) <= 5  # 4 labels + overflow
+
+    def test_registry_get_or_create_is_race_free(self):
+        registry = MetricsRegistry("r")
+
+        def work(t):
+            for _ in range(self.OBSERVES):
+                registry.counter("shared").inc()
+
+        self._hammer(work)
+        assert registry.counter("shared").value == (
+            self.THREADS * self.OBSERVES
+        )
+
+
+class TestLabeledCounter:
+    def test_overflow_folds_into_other(self):
+        errors = LabeledCounter("e", max_labels=2)
+        errors.inc("a")
+        errors.inc("b")
+        errors.inc("c")
+        errors.inc("d", 2)
+        errors.inc("a")  # existing labels keep their own bucket
+        assert errors.snapshot() == {
+            "a": 2, "b": 1, LabeledCounter.OVERFLOW: 3,
+        }
+        assert errors.total == 6
+
+    def test_max_labels_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            LabeledCounter("e", max_labels=0)
+
+
+class TestMetricsRegistry:
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry("r")
+        registry.counter("m")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m")
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry("r")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_attach_is_latest_wins_and_detach(self):
+        root = MetricsRegistry("root")
+        first = MetricsRegistry("svc")
+        second = MetricsRegistry("svc")
+        root.attach(first)
+        root.attach(second)
+        assert root.children() == {"svc": second}
+        root.detach("svc")
+        assert root.children() == {}
+
+    def test_attach_self_rejected(self):
+        registry = MetricsRegistry("r")
+        with pytest.raises(ObservabilityError):
+            registry.attach(registry)
+
+    def test_snapshot_and_flatten_cover_the_tree(self):
+        root = MetricsRegistry("root")
+        root.counter("runs").inc(3)
+        root.gauge("depth").set(2.5)
+        child = MetricsRegistry("svc")
+        child.counter("submitted").inc(7)
+        root.attach(child)
+
+        snap = root.snapshot()
+        assert snap["counters"] == {"runs": 3}
+        assert snap["gauges"] == {"depth": 2.5}
+        assert snap["children"]["svc"]["counters"] == {"submitted": 7}
+
+        flat = root.flatten()
+        assert flat["runs"] == 3
+        assert flat["svc.submitted"] == 7
+
+    def test_reset(self):
+        registry = MetricsRegistry("r")
+        registry.counter("c").inc()
+        registry.attach(MetricsRegistry("child"))
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "labeled": {},
+        }
+
+    def test_gauge_modes(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        gauge.set_max(9)
+        assert gauge.value == 9
+        gauge.add(1)
+        assert gauge.value == 10
+
+
+class TestPrometheusGolden:
+    def test_exposition_text_is_exactly_as_specified(self):
+        registry = MetricsRegistry("repro")
+        registry.counter("encode.runs").inc(3)
+        errors = registry.labeled_counter("errors")
+        errors.inc("a")
+        errors.inc("b", 2)
+        hist = registry.histogram("lat")
+        hist.observe_us(3)
+        hist.observe_us(10)
+        registry.gauge("queue.depth").set(2.5)
+
+        expected = "\n".join([
+            "# TYPE repro_encode_runs counter",
+            "repro_encode_runs 3",
+            "# TYPE repro_errors counter",
+            'repro_errors{key="a"} 1',
+            'repro_errors{key="b"} 2',
+            "# TYPE repro_lat histogram",
+            'repro_lat_bucket{le="2"} 0',
+            'repro_lat_bucket{le="4"} 1',
+            'repro_lat_bucket{le="8"} 1',
+            'repro_lat_bucket{le="16"} 2',
+            'repro_lat_bucket{le="+Inf"} 2',
+            "repro_lat_sum 13.0",
+            "repro_lat_count 2",
+            "# TYPE repro_queue_depth gauge",
+            "repro_queue_depth 2.5",
+        ]) + "\n"
+        assert registry.expose_prometheus() == expected
+
+    def test_child_registries_get_prefixed(self):
+        root = MetricsRegistry("repro")
+        child = MetricsRegistry("service")
+        child.counter("submitted").inc(4)
+        root.attach(child)
+        text = root.expose_prometheus()
+        assert "repro_service_submitted 4" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry("repro")
+        registry.labeled_counter("errors").inc('bad "quote"\nnewline')
+        text = registry.expose_prometheus()
+        assert 'key="bad \\"quote\\"\\nnewline"' in text
+
+    def test_empty_registry_exposes_empty_string(self):
+        assert MetricsRegistry("r").expose_prometheus() == ""

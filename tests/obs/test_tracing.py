@@ -1,0 +1,144 @@
+"""repro.obs.tracing: spans, nesting, and the Chrome trace exporter."""
+
+import json
+import threading
+
+from repro.obs.tracing import NOOP_SPAN, Tracer
+
+
+def test_disabled_tracer_hands_out_the_shared_noop():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("x", a=1)
+    assert span is NOOP_SPAN
+    with span as sp:
+        sp.set("k", "v")  # must be a silent no-op
+    tracer.instant("x")
+    assert len(tracer) == 0
+
+
+def test_spans_record_names_attrs_and_nesting_depth():
+    tracer = Tracer()
+    with tracer.span("encode.outer", nodes=5) as outer:
+        with tracer.span("encode.inner"):
+            pass
+        outer.set("anchors", 2)
+    events = tracer.events()
+    # Spans record on exit: inner lands first.
+    inner, outer = events
+    assert inner["name"] == "encode.inner" and inner["depth"] == 1
+    assert outer["name"] == "encode.outer" and outer["depth"] == 0
+    assert outer["args"] == {"nodes": 5, "anchors": 2}
+
+
+def test_depth_recovers_after_an_exception():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    with tracer.span("after"):
+        pass
+    assert [e["depth"] for e in tracer.events()] == [0, 0]
+
+
+def test_event_ring_is_bounded():
+    tracer = Tracer(max_events=4)
+    for i in range(10):
+        tracer.instant(f"e{i}")
+    assert len(tracer) == 4
+    assert tracer.span_names() == ["e6", "e7", "e8", "e9"]
+
+
+def test_span_names_and_layers():
+    tracer = Tracer()
+    with tracer.span("encode.scc"):
+        pass
+    with tracer.span("service.batch"):
+        pass
+    tracer.instant("probe.snapshot")
+    assert tracer.span_names() == [
+        "encode.scc", "service.batch", "probe.snapshot",
+    ]
+    assert tracer.layers() == ["encode", "service", "probe"]
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+class TestChromeTraceRoundTrip:
+    def build(self):
+        tracer = Tracer()
+        with tracer.span("encode.anchored", nodes=9):
+            with tracer.span("encode.scc"):
+                pass
+            tracer.instant("probe.snapshot", node="f1")
+        with tracer.span("service.batch", samples=3, obj=object()):
+            pass
+        return tracer
+
+    def test_round_trip_is_valid_and_consistent(self, tmp_path):
+        tracer = self.build()
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+
+        trace = json.loads(path.read_text())  # valid JSON by parse
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and len(events) == 4
+        # ts is sorted and every complete event carries a duration.
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        for event in events:
+            assert event["ph"] in ("X", "i")
+            assert event["ts"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["cat"] == event["name"].split(".", 1)[0]
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            else:
+                assert event["s"] == "t"
+
+    def test_nested_span_is_contained_in_its_parent(self, tmp_path):
+        tracer = self.build()
+        events = tracer.chrome_trace()["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        parent, child = by_name["encode.anchored"], by_name["encode.scc"]
+        eps = 1e-3  # ts/dur are rounded to 3 decimals
+        assert child["ts"] >= parent["ts"] - eps
+        assert (child["ts"] + child["dur"]
+                <= parent["ts"] + parent["dur"] + eps)
+
+    def test_non_json_args_are_stringified(self):
+        tracer = self.build()
+        events = tracer.chrome_trace()["traceEvents"]
+        args = next(e for e in events if e["name"] == "service.batch")["args"]
+        assert args["samples"] == 3
+        assert isinstance(args["obj"], str)
+        json.dumps(events)  # the whole payload must serialize
+
+    def test_jsonl_export_parses_line_by_line(self, tmp_path):
+        tracer = self.build()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert "name" in record and "ts" in record
+
+
+def test_concurrent_spans_do_not_corrupt_the_ring():
+    tracer = Tracer()
+
+    def work(tid):
+        for i in range(200):
+            with tracer.span(f"t{tid}.work", i=i):
+                pass
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracer) == 6 * 200
+    json.dumps(tracer.chrome_trace())
