@@ -80,12 +80,21 @@ class GraphDelta:
         (e.g. incremental SID union instead of a union-find rebuild)."""
         return not (self.removed_nodes or self.removed_edges)
 
-    def touched_nodes(self) -> Set[str]:
+    def touched_nodes(
+        self, graph: Optional[CallGraph] = None
+    ) -> Set[str]:
         """Every node whose incident edge set (or existence) changes.
 
         This is the seed of the dirty region for incremental
         re-encoding: a node is *touched* when it is added or removed, or
         when one of its incoming/outgoing edges is.
+
+        Removing a node implicitly removes its incident edges, which
+        touches the *neighbors* too even though those edges never appear
+        in ``removed_edges``. The delta alone cannot name them, so pass
+        the pre-delta ``graph`` whenever ``removed_nodes`` is non-empty
+        — an under-approximated touched set makes incremental
+        re-encoding unsound (stale territory tables survive).
         """
         touched: Set[str] = set(self.added_nodes)
         touched.update(self.removed_nodes)
@@ -95,6 +104,14 @@ class GraphDelta:
         for edge in self.removed_edges:
             touched.add(edge.caller)
             touched.add(edge.callee)
+        if graph is not None:
+            for node in self.removed_nodes:
+                if node not in graph:
+                    continue
+                for edge in graph.in_edges(node):
+                    touched.add(edge.caller)
+                for edge in graph.out_edges(node):
+                    touched.add(edge.callee)
         return touched
 
     def compose(self, later: "GraphDelta") -> "GraphDelta":

@@ -90,7 +90,7 @@ def incremental_rows(
         def repair():
             nonlocal result
             result = reencode(
-                new_graph, old, touched=delta.touched_nodes(), width=width
+                new_graph, old, touched=delta.touched_nodes(graph), width=width
             )
 
         reencode_ms = min(_timed(repair) for _ in range(repeats))

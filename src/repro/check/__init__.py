@@ -1,0 +1,54 @@
+"""`repro.check`: differential fuzzing & invariant checking.
+
+The paper's value proposition is *precision* — every calling context
+decodes to exactly one path, IDs stay in ``[0, ICC[n])``, and
+incremental repair after dynamic class loading stays decode-equivalent
+to a cold rebuild. This package is the adversarial tooling that
+cross-checks those guarantees across the whole stack:
+
+* :mod:`repro.check.fuzz` — seeded call-graph / :class:`GraphDelta`
+  stream generator plus a JSON corpus format for shrunken repros;
+* :mod:`repro.check.oracle` — the differential oracles: every encoder
+  against the exhaustive context enumeration, incremental
+  ``apply_delta`` against a cold rebuild, chained ``update_sids``
+  against ``compute_sids``, the runtime agent against a stack-walk
+  shadow, and the service accounting under fault injection;
+* :mod:`repro.check.invariants` — a checked-probe wrapper asserting
+  ``0 <= ID < ICC[n]`` and anchor-stack well-formedness at every probe
+  operation, and the service fault-injection scenario;
+* :mod:`repro.check.shrink` — greedy delta-debugging that minimizes a
+  failing case to a small corpus repro;
+* :mod:`repro.check.runner` — the ``python -m repro check`` engine:
+  iterate, shrink failures, replay corpora, export ``check.*`` metrics.
+
+See ``docs/CHECKING.md`` for the oracle matrix and the corpus layout.
+"""
+
+from repro.check.fuzz import (
+    FuzzCase,
+    case_from_json,
+    case_to_json,
+    generate_case,
+    load_case,
+    save_case,
+)
+from repro.check.invariants import CheckedProbe, InvariantViolation
+from repro.check.oracle import check_case
+from repro.check.runner import CheckReport, replay_corpus, run_check
+from repro.check.shrink import shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "generate_case",
+    "case_to_json",
+    "case_from_json",
+    "save_case",
+    "load_case",
+    "check_case",
+    "CheckedProbe",
+    "InvariantViolation",
+    "shrink_case",
+    "run_check",
+    "replay_corpus",
+    "CheckReport",
+]

@@ -1,0 +1,358 @@
+"""Seeded call-graph / delta fuzzer and the JSON corpus format.
+
+A :class:`FuzzCase` is one self-contained input to every oracle: a call
+graph, an integer width, and a stream of :class:`GraphDelta` updates
+that is valid *by construction* — each delta is generated against the
+graph state left by its predecessors, so ``apply_delta`` never rejects
+it (removed things exist, added edges are new, the entry gains no
+incoming edges).
+
+Case shapes rotate through the structures the encoders find hardest:
+
+* ``layered`` — :func:`repro.workloads.synthetic.random_callgraph`
+  multigraphs with virtual sites and optional recursion;
+* ``cascade`` — hub chains with parallel edges per hop, the structure
+  whose context count grows as ``fan ** depth`` and forces Algorithm 2
+  to grow anchors at small widths;
+* ``recursive`` — self loops and mutual recursion on tiny graphs;
+* ``entry_only`` — the degenerate single-node graph.
+
+Corpus files serialize a case as plain JSON (graph + deltas, not the
+generator parameters) so a shrunken repro stays byte-stable no matter
+how the generator evolves.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.incremental import GraphDelta, apply_delta
+from repro.core.widths import UNBOUNDED, Width
+from repro.graph.callgraph import CallEdge, CallGraph
+from repro.workloads.synthetic import random_callgraph
+
+__all__ = [
+    "FuzzCase",
+    "generate_case",
+    "random_delta",
+    "case_to_json",
+    "case_from_json",
+    "save_case",
+    "load_case",
+]
+
+
+@dataclass
+class FuzzCase:
+    """One fuzzer input: a graph, a width, and a delta stream."""
+
+    graph: CallGraph
+    deltas: List[GraphDelta] = field(default_factory=list)
+    #: Encoding width in bits for Algorithm 2; None means UNBOUNDED.
+    width_bits: Optional[int] = None
+    seed: int = 0
+    label: str = "case"
+
+    @property
+    def width(self) -> Width:
+        return UNBOUNDED if self.width_bits is None else Width(self.width_bits)
+
+    def graphs(self) -> Iterator[CallGraph]:
+        """The graph after each delta prefix (first item: no deltas)."""
+        current = self.graph
+        yield current
+        for delta in self.deltas:
+            current = apply_delta(current, delta)
+            yield current
+
+    def final_graph(self) -> CallGraph:
+        current = self.graph
+        for delta in self.deltas:
+            current = apply_delta(current, delta)
+        return current
+
+    def describe(self) -> str:
+        return (
+            f"{self.label}[seed={self.seed}] "
+            f"nodes={len(self.graph.nodes)} edges={self.graph.num_edges} "
+            f"deltas={len(self.deltas)} width={self.width}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Graph shapes
+# ----------------------------------------------------------------------
+def _cascade_graph(rng: random.Random) -> CallGraph:
+    """A hub chain: each junction reaches the next via ``fan`` parallel
+    edges, so context counts grow as ``fan ** depth`` — the ICC-blowup
+    shape that forces anchor growth at small widths."""
+    graph = CallGraph(entry="main")
+    depth = rng.randint(3, 6)
+    fan = rng.randint(2, 4)
+    prev = "main"
+    for layer in range(depth):
+        node = f"hub{layer}"
+        for lane in range(fan):
+            graph.add_edge(prev, node, label=f"l{layer}_{lane}")
+        prev = node
+    # A couple of off-trunk leaves so decode has side branches too.
+    for i in range(rng.randint(0, 2)):
+        caller = f"hub{rng.randrange(depth)}"
+        graph.add_edge(caller, f"leaf{i}", label=f"x{i}")
+    return graph
+
+
+def _recursive_graph(rng: random.Random) -> CallGraph:
+    """Tiny graphs built around self loops and mutual recursion."""
+    graph = CallGraph(entry="main")
+    graph.add_edge("main", "A", label="m0")
+    graph.add_edge("A", "A", label="self")  # self-recursion
+    if rng.random() < 0.7:
+        graph.add_edge("main", "B", label="m1")
+        graph.add_edge("B", "C", label="b0")
+        graph.add_edge("C", "B", label="c0")  # mutual recursion
+    if rng.random() < 0.5:
+        graph.add_call("A", ["B", "C"] if "B" in graph else ["A"], label="v0")
+    return graph
+
+
+def _layered_graph(rng: random.Random, seed: int) -> CallGraph:
+    return random_callgraph(
+        seed,
+        layers=rng.randint(2, 4),
+        width=rng.randint(2, 4),
+        extra_edges=rng.randint(0, 8),
+        virtual_sites=rng.randint(0, 3),
+        max_dispatch=rng.randint(2, 3),
+        back_edges=rng.choice((0, 0, 1, 2)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Delta generation (always against the *current* graph state)
+# ----------------------------------------------------------------------
+def random_delta(
+    rng: random.Random,
+    graph: CallGraph,
+    tag: str,
+    additive_only: bool = False,
+) -> GraphDelta:
+    """A structurally valid random delta against ``graph``.
+
+    Additive deltas model dynamic class loading (new nodes + new edges,
+    possibly widening an existing virtual site); removal deltas model
+    unloading / re-analysis shrinking a dispatch set — including the
+    virtual-site-to-singleton case the decoders must survive.
+    """
+    if additive_only or rng.random() < 0.6:
+        return _additive_delta(rng, graph, tag)
+    return _removal_delta(rng, graph)
+
+
+def _additive_delta(
+    rng: random.Random, graph: CallGraph, tag: str
+) -> GraphDelta:
+    nodes = graph.nodes
+    existing_edges = set(graph.edges)
+    added_nodes: Dict[str, dict] = {}
+    added_edges: List[CallEdge] = []
+
+    def try_add(edge: CallEdge) -> None:
+        if edge.callee == graph.entry:
+            return
+        if edge in existing_edges or edge in added_edges:
+            return
+        added_edges.append(edge)
+
+    for i in range(rng.randint(1, 3)):
+        name = f"g{tag}_{i}"
+        if name in graph:
+            continue
+        added_nodes[name] = {}
+        caller = rng.choice(nodes)
+        try_add(CallEdge(caller, name, f"d{tag}_{i}"))
+
+    # Extra edges between known nodes (old or just-added).
+    pool = nodes + list(added_nodes)
+    for i in range(rng.randint(0, 3)):
+        caller = rng.choice(pool)
+        callee = rng.choice(pool)
+        try_add(CallEdge(caller, callee, f"e{tag}_{i}"))
+
+    # Widen an existing virtual (or monomorphic) site: a new dispatch
+    # target joins an existing (caller, label) — the class-loading case
+    # that merges SID classes.
+    sites = graph.call_sites
+    if sites and rng.random() < 0.6:
+        site = rng.choice(sites)
+        callee = rng.choice(pool)
+        try_add(CallEdge(site.caller, callee, site.label))
+
+    delta = GraphDelta(
+        added_nodes=added_nodes, added_edges=tuple(added_edges)
+    )
+    return delta if not delta.is_empty else _fallback_delta(graph, tag)
+
+
+def _removal_delta(rng: random.Random, graph: CallGraph) -> GraphDelta:
+    removed_edges: List[CallEdge] = []
+    removed_nodes: Tuple[str, ...] = ()
+
+    choice = rng.random()
+    virtuals = graph.virtual_sites
+    if choice < 0.35 and virtuals:
+        # Shrink a virtual site's dispatch set — possibly to a singleton.
+        site = rng.choice(virtuals)
+        targets = graph.site_targets(site)
+        keep = rng.randint(1, len(targets) - 1)
+        removed_edges = list(targets[keep:])
+    elif choice < 0.7 and graph.num_edges > 1:
+        for edge in rng.sample(
+            graph.edges, k=min(rng.randint(1, 2), graph.num_edges)
+        ):
+            if edge not in removed_edges:
+                removed_edges.append(edge)
+    else:
+        candidates = [n for n in graph.nodes if n != graph.entry]
+        if candidates:
+            removed_nodes = (rng.choice(candidates),)
+
+    delta = GraphDelta(
+        removed_nodes=removed_nodes, removed_edges=tuple(removed_edges)
+    )
+    return delta if not delta.is_empty else _fallback_delta(graph, "r")
+
+
+def _fallback_delta(graph: CallGraph, tag: str) -> GraphDelta:
+    """Guaranteed-valid additive delta (one fresh leaf off the entry)."""
+    name = f"gf{tag}"
+    while name in graph:
+        name += "_"
+    return GraphDelta(
+        added_nodes={name: {}},
+        added_edges=(CallEdge(graph.entry, name, f"df{tag}"),),
+    )
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+_SHAPES = (
+    "layered",
+    "layered",
+    "layered",
+    "cascade",
+    "recursive",
+    "entry_only",
+)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Deterministically generate one fuzz case from ``seed``."""
+    rng = random.Random(seed)
+    shape = _SHAPES[rng.randrange(len(_SHAPES))]
+    if shape == "cascade":
+        graph = _cascade_graph(rng)
+        width_bits = rng.choice((6, 8, 10))
+    elif shape == "recursive":
+        graph = _recursive_graph(rng)
+        width_bits = rng.choice((None, 8, 64))
+    elif shape == "entry_only":
+        graph = CallGraph(entry="main")
+        width_bits = rng.choice((None, 8))
+    else:
+        graph = _layered_graph(rng, seed)
+        width_bits = rng.choice((None, None, 64, 16, 8))
+
+    deltas: List[GraphDelta] = []
+    current = graph
+    for i in range(rng.randint(0, 3)):
+        delta = random_delta(rng, current, tag=str(i))
+        current = apply_delta(current, delta)
+        deltas.append(delta)
+
+    return FuzzCase(
+        graph=graph,
+        deltas=deltas,
+        width_bits=width_bits,
+        seed=seed,
+        label=shape,
+    )
+
+
+# ----------------------------------------------------------------------
+# Corpus serialization
+# ----------------------------------------------------------------------
+def _edge_to_json(edge: CallEdge) -> list:
+    return [edge.caller, edge.callee, edge.label]
+
+
+def _edge_from_json(item: list) -> CallEdge:
+    caller, callee, label = item
+    return CallEdge(caller, callee, label)
+
+
+def _delta_to_json(delta: GraphDelta) -> dict:
+    return {
+        "added_nodes": {k: dict(v) for k, v in delta.added_nodes.items()},
+        "removed_nodes": list(delta.removed_nodes),
+        "added_edges": [_edge_to_json(e) for e in delta.added_edges],
+        "removed_edges": [_edge_to_json(e) for e in delta.removed_edges],
+    }
+
+
+def _delta_from_json(data: dict) -> GraphDelta:
+    return GraphDelta(
+        added_nodes={k: dict(v) for k, v in data["added_nodes"].items()},
+        removed_nodes=tuple(data["removed_nodes"]),
+        added_edges=tuple(_edge_from_json(e) for e in data["added_edges"]),
+        removed_edges=tuple(
+            _edge_from_json(e) for e in data["removed_edges"]
+        ),
+    )
+
+
+def case_to_json(case: FuzzCase) -> dict:
+    """Serialize a case to a JSON-safe dict (the corpus file format)."""
+    graph = case.graph
+    return {
+        "format": 1,
+        "label": case.label,
+        "seed": case.seed,
+        "width_bits": case.width_bits,
+        "entry": graph.entry,
+        "nodes": {name: dict(graph.node_attrs(name)) for name in graph.nodes},
+        "edges": [_edge_to_json(e) for e in graph.edges],
+        "deltas": [_delta_to_json(d) for d in case.deltas],
+    }
+
+
+def case_from_json(data: dict) -> FuzzCase:
+    """Rebuild a case from :func:`case_to_json` output."""
+    graph = CallGraph(entry=data["entry"])
+    for name, attrs in data["nodes"].items():
+        graph.add_node(name, **attrs)
+    for item in data["edges"]:
+        edge = _edge_from_json(item)
+        graph.add_edge(edge.caller, edge.callee, edge.label)
+    return FuzzCase(
+        graph=graph,
+        deltas=[_delta_from_json(d) for d in data["deltas"]],
+        width_bits=data.get("width_bits"),
+        seed=data.get("seed", 0),
+        label=data.get("label", "corpus"),
+    )
+
+
+def save_case(case: FuzzCase, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(case_to_json(case), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_case(path: str) -> FuzzCase:
+    with open(path) as fh:
+        return case_from_json(json.load(fh))

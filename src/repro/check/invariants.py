@@ -1,0 +1,283 @@
+"""Runtime invariant probes and service fault injection.
+
+:class:`CheckedProbe` wraps a :class:`~repro.runtime.agent.DeltaPathProbe`
+and re-asserts the paper's runtime invariants after every probe
+operation:
+
+* the current encoding ID is non-negative and fits the plan's width;
+* at every instrumented function entry the ID stays inside the
+  encoding space — ``0 <= ID < ICC[n]`` relative to the governing
+  anchor (paper Figure 2's disjoint-sub-range invariant);
+* the anchor stack is well-formed: ANCHOR entries name real anchors,
+  RECURSION entries carry their call site, saved IDs are non-negative
+  and fit the width.
+
+Violations are collected (and optionally raised) as
+:class:`InvariantViolation` — an invariant breach is a bug in the
+encoder or the agent, never in the workload.
+
+:func:`service_fault_scenario` is the service-path fault injection the
+harness drives: a tiny bounded ingestion queue that overflows while a
+hot swap lands mid-stream, checking that the accounting conservation law
+``submitted == aggregated + decode_errors + epoch_mismatches + dropped``
+survives and that no sample decodes under the wrong epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.stackmodel import EntryKind
+from repro.errors import ReproError
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import DeltaPathPlan, PlanUpdate
+from repro.runtime.probes import Probe
+
+__all__ = ["InvariantViolation", "CheckedProbe", "service_fault_scenario"]
+
+
+class InvariantViolation(ReproError):
+    """A runtime encoding invariant did not hold."""
+
+
+class CheckedProbe(Probe):
+    """Delegating probe wrapper that asserts encoding invariants.
+
+    ``strict=True`` raises on the first violation; otherwise violations
+    accumulate in :attr:`violations` for the caller to inspect.
+    """
+
+    name = "checked"
+
+    def __init__(self, inner: DeltaPathProbe, strict: bool = False):
+        self.inner = inner
+        self.strict = strict
+        self.violations: List[str] = []
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    # Delegated hooks, each followed by an invariant sweep
+    # ------------------------------------------------------------------
+    def begin_execution(self, entry: str) -> None:
+        self.inner.begin_execution(entry)
+        self._sweep(f"begin_execution({entry})")
+
+    def before_call(self, caller: str, label: Hashable, callee: str) -> None:
+        self.inner.before_call(caller, label, callee)
+        self._sweep(f"before_call({caller}@{label}->{callee})")
+
+    def enter_function(self, node: str) -> None:
+        self._check_entry_bound(node)
+        self.inner.enter_function(node)
+        self._sweep(f"enter_function({node})")
+
+    def exit_function(self, node: str) -> None:
+        self.inner.exit_function(node)
+        self._sweep(f"exit_function({node})")
+
+    def after_call(self, caller: str, label: Hashable, callee: str) -> None:
+        self.inner.after_call(caller, label, callee)
+        self._sweep(f"after_call({caller}@{label})")
+
+    def snapshot(self, node: str):
+        return self.inner.snapshot(node)
+
+    def end_execution(self) -> None:
+        self.inner.end_execution()
+        self._sweep("end_execution")
+
+    def hot_swap(self, update: PlanUpdate, at_node: str) -> None:
+        self.inner.hot_swap(update, at_node)
+        self._sweep(f"hot_swap(@{at_node})")
+
+    @property
+    def plan(self) -> DeltaPathPlan:
+        return self.inner.plan
+
+    # ------------------------------------------------------------------
+    # The invariants
+    # ------------------------------------------------------------------
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise InvariantViolation(message)
+
+    def _sweep(self, where: str) -> None:
+        self.checks += 1
+        probe = self.inner
+        encoding = probe.plan.encoding
+        if probe._id < 0:
+            self._violate(f"{where}: negative encoding ID {probe._id}")
+        if not encoding.width.fits(probe._id):
+            self._violate(
+                f"{where}: ID {probe._id} exceeds width {encoding.width}"
+            )
+        for depth, entry in enumerate(probe._stack):
+            if entry.saved_id < 0:
+                self._violate(
+                    f"{where}: stack[{depth}] saved_id {entry.saved_id} < 0"
+                )
+            if not encoding.width.fits(entry.saved_id):
+                self._violate(
+                    f"{where}: stack[{depth}] saved_id {entry.saved_id} "
+                    f"exceeds width {encoding.width}"
+                )
+            if entry.kind is EntryKind.ANCHOR and not encoding.is_anchor(
+                entry.node
+            ):
+                self._violate(
+                    f"{where}: stack[{depth}] ANCHOR entry for non-anchor "
+                    f"{entry.node!r}"
+                )
+            if entry.kind is EntryKind.RECURSION and entry.site is None:
+                self._violate(
+                    f"{where}: stack[{depth}] RECURSION entry without a "
+                    f"call site"
+                )
+
+    def _check_entry_bound(self, node: str) -> None:
+        """``0 <= ID < ICC[n]`` at the moment ``node`` is entered.
+
+        Checked *before* the inner probe runs its entry hook, so the ID
+        still describes the piece ending at this entry. Only meaningful
+        when the entry will not detect a UCP (a gap legitimately leaves
+        the ID outside the piece's range — that is what the reset is
+        for) and when the piece's governing anchor actually bounds the
+        node (the key exists in the CAV table).
+        """
+        probe = self.inner
+        plan = probe.plan
+        info = plan.node_info.get(node)
+        if info is None or not probe.cpt:
+            return
+        sid, _is_anchor = info
+        if probe._expected_sid != sid:
+            return  # UCP detection imminent: the reset handles it
+        anchor = self._governing_anchor()
+        if anchor is None:
+            return
+        encoding = plan.encoding
+        limit = encoding.bound.get((node, anchor))
+        if limit is not None and limit > 0 and not (
+            0 <= probe._id < limit
+        ):
+            self._violate(
+                f"enter_function({node}): ID {probe._id} outside "
+                f"[0, ICC={limit}) relative to anchor {anchor!r}"
+            )
+
+    def _governing_anchor(self) -> Optional[str]:
+        """Anchor whose territory bounds the current piece (decoder rule)."""
+        probe = self.inner
+        encoding = probe.plan.encoding
+        if not probe._stack:
+            return encoding.graph.entry
+        start = probe._stack[-1].node
+        if encoding.is_anchor(start):
+            return start
+        reaching = encoding.territories.node_anchors(start)
+        return reaching[0] if reaching else None
+
+
+# ----------------------------------------------------------------------
+# Service fault injection
+# ----------------------------------------------------------------------
+def service_fault_scenario(
+    plan: DeltaPathPlan,
+    observations: Sequence[Tuple[str, tuple]],
+    updates: Sequence[PlanUpdate] = (),
+    post_swap: Sequence[Tuple[str, tuple]] = (),
+    seed: int = 0,
+    queue_capacity: int = 8,
+    backpressure: str = "drop-newest",
+) -> List[str]:
+    """Overflow a tiny ingestion queue while hot swaps land mid-stream.
+
+    ``observations`` are ``(node, snapshot)`` pairs captured under
+    ``plan``; ``post_swap`` pairs were captured under the *last* plan of
+    ``updates``. The queue is deliberately undersized and the
+    backpressure policy lossy, so drops are expected — what must hold
+    regardless is the accounting conservation law and epoch-correct
+    decoding (zero decode errors: every submitted snapshot is valid
+    under the epoch it was stamped with).
+
+    Returns a list of failure descriptions (empty when all held).
+    """
+    from repro.service.service import ContextService, ServiceConfig
+
+    rng = random.Random(seed)
+    failures: List[str] = []
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            workers=1,
+            shards=2,
+            queue_capacity=queue_capacity,
+            batch_size=4,
+            backpressure=backpressure,
+        ),
+    )
+    service.start()
+    try:
+        pending = list(updates)
+        swap_every = max(1, len(observations) // (len(pending) + 1))
+        final_plan = updates[-1].plan if updates else plan
+        for index, (node, snap) in enumerate(observations):
+            # Observations were captured under the original plan and must
+            # stay stamped with it — the service decodes each sample under
+            # the epoch it carries, even after later swaps land.
+            service.submit(node, snap, plan=plan)
+            if pending and index % swap_every == swap_every - 1:
+                if rng.random() < 0.5:
+                    # Mid-epoch decode pressure: drain before the swap
+                    # half the time, leave the queue full otherwise.
+                    service.flush()
+                service.install_update(pending.pop(0))
+        while pending:
+            service.install_update(pending.pop(0))
+        for node, snap in post_swap:
+            service.submit(node, snap, plan=final_plan)
+        service.flush()
+    finally:
+        service.stop()
+
+    metrics = service.service_metrics()
+    submitted = metrics["submitted"]
+    accounted = (
+        metrics["aggregated"]
+        + metrics["decode_errors"]
+        + metrics["epoch_mismatches"]
+        + metrics["dropped"]
+    )
+    if submitted != accounted:
+        failures.append(
+            f"service accounting leak: submitted={submitted} != "
+            f"aggregated+errors+mismatches+dropped={accounted} "
+            f"({metrics!r})"
+        )
+    if metrics["decode_errors"]:
+        failures.append(
+            f"service decoded {metrics['decode_errors']} valid sample(s) "
+            f"with errors: {metrics.get('recent_errors')}"
+        )
+    if metrics["epoch_mismatches"]:
+        failures.append(
+            f"service served {metrics['epoch_mismatches']} mixed-epoch "
+            f"decode(s)"
+        )
+    if service.tree.total_samples != metrics["aggregated"]:
+        failures.append(
+            f"aggregated count {metrics['aggregated']} disagrees with "
+            f"tree total {service.tree.total_samples}"
+        )
+    known_nodes = set(plan.graph.nodes)
+    for update in updates:
+        known_nodes.update(update.plan.graph.nodes)
+    unknown = set(service.function_totals()) - known_nodes
+    if unknown:
+        failures.append(
+            f"decoded functions outside every installed plan: "
+            f"{sorted(unknown)[:5]}"
+        )
+    return failures

@@ -1,0 +1,484 @@
+"""Differential oracles over a :class:`~repro.check.fuzz.FuzzCase`.
+
+Each oracle returns a list of failure strings prefixed with its name.
+A case passes when every oracle returns no failures. The matrix:
+
+=============  ========================================================
+oracle         cross-checks
+=============  ========================================================
+``encoders``   pcce vs deltapath vs anchored against the exhaustive
+               context enumeration (uniqueness, round trip, bounds);
+               ICC == NC on virtual-free graphs
+``incremental``  chained ``plan.apply_delta`` vs a cold
+               ``build_plan_from_graph`` on the same final graph:
+               graph identity, decode-equivalence, SID partition
+``sids``       chained ``update_sids`` vs one-shot ``compute_sids``:
+               partition bijection, site consistency, ``num_sets``
+``runtime``    DeltaPathProbe (wrapped in the invariant-checking
+               probe) vs a stack-walk shadow on random graph walks,
+               with optional mid-walk hot swaps on additive deltas
+``service``    ingestion-queue overflow during hot swap: accounting
+               conservation and epoch-correct decoding
+=============  ========================================================
+
+Outcomes the system *documents* as legitimate are skips, not failures:
+``EncodingOverflowError`` (the width genuinely cannot encode the
+graph), and ``PlanSwapError`` during a mid-walk hot swap (live state
+not representable under the repaired encoding).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.incremental import apply_delta, diff_graphs
+from repro.check.fuzz import FuzzCase
+from repro.check.invariants import CheckedProbe, service_fault_scenario
+from repro.core.deltapath import encode_deltapath
+from repro.core.pcce import encode_pcce
+from repro.core.sid import SidTable, compute_sids, update_sids
+from repro.core.verify import verify_encoding
+from repro.errors import (
+    EncodingOverflowError,
+    PlanSwapError,
+    ReproError,
+)
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import (
+    DeltaPathPlan,
+    PlanUpdate,
+    build_plan_from_graph,
+)
+
+__all__ = [
+    "check_case",
+    "check_encoders",
+    "check_incremental",
+    "check_sids",
+    "check_runtime",
+    "check_service",
+    "sid_equivalence_failures",
+    "ORACLES",
+]
+
+
+# ----------------------------------------------------------------------
+# Encoder differential oracle
+# ----------------------------------------------------------------------
+def check_encoders(case: FuzzCase, limit_per_node: int = 30) -> List[str]:
+    """All encoders against the exhaustive enumeration, pre and post
+    delta; Algorithm 1's ICC must equal PCCE's NC on virtual-free
+    graphs (paper Section 3.1)."""
+    failures: List[str] = []
+    graphs = [case.graph]
+    if case.deltas:
+        graphs.append(case.final_graph())
+    for which, graph in zip(("initial", "final"), graphs):
+        failures.extend(_check_encoders_on(graph, which, case, limit_per_node))
+    return failures
+
+
+def _check_encoders_on(
+    graph: CallGraph, which: str, case: FuzzCase, limit_per_node: int
+) -> List[str]:
+    failures: List[str] = []
+    pcce = encode_pcce(graph)
+    deltapath = encode_deltapath(graph)
+    for name, encoding in (("pcce", pcce), ("deltapath", deltapath)):
+        report = verify_encoding(encoding, limit_per_node=limit_per_node)
+        failures.extend(
+            f"encoders: {name} on {which} graph: {f}" for f in report.failures
+        )
+    if not deltapath.graph.virtual_sites:
+        for node in deltapath.graph.nodes:
+            icc = deltapath.icc.get(node, 1)
+            nc = pcce.nc.get(node, 0)
+            if node != graph.entry and icc != nc and (icc or nc):
+                failures.append(
+                    f"encoders: ICC[{node}]={icc} != NC[{node}]={nc} on a "
+                    f"virtual-free {which} graph"
+                )
+    try:
+        anchored = _encode_anchored(graph, case)
+    except EncodingOverflowError:
+        return failures  # documented: width genuinely too small
+    report = verify_encoding(anchored, limit_per_node=limit_per_node)
+    failures.extend(
+        f"encoders: anchored on {which} graph: {f}" for f in report.failures
+    )
+    return failures
+
+
+def _encode_anchored(graph: CallGraph, case: FuzzCase):
+    from repro.core.anchored import encode_anchored
+
+    return encode_anchored(graph, width=case.width)
+
+
+# ----------------------------------------------------------------------
+# Incremental-vs-cold oracle
+# ----------------------------------------------------------------------
+def check_incremental(
+    case: FuzzCase, limit_per_node: int = 30
+) -> List[str]:
+    """Chained ``apply_delta`` must stay decode-equivalent to a cold
+    rebuild of the final graph (the PR 1 contract)."""
+    if not case.deltas:
+        return []
+    failures: List[str] = []
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    current = plan
+    graph = case.graph
+    for index, delta in enumerate(case.deltas):
+        try:
+            update = current.apply_delta(delta)
+        except EncodingOverflowError:
+            return failures  # repaired graph outgrew the width: legitimate
+        except ReproError as exc:
+            # The generator guarantees delta validity, so any rejection
+            # or crash here is a repair bug (e.g. a stale site table).
+            failures.append(
+                f"incremental: delta {index} ({delta.summary()}) crashed "
+                f"apply_delta: {type(exc).__name__}: {exc}"
+            )
+            return failures
+        current = update.plan
+        graph = apply_delta(graph, delta)
+
+    # 1. Graph identity: the incrementally maintained graph must be the
+    #    independently applied one.
+    drift = diff_graphs(current.graph, graph)
+    if not drift.is_empty:
+        failures.append(
+            f"incremental: repaired plan's graph drifted from the applied "
+            f"deltas by {drift.summary()}"
+        )
+
+    # 2. Decode equivalence: the repaired encoding must round-trip every
+    #    enumerable context of the final graph (the cold rebuild's own
+    #    correctness is the encoder oracle's job).
+    report = verify_encoding(current.encoding, limit_per_node=limit_per_node)
+    failures.extend(
+        f"incremental: repaired encoding: {f}" for f in report.failures
+    )
+
+    # 3. SIDs: same partition as a cold compute_sids.
+    try:
+        cold = build_plan_from_graph(graph, width=case.width)
+    except EncodingOverflowError:
+        return failures
+    failures.extend(
+        f"incremental: {f}"
+        for f in sid_equivalence_failures(current.sids, cold.sids, graph)
+    )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# SID oracle
+# ----------------------------------------------------------------------
+def check_sids(case: FuzzCase) -> List[str]:
+    """Chained ``update_sids`` vs one-shot ``compute_sids``."""
+    if not case.deltas:
+        return []
+    graph = case.graph
+    sids = compute_sids(graph)
+    for delta in case.deltas:
+        graph = apply_delta(graph, delta)
+        sids = update_sids(sids, graph, delta)
+    fresh = compute_sids(graph)
+    return [
+        f"sids: {f}" for f in sid_equivalence_failures(sids, fresh, graph)
+    ]
+
+
+def sid_equivalence_failures(
+    updated: SidTable, reference: SidTable, graph: CallGraph
+) -> List[str]:
+    """Partition-equivalence between two SID tables over ``graph``.
+
+    SID *numbers* may differ (update keeps old numbers stable where
+    possible); what must agree is the partition: the mapping between the
+    two tables' SIDs over the graph's nodes must be a bijection. A
+    collision — two reference classes sharing one updated SID — is the
+    exact bug class ``update_sids`` fresh numbering can introduce.
+    """
+    failures: List[str] = []
+    missing = [n for n in graph.nodes if n not in updated.sid_of_node]
+    if missing:
+        failures.append(f"nodes missing SIDs: {sorted(missing)[:5]}")
+        return failures
+
+    forward: Dict[int, int] = {}
+    backward: Dict[int, int] = {}
+    for node in graph.nodes:
+        a = updated.sid_of_node[node]
+        b = reference.sid_of_node[node]
+        if forward.setdefault(a, b) != b:
+            failures.append(
+                f"SID collision: updated SID {a} covers reference classes "
+                f"{forward[a]} and {b} (e.g. at {node!r})"
+            )
+        if backward.setdefault(b, a) != a:
+            failures.append(
+                f"SID split: reference class {b} maps to updated SIDs "
+                f"{backward[b]} and {a} (e.g. at {node!r})"
+            )
+        if failures:
+            return failures
+
+    if updated.num_sets != reference.num_sets:
+        failures.append(
+            f"num_sets disagree: updated {updated.num_sets} vs reference "
+            f"{reference.num_sets}"
+        )
+    for site in graph.call_sites:
+        target = graph.site_targets(site)[0].callee
+        expected = updated.sid_of_node[target]
+        got = updated.sid_of_site.get(site)
+        if got != expected:
+            failures.append(
+                f"site {site} stores SID {got} but its targets carry "
+                f"{expected}"
+            )
+            break
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Runtime oracle: probe vs stack-walk shadow
+# ----------------------------------------------------------------------
+def check_runtime(
+    case: FuzzCase,
+    walks: int = 4,
+    max_depth: int = 10,
+    snapshots_per_walk: int = 6,
+) -> List[str]:
+    """Drive the DeltaPath agent through seeded random walks of the
+    graph, decoding snapshots against the walk's own edge history (the
+    stack-walk ground truth), with every probe operation swept by the
+    invariant checker. Additive delta streams additionally exercise a
+    mid-walk ``hot_swap`` at a snapshot-safe point."""
+    failures: List[str] = []
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0x5EED)
+
+    all_additive = bool(case.deltas) and all(
+        d.is_additive for d in case.deltas
+    )
+    updates: List[PlanUpdate] = []
+    if all_additive:
+        current = plan
+        try:
+            for delta in case.deltas:
+                update = current.apply_delta(delta)
+                updates.append(update)
+                current = update.plan
+        except ReproError:
+            updates = []  # the incremental oracle reports repair crashes
+
+    for walk in range(walks):
+        swap_queue = list(updates) if walk == walks - 1 else []
+        failures.extend(
+            _run_walk(
+                plan,
+                rng,
+                max_depth=max_depth,
+                snapshots=snapshots_per_walk,
+                swap_queue=swap_queue,
+            )
+        )
+        if failures:
+            break
+    return [f"runtime: {f}" for f in failures]
+
+
+def _run_walk(
+    plan: DeltaPathPlan,
+    rng: random.Random,
+    max_depth: int,
+    snapshots: int,
+    swap_queue: List[PlanUpdate],
+) -> List[str]:
+    failures: List[str] = []
+    probe = CheckedProbe(DeltaPathProbe(plan, cpt=True))
+    graph = plan.graph
+    entry = graph.entry
+    shadow: List[str] = []  # node path, root-first (ground truth)
+    taken = {"n": 0}
+
+    def maybe_snapshot(node: str) -> None:
+        if taken["n"] >= snapshots or rng.random() >= 0.5:
+            return
+        taken["n"] += 1
+        snap = probe.snapshot(node)
+        active_plan = probe.plan
+        try:
+            decoded = active_plan.decode_snapshot(node, snap)
+        except ReproError as exc:
+            failures.append(
+                f"snapshot at {node!r} with shadow {shadow!r} failed to "
+                f"decode: {type(exc).__name__}: {exc}"
+            )
+            return
+        got = decoded.nodes(gap_marker="<?>")
+        if got != shadow:
+            failures.append(
+                f"decode mismatch at {node!r}: probe says {got}, the "
+                f"stack walk says {shadow}"
+            )
+        if swap_queue:
+            update = swap_queue.pop(0)
+            if update.old_plan is probe.plan:
+                try:
+                    probe.hot_swap(update, at_node=node)
+                except PlanSwapError:
+                    pass  # documented: retry later / restart
+
+    def walk(node: str, depth: int) -> None:
+        maybe_snapshot(node)
+        if failures or depth >= max_depth:
+            return
+        out = graph.out_edges(node)
+        if not out:
+            return
+        for _ in range(rng.randint(0, min(2, len(out)))):
+            edge = out[rng.randrange(len(out))]
+            probe.before_call(edge.caller, edge.label, edge.callee)
+            probe.enter_function(edge.callee)
+            shadow.append(edge.callee)
+            walk(edge.callee, depth + 1)
+            shadow.pop()
+            probe.exit_function(edge.callee)
+            probe.after_call(edge.caller, edge.label, edge.callee)
+            if failures:
+                return
+
+    probe.begin_execution(entry)
+    probe.enter_function(entry)
+    shadow.append(entry)
+    walk(entry, 1)
+    shadow.pop()
+    probe.exit_function(entry)
+    probe.end_execution()
+    failures.extend(
+        f"invariant violated: {v}" for v in probe.violations[:5]
+    )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Service oracle
+# ----------------------------------------------------------------------
+def check_service(case: FuzzCase, observations: int = 24) -> List[str]:
+    """Queue-overflow + hot-swap fault injection (see
+    :func:`repro.check.invariants.service_fault_scenario`)."""
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0xFA17)
+
+    updates: List[PlanUpdate] = []
+    current = plan
+    try:
+        for delta in case.deltas:
+            update = current.apply_delta(delta)
+            updates.append(update)
+            current = update.plan
+    except ReproError:
+        updates = []  # the incremental oracle reports repair crashes
+        current = plan
+
+    pre = _collect_observations(plan, rng, observations)
+    post = (
+        _collect_observations(current, rng, observations // 2)
+        if updates
+        else []
+    )
+    failures = service_fault_scenario(
+        plan, pre, updates=updates, post_swap=post, seed=case.seed
+    )
+    return [f"service: {f}" for f in failures]
+
+
+def _collect_observations(
+    plan: DeltaPathPlan, rng: random.Random, count: int
+) -> List[Tuple[str, tuple]]:
+    """Random-walk the plan's graph, snapshotting as we go."""
+    probe = DeltaPathProbe(plan, cpt=True)
+    graph = plan.graph
+    out: List[Tuple[str, tuple]] = []
+
+    def walk(node: str, depth: int) -> None:
+        if len(out) < count and rng.random() < 0.6:
+            out.append((node, probe.snapshot(node)))
+        if depth >= 8 or len(out) >= count:
+            return
+        edges = graph.out_edges(node)
+        if not edges:
+            return
+        for _ in range(rng.randint(0, min(2, len(edges)))):
+            edge = edges[rng.randrange(len(edges))]
+            probe.before_call(edge.caller, edge.label, edge.callee)
+            probe.enter_function(edge.callee)
+            walk(edge.callee, depth + 1)
+            probe.exit_function(edge.callee)
+            probe.after_call(edge.caller, edge.label, edge.callee)
+
+    attempts = 0
+    while len(out) < count and attempts < 6:
+        attempts += 1
+        probe.begin_execution(graph.entry)
+        probe.enter_function(graph.entry)
+        walk(graph.entry, 1)
+        probe.exit_function(graph.entry)
+        probe.end_execution()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
+    ("encoders", check_encoders),
+    ("incremental", check_incremental),
+    ("sids", check_sids),
+    ("runtime", check_runtime),
+    ("service", check_service),
+)
+
+
+def check_case(
+    case: FuzzCase,
+    limit_per_node: int = 30,
+    with_service: bool = True,
+    oracles: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Run the oracle matrix over one case; returns all failures.
+
+    ``oracles`` restricts the run to a subset by name (the shrinker uses
+    this to stay locked on the oracle that originally failed).
+    ``with_service=False`` skips the thread-spawning service oracle —
+    the right trade during shrinking's many predicate evaluations.
+    """
+    failures: List[str] = []
+    selected = set(oracles) if oracles is not None else None
+    for name, oracle in ORACLES:
+        if selected is not None and name not in selected:
+            continue
+        if name == "service" and not with_service and selected is None:
+            continue
+        if name in ("encoders", "incremental"):
+            failures.extend(oracle(case, limit_per_node))
+        else:
+            failures.extend(oracle(case))
+    return failures

@@ -1,0 +1,165 @@
+"""The ``python -m repro check`` engine.
+
+:func:`run_check` iterates seeded fuzz cases through the oracle matrix,
+optionally shrinks each failure to a minimal repro (saved as a JSON
+corpus file), and reports a :class:`CheckReport`. :func:`replay_corpus`
+re-runs every committed corpus file as a deterministic regression suite
+— the same entry point CI and ``tests/check/test_corpus.py`` use.
+
+Metrics (``repro.obs``): ``check.cases``, ``check.failures``,
+``check.skipped`` counters; ``check.case_us`` latency histogram; one
+``check.run`` span per invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro import obs
+from repro.check.fuzz import FuzzCase, generate_case, load_case, save_case
+from repro.check.oracle import check_case
+from repro.check.shrink import failing_oracles, shrink_case
+
+__all__ = ["CheckReport", "CaseResult", "run_check", "replay_corpus"]
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fuzz case (or one corpus replay)."""
+
+    label: str
+    seed: int
+    failures: List[str] = field(default_factory=list)
+    repro_path: Optional[str] = None
+    elapsed_us: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CheckReport:
+    """Aggregate of a :func:`run_check` / :func:`replay_corpus` run."""
+
+    results: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def cases(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        bad = self.failures
+        if not bad:
+            return f"check: {self.cases} case(s), all oracles held"
+        lines = [
+            f"check: {len(bad)}/{self.cases} case(s) FAILED:",
+        ]
+        for result in bad:
+            lines.append(
+                f"  {result.label}[seed={result.seed}]: "
+                f"{len(result.failures)} failure(s)"
+            )
+            for failure in result.failures[:4]:
+                lines.append(f"    - {failure}")
+            if result.repro_path:
+                lines.append(f"    repro: {result.repro_path}")
+        return "\n".join(lines)
+
+
+def run_check(
+    iterations: int = 100,
+    seed: int = 0,
+    shrink: bool = True,
+    corpus_dir: Optional[str] = None,
+    stop_after: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> CheckReport:
+    """Fuzz ``iterations`` cases seeded from ``seed``.
+
+    Each failing case is (optionally) shrunk and written to
+    ``corpus_dir`` as ``<label>_seed<seed>.json``. ``stop_after`` bounds
+    how many distinct failures are collected before stopping early.
+    """
+    report = CheckReport()
+    found = 0
+    with obs.span("check.run", iterations=iterations, seed=seed):
+        for i in range(iterations):
+            case_seed = seed + i
+            case = generate_case(case_seed)
+            result = _check_one(case, log=log)
+            report.results.append(result)
+            if result.ok:
+                continue
+            found += 1
+            if log:
+                log(
+                    f"FAIL {case.describe()}: {result.failures[0]}"
+                )
+            if shrink:
+                small = shrink_case(case, result.failures)
+                shrunk_failures = check_case(
+                    small, oracles=sorted(failing_oracles(result.failures))
+                )
+                if shrunk_failures:
+                    case, result.failures = small, shrunk_failures
+                if log:
+                    log(f"  shrunk to {case.describe()}")
+            if corpus_dir:
+                os.makedirs(corpus_dir, exist_ok=True)
+                name = f"{case.label.replace('-', '_')}_seed{case_seed}.json"
+                path = os.path.join(corpus_dir, name)
+                save_case(case, path)
+                result.repro_path = path
+            if stop_after is not None and found >= stop_after:
+                break
+    return report
+
+
+def replay_corpus(
+    corpus_dir: str,
+    log: Optional[Callable[[str], None]] = None,
+) -> CheckReport:
+    """Re-run every ``*.json`` corpus file as a regression check."""
+    report = CheckReport()
+    if not os.path.isdir(corpus_dir):
+        return report
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        case = load_case(path)
+        result = _check_one(case, log=log)
+        result.label = f"corpus/{name}"
+        result.repro_path = path
+        report.results.append(result)
+    return report
+
+
+def _check_one(
+    case: FuzzCase, log: Optional[Callable[[str], None]] = None
+) -> CaseResult:
+    obs.counter("check.cases").inc()
+    start = time.perf_counter()
+    failures = check_case(case)
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    obs.histogram("check.case_us").observe_us(elapsed_us)
+    if failures:
+        obs.counter("check.failures").inc()
+    return CaseResult(
+        label=case.label,
+        seed=case.seed,
+        failures=failures,
+        elapsed_us=elapsed_us,
+    )

@@ -1,0 +1,275 @@
+"""Greedy delta-debugging shrinker for failing fuzz cases.
+
+Given a case and the failure list its oracle run produced, repeatedly
+try structurally smaller variants — fewer deltas, fewer edges, fewer
+nodes, a simpler width — keeping each change only if the *same oracle*
+still fails (matched by the ``oracle:`` prefix of the failure strings).
+Runs to a fixpoint: a pass over every reduction strategy with no
+successful reduction terminates the shrink.
+
+The shrinker never invents structure; every candidate is a restriction
+of the current case, so a shrunken repro is always a genuine witness of
+the original bug class, suitable for committing under
+``tests/check/corpus/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.incremental import GraphDelta
+from repro.check.fuzz import FuzzCase
+from repro.check.oracle import check_case
+from repro.graph.callgraph import CallEdge, CallGraph
+
+__all__ = ["shrink_case", "failing_oracles"]
+
+
+def failing_oracles(failures: Sequence[str]) -> Set[str]:
+    """Oracle names (the ``name:`` prefixes) present in ``failures``."""
+    names: Set[str] = set()
+    for failure in failures:
+        prefix, sep, _ = failure.partition(":")
+        if sep:
+            names.add(prefix.strip())
+    return names
+
+
+def _default_predicate(oracles: Set[str]) -> Callable[[FuzzCase], bool]:
+    def still_fails(case: FuzzCase) -> bool:
+        try:
+            failures = check_case(case, oracles=sorted(oracles))
+        except Exception:
+            # A candidate that crashes the oracles is not a cleaner
+            # repro of the original failure; discard it.
+            return False
+        return bool(failing_oracles(failures) & oracles)
+
+    return still_fails
+
+
+def shrink_case(
+    case: FuzzCase,
+    failures: Sequence[str],
+    predicate: Optional[Callable[[FuzzCase], bool]] = None,
+    max_rounds: int = 12,
+) -> FuzzCase:
+    """Minimize ``case`` while ``predicate`` (default: the same oracle
+    prefix still fails) holds. Returns the smallest case found."""
+    if predicate is None:
+        oracles = failing_oracles(failures)
+        if not oracles:
+            return case
+        predicate = _default_predicate(oracles)
+
+    current = case
+    for _ in range(max_rounds):
+        reduced = False
+        for candidate in _candidates(current):
+            if not _is_valid(candidate):
+                continue
+            if predicate(candidate):
+                current = candidate
+                reduced = True
+                break  # restart strategies against the smaller case
+        if not reduced:
+            return current
+    return current
+
+
+# ----------------------------------------------------------------------
+# Candidate generation, most aggressive reductions first
+# ----------------------------------------------------------------------
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    yield from _drop_deltas(case)
+    yield from _trim_deltas(case)
+    yield from _drop_nodes(case)
+    yield from _drop_edges(case)
+    yield from _simplify_width(case)
+
+
+def _replace(
+    case: FuzzCase,
+    graph: Optional[CallGraph] = None,
+    deltas: Optional[List[GraphDelta]] = None,
+    width_bits: object = "keep",
+) -> FuzzCase:
+    return FuzzCase(
+        graph=case.graph if graph is None else graph,
+        deltas=list(case.deltas) if deltas is None else deltas,
+        width_bits=(
+            case.width_bits if width_bits == "keep" else width_bits
+        ),
+        seed=case.seed,
+        label=f"{case.label}-shrunk" if not case.label.endswith("-shrunk")
+        else case.label,
+    )
+
+
+def _drop_deltas(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Remove whole deltas: all of them, halves, then one at a time."""
+    n = len(case.deltas)
+    if not n:
+        return
+    yield _replace(case, deltas=[])
+    if n > 1:
+        yield _replace(case, deltas=list(case.deltas[: n // 2]))
+        yield _replace(case, deltas=list(case.deltas[n // 2 :]))
+    for i in range(n):
+        yield _replace(
+            case, deltas=[d for j, d in enumerate(case.deltas) if j != i]
+        )
+
+
+def _trim_deltas(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Remove individual items from inside each delta."""
+    for i, delta in enumerate(case.deltas):
+        for slim in _slim_delta(delta):
+            deltas = list(case.deltas)
+            deltas[i] = slim
+            yield _replace(case, deltas=deltas)
+
+
+def _slim_delta(delta: GraphDelta) -> Iterator[GraphDelta]:
+    for name in delta.added_nodes:
+        added_nodes = {
+            k: v for k, v in delta.added_nodes.items() if k != name
+        }
+        # Dropping a node must also drop edges that mention it, or the
+        # delta would reference an undefined endpoint.
+        added_edges = tuple(
+            e
+            for e in delta.added_edges
+            if name not in (e.caller, e.callee)
+        )
+        yield GraphDelta(
+            added_nodes=added_nodes,
+            removed_nodes=delta.removed_nodes,
+            added_edges=added_edges,
+            removed_edges=delta.removed_edges,
+        )
+    for i in range(len(delta.added_edges)):
+        yield GraphDelta(
+            added_nodes=dict(delta.added_nodes),
+            removed_nodes=delta.removed_nodes,
+            added_edges=delta.added_edges[:i] + delta.added_edges[i + 1 :],
+            removed_edges=delta.removed_edges,
+        )
+    for i in range(len(delta.removed_edges)):
+        yield GraphDelta(
+            added_nodes=dict(delta.added_nodes),
+            removed_nodes=delta.removed_nodes,
+            added_edges=delta.added_edges,
+            removed_edges=delta.removed_edges[:i]
+            + delta.removed_edges[i + 1 :],
+        )
+    for name in delta.removed_nodes:
+        yield GraphDelta(
+            added_nodes=dict(delta.added_nodes),
+            removed_nodes=tuple(
+                n for n in delta.removed_nodes if n != name
+            ),
+            added_edges=delta.added_edges,
+            removed_edges=delta.removed_edges,
+        )
+
+
+def _drop_nodes(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Remove one non-entry node (and its edges) from the base graph,
+    rewriting the delta stream to no longer mention it."""
+    graph = case.graph
+    for node in graph.nodes:
+        if node == graph.entry:
+            continue
+        smaller = CallGraph(entry=graph.entry)
+        for name in graph.nodes:
+            if name != node:
+                smaller.add_node(name, **graph.node_attrs(name))
+        for edge in graph.edges:
+            if node not in (edge.caller, edge.callee):
+                smaller.add_edge(edge.caller, edge.callee, edge.label)
+        deltas = _strip_node_from_deltas(case.deltas, node)
+        yield _replace(case, graph=smaller, deltas=deltas)
+
+
+def _strip_node_from_deltas(
+    deltas: Sequence[GraphDelta], node: str
+) -> List[GraphDelta]:
+    out: List[GraphDelta] = []
+    for delta in deltas:
+        out.append(
+            GraphDelta(
+                added_nodes=dict(delta.added_nodes),
+                removed_nodes=tuple(
+                    n for n in delta.removed_nodes if n != node
+                ),
+                added_edges=tuple(
+                    e
+                    for e in delta.added_edges
+                    if node not in (e.caller, e.callee)
+                ),
+                removed_edges=tuple(
+                    e
+                    for e in delta.removed_edges
+                    if node not in (e.caller, e.callee)
+                ),
+            )
+        )
+    return [d for d in out if not d.is_empty] or []
+
+
+def _drop_edges(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Remove one base-graph edge (deltas removing it are rewritten)."""
+    graph = case.graph
+    for victim in graph.edges:
+        smaller = CallGraph(entry=graph.entry)
+        for name in graph.nodes:
+            smaller.add_node(name, **graph.node_attrs(name))
+        dropped = False
+        for edge in graph.edges:
+            if not dropped and edge == victim:
+                dropped = True
+                continue
+            smaller.add_edge(edge.caller, edge.callee, edge.label)
+        deltas = _strip_edge_from_deltas(case.deltas, victim)
+        yield _replace(case, graph=smaller, deltas=deltas)
+
+
+def _strip_edge_from_deltas(
+    deltas: Sequence[GraphDelta], edge: CallEdge
+) -> List[GraphDelta]:
+    out: List[GraphDelta] = []
+    for delta in deltas:
+        out.append(
+            GraphDelta(
+                added_nodes=dict(delta.added_nodes),
+                removed_nodes=delta.removed_nodes,
+                added_edges=delta.added_edges,
+                removed_edges=tuple(
+                    e for e in delta.removed_edges if e != edge
+                ),
+            )
+        )
+    return [d for d in out if not d.is_empty] or []
+
+
+def _simplify_width(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Unbounded is the simplest width; then try widening a tight one
+    (a repro that persists at 64 bits is not about overflow)."""
+    if case.width_bits is not None:
+        yield _replace(case, width_bits=None)
+        if case.width_bits < 64:
+            yield _replace(case, width_bits=64)
+
+
+# ----------------------------------------------------------------------
+# Structural validity (cheap pre-filter before running oracles)
+# ----------------------------------------------------------------------
+def _is_valid(case: FuzzCase) -> bool:
+    try:
+        case.graph.validate()
+        for _ in case.graphs():
+            pass
+    except Exception:
+        return False
+    return True

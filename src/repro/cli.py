@@ -13,6 +13,7 @@ Usage::
     python -m repro serve-bench [--quick] [--json BENCH_serve.json]
     python -m repro obs [--format prometheus|json]
     python -m repro obs-bench [--smoke] [--json BENCH_obs.json]
+    python -m repro check [--iterations 500] [--seed 0] [--corpus DIR]
     python -m repro decode-demo
     python -m repro list
 
@@ -181,6 +182,36 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the full result as JSON (BENCH_obs.json artifact)",
+    )
+
+    pc = _command(
+        sub,
+        "check",
+        "differential fuzzing: encoders, repair, SIDs, runtime, service",
+    )
+    pc.add_argument(
+        "--iterations", type=int, default=100,
+        help="number of seeded fuzz cases to run (default: 100)",
+    )
+    pc.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; case i uses seed+i (default: 0)",
+    )
+    pc.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without delta-debugging them first",
+    )
+    pc.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="write shrunken failing cases to DIR as JSON repros",
+    )
+    pc.add_argument(
+        "--replay", metavar="DIR", default=None,
+        help="replay the corpus in DIR instead of fuzzing",
+    )
+    pc.add_argument(
+        "--stop-after", type=int, default=None,
+        help="stop after this many distinct failures",
     )
 
     _command(sub, "list", "list available benchmarks")
@@ -396,6 +427,23 @@ def _dispatch(args: argparse.Namespace) -> int:
             write_bench_json(result, args.json)
             print(f"\nwrote {args.json}")
         return 0
+
+    if args.command == "check":
+        from repro.check.runner import replay_corpus, run_check
+
+        if args.replay:
+            report = replay_corpus(args.replay, log=print)
+        else:
+            report = run_check(
+                iterations=args.iterations,
+                seed=args.seed,
+                shrink=not args.no_shrink,
+                corpus_dir=args.corpus,
+                stop_after=args.stop_after,
+                log=print,
+            )
+        print(report.summary())
+        return 0 if report.ok else 1
 
     if args.command == "decode-demo":
         _decode_demo()

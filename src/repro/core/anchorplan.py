@@ -48,11 +48,9 @@ def suggest_anchors(
       restarts from the anchored contributions.
     """
     acyclic, _removed = remove_recursion(graph)
-    try:
-        limit = width.max_value
-    except OverflowError:
+    if not width.is_bounded:
         return []  # unbounded width never overflows: nothing to seed
-    budget = max(limit // safety_factor, 1)
+    budget = max(width.max_value // safety_factor, 1)
 
     counts: Dict[str, int] = {acyclic.entry: 1}
     anchors: List[str] = []

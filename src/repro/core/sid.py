@@ -136,7 +136,11 @@ def update_sids(old: SidTable, graph: CallGraph, delta) -> SidTable:
             if name not in old.sid_of_node and name not in delta.added_nodes:
                 new_names.append(name)
     new_names = list(dict.fromkeys(new_names))
-    fresh = old.num_sets
+    # Fresh SIDs must clear every *surviving* number, not just
+    # ``num_sets``: a previous merge can leave the live SIDs sparse
+    # (e.g. {0, 1, 3} with num_sets == 3), and numbering fresh classes
+    # from num_sets would collide with the surviving 3.
+    fresh = max(old.sid_of_node.values(), default=-1) + 1
     for name in new_names:
         root = find(("new", name))
         if root not in canon:

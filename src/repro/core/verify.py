@@ -149,11 +149,11 @@ def _check_bounds(encoding: Encoding, node, key) -> Optional[str]:
     else:
         assert isinstance(encoding, AnchoredEncoding)
         stack, current = key
-        limit = encoding.width.max_value if encoding.width.bits < 128 else None
+        limit = encoding.width.max_value
         for _, saved in stack:
-            if limit is not None and saved > limit:
+            if saved > limit:
                 return f"pushed id {saved} exceeds width {encoding.width}"
-        if limit is not None and current > limit:
+        if current > limit:
             return f"current id {current} exceeds width {encoding.width}"
     return None
 

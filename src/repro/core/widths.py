@@ -13,6 +13,7 @@ integer is ``[0, 2**(w-1) - 1]`` — matching the paper's remark that the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["Width", "W8", "W16", "W32", "W64", "UNBOUNDED"]
@@ -27,6 +28,11 @@ class Width:
     def __post_init__(self):
         if self.bits < 2:
             raise ValueError("width must be at least 2 bits")
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether :attr:`max_value` is an actual integer limit."""
+        return True
 
     @property
     def max_value(self) -> int:
@@ -53,8 +59,16 @@ class _Unbounded(Width):
         object.__setattr__(self, "bits", 1 << 30)
 
     @property
-    def max_value(self) -> int:  # pragma: no cover - never compared
-        raise OverflowError("unbounded width has no maximum")
+    def is_bounded(self) -> bool:
+        return False
+
+    @property
+    def max_value(self) -> float:
+        """``math.inf``: every comparison against it behaves correctly
+        (any finite ID is smaller), and formatting it cannot crash a
+        report mid-run. Callers that need an *integer* limit must branch
+        on :attr:`is_bounded` instead."""
+        return math.inf
 
     def fits(self, value: int) -> bool:
         return value >= 0

@@ -129,7 +129,7 @@ class DeltaPathPlan:
             result = reencode(
                 new_graph,
                 self.encoding,
-                touched=delta.touched_nodes(),
+                touched=delta.touched_nodes(self.graph),
                 max_restarts=max_restarts,
             )
             recursion = plan_recursion(new_graph)

@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import WorkloadError
+from repro.errors import DispatchError, WorkloadError
 from repro.lang.model import Program
 from repro.runtime.collector import ContextCollector
 from repro.runtime.interpreter import Interpreter
@@ -39,6 +39,12 @@ class ThreadResult:
     probe: Probe
     collector: Optional[ContextCollector]
     interpreter: Interpreter
+    #: True once the thread's interpreter raised (workload exhausted its
+    #: depth budget or dispatch failed); a halted thread is never
+    #: scheduled again.
+    halted: bool = False
+    #: The error that halted the thread, for post-mortem reporting.
+    error: Optional[str] = None
 
 
 class ThreadedRun:
@@ -102,17 +108,47 @@ class ThreadedRun:
             )
 
     # ------------------------------------------------------------------
-    def run(self, total_operations: int) -> List[ThreadResult]:
+    def run(
+        self,
+        total_operations: int,
+        operations_per_thread: Optional[int] = None,
+    ) -> List[ThreadResult]:
         """Interleave ``total_operations`` operations across threads.
 
-        The scheduler picks a runnable thread uniformly at random per
+        The scheduler picks a *runnable* thread uniformly at random per
         operation (seeded), mimicking an OS scheduler at the quiescent
-        points where thread-local encoding state is empty.
+        points where thread-local encoding state is empty. A thread
+        whose interpreter raises (depth budget exhausted, dispatch
+        failure) halts — it is marked in its :class:`ThreadResult` and
+        never scheduled again, instead of the old behaviour of
+        re-running the dead interpreter and aborting every other
+        thread's progress. ``operations_per_thread`` optionally caps any
+        single thread's share. The run ends early once no thread is
+        runnable.
         """
-        for _ in range(total_operations):
-            result = self._scheduler.choice(self._results)
-            result.interpreter.run(operations=1)
+        completed = 0
+        while completed < total_operations:
+            runnable = [
+                r
+                for r in self._results
+                if not r.halted
+                and (
+                    operations_per_thread is None
+                    or r.operations < operations_per_thread
+                )
+            ]
+            if not runnable:
+                break
+            result = self._scheduler.choice(runnable)
+            try:
+                result.interpreter.run(operations=1)
+            except (WorkloadError, DispatchError) as exc:
+                # A halt costs no budget: the operation never ran.
+                result.halted = True
+                result.error = f"{type(exc).__name__}: {exc}"
+                continue
             result.operations += 1
+            completed += 1
         return self._results
 
     @property

@@ -253,3 +253,57 @@ class TestUpdateSids:
         updated = update_sids(old, g2, delta)
         batch = compute_sids(g2)
         assert updated.sid_of_node == batch.sid_of_node
+
+    def test_two_deltas_fresh_sid_does_not_collide(self):
+        """Regression (found by ``repro.check``): after a merge leaves
+        the surviving SID numbers sparse ({0, 1, 3}, num_sets == 3), a
+        second delta's fresh numbering started at num_sets and handed a
+        brand-new class the still-live SID 3."""
+        g = CallGraph("main")
+        g.add_edge("main", "A", "l0")
+        g.add_edge("main", "B", "l1")
+        g.add_edge("main", "C", "l2")
+        sids = compute_sids(g)
+
+        g2 = g.copy()
+        merge = (g2.add_edge("main", "A", "v"), g2.add_edge("main", "B", "v"))
+        sids = update_sids(sids, g2, GraphDelta(added_edges=merge))
+        assert sids.num_sets == 3  # {main}, {A, B}, {C}
+
+        g3 = g2.copy()
+        edge = g3.add_edge("main", "D", "l3")
+        sids = update_sids(
+            sids, g3, GraphDelta(added_nodes={"D": {}}, added_edges=(edge,))
+        )
+        assert sids.sid_of_node["D"] != sids.sid_of_node["C"]
+        batch = compute_sids(g3)
+        by_updated, by_batch = {}, {}
+        for node in g3.nodes:
+            by_updated.setdefault(sids.sid_of_node[node], set()).add(node)
+            by_batch.setdefault(batch.sid_of_node[node], set()).add(node)
+        assert sorted(map(sorted, by_updated.values())) == sorted(
+            map(sorted, by_batch.values())
+        )
+        assert sids.num_sets == batch.num_sets
+
+
+class TestTouchedNodesWithGraph:
+    def test_removed_node_touches_its_neighbors(self):
+        """Regression (found by ``repro.check``): removing a node
+        implicitly removes its incident edges, so the neighbors'
+        territories are dirty too — but the delta alone cannot name
+        them, which under-approximated the re-encoding dirty region and
+        left stale site tables behind."""
+        g = CallGraph("main")
+        g.add_edge("main", "A", "a0")
+        g.add_edge("A", "B", "b0")
+        g.add_edge("B", "C", "c0")
+        delta = GraphDelta(removed_nodes=("B",))
+        assert delta.touched_nodes() == {"B"}
+        assert delta.touched_nodes(g) == {"A", "B", "C"}
+
+    def test_explicit_edges_unaffected_by_graph_argument(self):
+        g = CallGraph("main")
+        edge = g.add_edge("main", "A", "a0")
+        delta = GraphDelta(removed_edges=(edge,))
+        assert delta.touched_nodes(g) == {"main", "A"}

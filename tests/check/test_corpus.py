@@ -1,0 +1,42 @@
+"""Committed corpus repros replay clean (deterministic regressions).
+
+Every file under ``tests/check/corpus/`` is a shrunken witness of a bug
+this harness found and this codebase then fixed. Replaying them runs the
+full oracle matrix; a failure here means a fixed bug regressed.
+"""
+
+import os
+
+import pytest
+
+from repro.check.fuzz import load_case
+from repro.check.oracle import check_case
+from repro.check.runner import replay_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(
+    name for name in os.listdir(CORPUS_DIR) if name.endswith(".json")
+)
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 3
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_case_passes_all_oracles(name):
+    case = load_case(os.path.join(CORPUS_DIR, name))
+    assert check_case(case) == []
+
+
+def test_replay_corpus_runner():
+    report = replay_corpus(CORPUS_DIR)
+    assert report.cases == len(CORPUS_FILES)
+    assert report.ok, report.summary()
+    assert all(r.label.startswith("corpus/") for r in report.results)
+
+
+def test_replay_missing_dir_is_empty_report():
+    report = replay_corpus(os.path.join(CORPUS_DIR, "no-such-dir"))
+    assert report.cases == 0
+    assert report.ok

@@ -1,0 +1,103 @@
+"""The fuzzer: determinism, delta validity, corpus round-trip."""
+
+import random
+
+import pytest
+
+from repro.analysis.incremental import apply_delta
+from repro.check.fuzz import (
+    case_from_json,
+    case_to_json,
+    generate_case,
+    load_case,
+    random_delta,
+    save_case,
+)
+from repro.core.widths import UNBOUNDED
+from repro.errors import GraphError
+from repro.workloads.synthetic import random_callgraph
+
+SEEDS = range(50)
+
+
+class TestGenerateCase:
+    def test_deterministic(self):
+        for seed in (0, 7, 42):
+            a, b = generate_case(seed), generate_case(seed)
+            assert case_to_json(a) == case_to_json(b)
+
+    def test_deltas_valid_by_construction(self):
+        # Every generated delta chain must replay without GraphError.
+        for seed in SEEDS:
+            case = generate_case(seed)
+            graph = case.graph
+            for delta in case.deltas:
+                graph = apply_delta(graph, delta)  # raises on invalidity
+
+    def test_shapes_all_reachable(self):
+        labels = {generate_case(seed).label for seed in range(60)}
+        assert {"layered", "cascade", "recursive", "entry_only"} <= labels
+
+    def test_width_property(self):
+        case = generate_case(0)
+        case.width_bits = None
+        assert case.width is UNBOUNDED
+        case.width_bits = 8
+        assert case.width.bits == 8
+
+    def test_graphs_iterates_delta_prefixes(self):
+        for seed in SEEDS:
+            case = generate_case(seed)
+            states = list(case.graphs())
+            assert len(states) == len(case.deltas) + 1
+            assert states[0] is case.graph
+            assert set(states[-1].nodes) == set(case.final_graph().nodes)
+
+
+class TestRandomDelta:
+    def test_never_empty_and_always_applies(self):
+        rng = random.Random(1)
+        graph = random_callgraph(1, layers=3, width=3, virtual_sites=2)
+        for i in range(80):
+            delta = random_delta(rng, graph, tag=str(i))
+            assert not delta.is_empty
+            graph = apply_delta(graph, delta)
+
+    def test_additive_only_flag(self):
+        rng = random.Random(2)
+        graph = random_callgraph(2, layers=3, width=3)
+        for i in range(30):
+            delta = random_delta(rng, graph, tag=str(i), additive_only=True)
+            assert delta.is_additive
+            graph = apply_delta(graph, delta)
+
+
+class TestCorpusFormat:
+    def test_json_roundtrip(self):
+        for seed in SEEDS:
+            case = generate_case(seed)
+            back = case_from_json(case_to_json(case))
+            assert case_to_json(back) == case_to_json(case)
+            assert set(back.graph.nodes) == set(case.graph.nodes)
+            assert set(back.graph.edges) == set(case.graph.edges)
+
+    def test_save_load(self, tmp_path):
+        case = generate_case(3)
+        path = str(tmp_path / "case.json")
+        save_case(case, path)
+        loaded = load_case(path)
+        assert case_to_json(loaded) == case_to_json(case)
+
+    def test_final_graph_rejects_corrupted_delta(self):
+        case = generate_case(0)
+        bad = case_to_json(case)
+        bad["deltas"] = [
+            {
+                "added_nodes": {},
+                "removed_nodes": ["no-such-node"],
+                "added_edges": [],
+                "removed_edges": [],
+            }
+        ]
+        with pytest.raises(GraphError):
+            case_from_json(bad).final_graph()

@@ -1,0 +1,136 @@
+"""CheckedProbe invariants, service fault injection, and the runner."""
+
+import pytest
+
+from repro import obs
+from repro.check.invariants import (
+    CheckedProbe,
+    InvariantViolation,
+    service_fault_scenario,
+)
+from repro.check.runner import run_check
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.graph.callgraph import CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan_from_graph
+
+
+def _plan():
+    graph = CallGraph(entry="main")
+    graph.add_edge("main", "A", "l0")
+    graph.add_edge("main", "B", "l1")
+    graph.add_edge("A", "C", "a0")
+    graph.add_edge("B", "C", "b0")
+    return build_plan_from_graph(graph)
+
+
+class TestCheckedProbe:
+    def test_clean_walk_has_no_violations(self):
+        plan = _plan()
+        probe = CheckedProbe(DeltaPathProbe(plan, cpt=True))
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.before_call("main", "l0", "A")
+        probe.enter_function("A")
+        probe.before_call("A", "a0", "C")
+        probe.enter_function("C")
+        snapshot = probe.snapshot("C")
+        probe.exit_function("C")
+        probe.after_call("A", "a0", "C")
+        probe.exit_function("A")
+        probe.after_call("main", "l0", "A")
+        probe.exit_function("main")
+        probe.end_execution()
+        assert probe.violations == []
+        assert probe.checks > 0
+        assert plan.decode_snapshot("C", snapshot).nodes() == [
+            "main",
+            "A",
+            "C",
+        ]
+
+    def test_negative_id_flagged(self):
+        probe = CheckedProbe(DeltaPathProbe(_plan(), cpt=True))
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.inner._id = -1
+        probe.before_call("main", "l0", "A")
+        assert any("negative" in v for v in probe.violations)
+
+    def test_malformed_stack_entry_flagged(self):
+        probe = CheckedProbe(DeltaPathProbe(_plan(), cpt=True))
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.inner._stack.append(
+            StackEntry(kind=EntryKind.ANCHOR, node="C", saved_id=0)
+        )
+        probe.before_call("main", "l0", "A")
+        assert any("non-anchor" in v for v in probe.violations)
+
+    def test_strict_mode_raises(self):
+        probe = CheckedProbe(DeltaPathProbe(_plan(), cpt=True), strict=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.inner._id = -1
+        with pytest.raises(InvariantViolation):
+            probe.before_call("main", "l0", "A")
+
+
+class TestServiceFaultInjection:
+    def test_queue_overflow_keeps_accounting_conserved(self):
+        plan = _plan()
+        probe = DeltaPathProbe(plan, cpt=True)
+        observations = []
+        for _ in range(30):
+            probe.begin_execution("main")
+            probe.enter_function("main")
+            probe.before_call("main", "l0", "A")
+            probe.enter_function("A")
+            observations.append(("A", probe.snapshot("A")))
+            probe.exit_function("A")
+            probe.after_call("main", "l0", "A")
+            probe.exit_function("main")
+            probe.end_execution()
+        failures = service_fault_scenario(
+            plan, observations, queue_capacity=4, backpressure="drop-newest"
+        )
+        assert failures == []
+
+
+class TestRunner:
+    def test_clean_run_reports_all_ok(self):
+        report = run_check(iterations=3, seed=0, shrink=False)
+        assert report.cases == 3
+        assert report.ok
+        assert "all oracles held" in report.summary()
+
+    def test_metrics_counted(self):
+        before = obs.counter("check.cases").value
+        run_check(iterations=2, seed=10, shrink=False)
+        assert obs.counter("check.cases").value == before + 2
+
+    def test_failure_is_shrunk_and_saved(self, tmp_path, monkeypatch):
+        # Force a deterministic failure by monkeypatching one oracle.
+        import repro.check.runner as runner_mod
+
+        real_check_case = runner_mod.check_case
+
+        def fake_check_case(case, **kwargs):
+            if kwargs.get("oracles"):
+                return real_check_case(case, **kwargs) or [
+                    "sids: synthetic failure"
+                ]
+            return ["sids: synthetic failure"]
+
+        monkeypatch.setattr(runner_mod, "check_case", fake_check_case)
+        report = run_check(
+            iterations=1,
+            seed=0,
+            shrink=True,
+            corpus_dir=str(tmp_path),
+            stop_after=1,
+        )
+        assert not report.ok
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        assert report.failures[0].repro_path == str(saved[0])

@@ -1,0 +1,133 @@
+"""The oracle matrix: clean cases pass, seeded defects are caught."""
+
+import pytest
+
+from repro.analysis.incremental import GraphDelta
+from repro.check.fuzz import FuzzCase, generate_case
+from repro.check.invariants import CheckedProbe
+from repro.check.oracle import (
+    check_case,
+    check_encoders,
+    check_runtime,
+    check_sids,
+    sid_equivalence_failures,
+)
+from repro.core.sid import SidTable, compute_sids
+from repro.graph.callgraph import CallEdge, CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan_from_graph
+
+
+def _diamond():
+    graph = CallGraph(entry="main")
+    graph.add_edge("main", "A", "l0")
+    graph.add_edge("main", "B", "l1")
+    graph.add_edge("A", "C", "a0")
+    graph.add_edge("B", "C", "b0")
+    return graph
+
+
+class TestCleanCases:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_cases_pass_all_oracles(self, seed):
+        case = generate_case(seed)
+        assert check_case(case, with_service=False) == []
+
+    def test_diamond_with_additive_delta(self):
+        graph = _diamond()
+        delta = GraphDelta(
+            added_nodes={"D": {}},
+            added_edges=(CallEdge("C", "D", "c0"),),
+        )
+        case = FuzzCase(graph=graph, deltas=[delta], label="diamond")
+        assert check_case(case, with_service=False) == []
+
+
+class TestSidOracle:
+    def test_catches_fresh_sid_collision(self):
+        graph = CallGraph(entry="main")
+        graph.add_edge("main", "A", "l0")
+        graph.add_edge("main", "B", "l1")
+        graph.add_edge("main", "C", "l2")
+        case = FuzzCase(
+            graph=graph,
+            deltas=[
+                GraphDelta(
+                    added_edges=(
+                        CallEdge("main", "A", "v"),
+                        CallEdge("main", "B", "v"),
+                    )
+                ),
+                GraphDelta(
+                    added_nodes={"D": {}},
+                    added_edges=(CallEdge("main", "D", "l3"),),
+                ),
+            ],
+        )
+        # The product bug is fixed, so the chained path agrees now.
+        assert check_sids(case) == []
+
+    def test_equivalence_detects_collision_and_split(self):
+        graph = CallGraph(entry="main")
+        graph.add_edge("main", "A", "l0")
+        reference = compute_sids(graph)
+        collided = SidTable(
+            sid_of_node={"main": 0, "A": 0},
+            sid_of_site=dict(reference.sid_of_site),
+            num_sets=1,
+        )
+        failures = sid_equivalence_failures(collided, reference, graph)
+        assert any("collision" in f for f in failures)
+
+        split = SidTable(
+            sid_of_node={"main": 0, "A": 1},
+            sid_of_site={},
+            num_sets=2,
+        )
+        merged_ref = SidTable(
+            sid_of_node={"main": 0, "A": 0}, sid_of_site={}, num_sets=1
+        )
+        failures = sid_equivalence_failures(split, merged_ref, graph)
+        assert any("split" in f for f in failures)
+
+    def test_missing_node_reported(self):
+        graph = CallGraph(entry="main")
+        graph.add_edge("main", "A", "l0")
+        reference = compute_sids(graph)
+        partial = SidTable(sid_of_node={"main": 0}, sid_of_site={}, num_sets=1)
+        failures = sid_equivalence_failures(partial, reference, graph)
+        assert any("missing" in f for f in failures)
+
+
+class TestEncoderOracle:
+    def test_passes_on_paper_style_graph(self):
+        case = FuzzCase(graph=_diamond(), width_bits=None)
+        assert check_encoders(case) == []
+
+    def test_bounded_width_overflow_is_a_skip_not_a_failure(self):
+        # 2**6 contexts at every hub: int8 anchors aggressively; the
+        # oracle must treat genuine EncodingOverflowError as a skip.
+        graph = CallGraph(entry="main")
+        prev = "main"
+        for layer in range(6):
+            node = f"h{layer}"
+            for lane in range(2):
+                graph.add_edge(prev, node, f"l{layer}_{lane}")
+            prev = node
+        case = FuzzCase(graph=graph, width_bits=6, label="blowup")
+        assert check_encoders(case) == []
+
+
+class TestRuntimeOracle:
+    def test_clean_plan_passes(self):
+        case = FuzzCase(graph=_diamond())
+        assert check_runtime(case) == []
+
+    def test_checked_probe_catches_corrupted_id(self):
+        plan = build_plan_from_graph(_diamond())
+        probe = CheckedProbe(DeltaPathProbe(plan, cpt=True))
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.inner._id = -7  # corrupt the runtime state directly
+        probe.before_call("main", "l0", "A")
+        assert any("negative" in v for v in probe.violations)

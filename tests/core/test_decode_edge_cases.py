@@ -1,0 +1,183 @@
+"""Decode edge cases, parametrized across all four encoders.
+
+Three structures the decoders must survive:
+
+* the degenerate entry-node-only graph (the empty context);
+* a virtual site whose dispatch set becomes a singleton after a removal
+  delta (the site stays a call site, its SID class shrinks);
+* a self-recursive anchor (recursion on the anchor node itself, runtime
+  path — static ``encode_context`` only accepts acyclic contexts).
+"""
+
+import pytest
+
+from repro.analysis.incremental import GraphDelta, apply_delta
+from repro.core.anchored import encode_anchored
+from repro.core.deltapath import encode_deltapath
+from repro.core.hybrid import HybridDecoder, HybridProbe, build_hybrid_plan
+from repro.core.pcce import encode_pcce
+from repro.core.widths import UNBOUNDED
+from repro.graph.callgraph import CallEdge, CallGraph
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan_from_graph
+
+ENCODERS = ("pcce", "deltapath", "anchored", "hybrid")
+
+
+def roundtrip(encoder: str, graph: CallGraph, context, node: str):
+    """Encode ``context`` (a tuple of edges ending at ``node``) and
+    decode it back, returning the decoded root-first node path."""
+    if encoder == "pcce":
+        enc = encode_pcce(graph)
+        value = enc.encode_context(context)
+        decoded = enc.decode(node, value)
+        return [graph.entry] + [e.callee for e in decoded]
+    if encoder == "deltapath":
+        enc = encode_deltapath(graph)
+        value = enc.encode_context(context)
+        decoded = enc.decode(node, value)
+        return [graph.entry] + [e.callee for e in decoded]
+    if encoder == "anchored":
+        enc = encode_anchored(graph, width=UNBOUNDED)
+        stack, current = enc.encode_context(context)
+        decoded = enc.decode_context(node, stack, current)
+        return [graph.entry] + [e.callee for e in decoded]
+    assert encoder == "hybrid"
+    plan = build_hybrid_plan(graph, trunk=())
+    probe = HybridProbe(plan)
+    probe.begin_execution(graph.entry)
+    probe.enter_function(graph.entry)
+    for edge in context:
+        probe.before_call(edge.caller, edge.label, edge.callee)
+        probe.enter_function(edge.callee)
+    snapshot = probe.snapshot(node)
+    decoded = HybridDecoder(plan, trunk_map={}).decode(node, snapshot)
+    return decoded.nodes(gap_marker=None)
+
+
+class TestEntryOnlyGraph:
+    @pytest.mark.parametrize("encoder", ENCODERS)
+    def test_empty_context_roundtrips(self, encoder):
+        graph = CallGraph(entry="main")
+        assert roundtrip(encoder, graph, (), "main") == ["main"]
+
+    def test_entry_only_plan_decodes_probe_snapshot(self):
+        graph = CallGraph(entry="main")
+        plan = build_plan_from_graph(graph)
+        probe = DeltaPathProbe(plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        decoded = plan.decode_snapshot("main", probe.snapshot("main"))
+        assert decoded.nodes() == ["main"]
+        assert decoded.edges == []
+
+
+def _virtual_graph():
+    """main calls D through a virtual site dispatching to {A, B}; both
+    implementations call leaf L."""
+    graph = CallGraph(entry="main")
+    graph.add_call("main", ["A", "B"], label="v")
+    graph.add_edge("A", "L", "a0")
+    graph.add_edge("B", "L", "b0")
+    return graph
+
+
+class TestSingletonAfterRemoval:
+    """A removal delta shrinks the dispatch set of ``main@v`` to {A}."""
+
+    DELTA = GraphDelta(removed_edges=(CallEdge("main", "B", "v"),))
+
+    @pytest.mark.parametrize("encoder", ENCODERS)
+    def test_monomorphized_site_still_decodes(self, encoder):
+        graph = apply_delta(_virtual_graph(), self.DELTA)
+        assert graph.site_targets(graph.call_sites[0])  # site survives
+        edges = {(e.caller, e.callee): e for e in graph.edges}
+        context = (edges[("main", "A")], edges[("A", "L")])
+        assert roundtrip(encoder, graph, context, "L") == ["main", "A", "L"]
+
+    def test_incremental_repair_decodes_after_monomorphization(self):
+        # Through plan.apply_delta (not a cold rebuild): the repaired
+        # plan must decode contexts through the now-singleton site.
+        plan = build_plan_from_graph(_virtual_graph())
+        update = plan.apply_delta(self.DELTA)
+        new_plan = update.plan
+        probe = DeltaPathProbe(new_plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.before_call("main", "v", "A")
+        probe.enter_function("A")
+        probe.before_call("A", "a0", "L")
+        probe.enter_function("L")
+        decoded = new_plan.decode_snapshot("L", probe.snapshot("L"))
+        assert decoded.nodes() == ["main", "A", "L"]
+
+    def test_removing_node_behind_singleton_site(self):
+        # Removing a *node* (implicit edge removal) used to leave a
+        # stale site table entry behind and crash plan repair.
+        graph = CallGraph(entry="main")
+        graph.add_edge("main", "A", "a0")
+        graph.add_edge("A", "B", "b0")
+        plan = build_plan_from_graph(graph)
+        update = plan.apply_delta(GraphDelta(removed_nodes=("B",)))
+        assert "B" not in update.plan.graph
+        assert ("A", "b0") not in update.plan.site_av
+        probe = DeltaPathProbe(update.plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.before_call("main", "a0", "A")
+        probe.enter_function("A")
+        decoded = update.plan.decode_snapshot("A", probe.snapshot("A"))
+        assert decoded.nodes() == ["main", "A"]
+
+
+class TestSelfRecursiveAnchor:
+    """Recursion on the anchor node itself: each iteration pushes a
+    RECURSION entry whose decode must re-insert the back edge."""
+
+    def _graph(self):
+        graph = CallGraph(entry="main")
+        graph.add_edge("main", "A", "l0")
+        graph.add_edge("A", "A", "self")
+        return graph
+
+    @pytest.mark.parametrize("depth", (1, 2, 4))
+    def test_probe_roundtrip_through_self_loop(self, depth):
+        graph = self._graph()
+        plan = build_plan_from_graph(graph, initial_anchors=["A"])
+        assert plan.encoding.is_anchor("A")
+        probe = DeltaPathProbe(plan, cpt=True)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.before_call("main", "l0", "A")
+        probe.enter_function("A")
+        for _ in range(depth):
+            probe.before_call("A", "self", "A")
+            probe.enter_function("A")
+        decoded = plan.decode_snapshot("A", probe.snapshot("A"))
+        assert decoded.nodes() == ["main"] + ["A"] * (depth + 1)
+        assert decoded.edges[-depth:] == [
+            CallEdge("A", "A", "self")
+        ] * depth
+
+    @pytest.mark.parametrize("encoder", ("pcce", "deltapath", "anchored"))
+    def test_static_decode_ignores_back_edge(self, encoder):
+        # The acyclic projection must round-trip even though the graph
+        # has a self loop: the back edge contributes no encoding space.
+        graph = self._graph()
+        edge = next(e for e in graph.edges if e.caller == "main")
+        assert roundtrip(encoder, graph, (edge,), "A") == ["main", "A"]
+
+    def test_hybrid_tail_recursion_decodes(self):
+        graph = self._graph()
+        plan = build_hybrid_plan(graph, trunk=())
+        probe = HybridProbe(plan)
+        probe.begin_execution("main")
+        probe.enter_function("main")
+        probe.before_call("main", "l0", "A")
+        probe.enter_function("A")
+        probe.before_call("A", "self", "A")
+        probe.enter_function("A")
+        decoded = HybridDecoder(plan, trunk_map={}).decode(
+            "A", probe.snapshot("A")
+        )
+        assert decoded.nodes(gap_marker=None) == ["main", "A", "A"]

@@ -27,9 +27,16 @@ class TestWidths:
         assert UNBOUNDED.fits(10 ** 100)
         assert not UNBOUNDED.fits(-1)
 
-    def test_unbounded_has_no_max(self):
-        with pytest.raises(OverflowError):
-            UNBOUNDED.max_value
+    def test_unbounded_max_is_safe_to_compare_and_format(self):
+        # Regression: max_value used to raise OverflowError, which blew
+        # up any report that formatted or compared a width generically.
+        import math
+
+        assert UNBOUNDED.max_value == math.inf
+        assert 10 ** 100 < UNBOUNDED.max_value
+        assert "inf" in f"{UNBOUNDED.max_value}"
+        assert not UNBOUNDED.is_bounded
+        assert W8.is_bounded
 
     def test_tiny_width_rejected(self):
         with pytest.raises(ValueError):

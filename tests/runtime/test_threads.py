@@ -95,3 +95,78 @@ class TestThreadedRun:
                 probe_factory=lambda tid: DeltaPathProbe(plan),
                 threads=0,
             )
+
+
+VIRTUAL_SRC = """
+    program M.m
+    class M
+    class Shape
+    class Circle extends Shape
+    def M.m
+      vcall Shape.draw
+    end
+    def Circle.draw
+      work 1
+    end
+"""
+
+
+class TestHaltedThreads:
+    """Regression: a thread whose interpreter raised used to stay in the
+    scheduler's pool — re-picking it re-raised out of ``run`` and lost
+    every other thread's remaining operations."""
+
+    def _mixed_run(self, threads=4, seed=3):
+        program = parse_program(VIRTUAL_SRC)
+        plan = build_plan(program)
+        prepared = iter(range(threads))
+
+        def prepare(interpreter):
+            # Instantiate a receiver in every *even* thread only; odd
+            # threads raise DispatchError on their first operation.
+            if next(prepared) % 2 == 0:
+                interpreter.instantiate("Circle")
+
+        return ThreadedRun(
+            program,
+            probe_factory=lambda tid: DeltaPathProbe(plan, cpt=True),
+            threads=threads,
+            seed=seed,
+            prepare=prepare,
+        )
+
+    def test_halted_threads_are_skipped_not_rescheduled(self):
+        run = self._mixed_run()
+        results = run.run(total_operations=40)
+        halted = [r for r in results if r.halted]
+        alive = [r for r in results if not r.halted]
+        assert [r.thread_id for r in halted] == [1, 3]
+        assert all(r.operations == 0 for r in halted)
+        assert all("DispatchError" in r.error for r in halted)
+        assert all(r.error is None for r in alive)
+        # The live threads absorb the whole operation budget.
+        assert sum(r.operations for r in results) == 40
+
+    def test_run_stops_early_when_every_thread_halts(self):
+        program = parse_program(VIRTUAL_SRC)
+        plan = build_plan(program)
+        run = ThreadedRun(
+            program,
+            probe_factory=lambda tid: DeltaPathProbe(plan),
+            threads=2,
+        )
+        results = run.run(total_operations=100)  # must not raise
+        assert all(r.halted for r in results)
+        assert sum(r.operations for r in results) == 0
+
+    def test_operations_per_thread_caps_each_share(self):
+        program = parse_program(SRC)
+        plan = build_plan(program)
+        run = ThreadedRun(
+            program,
+            probe_factory=lambda tid: DeltaPathProbe(plan),
+            threads=3,
+        )
+        results = run.run(total_operations=100, operations_per_thread=5)
+        assert all(r.operations <= 5 for r in results)
+        assert sum(r.operations for r in results) == 15  # capped early stop
