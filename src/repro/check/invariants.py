@@ -19,13 +19,20 @@ encoder or the agent, never in the workload.
 :func:`service_fault_scenario` is the service-path fault injection the
 harness drives: a tiny bounded ingestion queue that overflows while a
 hot swap lands mid-stream, checking that the accounting conservation law
-``submitted == aggregated + decode_errors + epoch_mismatches + dropped``
-survives and that no sample decodes under the wrong epoch.
+``submitted == aggregated + dead_lettered + epoch_mismatches + dropped +
+fallback_dropped + fallback_pending`` survives and that no sample
+decodes under the wrong epoch. :func:`resilient_fault_scenario` re-runs
+ingestion under injected chaos (worker kills, decode storms) with the
+full supervision stack armed, and :func:`checkpoint_recovery_scenario`
+crashes checkpoint writes, plants torn/corrupt files, and asserts that
+recovery replays exactly the newest valid snapshot with no phantom
+contexts.
 """
 
 from __future__ import annotations
 
 import random
+import tempfile
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.stackmodel import EntryKind
@@ -34,7 +41,13 @@ from repro.runtime.agent import DeltaPathProbe
 from repro.runtime.plan import DeltaPathPlan, PlanUpdate
 from repro.runtime.probes import Probe
 
-__all__ = ["InvariantViolation", "CheckedProbe", "service_fault_scenario"]
+__all__ = [
+    "InvariantViolation",
+    "CheckedProbe",
+    "service_fault_scenario",
+    "resilient_fault_scenario",
+    "checkpoint_recovery_scenario",
+]
 
 
 class InvariantViolation(ReproError):
@@ -243,18 +256,21 @@ def service_fault_scenario(
         service.stop()
 
     metrics = service.service_metrics()
+    accounting = service.accounting()
     submitted = metrics["submitted"]
     accounted = (
-        metrics["aggregated"]
-        + metrics["decode_errors"]
-        + metrics["epoch_mismatches"]
-        + metrics["dropped"]
+        accounting["aggregated"]
+        + accounting["dead_lettered"]
+        + accounting["epoch_mismatches"]
+        + accounting["dropped"]
+        + accounting["fallback_dropped"]
+        + accounting["fallback_pending"]
     )
     if submitted != accounted:
         failures.append(
             f"service accounting leak: submitted={submitted} != "
-            f"aggregated+errors+mismatches+dropped={accounted} "
-            f"({metrics!r})"
+            f"aggregated+dead_lettered+mismatches+dropped+fallback="
+            f"{accounted} ({accounting!r})"
         )
     if metrics["decode_errors"]:
         failures.append(
@@ -279,5 +295,175 @@ def service_fault_scenario(
         failures.append(
             f"decoded functions outside every installed plan: "
             f"{sorted(unknown)[:5]}"
+        )
+    return failures
+
+
+def resilient_fault_scenario(
+    plan: DeltaPathPlan,
+    observations: Sequence[Tuple[str, tuple]],
+    seed: int = 0,
+) -> List[str]:
+    """Ingest under injected chaos with the full resilience stack armed.
+
+    Workers are killed mid-drain, decodes fail transiently at a rate
+    high enough to exercise retries (and occasionally the breaker), and
+    the supervisor restarts what dies. What must hold at quiescence is
+    the conservation law — every submitted sample aggregated,
+    dead-lettered, policy-dropped, or retained raw — plus a truthful
+    ``stop()``. Returns failure descriptions (empty when all held).
+    """
+    from repro.resilience import ResilienceConfig
+    from repro.resilience.chaos import ChaosConfig, ChaosInjector
+    from repro.resilience.chaos import conservation_failures
+    from repro.service.service import ContextService, ServiceConfig
+
+    failures: List[str] = []
+    injector = ChaosInjector(
+        ChaosConfig(
+            seed=seed,
+            worker_kill_rate=0.1,
+            slow_consumer_rate=0.05,
+            slow_consumer_s=0.001,
+            decode_fault_rate=0.1,
+            checkpoint_crash_rate=0.0,
+        )
+    )
+    resilience = ResilienceConfig(
+        heartbeat_interval=0.002,
+        max_restarts=64,
+        restart_backoff=0.001,
+        restart_backoff_max=0.01,
+        retry_backoff=0.0002,
+        retry_backoff_max=0.002,
+        breaker_min_volume=8,
+        breaker_cooldown=0.01,
+        seed=seed,
+    )
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            workers=2,
+            shards=4,
+            queue_capacity=64,
+            batch_size=8,
+            backpressure="drop-newest",
+        ),
+        resilience=resilience,
+        chaos=injector,
+    )
+    service.start()
+    try:
+        for node, snap in observations:
+            service.submit(node, snap, plan=plan)
+        try:
+            service.flush(timeout=30.0)
+        except ReproError as exc:
+            failures.append(f"flush under chaos failed: {exc}")
+    finally:
+        if not service.stop(timeout=30.0):
+            failures.append(
+                "stop() reported unaccounted samples after chaos ingestion"
+            )
+    failures.extend(conservation_failures(service))
+    return failures
+
+
+def checkpoint_recovery_scenario(
+    plan: DeltaPathPlan,
+    observations: Sequence[Tuple[str, tuple]],
+    seed: int = 0,
+) -> List[str]:
+    """Crash checkpoint writes, plant corrupt files, and recover.
+
+    The scenario: ingest, checkpoint, then simulate the worst on-disk
+    aftermath of a kill-9 — a write crashed mid-record (abandoned temp,
+    never renamed), a *newer-named* checkpoint torn in half, and a
+    garbage file. Recovery must replay exactly the newest *valid*
+    snapshot: recovered counts equal the checkpointed counts and are a
+    subset of the pre-crash tree (no phantom contexts, no inflation).
+    """
+    import os
+
+    from repro.errors import ChaosError, CheckpointError
+    from repro.resilience import ResilienceConfig
+    from repro.resilience.chaos import _tree_counts, recovery_failures
+    from repro.resilience.checkpoint import CheckpointState, CheckpointStore
+    from repro.service.service import ContextService, ServiceConfig
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-check-") as tmp:
+        resilience = ResilienceConfig(
+            checkpoint_dir=tmp, checkpoint_on_stop=False, seed=seed
+        )
+        service = ContextService(
+            plan,
+            ServiceConfig(workers=2, shards=4, queue_capacity=256,
+                          batch_size=16),
+            resilience=resilience,
+        )
+        service.start()
+        try:
+            for node, snap in observations:
+                service.submit(node, snap, plan=plan)
+            service.flush(timeout=30.0)
+        finally:
+            service.stop(timeout=30.0)
+
+        good_path = service.checkpoint()
+        checkpoint_counts = _tree_counts(service)
+        pre_crash_counts = dict(checkpoint_counts)
+
+        # A write that crashes mid-record must leave no checkpoint file
+        # behind — only an abandoned temp that recovery ignores.
+        store = CheckpointStore(tmp)
+
+        def crash_after_two(records: int) -> None:
+            if records >= 2:
+                raise ChaosError("injected checkpoint-write crash")
+
+        state = CheckpointState(
+            epoch=service.epoch,
+            fingerprint="doesnt-matter-never-lands",
+            rows=tuple(service.tree.rows()),
+        )
+        try:
+            store.write(state, fault=crash_after_two)
+            failures.append("crashed checkpoint write reported success")
+        except ChaosError:
+            pass
+
+        # A torn newer checkpoint (kill-9 mid-rename-window aftermath)
+        # and a garbage file, both named to sort *newer* than the good
+        # snapshot: recovery must reject both and fall back.
+        with open(good_path, "rb") as fh:
+            good_bytes = fh.read()
+        torn = os.path.join(tmp, "ckpt-99999998.dpck")
+        with open(torn, "wb") as fh:
+            fh.write(good_bytes[: max(1, len(good_bytes) * 2 // 3)])
+        garbage = os.path.join(tmp, "ckpt-99999999.dpck")
+        with open(garbage, "wb") as fh:
+            fh.write(b"\x00\xffthis was never a checkpoint\n")
+
+        fresh = ContextService(
+            plan,
+            ServiceConfig(workers=1, shards=2, queue_capacity=16,
+                          batch_size=4),
+            resilience=resilience,
+        )
+        try:
+            summary = fresh.recover(tmp)
+        except CheckpointError as exc:
+            failures.append(f"recovery found no valid checkpoint: {exc}")
+            return failures
+        if os.path.basename(summary["path"]) != os.path.basename(good_path):
+            failures.append(
+                f"recovery picked {summary['path']!r}, expected the "
+                f"newest valid checkpoint {good_path!r}"
+            )
+        failures.extend(
+            recovery_failures(
+                _tree_counts(fresh), checkpoint_counts, pre_crash_counts
+            )
         )
     return failures

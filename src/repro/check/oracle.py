@@ -19,6 +19,13 @@ oracle         cross-checks
                with optional mid-walk hot swaps on additive deltas
 ``service``    ingestion-queue overflow during hot swap: accounting
                conservation and epoch-correct decoding
+``conservation``  ingestion under injected chaos (worker kills, decode
+               storms) with supervision armed: the conservation law
+               ``submitted == aggregated + dead_lettered + mismatches +
+               dropped + fallback`` and a truthful ``stop()``
+``recovery``   checkpoint → crash → recover: recovery replays exactly
+               the newest valid snapshot (torn/corrupt files rejected),
+               a subset of the pre-crash tree, no phantom contexts
 =============  ========================================================
 
 Outcomes the system *documents* as legitimate are skips, not failures:
@@ -34,7 +41,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.incremental import apply_delta, diff_graphs
 from repro.check.fuzz import FuzzCase
-from repro.check.invariants import CheckedProbe, service_fault_scenario
+from repro.check.invariants import (
+    CheckedProbe,
+    checkpoint_recovery_scenario,
+    resilient_fault_scenario,
+    service_fault_scenario,
+)
 from repro.core.deltapath import encode_deltapath
 from repro.core.pcce import encode_pcce
 from repro.core.sid import SidTable, compute_sids, update_sids
@@ -59,6 +71,8 @@ __all__ = [
     "check_sids",
     "check_runtime",
     "check_service",
+    "check_conservation",
+    "check_recovery",
     "sid_equivalence_failures",
     "ORACLES",
 ]
@@ -446,6 +460,35 @@ def _collect_observations(
 
 
 # ----------------------------------------------------------------------
+# Resilience oracles (PR 5)
+# ----------------------------------------------------------------------
+def check_conservation(case: FuzzCase, observations: int = 24) -> List[str]:
+    """Chaos ingestion with supervision armed (see
+    :func:`repro.check.invariants.resilient_fault_scenario`)."""
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0xC0A5)
+    obs_pairs = _collect_observations(plan, rng, observations)
+    failures = resilient_fault_scenario(plan, obs_pairs, seed=case.seed)
+    return [f"conservation: {f}" for f in failures]
+
+
+def check_recovery(case: FuzzCase, observations: int = 24) -> List[str]:
+    """Checkpoint/crash/recover equivalence (see
+    :func:`repro.check.invariants.checkpoint_recovery_scenario`)."""
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0x4EC0)
+    obs_pairs = _collect_observations(plan, rng, observations)
+    failures = checkpoint_recovery_scenario(plan, obs_pairs, seed=case.seed)
+    return [f"recovery: {f}" for f in failures]
+
+
+# ----------------------------------------------------------------------
 # Composition
 # ----------------------------------------------------------------------
 ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
@@ -454,7 +497,12 @@ ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
     ("sids", check_sids),
     ("runtime", check_runtime),
     ("service", check_service),
+    ("conservation", check_conservation),
+    ("recovery", check_recovery),
 )
+
+#: Oracles that spin up worker threads; ``with_service=False`` skips them.
+_SERVICE_ORACLES = frozenset({"service", "conservation", "recovery"})
 
 
 def check_case(
@@ -467,15 +515,16 @@ def check_case(
 
     ``oracles`` restricts the run to a subset by name (the shrinker uses
     this to stay locked on the oracle that originally failed).
-    ``with_service=False`` skips the thread-spawning service oracle —
-    the right trade during shrinking's many predicate evaluations.
+    ``with_service=False`` skips the thread-spawning oracles (service,
+    conservation, recovery) — the right trade during shrinking's many
+    predicate evaluations.
     """
     failures: List[str] = []
     selected = set(oracles) if oracles is not None else None
     for name, oracle in ORACLES:
         if selected is not None and name not in selected:
             continue
-        if name == "service" and not with_service and selected is None:
+        if name in _SERVICE_ORACLES and not with_service and selected is None:
             continue
         if name in ("encoders", "incremental"):
             failures.extend(oracle(case, limit_per_node))

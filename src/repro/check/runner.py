@@ -7,8 +7,9 @@ re-runs every committed corpus file as a deterministic regression suite
 — the same entry point CI and ``tests/check/test_corpus.py`` use.
 
 Metrics (``repro.obs``): ``check.cases``, ``check.failures``,
-``check.skipped`` counters; ``check.case_us`` latency histogram; one
-``check.run`` span per invocation.
+``check.skipped`` counters; ``check.failures_by_oracle`` labeled by the
+oracle that reported each failure; ``check.case_us`` latency histogram;
+one ``check.run`` span per invocation.
 """
 
 from __future__ import annotations
@@ -157,6 +158,12 @@ def _check_one(
     obs.histogram("check.case_us").observe_us(elapsed_us)
     if failures:
         obs.counter("check.failures").inc()
+        by_oracle = obs.get_registry().labeled_counter(
+            "check.failures_by_oracle"
+        )
+        for failure in failures:
+            oracle, _, _rest = failure.partition(":")
+            by_oracle.inc(oracle.strip() or "unknown")
     return CaseResult(
         label=case.label,
         seed=case.seed,

@@ -14,6 +14,8 @@ Usage::
     python -m repro obs [--format prometheus|json]
     python -m repro obs-bench [--smoke] [--json BENCH_obs.json]
     python -m repro check [--iterations 500] [--seed 0] [--corpus DIR]
+    python -m repro chaos [--iterations 25] [--seed 5] [--json PATH]
+    python -m repro resilience-bench [--smoke] [--json PATH]
     python -m repro decode-demo
     python -m repro list
 
@@ -212,6 +214,60 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--stop-after", type=int, default=None,
         help="stop after this many distinct failures",
+    )
+
+    pch = _command(
+        sub,
+        "chaos",
+        "chaos suite: kill workers, storm decodes, crash checkpoints",
+    )
+    pch.add_argument(
+        "--iterations", type=int, default=25,
+        help="seeded chaos iterations to run (default: 25)",
+    )
+    pch.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; iteration i derives from seed+i (default: 0)",
+    )
+    pch.add_argument(
+        "--worker-kill-rate", type=float, default=0.02,
+        help="probability a worker dies at a drain boundary",
+    )
+    pch.add_argument(
+        "--slow-consumer-rate", type=float, default=0.02,
+        help="probability a worker stalls before draining",
+    )
+    pch.add_argument(
+        "--decode-fault-rate", type=float, default=0.05,
+        help="probability a decode raises a transient fault",
+    )
+    pch.add_argument(
+        "--checkpoint-crash-rate", type=float, default=0.3,
+        help="probability a checkpoint write crashes mid-record",
+    )
+    pch.add_argument(
+        "--observations", type=int, default=40,
+        help="samples ingested per iteration (default: 40)",
+    )
+    pch.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the chaos report as JSON",
+    )
+
+    prb = _command(
+        sub,
+        "resilience-bench",
+        "resilience overhead: supervised vs plain ingest, recovery time",
+    )
+    prb.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sample counts (CI smoke size)",
+    )
+    prb.add_argument("--samples", type=int, default=None)
+    prb.add_argument("--seed", type=int, default=1)
+    prb.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full result as JSON (BENCH_resilience.json)",
     )
 
     _command(sub, "list", "list available benchmarks")
@@ -444,6 +500,43 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         print(report.summary())
         return 0 if report.ok else 1
+
+    if args.command == "chaos":
+        from repro.resilience.chaos import run_chaos
+
+        report = run_chaos(
+            iterations=args.iterations,
+            seed=args.seed,
+            worker_kill_rate=args.worker_kill_rate,
+            slow_consumer_rate=args.slow_consumer_rate,
+            decode_fault_rate=args.decode_fault_rate,
+            checkpoint_crash_rate=args.checkpoint_crash_rate,
+            observations=args.observations,
+            log=print,
+        )
+        print(report.summary())
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0 if report.ok else 1
+
+    if args.command == "resilience-bench":
+        from repro.bench.resiliencebench import (
+            render_resilience_bench,
+            resilience_bench,
+            write_bench_json,
+        )
+
+        result = resilience_bench(
+            smoke=args.smoke, samples=args.samples, seed=args.seed
+        )
+        print(render_resilience_bench(result))
+        if args.json:
+            write_bench_json(result, args.json)
+            print(f"\nwrote {args.json}")
+        return 0
 
     if args.command == "decode-demo":
         _decode_demo()

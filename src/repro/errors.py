@@ -121,3 +121,29 @@ class EpochError(ServiceError):
     When epoch retention is bounded and an older epoch has been pruned,
     its samples can no longer be decoded and this error is raised.
     """
+
+
+class ResilienceError(ServiceError):
+    """The resilience layer (supervisor/breaker/checkpoint) was misused."""
+
+
+class CheckpointError(ResilienceError):
+    """A durable checkpoint could not be written or recovered.
+
+    Raised by :mod:`repro.resilience.checkpoint` when no valid snapshot
+    exists in a checkpoint directory, when a recovered snapshot's plan
+    fingerprint disagrees with the installed plan, or when recovery is
+    attempted on a service that already aggregated samples. Torn or
+    corrupt checkpoint *files* do not raise — they are skipped in favour
+    of the newest file that validates.
+    """
+
+
+class ChaosError(ReproError):
+    """An injected fault from :mod:`repro.resilience.chaos`.
+
+    Deliberately a plain (retryable) error: the chaos layer uses it to
+    model transient decode/checkpoint failures, so the retry policy and
+    the circuit breaker treat it exactly like an unexpected production
+    exception.
+    """

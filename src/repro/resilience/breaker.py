@@ -1,0 +1,195 @@
+"""Circuit breaker for the decode/ingest hot path.
+
+Classic three-state machine:
+
+``closed``
+    Normal operation. Outcomes are recorded into a sliding window; when
+    the window holds at least ``min_volume`` outcomes and the failure
+    fraction reaches ``error_rate``, the breaker trips ``open``.
+``open``
+    All calls are shed (:meth:`CircuitBreaker.allow` returns False) for
+    ``cooldown`` seconds — the service falls back to raw stack
+    retention so traffic stays answerable without hammering a failing
+    decode path.
+``half-open``
+    After the cooldown, up to ``half_open_probes`` trial calls are let
+    through. Any failure re-opens immediately; all probes succeeding
+    closes the breaker and clears the window.
+
+The clock is injectable so tests (and the chaos harness) never have to
+sleep through a cooldown. All transitions are guarded by one lock — the
+breaker is shared by every ingestion worker.
+
+Metrics (``repro.obs``): ``resilience.breaker_opens`` counter and a
+``resilience.breaker_state`` gauge (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro import obs
+from repro.errors import ResilienceError
+
+__all__ = ["CircuitBreaker", "STATES"]
+
+STATES = ("closed", "open", "half-open")
+_STATE_LEVEL = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Error-rate breaker with a sliding outcome window."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 64,
+        min_volume: int = 16,
+        error_rate: float = 0.5,
+        cooldown: float = 1.0,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "decode",
+    ):
+        if window < 1:
+            raise ResilienceError("breaker window must be at least 1")
+        if min_volume < 1 or min_volume > window:
+            raise ResilienceError(
+                f"min_volume must be in [1, window={window}], got {min_volume}"
+            )
+        if not 0.0 < error_rate <= 1.0:
+            raise ResilienceError(
+                f"error_rate must be in (0, 1], got {error_rate}"
+            )
+        if half_open_probes < 1:
+            raise ResilienceError("need at least one half-open probe")
+        self.name = name
+        self._window = window
+        self._min_volume = min_volume
+        self._error_rate = error_rate
+        self._cooldown = cooldown
+        self._half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: "deque[bool]" = deque(maxlen=window)  # True = failure
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_failures = 0
+        self._probe_successes = 0
+        self.opens = 0
+        self.shed = 0
+        self._gauge = obs.gauge("resilience.breaker_state")
+        self._gauge.set(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In ``half-open``, each True answer hands out one probe slot; the
+        caller must report the outcome via :meth:`record_success` /
+        :meth:`record_failure` or the slot leaks.
+        """
+        # Steady-state fast path: a lock-free state read. Racing a
+        # concurrent trip at worst lets one call through at the instant
+        # the breaker opens — indistinguishable from a straggler that
+        # was already past the gate, which _record tolerates anyway.
+        if self._state == "closed":
+            return True
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open":
+                if self._probes_in_flight < self._half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+            self.shed += 1
+            return False
+
+    def record_success(self) -> None:
+        # Closed-state fast path: deque.append is atomic under the GIL
+        # and a success can never flip the state, so the lock buys
+        # nothing here. Racing a trip at worst appends one stale False
+        # into the freshly cleared window (mild dilution, no
+        # transition); half-open successes must still take the lock to
+        # settle their probe slot.
+        if self._state == "closed":
+            self._outcomes.append(False)
+            return
+        self._record(failure=False)
+
+    def record_failure(self) -> None:
+        self._record(failure=True)
+
+    def _record(self, failure: bool) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "half-open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if failure:
+                    self._trip()
+                else:
+                    self._probe_successes += 1
+                    if self._probe_successes >= self._half_open_probes:
+                        self._close()
+                return
+            if self._state == "open":
+                # A straggler finishing after the trip: fold into the
+                # (cleared-on-close) window, never flips state.
+                return
+            self._outcomes.append(failure)
+            if failure and len(self._outcomes) >= self._min_volume:
+                failures = sum(1 for bad in self._outcomes if bad)
+                if failures / len(self._outcomes) >= self._error_rate:
+                    self._trip()
+
+    # -- internal transitions (lock held) ------------------------------
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self._cooldown
+        ):
+            self._state = "half-open"
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+            self._gauge.set(_STATE_LEVEL["half-open"])
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self.opens += 1
+        obs.counter("resilience.breaker_opens").inc()
+        self._gauge.set(_STATE_LEVEL["open"])
+
+    def _close(self) -> None:
+        self._state = "closed"
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._gauge.set(_STATE_LEVEL["closed"])
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "opens": self.opens,
+                "shed": self.shed,
+                "window": list(self._outcomes),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"

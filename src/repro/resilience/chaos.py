@@ -1,0 +1,437 @@
+"""Chaos injection: seeded faults against the resilient service.
+
+:class:`ChaosInjector` is the fault source the service wires into its
+hot paths when constructed with ``chaos=ChaosConfig(...)``:
+
+* ``worker_fault(slot)`` — hooked before each worker drain iteration;
+  kills the worker (:class:`~repro.service.ingest.WorkerKilled`) or
+  stalls it (slow consumer).
+* ``decode_fault()`` — hooked before each sample decode; raises a
+  retryable :class:`~repro.errors.ChaosError`, exercising the retry
+  ladder and, under storms, the circuit breaker.
+* ``checkpoint_fault()`` — per checkpoint write, maybe returns a hook
+  that crashes the write after N records, leaving a torn temp file the
+  recovery path must ignore.
+
+:func:`run_chaos` is the harness behind ``python -m repro chaos``: for
+each seeded iteration it builds a fuzz case, floods a fully-resilient
+service under all fault injectors at once, then asserts the two laws
+this PR exists to defend:
+
+* **conservation** — every submitted sample is aggregated,
+  dead-lettered, policy-dropped, or retained in the raw fallback;
+* **recovery equivalence** — a fresh service recovered from the newest
+  valid checkpoint reports exactly the checkpointed contexts, which are
+  a subset of the pre-crash report (no phantom contexts, no
+  resurrections).
+
+Determinism: everything derives from the iteration seed, so a failing
+iteration replays exactly with ``--seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import (
+    ChaosError,
+    CheckpointError,
+    EncodingOverflowError,
+    ReproError,
+    ResilienceError,
+)
+from repro.service.ingest import WorkerKilled
+
+__all__ = ["ChaosConfig", "ChaosInjector", "ChaosReport", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault rates for one chaos run (all probabilities per opportunity)."""
+
+    seed: int = 0
+    #: P(kill) per worker drain iteration.
+    worker_kill_rate: float = 0.02
+    #: P(stall) per worker drain iteration.
+    slow_consumer_rate: float = 0.02
+    slow_consumer_s: float = 0.005
+    #: P(raise ChaosError) per sample decode attempt.
+    decode_fault_rate: float = 0.05
+    #: P(crash) per checkpoint write.
+    checkpoint_crash_rate: float = 0.3
+    #: Crash lands after 0..N records of the write.
+    checkpoint_crash_after_records: int = 2
+
+    def __post_init__(self):
+        for name in (
+            "worker_kill_rate",
+            "slow_consumer_rate",
+            "decode_fault_rate",
+            "checkpoint_crash_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ResilienceError(f"{name} must be in [0, 1], got {rate}")
+
+
+class ChaosInjector:
+    """Seeded, thread-safe fault source for one service instance."""
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self.worker_kills = 0
+        self.slow_consumers = 0
+        self.decode_faults = 0
+        self.checkpoint_crashes = 0
+
+    # -- WorkerPool `fault` hook ----------------------------------------
+    def worker_fault(self, slot: int) -> None:
+        with self._lock:
+            roll = self._rng.random()
+            kill = roll < self.config.worker_kill_rate
+            slow = (
+                not kill
+                and roll
+                < self.config.worker_kill_rate + self.config.slow_consumer_rate
+            )
+            if kill:
+                self.worker_kills += 1
+            elif slow:
+                self.slow_consumers += 1
+        if kill:
+            obs.counter("resilience.chaos_worker_kills").inc()
+            raise WorkerKilled(f"chaos: killed worker slot {slot}")
+        if slow:
+            obs.counter("resilience.chaos_slow_consumers").inc()
+            time.sleep(self.config.slow_consumer_s)
+
+    # -- per-sample decode hook -----------------------------------------
+    def decode_fault(self) -> None:
+        with self._lock:
+            hit = self._rng.random() < self.config.decode_fault_rate
+            if hit:
+                self.decode_faults += 1
+        if hit:
+            obs.counter("resilience.chaos_decode_faults").inc()
+            raise ChaosError("chaos: injected transient decode failure")
+
+    # -- per-checkpoint-write hook --------------------------------------
+    def checkpoint_fault(self) -> Optional[Callable[[int], None]]:
+        """Maybe a crash hook for one checkpoint write (else None)."""
+        with self._lock:
+            if self._rng.random() >= self.config.checkpoint_crash_rate:
+                return None
+            crash_after = self._rng.randint(
+                0, self.config.checkpoint_crash_after_records
+            )
+
+        def crash(records: int) -> None:
+            if records > crash_after:
+                with self._lock:
+                    self.checkpoint_crashes += 1
+                obs.counter("resilience.chaos_checkpoint_crashes").inc()
+                raise ChaosError(
+                    f"chaos: checkpoint crash after {records} record(s)"
+                )
+
+        return crash
+
+    def tallies(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "worker_kills": self.worker_kills,
+                "slow_consumers": self.slow_consumers,
+                "decode_faults": self.decode_faults,
+                "checkpoint_crashes": self.checkpoint_crashes,
+            }
+
+
+# ----------------------------------------------------------------------
+# The chaos harness
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """Aggregate of one :func:`run_chaos` invocation."""
+
+    iterations: int = 0
+    skipped: int = 0
+    failures: List[str] = field(default_factory=list)
+    injected: Dict[str, int] = field(default_factory=dict)
+    restarts: int = 0
+    recoveries: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "all invariants held" if self.ok else (
+            f"{len(self.failures)} FAILURE(S)"
+        )
+        lines = [
+            f"chaos: {self.iterations} iteration(s) "
+            f"({self.skipped} skipped), {verdict}",
+            f"  injected: {self.injected}",
+            f"  worker restarts: {self.restarts}, "
+            f"recoveries: {self.recoveries}, "
+            f"elapsed: {self.elapsed_s:.2f}s",
+        ]
+        for failure in self.failures[:8]:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "skipped": self.skipped,
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "injected": dict(self.injected),
+            "restarts": self.restarts,
+            "recoveries": self.recoveries,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def conservation_failures(service) -> List[str]:
+    """The PR-5 conservation law over one service's accounting.
+
+    ``submitted == aggregated + dead_lettered + epoch_mismatches +
+    dropped + fallback_dropped + fallback_pending`` — every sample the
+    producer handed over is either in the tree, quarantined with its
+    error, dropped by a *declared* policy, or safely retained raw.
+    """
+    snap = service.accounting()
+    accounted = (
+        snap["aggregated"]
+        + snap["dead_lettered"]
+        + snap["epoch_mismatches"]
+        + snap["dropped"]
+        + snap["fallback_dropped"]
+        + snap["fallback_pending"]
+    )
+    failures: List[str] = []
+    if snap["submitted"] != accounted:
+        failures.append(
+            f"conservation leak: submitted={snap['submitted']} != "
+            f"accounted={accounted} ({snap!r})"
+        )
+    tree_total = service.tree.total_samples
+    expected_tree = snap["aggregated"] + snap["recovered"]
+    if tree_total != expected_tree:
+        failures.append(
+            f"tree total {tree_total} != aggregated+recovered "
+            f"{expected_tree} ({snap!r})"
+        )
+    return failures
+
+
+def recovery_failures(
+    recovered_counts: Dict[Tuple[str, ...], int],
+    checkpoint_counts: Dict[Tuple[str, ...], int],
+    pre_crash_counts: Dict[Tuple[str, ...], int],
+) -> List[str]:
+    """Recovery equivalence: recovered == checkpointed ⊆ pre-crash."""
+    failures: List[str] = []
+    if recovered_counts != checkpoint_counts:
+        missing = set(checkpoint_counts) - set(recovered_counts)
+        extra = set(recovered_counts) - set(checkpoint_counts)
+        failures.append(
+            f"recovered report != checkpointed state "
+            f"(missing={sorted(missing)[:3]}, extra={sorted(extra)[:3]})"
+        )
+    for path, count in recovered_counts.items():
+        pre = pre_crash_counts.get(path)
+        if pre is None:
+            failures.append(f"phantom context after recovery: {path!r}")
+            break
+        if count > pre:
+            failures.append(
+                f"context {path!r} inflated by recovery: {count} > "
+                f"pre-crash {pre}"
+            )
+            break
+    return failures
+
+
+def _tree_counts(service) -> Dict[Tuple[str, ...], int]:
+    return {path: count for path, count, _ in service.tree.rows()}
+
+
+def run_chaos(
+    iterations: int = 25,
+    seed: int = 0,
+    *,
+    worker_kill_rate: float = 0.02,
+    slow_consumer_rate: float = 0.02,
+    decode_fault_rate: float = 0.05,
+    checkpoint_crash_rate: float = 0.3,
+    observations: int = 40,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run ``iterations`` seeded chaos scenarios; see the module docs."""
+    # Imported lazily: repro.check imports the service layer, and the
+    # service layer imports this package — the laziness breaks the cycle.
+    from repro.check.fuzz import generate_case
+    from repro.check.oracle import _collect_observations
+    from repro.resilience import ResilienceConfig
+    from repro.service.service import ContextService, ServiceConfig
+    from repro.runtime.plan import build_plan_from_graph
+
+    report = ChaosReport()
+    start = time.perf_counter()
+    with obs.span("resilience.chaos_run", iterations=iterations, seed=seed):
+        for i in range(iterations):
+            case_seed = seed + i
+            case = generate_case(case_seed)
+            try:
+                plan = build_plan_from_graph(case.graph, width=case.width)
+            except EncodingOverflowError:
+                report.skipped += 1
+                continue
+            report.iterations += 1
+            rng = random.Random(case_seed ^ 0xC4A05)
+            obs_list = _collect_observations(plan, rng, observations)
+            chaos_cfg = ChaosConfig(
+                seed=case_seed,
+                worker_kill_rate=worker_kill_rate,
+                slow_consumer_rate=slow_consumer_rate,
+                decode_fault_rate=decode_fault_rate,
+                checkpoint_crash_rate=checkpoint_crash_rate,
+            )
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                resilience = ResilienceConfig(
+                    heartbeat_interval=0.002,
+                    max_restarts=64,
+                    restart_backoff=0.001,
+                    restart_backoff_max=0.01,
+                    retry_backoff=0.0002,
+                    retry_backoff_max=0.002,
+                    breaker_cooldown=0.01,
+                    breaker_min_volume=8,
+                    checkpoint_dir=tmp,
+                    checkpoint_on_stop=False,
+                    seed=case_seed,
+                )
+                failures = _chaos_iteration(
+                    ContextService,
+                    ServiceConfig,
+                    plan,
+                    obs_list,
+                    resilience,
+                    chaos_cfg,
+                    report,
+                )
+            if failures:
+                report.failures.extend(
+                    f"iteration {i} (seed={case_seed}, "
+                    f"{case.label}): {f}"
+                    for f in failures
+                )
+                if log:
+                    log(f"FAIL iteration {i} seed={case_seed}: {failures[0]}")
+            elif log and i % 10 == 0:
+                log(f"iteration {i} ok ({case.label}, seed={case_seed})")
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def _chaos_iteration(
+    ContextService,
+    ServiceConfig,
+    plan,
+    obs_list,
+    resilience,
+    chaos_cfg: ChaosConfig,
+    report: ChaosReport,
+) -> List[str]:
+    """One flood → checkpoint → crash → recover cycle; returns failures."""
+    failures: List[str] = []
+    injector = ChaosInjector(chaos_cfg)
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            workers=2,
+            shards=4,
+            queue_capacity=64,
+            batch_size=8,
+            backpressure="drop-newest",
+        ),
+        resilience=resilience,
+        chaos=injector,
+    )
+    service.start()
+    checkpoint_counts: Optional[Dict[Tuple[str, ...], int]] = None
+    try:
+        for node, snap in obs_list:
+            service.submit(node, snap, plan=plan)
+        try:
+            service.flush(timeout=30.0)
+        except ReproError as exc:
+            failures.append(f"flush failed under chaos: {exc}")
+
+        # Durable snapshot — retried past injected write crashes, like a
+        # checkpoint daemon would keep trying. At least one attempt runs
+        # fault-free because the injector's crash decisions are seeded
+        # and independent per attempt.
+        for _ in range(12):
+            try:
+                service.checkpoint()
+                checkpoint_counts = _tree_counts(service)
+                break
+            except ChaosError:
+                continue
+            except CheckpointError as exc:
+                failures.append(f"checkpoint refused: {exc}")
+                break
+
+        failures.extend(conservation_failures(service))
+        pre_crash_counts = _tree_counts(service)
+    finally:
+        # The "crash": no final checkpoint (checkpoint_on_stop=False),
+        # just tear the process-model down.
+        stopped_clean = service.stop(timeout=30.0)
+    if not stopped_clean:
+        failures.append("stop(drain=True) reported an un-drained shutdown")
+    failures.extend(conservation_failures(service))
+    snap = service.resilience_stats()
+    report.restarts += snap["supervisor"]["restarts"] if snap.get(
+        "supervisor"
+    ) else 0
+    for key, value in injector.tallies().items():
+        report.injected[key] = report.injected.get(key, 0) + value
+
+    if checkpoint_counts is None:
+        return failures  # no durable snapshot: nothing to recover
+
+    # Recovery into a fresh service (the restarted process).
+    fresh = ContextService(
+        plan,
+        ServiceConfig(workers=1, shards=2, queue_capacity=16, batch_size=4),
+        resilience=resilience,
+    )
+    try:
+        try:
+            fresh.recover(resilience.checkpoint_dir)
+            report.recoveries += 1
+        except CheckpointError as exc:
+            failures.append(f"recover() found no valid checkpoint: {exc}")
+            return failures
+        failures.extend(
+            recovery_failures(
+                _tree_counts(fresh), checkpoint_counts, pre_crash_counts
+            )
+        )
+    finally:
+        fresh.start()
+        fresh.stop(timeout=10.0)
+    return failures

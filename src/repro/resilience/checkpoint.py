@@ -1,0 +1,365 @@
+"""Durable checkpoint/restore for the calling-context tree.
+
+A checkpoint captures everything needed to answer queries after a
+process crash: the CCT shard rows (path, count, gap-weight), the decode
+epoch, and a **plan fingerprint** — a SHA-256 over the canonical graph
+structure, anchor set, and encoding width — so recovery refuses to marry
+counts from one program version to the plan of another.
+
+File format (``ckpt-<seq>.dpck``): line-oriented records, each line
+
+    ``<crc32 of payload, 8 hex chars> <payload JSON>``
+
+The first record is a header (version, epoch, fingerprint, row count),
+followed by ``row`` records batching up to ``rows_per_record`` CCT rows,
+and a footer carrying the totals actually written. A file is *valid*
+only if every line's checksum matches, the header parses, and the footer
+agrees with the observed record/row/sample totals — so a torn write
+(crash mid-file, missing footer, truncated last line) or bit rot
+(checksum mismatch) disqualifies the file rather than corrupting a
+recovery. :meth:`CheckpointStore.load_newest` walks files newest-first
+and returns the first that validates.
+
+Durability discipline on write: serialize to ``.tmp-...`` in the same
+directory, ``fsync`` the file, then ``os.replace`` onto the final name
+(atomic on POSIX), then best-effort ``fsync`` the directory. A crash at
+any point leaves either the complete new file or no new file — never a
+half-visible one. The ``fault`` hook (chaos: crash after N records)
+deliberately abandons the temp file un-renamed to model exactly that.
+
+Metrics: ``resilience.checkpoints``, ``resilience.checkpoint_failures``,
+``resilience.recoveries`` counters; ``resilience.checkpoint_us`` /
+``resilience.recover_us`` latency histograms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CheckpointState",
+    "CheckpointStore",
+    "CheckpointDaemon",
+    "plan_fingerprint",
+]
+
+FORMAT_VERSION = 1
+_PREFIX = "ckpt-"
+_SUFFIX = ".dpck"
+_TMP_PREFIX = ".tmp-ckpt-"
+
+
+def plan_fingerprint(plan) -> str:
+    """SHA-256 identity of a plan's encoding-relevant structure.
+
+    Covers the entry node, node set, labelled edge set, anchor set, and
+    integer width — the inputs that determine what a context ID means.
+    Two plans with the same fingerprint decode identically, so recovered
+    counts remain attributable.
+    """
+    graph = plan.graph
+    digest = hashlib.sha256()
+    digest.update(repr(graph.entry).encode())
+    digest.update(b"\x00")
+    for node in sorted(graph.nodes):
+        digest.update(node.encode())
+        digest.update(b"\x01")
+    for caller, callee, label in sorted(
+        (e.caller, e.callee, repr(e.label)) for e in graph.edges
+    ):
+        digest.update(f"{caller}\x02{callee}\x02{label}".encode())
+        digest.update(b"\x03")
+    for anchor in sorted(plan.encoding.anchors):
+        digest.update(anchor.encode())
+        digest.update(b"\x04")
+    digest.update(repr(plan.encoding.width).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """The recovered (or about-to-be-written) durable state."""
+
+    epoch: int
+    fingerprint: str
+    #: ``(path, count, gap_weight)`` per unique context.
+    rows: Tuple[Tuple[Tuple[str, ...], int, int], ...]
+
+    def __post_init__(self):
+        if self.epoch < 0:
+            raise CheckpointError(f"epoch must be >= 0, got {self.epoch}")
+
+    @property
+    def total_samples(self) -> int:
+        return sum(count for _, count, _ in self.rows)
+
+
+def _record(payload: dict) -> str:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x} {body}\n"
+
+
+def _parse_record(line: str) -> Optional[dict]:
+    """Decode one checksummed line; None when torn or corrupt."""
+    if not line.endswith("\n"):
+        return None  # torn final line: the write was interrupted
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        want = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:-1]
+    if zlib.crc32(body.encode()) & 0xFFFFFFFF != want:
+        return None
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class CheckpointStore:
+    """Atomic, checksummed snapshots in one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        retain: int = 3,
+        rows_per_record: int = 512,
+    ):
+        if retain < 1:
+            raise CheckpointError("must retain at least one checkpoint")
+        if rows_per_record < 1:
+            raise CheckpointError("rows_per_record must be at least 1")
+        self.directory = directory
+        self.retain = retain
+        self.rows_per_record = rows_per_record
+        self._lock = threading.Lock()
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _sequence_of(self, name: str) -> Optional[int]:
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            return None
+        try:
+            return int(name[len(_PREFIX):-len(_SUFFIX)])
+        except ValueError:
+            return None
+
+    def _listing(self) -> List[Tuple[int, str]]:
+        out = []
+        for name in os.listdir(self.directory):
+            seq = self._sequence_of(name)
+            if seq is not None:
+                out.append((seq, os.path.join(self.directory, name)))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        state: CheckpointState,
+        fault: Optional[Callable[[int], None]] = None,
+    ) -> str:
+        """Durably write ``state``; returns the final checkpoint path.
+
+        ``fault`` (chaos) is called with the running record count after
+        each record is serialized; raising from it models a crash — the
+        temp file is abandoned and never renamed, so readers only ever
+        see previous, complete checkpoints.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            listing = self._listing()
+            seq = (listing[-1][0] + 1) if listing else 1
+            final = os.path.join(
+                self.directory, f"{_PREFIX}{seq:08d}{_SUFFIX}"
+            )
+            tmp = os.path.join(
+                self.directory, f"{_TMP_PREFIX}{seq:08d}-{os.getpid()}"
+            )
+            records = 0
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(_record({
+                        "kind": "header",
+                        "version": FORMAT_VERSION,
+                        "epoch": state.epoch,
+                        "fingerprint": state.fingerprint,
+                        "rows": len(state.rows),
+                    }))
+                    records += 1
+                    if fault is not None:
+                        fault(records)
+                    rows = list(state.rows)
+                    for lo in range(0, len(rows), self.rows_per_record):
+                        chunk = rows[lo:lo + self.rows_per_record]
+                        fh.write(_record({
+                            "kind": "rows",
+                            "rows": [
+                                [list(path), count, gaps]
+                                for path, count, gaps in chunk
+                            ],
+                        }))
+                        records += 1
+                        if fault is not None:
+                            fault(records)
+                    fh.write(_record({
+                        "kind": "footer",
+                        "records": records + 1,
+                        "rows": len(rows),
+                        "samples": state.total_samples,
+                    }))
+                    records += 1
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, final)
+            except BaseException:
+                obs.counter("resilience.checkpoint_failures").inc()
+                raise
+            self._fsync_dir()
+            self._prune(keep=self.retain)
+        obs.counter("resilience.checkpoints").inc()
+        obs.histogram("resilience.checkpoint_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return final
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def _prune(self, keep: int) -> None:
+        listing = self._listing()
+        for _, path in listing[:-keep] if keep else listing:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing removals
+                pass
+
+    # ------------------------------------------------------------------
+    def load_file(self, path: str) -> Optional[CheckpointState]:
+        """Parse and validate one checkpoint file; None when invalid."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except (OSError, UnicodeDecodeError):
+            # Unreadable or not even text: whatever this file is, it is
+            # not a checkpoint this process can trust.
+            return None
+        if not lines:
+            return None
+        header = _parse_record(lines[0])
+        if (
+            header is None
+            or header.get("kind") != "header"
+            or header.get("version") != FORMAT_VERSION
+        ):
+            return None
+        rows: List[Tuple[Tuple[str, ...], int, int]] = []
+        footer = None
+        for line in lines[1:]:
+            payload = _parse_record(line)
+            if payload is None:
+                return None
+            kind = payload.get("kind")
+            if kind == "rows":
+                if footer is not None:
+                    return None  # records after the footer: corrupt
+                try:
+                    for path_list, count, gaps in payload["rows"]:
+                        rows.append((tuple(path_list), int(count), int(gaps)))
+                except (KeyError, TypeError, ValueError):
+                    return None
+            elif kind == "footer":
+                footer = payload
+            else:
+                return None
+        if footer is None:
+            return None  # torn write: footer never made it to disk
+        if (
+            footer.get("records") != len(lines)
+            or footer.get("rows") != len(rows)
+            or header.get("rows") != len(rows)
+        ):
+            return None
+        state = CheckpointState(
+            epoch=int(header["epoch"]),
+            fingerprint=str(header["fingerprint"]),
+            rows=tuple(rows),
+        )
+        if footer.get("samples") != state.total_samples:
+            return None
+        return state
+
+    def load_newest(self) -> Optional[Tuple[str, CheckpointState]]:
+        """Newest checkpoint that validates, or None if none do."""
+        for _, path in reversed(self._listing()):
+            state = self.load_file(path)
+            if state is not None:
+                return path, state
+            obs.counter("resilience.checkpoint_rejected").inc()
+        return None
+
+    def checkpoints(self) -> List[str]:
+        return [path for _, path in self._listing()]
+
+
+class CheckpointDaemon:
+    """Periodic background checkpointing for one service.
+
+    Calls ``service.checkpoint()`` every ``interval`` seconds. A failed
+    write is counted (``resilience.checkpoint_failures`` — already
+    incremented by the store) and retried next period; the daemon never
+    dies of one bad write.
+    """
+
+    def __init__(self, service, interval: float):
+        if interval <= 0:
+            raise CheckpointError("checkpoint interval must be positive")
+        self._service = service
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.written = 0
+        self.failed = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-checkpointd", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._service.checkpoint()
+                self.written += 1
+            except Exception:  # noqa: BLE001 - keep checkpointing
+                self.failed += 1

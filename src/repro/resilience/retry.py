@@ -1,0 +1,175 @@
+"""Retry policy, dead-letter quarantine, and the raw-sample fallback.
+
+A sample that raises during aggregation is not allowed to kill a worker
+(that was already true) — but it is also not allowed to *vanish*.
+The ladder is:
+
+1. Deterministic failures (:class:`~repro.errors.DecodingError`,
+   :class:`~repro.errors.EpochError`) go straight to the dead-letter
+   queue: retrying a decode that is wrong by construction only burns
+   CPU.
+2. Everything else is presumed transient and retried up to
+   :attr:`RetryPolicy.max_attempts` with exponential backoff + jitter,
+   then dead-lettered with full context (epoch, stack snapshot,
+   exception) for offline triage.
+3. While the circuit breaker is open, samples skip decode entirely and
+   land in the :class:`FallbackStore` — bounded raw retention that is
+   replayed through the normal path once the breaker closes.
+
+Every quarantined sample is counted (``service.dead_lettered``), so the
+conservation law ``submitted == aggregated + dead_lettered +
+epoch_mismatches + dropped`` stays checkable under fault injection.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.stackmodel import StackEntry
+from repro.errors import ResilienceError
+from repro.service.ingest import Sample
+
+__all__ = ["RetryPolicy", "DeadLetter", "DeadLetterQueue", "FallbackStore"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient per-sample failures.
+
+    Attempt ``k`` (1-based) sleeps ``backoff_base * 2**(k-1)`` seconds,
+    capped at ``backoff_max``, then multiplied by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` so retry storms decorrelate across
+    workers.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.005
+    backoff_max: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        base = min(self.backoff_base * (2 ** max(0, attempt - 1)),
+                   self.backoff_max)
+        if self.jitter:
+            base *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return base
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined sample plus the context needed to triage it."""
+
+    node: str
+    epoch: int
+    weight: int
+    stack: Tuple[StackEntry, ...]
+    current_id: int
+    error_type: str
+    error: str
+    attempts: int
+    quarantined_at: float = field(default=0.0, compare=False)
+
+    @classmethod
+    def from_sample(
+        cls, sample: Sample, exc: BaseException, attempts: int
+    ) -> "DeadLetter":
+        return cls(
+            node=sample.node,
+            epoch=sample.epoch,
+            weight=sample.weight,
+            stack=sample.stack,
+            current_id=sample.current_id,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=attempts,
+            quarantined_at=time.time(),
+        )
+
+
+class DeadLetterQueue:
+    """Bounded FIFO of :class:`DeadLetter` (oldest evicted when full)."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ResilienceError("dead-letter capacity must be at least 1")
+        self._lock = threading.Lock()
+        self._letters: "deque[DeadLetter]" = deque(maxlen=capacity)
+        self.capacity = capacity
+        #: Total letters ever quarantined (eviction does not decrement).
+        self.total = 0
+        self.evicted = 0
+
+    def quarantine(
+        self, sample: Sample, exc: BaseException, attempts: int
+    ) -> DeadLetter:
+        letter = DeadLetter.from_sample(sample, exc, attempts)
+        with self._lock:
+            if len(self._letters) == self.capacity:
+                self.evicted += 1
+            self._letters.append(letter)
+            self.total += 1
+        return letter
+
+    def letters(self) -> List[DeadLetter]:
+        with self._lock:
+            return list(self._letters)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._letters)
+
+
+class FallbackStore:
+    """Bounded raw-sample retention for breaker-open / degraded periods.
+
+    Holds the *samples themselves* (stack snapshots and all), so nothing
+    decoded is lost — just deferred. ``drain()`` hands everything back
+    for replay through the normal ingest path. When full, new samples
+    are counted in :attr:`dropped` — a declared policy drop, part of the
+    conservation law.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ResilienceError("fallback capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: "deque[Sample]" = deque()
+        self.retained = 0
+        self.dropped = 0
+
+    def retain(self, sample: Sample) -> bool:
+        with self._lock:
+            if len(self._samples) >= self.capacity:
+                self.dropped += 1
+                return False
+            self._samples.append(sample)
+            self.retained += 1
+            return True
+
+    def drain(self, limit: Optional[int] = None) -> List[Sample]:
+        with self._lock:
+            if limit is None:
+                out = list(self._samples)
+                self._samples.clear()
+            else:
+                out = []
+                while self._samples and len(out) < limit:
+                    out.append(self._samples.popleft())
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)

@@ -1,0 +1,211 @@
+"""Worker supervision: heartbeat death detection and budgeted restarts.
+
+The :class:`Supervisor` owns a :class:`~repro.service.ingest.WorkerPool`
+and runs one monitor thread that, every ``heartbeat_interval`` seconds:
+
+1. Restarts workers that *died* (thread gone without a normal exit),
+   after an exponential-backoff-with-jitter delay per slot, until the
+   pool-wide ``max_restarts`` budget is spent.
+2. Counts — but does not kill — workers that look *stalled* (thread
+   alive, heartbeat older than ``heartbeat_timeout`` while the queue is
+   non-empty). Python threads cannot be preempted safely, so a stall is
+   an observability event (``resilience.worker_stalls``), not a restart.
+
+When the restart budget is exhausted and another worker dies, the
+supervisor declares **degraded mode** exactly once: the ``on_degraded``
+callback fires (the service uses it to shed the queue into the raw
+fallback store) and the supervisor state becomes ``"degraded"`` while
+the monitor keeps counting.
+
+All backoff delays are seeded (``SupervisorConfig.seed``), so chaos runs
+are reproducible, and :meth:`Supervisor.check_once` is public so tests
+can drive supervision sweeps deterministically without the monitor
+thread.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import obs
+from repro.errors import ResilienceError
+from repro.service.ingest import WorkerPool
+
+__all__ = ["Supervisor", "SupervisorConfig"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for :class:`Supervisor` (all times in seconds)."""
+
+    #: Monitor wake-up period.
+    heartbeat_interval: float = 0.05
+    #: A live worker whose beat is older than this (with work queued) is
+    #: counted as stalled.
+    heartbeat_timeout: float = 2.0
+    #: Pool-wide restart budget; exhaustion declares degraded mode.
+    max_restarts: int = 8
+    backoff_base: float = 0.02
+    backoff_max: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise ResilienceError("heartbeat_interval must be positive")
+        if self.max_restarts < 0:
+            raise ResilienceError("max_restarts must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+class Supervisor:
+    """Heartbeat monitor + restart driver for one worker pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        config: Optional[SupervisorConfig] = None,
+        on_degraded: Optional[Callable[[], None]] = None,
+    ):
+        self._pool = pool
+        self._config = config or SupervisorConfig()
+        self._on_degraded = on_degraded
+        self._rng = random.Random(self._config.seed)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Per-slot count of restarts performed by this supervisor.
+        self._slot_restarts: dict = {}
+        #: monotonic() before which a dead slot must not be restarted
+        #: (the per-slot backoff); absent = death not yet scheduled.
+        self._slot_holdoff: dict = {}
+        self.restarts = 0
+        self.deaths_seen = 0
+        self.stalls = 0
+        self._state = "idle"
+        self._degraded_fired = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``idle`` | ``running`` | ``degraded`` | ``stopped``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def degraded(self) -> bool:
+        return self.state == "degraded"
+
+    def start(self) -> None:
+        with self._lock:
+            if self._thread is not None:
+                return
+            if self._state == "idle":
+                self._state = "running"
+            self._thread = threading.Thread(
+                target=self._monitor, name="repro-supervisor", daemon=True
+            )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        with self._lock:
+            if self._state != "degraded":
+                self._state = "stopped"
+
+    # ------------------------------------------------------------------
+    def _monitor(self) -> None:
+        interval = self._config.heartbeat_interval
+        while not self._stop.wait(interval):
+            try:
+                self.check_once()
+            except Exception:  # noqa: BLE001 - monitor must not die
+                obs.counter("resilience.supervisor_errors").inc()
+
+    def check_once(self, now: Optional[float] = None) -> int:
+        """One supervision sweep; returns how many workers were restarted."""
+        if now is None:
+            now = time.monotonic()
+        restarted = 0
+        for state in self._pool.worker_states():
+            if state.dead:
+                restarted += self._handle_death(state.slot, now)
+            elif (
+                state.alive
+                and now - state.heartbeat > self._config.heartbeat_timeout
+                and len(self._pool._queue) > 0
+            ):
+                self.stalls += 1
+                obs.counter("resilience.worker_stalls").inc()
+        return restarted
+
+    def _handle_death(self, slot: int, now: float) -> int:
+        config = self._config
+        fire_degraded = False
+        with self._lock:
+            holdoff = self._slot_holdoff.get(slot)
+            if holdoff is None:
+                # First sweep that sees this death: account it and either
+                # schedule a backed-off restart or spend the last of the
+                # budget on a degraded-mode declaration.
+                self.deaths_seen += 1
+                obs.counter("resilience.worker_deaths").inc()
+                if self.restarts >= config.max_restarts:
+                    self._slot_holdoff[slot] = float("inf")
+                    if not self._degraded_fired:
+                        self._degraded_fired = True
+                        self._state = "degraded"
+                        fire_degraded = True
+                else:
+                    prior = self._slot_restarts.get(slot, 0)
+                    delay = min(
+                        config.backoff_base * (2 ** prior), config.backoff_max
+                    )
+                    if config.jitter:
+                        delay *= self._rng.uniform(
+                            1.0 - config.jitter, 1.0 + config.jitter
+                        )
+                    self._slot_holdoff[slot] = now + delay
+                if fire_degraded:
+                    obs.gauge("resilience.degraded").set(1)
+            if fire_degraded:
+                pass  # fall through to callback outside the lock
+            elif now < self._slot_holdoff.get(slot, 0.0):
+                return 0
+        if fire_degraded:
+            if self._on_degraded is not None:
+                self._on_degraded()
+            return 0
+        if self._pool.restart_worker(slot):
+            with self._lock:
+                self._slot_holdoff.pop(slot, None)
+                self._slot_restarts[slot] = (
+                    self._slot_restarts.get(slot, 0) + 1
+                )
+                self.restarts += 1
+            obs.counter("resilience.worker_restarts").inc()
+            return 1
+        with self._lock:
+            self._slot_holdoff.pop(slot, None)
+        return 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "restarts": self.restarts,
+                "deaths_seen": self.deaths_seen,
+                "stalls": self.stalls,
+                "budget": self._config.max_restarts,
+                "per_slot": dict(self._slot_restarts),
+            }

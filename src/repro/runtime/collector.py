@@ -23,15 +23,23 @@ memory, and runs that measure neither hold nothing.
 A collector can also stream observations onward: give it a ``sink``
 (e.g. :meth:`repro.service.ContextService.sink`) and every snapshot is
 handed off as ``sink(node, snapshot, probe)`` for ingestion/aggregation.
+A failing sink must not take the instrumented program down with it:
+``sink_errors`` picks the policy — ``"raise"`` (propagate, the historical
+behavior), ``"drop"`` (count and continue), or ``"retain"`` (count and
+keep the raw observation in a bounded buffer for later resubmission).
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.errors import ReproError
+
+_SINK_ERROR_POLICIES = ("raise", "drop", "retain")
 
 __all__ = ["ContextCollector", "CollectedStats"]
 
@@ -96,6 +104,15 @@ class ContextCollector:
         Optional handoff called as ``sink(node, snapshot, probe)`` for
         every observation — the bridge into
         :class:`repro.service.ContextService` ingestion.
+    sink_errors:
+        What a :class:`~repro.errors.ReproError` from the sink does to
+        the instrumented run: ``"raise"`` propagates (default, the
+        historical behavior), ``"drop"`` counts it and continues,
+        ``"retain"`` counts it and keeps the raw ``(node, snapshot)``
+        in :attr:`sink_retained` (bounded by ``sink_retain_capacity``,
+        oldest evicted) for resubmission once the backend recovers.
+        Non-``ReproError`` exceptions always propagate — they are bugs,
+        not backend weather.
     """
 
     def __init__(
@@ -105,12 +122,23 @@ class ContextCollector:
         collect_events: bool = True,
         retain_truth: bool = False,
         sink: Optional[Callable[[str, Hashable, object], None]] = None,
+        sink_errors: str = "raise",
+        sink_retain_capacity: int = 4096,
     ):
+        if sink_errors not in _SINK_ERROR_POLICIES:
+            raise ValueError(
+                f"sink_errors must be one of {_SINK_ERROR_POLICIES}, "
+                f"got {sink_errors!r}"
+            )
         self.interest = interest
         self.track_truth = track_truth or retain_truth
         self.retain_truth = retain_truth
         self.collect_events = collect_events
         self.sink = sink
+        self.sink_errors = sink_errors
+        self.sink_failures = 0
+        #: Raw (node, snapshot) pairs kept under ``sink_errors="retain"``.
+        self.sink_retained = deque(maxlen=sink_retain_capacity)
 
         self.total = 0
         self.depth_sum = 0
@@ -153,7 +181,15 @@ class ContextCollector:
             if self.retain_truth:
                 self.truth_unique.add((node, shadow))
         if self.sink is not None:
-            self.sink(node, snapshot, probe)
+            try:
+                self.sink(node, snapshot, probe)
+            except ReproError:
+                if self.sink_errors == "raise":
+                    raise
+                self.sink_failures += 1
+                obs.counter("collector.sink_errors").inc()
+                if self.sink_errors == "retain":
+                    self.sink_retained.append((node, snapshot))
 
         metrics = getattr(probe, "context_metrics", None)
         if metrics is not None:

@@ -22,7 +22,14 @@ Benchmark with ``python -m repro serve-bench``.
 
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.engine import DecodeEngine
-from repro.service.ingest import POLICIES, BoundedQueue, Sample, WorkerPool
+from repro.service.ingest import (
+    POLICIES,
+    BoundedQueue,
+    Sample,
+    WorkerKilled,
+    WorkerPool,
+    WorkerState,
+)
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.service import ContextService, ServiceConfig
 from repro.service.shards import ShardedContextTree, ShardStats
@@ -40,5 +47,7 @@ __all__ = [
     "ServiceMetrics",
     "ShardStats",
     "ShardedContextTree",
+    "WorkerKilled",
     "WorkerPool",
+    "WorkerState",
 ]

@@ -163,6 +163,26 @@ class DecodeEngine:
             )
         return self.install(update.plan)
 
+    def advance_epoch_to(self, epoch: int) -> int:
+        """Re-number the current plan as ``epoch`` (recovery only).
+
+        A recovered checkpoint carries the epoch counter of the crashed
+        process; the fresh service's plan — verified by fingerprint to
+        be the *same* plan — must adopt that number so samples stamped
+        before the crash and after the recovery agree. No-op when the
+        engine is already at or past ``epoch``. Returns the epoch in
+        effect afterwards.
+        """
+        with self._lock:
+            if epoch <= self._epoch:
+                return self._epoch
+            plan = self._plans.pop(self._epoch)
+            self._decoders.pop(self._epoch, None)
+            self._plans[epoch] = plan
+            self._epoch_by_plan[id(plan)] = epoch
+            self._epoch = epoch
+            return epoch
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------

@@ -15,11 +15,27 @@ ends up choosing between:
     freshest traffic).
 ``"error"``
     Raise :class:`~repro.errors.IngestOverflowError` at the producer.
+
+Shutdown is part of the contract too. A ``put`` that *starts* after
+``close()`` is a caller bug and raises by default, but a producer that
+was already blocked (or raced the close) holds a live sample that must
+not silently vanish: with ``on_closed="drop"`` every closed-queue
+rejection is counted in :attr:`BoundedQueue.dropped` and reported as
+``False``, so the accounting conservation law (every submitted sample is
+aggregated, dead-lettered, or counted dropped) survives a shutdown
+racing live producers.
+
+:class:`WorkerPool` is supervision-ready: each worker slot stamps a
+monotonic heartbeat every drain iteration, records whether it exited
+*normally* (queue closed and drained) or *died* (an escaped exception,
+e.g. an injected :class:`WorkerKilled`), and dead slots can be restarted
+in place — the machinery :class:`repro.resilience.Supervisor` drives.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -27,9 +43,27 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.stackmodel import StackEntry
 from repro.errors import IngestOverflowError, ServiceError
 
-__all__ = ["Sample", "BoundedQueue", "WorkerPool", "POLICIES"]
+__all__ = [
+    "Sample",
+    "BoundedQueue",
+    "WorkerPool",
+    "WorkerKilled",
+    "WorkerState",
+    "POLICIES",
+]
 
 POLICIES = ("block", "drop-newest", "drop-oldest", "error")
+
+
+class WorkerKilled(BaseException):
+    """Kills one ingestion worker thread (chaos injection).
+
+    Deliberately a ``BaseException``: the worker loop's batch handler
+    guard catches ``BaseException`` so one poisoned batch cannot kill a
+    worker, and this must pierce that guard — it models an exception
+    escaping the drain loop itself, the failure the Supervisor exists to
+    repair.
+    """
 
 
 @dataclass(frozen=True)
@@ -76,16 +110,33 @@ class BoundedQueue:
         self.dropped = 0
 
     # ------------------------------------------------------------------
-    def put(self, sample: Sample, timeout: Optional[float] = None) -> bool:
+    def put(
+        self,
+        sample: Sample,
+        timeout: Optional[float] = None,
+        on_closed: str = "raise",
+    ) -> bool:
         """Enqueue ``sample`` under the configured policy.
 
         Returns True when the sample was queued, False when it (or an
         older sample, under ``"drop-oldest"``) was dropped. ``"block"``
         with a ``timeout`` that elapses drops the sample (counted).
+
+        ``on_closed`` decides what a closed queue does to the sample:
+        ``"raise"`` (default) raises :class:`~repro.errors.ServiceError`
+        — but still counts the sample as dropped first, so accounting
+        never leaks; ``"drop"`` counts it dropped and returns False
+        (the declared-shutdown-drop contract the service uses, so a
+        ``stop()`` racing live producers stays a policy drop rather
+        than an exception storm).
         """
+        if on_closed not in ("raise", "drop"):
+            raise ServiceError(
+                f"on_closed must be 'raise' or 'drop', not {on_closed!r}"
+            )
         with self._not_full:
             if self._closed:
-                raise ServiceError("queue is closed")
+                return self._reject_closed(on_closed)
             if len(self._items) >= self.capacity:
                 if self.policy == "error":
                     self.dropped += 1
@@ -107,10 +158,20 @@ class BoundedQueue:
                         self.dropped += 1
                         return False
                     if self._closed:
-                        raise ServiceError("queue is closed")
+                        # Closed while we were blocked: the sample was
+                        # legitimately in flight, so it is a declared
+                        # shutdown drop, never a silent loss.
+                        return self._reject_closed(on_closed)
             self._items.append(sample)
             self._not_empty.notify()
             return True
+
+    def _reject_closed(self, on_closed: str) -> bool:
+        """Account a closed-queue rejection (caller holds the lock)."""
+        self.dropped += 1
+        if on_closed == "raise":
+            raise ServiceError("queue is closed")
+        return False
 
     def get_batch(
         self, max_batch: int, timeout: Optional[float] = None
@@ -145,12 +206,39 @@ class BoundedQueue:
             return len(self._items)
 
 
+@dataclass(frozen=True)
+class WorkerState:
+    """Supervisor-facing view of one worker slot."""
+
+    slot: int
+    #: The slot's current thread is running.
+    alive: bool
+    #: The slot returned normally (queue closed and fully drained).
+    exited: bool
+    #: ``time.monotonic()`` of the slot's last drain-loop iteration.
+    heartbeat: float
+
+    @property
+    def dead(self) -> bool:
+        """Died abnormally: not running, and not a normal exit."""
+        return not self.alive and not self.exited
+
+
 class WorkerPool:
     """N daemon threads draining one queue into a batch handler.
 
     The handler receives each drained batch (a non-empty list of
     samples). Handler exceptions are routed to ``on_error`` — one bad
-    batch must not kill a worker — and the pool keeps draining.
+    batch must not kill a worker — and the pool keeps draining. The one
+    exception that *does* kill a worker is :class:`WorkerKilled` (chaos
+    injection / an escape from the drain loop itself); such deaths are
+    visible through :meth:`worker_states` and repairable through
+    :meth:`restart_worker`.
+
+    ``fault`` is the chaos hook: called as ``fault(slot)`` once per
+    drain iteration *before* a batch is taken (so a kill never strands
+    an in-hand batch); it may sleep (slow consumer) or raise
+    :class:`WorkerKilled`.
     """
 
     def __init__(
@@ -162,6 +250,7 @@ class WorkerPool:
         batch_size: int = 256,
         on_error: Optional[Callable[[BaseException], None]] = None,
         poll_interval: float = 0.05,
+        fault: Optional[Callable[[int], None]] = None,
     ):
         if workers < 1:
             raise ServiceError("need at least one worker")
@@ -172,39 +261,106 @@ class WorkerPool:
         self._batch_size = batch_size
         self._on_error = on_error
         self._poll = poll_interval
-        self._threads = [
-            threading.Thread(
-                target=self._run, name=f"repro-ingest-{i}", daemon=True
-            )
-            for i in range(workers)
+        self._fault = fault
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = [
+            self._make_thread(slot) for slot in range(workers)
         ]
+        self._beats: List[float] = [0.0] * workers
+        self._exited: List[bool] = [False] * workers
+        self._restarts: List[int] = [0] * workers
+        self.deaths = 0
         self._started = False
+
+    def _make_thread(self, slot: int, generation: int = 0) -> threading.Thread:
+        suffix = f"r{generation}" if generation else ""
+        return threading.Thread(
+            target=self._run,
+            args=(slot,),
+            name=f"repro-ingest-{slot}{suffix}",
+            daemon=True,
+        )
 
     def start(self) -> None:
         if self._started:
             return
         self._started = True
-        for thread in self._threads:
+        now = time.monotonic()
+        for slot, thread in enumerate(self._threads):
+            self._beats[slot] = now
             thread.start()
 
-    def _run(self) -> None:
-        while True:
-            batch = self._queue.get_batch(self._batch_size, timeout=self._poll)
-            if not batch:
-                if self._queue.closed and not len(self._queue):
-                    return
-                continue
-            try:
-                self._handler(batch)
-            except BaseException as exc:  # noqa: BLE001 - keep draining
-                if self._on_error is not None:
-                    self._on_error(exc)
+    def _run(self, slot: int) -> None:
+        try:
+            while True:
+                self._beats[slot] = time.monotonic()
+                fault = self._fault
+                if fault is not None:
+                    fault(slot)
+                batch = self._queue.get_batch(
+                    self._batch_size, timeout=self._poll
+                )
+                if not batch:
+                    if self._queue.closed and not len(self._queue):
+                        self._exited[slot] = True
+                        return
+                    continue
+                try:
+                    self._handler(batch)
+                except WorkerKilled:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - keep draining
+                    if self._on_error is not None:
+                        self._on_error(exc)
+        except WorkerKilled:
+            with self._lock:
+                self.deaths += 1
+
+    # ------------------------------------------------------------------
+    # Supervision surface
+    # ------------------------------------------------------------------
+    def worker_states(self) -> List[WorkerState]:
+        """One :class:`WorkerState` per slot (point-in-time snapshot)."""
+        with self._lock:
+            return [
+                WorkerState(
+                    slot=slot,
+                    alive=thread.is_alive(),
+                    exited=self._exited[slot],
+                    heartbeat=self._beats[slot],
+                )
+                for slot, thread in enumerate(self._threads)
+            ]
+
+    def restart_worker(self, slot: int) -> bool:
+        """Replace ``slot``'s thread with a fresh one.
+
+        Returns False (and does nothing) when the slot exited normally,
+        when its thread is still running, or when the pool was never
+        started — only genuinely dead workers are restarted.
+        """
+        with self._lock:
+            if not self._started:
+                return False
+            if slot < 0 or slot >= len(self._threads):
+                raise ServiceError(f"no worker slot {slot}")
+            if self._exited[slot] or self._threads[slot].is_alive():
+                return False
+            self._restarts[slot] += 1
+            thread = self._make_thread(slot, generation=self._restarts[slot])
+            self._threads[slot] = thread
+            self._beats[slot] = time.monotonic()
+        thread.start()
+        return True
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for workers to finish (call after ``queue.close()``)."""
-        for thread in self._threads:
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=timeout)
 
-    @property
-    def alive(self) -> bool:
-        return any(t.is_alive() for t in self._threads)
+    def alive(self) -> int:
+        """How many worker threads are currently running."""
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())

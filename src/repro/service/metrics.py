@@ -59,6 +59,15 @@ class ServiceMetrics:
         "epoch_mismatches",
         "batches",
         "hot_swaps",
+        # Resilience layer (PR 5): quarantine, retry, breaker fallback,
+        # and truthful-deadline accounting.
+        "dead_lettered",
+        "retries",
+        "fallback_retained",
+        "fallback_replayed",
+        "fallback_dropped",
+        "flush_timeout",
+        "recovered",
     )
 
     def __init__(

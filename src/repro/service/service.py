@@ -16,6 +16,20 @@ stamped with their plan's epoch at submission, and decoding always uses
 exactly the stamped epoch's plan — a swap therefore loses no queued
 samples and can never serve a mixed-epoch decode.
 
+Failure handling (PR 5) is governed by one conservation law::
+
+    submitted == aggregated + dead_lettered + epoch_mismatches
+                 + dropped + fallback_dropped + fallback_pending
+
+Every submitted sample is either in the tree, quarantined in the
+dead-letter queue with its exception, dropped by a *declared*
+backpressure/shutdown policy, or retained raw in the fallback store
+awaiting replay. Nothing vanishes silently. Passing
+``resilience=ResilienceConfig(...)`` additionally arms worker
+supervision (heartbeats + budgeted restarts), the decode circuit
+breaker, and durable checkpoints; ``chaos=ChaosInjector(...)`` threads
+fault injection through every one of those paths.
+
 Typical wiring::
 
     service = ContextService(plan, ServiceConfig(workers=2, shards=8))
@@ -30,12 +44,19 @@ Typical wiring::
 
 from __future__ import annotations
 
+import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.errors import DecodingError, EpochError, ServiceError
+from repro.errors import (
+    CheckpointError,
+    DecodingError,
+    EpochError,
+    ServiceError,
+)
 from repro.postprocess import ContextTreeReport
 from repro.runtime.plan import DeltaPathPlan, PlanUpdate
 from repro.service.engine import DecodeEngine
@@ -69,12 +90,24 @@ class ServiceConfig:
 
 
 class ContextService:
-    """Sharded, cached context-decode and ingestion service."""
+    """Sharded, cached context-decode and ingestion service.
+
+    ``resilience`` (a :class:`repro.resilience.ResilienceConfig`) arms
+    supervision, the circuit breaker, and durable checkpoints. Without
+    it the service still quarantines failing samples (dead-letter queue
+    + retry) so the conservation law holds in every configuration.
+    ``chaos`` (a :class:`repro.resilience.chaos.ChaosInjector`) threads
+    fault injection through the worker loop, decode path, and
+    checkpoint writes.
+    """
 
     def __init__(
         self,
         plan: DeltaPathPlan,
         config: Optional[ServiceConfig] = None,
+        *,
+        resilience=None,
+        chaos=None,
         **kwargs,
     ):
         if config is not None and kwargs:
@@ -90,6 +123,31 @@ class ContextService:
         )
         self.tree = ShardedContextTree(self.config.shards)
         self.metrics = ServiceMetrics()
+
+        # Resilience wiring. The imports are method-local because
+        # repro.resilience imports repro.service.ingest — importing it
+        # lazily (first service construction) breaks the package cycle.
+        from repro.resilience.retry import (
+            DeadLetterQueue,
+            FallbackStore,
+            RetryPolicy,
+        )
+
+        self.resilience = resilience
+        self._chaos = chaos
+        if resilience is not None:
+            self._retry_policy = resilience.retry_policy()
+            self._dlq = DeadLetterQueue(resilience.dead_letter_capacity)
+            self._fallback = FallbackStore(resilience.fallback_capacity)
+            self._breaker = resilience.make_breaker()
+            self._retry_rng = random.Random(resilience.seed)
+        else:
+            self._retry_policy = RetryPolicy()
+            self._dlq = DeadLetterQueue()
+            self._fallback = FallbackStore()
+            self._breaker = None
+            self._retry_rng = random.Random(0)
+
         self._queue = BoundedQueue(
             self.config.queue_capacity, self.config.backpressure
         )
@@ -99,9 +157,35 @@ class ContextService:
             workers=self.config.workers,
             batch_size=self.config.batch_size,
             on_error=lambda exc: self.metrics.record_error(repr(exc)),
+            fault=chaos.worker_fault if chaos is not None else None,
         )
+
+        self._supervisor = None
+        if resilience is not None and resilience.supervise:
+            from repro.resilience.supervisor import Supervisor
+
+            self._supervisor = Supervisor(
+                self._pool,
+                config=resilience.supervisor_config(),
+                on_degraded=self._enter_degraded,
+            )
+
+        self._store = None
+        if resilience is not None and resilience.checkpoint_dir:
+            from repro.resilience.checkpoint import CheckpointStore
+
+            self._store = CheckpointStore(
+                resilience.checkpoint_dir,
+                retain=resilience.checkpoint_retain,
+            )
+        self._daemon = None
+        self._checkpoints_written = 0
+
+        self._degraded = False
+        self._degraded_lock = threading.Lock()
         self._started = False
         self._stopped = False
+        self._stop_result: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,16 +196,63 @@ class ContextService:
         if not self._started:
             self._started = True
             self._pool.start()
+            if self._supervisor is not None:
+                self._supervisor.start()
+            if (
+                self._store is not None
+                and self.resilience.checkpoint_interval > 0
+            ):
+                from repro.resilience.checkpoint import CheckpointDaemon
+
+                self._daemon = CheckpointDaemon(
+                    self, self.resilience.checkpoint_interval
+                )
+                self._daemon.start()
         return self
 
-    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Close ingestion; with ``drain`` wait for queued samples."""
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        """Close ingestion; with ``drain`` wait for queued samples.
+
+        Returns True only when every submitted sample is accounted for
+        at return (aggregated, dead-lettered, policy-dropped, or safely
+        retained in the fallback store). A stalled worker that outlives
+        ``timeout`` yields False and counts ``service.flush_timeout`` —
+        a truthful status instead of the silent success it used to be.
+        """
         if self._stopped:
-            return
+            return self._stop_result if self._stop_result is not None else True
         self._stopped = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        if self._daemon is not None:
+            self._daemon.stop()
         self._queue.close()
+        ok = True
         if self._started and drain:
             self._pool.join(timeout=timeout)
+            if self._pool.alive() == 0:
+                # All workers finished (normally or dead): anything the
+                # pool left behind is retained raw, then replayed inline
+                # unless the breaker is holding decode shut.
+                if len(self._queue):
+                    self._shed_queue_to_fallback()
+                self.replay_fallback()
+            ok = self._pool.alive() == 0 and not len(self._queue)
+            if not ok:
+                self.metrics.count("flush_timeout")
+        elif self._started:
+            ok = self._pool.alive() == 0 and not len(self._queue)
+        if (
+            ok
+            and self._store is not None
+            and self.resilience.checkpoint_on_stop
+        ):
+            try:
+                self.checkpoint()
+            except Exception:  # noqa: BLE001 - counted by the store
+                pass
+        self._stop_result = ok
+        return ok
 
     def __enter__(self) -> "ContextService":
         return self.start()
@@ -148,10 +279,12 @@ class ContextService:
         with. Omitted, the current epoch is assumed — only correct when
         no hot swap can be in flight between capture and submission.
         Returns False when the sample was dropped by the backpressure
-        policy.
+        policy (or retained raw in degraded mode without aggregation).
         """
         if not self._started:
             raise ServiceError("service not started; call start() first")
+        if self._stopped:
+            raise ServiceError("service is stopped")
         epoch = (
             self.engine.epoch if plan is None else self.engine.epoch_of(plan)
         )
@@ -165,10 +298,15 @@ class ContextService:
         )
         self.metrics.count("submitted")
         self.metrics.observe_queue_depth(len(self._queue))
-        # Drops of every flavour (newest, oldest, timeout, error) are
-        # tallied by the queue itself so accounting stays exact even when
-        # the discarded sample is not the one being submitted.
-        return self._queue.put(sample, timeout=timeout)
+        if self._degraded:
+            # The pool is retired: queueing would strand the sample, so
+            # it goes straight to bounded raw retention.
+            return self._retain_fallback(sample)
+        # Drops of every flavour (newest, oldest, timeout, error, and
+        # closed-while-racing-stop) are tallied by the queue itself so
+        # accounting stays exact even when the discarded sample is not
+        # the one being submitted.
+        return self._queue.put(sample, timeout=timeout, on_closed="drop")
 
     def submit_many(
         self,
@@ -199,19 +337,35 @@ class ContextService:
         return _sink
 
     def flush(self, timeout: float = 30.0) -> None:
-        """Block until everything submitted so far is aggregated."""
+        """Block until everything submitted so far is accounted for.
+
+        "Accounted" follows the conservation law: aggregated,
+        dead-lettered, counted as an epoch mismatch, dropped by policy,
+        or retained in the fallback store. While the breaker is closed,
+        flush also replays the fallback so a post-storm flush leaves the
+        tree complete. On timeout it counts ``service.flush_timeout``
+        and raises — never a silent half-flush.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
+            if self._degraded:
+                # No workers left: the flushing thread does the work.
+                self._shed_queue_to_fallback()
+            if len(self._fallback):
+                self.replay_fallback()
             snap = self.metrics.snapshot()
             done = (
                 snap["aggregated"]
-                + snap["decode_errors"]
+                + snap["dead_lettered"]
                 + snap["epoch_mismatches"]
                 + self._queue.dropped
+                + snap["fallback_dropped"]
+                + len(self._fallback)
             )
             if not len(self._queue) and done >= snap["submitted"]:
                 return
             time.sleep(0.002)
+        self.metrics.count("flush_timeout")
         raise ServiceError(f"flush timed out after {timeout}s")
 
     # ------------------------------------------------------------------
@@ -250,24 +404,237 @@ class ContextService:
         with obs.span("service.batch", samples=len(batch)):
             for sample in batch:
                 self.metrics.count("ingested")
-                t0 = time.perf_counter()
-                try:
-                    path, has_gaps, used_epoch = self.engine.decode_path(
-                        sample.node, sample.snapshot, epoch=sample.epoch
-                    )
-                except (DecodingError, EpochError) as exc:
-                    self.metrics.record_error(
-                        f"{sample.node}@epoch{sample.epoch}: {exc}"
-                    )
-                    continue
-                self.metrics.decode_latency.observe(time.perf_counter() - t0)
-                if used_epoch != sample.epoch:  # pragma: no cover - invariant
-                    self.metrics.count("epoch_mismatches")
-                    continue
-                self.tree.add(path, has_gaps, sample.weight)
-                self.metrics.count("aggregated")
+                self._ingest_sample(sample)
             self.metrics.count("batches")
             self.metrics.batch_latency.observe(time.perf_counter() - start)
+
+    def _ingest_sample(self, sample: Sample) -> None:
+        """Decode and aggregate one sample, or account for its failure.
+
+        The failure ladder: breaker-open sheds to raw retention;
+        deterministic decode failures dead-letter immediately;
+        transient exceptions retry with backoff, then dead-letter.
+        Exactly one accounting outcome happens per call — that is the
+        conservation law's induction step.
+        """
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow():
+            self._retain_fallback(sample)
+            return
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                if self._chaos is not None:
+                    self._chaos.decode_fault()
+                path, has_gaps, used_epoch = self.engine.decode_path(
+                    sample.node, sample.snapshot, epoch=sample.epoch
+                )
+            except (DecodingError, EpochError) as exc:
+                # Deterministic: the snapshot cannot decode under its
+                # epoch's plan, and retrying will not change that.
+                if breaker is not None:
+                    breaker.record_failure()
+                self.metrics.record_error(
+                    f"{sample.node}@epoch{sample.epoch}: {exc}"
+                )
+                self._quarantine(sample, exc, attempts)
+                return
+            except Exception as exc:  # noqa: BLE001 - presumed transient
+                if breaker is not None:
+                    breaker.record_failure()
+                    if breaker.state == "open":
+                        # Tripped mid-retry: stop burning attempts, the
+                        # sample waits out the storm in raw retention.
+                        self._retain_fallback(sample)
+                        return
+                if attempts >= self._retry_policy.max_attempts:
+                    self.metrics.record_error(
+                        f"{sample.node}@epoch{sample.epoch} (after "
+                        f"{attempts} attempts): {exc!r}"
+                    )
+                    self._quarantine(sample, exc, attempts)
+                    return
+                self.metrics.count("retries")
+                obs.counter("resilience.retries").inc()
+                time.sleep(self._retry_policy.delay(attempts, self._retry_rng))
+                continue
+            break
+        self.metrics.decode_latency.observe(time.perf_counter() - t0)
+        if breaker is not None:
+            breaker.record_success()
+        if used_epoch != sample.epoch:  # pragma: no cover - invariant
+            self.metrics.count("epoch_mismatches")
+            return
+        self.tree.add(path, has_gaps, sample.weight)
+        self.metrics.count("aggregated")
+
+    def _quarantine(
+        self, sample: Sample, exc: BaseException, attempts: int
+    ) -> None:
+        self._dlq.quarantine(sample, exc, attempts)
+        self.metrics.count("dead_lettered")
+        obs.counter("resilience.dead_letters").inc()
+
+    def _retain_fallback(self, sample: Sample) -> bool:
+        if self._fallback.retain(sample):
+            self.metrics.count("fallback_retained")
+            return True
+        self.metrics.count("fallback_dropped")
+        return False
+
+    def _shed_queue_to_fallback(self) -> int:
+        """Drain whatever sits in the queue into raw retention."""
+        shed = 0
+        while True:
+            batch = self._queue.get_batch(256, timeout=0)
+            if not batch:
+                return shed
+            for sample in batch:
+                self._retain_fallback(sample)
+                shed += 1
+
+    def _enter_degraded(self) -> None:
+        """Supervisor callback: restart budget exhausted.
+
+        Ingestion is declared degraded: the queue is shed into the raw
+        fallback store and new submissions bypass the (dead) pool. The
+        service stays queryable and the raw samples stay replayable.
+        """
+        with self._degraded_lock:
+            if self._degraded:
+                return
+            self._degraded = True
+        obs.gauge("resilience.degraded").set(1)
+        self._shed_queue_to_fallback()
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    # ------------------------------------------------------------------
+    # Fallback replay / quarantine inspection
+    # ------------------------------------------------------------------
+    def replay_fallback(self, limit: Optional[int] = None) -> int:
+        """Re-ingest retained raw samples through the normal decode path.
+
+        No-op while the breaker is open (that is what the retention is
+        *for*). Replay happens on the calling thread; each replayed
+        sample ends aggregated or dead-lettered. Returns replay count.
+        """
+        if self._breaker is not None and self._breaker.state == "open":
+            return 0
+        replayed = 0
+        for sample in self._fallback.drain(limit):
+            self.metrics.count("fallback_replayed")
+            obs.counter("resilience.fallback_replays").inc()
+            self._ingest_sample(sample)
+            replayed += 1
+        return replayed
+
+    def dead_letters(self) -> List:
+        """The quarantined samples (newest-bounded; see DeadLetterQueue)."""
+        return self._dlq.letters()
+
+    # ------------------------------------------------------------------
+    # Durable checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: Optional[str] = None) -> str:
+        """Write a durable snapshot; returns the checkpoint file path.
+
+        Uses the configured store by default; ``directory`` overrides it
+        for one-off snapshots. The snapshot carries the CCT rows, the
+        current epoch, and the plan fingerprint that :meth:`recover`
+        verifies.
+        """
+        from repro.resilience.checkpoint import (
+            CheckpointState,
+            CheckpointStore,
+            plan_fingerprint,
+        )
+
+        store = self._store
+        if directory is not None:
+            retain = (
+                self.resilience.checkpoint_retain
+                if self.resilience is not None
+                else 3
+            )
+            store = CheckpointStore(directory, retain=retain)
+        if store is None:
+            raise CheckpointError(
+                "no checkpoint directory configured; pass directory= or "
+                "set ResilienceConfig.checkpoint_dir"
+            )
+        state = CheckpointState(
+            epoch=self.engine.epoch,
+            fingerprint=plan_fingerprint(self.engine.plan),
+            rows=tuple(self.tree.rows()),
+        )
+        fault = (
+            self._chaos.checkpoint_fault() if self._chaos is not None else None
+        )
+        with obs.span("resilience.checkpoint", rows=len(state.rows)):
+            path = store.write(state, fault=fault)
+        self._checkpoints_written += 1
+        return path
+
+    def recover(self, source, *, allow_mismatch: bool = False) -> Dict:
+        """Replay the newest valid checkpoint from ``source``.
+
+        ``source`` is a checkpoint directory (or a
+        :class:`~repro.resilience.checkpoint.CheckpointStore`). Must be
+        called on a fresh service — before :meth:`start`, with an empty
+        tree — so recovered counts never mix with live ones
+        untraceably. The checkpoint's plan fingerprint must match the
+        installed plan (``allow_mismatch=True`` skips the check, for
+        forensics on a changed binary). Returns a summary dict.
+        """
+        from repro.resilience.checkpoint import (
+            CheckpointStore,
+            plan_fingerprint,
+        )
+
+        if self._started:
+            raise CheckpointError("recover() must run before start()")
+        if self.tree.total_samples:
+            raise CheckpointError(
+                "recover() needs an empty tree; this service already "
+                "aggregated samples"
+            )
+        store = (
+            source
+            if isinstance(source, CheckpointStore)
+            else CheckpointStore(source)
+        )
+        t0 = time.perf_counter()
+        found = store.load_newest()
+        if found is None:
+            raise CheckpointError(
+                f"no valid checkpoint in {store.directory!r}"
+            )
+        path, state = found
+        fingerprint = plan_fingerprint(self.engine.plan)
+        if state.fingerprint != fingerprint and not allow_mismatch:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written under a different plan "
+                f"(fingerprint {state.fingerprint[:12]}… vs installed "
+                f"{fingerprint[:12]}…); pass allow_mismatch=True to force"
+            )
+        restored = self.tree.restore_rows(state.rows)
+        self.metrics.count("recovered", restored)
+        self.engine.advance_epoch_to(state.epoch)
+        obs.counter("resilience.recoveries").inc()
+        obs.histogram("resilience.recover_us").observe_us(
+            (time.perf_counter() - t0) * 1e6
+        )
+        return {
+            "path": path,
+            "epoch": state.epoch,
+            "rows": len(state.rows),
+            "samples": restored,
+        }
 
     # ------------------------------------------------------------------
     # Query API
@@ -299,6 +666,52 @@ class ContextService:
     ) -> str:
         return self.tree.render(min_total=min_total, max_depth=max_depth)
 
+    def accounting(self) -> Dict[str, int]:
+        """The conservation-law terms, in one place.
+
+        ``submitted == aggregated + dead_lettered + epoch_mismatches +
+        dropped + fallback_dropped + fallback_pending`` must hold at any
+        quiescent point (post-``flush`` or post-``stop``); the chaos
+        oracles assert exactly this dict.
+        """
+        counters = self.metrics.snapshot()
+        return {
+            "submitted": counters["submitted"],
+            "aggregated": counters["aggregated"],
+            "dead_lettered": counters["dead_lettered"],
+            "epoch_mismatches": counters["epoch_mismatches"],
+            "dropped": self._queue.dropped,
+            "fallback_dropped": counters["fallback_dropped"],
+            "fallback_pending": len(self._fallback),
+            "decode_errors": counters["decode_errors"],
+            "recovered": counters["recovered"],
+        }
+
+    def resilience_stats(self) -> Dict[str, object]:
+        """Supervisor / breaker / quarantine / checkpoint state."""
+        return {
+            "degraded": self._degraded,
+            "supervisor": (
+                self._supervisor.snapshot()
+                if self._supervisor is not None
+                else None
+            ),
+            "breaker": (
+                self._breaker.snapshot() if self._breaker is not None else None
+            ),
+            "dead_letter": {
+                "pending": len(self._dlq),
+                "total": self._dlq.total,
+                "evicted": self._dlq.evicted,
+            },
+            "fallback": {
+                "pending": len(self._fallback),
+                "retained": self._fallback.retained,
+                "dropped": self._fallback.dropped,
+            },
+            "checkpoints_written": self._checkpoints_written,
+        }
+
     def service_metrics(self) -> Dict[str, object]:
         """Counters + latency histograms + cache + shard balance."""
         out = self.metrics.snapshot(queue_depth=len(self._queue))
@@ -312,6 +725,7 @@ class ContextService:
         }
         out["epochs_retained"] = self.engine.retained_epochs()
         out["unique_contexts"] = self.tree.unique_contexts
+        out["resilience"] = self.resilience_stats()
         return out
 
     def stats(self) -> Dict[str, object]:

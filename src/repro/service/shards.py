@@ -28,7 +28,8 @@ class _Shard:
     """One lock-guarded slice of the aggregate state."""
 
     __slots__ = (
-        "lock", "counts", "leaf_totals", "gap_samples", "samples",
+        "lock", "counts", "leaf_totals", "gap_counts", "gap_samples",
+        "samples",
     )
 
     def __init__(self):
@@ -37,6 +38,9 @@ class _Shard:
         self.counts: Dict[Path, int] = {}
         #: leaf function -> observation count.
         self.leaf_totals: Dict[str, int] = {}
+        #: path -> gap-crossing observation count (checkpointed so a
+        #: recovery reproduces UCP accounting, not just totals).
+        self.gap_counts: Dict[Path, int] = {}
         self.gap_samples = 0
         self.samples = 0
 
@@ -85,6 +89,7 @@ class ShardedContextTree:
                     shard.leaf_totals.get(leaf, 0) + weight
                 )
             if has_gaps:
+                shard.gap_counts[path] = shard.gap_counts.get(path, 0) + weight
                 shard.gap_samples += weight
             shard.samples += weight
 
@@ -157,8 +162,43 @@ class ShardedContextTree:
             with shard.lock:
                 shard.counts.clear()
                 shard.leaf_totals.clear()
+                shard.gap_counts.clear()
                 shard.gap_samples = 0
                 shard.samples = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint surface
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Tuple[Path, int, int]]:
+        """A consistent-per-shard snapshot of ``(path, count, gap_count)``.
+
+        The checkpoint serialization form: everything ``restore_rows``
+        needs to rebuild counts, leaf rollups, and gap accounting.
+        """
+        out: List[Tuple[Path, int, int]] = []
+        for shard in self._shards:
+            with shard.lock:
+                for path, count in shard.counts.items():
+                    out.append((path, count, shard.gap_counts.get(path, 0)))
+        return out
+
+    def restore_rows(self, rows) -> int:
+        """Merge checkpoint rows back in; returns samples restored.
+
+        Rows land through the normal sharding function, so a restore
+        into a tree with a different shard count still balances.
+        """
+        restored = 0
+        for path, count, gap_count in rows:
+            path = tuple(path)
+            plain = count - gap_count
+            if plain > 0:
+                self.add(path, has_gaps=False, weight=plain)
+                restored += plain
+            if gap_count > 0:
+                self.add(path, has_gaps=True, weight=gap_count)
+                restored += gap_count
+        return restored
 
     def render(self, min_total: int = 1, max_depth: Optional[int] = None) -> str:
         return self.merged_report().render(

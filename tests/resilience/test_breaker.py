@@ -1,0 +1,141 @@
+"""Circuit-breaker state machine under an injectable clock."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(clock, **kw):
+    kw.setdefault("window", 8)
+    kw.setdefault("min_volume", 4)
+    kw.setdefault("error_rate", 0.5)
+    kw.setdefault("cooldown", 1.0)
+    kw.setdefault("half_open_probes", 2)
+    return CircuitBreaker(clock=clock, **kw)
+
+
+class TestClosedToOpen:
+    def test_starts_closed_and_allows(self):
+        b = make(FakeClock())
+        assert b.state == "closed"
+        assert b.allow()
+        assert b.opens == 0
+
+    def test_trips_at_error_rate_after_min_volume(self):
+        b = make(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"  # only 3 outcomes < min_volume
+        b.record_failure()
+        assert b.state == "open"
+        assert b.opens == 1
+
+    def test_successes_dilute_the_window(self):
+        b = make(FakeClock())
+        for _ in range(6):
+            b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"  # 2/8 failures < 50%
+
+    def test_open_sheds_calls(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(4):
+            b.record_failure()
+        assert not b.allow()
+        assert not b.allow()
+        assert b.shed == 2
+
+    def test_records_while_open_are_ignored(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(4):
+            b.record_failure()
+        b.record_success()  # straggler finishing after the trip
+        assert b.state == "open"
+        assert b.opens == 1
+
+
+class TestHalfOpen:
+    def _tripped(self, clock):
+        b = make(clock)
+        for _ in range(4):
+            b.record_failure()
+        assert b.state == "open"
+        return b
+
+    def test_cooldown_hands_out_probe_slots(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.5)
+        assert b.state == "half-open"
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # both probe slots taken
+
+    def test_probe_successes_close(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.5)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "half-open"
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.5)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert b.opens == 2
+        assert not b.allow()
+        # A second full cooldown is required again.
+        clock.advance(0.5)
+        assert b.state == "open"
+        clock.advance(0.6)
+        assert b.state == "half-open"
+
+
+class TestSnapshotAndValidation:
+    def test_snapshot_shape(self):
+        b = make(FakeClock(), name="ingest")
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["name"] == "ingest"
+        assert snap["state"] == "closed"
+        assert snap["window"] == [True]
+        assert snap["opens"] == 0 and snap["shed"] == 0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"window": 0},
+            {"min_volume": 0},
+            {"min_volume": 99},
+            {"error_rate": 0.0},
+            {"error_rate": 1.5},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ResilienceError):
+            make(FakeClock(), **kw)

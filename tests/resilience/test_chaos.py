@@ -1,0 +1,114 @@
+"""The chaos harness: injectors, oracles, and seeded end-to-end runs."""
+
+import pytest
+
+from repro.errors import ChaosError, ResilienceError
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    conservation_failures,
+    recovery_failures,
+    run_chaos,
+)
+from repro.service.ingest import WorkerKilled
+
+
+class TestChaosInjector:
+    def test_worker_kill_fires_at_configured_rate(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, worker_kill_rate=1.0, slow_consumer_rate=0.0)
+        )
+        with pytest.raises(WorkerKilled):
+            injector.worker_fault(0)
+        assert injector.tallies()["worker_kills"] == 1
+
+    def test_decode_fault_raises_chaos_error(self):
+        injector = ChaosInjector(ChaosConfig(seed=1, decode_fault_rate=1.0))
+        with pytest.raises(ChaosError):
+            injector.decode_fault()
+        assert injector.tallies()["decode_faults"] == 1
+
+    def test_zero_rates_never_fire(self):
+        injector = ChaosInjector(
+            ChaosConfig(
+                seed=1,
+                worker_kill_rate=0.0,
+                slow_consumer_rate=0.0,
+                decode_fault_rate=0.0,
+                checkpoint_crash_rate=0.0,
+            )
+        )
+        for _ in range(200):
+            injector.worker_fault(0)
+            injector.decode_fault()
+        assert injector.checkpoint_fault() is None
+        assert all(v == 0 for v in injector.tallies().values())
+
+    def test_checkpoint_fault_crashes_mid_write(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, checkpoint_crash_rate=1.0,
+                        checkpoint_crash_after_records=0)
+        )
+        fault = injector.checkpoint_fault()
+        assert fault is not None
+        with pytest.raises(ChaosError):
+            fault(1)
+        assert injector.tallies()["checkpoint_crashes"] == 1
+
+    def test_rate_validation(self):
+        with pytest.raises(ResilienceError):
+            ChaosConfig(worker_kill_rate=1.5)
+        with pytest.raises(ResilienceError):
+            ChaosConfig(decode_fault_rate=-0.1)
+
+
+class TestOracleHelpers:
+    def test_recovery_failures_flags_phantoms(self):
+        pre = {("main", "a"): 5}
+        ckpt = {("main", "a"): 5}
+        assert recovery_failures(dict(ckpt), ckpt, pre) == []
+        # A context recovery invented out of nothing.
+        phantom = {("main", "a"): 5, ("main", "ghost"): 1}
+        assert recovery_failures(phantom, ckpt, pre)
+        # Inflated counts relative to pre-crash truth.
+        inflated = {("main", "a"): 9}
+        assert recovery_failures(inflated, inflated, pre)
+        # Recovered disagrees with what was checkpointed.
+        assert recovery_failures({}, ckpt, pre)
+
+    def test_conservation_failures_on_clean_service(self):
+        from repro.runtime.plan import build_plan_from_graph
+        from repro.service import ContextService, ServiceConfig
+        from repro.workloads.paperfigures import figure5_graph
+
+        plan = build_plan_from_graph(figure5_graph())
+        service = ContextService(plan, ServiceConfig(workers=1, shards=2))
+        service.start()
+        service.submit("A", ((), 0), plan=plan)
+        service.flush()
+        service.stop()
+        assert conservation_failures(service) == []
+
+
+class TestRunChaos:
+    def test_seeded_run_holds_invariants(self):
+        report = run_chaos(iterations=4, seed=21)
+        assert report.ok
+        assert report.iterations == 4
+        assert report.failures == []
+        assert report.recoveries == 4
+        payload = report.to_json()
+        assert payload["ok"] is True
+        assert "injected" in payload
+
+    def test_heavy_fault_rates_still_hold(self):
+        report = run_chaos(
+            iterations=6,
+            seed=33,
+            worker_kill_rate=0.3,
+            decode_fault_rate=0.25,
+            checkpoint_crash_rate=0.8,
+            observations=20,
+        )
+        assert report.ok, report.failures
+        assert sum(report.injected.values()) > 0

@@ -1,0 +1,154 @@
+"""Durable checkpoints: atomicity, validation, newest-valid recovery."""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, ResilienceError
+from repro.resilience.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    plan_fingerprint,
+)
+from repro.runtime.plan import build_plan_from_graph
+from repro.workloads.paperfigures import figure5_graph
+
+
+def small_state(epoch=0, fingerprint="fp", n=5):
+    rows = tuple(
+        (("main", f"f{i}"), i + 1, 1 if i % 2 else 0) for i in range(n)
+    )
+    return CheckpointState(epoch=epoch, fingerprint=fingerprint, rows=rows)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        state = small_state(epoch=3)
+        path = store.write(state)
+        assert os.path.basename(path).startswith("ckpt-")
+        loaded = store.load_file(path)
+        assert loaded == state
+        assert loaded.total_samples == state.total_samples
+
+    def test_load_newest_prefers_later_sequence(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write(small_state(epoch=1))
+        newest = store.write(small_state(epoch=2))
+        found = store.load_newest()
+        assert found is not None
+        path, state = found
+        assert path == newest
+        assert state.epoch == 2
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), retain=2)
+        for epoch in range(5):
+            store.write(small_state(epoch=epoch))
+        remaining = store.checkpoints()
+        assert len(remaining) == 2
+        _, state = store.load_newest()
+        assert state.epoch == 4
+
+    def test_multi_record_rows(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), rows_per_record=3)
+        state = small_state(n=10)
+        path = store.write(state)
+        assert store.load_file(path) == state
+
+    def test_empty_tree_checkpoints_fine(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        state = CheckpointState(epoch=0, fingerprint="fp", rows=())
+        path = store.write(state)
+        assert store.load_file(path) == state
+
+
+class TestCorruption:
+    def test_crashed_write_leaves_no_checkpoint(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+
+        def crash(records):
+            if records >= 1:
+                raise OSError("disk gone")
+
+        with pytest.raises(OSError):
+            store.write(small_state(), fault=crash)
+        assert store.checkpoints() == []
+        assert store.load_newest() is None
+
+    def test_torn_file_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        good = store.write(small_state(epoch=1))
+        with open(good, "rb") as fh:
+            data = fh.read()
+        torn = os.path.join(str(tmp_path), "ckpt-00000099.dpck")
+        with open(torn, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        path, state = store.load_newest()
+        assert path == good
+        assert state.epoch == 1
+
+    def test_bitflip_is_rejected_by_crc(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        good = store.write(small_state(epoch=1))
+        with open(good, "rb") as fh:
+            data = bytearray(fh.read())
+        # Flip a byte inside the JSON payload of the first row record.
+        data[len(data) // 2] ^= 0x20
+        flipped = os.path.join(str(tmp_path), "ckpt-00000099.dpck")
+        with open(flipped, "wb") as fh:
+            fh.write(bytes(data))
+        path, _state = store.load_newest()
+        assert path == good
+
+    def test_garbage_bytes_are_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        good = store.write(small_state(epoch=1))
+        for name, blob in (
+            ("ckpt-00000098.dpck", b"\x00\xff\xfe not utf8 at all"),
+            ("ckpt-00000099.dpck", b"00000000 {}\n"),
+        ):
+            with open(os.path.join(str(tmp_path), name), "wb") as fh:
+                fh.write(blob)
+        path, _state = store.load_newest()
+        assert path == good
+
+    def test_truncated_to_header_only_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        good = store.write(small_state(epoch=1))
+        with open(good, "r") as fh:
+            first_line = fh.readline()
+        headerless = os.path.join(str(tmp_path), "ckpt-00000099.dpck")
+        with open(headerless, "w") as fh:
+            fh.write(first_line)  # valid CRC, but no rows and no footer
+        path, _state = store.load_newest()
+        assert path == good
+
+    def test_all_invalid_means_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "ckpt-00000001.dpck"),
+                  "wb") as fh:
+            fh.write(b"junk")
+        assert store.load_newest() is None
+
+
+class TestFingerprint:
+    def test_same_plan_same_fingerprint(self):
+        plan_a = build_plan_from_graph(figure5_graph())
+        plan_b = build_plan_from_graph(figure5_graph())
+        assert plan_fingerprint(plan_a) == plan_fingerprint(plan_b)
+
+    def test_different_graph_different_fingerprint(self):
+        graph = figure5_graph()
+        plan_a = build_plan_from_graph(graph)
+        g2 = graph.copy()
+        g2.add_edge("G", "newleaf", "x1")
+        plan_b = build_plan_from_graph(g2)
+        assert plan_fingerprint(plan_a) != plan_fingerprint(plan_b)
+
+
+def test_validation():
+    with pytest.raises(ResilienceError):
+        CheckpointStore("/tmp/x", retain=0)
+    with pytest.raises(CheckpointError):
+        CheckpointState(epoch=-1, fingerprint="fp", rows=())

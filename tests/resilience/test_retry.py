@@ -1,0 +1,90 @@
+"""Retry policy math, dead-letter quarantine, fallback retention."""
+
+import random
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.retry import (
+    DeadLetterQueue,
+    FallbackStore,
+    RetryPolicy,
+)
+from repro.service.ingest import Sample
+
+
+def mk(i):
+    return Sample(node=f"n{i}", stack=(), current_id=i, epoch=2, weight=3)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_max=0.05, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(k, rng) for k in (1, 2, 3, 4, 5)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(backoff_base=0.01, backoff_max=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(100):
+            d = policy.delay(2, rng)
+            assert 0.01 <= d <= 0.03  # 0.02 * [0.5, 1.5]
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestDeadLetterQueue:
+    def test_quarantine_keeps_triage_context(self):
+        dlq = DeadLetterQueue(capacity=4)
+        letter = dlq.quarantine(mk(1), ValueError("boom"), attempts=3)
+        assert letter.node == "n1"
+        assert letter.epoch == 2
+        assert letter.weight == 3
+        assert letter.current_id == 1
+        assert letter.error_type == "ValueError"
+        assert letter.error == "boom"
+        assert letter.attempts == 3
+        assert letter.quarantined_at > 0
+        assert dlq.letters() == [letter]
+        assert len(dlq) == 1 and dlq.total == 1
+
+    def test_eviction_is_counted(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(5):
+            dlq.quarantine(mk(i), RuntimeError("x"), attempts=1)
+        assert len(dlq) == 2
+        assert dlq.total == 5
+        assert dlq.evicted == 3
+        assert [letter.node for letter in dlq.letters()] == ["n3", "n4"]
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            DeadLetterQueue(capacity=0)
+
+
+class TestFallbackStore:
+    def test_retain_and_drain(self):
+        store = FallbackStore(capacity=8)
+        for i in range(3):
+            assert store.retain(mk(i))
+        assert len(store) == 3 and store.retained == 3
+        first = store.drain(limit=2)
+        assert [s.current_id for s in first] == [0, 1]
+        assert [s.current_id for s in store.drain()] == [2]
+        assert len(store) == 0
+
+    def test_full_store_counts_drops(self):
+        store = FallbackStore(capacity=2)
+        assert store.retain(mk(0)) and store.retain(mk(1))
+        assert not store.retain(mk(2))
+        assert store.dropped == 1
+        assert store.retained == 2
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            FallbackStore(capacity=0)

@@ -1,0 +1,188 @@
+"""Supervisor semantics: deaths, budgeted restarts, degraded mode.
+
+Sweeps are driven through the public ``check_once(now=...)`` hook so the
+tests control supervision time deterministically instead of racing the
+monitor thread.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.supervisor import Supervisor, SupervisorConfig
+from repro.service.ingest import BoundedQueue, Sample, WorkerKilled, WorkerPool
+
+
+def mk(i):
+    return Sample(node=f"n{i}", stack=(), current_id=i, epoch=0)
+
+
+def make_pool(kill_slots=(), workers=2):
+    """A pool whose listed slots die (once) at their first drain tick."""
+    armed = set(kill_slots)
+
+    def fault(slot):
+        if slot in armed:
+            armed.discard(slot)
+            raise WorkerKilled("chaos")
+
+    q = BoundedQueue(capacity=64)
+    pool = WorkerPool(q, lambda batch: None, workers=workers, batch_size=4,
+                      poll_interval=0.005, fault=fault)
+    return q, pool, armed
+
+
+def wait_for_death(pool, count=1, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while pool.deaths < count and time.monotonic() < deadline:
+        time.sleep(0.002)
+    assert pool.deaths >= count
+
+
+class TestRestarts:
+    def test_death_is_counted_then_restarted_after_holdoff(self):
+        q, pool, _ = make_pool(kill_slots=(0,))
+        pool.start()
+        wait_for_death(pool)
+        sup = Supervisor(
+            pool,
+            config=SupervisorConfig(
+                backoff_base=10.0, backoff_max=100.0, jitter=0.0, seed=1
+            ),
+        )
+        now = time.monotonic()
+        # First sweep: accounts the death, schedules the backed-off
+        # restart, but does not restart yet.
+        assert sup.check_once(now=now) == 0
+        assert sup.deaths_seen == 1
+        assert sup.restarts == 0
+        assert pool.alive() == 1
+        # Still inside the holdoff: nothing happens, and the death is
+        # not double-counted.
+        assert sup.check_once(now=now + 1.0) == 0
+        assert sup.deaths_seen == 1
+        # Past the holdoff: the slot is restarted.
+        assert sup.check_once(now=now + 30.0) == 1
+        assert sup.restarts == 1
+        assert pool.alive() == 2
+        assert sup.snapshot()["per_slot"] == {0: 1}
+        q.close()
+        pool.join(timeout=5)
+
+    def test_backoff_grows_per_slot(self):
+        q, pool, armed = make_pool(kill_slots=(0,))
+        pool.start()
+        wait_for_death(pool)
+        sup = Supervisor(
+            pool,
+            config=SupervisorConfig(
+                backoff_base=1.0, backoff_max=100.0, jitter=0.0, seed=1
+            ),
+        )
+        now = time.monotonic()
+        sup.check_once(now=now)
+        assert sup.check_once(now=now + 1.5) == 1  # first: ~1s holdoff
+        # Kill the same slot again: prior restarts double the backoff.
+        armed.add(0)
+        wait_for_death(pool, count=2)
+        now2 = time.monotonic()
+        sup.check_once(now=now2)
+        assert sup.check_once(now=now2 + 1.5) == 0  # 2s holdoff now
+        assert sup.check_once(now=now2 + 2.5) == 1
+        assert sup.restarts == 2
+        q.close()
+        pool.join(timeout=5)
+
+
+class TestDegradedMode:
+    def test_budget_exhaustion_fires_degraded_once(self):
+        q, pool, _ = make_pool(kill_slots=(0, 1))
+        pool.start()
+        wait_for_death(pool, count=2)
+        fired = []
+        sup = Supervisor(
+            pool,
+            config=SupervisorConfig(max_restarts=0, jitter=0.0),
+            on_degraded=lambda: fired.append(1),
+        )
+        now = time.monotonic()
+        sup.check_once(now=now)
+        assert sup.state == "degraded"
+        assert sup.degraded
+        assert fired == [1]
+        # Further sweeps neither re-fire nor restart.
+        sup.check_once(now=now + 100.0)
+        assert fired == [1]
+        assert sup.restarts == 0
+        snap = sup.snapshot()
+        assert snap["state"] == "degraded"
+        assert snap["budget"] == 0
+        q.close()
+
+    def test_stop_preserves_degraded_state(self):
+        q, pool, _ = make_pool(kill_slots=(0, 1))
+        pool.start()
+        wait_for_death(pool, count=2)
+        sup = Supervisor(pool, config=SupervisorConfig(max_restarts=0))
+        sup.check_once()
+        sup.stop()
+        assert sup.state == "degraded"
+        q.close()
+
+
+class TestMonitorThread:
+    def test_monitor_restarts_without_manual_sweeps(self):
+        q, pool, _ = make_pool(kill_slots=(0,))
+        pool.start()
+        wait_for_death(pool)
+        sup = Supervisor(
+            pool,
+            config=SupervisorConfig(
+                heartbeat_interval=0.005,
+                backoff_base=0.001,
+                backoff_max=0.01,
+                seed=3,
+            ),
+        )
+        sup.start()
+        sup.start()  # idempotent
+        deadline = time.monotonic() + 5
+        while sup.restarts < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert sup.restarts == 1
+        assert pool.alive() == 2
+        sup.stop()
+        assert sup.state == "stopped"
+        q.close()
+        pool.join(timeout=5)
+
+    def test_stall_detection_counts_not_kills(self):
+        q = BoundedQueue(capacity=8)
+        import threading
+
+        release = threading.Event()
+        pool = WorkerPool(q, lambda batch: release.wait(10), workers=1,
+                          batch_size=1, poll_interval=0.005)
+        pool.start()
+        q.put(mk(0))
+        q.put(mk(1))  # queued work while the worker hangs in the handler
+        time.sleep(0.05)
+        sup = Supervisor(
+            pool, config=SupervisorConfig(heartbeat_timeout=0.01)
+        )
+        sup.check_once()
+        assert sup.stalls >= 1
+        assert pool.alive() == 1  # stalls are observed, never killed
+        release.set()
+        q.close()
+        pool.join(timeout=5)
+
+
+def test_config_validation():
+    with pytest.raises(ResilienceError):
+        SupervisorConfig(heartbeat_interval=0)
+    with pytest.raises(ResilienceError):
+        SupervisorConfig(max_restarts=-1)
+    with pytest.raises(ResilienceError):
+        SupervisorConfig(jitter=1.0)

@@ -138,3 +138,76 @@ class TestPlanDetails:
         p2 = build_plan_from_graph(graph)
         assert p1.site_av == p2.site_av
         assert p1.node_info == p2.node_info
+
+
+class _FakeProbe:
+    """Just enough probe for the collector: a constant snapshot."""
+
+    def snapshot(self, node):
+        return ((), 7)
+
+
+class TestSinkErrorPolicies:
+    def _collector(self, policy, sink, **kwargs):
+        return ContextCollector(sink=sink, sink_errors=policy, **kwargs)
+
+    def test_raise_policy_propagates(self):
+        from repro.errors import ServiceError
+
+        def sink(node, snapshot, probe):
+            raise ServiceError("backend down")
+
+        collector = self._collector("raise", sink)
+        with pytest.raises(ServiceError):
+            collector.on_entry("f", 1, _FakeProbe())
+
+    def test_drop_policy_counts_and_continues(self):
+        from repro.errors import ServiceError
+
+        def sink(node, snapshot, probe):
+            raise ServiceError("backend down")
+
+        collector = self._collector("drop", sink)
+        for _ in range(3):
+            collector.on_entry("f", 1, _FakeProbe())
+        assert collector.sink_failures == 3
+        assert collector.total == 3  # collection itself kept going
+        assert list(collector.sink_retained) == []
+
+    def test_retain_policy_keeps_bounded_raw_observations(self):
+        from repro.errors import ServiceError
+
+        def sink(node, snapshot, probe):
+            raise ServiceError("backend down")
+
+        collector = self._collector(
+            "retain", sink, sink_retain_capacity=2
+        )
+        for _ in range(5):
+            collector.on_entry("f", 1, _FakeProbe())
+        assert collector.sink_failures == 5
+        assert list(collector.sink_retained) == [
+            ("f", ((), 7)), ("f", ((), 7))
+        ]  # oldest evicted, capacity 2
+
+    def test_non_repro_errors_always_propagate(self):
+        def sink(node, snapshot, probe):
+            raise RuntimeError("a bug, not backend weather")
+
+        collector = self._collector("drop", sink)
+        with pytest.raises(RuntimeError):
+            collector.on_entry("f", 1, _FakeProbe())
+        assert collector.sink_failures == 0
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            ContextCollector(sink=lambda *a: None, sink_errors="ignore")
+
+    def test_healthy_sink_still_streams(self):
+        seen = []
+        collector = self._collector(
+            "drop", lambda node, snap, probe: seen.append((node, snap))
+        )
+        collector.on_entry("f", 1, _FakeProbe())
+        assert seen == [("f", ((), 7))]
+        assert collector.sink_failures == 0

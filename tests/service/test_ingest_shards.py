@@ -6,7 +6,13 @@ import time
 import pytest
 
 from repro.errors import IngestOverflowError, ServiceError
-from repro.service.ingest import POLICIES, BoundedQueue, Sample, WorkerPool
+from repro.service.ingest import (
+    POLICIES,
+    BoundedQueue,
+    Sample,
+    WorkerKilled,
+    WorkerPool,
+)
 from repro.service.shards import ShardedContextTree
 
 
@@ -92,6 +98,62 @@ class TestBoundedQueue:
         assert q.get_batch(1, timeout=0.01) == []
         assert time.monotonic() - start < 1.0
 
+    def test_close_while_producers_blocked(self):
+        """Closing the queue must wake blocked producers and account
+        their in-flight samples as declared drops, not lose them."""
+        q = BoundedQueue(capacity=1, policy="block")
+        q.put(mk(0))
+        results = []
+        lock = threading.Lock()
+
+        def producer(i):
+            got = q.put(mk(i), timeout=5, on_closed="drop")
+            with lock:
+                results.append(got)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,)) for i in (1, 2, 3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # all three are parked on the full queue
+        q.close()
+        for t in threads:
+            t.join(timeout=5)
+            assert not t.is_alive()
+        assert results == [False, False, False]
+        assert q.dropped == 3
+        # The pre-close sample is still drainable.
+        assert [s.current_id for s in q.get_batch(10)] == [0]
+
+    def test_close_while_blocked_raise_policy(self):
+        q = BoundedQueue(capacity=1, policy="block")
+        q.put(mk(0))
+        outcome = []
+
+        def producer():
+            try:
+                q.put(mk(1), timeout=5)  # default on_closed="raise"
+            except ServiceError as exc:
+                outcome.append(exc)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5)
+        assert len(outcome) == 1
+        # Raising still counts the sample: accounting never leaks.
+        assert q.dropped == 1
+
+    def test_put_on_closed_counts_drop(self):
+        q = BoundedQueue(capacity=4)
+        q.close()
+        assert q.put(mk(0), on_closed="drop") is False
+        assert q.dropped == 1
+        with pytest.raises(ServiceError):
+            q.put(mk(1), on_closed="nope")
+
 
 class TestWorkerPool:
     def test_drains_everything_then_exits(self):
@@ -111,7 +173,7 @@ class TestWorkerPool:
             q.put(mk(i))
         q.close()
         pool.join(timeout=10)
-        assert not pool.alive
+        assert pool.alive() == 0
         assert sorted(seen) == list(range(200))
 
     def test_handler_errors_do_not_kill_workers(self):
@@ -136,6 +198,80 @@ class TestWorkerPool:
         assert len(errors) == 1
         assert isinstance(errors[0], RuntimeError)
         assert sorted(ok) == [0, 1, 2, 4, 5]
+
+    def test_handler_raising_does_not_reduce_alive(self):
+        """A poisoned batch is routed to on_error; the worker thread
+        survives and keeps draining — alive() must not drop."""
+        q = BoundedQueue(capacity=64)
+        errors = []
+        pool = WorkerPool(
+            q,
+            lambda batch: (_ for _ in ()).throw(RuntimeError("poison")),
+            workers=2,
+            batch_size=1,
+            on_error=errors.append,
+            poll_interval=0.01,
+        )
+        pool.start()
+        for i in range(10):
+            q.put(mk(i))
+        deadline = time.monotonic() + 5
+        while len(errors) < 10 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pool.alive() == 2
+        assert pool.deaths == 0
+        assert len(errors) == 10
+        assert all(not s.dead for s in pool.worker_states())
+        q.close()
+        pool.join(timeout=5)
+
+    def test_worker_killed_is_a_visible_death(self):
+        q = BoundedQueue(capacity=64)
+        kill_once = {"armed": True}
+
+        def fault(slot):
+            if slot == 0 and kill_once["armed"]:
+                kill_once["armed"] = False
+                raise WorkerKilled("chaos")
+
+        pool = WorkerPool(q, lambda batch: None, workers=2, batch_size=4,
+                          poll_interval=0.01, fault=fault)
+        pool.start()
+        deadline = time.monotonic() + 5
+        while pool.alive() == 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert pool.alive() == 1
+        assert pool.deaths == 1
+        states = pool.worker_states()
+        assert states[0].dead and not states[0].exited
+        assert states[1].alive
+
+        # Restart the dead slot; the revived worker drains again.
+        assert pool.restart_worker(0)
+        assert pool.alive() == 2
+        assert not pool.restart_worker(1)  # still running: refused
+        with pytest.raises(ServiceError):
+            pool.restart_worker(9)
+        q.close()
+        pool.join(timeout=5)
+        # Normal exits are not restartable.
+        assert all(s.exited for s in pool.worker_states())
+        assert not pool.restart_worker(0)
+
+    def test_restart_before_start_is_refused(self):
+        pool = WorkerPool(BoundedQueue(), lambda b: None, workers=1)
+        assert not pool.restart_worker(0)
+
+    def test_heartbeats_advance(self):
+        q = BoundedQueue(capacity=8)
+        pool = WorkerPool(q, lambda batch: None, workers=1,
+                          poll_interval=0.005)
+        pool.start()
+        first = pool.worker_states()[0].heartbeat
+        time.sleep(0.05)
+        assert pool.worker_states()[0].heartbeat > first
+        q.close()
+        pool.join(timeout=5)
 
     def test_validation(self):
         q = BoundedQueue()
