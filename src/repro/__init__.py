@@ -28,7 +28,8 @@ Quickstart (the :mod:`repro.api` facade is the documented entry point)::
 
     # millions of samples: decode off the hot path, sharded + cached
     service = enc.service(plan).start()         # repro.service backend
-    service.submit(node, (stack, current), plan=probe.plan)
+    batch = SampleBatch().append(node, (stack, current), epoch=service.epoch)
+    service.submit_batch(batch)                 # batch-first ingest
     service.flush(); service.top_contexts(5)    # hottest calling contexts
 
 See README.md, docs/API.md and examples/ for complete walkthroughs.
@@ -42,6 +43,7 @@ from repro.api import (
     PlanConfig,
     PlanUpdate,
     ReencodeResult,
+    SampleBatch,
     ServiceConfig,
     delta_for_loaded_classes,
     diff_graphs,
@@ -118,6 +120,7 @@ __all__ = [
     "PlanConfig",
     "PlanSwapError",
     "PlanUpdate",
+    "SampleBatch",
     "ReencodeResult",
     "ReproError",
     "RuntimeEncodingError",

@@ -78,12 +78,13 @@ from repro.runtime.plan import (
     build_plan,
     build_plan_from_graph,
 )
-from repro.service import ContextService, ServiceConfig
+from repro.service import ContextService, SampleBatch, ServiceConfig
 
 __all__ = [
     "ALGORITHMS",
     "ContextService",
     "Encoder",
+    "SampleBatch",
     "Encoding",
     "GraphDelta",
     "PlanConfig",

@@ -40,6 +40,8 @@ __all__ = [
     "build_workload",
     "decode_study",
     "ingest_study",
+    "batch_ingest_study",
+    "store_study",
     "serve_bench",
     "render_serve_bench",
     "write_bench_json",
@@ -308,6 +310,189 @@ def ingest_study(
 
 
 # ----------------------------------------------------------------------
+# Study 3: scalar shim vs columnar submit_batch on the same stream
+# ----------------------------------------------------------------------
+def batch_ingest_study(
+    plan: DeltaPathPlan,
+    stream: Sequence[Observation],
+    *,
+    workers: int = 2,
+    shards: int = 8,
+    batch_max: int = 2048,
+) -> Dict[str, object]:
+    """One stream, two ingestion APIs; batch must win and must agree.
+
+    The same Zipf stream is pushed through the deprecated per-sample
+    ``submit`` shim and through columnar ``submit_batch`` (packed
+    ``batch_max`` samples at a time). Besides the throughput ratio, the
+    study asserts *observational equality*: both services must end with
+    identical accounting, ``top_contexts``, and ``function_totals`` —
+    the differential guarantee the ``batch`` fuzz oracle checks on
+    adversarial workloads, here checked on the benchmark workload.
+    """
+    import warnings
+
+    from repro.service import SampleBatch
+
+    def run(batch_mode: bool):
+        service = ContextService(
+            plan,
+            ServiceConfig(
+                shards=shards,
+                workers=workers,
+                backpressure="block",
+                queue_capacity=4096,
+                batch_max=batch_max,
+            ),
+        )
+        service.start()
+        start = time.perf_counter()
+        if batch_mode:
+            for lo in range(0, len(stream), batch_max):
+                service.submit_batch(
+                    SampleBatch.from_observations(
+                        stream[lo:lo + batch_max], epoch=0
+                    )
+                )
+        else:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                for node, snapshot in stream:
+                    service.submit(node, snapshot)
+        service.flush(timeout=240)
+        elapsed = time.perf_counter() - start
+        acct = service.accounting()
+        summary = {
+            "samples": acct["submitted"],
+            "elapsed_ms": elapsed * 1000.0,
+            "per_s": acct["submitted"] / elapsed if elapsed else float("inf"),
+            "aggregated": acct["aggregated"],
+            "dropped": acct["dropped"],
+        }
+        top = service.top_contexts(10)
+        totals = service.function_totals()
+        service.stop()
+        return summary, top, totals
+
+    scalar, top_s, totals_s = run(False)
+    batch, top_b, totals_b = run(True)
+    return {
+        "scalar": scalar,
+        "batch": batch,
+        "batch_max": batch_max,
+        "speedup": (
+            batch["per_s"] / scalar["per_s"] if scalar["per_s"] else None
+        ),
+        "accounting_match": (
+            scalar["samples"] == batch["samples"]
+            and scalar["aggregated"] == batch["aggregated"]
+            and top_s == top_b
+            and totals_s == totals_b
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Study 4: compressed context store vs tuples-of-strings
+# ----------------------------------------------------------------------
+def _cct_paths(
+    contexts: int, *, names: int = 512, max_depth: int = 64, seed: int = 1
+) -> List[Tuple[str, ...]]:
+    """Contexts forming a calling-context tree, in discovery order.
+
+    Real collectors retain a context for *every* live frame (``on_entry``
+    fires at each level), so the retained set is closed under
+    prefixes — a CCT, not an arbitrary path set. Growth mimics a trace:
+    most of the time the walk deepens the current context (long shared
+    trunks), sometimes it jumps back to an arbitrary known context
+    (branching).
+    """
+    rng = random.Random(seed + 31)
+    pool = [f"fn{i}" for i in range(names)]
+    paths: List[Tuple[str, ...]] = [("main",)]
+    seen = {("main",)}
+    current = ("main",)
+    while len(paths) < contexts:
+        if len(current) >= max_depth or rng.random() >= 0.8:
+            current = paths[rng.randrange(len(paths))]
+        current = current + (pool[rng.randrange(names)],)
+        if current not in seen:
+            seen.add(current)
+            paths.append(current)
+    return paths
+
+
+def _tuple_baseline_bytes(paths: Sequence[Tuple[str, ...]]) -> int:
+    """Bytes of the pre-batch representation: tuples of shared strings.
+
+    The old shards kept each retained context as a tuple of interned
+    function-name strings, so the honest baseline counts each tuple
+    object plus every distinct string once.
+    """
+    import sys as _sys
+
+    total = _sys.getsizeof({i: None for i in range(len(paths))})
+    names = set()
+    for path in paths:
+        total += _sys.getsizeof(path)
+        for name in path:
+            if name not in names:
+                names.add(name)
+                total += _sys.getsizeof(name)
+    return total
+
+
+def store_study(
+    contexts: int = 4000,
+    *,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Retained-context footprint: delta trie + zlib blocks vs tuples.
+
+    Uses a calling-context-tree workload (the lane-chain stream
+    collapses to a couple dozen distinct contexts; footprint only
+    matters at scale) and reports bytes-per-retained-context for the
+    compressed store, the uncompressed trie, and the old
+    tuples-of-strings baseline, verifying the store round-trips the
+    paths it interned. The ``pid_cache`` throughput memo is disabled:
+    this study measures the cold retained footprint.
+    """
+    from repro.service import ContextStore
+
+    paths = _cct_paths(contexts, seed=seed)
+    mean_depth = sum(len(p) for p in paths) / len(paths)
+    result: Dict[str, object] = {
+        "contexts": len(paths),
+        "mean_depth": mean_depth,
+    }
+    for compression in ("zlib", "none"):
+        store = ContextStore(compression=compression, pid_cache=0)
+        pids = [store.intern(path) for path in paths]
+        stats = store.stats()
+        round_trip_ok = all(
+            store.path(pid) == path
+            for pid, path in zip(pids[:: max(len(pids) // 64, 1)],
+                                 paths[:: max(len(paths) // 64, 1)])
+        )
+        result[compression] = {
+            "bytes": stats["bytes"],
+            "bytes_per_context": stats["bytes_per_context"],
+            "sealed_blocks": stats["sealed_blocks"],
+            "nodes": stats["nodes"],
+            "round_trip_ok": round_trip_ok,
+        }
+        del store
+    baseline = _tuple_baseline_bytes(paths)
+    result["tuple_bytes"] = baseline
+    result["tuple_bytes_per_context"] = baseline / len(paths)
+    zlib_bytes = result["zlib"]["bytes"]
+    result["reduction_vs_tuples"] = (
+        baseline / zlib_bytes if zlib_bytes else None
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # The full benchmark
 # ----------------------------------------------------------------------
 def serve_bench(
@@ -352,6 +537,11 @@ def serve_bench(
         seed=seed,
     )
 
+    batch_ingest = batch_ingest_study(
+        plan, stream, workers=workers, shards=shards
+    )
+    store = store_study(4000 if quick else 20000, seed=seed)
+
     engine = DecodeEngine(plan)
     counts: Dict[Tuple[str, ...], int] = {}
     for node, snapshot in stream:
@@ -378,6 +568,11 @@ def serve_bench(
             "speedup": speedup,
         },
         "ingest": ingest,
+        "batch_ingest": batch_ingest,
+        "store": store,
+        # Headline numbers, surfaced flat for dashboards and the CI gate.
+        "batch_ingest_per_s": batch_ingest["batch"]["per_s"],
+        "bytes_per_context": store["zlib"]["bytes_per_context"],
         "top_contexts": [
             {"count": count, "path": list(path)} for path, count in hottest
         ],
@@ -420,6 +615,22 @@ def render_serve_bench(result: Dict[str, object]) -> str:
         f"lost {ingest['lost']}, mixed-epoch {ingest['mixed_epoch']}, "
         f"decode errors {ingest['decode_errors']}, "
         f"plugin contexts {sci(ingest['plugin_samples'])}"
+    )
+    batch = result["batch_ingest"]
+    lines.append(
+        "batch vs scalar ingestion: "
+        f"scalar {sci(batch['scalar']['per_s'])}/s, "
+        f"batch {sci(batch['batch']['per_s'])}/s "
+        f"(speedup {sci(batch['speedup'])}x, "
+        f"accounting {'match' if batch['accounting_match'] else 'DIVERGED'})"
+    )
+    store = result["store"]
+    lines.append(
+        "context store footprint: "
+        f"{sci(store['zlib']['bytes_per_context'])} B/ctx compressed vs "
+        f"{sci(store['tuple_bytes_per_context'])} B/ctx tuples "
+        f"({sci(store['reduction_vs_tuples'])}x smaller, "
+        f"{store['contexts']} contexts)"
     )
     lines.append("")
     lines.append("hottest contexts:")

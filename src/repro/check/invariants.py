@@ -45,6 +45,7 @@ __all__ = [
     "InvariantViolation",
     "CheckedProbe",
     "service_fault_scenario",
+    "batch_equivalence_scenario",
     "resilient_fault_scenario",
     "checkpoint_recovery_scenario",
 ]
@@ -296,6 +297,146 @@ def service_fault_scenario(
             f"decoded functions outside every installed plan: "
             f"{sorted(unknown)[:5]}"
         )
+    return failures
+
+
+def batch_equivalence_scenario(
+    plan: DeltaPathPlan,
+    observations: Sequence[Tuple[str, tuple]],
+    updates: Sequence[PlanUpdate] = (),
+    post_swap: Sequence[Tuple[str, tuple]] = (),
+    seed: int = 0,
+) -> List[str]:
+    """Differential oracle: the batch path must equal the scalar path.
+
+    The same observation stream is fed to two losslessly-configured
+    services — one through the deprecated per-sample ``submit`` shim,
+    one through columnar ``submit_batch`` with hot swaps landing
+    *mid-batch* (a partially-filled :class:`SampleBatch` straddles the
+    epoch bump, so one batch carries samples stamped under two epochs).
+    Dedup-then-decode, grouped aggregation, and the compressed context
+    store must be observationally invisible: ``top_contexts``,
+    ``function_totals`` (inclusive and leaf-only), ``ucp_stats``, and
+    the accounting counters must all agree exactly.
+
+    Returns a list of failure descriptions (empty when all held).
+    """
+    import warnings
+
+    from repro.service.batch import SampleBatch
+    from repro.service.service import ContextService, ServiceConfig
+
+    rng = random.Random(seed)
+    failures: List[str] = []
+
+    def make_service() -> "ContextService":
+        return ContextService(
+            plan,
+            ServiceConfig(
+                workers=1,
+                shards=2,
+                queue_capacity=4096,
+                batch_size=16,
+                backpressure="block",
+            ),
+        )
+
+    scalar = make_service()
+    batched = make_service()
+    scalar.start()
+    batched.start()
+    try:
+        pending_s = list(updates)
+        pending_b = list(updates)
+        swap_every = max(1, len(observations) // (len(updates) + 1))
+        final_plan = updates[-1].plan if updates else plan
+        chunk = rng.randint(3, 9)
+
+        # Scalar reference: one sample per call through the legacy shim.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for index, (node, snap) in enumerate(observations):
+                scalar.submit(node, snap, plan=plan)
+                if pending_s and index % swap_every == swap_every - 1:
+                    scalar.install_update(pending_s.pop(0))
+            while pending_s:
+                scalar.install_update(pending_s.pop(0))
+            for node, snap in post_swap:
+                scalar.submit(node, snap, plan=final_plan)
+            scalar.flush()
+
+        # Batch path: identical stream, identical swap schedule — but
+        # swaps land while a batch is mid-fill, so epochs mix in-batch.
+        buf = SampleBatch()
+        for index, (node, snap) in enumerate(observations):
+            buf.append(node, snap, epoch=batched.engine.epoch_of(plan))
+            if pending_b and index % swap_every == swap_every - 1:
+                batched.install_update(pending_b.pop(0))
+            if len(buf) >= chunk:
+                batched.submit_batch(buf)
+                buf = SampleBatch()
+        while pending_b:
+            batched.install_update(pending_b.pop(0))
+        for node, snap in post_swap:
+            buf.append(
+                node, snap, epoch=batched.engine.epoch_of(final_plan)
+            )
+        if len(buf):
+            batched.submit_batch(buf)
+        batched.flush()
+
+        expected = len(observations) + len(post_swap)
+        for label, svc in (("scalar", scalar), ("batch", batched)):
+            acct = svc.accounting()
+            if acct["submitted"] != expected:
+                failures.append(
+                    f"{label} service submitted {acct['submitted']} of "
+                    f"{expected} samples under a lossless config"
+                )
+            for leak in ("dropped", "fallback_dropped", "fallback_pending"):
+                if acct[leak]:
+                    failures.append(
+                        f"{label} service leaked {acct[leak]} sample(s) "
+                        f"to {leak} under a lossless config"
+                    )
+
+        acct_s = scalar.accounting()
+        acct_b = batched.accounting()
+        for key in ("aggregated", "dead_lettered", "epoch_mismatches"):
+            if acct_s[key] != acct_b[key]:
+                failures.append(
+                    f"accounting[{key}] diverged: scalar={acct_s[key]} "
+                    f"batch={acct_b[key]}"
+                )
+
+        top_s = scalar.top_contexts(expected + 1)
+        top_b = batched.top_contexts(expected + 1)
+        if top_s != top_b:
+            failures.append(
+                f"top_contexts diverged: scalar={top_s[:3]!r}... "
+                f"batch={top_b[:3]!r}..."
+            )
+        for leaf_only in (False, True):
+            tot_s = scalar.function_totals(leaf_only=leaf_only)
+            tot_b = batched.function_totals(leaf_only=leaf_only)
+            if tot_s != tot_b:
+                diff = {
+                    k: (tot_s.get(k), tot_b.get(k))
+                    for k in set(tot_s) | set(tot_b)
+                    if tot_s.get(k) != tot_b.get(k)
+                }
+                failures.append(
+                    f"function_totals(leaf_only={leaf_only}) diverged: "
+                    f"{dict(list(diff.items())[:5])!r}"
+                )
+        if scalar.ucp_stats() != batched.ucp_stats():
+            failures.append(
+                f"ucp_stats diverged: scalar={scalar.ucp_stats()!r} "
+                f"batch={batched.ucp_stats()!r}"
+            )
+    finally:
+        scalar.stop()
+        batched.stop()
     return failures
 
 

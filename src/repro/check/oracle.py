@@ -43,6 +43,7 @@ from repro.analysis.incremental import apply_delta, diff_graphs
 from repro.check.fuzz import FuzzCase
 from repro.check.invariants import (
     CheckedProbe,
+    batch_equivalence_scenario,
     checkpoint_recovery_scenario,
     resilient_fault_scenario,
     service_fault_scenario,
@@ -71,6 +72,7 @@ __all__ = [
     "check_sids",
     "check_runtime",
     "check_service",
+    "check_batch",
     "check_conservation",
     "check_recovery",
     "sid_equivalence_failures",
@@ -424,6 +426,43 @@ def check_service(case: FuzzCase, observations: int = 24) -> List[str]:
     return [f"service: {f}" for f in failures]
 
 
+def check_batch(case: FuzzCase, observations: int = 24) -> List[str]:
+    """Batch-vs-scalar differential ingestion (see
+    :func:`repro.check.invariants.batch_equivalence_scenario`).
+
+    Feeds one fuzzed workload through the per-sample shim and through
+    ``submit_batch`` (with hot swaps landing mid-batch) and demands
+    identical queries and accounting from both services.
+    """
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0xBA7C)
+
+    updates: List[PlanUpdate] = []
+    current = plan
+    try:
+        for delta in case.deltas:
+            update = current.apply_delta(delta)
+            updates.append(update)
+            current = update.plan
+    except ReproError:
+        updates = []  # the incremental oracle reports repair crashes
+        current = plan
+
+    pre = _collect_observations(plan, rng, observations)
+    post = (
+        _collect_observations(current, rng, observations // 2)
+        if updates
+        else []
+    )
+    failures = batch_equivalence_scenario(
+        plan, pre, updates=updates, post_swap=post, seed=case.seed
+    )
+    return [f"batch: {f}" for f in failures]
+
+
 def _collect_observations(
     plan: DeltaPathPlan, rng: random.Random, count: int
 ) -> List[Tuple[str, tuple]]:
@@ -497,12 +536,13 @@ ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
     ("sids", check_sids),
     ("runtime", check_runtime),
     ("service", check_service),
+    ("batch", check_batch),
     ("conservation", check_conservation),
     ("recovery", check_recovery),
 )
 
 #: Oracles that spin up worker threads; ``with_service=False`` skips them.
-_SERVICE_ORACLES = frozenset({"service", "conservation", "recovery"})
+_SERVICE_ORACLES = frozenset({"service", "batch", "conservation", "recovery"})
 
 
 def check_case(

@@ -77,6 +77,20 @@ class StackEntry:
     resume_node: Optional[str] = None
     resume_executed: bool = True
 
+    def __hash__(self) -> int:
+        # Entries are hashed constantly — every decode-cache lookup and
+        # every batch-grouping pass hashes whole stacks of them — so the
+        # field-tuple hash is computed once and pinned on the frozen
+        # instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.kind, self.node, self.saved_id, self.site,
+                self.expected_sid, self.resume_node, self.resume_executed,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
 
 def pack_entry(
     entry: StackEntry, method_ids: Dict[str, int], id_bits: int = 30

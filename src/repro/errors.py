@@ -123,6 +123,16 @@ class EpochError(ServiceError):
     """
 
 
+class StoreCorruptionError(ServiceError):
+    """A compressed context-store block failed its integrity check.
+
+    Sealed blocks of the :class:`repro.service.store.ContextStore` carry
+    a CRC32 over their raw node records; a mismatch on unseal means the
+    retained contexts in that block can no longer be trusted and the
+    store refuses to serve them.
+    """
+
+
 class ResilienceError(ServiceError):
     """The resilience layer (supervisor/breaker/checkpoint) was misused."""
 

@@ -264,7 +264,13 @@ def recovery_failures(
 
 
 def _tree_counts(service) -> Dict[Tuple[str, ...], int]:
-    return {path: count for path, count, _ in service.tree.rows()}
+    # Rows are (path, count, gaps, epoch); one path may appear once per
+    # epoch, so counts are summed per path.
+    counts: Dict[Tuple[str, ...], int] = {}
+    for row in service.tree.rows():
+        path, count = row[0], row[1]
+        counts[path] = counts.get(path, 0) + count
+    return counts
 
 
 def run_chaos(

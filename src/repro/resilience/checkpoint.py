@@ -10,13 +10,29 @@ File format (``ckpt-<seq>.dpck``): line-oriented records, each line
 
     ``<crc32 of payload, 8 hex chars> <payload JSON>``
 
-The first record is a header (version, epoch, fingerprint, row count),
-followed by ``row`` records batching up to ``rows_per_record`` CCT rows,
-and a footer carrying the totals actually written. A file is *valid*
-only if every line's checksum matches, the header parses, and the footer
-agrees with the observed record/row/sample totals — so a torn write
-(crash mid-file, missing footer, truncated last line) or bit rot
-(checksum mismatch) disqualifies the file rather than corrupting a
+Format **version 2** (the current writer) mirrors the in-memory
+:class:`~repro.service.store.ContextStore`: instead of repeating every
+context path as a list of strings, the file carries
+
+* a header (version, epoch, fingerprint, row count);
+* a ``names`` section — the distinct function names, JSON-encoded,
+  zlib-compressed, base64-wrapped, with an inner CRC32 over the raw
+  JSON (defence in depth inside the per-line checksum);
+* a ``nodes`` section — the prefix-trie topology as a flat
+  ``[parent, name_id, parent, name_id, ...]`` list, compressed the same
+  way (a context is the integer id of its trie leaf, so shared prefixes
+  are stored once);
+* ``rows`` records batching up to ``rows_per_record`` compact
+  ``[pid, count, gap_weight, epoch]`` rows;
+* a footer carrying the totals actually written.
+
+Version-1 files (paths spelled out per row, no epochs) still load:
+their rows are normalized with the checkpoint's own epoch. A file is
+*valid* only if every line's checksum matches, the header parses, the
+sections decompress and pass their inner CRCs, every pid resolves, and
+the footer agrees with the observed record/row/sample totals — so a
+torn write (crash mid-file, missing footer, truncated last line) or bit
+rot (checksum mismatch) disqualifies the file rather than corrupting a
 recovery. :meth:`CheckpointStore.load_newest` walks files newest-first
 and returns the first that validates.
 
@@ -34,6 +50,7 @@ Metrics: ``resilience.checkpoints``, ``resilience.checkpoint_failures``,
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
@@ -41,7 +58,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import CheckpointError
@@ -53,7 +70,9 @@ __all__ = [
     "plan_fingerprint",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Oldest on-disk format this reader still accepts.
+OLDEST_READABLE_VERSION = 1
 _PREFIX = "ckpt-"
 _SUFFIX = ".dpck"
 _TMP_PREFIX = ".tmp-ckpt-"
@@ -88,20 +107,37 @@ def plan_fingerprint(plan) -> str:
 
 @dataclass(frozen=True)
 class CheckpointState:
-    """The recovered (or about-to-be-written) durable state."""
+    """The recovered (or about-to-be-written) durable state.
+
+    Rows normalize on construction to the canonical 4-tuple
+    ``(path, count, gap_weight, epoch)``; legacy 3-tuple rows (no
+    per-row epoch) are accepted and stamped with the checkpoint's own
+    ``epoch``, so states built by pre-batch code — and rows loaded from
+    version-1 files — compare equal to their round-tripped selves.
+    """
 
     epoch: int
     fingerprint: str
-    #: ``(path, count, gap_weight)`` per unique context.
-    rows: Tuple[Tuple[Tuple[str, ...], int, int], ...]
+    #: ``(path, count, gap_weight, epoch)`` per (context, epoch) pair.
+    rows: Tuple[Tuple[Tuple[str, ...], int, int, int], ...]
 
     def __post_init__(self):
         if self.epoch < 0:
             raise CheckpointError(f"epoch must be >= 0, got {self.epoch}")
+        normalized = tuple(
+            (
+                tuple(row[0]),
+                int(row[1]),
+                int(row[2]),
+                int(row[3]) if len(row) > 3 else self.epoch,
+            )
+            for row in self.rows
+        )
+        object.__setattr__(self, "rows", normalized)
 
     @property
     def total_samples(self) -> int:
-        return sum(count for _, count, _ in self.rows)
+        return sum(row[1] for row in self.rows)
 
 
 def _record(payload: dict) -> str:
@@ -127,6 +163,81 @@ def _parse_record(line: str) -> Optional[dict]:
     except ValueError:
         return None
     return payload if isinstance(payload, dict) else None
+
+
+def _pack_section(obj) -> Dict[str, object]:
+    """JSON → zlib → base64, with an inner CRC32 over the raw JSON."""
+    raw = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return {
+        "crc": zlib.crc32(raw) & 0xFFFFFFFF,
+        "data": base64.b64encode(zlib.compress(raw, 6)).decode("ascii"),
+    }
+
+
+def _unpack_section(payload: Dict[str, object]):
+    """Inverse of :func:`_pack_section`; None on any corruption."""
+    try:
+        raw = zlib.decompress(base64.b64decode(payload["data"]))
+    except (KeyError, TypeError, ValueError, zlib.error):
+        return None
+    if zlib.crc32(raw) & 0xFFFFFFFF != payload.get("crc"):
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def _delta_encode_rows(rows):
+    """Collapse row paths into (names, flat trie nodes, per-row pids).
+
+    The same prefix-trie delta encoding the live
+    :class:`~repro.service.store.ContextStore` uses: each trie node is a
+    ``(parent, name_id)`` pair (root = -1), a path is the id of its leaf
+    node, and shared prefixes are stored exactly once.
+    """
+    names: List[str] = []
+    name_ids: Dict[str, int] = {}
+    nodes_flat: List[int] = []
+    children: Dict[Tuple[int, int], int] = {}
+    pids: List[int] = []
+    for row in rows:
+        node = -1
+        for name in row[0]:
+            nid = name_ids.get(name)
+            if nid is None:
+                nid = len(names)
+                names.append(name)
+                name_ids[name] = nid
+            child = children.get((node, nid))
+            if child is None:
+                child = len(nodes_flat) // 2
+                nodes_flat.append(node)
+                nodes_flat.append(nid)
+                children[(node, nid)] = child
+            node = child
+        pids.append(node)
+    return names, nodes_flat, pids
+
+
+def _delta_decode_path(pid, nodes_flat, names):
+    """Resolve one pid against the decoded sections; None when invalid."""
+    count = len(nodes_flat) // 2
+    out: List[str] = []
+    node = pid
+    while node != -1:
+        if not isinstance(node, int) or not 0 <= node < count:
+            return None
+        parent = nodes_flat[2 * node]
+        name_id = nodes_flat[2 * node + 1]
+        if not isinstance(name_id, int) or not 0 <= name_id < len(names):
+            return None
+        if len(out) > count:  # a cycle cannot happen in a valid file
+            return None
+        out.append(names[name_id])
+        node = parent
+    out.reverse()
+    return tuple(out)
 
 
 class CheckpointStore:
@@ -203,13 +314,23 @@ class CheckpointStore:
                     if fault is not None:
                         fault(records)
                     rows = list(state.rows)
+                    names, nodes_flat, pids = _delta_encode_rows(rows)
+                    for kind, section in (
+                        ("names", names), ("nodes", nodes_flat)
+                    ):
+                        payload = {"kind": kind}
+                        payload.update(_pack_section(section))
+                        fh.write(_record(payload))
+                        records += 1
+                        if fault is not None:
+                            fault(records)
                     for lo in range(0, len(rows), self.rows_per_record):
                         chunk = rows[lo:lo + self.rows_per_record]
                         fh.write(_record({
                             "kind": "rows",
                             "rows": [
-                                [list(path), count, gaps]
-                                for path, count, gaps in chunk
+                                [pids[lo + i], row[1], row[2], row[3]]
+                                for i, row in enumerate(chunk)
                             ],
                         }))
                         records += 1
@@ -269,26 +390,52 @@ class CheckpointStore:
         if not lines:
             return None
         header = _parse_record(lines[0])
-        if (
-            header is None
-            or header.get("kind") != "header"
-            or header.get("version") != FORMAT_VERSION
+        if header is None or header.get("kind") != "header":
+            return None
+        version = header.get("version")
+        if not isinstance(version, int) or not (
+            OLDEST_READABLE_VERSION <= version <= FORMAT_VERSION
         ):
             return None
-        rows: List[Tuple[Tuple[str, ...], int, int]] = []
+        compact_rows: List[Tuple[object, int, int, int]] = []  # v2
+        legacy_rows: List[Tuple[Tuple[str, ...], int, int]] = []  # v1
+        names: Optional[list] = None
+        nodes_flat: Optional[list] = None
         footer = None
         for line in lines[1:]:
             payload = _parse_record(line)
             if payload is None:
                 return None
+            if footer is not None:
+                return None  # records after the footer: corrupt
             kind = payload.get("kind")
             if kind == "rows":
-                if footer is not None:
-                    return None  # records after the footer: corrupt
                 try:
-                    for path_list, count, gaps in payload["rows"]:
-                        rows.append((tuple(path_list), int(count), int(gaps)))
+                    if version == 1:
+                        for path_list, count, gaps in payload["rows"]:
+                            legacy_rows.append(
+                                (tuple(path_list), int(count), int(gaps))
+                            )
+                    else:
+                        for pid, count, gaps, epoch in payload["rows"]:
+                            compact_rows.append(
+                                (pid, int(count), int(gaps), int(epoch))
+                            )
                 except (KeyError, TypeError, ValueError):
+                    return None
+            elif kind == "names" and version >= 2:
+                names = _unpack_section(payload)
+                if not isinstance(names, list) or not all(
+                    isinstance(n, str) for n in names
+                ):
+                    return None
+            elif kind == "nodes" and version >= 2:
+                nodes_flat = _unpack_section(payload)
+                if (
+                    not isinstance(nodes_flat, list)
+                    or len(nodes_flat) % 2
+                    or not all(isinstance(v, int) for v in nodes_flat)
+                ):
                     return None
             elif kind == "footer":
                 footer = payload
@@ -296,6 +443,19 @@ class CheckpointStore:
                 return None
         if footer is None:
             return None  # torn write: footer never made it to disk
+        if version == 1:
+            # Legacy rows carry no per-row epoch; CheckpointState stamps
+            # them with the checkpoint's own epoch on normalization.
+            rows: List[tuple] = list(legacy_rows)
+        else:
+            if names is None or nodes_flat is None:
+                return None  # a section never made it to disk
+            rows = []
+            for pid, count, gaps, epoch in compact_rows:
+                path = _delta_decode_path(pid, nodes_flat, names)
+                if path is None:
+                    return None  # dangling pid: corrupt sections
+                rows.append((path, count, gaps, epoch))
         if (
             footer.get("records") != len(lines)
             or footer.get("rows") != len(rows)

@@ -220,6 +220,18 @@ class ContextCollector:
         self.events.append((tag, node, probe.snapshot(node)))
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush a buffering sink (e.g. ``ContextService.batch_sink``).
+
+        Sinks that batch observations expose a ``flush`` attribute; a
+        plain per-observation sink has nothing to flush and ``close``
+        is a no-op. Call once the instrumented run is over, before
+        flushing the service.
+        """
+        flush = getattr(self.sink, "flush", None)
+        if callable(flush):
+            flush()
+
     def stats(self) -> CollectedStats:
         # Gauges, not counters: stats() may be called repeatedly and the
         # registry should always reflect the latest aggregate state.

@@ -9,17 +9,28 @@ everything that happens to the collected integers afterwards:
   interning cache: decoded pieces are shared across contexts, repeated
   hot contexts decode in O(1), and plan hot swaps (PR 1) invalidate by
   epoch instead of by flushing the world.
+* :class:`SampleBatch` — the columnar, batch-first ingestion value
+  type: array-packed (epoch, context ID, function, thread, weight)
+  columns with a compact, CRC-checked binary serialization.
 * :class:`BoundedQueue` / :class:`WorkerPool` — batched ingestion with
-  explicit backpressure (block / drop-newest / drop-oldest / error).
-* :class:`ShardedContextTree` — lock-striped calling-context trees that
-  merge on read (top-K, per-function rollups, UCP counts).
+  explicit backpressure (block / drop-newest / drop-oldest / error),
+  denominated in samples, batch-aware.
+* :class:`ContextStore` — retained contexts delta-encoded against a
+  shared prefix trie, sealed into block-compressed, CRC-checked blocks.
+* :class:`ShardedContextTree` — lock-striped calling-context trees over
+  the store that merge on read (top-K, per-function rollups, UCP
+  counts), with keyword-only ``epoch=`` / ``decoded=`` filters.
 * :class:`ContextService` — the facade wiring all of it together, with
   full metrics (counters, queue depth, cache hit rates, latency
-  histograms). Also exported from :mod:`repro.api` / the package root.
+  histograms). Ingest with :meth:`ContextService.submit_batch`; the
+  scalar ``submit`` / ``submit_many`` / ``sink`` calls remain as
+  deprecated shims. Also exported from :mod:`repro.api` / the package
+  root.
 
 Benchmark with ``python -m repro serve-bench``.
 """
 
+from repro.service.batch import SampleBatch
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.engine import DecodeEngine
 from repro.service.ingest import (
@@ -29,20 +40,26 @@ from repro.service.ingest import (
     WorkerKilled,
     WorkerPool,
     WorkerState,
+    item_samples,
+    iter_samples,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.service import ContextService, ServiceConfig
 from repro.service.shards import ShardedContextTree, ShardStats
+from repro.service.store import COMPRESSIONS, ContextStore
 
 __all__ = [
     "BoundedQueue",
     "CacheStats",
+    "COMPRESSIONS",
     "ContextService",
+    "ContextStore",
     "DecodeEngine",
     "LRUCache",
     "LatencyHistogram",
     "POLICIES",
     "Sample",
+    "SampleBatch",
     "ServiceConfig",
     "ServiceMetrics",
     "ShardStats",
@@ -50,4 +67,6 @@ __all__ = [
     "WorkerKilled",
     "WorkerPool",
     "WorkerState",
+    "item_samples",
+    "iter_samples",
 ]

@@ -1,0 +1,434 @@
+"""`SampleBatch`: the columnar, batch-first ingestion value type.
+
+The decode hot path used to be per-sample Python objects and dict
+lookups; BENCH_serve shows a ~99.7% context hit rate, so most of that
+work is redundant.  A :class:`SampleBatch` packs many observations into
+``array``-backed *columns* plus two small interning tables, so the
+per-sample cost of submission, queueing, and grouping is integer array
+appends — and the service can collapse a whole batch into a counting
+pass over its distinct ``(epoch, node, anchor-stack, ID)`` groups before
+decoding anything.
+
+Layout
+------
+Per sample, six signed 64-bit columns::
+
+    epoch       plan epoch the snapshot was captured under
+    node_idx    index into the batch's interned function-name table
+    stack_idx   index into the batch's interned anchor-stack table
+    current_id  the DeltaPath context ID at capture
+    thread      producer thread tag (0 when untracked)
+    weight      observation weight (>= 1)
+
+The node table holds each distinct function name once; the stack table
+holds each distinct anchor stack (a tuple of
+:class:`~repro.core.stackmodel.StackEntry`) once.  Hot traffic repeats
+a handful of ``(node, stack, id)`` triples, so both tables stay tiny
+regardless of batch length.
+
+Binary serialization
+--------------------
+:meth:`SampleBatch.to_bytes` / :meth:`SampleBatch.from_bytes` give the
+batch a compact, self-checking wire form — the sample record the
+multiprocess scale-out (ROADMAP item 1) will ship over shared memory.
+The layout (documented for readers in docs/RESILIENCE.md):
+
+* magic ``b"DPSB"``, one format-version byte (``1``);
+* a ``<IIII`` little-endian header: sample count, node-table byte
+  length, stack-table byte length, reserved (0);
+* the node table: UTF-8 JSON list of function names;
+* the stack table: UTF-8 JSON list of stacks, each entry encoded as
+  ``[kind, node, saved_id, site, expected_sid, resume_node,
+  resume_executed]`` with ``site`` either ``null`` or
+  ``[caller, label]``;
+* six column payloads, each ``8 * samples`` bytes of little-endian
+  signed 64-bit integers, in the order epoch, node_idx, stack_idx,
+  current_id, thread, weight;
+* a ``<I`` CRC32 trailer over everything before it.
+
+``from_bytes`` rejects short buffers, bad magic, unknown versions and
+CRC mismatches with :class:`~repro.errors.ServiceError` — a torn or
+corrupted buffer never half-loads.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from array import array
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.errors import ServiceError
+from repro.graph.callgraph import CallSite
+
+__all__ = ["SampleBatch", "GroupKey"]
+
+_MAGIC = b"DPSB"
+_VERSION = 1
+_HEADER = struct.Struct("<IIII")
+_TRAILER = struct.Struct("<I")
+#: The six columns, in serialization order.
+_COLUMNS = ("epoch", "node_idx", "stack_idx", "current_id", "thread", "weight")
+
+#: A distinct decode group: ``(epoch, node_idx, stack_idx, current_id)``.
+GroupKey = Tuple[int, int, int, int]
+
+
+def _int64_array() -> array:
+    """A signed-64-bit array (``'q'`` everywhere we support)."""
+    return array("q")
+
+
+def _entry_to_json(entry: StackEntry) -> list:
+    if entry.site is None:
+        site = None
+    else:
+        label = entry.site.label
+        if not isinstance(label, (str, int)) and label is not None:
+            raise ServiceError(
+                f"cannot serialize call-site label {label!r} "
+                f"({type(label).__name__}); batch serialization supports "
+                "str/int/None labels"
+            )
+        site = [entry.site.caller, label]
+    return [
+        int(entry.kind),
+        entry.node,
+        entry.saved_id,
+        site,
+        entry.expected_sid,
+        entry.resume_node,
+        entry.resume_executed,
+    ]
+
+
+def _entry_from_json(spec: Sequence) -> StackEntry:
+    kind, node, saved_id, site, expected_sid, resume_node, resume_exec = spec
+    return StackEntry(
+        kind=EntryKind(kind),
+        node=node,
+        saved_id=saved_id,
+        site=None if site is None else CallSite(site[0], site[1]),
+        expected_sid=expected_sid,
+        resume_node=resume_node,
+        resume_executed=bool(resume_exec),
+    )
+
+
+class SampleBatch:
+    """Columnar container of context observations.
+
+    Build one with :meth:`append` (per observation), :meth:`extend`
+    (from :class:`~repro.service.ingest.Sample` objects or another
+    batch), or :meth:`from_samples`.  Iterating yields materialized
+    :class:`~repro.service.ingest.Sample` objects — that path exists for
+    compatibility and failure triage; the hot path never materializes,
+    it works on :meth:`groups`.
+    """
+
+    __slots__ = (
+        "_cols", "_nodes", "_node_ids", "_stacks", "_stack_ids",
+        "_stack_memo", "_uniform",
+    )
+
+    def __init__(self):
+        self._cols: Dict[str, array] = {
+            name: _int64_array() for name in _COLUMNS
+        }
+        self._nodes: List[str] = []
+        self._node_ids: Dict[str, int] = {}
+        self._stacks: List[Tuple[StackEntry, ...]] = []
+        self._stack_ids: Dict[Tuple[StackEntry, ...], int] = {}
+        # Identity memo over the hash table: re-appending the *same*
+        # stack tuple (hot snapshots are reused objects) skips hashing
+        # every StackEntry again. Holding the tuple in the value keeps
+        # its id() from being recycled.
+        self._stack_memo: Dict[int, Tuple[Tuple[StackEntry, ...], int]] = {}
+        # True while every appended weight is exactly 1 — unlocks the
+        # Counter-based grouping fast path.
+        self._uniform = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _node_id(self, node: str) -> int:
+        idx = self._node_ids.get(node)
+        if idx is None:
+            idx = len(self._nodes)
+            self._nodes.append(node)
+            self._node_ids[node] = idx
+        return idx
+
+    def _stack_id(self, stack: Tuple[StackEntry, ...]) -> int:
+        memo = self._stack_memo.get(id(stack))
+        if memo is not None and memo[0] is stack:
+            return memo[1]
+        idx = self._stack_ids.get(stack)
+        if idx is None:
+            idx = len(self._stacks)
+            self._stacks.append(stack)
+            self._stack_ids[stack] = idx
+        self._stack_memo[id(stack)] = (stack, idx)
+        return idx
+
+    def append(
+        self,
+        node: str,
+        snapshot: Tuple[Sequence[StackEntry], int],
+        *,
+        epoch: int,
+        weight: int = 1,
+        thread: int = 0,
+    ) -> "SampleBatch":
+        """Add one ``(node, snapshot)`` observation stamped with ``epoch``."""
+        if weight < 1:
+            raise ServiceError(f"sample weight must be >= 1, got {weight}")
+        if weight != 1:
+            self._uniform = False
+        stack, current_id = snapshot
+        cols = self._cols
+        cols["epoch"].append(epoch)
+        cols["node_idx"].append(self._node_id(node))
+        cols["stack_idx"].append(self._stack_id(tuple(stack)))
+        cols["current_id"].append(current_id)
+        cols["thread"].append(thread)
+        cols["weight"].append(weight)
+        return self
+
+    def extend(self, samples: Iterable) -> "SampleBatch":
+        """Append :class:`Sample` objects (or another batch's samples)."""
+        for sample in samples:
+            self.append(
+                sample.node,
+                (sample.stack, sample.current_id),
+                epoch=sample.epoch,
+                weight=sample.weight,
+                thread=getattr(sample, "thread", 0),
+            )
+        return self
+
+    @classmethod
+    def from_samples(cls, samples: Iterable) -> "SampleBatch":
+        return cls().extend(samples)
+
+    @classmethod
+    def from_observations(
+        cls,
+        observations: Iterable[Tuple[str, Tuple[Sequence[StackEntry], int]]],
+        *,
+        epoch: int,
+        weight: int = 1,
+        thread: int = 0,
+    ) -> "SampleBatch":
+        """Pack ``(node, snapshot)`` pairs captured under one epoch.
+
+        The bulk-ingest fast path: per-call constants are hoisted out of
+        the loop, so packing costs little more than the array appends.
+        """
+        if weight < 1:
+            raise ServiceError(f"sample weight must be >= 1, got {weight}")
+        batch = cls()
+        if weight != 1:
+            batch._uniform = False
+        cols = batch._cols
+        add_node = cols["node_idx"].append
+        add_stack = cols["stack_idx"].append
+        add_id = cols["current_id"].append
+        node_id = batch._node_id
+        stack_id = batch._stack_id
+        for node, snapshot in observations:
+            stack, current_id = snapshot
+            add_node(node_id(node))
+            add_stack(
+                stack_id(stack if type(stack) is tuple else tuple(stack))
+            )
+            add_id(current_id)
+        # The per-sample columns above drive the loop; the three
+        # constant columns are stamped wholesale at C speed.
+        count = len(cols["node_idx"])
+        cols["epoch"] = array("q", [epoch]) * count
+        cols["thread"] = array("q", [thread]) * count
+        cols["weight"] = array("q", [weight]) * count
+        return batch
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cols["epoch"])
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self._cols["weight"])
+
+    def sample(self, index: int):
+        """Materialize one observation as a :class:`Sample` (slow path)."""
+        from repro.service.ingest import Sample
+
+        cols = self._cols
+        return Sample(
+            node=self._nodes[cols["node_idx"][index]],
+            stack=self._stacks[cols["stack_idx"][index]],
+            current_id=cols["current_id"][index],
+            epoch=cols["epoch"][index],
+            weight=cols["weight"][index],
+            thread=cols["thread"][index],
+        )
+
+    def __iter__(self) -> Iterator:
+        for index in range(len(self)):
+            yield self.sample(index)
+
+    def node_of(self, key: GroupKey) -> str:
+        return self._nodes[key[1]]
+
+    def stack_of(self, key: GroupKey) -> Tuple[StackEntry, ...]:
+        return self._stacks[key[2]]
+
+    # ------------------------------------------------------------------
+    # Dedup-then-decode support
+    # ------------------------------------------------------------------
+    def groups(self) -> Dict[GroupKey, Tuple[int, int]]:
+        """Collapse the batch into its distinct decode groups.
+
+        Returns ``{(epoch, node_idx, stack_idx, current_id):
+        (samples, weight)}`` — the number of observations in the group
+        and their summed weight.  This is the columnar counting pass:
+        with uniform weights (the overwhelmingly common case, tracked at
+        append time) it is one C-speed :class:`~collections.Counter`
+        sweep over the zipped columns.  Row indices are *not* built here
+        — a failing group reconstructs its rows with
+        :meth:`indices_of`, so the success path never pays for the
+        failure path.
+        """
+        cols = self._cols
+        keys = zip(
+            cols["epoch"], cols["node_idx"], cols["stack_idx"],
+            cols["current_id"],
+        )
+        if self._uniform:
+            return {k: (n, n) for k, n in Counter(keys).items()}
+        weights = cols["weight"]
+        out: Dict[GroupKey, Tuple[int, int]] = {}
+        for i, key in enumerate(keys):
+            got = out.get(key)
+            if got is None:
+                out[key] = (1, weights[i])
+            else:
+                out[key] = (got[0] + 1, got[1] + weights[i])
+        return out
+
+    def indices_of(self, key: GroupKey) -> List[int]:
+        """Row indices of one group (failure triage; scans the batch)."""
+        keys = zip(
+            self._cols["epoch"], self._cols["node_idx"],
+            self._cols["stack_idx"], self._cols["current_id"],
+        )
+        return [i for i, k in enumerate(keys) if k == key]
+
+    # ------------------------------------------------------------------
+    # Binary serialization (see module docs for the layout)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        nodes_blob = json.dumps(
+            self._nodes, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        stacks_blob = json.dumps(
+            [[_entry_to_json(e) for e in stack] for stack in self._stacks],
+            separators=(",", ":"),
+            ensure_ascii=False,
+        ).encode("utf-8")
+        parts = [
+            _MAGIC,
+            bytes([_VERSION]),
+            _HEADER.pack(len(self), len(nodes_blob), len(stacks_blob), 0),
+            nodes_blob,
+            stacks_blob,
+        ]
+        for name in _COLUMNS:
+            col = self._cols[name]
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                col = array("q", col)
+                col.byteswap()
+            parts.append(col.tobytes())
+        body = b"".join(parts)
+        return body + _TRAILER.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SampleBatch":
+        if len(data) < len(_MAGIC) + 1 + _HEADER.size + _TRAILER.size:
+            raise ServiceError("sample-batch buffer is truncated")
+        body, trailer = data[: -_TRAILER.size], data[-_TRAILER.size:]
+        (want,) = _TRAILER.unpack(trailer)
+        if zlib.crc32(body) & 0xFFFFFFFF != want:
+            raise ServiceError("sample-batch buffer failed its CRC check")
+        if body[: len(_MAGIC)] != _MAGIC:
+            raise ServiceError("not a sample-batch buffer (bad magic)")
+        version = body[len(_MAGIC)]
+        if version != _VERSION:
+            raise ServiceError(
+                f"unsupported sample-batch format version {version}"
+            )
+        offset = len(_MAGIC) + 1
+        samples, nodes_len, stacks_len, _ = _HEADER.unpack_from(body, offset)
+        offset += _HEADER.size
+        try:
+            nodes = json.loads(body[offset:offset + nodes_len].decode("utf-8"))
+            offset += nodes_len
+            stacks = json.loads(
+                body[offset:offset + stacks_len].decode("utf-8")
+            )
+            offset += stacks_len
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"corrupt sample-batch tables: {exc}") from exc
+        expected = offset + 8 * samples * len(_COLUMNS)
+        if len(body) != expected:
+            raise ServiceError(
+                f"sample-batch column payload is {len(body) - offset} bytes, "
+                f"expected {expected - offset}"
+            )
+        batch = cls()
+        batch._nodes = [str(n) for n in nodes]
+        batch._node_ids = {n: i for i, n in enumerate(batch._nodes)}
+        try:
+            batch._stacks = [
+                tuple(_entry_from_json(e) for e in stack) for stack in stacks
+            ]
+        except (TypeError, ValueError, KeyError, IndexError) as exc:
+            raise ServiceError(
+                f"corrupt sample-batch stack table: {exc!r}"
+            ) from exc
+        batch._stack_ids = {s: i for i, s in enumerate(batch._stacks)}
+        for name in _COLUMNS:
+            col = _int64_array()
+            col.frombytes(body[offset:offset + 8 * samples])
+            if sys.byteorder == "big":  # pragma: no cover - LE hosts
+                col.byteswap()
+            offset += 8 * samples
+            batch._cols[name] = col
+        batch._uniform = all(w == 1 for w in batch._cols["weight"])
+        for idx in batch._cols["node_idx"]:
+            if not 0 <= idx < len(batch._nodes):
+                raise ServiceError(f"sample-batch node index {idx} is out of range")
+        for idx in batch._cols["stack_idx"]:
+            if not 0 <= idx < len(batch._stacks):
+                raise ServiceError(f"sample-batch stack index {idx} is out of range")
+        return batch
+
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Approximate retained size of the columns and tables."""
+        total = sum(col.itemsize * len(col) for col in self._cols.values())
+        total += sum(len(n.encode("utf-8")) for n in self._nodes)
+        total += 64 * len(self._stacks)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SampleBatch(samples={len(self)}, nodes={len(self._nodes)}, "
+            f"stacks={len(self._stacks)})"
+        )

@@ -1,10 +1,15 @@
 """Batched ingestion: a bounded queue with explicit backpressure.
 
 Producer threads (probes, collectors, network frontends) call
-:meth:`BoundedQueue.put`; worker threads drain *batches* and hand them to
-an aggregation callback. The queue is deliberately explicit about what
-happens under overload — the four policies every real collection backend
-ends up choosing between:
+:meth:`BoundedQueue.put` with a single :class:`Sample` **or** a columnar
+:class:`~repro.service.batch.SampleBatch`; worker threads drain *batches*
+and hand them to an aggregation callback. Capacity, blocking, and drop
+accounting are all denominated in **samples**, not queue items: a
+rejected 500-sample batch counts 500 dropped, never 1 — that is what
+keeps the service's conservation law exact under batch-first traffic.
+The queue is deliberately explicit about what happens under overload —
+the four policies every real collection backend ends up choosing
+between:
 
 ``"block"``
     Producers wait for space (lossless backpressure; the default).
@@ -42,6 +47,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.stackmodel import StackEntry
 from repro.errors import IngestOverflowError, ServiceError
+from repro.service.batch import SampleBatch
 
 __all__ = [
     "Sample",
@@ -50,9 +56,26 @@ __all__ = [
     "WorkerKilled",
     "WorkerState",
     "POLICIES",
+    "item_samples",
+    "iter_samples",
 ]
 
 POLICIES = ("block", "drop-newest", "drop-oldest", "error")
+
+
+def item_samples(item) -> int:
+    """How many samples one queue item carries (batch length or 1)."""
+    return len(item) if isinstance(item, SampleBatch) else 1
+
+
+def iter_samples(items):
+    """Flatten queue items (samples and batches) into samples."""
+    for item in items:
+        if isinstance(item, SampleBatch):
+            for sample in item:
+                yield sample
+        else:
+            yield item
 
 
 class WorkerKilled(BaseException):
@@ -82,6 +105,7 @@ class Sample:
     current_id: int
     epoch: int
     weight: int = 1
+    thread: int = 0
     meta: Optional[dict] = field(default=None, compare=False)
 
     @property
@@ -90,7 +114,13 @@ class Sample:
 
 
 class BoundedQueue:
-    """A thread-safe bounded FIFO of :class:`Sample` with drop policies."""
+    """A thread-safe bounded FIFO of samples/batches with drop policies.
+
+    Items are :class:`Sample` objects or :class:`SampleBatch` columns;
+    capacity, ``len()``, blocking and the ``dropped`` counter are all in
+    **samples**. Batches are never split: a batch is admitted, dropped,
+    or evicted whole, and its whole sample count is accounted.
+    """
 
     def __init__(self, capacity: int = 4096, policy: str = "block"):
         if capacity < 1:
@@ -102,7 +132,8 @@ class BoundedQueue:
             )
         self.capacity = capacity
         self.policy = policy
-        self._items: "deque[Sample]" = deque()
+        self._items: deque = deque()
+        self._size = 0  # samples currently queued
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
@@ -110,22 +141,34 @@ class BoundedQueue:
         self.dropped = 0
 
     # ------------------------------------------------------------------
+    def _fits(self, count: int) -> bool:
+        """Admission check (lock held): room for ``count`` more samples.
+
+        A batch larger than the whole capacity is admitted only into an
+        empty queue — the alternative (never admitting it) would turn
+        ``block`` into a deadlock for oversized batches.
+        """
+        if self._size + count <= self.capacity:
+            return True
+        return self._size == 0
+
     def put(
         self,
-        sample: Sample,
+        item,
         timeout: Optional[float] = None,
         on_closed: str = "raise",
     ) -> bool:
-        """Enqueue ``sample`` under the configured policy.
+        """Enqueue a :class:`Sample` or :class:`SampleBatch`.
 
-        Returns True when the sample was queued, False when it (or an
-        older sample, under ``"drop-oldest"``) was dropped. ``"block"``
-        with a ``timeout`` that elapses drops the sample (counted).
+        Returns True when the item was queued, False when it (or older
+        items, under ``"drop-oldest"``) was dropped. ``"block"`` with a
+        ``timeout`` that elapses drops the item (counted, by sample
+        count).
 
-        ``on_closed`` decides what a closed queue does to the sample:
+        ``on_closed`` decides what a closed queue does to the item:
         ``"raise"`` (default) raises :class:`~repro.errors.ServiceError`
-        — but still counts the sample as dropped first, so accounting
-        never leaks; ``"drop"`` counts it dropped and returns False
+        — but still counts the samples as dropped first, so accounting
+        never leaks; ``"drop"`` counts them dropped and returns False
         (the declared-shutdown-drop contract the service uses, so a
         ``stop()`` racing live producers stays a policy drop rather
         than an exception storm).
@@ -134,57 +177,99 @@ class BoundedQueue:
             raise ServiceError(
                 f"on_closed must be 'raise' or 'drop', not {on_closed!r}"
             )
+        count = item_samples(item)
+        if count == 0:
+            return True  # an empty batch carries nothing to queue
         with self._not_full:
             if self._closed:
-                return self._reject_closed(on_closed)
-            if len(self._items) >= self.capacity:
+                return self._reject_closed(on_closed, count)
+            if not self._fits(count):
                 if self.policy == "error":
-                    self.dropped += 1
+                    self.dropped += count
                     raise IngestOverflowError(
                         f"ingestion queue full ({self.capacity} samples)"
                     )
                 if self.policy == "drop-newest":
-                    self.dropped += 1
+                    self.dropped += count
                     return False
                 if self.policy == "drop-oldest":
-                    self._items.popleft()
-                    self.dropped += 1
+                    # Evict whole items (oldest first) until the new one
+                    # fits; every evicted sample is a counted drop.
+                    while self._items and not self._fits(count):
+                        evicted = self._items.popleft()
+                        shed = item_samples(evicted)
+                        self._size -= shed
+                        self.dropped += shed
                 else:  # block
                     if not self._not_full.wait_for(
-                        lambda: len(self._items) < self.capacity
-                        or self._closed,
+                        lambda: self._fits(count) or self._closed,
                         timeout=timeout,
                     ):
-                        self.dropped += 1
+                        self.dropped += count
                         return False
                     if self._closed:
-                        # Closed while we were blocked: the sample was
-                        # legitimately in flight, so it is a declared
-                        # shutdown drop, never a silent loss.
-                        return self._reject_closed(on_closed)
-            self._items.append(sample)
+                        # Closed while we were blocked: the samples were
+                        # legitimately in flight, so they are declared
+                        # shutdown drops, never a silent loss.
+                        return self._reject_closed(on_closed, count)
+            self._items.append(item)
+            self._size += count
             self._not_empty.notify()
             return True
 
-    def _reject_closed(self, on_closed: str) -> bool:
+    def _reject_closed(self, on_closed: str, count: int) -> bool:
         """Account a closed-queue rejection (caller holds the lock)."""
-        self.dropped += 1
+        self.dropped += count
         if on_closed == "raise":
             raise ServiceError("queue is closed")
         return False
 
     def get_batch(
-        self, max_batch: int, timeout: Optional[float] = None
-    ) -> List[Sample]:
-        """Up to ``max_batch`` samples; [] on close-and-empty or timeout."""
+        self,
+        max_batch: int,
+        timeout: Optional[float] = None,
+        linger: float = 0.0,
+    ) -> List:
+        """Up to ``max_batch`` samples' worth of items.
+
+        Returns queue items (samples and/or batches); [] on
+        close-and-empty or timeout. The last item may push the sample
+        total past ``max_batch`` — batches are never split. ``linger``
+        keeps the drain waiting up to that many seconds for more traffic
+        when the first grab came back smaller than ``max_batch``,
+        trading a bounded latency for fuller (cheaper-per-sample)
+        handler batches.
+        """
+        deadline = (
+            (time.monotonic() + linger) if linger and linger > 0 else None
+        )
         with self._not_empty:
             if not self._not_empty.wait_for(
                 lambda: self._items or self._closed, timeout=timeout
             ):
                 return []
-            batch: List[Sample] = []
-            while self._items and len(batch) < max_batch:
-                batch.append(self._items.popleft())
+            batch: List = []
+            taken = 0
+            while True:
+                while self._items and taken < max_batch:
+                    item = self._items.popleft()
+                    count = item_samples(item)
+                    self._size -= count
+                    taken += count
+                    batch.append(item)
+                if (
+                    deadline is None
+                    or taken >= max_batch
+                    or self._closed
+                ):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if not self._not_empty.wait_for(
+                    lambda: self._items or self._closed, timeout=remaining
+                ):
+                    break
             if batch:
                 self._not_full.notify_all()
             return batch
@@ -202,8 +287,9 @@ class BoundedQueue:
             return self._closed
 
     def __len__(self) -> int:
+        """Queued **samples** (not items)."""
         with self._lock:
-            return len(self._items)
+            return self._size
 
 
 @dataclass(frozen=True)
@@ -227,8 +313,10 @@ class WorkerState:
 class WorkerPool:
     """N daemon threads draining one queue into a batch handler.
 
-    The handler receives each drained batch (a non-empty list of
-    samples). Handler exceptions are routed to ``on_error`` — one bad
+    The handler receives each drained batch (a non-empty list of queue
+    items: samples and/or whole :class:`SampleBatch` columns; flatten
+    with :func:`iter_samples` when per-sample view is needed). Handler
+    exceptions are routed to ``on_error`` — one bad
     batch must not kill a worker — and the pool keeps draining. The one
     exception that *does* kill a worker is :class:`WorkerKilled` (chaos
     injection / an escape from the drain loop itself); such deaths are
@@ -250,6 +338,7 @@ class WorkerPool:
         batch_size: int = 256,
         on_error: Optional[Callable[[BaseException], None]] = None,
         poll_interval: float = 0.05,
+        linger: float = 0.0,
         fault: Optional[Callable[[int], None]] = None,
     ):
         if workers < 1:
@@ -261,6 +350,7 @@ class WorkerPool:
         self._batch_size = batch_size
         self._on_error = on_error
         self._poll = poll_interval
+        self._linger = linger
         self._fault = fault
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = [
@@ -298,7 +388,8 @@ class WorkerPool:
                 if fault is not None:
                     fault(slot)
                 batch = self._queue.get_batch(
-                    self._batch_size, timeout=self._poll
+                    self._batch_size, timeout=self._poll,
+                    linger=self._linger,
                 )
                 if not batch:
                     if self._queue.closed and not len(self._queue):

@@ -68,6 +68,22 @@ class ServiceMetrics:
         "fallback_dropped",
         "flush_timeout",
         "recovered",
+        # Batch-first ingest (dotted names flatten to service.batch.*).
+        "batch.submitted",
+        "batch.samples",
+        "batch.groups",
+        "batch.dedup_saved",
+    )
+
+    #: Context-store gauges mirrored into the registry (service.store.*).
+    _STORE_GAUGES = (
+        ("store.contexts", "contexts"),
+        ("store.nodes", "nodes"),
+        ("store.bytes", "bytes"),
+        ("store.bytes_per_context", "bytes_per_context"),
+        ("store.sealed_blocks", "sealed_blocks"),
+        ("store.unseals", "unseals"),
+        ("store.corruptions", "corruptions"),
     )
 
     def __init__(
@@ -109,6 +125,13 @@ class ServiceMetrics:
 
     def observe_queue_depth(self, depth: int) -> None:
         self.registry.gauge("queue_peak").set_max(depth)
+
+    def observe_store(self, stats: Dict[str, object]) -> None:
+        """Mirror :meth:`ContextStore.stats` into service.store.* gauges."""
+        for gauge_name, stat_key in self._STORE_GAUGES:
+            value = stats.get(stat_key)
+            if value is not None:
+                self.registry.gauge(gauge_name).set(float(value))
 
     def record_error(self, message: str) -> None:
         self.registry.counter("decode_errors").inc()

@@ -2,12 +2,22 @@
 
 The paper makes a calling context a small integer precisely so the hot
 path only does additions and the *decoding* can happen elsewhere. This
-module is the "elsewhere": probes submit ``(node, snapshot)``
-observations; producer threads feed a bounded queue; workers drain
-batches, decode them through the epoch-aware memoizing
-:class:`~repro.service.engine.DecodeEngine`, and aggregate into
-:class:`~repro.service.shards.ShardedContextTree`; queries (top-K hot
-contexts, per-function rollups, UCP counts) merge shards on read.
+module is the "elsewhere", and it is **batch-first**: producers pack
+observations into columnar :class:`~repro.service.batch.SampleBatch`
+objects and hand them to :meth:`ContextService.submit_batch`; workers
+drain whole batches, collapse them into distinct
+``(epoch, node, anchor-stack, ID)`` groups, decode each group **once**
+through the epoch-aware memoizing
+:class:`~repro.service.engine.DecodeEngine`, and apply the counts to
+:class:`~repro.service.shards.ShardedContextTree` in one locked pass
+per shard. Retained contexts live delta-encoded in a shared
+:class:`~repro.service.store.ContextStore`. Queries (top-K hot
+contexts, per-function rollups, UCP counts) merge shards on read and
+take a uniform keyword-only ``epoch=`` / ``decoded=`` contract.
+
+The scalar calls (:meth:`submit`, :meth:`submit_many`, :meth:`sink`)
+remain as thin compatibility shims over the batch path; each emits one
+:class:`DeprecationWarning` per call site.
 
 Hot swaps plug straight into PR 1's machinery: call
 :meth:`ContextService.install_update` with the :class:`PlanUpdate` used
@@ -34,8 +44,9 @@ Typical wiring::
 
     service = ContextService(plan, ServiceConfig(workers=2, shards=8))
     service.start()
-    collector = ContextCollector(sink=service.sink())
+    collector = ContextCollector(sink=service.batch_sink())
     Interpreter(program, probe=probe, collector=collector).run()
+    collector.close()              # flush the buffering sink
     service.flush()
     service.top_contexts(5)        # [(count, path), ...]
     service.function_totals()      # {function: inclusive count}
@@ -45,10 +56,12 @@ Typical wiring::
 from __future__ import annotations
 
 import random
+import sys
 import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.errors import (
@@ -59,10 +72,17 @@ from repro.errors import (
 )
 from repro.postprocess import ContextTreeReport
 from repro.runtime.plan import DeltaPathPlan, PlanUpdate
+from repro.service.batch import SampleBatch
 from repro.service.engine import DecodeEngine
-from repro.service.ingest import BoundedQueue, Sample, WorkerPool
+from repro.service.ingest import (
+    BoundedQueue,
+    Sample,
+    WorkerPool,
+    iter_samples,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.shards import ShardedContextTree
+from repro.service.store import ContextStore
 
 __all__ = ["ServiceConfig", "ContextService"]
 
@@ -87,6 +107,23 @@ class ServiceConfig:
     context_cache: int = 1 << 16
     #: How many recent plan epochs stay decodable (None = all).
     retain_epochs: Optional[int] = None
+    # -- batch-first knobs (pass as keywords; trailing-with-defaults is
+    #    the 3.9-compatible spelling of keyword-only) -------------------
+    #: Worker drain budget in samples for the batch path (None keeps
+    #: ``batch_size``). Raise it so a worker turn swallows whole
+    #: submitted batches instead of chopping the queue into crumbs.
+    batch_max: Optional[int] = None
+    #: How long (milliseconds) a worker lingers for more traffic when a
+    #: drain comes back under budget — bounded latency for fuller,
+    #: cheaper-per-sample batches. 0 disables.
+    batch_linger_ms: float = 0.0
+    #: Context-store compression for sealed blocks: "zlib" | "none".
+    store_compression: str = "zlib"
+
+    @property
+    def drain_budget(self) -> int:
+        """Samples per worker drain (``batch_max`` or ``batch_size``)."""
+        return self.batch_max if self.batch_max else self.batch_size
 
 
 class ContextService:
@@ -121,8 +158,11 @@ class ContextService:
             context_cache=self.config.context_cache,
             retain_epochs=self.config.retain_epochs,
         )
-        self.tree = ShardedContextTree(self.config.shards)
+        self.store = ContextStore(compression=self.config.store_compression)
+        self.tree = ShardedContextTree(self.config.shards, store=self.store)
         self.metrics = ServiceMetrics()
+        self._legacy_lock = threading.Lock()
+        self._legacy_sites: Set[Tuple[str, str, int]] = set()
 
         # Resilience wiring. The imports are method-local because
         # repro.resilience imports repro.service.ingest — importing it
@@ -153,9 +193,10 @@ class ContextService:
         )
         self._pool = WorkerPool(
             self._queue,
-            self._handle_batch,
+            self._handle_items,
             workers=self.config.workers,
-            batch_size=self.config.batch_size,
+            batch_size=self.config.drain_budget,
+            linger=self.config.batch_linger_ms / 1000.0,
             on_error=lambda exc: self.metrics.record_error(repr(exc)),
             fault=chaos.worker_fault if chaos is not None else None,
         )
@@ -263,6 +304,107 @@ class ContextService:
     # ------------------------------------------------------------------
     # Ingestion (producer side)
     # ------------------------------------------------------------------
+    def submit_batch(
+        self,
+        batch: SampleBatch,
+        *,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Queue a columnar :class:`SampleBatch`; the primary ingest call.
+
+        The batch is admitted, dropped, or (in degraded mode) retained
+        **whole** — its sample count lands in exactly one accounting
+        bucket, which is what keeps the conservation law exact for
+        batch traffic. Epochs were stamped per sample when the batch
+        was built (``SampleBatch.append(..., epoch=...)``). Returns the
+        number of samples accepted (``len(batch)`` or 0); an iterable
+        of :class:`Sample` objects is packed into a batch first.
+        """
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        if self._stopped:
+            raise ServiceError("service is stopped")
+        if not isinstance(batch, SampleBatch):
+            batch = SampleBatch.from_samples(batch)
+        self.metrics.count("batch.submitted")
+        count = len(batch)
+        if count == 0:
+            return 0
+        self.metrics.count("submitted", count)
+        self.metrics.count("batch.samples", count)
+        self.metrics.observe_queue_depth(len(self._queue))
+        if self._degraded:
+            # The pool is retired: queueing would strand the samples, so
+            # they go straight to bounded raw retention.
+            retained = 0
+            for sample in batch:
+                if self._retain_fallback(sample):
+                    retained += 1
+            return retained
+        # Drops of every flavour (newest, oldest, timeout, error, and
+        # closed-while-racing-stop) are tallied by the queue itself, by
+        # sample count, so accounting stays exact even when the
+        # discarded batch is not the one being submitted.
+        if self._queue.put(batch, timeout=timeout, on_closed="drop"):
+            return count
+        return 0
+
+    def batch_sink(self, batch_max: Optional[int] = None) -> Callable:
+        """A buffering collector sink over :meth:`submit_batch`.
+
+        The returned callable has the ``sink(node, snapshot, probe)``
+        shape :class:`~repro.runtime.collector.ContextCollector`
+        expects; it packs observations into a :class:`SampleBatch`
+        (stamping each with its probe's plan epoch, so hot swaps
+        mid-buffer are safe) and submits whenever ``batch_max`` samples
+        accumulate. Call its ``flush()`` attribute — or
+        ``collector.close()`` — after the run to submit the tail.
+        """
+        limit = batch_max if batch_max else self.config.drain_budget
+        lock = threading.Lock()
+        state = {"batch": SampleBatch()}
+
+        def flush():
+            with lock:
+                batch, state["batch"] = state["batch"], SampleBatch()
+            if len(batch):
+                self.submit_batch(batch)
+
+        def _sink(node, snapshot, probe=None):
+            plan = getattr(probe, "plan", None)
+            epoch = (
+                self.engine.epoch if plan is None
+                else self.engine.epoch_of(plan)
+            )
+            full = None
+            with lock:
+                batch = state["batch"]
+                batch.append(node, snapshot, epoch=epoch)
+                if len(batch) >= limit:
+                    state["batch"] = SampleBatch()
+                    full = batch
+            if full is not None:
+                self.submit_batch(full)
+
+        _sink.flush = flush
+        return _sink
+
+    # -- scalar compatibility shims ------------------------------------
+    def _warn_legacy(self, api: str, replacement: str) -> None:
+        """One :class:`DeprecationWarning` per (api, call site)."""
+        frame = sys._getframe(2)
+        site = (api, frame.f_code.co_filename, frame.f_lineno)
+        with self._legacy_lock:
+            if site in self._legacy_sites:
+                return
+            self._legacy_sites.add(site)
+        warnings.warn(
+            f"ContextService.{api}() is a compatibility shim over the "
+            f"batch-first API; prefer {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def submit(
         self,
         node: str,
@@ -272,7 +414,12 @@ class ContextService:
         weight: int = 1,
         timeout: Optional[float] = None,
     ) -> bool:
-        """Queue one observation for ingestion.
+        """Queue one observation for ingestion (scalar shim).
+
+        .. deprecated:: batch-first API
+            Prefer :meth:`submit_batch` (or :meth:`batch_sink`); this
+            shim feeds the same grouped decode path one sample at a
+            time and warns once per call site.
 
         ``plan`` names the plan the snapshot was captured under (e.g.
         ``probe.plan``); it resolves to the epoch the sample is stamped
@@ -281,6 +428,20 @@ class ContextService:
         Returns False when the sample was dropped by the backpressure
         policy (or retained raw in degraded mode without aggregation).
         """
+        self._warn_legacy("submit", "submit_batch()")
+        return self._submit_sample(
+            node, snapshot, plan=plan, weight=weight, timeout=timeout
+        )
+
+    def _submit_sample(
+        self,
+        node: str,
+        snapshot: Tuple[Sequence, int],
+        *,
+        plan: Optional[DeltaPathPlan] = None,
+        weight: int = 1,
+        timeout: Optional[float] = None,
+    ) -> bool:
         if not self._started:
             raise ServiceError("service not started; call start() first")
         if self._stopped:
@@ -299,13 +460,7 @@ class ContextService:
         self.metrics.count("submitted")
         self.metrics.observe_queue_depth(len(self._queue))
         if self._degraded:
-            # The pool is retired: queueing would strand the sample, so
-            # it goes straight to bounded raw retention.
             return self._retain_fallback(sample)
-        # Drops of every flavour (newest, oldest, timeout, error, and
-        # closed-while-racing-stop) are tallied by the queue itself so
-        # accounting stays exact even when the discarded sample is not
-        # the one being submitted.
         return self._queue.put(sample, timeout=timeout, on_closed="drop")
 
     def submit_many(
@@ -314,23 +469,36 @@ class ContextService:
         *,
         plan: Optional[DeltaPathPlan] = None,
     ) -> int:
-        """Submit many ``(node, snapshot)`` pairs; returns accepted count."""
+        """Submit many ``(node, snapshot)`` pairs; returns accepted count.
+
+        .. deprecated:: batch-first API
+            Prefer packing the observations with
+            :meth:`SampleBatch.from_observations` and calling
+            :meth:`submit_batch` — one queue item, one decode pass.
+        """
+        self._warn_legacy("submit_many", "submit_batch()")
         accepted = 0
         for node, snapshot in observations:
-            if self.submit(node, snapshot, plan=plan):
+            if self._submit_sample(node, snapshot, plan=plan):
                 accepted += 1
         return accepted
 
     def sink(self) -> Callable:
-        """A :class:`~repro.runtime.collector.ContextCollector` sink.
+        """A per-observation collector sink (scalar shim).
+
+        .. deprecated:: batch-first API
+            Prefer :meth:`batch_sink`, which buffers observations into
+            columnar batches (same epoch-stamping contract, one queue
+            item per ``batch_max`` samples).
 
         The collector calls it as ``sink(node, snapshot, probe)``; the
         probe's current plan stamps the sample's epoch, so collection
         keeps working across hot swaps with no extra wiring.
         """
+        self._warn_legacy("sink", "batch_sink()")
 
         def _sink(node, snapshot, probe=None):
-            self.submit(
+            self._submit_sample(
                 node, snapshot, plan=getattr(probe, "plan", None)
             )
 
@@ -399,14 +567,182 @@ class ContextService:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _handle_batch(self, batch: Sequence[Sample]) -> None:
+    def _handle_items(self, items: Sequence) -> None:
+        """Drain handler: dedup-then-decode a batch of queue items.
+
+        ``items`` mixes loose :class:`Sample` objects and whole
+        :class:`SampleBatch` columns. Everything is collapsed into
+        distinct ``(epoch, node, stack, id)`` groups first; each group
+        decodes once. With the breaker or chaos armed, groups walk the
+        full per-group retry ladder (so fault injection and breaker
+        state machines see every group); otherwise the fast path decodes
+        the whole group set and lands the counts with one locked pass
+        per shard.
+        """
         start = time.perf_counter()
-        with obs.span("service.batch", samples=len(batch)):
-            for sample in batch:
-                self.metrics.count("ingested")
-                self._ingest_sample(sample)
+        total = 0
+        # key -> [n_samples, weight, sources]; a source is either a
+        # Sample or a (batch, group-key) pair — materialized only if
+        # the group fails and its samples must be quarantined/retained.
+        groups: Dict[Tuple, list] = {}
+        for item in items:
+            if isinstance(item, SampleBatch):
+                total += len(item)
+                for key, (n, w) in item.groups().items():
+                    gkey = (
+                        key[0], item.node_of(key), item.stack_of(key), key[3]
+                    )
+                    slot = groups.get(gkey)
+                    if slot is None:
+                        groups[gkey] = [n, w, [(item, key)]]
+                    else:
+                        slot[0] += n
+                        slot[1] += w
+                        slot[2].append((item, key))
+            else:
+                total += 1
+                gkey = (item.epoch, item.node, item.stack, item.current_id)
+                slot = groups.get(gkey)
+                if slot is None:
+                    groups[gkey] = [1, item.weight, [item]]
+                else:
+                    slot[0] += 1
+                    slot[1] += item.weight
+                    slot[2].append(item)
+        with obs.span("service.batch", samples=total, groups=len(groups)):
+            self.metrics.count("ingested", total)
+            self.metrics.count("batch.groups", len(groups))
+            self.metrics.count("batch.dedup_saved", total - len(groups))
+            if self._breaker is not None or self._chaos is not None:
+                for gkey, (n, w, sources) in groups.items():
+                    self._ingest_group(gkey, n, w, sources)
+            else:
+                self._ingest_groups_fast(groups)
             self.metrics.count("batches")
             self.metrics.batch_latency.observe(time.perf_counter() - start)
+
+    @staticmethod
+    def _materialize(sources) -> List[Sample]:
+        """The actual samples behind a group's sources (failure path)."""
+        out: List[Sample] = []
+        for src in sources:
+            if isinstance(src, tuple):
+                batch, key = src
+                out.extend(batch.sample(i) for i in batch.indices_of(key))
+            else:
+                out.append(src)
+        return out
+
+    def _ingest_groups_fast(self, groups: Dict[Tuple, list]) -> None:
+        """Un-armed path: one decode pass, one shard pass."""
+        t0 = time.perf_counter()
+        entries = []
+        aggregated = 0
+        for key, decoded, exc in self.engine.decode_batch(list(groups)):
+            n, weight, sources = groups[key]
+            if exc is not None:
+                if isinstance(exc, (DecodingError, EpochError)):
+                    # Deterministic: retrying cannot change the outcome.
+                    self.metrics.record_error(
+                        f"{key[1]}@epoch{key[0]}: {exc}"
+                    )
+                    for sample in self._materialize(sources):
+                        self._dlq.quarantine(sample, exc, 1)
+                    self.metrics.count("dead_lettered", n)
+                    obs.counter("resilience.dead_letters").inc(n)
+                elif self._retry_policy.max_attempts <= 1:
+                    self.metrics.record_error(
+                        f"{key[1]}@epoch{key[0]} (after 1 attempts): {exc!r}"
+                    )
+                    for sample in self._materialize(sources):
+                        self._dlq.quarantine(sample, exc, 1)
+                    self.metrics.count("dead_lettered", n)
+                    obs.counter("resilience.dead_letters").inc(n)
+                else:
+                    # Presumed transient: hand the group to the retry
+                    # ladder, crediting the failed decode as attempt 1.
+                    self.metrics.count("retries")
+                    obs.counter("resilience.retries").inc()
+                    time.sleep(self._retry_policy.delay(1, self._retry_rng))
+                    self._ingest_group(key, n, weight, sources, attempts=1)
+                continue
+            path, has_gaps, used_epoch = decoded
+            if used_epoch != key[0]:  # pragma: no cover - invariant
+                self.metrics.count("epoch_mismatches", n)
+                continue
+            entries.append((path, has_gaps, weight, key[0]))
+            aggregated += n
+        if entries:
+            self.tree.add_counts(entries)
+            self.metrics.count("aggregated", aggregated)
+        self.metrics.decode_latency.observe(time.perf_counter() - t0)
+
+    def _ingest_group(
+        self, key: Tuple, n: int, weight: int, sources, attempts: int = 0
+    ) -> None:
+        """Armed path: the scalar retry ladder, applied per group.
+
+        Identical semantics to :meth:`_ingest_sample`, but one decode
+        covers all ``n`` samples of the group — every accounting
+        outcome (aggregate, dead-letter, retain) moves the whole group,
+        keeping the conservation law's induction step intact.
+        ``attempts`` credits decode attempts already burned by the fast
+        path before it handed the group over.
+        """
+        epoch, node, stack, current_id = key
+        breaker = self._breaker
+        if breaker is not None and not breaker.allow():
+            for sample in self._materialize(sources):
+                self._retain_fallback(sample)
+            return
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                if self._chaos is not None:
+                    self._chaos.decode_fault()
+                path, has_gaps, used_epoch = self.engine.decode_path(
+                    node, (stack, current_id), epoch=epoch
+                )
+            except (DecodingError, EpochError) as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                self.metrics.record_error(f"{node}@epoch{epoch}: {exc}")
+                for sample in self._materialize(sources):
+                    self._dlq.quarantine(sample, exc, attempts)
+                self.metrics.count("dead_lettered", n)
+                obs.counter("resilience.dead_letters").inc(n)
+                return
+            except Exception as exc:  # noqa: BLE001 - presumed transient
+                if breaker is not None:
+                    breaker.record_failure()
+                    if breaker.state == "open":
+                        for sample in self._materialize(sources):
+                            self._retain_fallback(sample)
+                        return
+                if attempts >= self._retry_policy.max_attempts:
+                    self.metrics.record_error(
+                        f"{node}@epoch{epoch} (after "
+                        f"{attempts} attempts): {exc!r}"
+                    )
+                    for sample in self._materialize(sources):
+                        self._dlq.quarantine(sample, exc, attempts)
+                    self.metrics.count("dead_lettered", n)
+                    obs.counter("resilience.dead_letters").inc(n)
+                    return
+                self.metrics.count("retries")
+                obs.counter("resilience.retries").inc()
+                time.sleep(self._retry_policy.delay(attempts, self._retry_rng))
+                continue
+            break
+        self.metrics.decode_latency.observe(time.perf_counter() - t0)
+        if breaker is not None:
+            breaker.record_success()
+        if used_epoch != epoch:  # pragma: no cover - invariant
+            self.metrics.count("epoch_mismatches", n)
+            return
+        self.tree.add(path, has_gaps, weight, epoch=epoch)
+        self.metrics.count("aggregated", n)
 
     def _ingest_sample(self, sample: Sample) -> None:
         """Decode and aggregate one sample, or account for its failure.
@@ -467,7 +803,7 @@ class ContextService:
         if used_epoch != sample.epoch:  # pragma: no cover - invariant
             self.metrics.count("epoch_mismatches")
             return
-        self.tree.add(path, has_gaps, sample.weight)
+        self.tree.add(path, has_gaps, sample.weight, epoch=sample.epoch)
         self.metrics.count("aggregated")
 
     def _quarantine(
@@ -488,10 +824,10 @@ class ContextService:
         """Drain whatever sits in the queue into raw retention."""
         shed = 0
         while True:
-            batch = self._queue.get_batch(256, timeout=0)
-            if not batch:
+            items = self._queue.get_batch(256, timeout=0)
+            if not items:
                 return shed
-            for sample in batch:
+            for sample in iter_samples(items):
                 self._retain_fallback(sample)
                 shed += 1
 
@@ -637,20 +973,52 @@ class ContextService:
         }
 
     # ------------------------------------------------------------------
-    # Query API
+    # Query API — uniform keyword-only ``epoch=`` / ``decoded=`` contract
     # ------------------------------------------------------------------
-    def top_contexts(self, k: int = 10) -> List[Tuple[int, Tuple[str, ...]]]:
-        """The ``k`` hottest calling contexts as (count, node path)."""
-        return self.tree.top_contexts(k)
+    def top_contexts(
+        self,
+        k: int = 10,
+        *,
+        epoch: Optional[int] = None,
+        decoded: bool = True,
+    ) -> List[Tuple[int, object]]:
+        """The ``k`` hottest calling contexts as (count, node path).
 
-    def function_totals(self, leaf_only: bool = False) -> Dict[str, int]:
+        ``epoch`` restricts the ranking to samples stamped with that
+        plan epoch; ``decoded=False`` returns compact integer context
+        ids in place of paths (resolve with ``service.store.path``).
+        """
+        return self.tree.top_contexts(k, epoch=epoch, decoded=decoded)
+
+    def function_totals(
+        self,
+        leaf_only: bool = False,
+        *,
+        epoch: Optional[int] = None,
+        decoded: bool = True,
+    ) -> Dict[object, int]:
         """Per-function rollups (see :meth:`ShardedContextTree.function_totals`)."""
-        return self.tree.function_totals(leaf_only=leaf_only)
+        return self.tree.function_totals(
+            leaf_only=leaf_only, epoch=epoch, decoded=decoded
+        )
 
-    def ucp_stats(self) -> Dict[str, int]:
-        """How much traffic crossed dynamic-loading gaps."""
-        total = self.tree.total_samples
-        gaps = self.tree.gap_samples
+    def ucp_stats(
+        self,
+        *,
+        epoch: Optional[int] = None,
+        decoded: bool = True,
+    ) -> Dict[str, int]:
+        """How much traffic crossed dynamic-loading gaps.
+
+        ``epoch`` restricts the totals to that plan epoch's samples.
+        ``decoded`` is accepted for signature uniformity with the other
+        queries; the stats are purely numeric, so it has no effect.
+        """
+        if epoch is None:
+            total = self.tree.total_samples
+        else:
+            total = self.tree.weight_total(epoch=epoch)
+        gaps = self.tree.gap_total(epoch=epoch)
         return {
             "samples": total,
             "gap_samples": gaps,
@@ -725,6 +1093,9 @@ class ContextService:
         }
         out["epochs_retained"] = self.engine.retained_epochs()
         out["unique_contexts"] = self.tree.unique_contexts
+        store_stats = self.store.stats()
+        self.metrics.observe_store(store_stats)
+        out["store"] = store_stats
         out["resilience"] = self.resilience_stats()
         return out
 

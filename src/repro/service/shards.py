@@ -1,27 +1,41 @@
 """Sharded calling-context-tree aggregation, merged on read.
 
 Workers aggregate decoded paths into N independent shards — each a
-path histogram plus flat rollup counters behind its own lock — so
-concurrent batches contend only when they hash to the same shard. Reads
-(top-K, rollups, rendering) merge the shards into a fresh
+histogram plus flat rollup counters behind its own lock — so concurrent
+batches contend only when they hash to the same shard. Reads (top-K,
+rollups, rendering) merge the shards into a fresh
 :class:`~repro.postprocess.ContextTreeReport`; the write path never
 blocks on a reader building a report.
 
-Sharding is by context path hash, so all observations of one context
-land in one shard and per-context counts never need cross-shard
-reconciliation — merging is pure addition.
+Two things changed with the batch-first redesign:
+
+* **Contexts are integers.** Retained paths live once, delta-encoded
+  and block-compressed, in a shared
+  :class:`~repro.service.store.ContextStore`; shards count integer pids
+  instead of tuples of strings. Sharding is by pid, so all observations
+  of one context land in one shard and merging stays pure addition.
+* **Counts carry their epoch.** Every count is keyed ``(pid, epoch)``,
+  so queries can answer "under which plan generation was this traffic
+  observed" (``epoch=`` filters) without a second bookkeeping pass.
+
+The batched write path (:meth:`add_counts`) applies a whole decoded
+batch in one locked pass per shard — the per-group cost after
+dedup-then-decode is a dict update, not a lock round trip.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.postprocess import ContextTreeReport
+from repro.service.store import ContextStore
 
 __all__ = ["ShardStats", "ShardedContextTree"]
 
 Path = Tuple[str, ...]
+#: One decoded, counted group: (path, has_gaps, weight, samples, epoch).
+CountEntry = Tuple[Path, bool, int, int]
 
 
 class _Shard:
@@ -34,13 +48,13 @@ class _Shard:
 
     def __init__(self):
         self.lock = threading.Lock()
-        #: path -> observation count (the histogram top-K reads).
-        self.counts: Dict[Path, int] = {}
-        #: leaf function -> observation count.
-        self.leaf_totals: Dict[str, int] = {}
-        #: path -> gap-crossing observation count (checkpointed so a
-        #: recovery reproduces UCP accounting, not just totals).
-        self.gap_counts: Dict[Path, int] = {}
+        #: (pid, epoch) -> observation count (the histogram top-K reads).
+        self.counts: Dict[Tuple[int, int], int] = {}
+        #: (leaf name id, epoch) -> observation count.
+        self.leaf_totals: Dict[Tuple[Optional[int], int], int] = {}
+        #: (pid, epoch) -> gap-crossing observation count (checkpointed
+        #: so a recovery reproduces UCP accounting, not just totals).
+        self.gap_counts: Dict[Tuple[int, int], int] = {}
         self.gap_samples = 0
         self.samples = 0
 
@@ -65,97 +79,230 @@ class ShardStats:
 
 
 class ShardedContextTree:
-    """N calling-context-tree shards that merge on read."""
+    """N calling-context-tree shards over one compressed context store."""
 
-    def __init__(self, shards: int = 8):
+    def __init__(self, shards: int = 8, store: Optional[ContextStore] = None):
         if shards < 1:
             raise ValueError("need at least one shard")
         self._shards = [_Shard() for _ in range(shards)]
+        self.store = store if store is not None else ContextStore()
 
-    def _shard_for(self, path: Path) -> _Shard:
-        return self._shards[hash(path) % len(self._shards)]
+    def _shard_of(self, pid: int) -> _Shard:
+        return self._shards[pid % len(self._shards)]
 
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def add(self, path: Path, has_gaps: bool = False, weight: int = 1) -> None:
-        """Aggregate one decoded context path, ``weight`` times."""
-        shard = self._shard_for(path)
-        with shard.lock:
-            shard.counts[path] = shard.counts.get(path, 0) + weight
-            if path:
-                leaf = path[-1]
-                shard.leaf_totals[leaf] = (
-                    shard.leaf_totals.get(leaf, 0) + weight
-                )
-            if has_gaps:
-                shard.gap_counts[path] = shard.gap_counts.get(path, 0) + weight
-                shard.gap_samples += weight
-            shard.samples += weight
+    def add(
+        self,
+        path: Path,
+        has_gaps: bool = False,
+        weight: int = 1,
+        *,
+        epoch: int = 0,
+        samples: Optional[int] = None,
+    ) -> None:
+        """Aggregate one decoded context path, ``weight`` times.
+
+        ``samples`` is the number of observations behind ``weight``
+        (defaults to ``weight``) — the figure ``total_samples`` and
+        shard-balance stats track.
+        """
+        self.add_counts([(tuple(path), has_gaps, weight, epoch)],
+                        samples=samples)
+
+    def add_counts(
+        self,
+        entries: Iterable[CountEntry],
+        *,
+        samples: Optional[int] = None,
+    ) -> None:
+        """Apply decoded (path, has_gaps, weight, epoch) groups.
+
+        Paths are interned into the shared store first (outside any
+        shard lock), then counts land with one lock acquisition per
+        touched shard. ``samples`` overrides the per-entry observation
+        count (summed weight by default) — the batch path passes the
+        true sample total so weighted submissions stay accounted.
+        """
+        interned: Dict[int, List[Tuple[int, bool, int, int, Optional[int]]]] = {}
+        n_shards = len(self._shards)
+        total_entries = 0
+        for path, has_gaps, weight, epoch in entries:
+            pid = self.store.intern(tuple(path))
+            leaf = self.store.leaf_name_id(pid)
+            interned.setdefault(pid % n_shards, []).append(
+                (pid, has_gaps, weight, epoch, leaf)
+            )
+            total_entries += 1
+        for shard_index, rows in interned.items():
+            shard = self._shards[shard_index]
+            with shard.lock:
+                for pid, has_gaps, weight, epoch, leaf in rows:
+                    key = (pid, epoch)
+                    shard.counts[key] = shard.counts.get(key, 0) + weight
+                    leaf_key = (leaf, epoch)
+                    shard.leaf_totals[leaf_key] = (
+                        shard.leaf_totals.get(leaf_key, 0) + weight
+                    )
+                    if has_gaps:
+                        shard.gap_counts[key] = (
+                            shard.gap_counts.get(key, 0) + weight
+                        )
+                        shard.gap_samples += weight
+                    if samples is None:
+                        shard.samples += weight
+        if samples is not None and total_entries:
+            # One declared observation total for the whole batch; land
+            # it on the first touched shard so sums stay exact.
+            shard = self._shards[next(iter(interned))]
+            with shard.lock:
+                shard.samples += samples
 
     # ------------------------------------------------------------------
     # Read path (merge on read)
     # ------------------------------------------------------------------
-    def top_contexts(self, k: int = 10) -> List[Tuple[int, Path]]:
-        """The ``k`` hottest contexts as (count, path), heaviest first."""
-        merged: Dict[Path, int] = {}
+    def _merged_counts(
+        self, epoch: Optional[int] = None
+    ) -> Dict[int, int]:
+        """pid -> count, merged across shards (and epochs unless given)."""
+        merged: Dict[int, int] = {}
         for shard in self._shards:
             with shard.lock:
-                for path, count in shard.counts.items():
-                    merged[path] = merged.get(path, 0) + count
-        ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
-        return [(count, path) for path, count in ranked[:k]]
+                for (pid, row_epoch), count in shard.counts.items():
+                    if epoch is not None and row_epoch != epoch:
+                        continue
+                    merged[pid] = merged.get(pid, 0) + count
+        return merged
 
-    def function_totals(self, leaf_only: bool = False) -> Dict[str, int]:
+    def top_contexts(
+        self,
+        k: int = 10,
+        *,
+        epoch: Optional[int] = None,
+        decoded: bool = True,
+    ) -> List[Tuple[int, object]]:
+        """The ``k`` hottest contexts as (count, path), heaviest first.
+
+        ``epoch`` restricts to observations stamped with that plan
+        epoch. ``decoded=False`` returns integer context ids (pids)
+        instead of decoded paths — cheap handles for diffing or joining
+        without touching the compressed store; resolve them later with
+        ``tree.store.path(pid)``.
+        """
+        merged = self._merged_counts(epoch)
+        if decoded:
+            ranked = sorted(
+                ((count, self.store.path(pid)) for pid, count in merged.items()),
+                key=lambda item: (-item[0], item[1]),
+            )
+        else:
+            ranked = sorted(
+                ((count, pid) for pid, count in merged.items()),
+                key=lambda item: (-item[0], item[1]),
+            )
+        return ranked[:k]
+
+    def function_totals(
+        self,
+        leaf_only: bool = False,
+        *,
+        epoch: Optional[int] = None,
+        decoded: bool = True,
+    ) -> Dict[object, int]:
         """Per-function rollups.
 
         ``leaf_only=True`` counts samples whose context *ends* at the
         function (exclusive/self counts); otherwise every function
         appearing anywhere in a context is credited once per observation
-        (inclusive counts, the flame-graph number).
+        (inclusive counts, the flame-graph number). ``epoch`` filters as
+        in :meth:`top_contexts`; ``decoded=False`` keys the result by
+        interned name id (resolve with ``tree.store.name_of``).
         """
-        totals: Dict[str, int] = {}
-        for shard in self._shards:
-            with shard.lock:
-                if leaf_only:
-                    for leaf, count in shard.leaf_totals.items():
-                        totals[leaf] = totals.get(leaf, 0) + count
-                else:
-                    for path, count in shard.counts.items():
-                        for name in set(path):
-                            totals[name] = totals.get(name, 0) + count
+        totals: Dict[object, int] = {}
+        if leaf_only:
+            for shard in self._shards:
+                with shard.lock:
+                    for (leaf, row_epoch), count in shard.leaf_totals.items():
+                        if epoch is not None and row_epoch != epoch:
+                            continue
+                        if leaf is None:
+                            continue  # the empty context has no leaf
+                        key = self.store.name_of(leaf) if decoded else leaf
+                        totals[key] = totals.get(key, 0) + count
+            return totals
+        for pid, count in self._merged_counts(epoch).items():
+            for name in set(self.store.path(pid)):
+                key: object = name if decoded else self.store._name_ids[name]
+                totals[key] = totals.get(key, 0) + count
         return totals
 
     def merged_report(self) -> ContextTreeReport:
         """One tree containing every shard's contexts (a fresh copy)."""
         report = ContextTreeReport()
-        for shard in self._shards:
-            with shard.lock:
-                for path, count in shard.counts.items():
-                    report.add_path(path, count)
+        for pid, count in self._merged_counts().items():
+            report.add_path(self.store.path(pid), count)
         return report
 
     @property
     def total_samples(self) -> int:
         return sum(s.samples for s in self._shards)
 
+    def weight_total(self, *, epoch: Optional[int] = None) -> int:
+        """Aggregated weight (all epochs, or one epoch's slice)."""
+        if epoch is None:
+            return sum(self._merged_counts().values())
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                for (_pid, row_epoch), count in shard.counts.items():
+                    if row_epoch == epoch:
+                        total += count
+        return total
+
+    def gap_total(self, *, epoch: Optional[int] = None) -> int:
+        """Gap-crossing observations (optionally one epoch's)."""
+        if epoch is None:
+            return sum(s.gap_samples for s in self._shards)
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                for (_pid, row_epoch), count in shard.gap_counts.items():
+                    if row_epoch == epoch:
+                        total += count
+        return total
+
     @property
     def gap_samples(self) -> int:
         """Samples whose decode crossed a dynamic-loading gap (UCP)."""
-        return sum(s.gap_samples for s in self._shards)
+        return self.gap_total()
 
     @property
     def unique_contexts(self) -> int:
-        return sum(len(s.counts) for s in self._shards)
+        seen = set()
+        for shard in self._shards:
+            with shard.lock:
+                seen.update(pid for pid, _epoch in shard.counts)
+        return len(seen)
 
     def shard_stats(self) -> ShardStats:
         return ShardStats([s.samples for s in self._shards])
 
-    def count_of(self, path: Path) -> int:
+    def count_of(self, path: Path, *, epoch: Optional[int] = None) -> int:
         """The aggregated count of one exact context path."""
-        shard = self._shard_for(path)
+        pid = self.store.lookup(tuple(path))
+        if pid is None:
+            return 0
+        shard = self._shard_of(pid)
+        total = 0
         with shard.lock:
-            return shard.counts.get(path, 0)
+            for (row_pid, row_epoch), count in shard.counts.items():
+                if row_pid != pid:
+                    continue
+                if epoch is not None and row_epoch != epoch:
+                    continue
+                total += count
+        return total
 
     def clear(self) -> None:
         for shard in self._shards:
@@ -169,35 +316,44 @@ class ShardedContextTree:
     # ------------------------------------------------------------------
     # Checkpoint surface
     # ------------------------------------------------------------------
-    def rows(self) -> List[Tuple[Path, int, int]]:
-        """A consistent-per-shard snapshot of ``(path, count, gap_count)``.
-
-        The checkpoint serialization form: everything ``restore_rows``
-        needs to rebuild counts, leaf rollups, and gap accounting.
+    def rows(self) -> List[Tuple[Path, int, int, int]]:
+        """A consistent-per-shard snapshot of
+        ``(path, count, gap_count, epoch)`` — everything
+        :meth:`restore_rows` needs to rebuild counts, leaf rollups, gap
+        accounting, and the per-epoch breakdown.
         """
-        out: List[Tuple[Path, int, int]] = []
+        out: List[Tuple[Path, int, int, int]] = []
         for shard in self._shards:
             with shard.lock:
-                for path, count in shard.counts.items():
-                    out.append((path, count, shard.gap_counts.get(path, 0)))
+                rows = [
+                    (pid, epoch, count, shard.gap_counts.get((pid, epoch), 0))
+                    for (pid, epoch), count in shard.counts.items()
+                ]
+            for pid, epoch, count, gaps in rows:
+                out.append((self.store.path(pid), count, gaps, epoch))
         return out
 
-    def restore_rows(self, rows) -> int:
+    def restore_rows(self, rows, *, default_epoch: int = 0) -> int:
         """Merge checkpoint rows back in; returns samples restored.
 
+        Accepts both the current 4-tuple ``(path, count, gaps, epoch)``
+        rows and the pre-batch 3-tuple ``(path, count, gaps)`` form
+        (old checkpoints), which restores under ``default_epoch``.
         Rows land through the normal sharding function, so a restore
         into a tree with a different shard count still balances.
         """
         restored = 0
-        for path, count, gap_count in rows:
-            path = tuple(path)
-            plain = count - gap_count
+        for row in rows:
+            path = tuple(row[0])
+            count, gaps = int(row[1]), int(row[2])
+            epoch = int(row[3]) if len(row) > 3 else default_epoch
+            plain = count - gaps
             if plain > 0:
-                self.add(path, has_gaps=False, weight=plain)
+                self.add(path, has_gaps=False, weight=plain, epoch=epoch)
                 restored += plain
-            if gap_count > 0:
-                self.add(path, has_gaps=True, weight=gap_count)
-                restored += gap_count
+            if gaps > 0:
+                self.add(path, has_gaps=True, weight=gaps, epoch=epoch)
+                restored += gaps
         return restored
 
     def render(self, min_total: int = 1, max_depth: Optional[int] = None) -> str:

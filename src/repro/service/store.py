@@ -1,0 +1,332 @@
+"""`ContextStore`: delta-encoded, block-compressed retained contexts.
+
+Retained calling contexts used to live in the shards as tuples of
+strings — every distinct context carried its whole path even though
+contexts overwhelmingly share prefixes (that is what makes them a
+*tree*).  The store keeps one shared **prefix trie** instead: each trie
+node is a ``(parent, name)`` pair, a context is the integer id of its
+leaf node (its *pid*), and storing a new context costs only the suffix
+that diverges from everything seen before — delta encoding against the
+shared prefix, per the Android-scale call-path literature where the
+retained footprint, not throughput, limits scale.
+
+Trie nodes append into fixed-size **blocks**.  The open block is two raw
+``array('q')`` columns; once full it is *sealed*: packed to bytes,
+CRC32-stamped, and (with ``compression="zlib"``) deflate-compressed.
+Cold blocks therefore cost their compressed size; reads that walk into
+one decompress it through a small hot-block LRU and verify the CRC — a
+corrupted block raises :class:`~repro.errors.StoreCorruptionError`
+instead of serving garbage paths.
+
+The store is shared by every shard of a
+:class:`~repro.service.shards.ShardedContextTree` (prefix sharing only
+works across shards) and guarded by one lock; after the
+dedup-then-decode pass interning happens once per *distinct* context per
+batch, so the lock is not on the per-sample path.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import zlib
+from array import array
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError, StoreCorruptionError
+
+__all__ = ["ContextStore", "COMPRESSIONS"]
+
+COMPRESSIONS = ("zlib", "none")
+
+#: Sentinel node id for "no parent" (the trie root).
+_ROOT = -1
+
+
+class _SealedBlock:
+    """One full block, packed and (optionally) compressed."""
+
+    __slots__ = ("payload", "crc", "count", "compressed")
+
+    def __init__(self, payload: bytes, crc: int, count: int, compressed: bool):
+        self.payload = payload
+        self.crc = crc
+        self.count = count
+        self.compressed = compressed
+
+
+class ContextStore:
+    """Interned context paths behind integer ids (pids).
+
+    Parameters
+    ----------
+    compression:
+        ``"zlib"`` (default) deflates sealed blocks; ``"none"`` seals
+        without compressing (still CRC-checked).
+    block_size:
+        Trie nodes per block.
+    hot_blocks:
+        How many unsealed block views the read path keeps decompressed.
+    """
+
+    def __init__(
+        self,
+        *,
+        compression: str = "zlib",
+        block_size: int = 2048,
+        hot_blocks: int = 8,
+        pid_cache: int = 1 << 14,
+    ):
+        if compression not in COMPRESSIONS:
+            raise ServiceError(
+                f"unknown store compression {compression!r}; expected one "
+                f"of {', '.join(COMPRESSIONS)}"
+            )
+        if block_size < 2:
+            raise ServiceError("store block size must be at least 2")
+        if hot_blocks < 1:
+            raise ServiceError("store needs at least one hot block")
+        self.compression = compression
+        self.block_size = block_size
+        self._lock = threading.Lock()
+        # Interned function names.
+        self._names: List[str] = []
+        self._name_ids: Dict[str, int] = {}
+        # Trie topology: sealed blocks + the open tail block.
+        self._sealed: List[_SealedBlock] = []
+        self._open_parent: array = array("q")
+        self._open_name: array = array("q")
+        # (parent_id, name_id) packed into one int -> child node id.
+        self._children: Dict[int, int] = {}
+        # pids handed out (distinct retained contexts).
+        self._paths: Dict[int, bool] = {}
+        # LRU of decompressed sealed-block views.
+        self._hot: "OrderedDict[int, Tuple[array, array]]" = OrderedDict()
+        self._hot_cap = hot_blocks
+        # Hot-context intern memo: path tuple -> pid, so re-interning a
+        # hot context (the ingest path's common case — ~99% of groups
+        # repeat) skips the per-element trie walk. The key tuples are
+        # borrowed references to the decode engine's cached paths;
+        # cleared wholesale when full, so it never grows past its cap.
+        self._pid_cache: Dict[Tuple[str, ...], int] = {}
+        self._pid_cache_cap = pid_cache
+        self.unseals = 0
+        self.corruptions = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _child_key(self, parent: int, name_id: int) -> int:
+        # parent in [-1, 2**40), name_id < 2**22 in any realistic plan;
+        # pack into one int so the index dict holds int->int only.
+        return (parent + 1) * 0x400000 + name_id
+
+    def _name_id(self, name: str) -> int:
+        idx = self._name_ids.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._names.append(name)
+            self._name_ids[name] = idx
+        return idx
+
+    def _add_node(self, parent: int, name_id: int) -> int:
+        nid = len(self._sealed) * self.block_size + len(self._open_parent)
+        self._open_parent.append(parent)
+        self._open_name.append(name_id)
+        if len(self._open_parent) >= self.block_size:
+            self._seal_open()
+        self._children[self._child_key(parent, name_id)] = nid
+        return nid
+
+    def _seal_open(self) -> None:
+        payload = self._open_parent.tobytes() + self._open_name.tobytes()
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        count = len(self._open_parent)
+        if self.compression == "zlib":
+            blob = zlib.compress(payload, 6)
+            self._sealed.append(_SealedBlock(blob, crc, count, True))
+        else:
+            self._sealed.append(_SealedBlock(payload, crc, count, False))
+        # The freshly sealed block is almost certainly still hot.
+        self._hot[len(self._sealed) - 1] = (
+            self._open_parent, self._open_name
+        )
+        while len(self._hot) > self._hot_cap:
+            self._hot.popitem(last=False)
+        self._open_parent = array("q")
+        self._open_name = array("q")
+
+    def intern(self, path: Tuple[str, ...]) -> int:
+        """The pid of ``path``, creating trie nodes for any new suffix.
+
+        The empty path interns as pid ``_ROOT`` (a valid, decodable
+        degenerate context).
+        """
+        pid = self._pid_cache.get(path)
+        if pid is not None:
+            return pid
+        with self._lock:
+            node = _ROOT
+            for name in path:
+                name_id = self._name_id(name)
+                child = self._children.get(self._child_key(node, name_id))
+                if child is None:
+                    child = self._add_node(node, name_id)
+                node = child
+            if node not in self._paths:
+                self._paths[node] = True
+            if self._pid_cache_cap:
+                if len(self._pid_cache) >= self._pid_cache_cap:
+                    self._pid_cache.clear()
+                self._pid_cache[path] = node
+            return node
+
+    def lookup(self, path: Tuple[str, ...]) -> Optional[int]:
+        """The pid of ``path`` if it was ever interned, else None."""
+        with self._lock:
+            node = _ROOT
+            for name in path:
+                name_id = self._name_ids.get(name)
+                if name_id is None:
+                    return None
+                child = self._children.get(self._child_key(node, name_id))
+                if child is None:
+                    return None
+                node = child
+            return node if node in self._paths else None
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _block_view(self, block: int) -> Tuple[array, array]:
+        """(parents, names) arrays of one block (caller holds the lock)."""
+        view = self._hot.get(block)
+        if view is not None:
+            self._hot.move_to_end(block)
+            return view
+        sealed = self._sealed[block]
+        payload = sealed.payload
+        if sealed.compressed:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                self.corruptions += 1
+                raise StoreCorruptionError(
+                    f"context-store block {block} failed to decompress: {exc}"
+                ) from exc
+        if zlib.crc32(payload) & 0xFFFFFFFF != sealed.crc:
+            self.corruptions += 1
+            raise StoreCorruptionError(
+                f"context-store block {block} failed its CRC check"
+            )
+        half = len(payload) // 2
+        parents, names = array("q"), array("q")
+        # Same-process round trip: bytes stay in native order, so no
+        # byte swapping regardless of host endianness.
+        parents.frombytes(payload[:half])
+        names.frombytes(payload[half:])
+        self.unseals += 1
+        view = (parents, names)
+        self._hot[block] = view
+        while len(self._hot) > self._hot_cap:
+            self._hot.popitem(last=False)
+        return view
+
+    def _node(self, nid: int) -> Tuple[int, int]:
+        block, offset = divmod(nid, self.block_size)
+        if block == len(self._sealed):
+            return self._open_parent[offset], self._open_name[offset]
+        parents, names = self._block_view(block)
+        return parents[offset], names[offset]
+
+    def path(self, pid: int) -> Tuple[str, ...]:
+        """Reconstruct the context path behind ``pid``."""
+        with self._lock:
+            total = len(self._sealed) * self.block_size + len(self._open_parent)
+            if pid != _ROOT and not 0 <= pid < total:
+                raise ServiceError(f"unknown context id {pid}")
+            out: List[str] = []
+            node = pid
+            while node != _ROOT:
+                parent, name_id = self._node(node)
+                out.append(self._names[name_id])
+                node = parent
+            out.reverse()
+            return tuple(out)
+
+    def name_of(self, name_id: int) -> str:
+        """The interned function name behind ``name_id``."""
+        with self._lock:
+            try:
+                return self._names[name_id]
+            except IndexError:
+                raise ServiceError(f"unknown name id {name_id}") from None
+
+    def leaf_name_id(self, pid: int) -> Optional[int]:
+        """The name id of ``pid``'s leaf (None for the empty context)."""
+        if pid == _ROOT:
+            return None
+        with self._lock:
+            _, name_id = self._node(pid)
+            return name_id
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Distinct retained contexts (pids handed out)."""
+        with self._lock:
+            return len(self._paths)
+
+    @property
+    def nodes(self) -> int:
+        with self._lock:
+            return (
+                len(self._sealed) * self.block_size + len(self._open_parent)
+            )
+
+    def bytes_retained(self) -> int:
+        """Measured bytes holding the retained contexts.
+
+        Counts the sealed payloads (compressed when compression is on),
+        the open block, the name table (with string object overhead),
+        and the child index — everything the store keeps alive per
+        context, so bytes-per-context comparisons against the old
+        tuples-of-strings representation are honest.
+        """
+        with self._lock:
+            total = sum(len(b.payload) for b in self._sealed)
+            total += self._open_parent.itemsize * len(self._open_parent) * 2
+            total += sys.getsizeof(self._names)
+            total += sum(sys.getsizeof(n) for n in self._names)
+            total += sys.getsizeof(self._name_ids)
+            total += sys.getsizeof(self._children)
+            total += sys.getsizeof(self._paths)
+            total += sys.getsizeof(self._pid_cache)
+            return total
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            nodes = len(self._sealed) * self.block_size + len(self._open_parent)
+            contexts = len(self._paths)
+            sealed_bytes = sum(len(b.payload) for b in self._sealed)
+            raw_bytes = sealed_bytes + 16 * len(self._open_parent)
+        retained = self.bytes_retained()
+        return {
+            "compression": self.compression,
+            "contexts": contexts,
+            "nodes": nodes,
+            "names": len(self._names),
+            "sealed_blocks": len(self._sealed),
+            "block_bytes": raw_bytes,
+            "bytes": retained,
+            "bytes_per_context": retained / contexts if contexts else 0.0,
+            "hot_blocks": len(self._hot),
+            "unseals": self.unseals,
+            "corruptions": self.corruptions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContextStore(contexts={len(self)}, nodes={self.nodes}, "
+            f"compression={self.compression!r})"
+        )

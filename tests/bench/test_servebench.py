@@ -5,13 +5,16 @@ import json
 import pytest
 
 from repro.bench.servebench import (
+    batch_ingest_study,
     build_workload,
     decode_study,
     ingest_study,
     lane_chain,
     render_serve_bench,
     serve_bench,
+    store_study,
     write_bench_json,
+    _cct_paths,
     _stream,
 )
 from repro.cli import COMMANDS, build_parser, main
@@ -111,6 +114,47 @@ class TestStudies:
         assert out["plugin_samples"] > 0  # post-swap contexts aggregated
         assert out["samples"] == TINY["samples"] + out["post_swap_samples"]
 
+    def test_batch_ingest_study_agrees_and_reports(self):
+        _, plan, observations, weights = build_workload(
+            depth=TINY["depth"], lanes=2, contexts=TINY["contexts"],
+            seed=TINY["seed"],
+        )
+        stream = _stream(observations, weights, TINY["samples"],
+                         TINY["seed"])
+        out = batch_ingest_study(
+            plan, stream, workers=2, shards=4, batch_max=64
+        )
+        assert out["batch_max"] == 64
+        for side in ("scalar", "batch"):
+            assert out[side]["samples"] == TINY["samples"]
+            assert out[side]["dropped"] == 0
+            assert out[side]["per_s"] > 0
+        # The two APIs must agree exactly; speed is asserted only at
+        # full scale (CI serve-bench gate), not on tiny streams.
+        assert out["accounting_match"]
+        assert out["speedup"] > 0
+
+    def test_cct_paths_are_prefix_closed(self):
+        paths = _cct_paths(200, seed=3)
+        assert len(paths) == 200
+        universe = set(paths)
+        for path in paths:
+            for cut in range(1, len(path)):
+                assert path[:cut] in universe
+
+    def test_store_study_round_trips_and_measures(self):
+        out = store_study(contexts=300, seed=2)
+        assert out["contexts"] == 300
+        for mode in ("zlib", "none"):
+            assert out[mode]["round_trip_ok"]
+            assert out[mode]["bytes_per_context"] > 0
+        assert out["zlib"]["bytes"] <= out["none"]["bytes"]
+        assert out["tuple_bytes_per_context"] > 0
+        assert out["reduction_vs_tuples"] == pytest.approx(
+            out["tuple_bytes_per_context"]
+            / out["zlib"]["bytes_per_context"]
+        )
+
 
 class TestServeBench:
     def test_result_shape_and_acceptance(self, result):
@@ -125,11 +169,19 @@ class TestServeBench:
         assert len(result["top_contexts"]) == 3
         counts = [e["count"] for e in result["top_contexts"]]
         assert counts == sorted(counts, reverse=True)
+        batch = result["batch_ingest"]
+        assert batch["accounting_match"]
+        assert result["batch_ingest_per_s"] == batch["batch"]["per_s"]
+        store = result["store"]
+        assert result["bytes_per_context"] == \
+            store["zlib"]["bytes_per_context"]
 
     def test_render(self, result):
         out = render_serve_bench(result)
         assert "speedup cached/uncached" in out
         assert "lost 0" in out
+        assert "batch vs scalar ingestion" in out
+        assert "context store footprint" in out
         assert "hottest contexts:" in out
 
     def test_json_round_trips(self, result, tmp_path):

@@ -131,3 +131,38 @@ class TestRuntimeOracle:
         probe.inner._id = -7  # corrupt the runtime state directly
         probe.before_call("main", "l0", "A")
         assert any("negative" in v for v in probe.violations)
+
+
+class TestBatchOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clean_cases_pass_batch_vs_scalar(self, seed):
+        from repro.check.oracle import check_batch
+
+        assert check_batch(generate_case(seed), observations=16) == []
+
+    def test_registered_in_the_oracle_matrix(self):
+        from repro.check.oracle import ORACLES
+
+        assert "batch" in {name for name, _ in ORACLES}
+
+    def test_catches_a_lossy_batch_path(self, monkeypatch):
+        # Mutation: make grouping inflate one group's weight (sample
+        # counts stay conserved, so the service still drains — only the
+        # query results go wrong). The differential oracle must notice
+        # the two services diverging.
+        from repro.check.oracle import check_batch
+        from repro.service.batch import SampleBatch
+
+        real_groups = SampleBatch.groups
+
+        def inflated(self):
+            groups = real_groups(self)
+            for key, (n, w) in groups.items():
+                groups[key] = (n, w + 1)
+                break
+            return groups
+
+        monkeypatch.setattr(SampleBatch, "groups", inflated)
+        failures = check_batch(generate_case(0), observations=16)
+        assert failures
+        assert all(f.startswith("batch: ") for f in failures)

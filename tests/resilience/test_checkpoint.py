@@ -1,6 +1,8 @@
 """Durable checkpoints: atomicity, validation, newest-valid recovery."""
 
+import json
 import os
+import zlib
 
 import pytest
 
@@ -130,6 +132,117 @@ class TestCorruption:
                   "wb") as fh:
             fh.write(b"junk")
         assert store.load_newest() is None
+
+
+def _line(payload):
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x} {body}\n"
+
+
+def _rewrite_record(path, kind, mutate):
+    """Edit the first record of ``kind`` in place, re-stamping its CRC."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    out, done = [], False
+    for line in lines:
+        payload = json.loads(line[9:])
+        if not done and payload.get("kind") == kind:
+            mutate(payload)
+            line = _line(payload)
+            done = True
+        out.append(line)
+    assert done, f"no {kind!r} record in {path}"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(out)
+
+
+class TestFormatVersions:
+    """The v2 writer vs. hand-written v1 files and planted v2 damage."""
+
+    V1_ROWS = [
+        [["main", "parse"], 3, 0],
+        [["main", "parse", "lex"], 2, 1],
+        [["main", "render"], 5, 0],
+    ]
+
+    def write_v1(self, tmp_path, epoch=4):
+        path = os.path.join(str(tmp_path), "ckpt-00000001.dpck")
+        records = [
+            {"kind": "header", "version": 1, "epoch": epoch,
+             "fingerprint": "fp-v1", "rows": len(self.V1_ROWS)},
+            {"kind": "rows", "rows": self.V1_ROWS},
+            {"kind": "footer", "records": 3, "rows": len(self.V1_ROWS),
+             "samples": sum(r[1] for r in self.V1_ROWS)},
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(_line(r) for r in records)
+        return path
+
+    def test_v1_file_still_loads(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = self.write_v1(tmp_path, epoch=4)
+        state = store.load_file(path)
+        assert state is not None
+        assert state.epoch == 4
+        assert state.fingerprint == "fp-v1"
+        # v1 rows carry no per-row epoch; they are stamped with the
+        # checkpoint's own epoch on normalization.
+        assert state.rows == tuple(
+            (tuple(p), c, g, 4) for p, c, g in self.V1_ROWS
+        )
+
+    def test_v1_recovers_through_load_newest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        self.write_v1(tmp_path)
+        found = store.load_newest()
+        assert found is not None
+        assert found[1].total_samples == 10
+
+    def test_v1_state_round_trips_through_v2_writer(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        old = store.load_file(self.write_v1(tmp_path))
+        rewritten = store.write(old)
+        assert store.load_file(rewritten) == old
+
+    def test_current_writer_emits_v2_with_delta_sections(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.write(small_state())
+        with open(path, "r", encoding="utf-8") as fh:
+            payloads = [json.loads(line[9:]) for line in fh]
+        assert payloads[0]["version"] == 2
+        kinds = [p["kind"] for p in payloads]
+        assert kinds[:3] == ["header", "names", "nodes"]
+        assert kinds[-1] == "footer"
+        # v2 rows are compact [pid, count, gaps, epoch] — no path lists.
+        for p in payloads:
+            if p["kind"] == "rows":
+                assert all(isinstance(r[0], int) for r in p["rows"])
+
+    def test_future_version_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.write(small_state())
+        _rewrite_record(path, "header", lambda p: p.update(version=99))
+        assert store.load_file(path) is None
+
+    def test_corrupt_names_section_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.write(small_state())
+
+        def flip(payload):
+            payload["crc"] ^= 1  # inner CRC no longer matches the data
+
+        _rewrite_record(path, "names", flip)
+        assert store.load_file(path) is None
+
+    def test_dangling_pid_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.write(small_state())
+
+        def dangle(payload):
+            payload["rows"][0][0] = 99_999
+
+        _rewrite_record(path, "rows", dangle)
+        assert store.load_file(path) is None
 
 
 class TestFingerprint:

@@ -1,0 +1,172 @@
+"""SampleBatch: columnar packing, grouping, and binary serialization."""
+
+import pytest
+
+from repro.core.stackmodel import EntryKind, StackEntry
+from repro.errors import ServiceError
+from repro.graph.callgraph import CallSite
+from repro.service import SampleBatch
+from repro.service.ingest import Sample
+
+
+def entry(node="anchor", saved=3):
+    return StackEntry(
+        kind=EntryKind.ANCHOR, node=node, saved_id=saved,
+        site=CallSite("caller", "s1"),
+    )
+
+
+def make_batch():
+    batch = SampleBatch()
+    batch.append("leaf", ((entry(),), 7), epoch=0)
+    batch.append("leaf", ((entry(),), 7), epoch=0)
+    batch.append("leaf", ((entry(),), 9), epoch=0, weight=2, thread=4)
+    batch.append("other", ((), 0), epoch=1)
+    return batch
+
+
+class TestConstruction:
+    def test_append_and_len(self):
+        batch = make_batch()
+        assert len(batch) == 4
+        assert batch.total_weight == 5
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            SampleBatch().append("n", ((), 0), epoch=0, weight=0)
+        with pytest.raises(ServiceError):
+            SampleBatch.from_observations([("n", ((), 0))], epoch=0, weight=0)
+
+    def test_sample_materializes_fields(self):
+        batch = make_batch()
+        sample = batch.sample(2)
+        assert isinstance(sample, Sample)
+        assert sample.node == "leaf"
+        assert sample.current_id == 9
+        assert sample.weight == 2
+        assert sample.thread == 4
+        assert sample.stack == (entry(),)
+
+    def test_iter_yields_all_samples(self):
+        batch = make_batch()
+        nodes = [s.node for s in batch]
+        assert nodes == ["leaf", "leaf", "leaf", "other"]
+
+    def test_from_samples_round_trip(self):
+        original = make_batch()
+        rebuilt = SampleBatch.from_samples(list(original))
+        assert [s for s in rebuilt] == [s for s in original]
+
+    def test_from_observations_stamps_constants(self):
+        obs = [("a", ((entry(),), 1)), ("b", ((), 2))]
+        batch = SampleBatch.from_observations(obs, epoch=5, weight=3, thread=9)
+        assert len(batch) == 2
+        for sample in batch:
+            assert sample.epoch == 5
+            assert sample.weight == 3
+            assert sample.thread == 9
+
+    def test_interning_tables_stay_small(self):
+        batch = SampleBatch()
+        for _ in range(100):
+            batch.append("hot", ((entry(),), 5), epoch=0)
+        assert len(batch) == 100
+        assert batch.nbytes() < 100 * 48 + 1024  # columns, not objects
+
+
+class TestGroups:
+    def test_groups_collapse_repeats(self):
+        batch = make_batch()
+        groups = batch.groups()
+        # (leaf, id=7) x2, (leaf, id=9), (other, id=0) -> 3 groups
+        assert len(groups) == 3
+        assert sorted(groups.values()) == [(1, 1), (1, 2), (2, 2)]
+
+    def test_group_keys_resolve_through_tables(self):
+        batch = make_batch()
+        for key, (n, w) in batch.groups().items():
+            assert batch.node_of(key) in ("leaf", "other")
+            assert isinstance(batch.stack_of(key), tuple)
+
+    def test_non_uniform_weights_sum(self):
+        batch = SampleBatch()
+        batch.append("n", ((), 1), epoch=0, weight=5)
+        batch.append("n", ((), 1), epoch=0, weight=7)
+        ((n, w),) = batch.groups().values()
+        assert (n, w) == (2, 12)
+
+    def test_indices_of_reconstructs_rows(self):
+        batch = make_batch()
+        groups = batch.groups()
+        seen = sorted(
+            i for key in groups for i in batch.indices_of(key)
+        )
+        assert seen == [0, 1, 2, 3]
+
+    def test_epoch_separates_groups(self):
+        batch = SampleBatch()
+        batch.append("n", ((), 1), epoch=0)
+        batch.append("n", ((), 1), epoch=1)
+        assert len(batch.groups()) == 2
+
+
+class TestSerialization:
+    def test_round_trip_equality(self):
+        batch = make_batch()
+        rebuilt = SampleBatch.from_bytes(batch.to_bytes())
+        assert len(rebuilt) == len(batch)
+        assert [s for s in rebuilt] == [s for s in batch]
+        assert rebuilt.groups() == batch.groups()
+
+    def test_round_trip_preserves_weight_fast_path(self):
+        uniform = SampleBatch().append("n", ((), 1), epoch=0)
+        weighted = SampleBatch().append("n", ((), 1), epoch=0, weight=2)
+        assert SampleBatch.from_bytes(uniform.to_bytes())._uniform
+        assert not SampleBatch.from_bytes(weighted.to_bytes())._uniform
+
+    def test_empty_batch_round_trips(self):
+        rebuilt = SampleBatch.from_bytes(SampleBatch().to_bytes())
+        assert len(rebuilt) == 0
+        assert rebuilt.groups() == {}
+
+    def test_truncated_buffer_rejected(self):
+        with pytest.raises(ServiceError, match="truncated"):
+            SampleBatch.from_bytes(b"DP")
+
+    def test_crc_flip_rejected(self):
+        blob = bytearray(make_batch().to_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ServiceError, match="CRC"):
+            SampleBatch.from_bytes(bytes(blob))
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(make_batch().to_bytes())
+        # Re-stamp the CRC so only the magic is wrong.
+        import struct
+        import zlib
+
+        blob[:4] = b"NOPE"
+        body = bytes(blob[:-4])
+        blob[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(ServiceError, match="magic"):
+            SampleBatch.from_bytes(bytes(blob))
+
+    def test_unknown_version_rejected(self):
+        import struct
+        import zlib
+
+        blob = bytearray(make_batch().to_bytes())
+        blob[4] = 99
+        body = bytes(blob[:-4])
+        blob[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(ServiceError, match="version"):
+            SampleBatch.from_bytes(bytes(blob))
+
+    def test_unserializable_label_is_loud(self):
+        bad = StackEntry(
+            kind=EntryKind.RECURSION, node="n", saved_id=1,
+            site=CallSite("c", ("tuple", "label")),
+        )
+        batch = SampleBatch().append("n", ((bad,), 1), epoch=0)
+        with pytest.raises(ServiceError, match="label"):
+            batch.to_bytes()

@@ -108,8 +108,11 @@ class TestEndToEnd:
             assert m["unique_contexts"] == 1
             assert m["epochs_retained"] == [0]
             assert m["shards"]["count"] == 8
-            # Three repeats after the first hit the context cache.
-            assert m["caches"]["contexts"]["hits"] == 3
+            # Three repeats after the first are either collapsed by the
+            # in-batch dedup (same drained batch) or hit the context
+            # cache (later batch) — never decoded from scratch.
+            saved = m["batch.dedup_saved"] + m["caches"]["contexts"]["hits"]
+            assert saved == 3
 
     def test_decode_error_is_counted_not_fatal(self, plan):
         node, snap = walk_snapshot(plan, PATH_ACE)
@@ -198,3 +201,88 @@ class TestEncoderFacade:
 
         assert repro.ContextService is ContextService
         assert repro.ServiceConfig is ServiceConfig
+
+
+class TestBatchFirstAPI:
+    def test_submit_batch_end_to_end(self, plan):
+        from repro.service import SampleBatch
+
+        ace = walk_snapshot(plan, PATH_ACE)
+        bcd = walk_snapshot(plan, PATH_BCD)
+        batch = SampleBatch.from_observations([ace, ace, ace], epoch=0)
+        batch.append(*bcd, epoch=0, weight=2)
+        with ContextService(plan, shards=4, workers=2) as service:
+            assert service.submit_batch(batch) == 4
+            service.flush()
+            assert service.top_contexts(5) == [
+                (3, ("main", "a", "c", "e")),
+                (2, ("main", "b", "c", "d")),
+            ]
+            m = service.service_metrics()
+            assert m["submitted"] == 4
+            assert m["aggregated"] == 4
+            # Dedup-then-decode: the three identical ACE samples form
+            # one group, so two decodes were saved inside the batch.
+            assert m["batch.dedup_saved"] >= 2
+
+    def test_batch_sink_streams_through_collector(self, plan):
+        with ContextService(plan) as service:
+            sink = service.batch_sink(batch_max=2)
+            collector = ContextCollector(sink=sink)
+            probe = DeltaPathProbe(plan, cpt=True)
+            probe.begin_execution("main")
+            probe.enter_function("main")
+            collector.on_entry("main", 1, probe)
+            for caller, label, callee in PATH_ACE:
+                probe.before_call(caller, label, callee)
+                probe.enter_function(callee)
+                collector.on_entry(callee, 1, probe)
+            collector.close()  # submits the buffered tail
+            service.flush()
+            assert service.tree.total_samples == 4
+            assert service.tree.count_of(("main", "a", "c", "e")) == 1
+
+    def test_store_compression_knob_reaches_the_store(self, plan):
+        with ContextService(
+            plan, ServiceConfig(store_compression="none")
+        ) as service:
+            assert service.tree.store.compression == "none"
+        with pytest.raises(ServiceError):
+            ContextService(plan, ServiceConfig(store_compression="lz4"))
+
+
+class TestDeprecationShims:
+    def test_old_positional_submit_still_works(self, plan):
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with ContextService(plan) as service:
+            with pytest.warns(DeprecationWarning, match="submit_batch"):
+                assert service.submit(node, snap)
+            service.flush()
+            assert service.top_contexts(1) == [(1, ("main", "a", "c", "e"))]
+
+    def test_one_warning_per_call_site(self, plan):
+        import warnings as warnings_mod
+
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with ContextService(plan) as service:
+            with warnings_mod.catch_warnings(record=True) as caught:
+                warnings_mod.simplefilter("always")
+                for _ in range(5):
+                    service.submit(node, snap)  # one site, five calls
+                service.submit(node, snap)  # a second, distinct site
+            legacy = [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "compatibility shim" in str(w.message)
+            ]
+            assert len(legacy) == 2
+            service.flush()
+            assert service.service_metrics()["aggregated"] == 6
+
+    def test_submit_many_and_sink_warn_too(self, plan):
+        node, snap = walk_snapshot(plan, PATH_ACE)
+        with ContextService(plan) as service:
+            with pytest.warns(DeprecationWarning, match="submit_batch"):
+                service.submit_many([(node, snap)])
+            with pytest.warns(DeprecationWarning, match="batch_sink"):
+                service.sink()
