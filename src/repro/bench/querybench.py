@@ -1,0 +1,253 @@
+"""query-bench: segment write + windowed query throughput.
+
+Builds a synthetic segment store (prefix-sharing contexts spread over
+many segments, the shape a long-running service produces) and measures
+the two costs that gate the ``repro.query`` layer:
+
+* **segment write** — rows/s through the full durability discipline
+  (CRC lines, packed sections, inverted index, fsync/rename);
+* **query latency** — windowed top-K over random windows, plus the
+  rollup / diff / paths-through family, all answered from re-loaded
+  (validated) segments, and a flame-graph export round-trip.
+
+``python -m repro query-bench`` renders the tables;
+``--json BENCH_query.json`` records the artifact CI gates on. The full
+run covers the acceptance shape: 20k contexts across 16 segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.reporting import Column, render_table, sci
+from repro.query.engine import QueryEngine
+from repro.query.flamegraph import from_folded
+from repro.query.manifest import SegmentStore
+from repro.query.segment import SegmentState
+
+__all__ = ["query_bench", "render_query_bench", "write_bench_json"]
+
+DEFAULT_CONTEXTS = 20_000
+DEFAULT_SEGMENTS = 16
+SMOKE_CONTEXTS = 2_000
+SMOKE_SEGMENTS = 4
+_TOPK_TRIALS = 50
+_K = 10
+
+
+def _synthetic_contexts(
+    n: int, seed: int
+) -> List[Tuple[Tuple[str, ...], int, int, int]]:
+    """``n`` distinct contexts with realistic prefix sharing.
+
+    Paths fan out from a small set of entry prefixes into per-context
+    leaves, so the trie delta-encoding and the inverted index both see
+    the sharing they were built for.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        trunk = (f"svc{i % 8}", f"handler{i % 64}", f"op{i % 512}")
+        depth = rng.randint(0, 3)
+        middle = tuple(f"util{rng.randint(0, 99)}" for _ in range(depth))
+        path = trunk + middle + (f"ctx{i}",)
+        rows.append((path, 1 + rng.randint(0, 9), 1 if i % 13 == 0 else 0, 0))
+    return rows
+
+
+def _build_store(
+    directory: str, contexts: int, segments: int, seed: int
+) -> Dict[str, object]:
+    """Write the synthetic store; returns the write-side measurements."""
+    rows = _synthetic_contexts(contexts, seed)
+    per_segment = max(1, len(rows) // segments)
+    store = SegmentStore(directory)
+    write_ms: List[float] = []
+    written_rows = 0
+    for i in range(segments):
+        lo = i * per_segment
+        hi = len(rows) if i == segments - 1 else (i + 1) * per_segment
+        chunk = sorted(rows[lo:hi], key=lambda r: (r[0], r[3]))
+        state = SegmentState(
+            t_lo=float(i),
+            t_hi=float(i + 1),
+            fingerprint=f"bench-{seed:04x}",
+            rows=tuple(chunk),
+        )
+        t0 = time.perf_counter()
+        store.append(state)
+        write_ms.append((time.perf_counter() - t0) * 1000.0)
+        written_rows += len(chunk)
+    total_ms = sum(write_ms)
+    size_kb = sum(
+        os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory)
+    ) / 1024.0
+    return {
+        "segments": segments,
+        "rows": written_rows,
+        "write_ms_total": round(total_ms, 3),
+        "write_ms_mean": round(total_ms / segments, 3),
+        "rows_per_s": (
+            written_rows / (total_ms / 1000.0) if total_ms else float("inf")
+        ),
+        "store_kb": round(size_kb, 1),
+    }
+
+
+def _percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def _query_study(
+    directory: str, contexts: int, segments: int, seed: int
+) -> Dict[str, object]:
+    rng = random.Random(seed ^ 0x9E3779B9)
+    engine = QueryEngine(directory)
+    t0 = time.perf_counter()
+    engine.refresh()
+    load_ms = (time.perf_counter() - t0) * 1000.0
+
+    topk_ms: List[float] = []
+    for _ in range(_TOPK_TRIALS):
+        lo = rng.uniform(0, segments - 1)
+        hi = lo + rng.uniform(0.5, segments / 2.0)
+        t0 = time.perf_counter()
+        ranked = engine.top_contexts(_K, window=(lo, hi))
+        topk_ms.append((time.perf_counter() - t0) * 1000.0)
+        assert len(ranked) <= _K
+
+    t0 = time.perf_counter()
+    rollup = engine.function_totals()
+    rollup_ms = (time.perf_counter() - t0) * 1000.0
+
+    t0 = time.perf_counter()
+    diff = engine.diff((0.0, segments / 2.0), (segments / 2.0, float(segments)))
+    diff_ms = (time.perf_counter() - t0) * 1000.0
+
+    hot = max(rollup, key=lambda name: rollup[name])
+    t0 = time.perf_counter()
+    through = engine.paths_through(hot)
+    through_ms = (time.perf_counter() - t0) * 1000.0
+
+    t0 = time.perf_counter()
+    folded = engine.flamegraph()
+    flame_ms = (time.perf_counter() - t0) * 1000.0
+    parsed = from_folded(folded)
+    round_trip_ok = (
+        len(parsed) == contexts
+        and sum(parsed.values()) == engine.ucp_stats()["samples"]
+        and parsed
+        == {p: s[0] for p, s in engine._counts().items() if s[0]}
+    )
+
+    return {
+        "load_ms": round(load_ms, 3),
+        "topk_trials": _TOPK_TRIALS,
+        "topk_ms_mean": round(statistics.mean(topk_ms), 3),
+        "topk_ms_p95": round(_percentile(topk_ms, 0.95), 3),
+        "topk_per_s": (
+            1000.0 / statistics.mean(topk_ms)
+            if statistics.mean(topk_ms)
+            else float("inf")
+        ),
+        "rollup_ms": round(rollup_ms, 3),
+        "rollup_functions": len(rollup),
+        "diff_ms": round(diff_ms, 3),
+        "diff_appeared": len(diff.appeared),
+        "through_ms": round(through_ms, 3),
+        "through_function": hot,
+        "through_paths": len(through),
+        "flame_ms": round(flame_ms, 3),
+        "flame_lines": len(parsed),
+        "round_trip_ok": round_trip_ok,
+    }
+
+
+def query_bench(
+    smoke: bool = False,
+    *,
+    contexts: Optional[int] = None,
+    segments: Optional[int] = None,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Run both studies; returns the JSON-ready result dict."""
+    if contexts is None:
+        contexts = SMOKE_CONTEXTS if smoke else DEFAULT_CONTEXTS
+    if segments is None:
+        segments = SMOKE_SEGMENTS if smoke else DEFAULT_SEGMENTS
+    with tempfile.TemporaryDirectory(prefix="repro-qbench-") as tmp:
+        write = _build_store(tmp, contexts, segments, seed)
+        query = _query_study(tmp, contexts, segments, seed)
+    return {
+        "benchmark": "query-bench",
+        "smoke": smoke,
+        "workload": {
+            "contexts": contexts,
+            "segments": segments,
+            "seed": seed,
+        },
+        "write": write,
+        "query": query,
+    }
+
+
+_WRITE_COLUMNS: List[Column] = [
+    ("segments", "segments", sci),
+    ("rows", "rows", sci),
+    ("write_ms_mean", "write ms/seg", sci),
+    ("rows_per_s", "rows/s", sci),
+    ("store_kb", "store KB", sci),
+]
+
+_QUERY_COLUMNS: List[Column] = [
+    ("load_ms", "load ms", sci),
+    ("topk_ms_mean", "topk ms", sci),
+    ("topk_ms_p95", "topk p95", sci),
+    ("rollup_ms", "rollup ms", sci),
+    ("diff_ms", "diff ms", sci),
+    ("through_ms", "through ms", sci),
+    ("flame_ms", "flame ms", sci),
+]
+
+
+def render_query_bench(result: Dict[str, object]) -> str:
+    """Human-readable report of one :func:`query_bench` run."""
+    workload = result["workload"]
+    query = result["query"]
+    verdict = "round-trips" if query["round_trip_ok"] else "FAILS round-trip"
+    lines = [
+        render_table(
+            [result["write"]],
+            _WRITE_COLUMNS,
+            title=(
+                f"query-bench segment writes ({workload['contexts']} "
+                f"contexts over {workload['segments']} segments)"
+            ),
+        ),
+        "",
+        render_table(
+            [query],
+            _QUERY_COLUMNS,
+            title=(
+                f"windowed query latency ({query['topk_trials']} random "
+                f"top-{_K} windows; flame graph {verdict} via "
+                f"{query['flame_lines']} folded lines)"
+            ),
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def write_bench_json(result: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -36,6 +36,7 @@ not representable under the repaired encoding).
 
 from __future__ import annotations
 
+import json
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -76,6 +77,8 @@ __all__ = [
     "check_conservation",
     "check_recovery",
     "sid_equivalence_failures",
+    "canonical_query_answers",
+    "query_equivalence_failures",
     "ORACLES",
 ]
 
@@ -525,6 +528,61 @@ def check_recovery(case: FuzzCase, observations: int = 24) -> List[str]:
     obs_pairs = _collect_observations(plan, rng, observations)
     failures = checkpoint_recovery_scenario(plan, obs_pairs, seed=case.seed)
     return [f"recovery: {f}" for f in failures]
+
+
+# ----------------------------------------------------------------------
+# Durable-query equivalence oracle (repro.query)
+# ----------------------------------------------------------------------
+def canonical_query_answers(engine) -> bytes:
+    """One deterministic byte string covering the durable query surface.
+
+    ``engine`` is a :class:`repro.query.engine.QueryEngine`. The answer
+    set spans every query family (top-K, inclusive and leaf rollups,
+    window diff across the store's midpoint, UCP stats, flame graph) so
+    the chaos harness can assert that a crash + recovery changes *none*
+    of them: segments are immutable files, so answers computed before
+    the crash must be byte-identical after it.
+    """
+    span = engine.span()
+    answers: dict = {"span": list(span) if span else None}
+    answers["topk"] = [
+        [count, list(path)] for count, path in engine.top_contexts(10)
+    ]
+    answers["rollup"] = engine.function_totals()
+    answers["leaf_rollup"] = engine.function_totals(leaf_only=True)
+    answers["ucp"] = engine.ucp_stats()
+    answers["flame"] = engine.flamegraph()
+    if span is not None:
+        lo, hi = span
+        mid = (lo + hi) / 2.0
+        # hi + epsilon-free: the span is half-open per segment but the
+        # newest segment's t_hi is exclusive only for *later* samples;
+        # widen the right edge so the whole store is covered.
+        answers["topk_first_half"] = [
+            [count, list(path)]
+            for count, path in engine.top_contexts(10, window=(lo, mid))
+        ]
+        answers["diff_halves"] = engine.diff(
+            (lo, mid), (mid, hi + 1.0)
+        ).to_json()
+    return json.dumps(answers, sort_keys=True).encode("utf-8")
+
+
+def query_equivalence_failures(pre: bytes, post: bytes) -> List[str]:
+    """Byte-compare two :func:`canonical_query_answers` outputs."""
+    if pre == post:
+        return []
+    pre_obj = json.loads(pre.decode("utf-8"))
+    post_obj = json.loads(post.decode("utf-8"))
+    diverged = sorted(
+        key
+        for key in set(pre_obj) | set(post_obj)
+        if pre_obj.get(key) != post_obj.get(key)
+    )
+    return [
+        "query answers diverged across crash/recovery in: "
+        + ", ".join(diverged)
+    ]
 
 
 # ----------------------------------------------------------------------

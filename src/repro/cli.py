@@ -15,6 +15,8 @@ Usage::
     python -m repro obs-bench [--smoke] [--json BENCH_obs.json]
     python -m repro check [--iterations 500] [--seed 0] [--corpus DIR]
     python -m repro chaos [--iterations 25] [--seed 5] [--json PATH]
+    python -m repro query --dir segments/ [--window LO:HI] [--flame PATH]
+    python -m repro query-bench [--smoke] [--json BENCH_query.json]
     python -m repro resilience-bench [--smoke] [--json PATH]
     python -m repro decode-demo
     python -m repro list
@@ -252,6 +254,69 @@ def build_parser() -> argparse.ArgumentParser:
     pch.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the chaos report as JSON",
+    )
+
+    pq = _command(
+        sub,
+        "query",
+        "windowed analytics over a durable segment store",
+    )
+    pq.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="segment directory to query (omit with --demo)",
+    )
+    pq.add_argument(
+        "--demo", action="store_true",
+        help="build a small in-temp segment store first and query that",
+    )
+    pq.add_argument(
+        "--top", type=int, default=10,
+        help="top-K hottest contexts to print (default: 10)",
+    )
+    pq.add_argument(
+        "--window", metavar="LO:HI", default=None,
+        help="restrict to the half-open wall-clock window [LO, HI)",
+    )
+    pq.add_argument(
+        "--rollup", action="store_true",
+        help="print per-function rollups instead of contexts",
+    )
+    pq.add_argument(
+        "--leaf", action="store_true",
+        help="with --rollup: leaf-only (exclusive/self) counts",
+    )
+    pq.add_argument(
+        "--diff", metavar="LO:HI,LO:HI", default=None,
+        help="diff two windows (what appeared/disappeared/changed)",
+    )
+    pq.add_argument(
+        "--through", metavar="FUNC", default=None,
+        help="print every context containing FUNC (inverted index)",
+    )
+    pq.add_argument(
+        "--flame", metavar="PATH", default=None,
+        help="write the window as folded-stack flame-graph lines",
+    )
+    pq.add_argument(
+        "--json", action="store_true",
+        help="print the answer as JSON instead of a table",
+    )
+
+    pqb = _command(
+        sub,
+        "query-bench",
+        "segment write + windowed top-K throughput (BENCH_query.json)",
+    )
+    pqb.add_argument(
+        "--smoke", action="store_true",
+        help="tiny store (CI smoke size)",
+    )
+    pqb.add_argument("--contexts", type=int, default=None)
+    pqb.add_argument("--segments", type=int, default=None)
+    pqb.add_argument("--seed", type=int, default=1)
+    pqb.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full result as JSON (BENCH_query.json)",
     )
 
     prb = _command(
@@ -522,6 +587,28 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         return 0 if report.ok else 1
 
+    if args.command == "query":
+        return _run_query(args)
+
+    if args.command == "query-bench":
+        from repro.bench.querybench import (
+            query_bench,
+            render_query_bench,
+            write_bench_json,
+        )
+
+        result = query_bench(
+            smoke=args.smoke,
+            contexts=args.contexts,
+            segments=args.segments,
+            seed=args.seed,
+        )
+        print(render_query_bench(result))
+        if args.json:
+            write_bench_json(result, args.json)
+            print(f"\nwrote {args.json}")
+        return 0
+
     if args.command == "resilience-bench":
         from repro.bench.resiliencebench import (
             render_resilience_bench,
@@ -543,6 +630,124 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _parse_window(spec: str) -> Tuple[float, float]:
+    try:
+        lo, hi = spec.split(":")
+        return (float(lo), float(hi))
+    except ValueError:
+        sys.exit(f"bad window {spec!r}; expected LO:HI (e.g. 0:60)")
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: windowed analytics over segments."""
+    import tempfile
+
+    from repro.query.engine import QueryEngine
+    from repro.query.manifest import SegmentStore
+    from repro.query.segment import SegmentState
+
+    demo_tmp = None
+    directory = args.dir
+    if args.demo:
+        demo_tmp = tempfile.TemporaryDirectory(prefix="repro-query-demo-")
+        directory = demo_tmp.name
+        store = SegmentStore(directory)
+        store.append(SegmentState(
+            t_lo=0.0, t_hi=30.0, fingerprint="demo", rows=(
+                (("main", "parse", "intern"), 40, 0, 0),
+                (("main", "parse", "lex"), 25, 0, 0),
+                (("main", "emit"), 10, 2, 0),
+            ),
+        ))
+        store.append(SegmentState(
+            t_lo=30.0, t_hi=60.0, fingerprint="demo", rows=(
+                (("main", "parse", "intern"), 12, 0, 1),
+                (("main", "opt", "inline"), 33, 0, 1),
+            ),
+        ))
+        print(f"(demo store: 2 segments in {directory})\n")
+    elif not directory:
+        sys.exit("query: pass --dir DIR (or --demo)")
+
+    try:
+        engine = QueryEngine(directory).refresh()
+        window = _parse_window(args.window) if args.window else None
+
+        if args.diff:
+            try:
+                spec_a, spec_b = args.diff.split(",")
+            except ValueError:
+                sys.exit(
+                    f"bad diff {args.diff!r}; expected LO:HI,LO:HI"
+                )
+            diff = engine.diff(_parse_window(spec_a), _parse_window(spec_b))
+            if args.json:
+                print(json.dumps(diff.to_json(), indent=2, sort_keys=True))
+            else:
+                for label, bucket in (
+                    ("appeared", diff.appeared),
+                    ("disappeared", diff.disappeared),
+                ):
+                    for path, count in sorted(bucket.items()):
+                        print(f"{label:<12} {';'.join(path)} ({count})")
+                for path, (a, b) in sorted(diff.changed.items()):
+                    print(f"{'changed':<12} {';'.join(path)} ({a} -> {b})")
+                if diff.is_empty:
+                    print("no differences between the windows")
+        elif args.rollup:
+            totals = engine.function_totals(
+                leaf_only=args.leaf, window=window
+            )
+            if args.json:
+                print(json.dumps(totals, indent=2, sort_keys=True))
+            else:
+                for name, count in sorted(
+                    totals.items(), key=lambda kv: (-kv[1], kv[0])
+                ):
+                    print(f"{count:>10}  {name}")
+        elif args.through:
+            paths = engine.paths_through(args.through, window=window)
+            if args.json:
+                print(json.dumps(
+                    {";".join(p): c for p, c in paths.items()},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                for path, count in sorted(
+                    paths.items(), key=lambda kv: (-kv[1], kv[0])
+                ):
+                    print(f"{count:>10}  {';'.join(path)}")
+        else:
+            ranked = engine.top_contexts(args.top, window=window)
+            if args.json:
+                print(json.dumps(
+                    [[count, list(path)] for count, path in ranked],
+                    indent=2,
+                ))
+            else:
+                span = engine.span()
+                where = (
+                    f"window [{window[0]}, {window[1]})" if window
+                    else f"full span {span}" if span else "empty store"
+                )
+                print(f"top {args.top} contexts, {where}:")
+                for count, path in ranked:
+                    print(f"{count:>10}  {';'.join(path)}")
+
+        if args.flame:
+            folded = engine.flamegraph(window=window)
+            with open(args.flame, "w") as fh:
+                fh.write(folded)
+            print(
+                f"wrote {len(folded.splitlines())} folded stacks "
+                f"to {args.flame}"
+            )
+        return 0
+    finally:
+        if demo_tmp is not None:
+            demo_tmp.cleanup()
 
 
 def _decode_demo() -> None:

@@ -149,6 +149,18 @@ class CheckpointError(ResilienceError):
     """
 
 
+class QueryError(ServiceError):
+    """The durable query layer (:mod:`repro.query`) was misused.
+
+    Raised when a query names a segment directory that was never
+    configured, a window is malformed (``lo > hi``), or a folded-stack
+    import/export cannot represent a context. Torn or corrupt segment
+    *files* do not raise — like checkpoints, they are skipped (and
+    counted in ``query.segments_rejected``) in favour of the segments
+    that validate.
+    """
+
+
 class ChaosError(ReproError):
     """An injected fault from :mod:`repro.resilience.chaos`.
 

@@ -1,0 +1,79 @@
+"""``repro.query`` — a durable, indexed context-analytics store.
+
+The paper makes calling contexts cheap enough to *collect at scale and
+analyze later*; this package is the "later". Retained context counts
+are promoted out of process memory into an **append-only segment
+store**: each flush of the aggregation tree writes one immutable
+``seg-NNNNNNNN.dpqs`` file covering a wall-clock window, using the
+PR 5 checkpoint durability discipline (per-record CRC32 lines,
+write-temp → fsync → rename → directory-fsync, newest-valid
+selection) plus an embedded **inverted index** (function → context
+rows) verified on load. A ``manifest.dpqm`` caches the time-window →
+segment map; a missing, torn, or newer-versioned manifest degrades to
+a full directory scan, never to wrong answers.
+
+On top of the segments, :class:`~repro.query.engine.QueryEngine`
+answers the questions a fleet of developers actually asks of a context
+store bigger than any one process (per the Android-scale call-path
+literature):
+
+* time-windowed **top-K** hottest contexts;
+* **window-vs-window diff** — "what contexts appeared after the hot
+  swap?";
+* per-function **rollups** (inclusive and leaf-only);
+* **paths through** one function, served by the inverted index;
+* **flame-graph export** in the folded-stack format (round-trippable);
+* **UCP forensics** joining dead-letter triage records to the
+  :class:`~repro.analysis.incremental.GraphDelta` epoch that explains
+  them.
+
+Because segments are immutable files, every query answer is
+reproducible after a crash: the chaos harness asserts byte-identical
+pre-crash / post-recover answers (see ``python -m repro chaos``).
+
+Wiring::
+
+    cfg = ServiceConfig(workers=2, segment_dir="segments/")
+    service = ContextService(plan, cfg).start()
+    ...ingest...
+    service.flush_segments()      # or let CheckpointDaemon do it
+    q = service.query()
+    q.top_contexts(10, window=(t0, t1))
+    q.diff((t0, t1), (t1, t2))
+    open("profile.folded", "w").write(q.flamegraph())
+
+Everything reports under the ``query.*`` metric namespace via
+:mod:`repro.obs`. See ``docs/QUERY.md`` for the file formats and a
+query cookbook.
+"""
+
+from __future__ import annotations
+
+from repro.query.engine import QueryEngine, WindowDiff, ucp_forensics
+from repro.query.flamegraph import from_folded, to_folded
+from repro.query.manifest import SegmentStore, load_manifest, write_manifest
+from repro.query.segment import (
+    Segment,
+    SegmentState,
+    load_segment,
+    segment_name,
+    write_segment,
+)
+from repro.query.writer import SegmentWriter
+
+__all__ = [
+    "QueryEngine",
+    "Segment",
+    "SegmentState",
+    "SegmentStore",
+    "SegmentWriter",
+    "WindowDiff",
+    "from_folded",
+    "load_manifest",
+    "load_segment",
+    "segment_name",
+    "to_folded",
+    "ucp_forensics",
+    "write_manifest",
+    "write_segment",
+]

@@ -1,0 +1,368 @@
+""":class:`QueryEngine` — windowed analytics over the segment store.
+
+Every query reduces to the same primitive: sum the delta rows of the
+segments whose half-open window overlaps the query window (optionally
+filtered to one plan epoch), then shape the result. Because segments
+are immutable and the sum is order-independent, any answer is a pure
+function of the segment set — the property the chaos harness turns
+into a byte-equivalence oracle across crash/recovery.
+
+Query shapes mirror the in-memory service API (``top_contexts``,
+``function_totals``, ``ucp_stats``) plus the ones only a durable store
+can answer: window-vs-window :meth:`diff`, index-served
+:meth:`paths_through`, folded-stack :meth:`flamegraph` export, and
+:func:`ucp_forensics` — the join from dead-letter triage records to
+the :class:`~repro.analysis.incremental.GraphDelta` epoch whose hot
+swap explains them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import QueryError
+from repro.query.flamegraph import to_folded
+from repro.query.manifest import SegmentStore
+
+__all__ = ["QueryEngine", "WindowDiff", "ucp_forensics"]
+
+Path = Tuple[str, ...]
+Window = Tuple[float, float]
+
+
+def _check_window(window: Optional[Window]) -> Optional[Window]:
+    if window is None:
+        return None
+    lo, hi = float(window[0]), float(window[1])
+    if hi < lo:
+        raise QueryError(f"query window is inverted: [{lo}, {hi})")
+    return (lo, hi)
+
+
+@dataclass(frozen=True)
+class WindowDiff:
+    """What changed between two time windows, context by context."""
+
+    window_a: Window
+    window_b: Window
+    #: Contexts with samples in B but none in A: {path: count_in_b}.
+    appeared: Dict[Path, int] = field(default_factory=dict)
+    #: Contexts with samples in A but none in B: {path: count_in_a}.
+    disappeared: Dict[Path, int] = field(default_factory=dict)
+    #: Contexts in both with different counts: {path: (a, b)}.
+    changed: Dict[Path, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.appeared or self.disappeared or self.changed)
+
+    def to_json(self) -> dict:
+        def fold(mapping):
+            return {";".join(path): value for path, value in mapping.items()}
+
+        return {
+            "window_a": list(self.window_a),
+            "window_b": list(self.window_b),
+            "appeared": fold(self.appeared),
+            "disappeared": fold(self.disappeared),
+            "changed": {
+                key: list(value)
+                for key, value in fold(self.changed).items()
+            },
+        }
+
+
+class QueryEngine:
+    """Read-side API over one segment directory (or SegmentStore)."""
+
+    def __init__(self, source):
+        if isinstance(source, SegmentStore):
+            self.store = source
+        elif isinstance(source, str):
+            self.store = SegmentStore(source)
+        else:
+            raise QueryError(
+                f"QueryEngine source must be a directory path or "
+                f"SegmentStore, not {type(source).__name__}"
+            )
+
+    def refresh(self) -> "QueryEngine":
+        self.store.refresh()
+        return self
+
+    def segments(self, window: Optional[Window] = None) -> List:
+        segs = self.store.segments()
+        window = _check_window(window)
+        if window is None:
+            return segs
+        return [s for s in segs if s.overlaps(*window)]
+
+    # ------------------------------------------------------------------
+    def span(self) -> Optional[Window]:
+        """The wall-clock range the store covers, or None when empty."""
+        segs = self.store.segments()
+        if not segs:
+            return None
+        return (min(s.t_lo for s in segs), max(s.t_hi for s in segs))
+
+    def _counts(
+        self,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+        with_gaps: bool = False,
+    ) -> Dict[Path, List[int]]:
+        """Sum delta rows over every overlapping segment: {path: [count]}
+        (``with_gaps`` appends a gap-count slot)."""
+        out: Dict[Path, List[int]] = {}
+        for seg in self.segments(window):
+            for path, count, gaps, row_epoch in seg.rows:
+                if epoch is not None and row_epoch != epoch:
+                    continue
+                slot = out.get(path)
+                if slot is None:
+                    out[path] = [count, gaps] if with_gaps else [count]
+                elif with_gaps:
+                    slot[0] += count
+                    slot[1] += gaps
+                else:
+                    slot[0] += count
+        return out
+
+    # ------------------------------------------------------------------
+    def top_contexts(
+        self,
+        k: int = 10,
+        *,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+    ) -> List[Tuple[int, Path]]:
+        """The ``k`` hottest contexts in the window, heaviest first.
+
+        Same shape and tie-break as ``ContextService.top_contexts``
+        (count descending, then path ascending) so in-memory and
+        durable answers are directly comparable.
+        """
+        start = time.perf_counter()
+        counts = self._counts(window, epoch)
+        ranked = sorted(
+            ((slot[0], path) for path, slot in counts.items() if slot[0]),
+            key=lambda item: (-item[0], item[1]),
+        )
+        obs.histogram("query.topk_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return ranked[:k]
+
+    def function_totals(
+        self,
+        leaf_only: bool = False,
+        *,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Per-function rollups over the window.
+
+        ``leaf_only=True`` gives exclusive/self counts (context ends at
+        the function); otherwise inclusive counts (function appears
+        anywhere, credited once per observation).
+        """
+        start = time.perf_counter()
+        totals: Dict[str, int] = {}
+        for path, slot in self._counts(window, epoch).items():
+            if not slot[0] or not path:
+                continue
+            if leaf_only:
+                totals[path[-1]] = totals.get(path[-1], 0) + slot[0]
+            else:
+                for name in set(path):
+                    totals[name] = totals.get(name, 0) + slot[0]
+        obs.histogram("query.rollup_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return totals
+
+    def paths_through(
+        self,
+        function: str,
+        *,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+    ) -> Dict[Path, int]:
+        """Every context containing ``function``, with its window count.
+
+        Served by the per-segment inverted index: only the posting-list
+        rows are touched, not every row of every segment.
+        """
+        start = time.perf_counter()
+        out: Dict[Path, int] = {}
+        for seg in self.segments(window):
+            rows = seg.rows
+            for row_idx in seg.rows_through(function):
+                path, count, _gaps, row_epoch = rows[row_idx]
+                if epoch is not None and row_epoch != epoch:
+                    continue
+                if count:
+                    out[path] = out.get(path, 0) + count
+        obs.histogram("query.through_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return out
+
+    def diff(
+        self,
+        window_a: Window,
+        window_b: Window,
+        *,
+        epoch: Optional[int] = None,
+    ) -> WindowDiff:
+        """Window-vs-window comparison: what appeared/disappeared/moved.
+
+        The canonical "what did the hot swap change?" query: diff the
+        windows on either side of a plan install.
+        """
+        start = time.perf_counter()
+        window_a = _check_window(window_a)
+        window_b = _check_window(window_b)
+        a = {p: s[0] for p, s in self._counts(window_a, epoch).items() if s[0]}
+        b = {p: s[0] for p, s in self._counts(window_b, epoch).items() if s[0]}
+        appeared = {p: c for p, c in b.items() if p not in a}
+        disappeared = {p: c for p, c in a.items() if p not in b}
+        changed = {
+            p: (a[p], b[p]) for p in a.keys() & b.keys() if a[p] != b[p]
+        }
+        obs.histogram("query.diff_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return WindowDiff(window_a, window_b, appeared, disappeared, changed)
+
+    def flamegraph(
+        self,
+        *,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+    ) -> str:
+        """The window's contexts in folded-stack flame-graph format."""
+        start = time.perf_counter()
+        counts = {
+            path: slot[0]
+            for path, slot in self._counts(window, epoch).items()
+            if slot[0] and path
+        }
+        folded = to_folded(counts)
+        obs.histogram("query.flame_us").observe_us(
+            (time.perf_counter() - start) * 1e6
+        )
+        return folded
+
+    def ucp_stats(
+        self,
+        *,
+        window: Optional[Window] = None,
+        epoch: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Gap-crossing (UCP) totals over the window — same shape as
+        ``ContextService.ucp_stats``."""
+        samples = 0
+        gaps = 0
+        for slot in self._counts(window, epoch, with_gaps=True).values():
+            samples += slot[0]
+            gaps += slot[1]
+        return {
+            "samples": samples,
+            "gap_samples": gaps,
+            "gap_free_samples": samples - gaps,
+        }
+
+    def forensics(
+        self,
+        dead_letters,
+        epoch_history: Optional[Dict[int, dict]] = None,
+    ) -> List[dict]:
+        """:func:`ucp_forensics` over this store's segments."""
+        return ucp_forensics(
+            dead_letters,
+            epoch_history=epoch_history,
+            segments=self.store.segments(),
+        )
+
+    def stats(self) -> dict:
+        out = self.store.stats()
+        span = self.span()
+        out["span"] = list(span) if span else None
+        return out
+
+
+# ----------------------------------------------------------------------
+def ucp_forensics(
+    dead_letters,
+    epoch_history: Optional[Dict[int, dict]] = None,
+    segments=None,
+) -> List[dict]:
+    """Join dead-letter triage records to the plan change that explains
+    them.
+
+    Dead letters carry the epoch + plan fingerprint they failed under
+    (stamped at quarantine time). Grouping by that pair and attaching
+    the epoch's recorded :class:`GraphDelta` summary — plus whether a
+    newer epoch superseded it, and which segments captured traffic
+    decoded under the same fingerprint — turns a quarantine queue from
+    "N failures" into "N failures, all from the epoch that removed
+    ``libfoo``, superseded 40s later".
+
+    ``dead_letters`` is an iterable of :class:`DeadLetter` (or any
+    object with ``.epoch``/``.fingerprint``/``.error``/``.attempts``);
+    ``epoch_history`` maps epoch → ``{"fingerprint", "delta",
+    "installed_at"}`` as kept by ``ContextService.epoch_history()``.
+    """
+    history = epoch_history or {}
+    groups: Dict[Tuple[int, str], dict] = {}
+    for letter in dead_letters:
+        epoch = getattr(letter, "epoch", -1)
+        fingerprint = getattr(letter, "fingerprint", "") or ""
+        key = (epoch, fingerprint)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = {
+                "epoch": epoch,
+                "fingerprint": fingerprint,
+                "letters": 0,
+                "attempts": 0,
+                "errors": {},
+            }
+        group["letters"] += 1
+        group["attempts"] += getattr(letter, "attempts", 0)
+        error = getattr(letter, "error_type", "") or ""
+        if not error:
+            raw = getattr(letter, "error", "") or ""
+            error = raw.split(":", 1)[0] or "unknown"
+        group["errors"][error] = group["errors"].get(error, 0) + 1
+    newest_epoch = max(history) if history else None
+    for (epoch, fingerprint), group in groups.items():
+        record = history.get(epoch)
+        if record is not None:
+            group["delta"] = record.get("delta")
+            group["installed_at"] = record.get("installed_at")
+            recorded_fp = record.get("fingerprint", "")
+            group["fingerprint_match"] = (
+                bool(fingerprint) and fingerprint == recorded_fp
+            )
+        else:
+            group["delta"] = None
+            group["installed_at"] = None
+            group["fingerprint_match"] = False
+        group["superseded"] = (
+            newest_epoch is not None and epoch < newest_epoch
+        )
+        if segments:
+            group["segments"] = [
+                seg.seq for seg in segments
+                if fingerprint and seg.fingerprint == fingerprint
+            ]
+        else:
+            group["segments"] = []
+    return sorted(
+        groups.values(), key=lambda g: (g["epoch"], g["fingerprint"])
+    )

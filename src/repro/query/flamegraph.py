@@ -1,0 +1,78 @@
+"""Folded-stack flame-graph export/import.
+
+The folded format is the lingua franca of flame-graph tooling (one
+line per calling context: frame names joined by ``;``, a space, then
+the sample count), so a context store that speaks it can hand its
+contents to any off-the-shelf renderer. Export is deterministic
+(sorted lines) and loss-free for DeltaPath contexts: ``from_folded``
+inverts ``to_folded`` exactly, which the chaos oracle relies on.
+
+Frame names containing ``;`` or whitespace cannot be represented in
+the folded format; exporting them raises :class:`QueryError` rather
+than producing a file other tools would mis-parse. The empty context
+``()`` (samples attributed to the root) is likewise unrepresentable
+and rejected — the aggregation layer never produces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import QueryError
+
+__all__ = ["from_folded", "to_folded"]
+
+
+def _check_frame(name: str) -> str:
+    if not name or ";" in name or any(ch.isspace() for ch in name):
+        raise QueryError(
+            f"frame name {name!r} cannot be represented in folded-stack "
+            "format (empty, or contains ';' / whitespace)"
+        )
+    return name
+
+
+def to_folded(counts: Mapping[Sequence[str], int]) -> str:
+    """Render ``{path: count}`` as sorted folded-stack lines."""
+    lines = []
+    for path, count in counts.items():
+        frames = tuple(path)
+        if not frames:
+            raise QueryError("empty context () has no folded representation")
+        if count < 0:
+            raise QueryError(f"negative count {count} for {frames!r}")
+        if count == 0:
+            continue
+        lines.append(";".join(_check_frame(f) for f in frames) + f" {count}")
+    lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_folded(text: str) -> Dict[Tuple[str, ...], int]:
+    """Parse folded-stack lines back into ``{path: count}``.
+
+    Duplicate stacks are merged by summing (collapsers commonly emit
+    duplicates); blank lines are ignored; anything else malformed
+    raises :class:`QueryError`.
+    """
+    counts: Dict[Tuple[str, ...], int] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        stack, sep, tail = line.rpartition(" ")
+        if not sep or not stack:
+            raise QueryError(f"folded line {lineno} has no count: {raw!r}")
+        try:
+            count = int(tail)
+        except ValueError:
+            raise QueryError(
+                f"folded line {lineno} count {tail!r} is not an integer"
+            ) from None
+        if count < 0:
+            raise QueryError(f"folded line {lineno} has negative count")
+        frames = tuple(stack.split(";"))
+        if any(not f for f in frames):
+            raise QueryError(f"folded line {lineno} has an empty frame")
+        counts[frames] = counts.get(frames, 0) + count
+    return counts

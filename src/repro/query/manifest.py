@@ -1,0 +1,243 @@
+"""``manifest.dpqm`` + :class:`SegmentStore`: the segment directory.
+
+The manifest is a small checksummed file mapping time windows to
+segment files — the thing recovery *replays* to know what the query
+store contained before a crash. It is a **cache of the truth, never
+the truth itself**: every entry is verified against the segment file
+on disk before it is served, orphan segments (written in the gap
+between a segment rename and the manifest rewrite — exactly where a
+crash can land) are adopted from a directory scan, and stale entries
+whose file is gone or invalid are dropped. A missing, torn, or
+**newer-versioned** manifest (forward compatibility: a future writer
+may know things this reader does not) degrades to a full scan,
+counted in ``query.manifest_fallbacks`` — never to wrong answers.
+
+Manifest format, same record discipline as segments/checkpoints::
+
+    header  {"kind": "manifest", "version": 1, "segments": N}
+    segment {"kind": "segment", "seq", "t_lo", "t_hi", "rows",
+             "samples", "fingerprint"}   (one per live segment)
+    footer  {"kind": "footer", "records": N+2}
+
+:class:`SegmentStore` is the single writer/reader of one directory:
+``append`` assigns the next sequence number, writes the segment
+durably, then rewrites the manifest (temp/fsync/rename/dir-fsync);
+``refresh`` replays manifest + scan into the validated, seq-ordered
+segment list the :class:`~repro.query.engine.QueryEngine` queries.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, List, Optional
+
+from repro import obs
+from repro.errors import QueryError
+from repro.query.segment import (
+    Segment,
+    SegmentState,
+    load_segment,
+    sequence_of,
+    write_segment,
+)
+from repro.resilience.checkpoint import (
+    fsync_dir,
+    parse_record_line,
+    record_line,
+)
+
+__all__ = ["MANIFEST_VERSION", "SegmentStore", "load_manifest", "write_manifest"]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.dpqm"
+_TMP_MANIFEST = ".tmp-manifest"
+
+
+def write_manifest(directory: str, segments: List[Segment]) -> str:
+    """Atomically (re)write the manifest describing ``segments``."""
+    final = os.path.join(directory, MANIFEST_NAME)
+    tmp = os.path.join(directory, f"{_TMP_MANIFEST}-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(record_line({
+            "kind": "manifest",
+            "version": MANIFEST_VERSION,
+            "segments": len(segments),
+        }))
+        for seg in segments:
+            fh.write(record_line({
+                "kind": "segment",
+                "seq": seg.seq,
+                "t_lo": seg.t_lo,
+                "t_hi": seg.t_hi,
+                "rows": len(seg.rows),
+                "samples": seg.samples,
+                "fingerprint": seg.fingerprint,
+            }))
+        fh.write(record_line({"kind": "footer", "records": len(segments) + 2}))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    fsync_dir(directory)
+    return final
+
+
+def load_manifest(directory: str) -> Optional[List[dict]]:
+    """The manifest's segment entries, or None when it cannot be trusted.
+
+    None means "fall back to a directory scan": file missing, any line
+    torn or checksum-failed, header/footer malformed, or — the forward
+    compatibility stub — a version newer than this reader understands.
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except (OSError, UnicodeDecodeError):
+        return None
+    if not lines:
+        return None
+    header = parse_record_line(lines[0])
+    if header is None or header.get("kind") != "manifest":
+        return None
+    version = header.get("version")
+    if not isinstance(version, int) or version < 1:
+        return None
+    if version > MANIFEST_VERSION:
+        # Forward-compat: written by a newer repro. The segments
+        # themselves are still individually validated, so scanning the
+        # directory serves correct (if uncached) answers.
+        return None
+    entries: List[dict] = []
+    footer = None
+    for line in lines[1:]:
+        payload = parse_record_line(line)
+        if payload is None:
+            return None
+        if footer is not None:
+            return None
+        kind = payload.get("kind")
+        if kind == "segment":
+            if not isinstance(payload.get("seq"), int):
+                return None
+            entries.append(payload)
+        elif kind == "footer":
+            footer = payload
+        else:
+            return None
+    if footer is None or footer.get("records") != len(lines):
+        return None
+    if header.get("segments") != len(entries):
+        return None
+    return entries
+
+
+class SegmentStore:
+    """All segments of one directory: durable append + validated reads."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._segments: Optional[List[Segment]] = None
+        self.rejected = 0
+        self.manifest_fallbacks = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _listing(self) -> List[tuple]:
+        out = []
+        for name in os.listdir(self.directory):
+            seq = sequence_of(name)
+            if seq is not None:
+                out.append((seq, os.path.join(self.directory, name)))
+        return sorted(out)
+
+    def next_seq(self) -> int:
+        """The next unused sequence number (counts invalid files too,
+        so a rejected segment's number is never reused for different
+        bytes)."""
+        with self._lock:
+            listing = self._listing()
+            return (listing[-1][0] + 1) if listing else 1
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> List[Segment]:
+        """Replay the manifest (verified against disk) into segments.
+
+        Every served segment is fully validated regardless of what the
+        manifest claims; the manifest only tells us what *should* be
+        there, so drift (stale entries, orphan segments, corrupt files)
+        is observable in the counters rather than silent.
+        """
+        with self._lock:
+            manifest = load_manifest(self.directory)
+            if manifest is None:
+                self.manifest_fallbacks += 1
+                obs.counter("query.manifest_fallbacks").inc()
+            listing = self._listing()
+            segments: List[Segment] = []
+            for seq, path in listing:
+                seg = load_segment(path, seq)
+                if seg is None:
+                    self.rejected += 1
+                    obs.counter("query.segments_rejected").inc()
+                    continue
+                segments.append(seg)
+            self._segments = segments
+            obs.gauge("query.segments").set(len(segments))
+            obs.gauge("query.segment_rows").set(
+                sum(len(s.rows) for s in segments)
+            )
+            return list(segments)
+
+    def segments(self) -> List[Segment]:
+        """The validated segments (cached; ``refresh()`` to reload)."""
+        with self._lock:
+            cached = self._segments
+        if cached is None:
+            return self.refresh()
+        return list(cached)
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        state: SegmentState,
+        fault: Optional[Callable[[int], None]] = None,
+    ) -> str:
+        """Durably write ``state`` as the next segment; returns its path.
+
+        Order matters for crash safety: the segment file lands first
+        (rename + dir fsync), the manifest rewrite second — a crash
+        between the two leaves an orphan segment that ``refresh()``
+        adopts from the scan.
+        """
+        with self._lock:
+            listing = self._listing()
+            seq = (listing[-1][0] + 1) if listing else 1
+            path = write_segment(self.directory, seq, state, fault=fault)
+            seg = load_segment(path, seq)
+            if seg is None:  # pragma: no cover - write+load invariant
+                raise QueryError(
+                    f"freshly written segment {path!r} failed validation"
+                )
+            if self._segments is None:
+                self._segments = []
+            self._segments.append(seg)
+            write_manifest(self.directory, self._segments)
+            obs.gauge("query.segments").set(len(self._segments))
+            obs.gauge("query.segment_rows").set(
+                sum(len(s.rows) for s in self._segments)
+            )
+            return path
+
+    def stats(self) -> dict:
+        with self._lock:
+            segments = self._segments or []
+            return {
+                "directory": self.directory,
+                "segments": len(segments),
+                "rows": sum(len(s.rows) for s in segments),
+                "samples": sum(s.samples for s in segments),
+                "rejected": self.rejected,
+                "manifest_fallbacks": self.manifest_fallbacks,
+            }

@@ -1,0 +1,125 @@
+""":class:`SegmentWriter` — turns aggregation-tree snapshots into segments.
+
+The sharded tree holds *cumulative* counts; segments hold *deltas*, so
+that summing every overlapping segment over a time window reconstructs
+exactly what happened in that window. The writer keeps the baseline
+(the cumulative rows as of the last successful flush) and each
+``flush()`` emits only what changed since, stamped with the half-open
+wall-clock window ``[last_flush, now)``. A flush that would write an
+empty segment writes nothing.
+
+Crash discipline mirrors the checkpoint daemon: a failed flush leaves
+baseline and window untouched, so the next attempt re-covers the same
+delta — segments never lose samples, at worst a window widens. After
+recovery the service calls :meth:`rebase` with the recovered rows so
+samples already persisted in pre-crash segments are not re-emitted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro import obs
+from repro.query.manifest import SegmentStore
+from repro.query.segment import SegmentState
+
+__all__ = ["SegmentWriter"]
+
+_Key = Tuple[Tuple[str, ...], int]  # (path, epoch)
+
+
+def _cumulative(rows: Iterable[tuple]) -> Dict[_Key, Tuple[int, int]]:
+    out: Dict[_Key, Tuple[int, int]] = {}
+    for path, count, gaps, epoch in rows:
+        key = (tuple(path), epoch)
+        prev = out.get(key)
+        if prev is None:
+            out[key] = (count, gaps)
+        else:  # same (path, epoch) from multiple shards
+            out[key] = (prev[0] + count, prev[1] + gaps)
+    return out
+
+
+class SegmentWriter:
+    """Flushes count deltas from ``tree`` into ``directory`` segments."""
+
+    def __init__(
+        self,
+        tree,
+        directory: str,
+        *,
+        fingerprint: str = "",
+        clock: Callable[[], float] = time.time,
+    ):
+        self.tree = tree
+        self.store = SegmentStore(directory)
+        self.fingerprint = fingerprint
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._baseline: Dict[_Key, Tuple[int, int]] = {}
+        self._window_start = clock()
+        self.flushes = 0
+        self.empty_flushes = 0
+
+    def set_fingerprint(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    def flush(self, fault: Optional[Callable[[int], None]] = None) -> Optional[str]:
+        """Write one segment of deltas since the last flush.
+
+        Returns the new segment's path, or None when nothing changed.
+        On any exception the baseline/window are left as they were, so
+        retrying covers the same samples.
+        """
+        with self._lock:
+            cumulative = _cumulative(self.tree.rows())
+            rows = []
+            for key, (count, gaps) in cumulative.items():
+                base_count, base_gaps = self._baseline.get(key, (0, 0))
+                d_count = count - base_count
+                d_gaps = gaps - base_gaps
+                if d_count or d_gaps:
+                    rows.append((key[0], d_count, d_gaps, key[1]))
+            now = self._clock()
+            if not rows:
+                self.empty_flushes += 1
+                self._window_start = now
+                return None
+            rows.sort(key=lambda r: (r[0], r[3]))
+            state = SegmentState(
+                t_lo=self._window_start,
+                t_hi=max(now, self._window_start),
+                fingerprint=self.fingerprint,
+                rows=tuple(rows),
+            )
+            with obs.span("query.flush", rows=len(rows)):
+                path = self.store.append(state, fault=fault)
+            self._baseline = cumulative
+            self._window_start = state.t_hi
+            self.flushes += 1
+            return path
+
+    def rebase(self, rows: Iterable[tuple]) -> None:
+        """Reset the baseline to ``rows`` (post-recovery tree contents).
+
+        Counts restored from a checkpoint were already flushed to
+        segments before the crash (or lost with the process — either
+        way they are not *new*), so they must not be emitted again.
+        """
+        with self._lock:
+            self._baseline = _cumulative(rows)
+            self._window_start = self._clock()
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = {
+                "flushes": self.flushes,
+                "empty_flushes": self.empty_flushes,
+                "baseline_rows": len(self._baseline),
+                "window_start": self._window_start,
+            }
+        out.update(self.store.stats())
+        return out

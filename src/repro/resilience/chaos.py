@@ -31,6 +31,7 @@ iteration replays exactly with ``--seed``.
 
 from __future__ import annotations
 
+import os
 import random
 import tempfile
 import threading
@@ -167,6 +168,9 @@ class ChaosReport:
     injected: Dict[str, int] = field(default_factory=dict)
     restarts: int = 0
     recoveries: int = 0
+    #: Iterations whose durable query answers were byte-compared across
+    #: the crash (pre-crash vs post-recover).
+    query_checks: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -183,6 +187,7 @@ class ChaosReport:
             f"  injected: {self.injected}",
             f"  worker restarts: {self.restarts}, "
             f"recoveries: {self.recoveries}, "
+            f"query checks: {self.query_checks}, "
             f"elapsed: {self.elapsed_s:.2f}s",
         ]
         for failure in self.failures[:8]:
@@ -198,6 +203,7 @@ class ChaosReport:
             "injected": dict(self.injected),
             "restarts": self.restarts,
             "recoveries": self.recoveries,
+            "query_checks": self.query_checks,
             "elapsed_s": round(self.elapsed_s, 3),
         }
 
@@ -360,9 +366,15 @@ def _chaos_iteration(
     chaos_cfg: ChaosConfig,
     report: ChaosReport,
 ) -> List[str]:
-    """One flood → checkpoint → crash → recover cycle; returns failures."""
+    """One flood → flush → checkpoint → crash → recover cycle."""
+    from repro.check.oracle import (
+        canonical_query_answers,
+        query_equivalence_failures,
+    )
+
     failures: List[str] = []
     injector = ChaosInjector(chaos_cfg)
+    segment_dir = os.path.join(resilience.checkpoint_dir, "segments")
     service = ContextService(
         plan,
         ServiceConfig(
@@ -371,19 +383,42 @@ def _chaos_iteration(
             queue_capacity=64,
             batch_size=8,
             backpressure="drop-newest",
+            segment_dir=segment_dir,
         ),
         resilience=resilience,
         chaos=injector,
     )
     service.start()
     checkpoint_counts: Optional[Dict[Tuple[str, ...], int]] = None
+    pre_answers: Optional[bytes] = None
+
+    def flush_segments_retried() -> None:
+        # Same discipline as checkpoints below: injected write crashes
+        # are retried, a refusal is a failure. The writer's baseline
+        # only advances on success, so a retried flush re-covers the
+        # exact same delta.
+        for _ in range(12):
+            try:
+                service.flush_segments()
+                return
+            except ChaosError:
+                continue
+        failures.append("segment flush crashed 12 times in a row")
+
     try:
-        for node, snap in obs_list:
+        midpoint = len(obs_list) // 2
+        for idx, (node, snap) in enumerate(obs_list):
+            if idx == midpoint and idx:
+                # Mid-flood flush: the store ends the iteration with
+                # multiple segments, so windowed queries cross real
+                # segment boundaries.
+                flush_segments_retried()
             service.submit(node, snap, plan=plan)
         try:
             service.flush(timeout=30.0)
         except ReproError as exc:
             failures.append(f"flush failed under chaos: {exc}")
+        flush_segments_retried()
 
         # Durable snapshot — retried past injected write crashes, like a
         # checkpoint daemon would keep trying. At least one attempt runs
@@ -402,6 +437,12 @@ def _chaos_iteration(
 
         failures.extend(conservation_failures(service))
         pre_crash_counts = _tree_counts(service)
+        # Pre-crash durable answers. stop() below deliberately does NOT
+        # flush segments (it is the simulated crash); whatever the tree
+        # aggregated after the last explicit flush is allowed to die
+        # with the process — the *flushed* answers must survive it
+        # byte-for-byte.
+        pre_answers = canonical_query_answers(service.query())
     finally:
         # The "crash": no final checkpoint (checkpoint_on_stop=False),
         # just tear the process-model down.
@@ -422,7 +463,13 @@ def _chaos_iteration(
     # Recovery into a fresh service (the restarted process).
     fresh = ContextService(
         plan,
-        ServiceConfig(workers=1, shards=2, queue_capacity=16, batch_size=4),
+        ServiceConfig(
+            workers=1,
+            shards=2,
+            queue_capacity=16,
+            batch_size=4,
+            segment_dir=segment_dir,
+        ),
         resilience=resilience,
     )
     try:
@@ -437,6 +484,12 @@ def _chaos_iteration(
                 _tree_counts(fresh), checkpoint_counts, pre_crash_counts
             )
         )
+        if pre_answers is not None:
+            post_answers = canonical_query_answers(fresh.query())
+            failures.extend(
+                query_equivalence_failures(pre_answers, post_answers)
+            )
+            report.query_checks += 1
     finally:
         fresh.start()
         fresh.stop(timeout=10.0)

@@ -61,13 +61,20 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, QueryError
 
 __all__ = [
     "CheckpointState",
     "CheckpointStore",
     "CheckpointDaemon",
     "plan_fingerprint",
+    "record_line",
+    "parse_record_line",
+    "pack_section",
+    "unpack_section",
+    "delta_encode_rows",
+    "delta_decode_path",
+    "fsync_dir",
 ]
 
 FORMAT_VERSION = 2
@@ -240,6 +247,32 @@ def _delta_decode_path(pid, nodes_flat, names):
     return tuple(out)
 
 
+def fsync_dir(directory: str) -> None:
+    """Best-effort fsync of a directory (durability of a rename)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+# Public names for the durability building blocks. The ``repro.query``
+# segment store reuses exactly this discipline (checksummed line
+# records, packed sections, prefix-trie path delta encoding) for its
+# ``seg-*.dpqs`` files, so the two on-disk formats cannot drift apart.
+record_line = _record
+parse_record_line = _parse_record
+pack_section = _pack_section
+unpack_section = _unpack_section
+delta_encode_rows = _delta_encode_rows
+delta_decode_path = _delta_decode_path
+
+
 class CheckpointStore:
     """Atomic, checksummed snapshots in one directory."""
 
@@ -358,16 +391,7 @@ class CheckpointStore:
         return final
 
     def _fsync_dir(self) -> None:
-        try:
-            fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform dependent
-            return
-        try:
-            os.fsync(fd)
-        except OSError:  # pragma: no cover - platform dependent
-            pass
-        finally:
-            os.close(fd)
+        fsync_dir(self.directory)
 
     def _prune(self, keep: int) -> None:
         listing = self._listing()
@@ -485,12 +509,16 @@ class CheckpointStore:
 
 
 class CheckpointDaemon:
-    """Periodic background checkpointing for one service.
+    """Periodic background checkpointing (and segment flushing).
 
-    Calls ``service.checkpoint()`` every ``interval`` seconds. A failed
-    write is counted (``resilience.checkpoint_failures`` — already
-    incremented by the store) and retried next period; the daemon never
-    dies of one bad write.
+    Calls ``service.checkpoint()`` every ``interval`` seconds. When the
+    service also carries a segment writer (``flush_segments`` — the
+    ``repro.query`` durable store), each period additionally flushes the
+    aggregation delta into a query segment, so the analytics store grows
+    on the same cadence that keeps recovery fresh. A failed write is
+    counted (``resilience.checkpoint_failures`` — already incremented by
+    the store — or :attr:`segment_failures`) and retried next period;
+    the daemon never dies of one bad write.
     """
 
     def __init__(self, service, interval: float):
@@ -502,6 +530,8 @@ class CheckpointDaemon:
         self._thread: Optional[threading.Thread] = None
         self.written = 0
         self.failed = 0
+        self.segments_written = 0
+        self.segment_failures = 0
 
     def start(self) -> None:
         if self._thread is not None:
@@ -516,10 +546,23 @@ class CheckpointDaemon:
         if self._thread is not None:
             self._thread.join(timeout=timeout)
 
+    def _tick(self) -> None:
+        try:
+            self._service.checkpoint()
+            self.written += 1
+        except Exception:  # noqa: BLE001 - keep checkpointing
+            self.failed += 1
+        flush = getattr(self._service, "flush_segments", None)
+        if flush is None:
+            return
+        try:
+            if flush() is not None:
+                self.segments_written += 1
+        except QueryError:
+            return  # service has no segment store configured
+        except Exception:  # noqa: BLE001 - keep flushing next period
+            self.segment_failures += 1
+
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
-            try:
-                self._service.checkpoint()
-                self.written += 1
-            except Exception:  # noqa: BLE001 - keep checkpointing
-                self.failed += 1
+            self._tick()

@@ -69,7 +69,14 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class DeadLetter:
-    """One quarantined sample plus the context needed to triage it."""
+    """One quarantined sample plus the context needed to triage it.
+
+    ``epoch`` and ``fingerprint`` identify the exact plan generation the
+    sample failed to decode under — stamped at quarantine time, so
+    offline forensics (:func:`repro.query.engine.ucp_forensics`) can
+    join a dead letter to the hot-swap :class:`GraphDelta` that explains
+    it even after the service and its in-memory epoch table are gone.
+    """
 
     node: str
     epoch: int
@@ -79,11 +86,19 @@ class DeadLetter:
     error_type: str
     error: str
     attempts: int
+    #: SHA-256 plan fingerprint of the sample's epoch ("" when the
+    #: epoch's plan was already pruned at quarantine time).
+    fingerprint: str = ""
     quarantined_at: float = field(default=0.0, compare=False)
 
     @classmethod
     def from_sample(
-        cls, sample: Sample, exc: BaseException, attempts: int
+        cls,
+        sample: Sample,
+        exc: BaseException,
+        attempts: int,
+        *,
+        fingerprint: str = "",
     ) -> "DeadLetter":
         return cls(
             node=sample.node,
@@ -94,6 +109,7 @@ class DeadLetter:
             error_type=type(exc).__name__,
             error=str(exc),
             attempts=attempts,
+            fingerprint=fingerprint,
             quarantined_at=time.time(),
         )
 
@@ -112,9 +128,16 @@ class DeadLetterQueue:
         self.evicted = 0
 
     def quarantine(
-        self, sample: Sample, exc: BaseException, attempts: int
+        self,
+        sample: Sample,
+        exc: BaseException,
+        attempts: int,
+        *,
+        fingerprint: str = "",
     ) -> DeadLetter:
-        letter = DeadLetter.from_sample(sample, exc, attempts)
+        letter = DeadLetter.from_sample(
+            sample, exc, attempts, fingerprint=fingerprint
+        )
         with self._lock:
             if len(self._letters) == self.capacity:
                 self.evicted += 1

@@ -68,6 +68,7 @@ from repro.errors import (
     CheckpointError,
     DecodingError,
     EpochError,
+    QueryError,
     ServiceError,
 )
 from repro.postprocess import ContextTreeReport
@@ -119,6 +120,9 @@ class ServiceConfig:
     batch_linger_ms: float = 0.0
     #: Context-store compression for sealed blocks: "zlib" | "none".
     store_compression: str = "zlib"
+    #: Directory for the durable query-segment store (None disables the
+    #: ``repro.query`` layer: no SegmentWriter, ``query()`` raises).
+    segment_dir: Optional[str] = None
 
     @property
     def drain_budget(self) -> int:
@@ -221,6 +225,29 @@ class ContextService:
             )
         self._daemon = None
         self._checkpoints_written = 0
+
+        # Durable query layer (repro.query). Lazy import for the same
+        # package-cycle reason as the resilience wiring above.
+        self._epoch_fingerprints: Dict[int, str] = {}
+        self._segments = None
+        self._query_engine = None
+        if self.config.segment_dir:
+            from repro.query.writer import SegmentWriter
+
+            self._segments = SegmentWriter(
+                self.tree,
+                self.config.segment_dir,
+                fingerprint=self._fingerprint_of(self.engine.epoch),
+            )
+        # Epoch forensics: what each epoch's plan looked like and which
+        # GraphDelta installed it — the join target for dead letters.
+        self._epoch_history: Dict[int, dict] = {
+            self.engine.epoch: {
+                "fingerprint": self._fingerprint_of(self.engine.epoch),
+                "delta": None,
+                "installed_at": time.time(),
+            }
+        }
 
         self._degraded = False
         self._degraded_lock = threading.Lock()
@@ -548,13 +575,52 @@ class ContextService:
         """
         epoch = self.engine.install_update(update)
         self.metrics.count("hot_swaps")
+        delta = update.delta
+        self._record_epoch(epoch, {
+            "added_nodes": sorted(delta.added_nodes),
+            "removed_nodes": sorted(delta.removed_nodes),
+            "added_edges": len(delta.added_edges),
+            "removed_edges": len(delta.removed_edges),
+        })
         return epoch
 
     def install_plan(self, plan: DeltaPathPlan) -> int:
         """Adopt a full rebuild as the next epoch."""
         epoch = self.engine.install(plan)
         self.metrics.count("hot_swaps")
+        self._record_epoch(epoch, None)
         return epoch
+
+    def _fingerprint_of(self, epoch: int) -> str:
+        """The SHA-256 plan fingerprint of ``epoch`` ("" once pruned).
+
+        Memoized: quarantine stamps it on every dead letter, and the
+        fingerprint of a retained epoch never changes.
+        """
+        cached = self._epoch_fingerprints.get(epoch)
+        if cached is not None:
+            return cached
+        from repro.resilience.checkpoint import plan_fingerprint
+
+        try:
+            fingerprint = plan_fingerprint(self.engine.plan_for(epoch))
+        except EpochError:
+            fingerprint = ""
+        self._epoch_fingerprints[epoch] = fingerprint
+        return fingerprint
+
+    def _record_epoch(self, epoch: int, delta_summary) -> None:
+        self._epoch_history[epoch] = {
+            "fingerprint": self._fingerprint_of(epoch),
+            "delta": delta_summary,
+            "installed_at": time.time(),
+        }
+        if self._segments is not None:
+            self._segments.set_fingerprint(self._fingerprint_of(epoch))
+
+    def epoch_history(self) -> Dict[int, dict]:
+        """Every installed epoch's fingerprint + GraphDelta summary."""
+        return {epoch: dict(rec) for epoch, rec in self._epoch_history.items()}
 
     @property
     def epoch(self) -> int:
@@ -647,7 +713,10 @@ class ContextService:
                         f"{key[1]}@epoch{key[0]}: {exc}"
                     )
                     for sample in self._materialize(sources):
-                        self._dlq.quarantine(sample, exc, 1)
+                        self._dlq.quarantine(
+                            sample, exc, 1,
+                            fingerprint=self._fingerprint_of(key[0]),
+                        )
                     self.metrics.count("dead_lettered", n)
                     obs.counter("resilience.dead_letters").inc(n)
                 elif self._retry_policy.max_attempts <= 1:
@@ -655,7 +724,10 @@ class ContextService:
                         f"{key[1]}@epoch{key[0]} (after 1 attempts): {exc!r}"
                     )
                     for sample in self._materialize(sources):
-                        self._dlq.quarantine(sample, exc, 1)
+                        self._dlq.quarantine(
+                            sample, exc, 1,
+                            fingerprint=self._fingerprint_of(key[0]),
+                        )
                     self.metrics.count("dead_lettered", n)
                     obs.counter("resilience.dead_letters").inc(n)
                 else:
@@ -709,7 +781,10 @@ class ContextService:
                     breaker.record_failure()
                 self.metrics.record_error(f"{node}@epoch{epoch}: {exc}")
                 for sample in self._materialize(sources):
-                    self._dlq.quarantine(sample, exc, attempts)
+                    self._dlq.quarantine(
+                        sample, exc, attempts,
+                        fingerprint=self._fingerprint_of(epoch),
+                    )
                 self.metrics.count("dead_lettered", n)
                 obs.counter("resilience.dead_letters").inc(n)
                 return
@@ -809,7 +884,10 @@ class ContextService:
     def _quarantine(
         self, sample: Sample, exc: BaseException, attempts: int
     ) -> None:
-        self._dlq.quarantine(sample, exc, attempts)
+        self._dlq.quarantine(
+            sample, exc, attempts,
+            fingerprint=self._fingerprint_of(sample.epoch),
+        )
         self.metrics.count("dead_lettered")
         obs.counter("resilience.dead_letters").inc()
 
@@ -916,6 +994,28 @@ class ContextService:
         self._checkpoints_written += 1
         return path
 
+    def flush_segments(self) -> Optional[str]:
+        """Flush the aggregation delta into one durable query segment.
+
+        Returns the new ``seg-*.dpqs`` path, or None when nothing new
+        accumulated since the last flush. The CheckpointDaemon calls
+        this on its interval; call it manually for explicit flush
+        points (the chaos harness does, so a stop() can model a crash
+        without an implicit flush hiding un-persisted samples).
+        Raises :class:`QueryError` when no ``segment_dir`` is
+        configured; chaos checkpoint faults are threaded through so a
+        flush can "crash" mid-write like any other durable write.
+        """
+        if self._segments is None:
+            raise QueryError(
+                "no segment directory configured; set "
+                "ServiceConfig.segment_dir to enable the query layer"
+            )
+        fault = (
+            self._chaos.checkpoint_fault() if self._chaos is not None else None
+        )
+        return self._segments.flush(fault=fault)
+
     def recover(self, source, *, allow_mismatch: bool = False) -> Dict:
         """Replay the newest valid checkpoint from ``source``.
 
@@ -961,6 +1061,14 @@ class ContextService:
         restored = self.tree.restore_rows(state.rows)
         self.metrics.count("recovered", restored)
         self.engine.advance_epoch_to(state.epoch)
+        if self._segments is not None:
+            # Recovered counts were either flushed to segments before
+            # the crash or lost with it; rebasing the writer's baseline
+            # keeps them from being re-emitted as a fresh delta.
+            self._segments.rebase(self.tree.rows())
+            self._segments.set_fingerprint(
+                self._fingerprint_of(self.engine.epoch)
+            )
         obs.counter("resilience.recoveries").inc()
         obs.histogram("resilience.recover_us").observe_us(
             (time.perf_counter() - t0) * 1e6
@@ -1024,6 +1132,47 @@ class ContextService:
             "gap_samples": gaps,
             "gap_free_samples": total - gaps,
         }
+
+    def query(self):
+        """The durable :class:`~repro.query.engine.QueryEngine`.
+
+        Answers come from the flushed segments (refreshed on every
+        call), not from process memory: time-windowed top-K, window
+        diffs, rollups, flame-graph export — see ``docs/QUERY.md``.
+        Raises :class:`QueryError` without a ``segment_dir``.
+        """
+        if self._segments is None:
+            raise QueryError(
+                "no segment directory configured; set "
+                "ServiceConfig.segment_dir to enable the query layer"
+            )
+        if self._query_engine is None:
+            from repro.query.engine import QueryEngine
+
+            self._query_engine = QueryEngine(self._segments.store)
+        return self._query_engine.refresh()
+
+    def forensics(self) -> List[dict]:
+        """Dead letters joined to the plan epoch that explains them.
+
+        Groups the quarantine queue by (epoch, plan fingerprint) and
+        attaches each epoch's recorded :class:`GraphDelta` summary plus
+        the segments carrying traffic decoded under the same plan —
+        the UCP forensics query, served without a segment store too
+        (the segment join is just empty then).
+        """
+        from repro.query.engine import ucp_forensics
+
+        segments = (
+            self._segments.store.segments()
+            if self._segments is not None
+            else None
+        )
+        return ucp_forensics(
+            self.dead_letters(),
+            epoch_history=self._epoch_history,
+            segments=segments,
+        )
 
     def report(self) -> ContextTreeReport:
         """The merged calling-context tree (a fresh copy)."""
@@ -1097,6 +1246,9 @@ class ContextService:
         self.metrics.observe_store(store_stats)
         out["store"] = store_stats
         out["resilience"] = self.resilience_stats()
+        out["segments"] = (
+            self._segments.stats() if self._segments is not None else None
+        )
         return out
 
     def stats(self) -> Dict[str, object]:

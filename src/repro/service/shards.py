@@ -321,6 +321,13 @@ class ShardedContextTree:
         ``(path, count, gap_count, epoch)`` — everything
         :meth:`restore_rows` needs to rebuild counts, leaf rollups, gap
         accounting, and the per-epoch breakdown.
+
+        Rows come back in a **stable** order — sorted by (path, epoch),
+        never by trie-append or dict-insertion order — so two trees
+        holding the same aggregate state snapshot to identical row
+        lists regardless of how ingest interleaved. Checkpoints and
+        query segments written from these rows are therefore
+        byte-deterministic.
         """
         out: List[Tuple[Path, int, int, int]] = []
         for shard in self._shards:
@@ -331,6 +338,7 @@ class ShardedContextTree:
                 ]
             for pid, epoch, count, gaps in rows:
                 out.append((self.store.path(pid), count, gaps, epoch))
+        out.sort(key=lambda row: (row[0], row[3]))
         return out
 
     def restore_rows(self, rows, *, default_epoch: int = 0) -> int:

@@ -272,6 +272,33 @@ class ContextStore:
             return name_id
 
     # ------------------------------------------------------------------
+    # Stable iteration (deterministic snapshots)
+    # ------------------------------------------------------------------
+    def snapshot_ids(self) -> List[int]:
+        """Every retained pid, in a **stable** order.
+
+        Trie node ids are handed out in append order, so two stores
+        holding the identical context *set* can number (and iterate)
+        them differently when ingest interleaved differently. Snapshot
+        consumers — segment writers, checkpoint diffing, any "same
+        contexts ⇒ same bytes" contract — need an order that depends
+        only on the contents: pids here are sorted by their decoded
+        path (lexicographic), which is unique per pid by construction.
+        """
+        with self._lock:
+            pids = list(self._paths)
+        return sorted(pids, key=self.path)
+
+    def iter_paths(self) -> List[Tuple[int, Tuple[str, ...]]]:
+        """``(pid, path)`` for every retained context, stable order.
+
+        The companion of :meth:`snapshot_ids` for consumers that want
+        the decoded paths too (one lock round-trip per pid; the hot
+        blocks keep repeated prefix walks cheap).
+        """
+        return [(pid, self.path(pid)) for pid in self.snapshot_ids()]
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         """Distinct retained contexts (pids handed out)."""
         with self._lock:

@@ -1,0 +1,127 @@
+"""Manifest + SegmentStore: cache-not-truth, forward compat, orphans."""
+
+import json
+import os
+import zlib
+
+from repro.query.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    SegmentStore,
+    load_manifest,
+    write_manifest,
+)
+from repro.query.segment import SegmentState, segment_name, write_segment
+
+
+def state(t_lo=0.0, t_hi=10.0, n=3, epoch=0):
+    rows = tuple(
+        (("main", f"ctx{i}"), i + 1, 0, epoch) for i in range(n)
+    )
+    return SegmentState(t_lo=t_lo, t_hi=t_hi, fingerprint="fp", rows=rows)
+
+
+def _line(payload):
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x} {body}\n"
+
+
+class TestManifestFile:
+    def test_round_trip(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        entries = load_manifest(str(tmp_path))
+        assert entries is not None
+        assert [e["seq"] for e in entries] == [1, 2]
+        assert entries[0]["t_lo"] == 0.0
+        assert entries[1]["t_hi"] == 20.0
+
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert load_manifest(str(tmp_path)) is None
+
+    def test_torn_manifest_is_none(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state())
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) - 5])
+        assert load_manifest(str(tmp_path)) is None
+
+    def test_newer_version_falls_back(self, tmp_path):
+        """The v(N+1) forward-compat stub: unknown manifest versions are
+        not an error — readers degrade to the directory scan."""
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        lines = open(path).readlines()
+        header = json.loads(lines[0].split(" ", 1)[1])
+        header["version"] = MANIFEST_VERSION + 1
+        lines[0] = _line(header)
+        open(path, "w").writelines(lines)
+        assert load_manifest(str(tmp_path)) is None
+        fresh = SegmentStore(str(tmp_path))
+        segs = fresh.refresh()
+        assert [s.seq for s in segs] == [1]
+        assert fresh.manifest_fallbacks == 1
+        assert fresh.rejected == 0
+
+    def test_write_manifest_is_atomic_replace(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state())
+        write_manifest(str(tmp_path), store.segments())
+        names = os.listdir(str(tmp_path))
+        assert MANIFEST_NAME in names
+        assert not any(n.startswith(".tmp-manifest") for n in names)
+
+
+class TestSegmentStore:
+    def test_append_assigns_increasing_seqs(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        p1 = store.append(state(0, 10))
+        p2 = store.append(state(10, 20))
+        assert os.path.basename(p1) == segment_name(1)
+        assert os.path.basename(p2) == segment_name(2)
+
+    def test_seq_never_reuses_invalid_files(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        # A corrupt file squats on seq 5; the next append must go to 6.
+        with open(os.path.join(str(tmp_path), segment_name(5)), "wb") as fh:
+            fh.write(b"junk")
+        path = store.append(state(10, 20))
+        assert os.path.basename(path) == segment_name(6)
+
+    def test_orphan_segment_adopted_from_scan(self, tmp_path):
+        """A crash between segment rename and manifest rewrite leaves an
+        orphan; refresh() must serve it anyway."""
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        write_segment(str(tmp_path), 9, state(90, 100))  # not in manifest
+        fresh = SegmentStore(str(tmp_path))
+        assert [s.seq for s in fresh.refresh()] == [1, 9]
+
+    def test_corrupt_segment_skipped_and_counted(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        with open(os.path.join(str(tmp_path), segment_name(2)), "wb") as fh:
+            fh.write(b"\x00garbage")
+        fresh = SegmentStore(str(tmp_path))
+        assert [s.seq for s in fresh.refresh()] == [1]
+        assert fresh.rejected == 1
+
+    def test_stale_manifest_entry_not_served(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        os.unlink(os.path.join(str(tmp_path), segment_name(2)))
+        fresh = SegmentStore(str(tmp_path))
+        assert [s.seq for s in fresh.refresh()] == [1]
+
+    def test_stats(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(n=4))
+        stats = store.stats()
+        assert stats["segments"] == 1
+        assert stats["rows"] == 4
+        assert stats["samples"] == 1 + 2 + 3 + 4

@@ -1,0 +1,131 @@
+"""SegmentWriter: delta flushing, determinism, rebase after recovery."""
+
+import os
+
+from repro.query.engine import QueryEngine
+from repro.query.writer import SegmentWriter
+from repro.service.shards import ShardedContextTree
+
+
+def make_writer(tmp_path, tree=None, start=100.0):
+    tree = tree if tree is not None else ShardedContextTree(2)
+    clock = [start]
+    writer = SegmentWriter(
+        tree, str(tmp_path), fingerprint="fp", clock=lambda: clock[0]
+    )
+    return tree, writer, clock
+
+
+class TestDeltaFlush:
+    def test_first_flush_writes_everything(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=5)
+        clock[0] = 110.0
+        path = writer.flush()
+        assert path is not None and os.path.exists(path)
+        seg = QueryEngine(str(tmp_path)).refresh().segments()[0]
+        assert seg.t_lo == 100.0 and seg.t_hi == 110.0
+        assert seg.rows == ((("a", "b"), 5, 0, 0),)
+
+    def test_empty_delta_writes_nothing(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a",), epoch=0)
+        writer.flush()
+        assert writer.flush() is None
+        assert writer.empty_flushes == 1
+        assert writer.flushes == 1
+
+    def test_second_flush_is_delta_only(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=5)
+        clock[0] = 110.0
+        writer.flush()
+        tree.add(("a", "b"), epoch=0, weight=2)
+        tree.add(("c",), epoch=0, weight=1)
+        clock[0] = 120.0
+        writer.flush()
+        segs = QueryEngine(str(tmp_path)).refresh().segments()
+        assert segs[1].rows == ((("a", "b"), 2, 0, 0), (("c",), 1, 0, 0))
+        # windows chain with no gap: [100,110) then [110,120)
+        assert segs[0].t_hi == segs[1].t_lo == 110.0
+        # summed over both segments the store equals the tree
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.top_contexts(5) == [(7, ("a", "b")), (1, ("c",))]
+
+    def test_failed_flush_keeps_baseline(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a",), epoch=0, weight=3)
+        clock[0] = 110.0
+
+        def crash(records):
+            raise OSError("chaos")
+
+        try:
+            writer.flush(fault=crash)
+        except OSError:
+            pass
+        assert writer.flushes == 0
+        # the retry covers the same delta — nothing lost
+        path = writer.flush()
+        assert path is not None
+        seg = QueryEngine(str(tmp_path)).refresh().segments()[0]
+        assert seg.rows == ((("a",), 3, 0, 0),)
+
+    def test_gap_counts_flow_through(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), True, 4, epoch=0)
+        clock[0] = 110.0
+        writer.flush()
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.ucp_stats() == {
+            "samples": 4, "gap_samples": 4, "gap_free_samples": 0,
+        }
+
+
+class TestDeterminism:
+    def test_byte_identical_across_append_orders(self, tmp_path):
+        paths = [("m", f"f{i}", f"c{i}") for i in range(40)]
+        blobs = []
+        for direction in (1, -1):
+            sub = tmp_path / f"d{direction}"
+            tree, writer, clock = make_writer(sub)
+            for p in paths[::direction]:
+                tree.add(p, epoch=0, weight=2)
+            clock[0] = 110.0
+            flushed = writer.flush()
+            blobs.append(open(flushed, "rb").read())
+        assert blobs[0] == blobs[1]
+
+
+class TestRebase:
+    def test_rebase_prevents_double_count(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=5)
+        clock[0] = 110.0
+        writer.flush()
+
+        # "crash + recover": a fresh tree restored from a checkpoint of
+        # the same rows, and a fresh writer rebased onto it.
+        recovered = ShardedContextTree(2)
+        recovered.restore_rows(tree.rows())
+        clock2 = [200.0]
+        writer2 = SegmentWriter(
+            recovered, str(tmp_path), fingerprint="fp",
+            clock=lambda: clock2[0],
+        )
+        writer2.rebase(recovered.rows())
+        assert writer2.flush() is None  # recovered counts are not new
+        recovered.add(("a", "b"), epoch=0, weight=1)
+        clock2[0] = 210.0
+        writer2.flush()
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.top_contexts(5) == [(6, ("a", "b"))]
+
+    def test_stats(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a",), epoch=0)
+        writer.flush()
+        stats = writer.stats()
+        assert stats["flushes"] == 1
+        assert stats["segments"] == 1
+        assert stats["baseline_rows"] == 1

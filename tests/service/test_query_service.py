@@ -1,0 +1,202 @@
+"""ContextService + repro.query: flush, query parity, forensics join."""
+
+import random
+import time
+
+import pytest
+
+from repro.check.oracle import (
+    _collect_observations,
+    canonical_query_answers,
+    query_equivalence_failures,
+)
+from repro.errors import QueryError
+from repro.resilience import ResilienceConfig
+from repro.resilience.checkpoint import plan_fingerprint
+from repro.runtime.plan import build_plan_from_graph
+from repro.service import ContextService, ServiceConfig
+from repro.workloads.paperfigures import figure5_graph
+
+
+@pytest.fixture
+def plan():
+    return build_plan_from_graph(figure5_graph())
+
+
+@pytest.fixture
+def observations(plan):
+    return _collect_observations(plan, random.Random(5), 24)
+
+
+def ingest_all(service, plan, observations):
+    for node, snap in observations:
+        service.submit(node, snap, plan=plan)
+
+
+def segment_config(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("shards", 2)
+    return ServiceConfig(segment_dir=str(tmp_path / "segments"), **kwargs)
+
+
+class TestFacade:
+    def test_query_requires_segment_dir(self, plan):
+        service = ContextService(plan)
+        with pytest.raises(QueryError):
+            service.query()
+        with pytest.raises(QueryError):
+            service.flush_segments()
+
+    def test_durable_answers_match_memory(self, plan, observations,
+                                          tmp_path):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        ingest_all(service, plan, observations)
+        service.flush()
+        assert service.flush_segments() is not None
+        assert service.flush_segments() is None  # nothing new
+        engine = service.query()
+        assert engine.top_contexts(10) == service.top_contexts(10)
+        assert engine.function_totals() == service.function_totals()
+        assert engine.ucp_stats() == service.ucp_stats()
+        service.stop()
+
+    def test_service_metrics_report_segments(self, plan, tmp_path):
+        service = ContextService(plan, segment_config(tmp_path))
+        assert service.service_metrics()["segments"]["segments"] == 0
+        plain = ContextService(plan)
+        assert plain.service_metrics()["segments"] is None
+
+
+class TestDaemonFlushing:
+    def test_daemon_flushes_segments_on_interval(self, plan, observations,
+                                                 tmp_path):
+        service = ContextService(
+            plan,
+            segment_config(tmp_path),
+            resilience=ResilienceConfig(
+                supervise=False,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                checkpoint_interval=0.02,
+                checkpoint_on_stop=False,
+            ),
+        )
+        service.start()
+        ingest_all(service, plan, observations)
+        service.flush()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if (
+                service._daemon.segments_written
+                and service._daemon.written
+            ):
+                break
+            time.sleep(0.01)
+        service.stop()
+        assert service._daemon.segments_written >= 1
+        assert service._daemon.written >= 1
+        assert service.query().top_contexts(10) == service.top_contexts(10)
+
+
+class TestCrashRecoveryEquivalence:
+    def test_query_answers_survive_crash(self, plan, observations,
+                                         tmp_path):
+        resilience = ResilienceConfig(
+            supervise=False,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_on_stop=False,
+        )
+        service = ContextService(
+            plan, segment_config(tmp_path), resilience=resilience
+        )
+        service.start()
+        mid = len(observations) // 2
+        ingest_all(service, plan, observations[:mid])
+        service.flush()
+        service.flush_segments()
+        ingest_all(service, plan, observations[mid:])
+        service.flush()
+        service.flush_segments()
+        service.checkpoint()
+        pre = canonical_query_answers(service.query())
+        service.stop()  # the crash: no flush, no checkpoint
+
+        fresh = ContextService(
+            plan, segment_config(tmp_path), resilience=resilience
+        )
+        fresh.recover(str(tmp_path / "ckpt"))
+        post = canonical_query_answers(fresh.query())
+        assert query_equivalence_failures(pre, post) == []
+        assert pre == post
+
+    def test_rebase_prevents_double_count_after_recovery(
+        self, plan, observations, tmp_path
+    ):
+        resilience = ResilienceConfig(
+            supervise=False,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_on_stop=False,
+        )
+        service = ContextService(
+            plan, segment_config(tmp_path), resilience=resilience
+        )
+        service.start()
+        ingest_all(service, plan, observations)
+        service.flush()
+        service.flush_segments()
+        service.checkpoint()
+        expected = service.query().top_contexts(10)
+        service.stop()
+
+        fresh = ContextService(
+            plan, segment_config(tmp_path), resilience=resilience
+        )
+        fresh.recover(str(tmp_path / "ckpt"))
+        # recovered counts must not flush again as a fresh delta
+        assert fresh.flush_segments() is None
+        assert fresh.query().top_contexts(10) == expected
+
+
+class TestForensics:
+    def test_dead_letters_carry_epoch_fingerprint(self, plan, tmp_path):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        service.submit("not-a-node", ((), 0))
+        service.flush()
+        service.stop()
+        (letter,) = service.dead_letters()
+        assert letter.epoch == 0
+        assert letter.fingerprint == plan_fingerprint(plan)
+
+    def test_epoch_history_records_installs(self, plan):
+        service = ContextService(plan)
+        history = service.epoch_history()
+        assert history[0]["fingerprint"] == plan_fingerprint(plan)
+        assert history[0]["delta"] is None
+        new_epoch = service.install_plan(plan)
+        history = service.epoch_history()
+        assert set(history) == {0, new_epoch}
+        assert history[new_epoch]["delta"] is None
+
+    def test_forensics_joins_letters_to_history(self, plan, tmp_path):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        service.submit("not-a-node", ((), 0))
+        service.flush()
+        service.install_plan(plan)  # supersede epoch 0
+        service.stop()
+        (group,) = service.forensics()
+        assert group["epoch"] == 0
+        assert group["letters"] == 1
+        assert group["fingerprint_match"]
+        assert group["superseded"]
+        assert group["errors"] == {"DecodingError": 1}
+
+    def test_forensics_without_segment_dir(self, plan):
+        service = ContextService(plan)
+        service.start()
+        service.submit("not-a-node", ((), 0))
+        service.flush()
+        service.stop()
+        (group,) = service.forensics()
+        assert group["segments"] == []

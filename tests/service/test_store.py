@@ -181,3 +181,32 @@ class TestCorruption:
                 with pytest.raises(StoreCorruptionError):
                     store.path(pid)
                 store._hot.clear()
+
+
+class TestSnapshotOrder:
+    def test_snapshot_ids_covers_every_interned_context(self):
+        store = ContextStore()
+        pids = fill(store)
+        assert set(store.snapshot_ids()) == set(pids.values())
+
+    def test_order_is_content_dependent_not_insertion_dependent(self):
+        """Same contexts, different intern order -> same path sequence.
+
+        This is what makes segment/checkpoint writes byte-deterministic:
+        iteration follows the decoded paths, not the intern history.
+        """
+        forward, backward = ContextStore(), ContextStore()
+        fill(forward, PATHS)
+        fill(backward, list(reversed(PATHS)))
+        assert (
+            [forward.path(pid) for pid in forward.snapshot_ids()]
+            == [backward.path(pid) for pid in backward.snapshot_ids()]
+            == sorted(PATHS)
+        )
+
+    def test_iter_paths_pairs_pid_with_path(self):
+        store = ContextStore()
+        pids = fill(store)
+        for pid, path in store.iter_paths():
+            assert pids[path] == pid
+        assert [p for _pid, p in store.iter_paths()] == sorted(PATHS)
