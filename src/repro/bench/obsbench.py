@@ -28,8 +28,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.analysis.incremental import GraphDelta
-from repro.bench.reporting import Column, render_table, sci
-from repro.bench.servebench import write_bench_json
+from repro.bench.reporting import (
+    Column,
+    render_table,
+    sci,
+    write_bench_json,
+)
 from repro.core.widths import Width
 from repro.graph.callgraph import CallGraph
 from repro.runtime.agent import DeltaPathProbe
@@ -38,9 +42,11 @@ from repro.service import ContextService
 
 __all__ = [
     "probe_overhead_study",
+    "profiler_overhead_study",
     "trace_layers_demo",
     "obs_bench",
     "render_obs_bench",
+    "run",
     "write_bench_json",
 ]
 
@@ -50,6 +56,11 @@ SMOKE_ITERATIONS = 60
 DEFAULT_REPEATS = 5
 SMOKE_REPEATS = 2
 DEFAULT_SAMPLE_RATE = 64
+#: Default sampling-profiler rate (ticks per second) under test.
+DEFAULT_PROFILE_HZ = 100.0
+#: The acceptance bar: the always-on profiler may slow the probe hot
+#: loop by at most this much at the default rate.
+PROFILER_TARGET_PCT = 5.0
 
 
 class _BaselineProbe(DeltaPathProbe):
@@ -140,6 +151,99 @@ def probe_overhead_study(
     return rows
 
 
+def _ops_per_s(probe: DeltaPathProbe, path, duration_s: float) -> float:
+    """Run full descend/snapshot/unwind cycles for ``duration_s``."""
+    probe.begin_execution("main")
+    probe.enter_function("main")
+    ops = 0
+    start = time.perf_counter()
+    deadline = start + duration_s
+    while time.perf_counter() < deadline:
+        for caller, label, callee in path:
+            probe.before_call(caller, label, callee)
+            probe.enter_function(callee)
+            probe.snapshot(callee)
+        for caller, label, callee in reversed(path):
+            probe.exit_function(callee)
+            probe.after_call(caller, label, callee)
+        ops += len(path)
+    elapsed = time.perf_counter() - start
+    probe.end_execution()
+    return ops / elapsed if elapsed else 0.0
+
+
+def profiler_overhead_study(
+    *,
+    depth: int = DEFAULT_DEPTH,
+    repeats: int = DEFAULT_REPEATS,
+    hz: float = DEFAULT_PROFILE_HZ,
+    duration_s: float = 0.4,
+) -> Dict[str, object]:
+    """What the always-on sampling profiler costs the code it profiles.
+
+    The probe hot loop runs with no profiler and with a
+    :class:`~repro.obs.profiler.SamplingProfiler` ticking at ``hz`` in
+    the background, interleaved best-of-``repeats`` (noise only ever
+    inflates). Each timed run lasts ``duration_s`` of wall clock — many
+    tick periods, so the comparison measures steady-state contention
+    instead of whether a tick happened to land inside a microscopic
+    window. The profiler's cost is per *tick*, not per operation — the
+    sampled threads pay only GIL contention — so the overhead bar
+    (≤ :data:`PROFILER_TARGET_PCT` %) holds regardless of how hot the
+    profiled code is. A separate busy window checks the folded output:
+    ``from_folded(folded())`` must reproduce the profiler's own
+    aggregation exactly and non-emptily.
+    """
+    from repro.obs.profiler import SamplingProfiler
+    from repro.query.flamegraph import from_folded
+
+    graph, path = _chain_workload(depth)
+    plan = build_plan_from_graph(graph, width=Width(32))
+    registry = obs.MetricsRegistry("profiler-bench")
+
+    runs: Dict[str, list] = {"off": [], "on": []}
+    duty_pct = 0.0
+    for _ in range(repeats):
+        runs["off"].append(
+            _ops_per_s(DeltaPathProbe(plan, cpt=True), path, duration_s)
+        )
+        profiler = SamplingProfiler(hz=hz, registry=registry)
+        with profiler:
+            runs["on"].append(
+                _ops_per_s(DeltaPathProbe(plan, cpt=True), path, duration_s)
+            )
+        duty_pct = max(duty_pct, profiler.stats()["duty_pct"])
+
+    best_off = 1e9 / max(runs["off"])
+    best_on = 1e9 / max(runs["on"])
+    overhead_pct = (best_on / best_off - 1.0) * 100.0 if best_off else 0.0
+
+    # Folded round trip on a window long enough to guarantee samples.
+    probe_profiler = SamplingProfiler(hz=max(hz, 200.0), registry=registry)
+    with probe_profiler:
+        end = time.perf_counter() + 0.25
+        while time.perf_counter() < end:
+            sum(i * i for i in range(128))
+    folded = probe_profiler.folded()
+    parsed = from_folded(folded)
+    round_trip_ok = bool(parsed) and parsed == probe_profiler.counts()
+
+    return {
+        "hz": hz,
+        "ns_per_op_off": best_off,
+        "ns_per_op_on": best_on,
+        "overhead_pct": round(overhead_pct, 2),
+        "duty_pct": duty_pct,
+        "target_pct": PROFILER_TARGET_PCT,
+        "within_target": overhead_pct <= PROFILER_TARGET_PCT,
+        "folded_stacks": len(parsed),
+        "folded_samples": sum(parsed.values()),
+        "round_trip_ok": round_trip_ok,
+        "repeats": repeats,
+        "duration_s": duration_s,
+    }
+
+
 def trace_layers_demo() -> Dict[str, object]:
     """One traced lifecycle touching every instrumented layer.
 
@@ -209,6 +313,11 @@ def obs_bench(
         repeats=repeats,
         sample_rate=sample_rate,
     )
+    profiler = profiler_overhead_study(
+        depth=depth,
+        repeats=repeats,
+        duration_s=0.15 if smoke else 0.4,
+    )
     trace = trace_layers_demo()
     return {
         "benchmark": "obs-bench",
@@ -220,6 +329,7 @@ def obs_bench(
             "sample_rate": sample_rate,
         },
         "overhead": overhead,
+        "profiler": profiler,
         "trace": trace,
         "registry": obs.flatten(),
     }
@@ -245,6 +355,16 @@ def render_obs_bench(result: Dict[str, object]) -> str:
         ),
         "",
     ]
+    profiler = result["profiler"]
+    verdict = "within" if profiler["within_target"] else "OVER"
+    lines.append(
+        f"sampling profiler at {sci(profiler['hz'])} Hz: "
+        f"{sci(profiler['overhead_pct'])}% overhead ({verdict} the "
+        f"{sci(profiler['target_pct'])}% bar, duty "
+        f"{sci(profiler['duty_pct'])}%), folded round-trip "
+        f"{'ok' if profiler['round_trip_ok'] else 'FAILED'} over "
+        f"{profiler['folded_stacks']} stacks"
+    )
     trace = result["trace"]
     lines.append(
         f"trace demo: {trace['events']} events across layers: "
@@ -252,3 +372,45 @@ def render_obs_bench(result: Dict[str, object]) -> str:
     )
     lines.append("spans: " + ", ".join(trace["spans"]))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Matrix entry point
+# ----------------------------------------------------------------------
+def run(config) -> Dict[str, object]:
+    """One ``bench-matrix`` cell: observability self-cost under
+    ``config`` (honours ``quick``; the obs layer has no sharding or
+    ingest-path knobs, so other keys are accepted and ignored).
+
+    Gated metrics: the disabled-mode probe overhead (the paper's
+    steady-state "leave it on" cost) and the sampling-profiler overhead
+    at the default rate.
+    """
+    quick = bool(config.get("quick", True))
+    # The probe loop costs microseconds per run: the full study is cheap
+    # enough to keep at full size even in quick mode, and the gate needs
+    # the stability. Quick only shortens the profiler's timed windows.
+    overhead = probe_overhead_study(
+        iterations=DEFAULT_ITERATIONS, repeats=DEFAULT_REPEATS
+    )
+    profiler = profiler_overhead_study(
+        repeats=SMOKE_REPEATS if quick else DEFAULT_REPEATS,
+        duration_s=0.15 if quick else 0.4,
+    )
+    by_config = {row["config"]: row for row in overhead}
+    metrics = {
+        "probe_disabled_overhead_pct": by_config["disabled"]["overhead_pct"],
+        "probe_sampled_overhead_pct": by_config["sampled"]["overhead_pct"],
+        "probe_ns_per_op": by_config["disabled"]["ns_per_op"],
+        "profiler_overhead_pct": profiler["overhead_pct"],
+        "profiler_duty_pct": profiler["duty_pct"],
+        "profiler_round_trip_ok": profiler["round_trip_ok"],
+    }
+    return {
+        "target": "obs",
+        "metrics": metrics,
+        "gated": {
+            "probe_overhead_pct": by_config["disabled"]["overhead_pct"],
+            "profiler_overhead_pct": profiler["overhead_pct"],
+        },
+    }

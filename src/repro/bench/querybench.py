@@ -17,21 +17,25 @@ run covers the acceptance shape: 20k contexts across 16 segments.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import statistics
 import tempfile
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.bench.reporting import Column, render_table, sci
+from repro.bench.reporting import (
+    Column,
+    render_table,
+    sci,
+    write_bench_json,
+)
 from repro.query.engine import QueryEngine
 from repro.query.flamegraph import from_folded
 from repro.query.manifest import SegmentStore
 from repro.query.segment import SegmentState
 
-__all__ = ["query_bench", "render_query_bench", "write_bench_json"]
+__all__ = ["query_bench", "render_query_bench", "run", "write_bench_json"]
 
 DEFAULT_CONTEXTS = 20_000
 DEFAULT_SEGMENTS = 16
@@ -200,6 +204,40 @@ def query_bench(
     }
 
 
+# ----------------------------------------------------------------------
+# Matrix entry point
+# ----------------------------------------------------------------------
+def run(config: Mapping[str, object]) -> Dict[str, object]:
+    """One ``bench-matrix`` cell: segment write + windowed query latency
+    under ``config`` (honours ``quick`` and ``seed``; the store shape is
+    fixed so latency numbers stay comparable across configurations).
+
+    Gated metrics: windowed top-K p95 latency (the interactive-query
+    budget) and segment write throughput (the flush-path budget).
+    """
+    quick = bool(config.get("quick", True))
+    seed = int(config.get("seed", 1))
+    result = query_bench(smoke=quick, seed=seed)
+    write, query = result["write"], result["query"]
+    metrics = {
+        "topk_ms_mean": query["topk_ms_mean"],
+        "topk_ms_p95": query["topk_ms_p95"],
+        "rollup_ms": query["rollup_ms"],
+        "flame_ms": query["flame_ms"],
+        "round_trip_ok": query["round_trip_ok"],
+        "write_rows_per_s": write["rows_per_s"],
+        "load_ms": query["load_ms"],
+    }
+    return {
+        "target": "query",
+        "metrics": metrics,
+        "gated": {
+            "topk_ms_p95": query["topk_ms_p95"],
+            "write_rows_per_s": write["rows_per_s"],
+        },
+    }
+
+
 _WRITE_COLUMNS: List[Column] = [
     ("segments", "segments", sci),
     ("rows", "rows", sci),
@@ -247,7 +285,3 @@ def render_query_bench(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def write_bench_json(result: Dict[str, object], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(result, fh, indent=2, sort_keys=True)
-        fh.write("\n")

@@ -1,10 +1,28 @@
-"""Plain-text table rendering for experiment output."""
+"""Plain-text table rendering and stamped BENCH_*.json writing.
+
+Every benchmark artifact goes through :func:`write_bench_json`, which
+stamps the result with ``schema_version``, ``commit`` and ``timestamp``
+so a BENCH file (and every history entry the matrix harness copies out
+of one) is self-describing: you can always answer "which code produced
+this number, and when".
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, Union
+import json
+import subprocess
+import time
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
-__all__ = ["Column", "render_table", "sci", "geomean"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Column",
+    "bench_stamp",
+    "geomean",
+    "render_table",
+    "sci",
+    "write_bench_json",
+]
 
 Column = Tuple[str, str, Callable[[object], str]]
 
@@ -60,3 +78,46 @@ def geomean(values: Sequence[float]) -> float:
     for value in values:
         product *= value
     return product ** (1.0 / len(values))
+
+
+#: Version of the stamped BENCH_*.json envelope. 2 added the
+#: ``schema_version``/``commit``/``timestamp`` stamp itself.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_commit() -> str:
+    """The current commit (short), or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def bench_stamp() -> Dict[str, object]:
+    """The self-description stamp shared by every BENCH artifact."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def write_bench_json(result: Dict[str, object], path: str) -> None:
+    """Write ``result`` as a stamped, sorted, indented JSON artifact.
+
+    The stamp never overwrites fields the benchmark set itself (the
+    matrix harness stamps once and fans the same identity out to its
+    history entries).
+    """
+    stamped = dict(bench_stamp())
+    stamped.update(result)
+    with open(path, "w") as fh:
+        json.dump(stamped, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -21,13 +21,17 @@ Two studies:
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.bench.reporting import Column, render_table, sci
+from repro.bench.reporting import (
+    Column,
+    render_table,
+    sci,
+    write_bench_json,
+)
 from repro.bench.servebench import build_workload, _stream
 from repro.resilience import ResilienceConfig
 from repro.resilience.checkpoint import (
@@ -42,6 +46,7 @@ __all__ = [
     "recovery_study",
     "resilience_bench",
     "render_resilience_bench",
+    "run",
     "write_bench_json",
 ]
 
@@ -209,6 +214,43 @@ def resilience_bench(
     }
 
 
+# ----------------------------------------------------------------------
+# Matrix entry point
+# ----------------------------------------------------------------------
+def run(config: Mapping[str, object]) -> Dict[str, object]:
+    """One ``bench-matrix`` cell: steady-state resilience overhead and
+    recovery throughput under ``config`` (honours ``quick`` and
+    ``seed``; the studies fix their own service shape so plain-vs-armed
+    stays an apples-to-apples pair).
+
+    Gated metric: the steady-state overhead percentage — the "paying
+    for crash-safety must stay under 5%" bar, now watched per commit.
+    """
+    quick = bool(config.get("quick", True))
+    seed = int(config.get("seed", 1))
+    samples = SMOKE_SAMPLES if quick else DEFAULT_SAMPLES
+    sizes = SMOKE_SIZES if quick else DEFAULT_SIZES
+    overhead = overhead_study(samples=samples, seed=seed)
+    recovery = recovery_study(sizes=sizes, seed=seed)
+    largest = recovery[-1]
+    metrics = {
+        "overhead_pct": overhead["overhead_pct"],
+        "within_target": overhead["within_target"],
+        "plain_per_s": overhead["plain"]["per_s"],
+        "resilient_per_s": overhead["resilient"]["per_s"],
+        "recover_contexts_per_s": largest["contexts_per_s"],
+        "recover_ms": largest["recover_ms"],
+    }
+    return {
+        "target": "resilience",
+        "metrics": metrics,
+        "gated": {
+            "resilience_overhead_pct": overhead["overhead_pct"],
+            "recover_contexts_per_s": largest["contexts_per_s"],
+        },
+    }
+
+
 _OVERHEAD_COLUMNS: List[Column] = [
     ("config", "config", str),
     ("samples", "samples", sci),
@@ -255,7 +297,3 @@ def render_resilience_bench(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def write_bench_json(result: Dict[str, object], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(result, fh, indent=2, sort_keys=True)
-        fh.write("\n")

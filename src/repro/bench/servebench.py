@@ -21,14 +21,18 @@ where a few contexts dominate):
 
 from __future__ import annotations
 
-import json
 import random
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.incremental import GraphDelta
-from repro.bench.reporting import Column, render_table, sci
+from repro.bench.reporting import (
+    Column,
+    render_table,
+    sci,
+    write_bench_json,
+)
 from repro.core.widths import Width
 from repro.graph.callgraph import CallGraph
 from repro.runtime.agent import DeltaPathProbe
@@ -44,6 +48,7 @@ __all__ = [
     "store_study",
     "serve_bench",
     "render_serve_bench",
+    "run",
     "write_bench_json",
 ]
 
@@ -579,6 +584,130 @@ def serve_bench(
     }
 
 
+# ----------------------------------------------------------------------
+# Matrix entry point
+# ----------------------------------------------------------------------
+def run(config: Mapping[str, object]) -> Dict[str, object]:
+    """One ``bench-matrix`` cell: decode, ingest and store footprint
+    under a named configuration.
+
+    ``config`` is a plain mapping from :mod:`repro.bench.matrix` — the
+    knobs this target honours are ``cached``, ``shards``, ``workers``,
+    ``resilience``, ``batch``, ``compression``, ``quick`` and ``seed``.
+    Returns flat scalar ``metrics`` plus the ``gated`` subset the
+    regression gate diffs against the committed baseline. Gated keys are
+    config-independent (every cell reports the same names), so each
+    configuration gates against its *own* history.
+    """
+    import warnings
+
+    from repro.service import ContextStore, SampleBatch
+
+    quick = bool(config.get("quick", True))
+    seed = int(config.get("seed", 1))
+    cached = bool(config.get("cached", True))
+    shards = int(config.get("shards", 8))
+    workers = int(config.get("workers", 2))
+    batch_mode = bool(config.get("batch", True))
+    compression = str(config.get("compression", "zlib"))
+    batch_max = 2048
+
+    contexts = QUICK_CONTEXTS if quick else DEFAULT_CONTEXTS
+    samples = QUICK_SAMPLES if quick else DEFAULT_SAMPLES
+    _graph, plan, observations, weights = build_workload(
+        contexts=contexts, seed=seed
+    )
+    stream = _stream(observations, weights, samples, seed)
+
+    # Decode: the configured engine vs the always-uncached floor.
+    uncached = decode_study(plan, stream, piece_cache=0, context_cache=0)
+    if cached:
+        decode = decode_study(plan, stream)
+    else:
+        decode = decode_study(plan, stream, piece_cache=0, context_cache=0)
+    decode_speedup = (
+        decode["per_s"] / uncached["per_s"] if uncached["per_s"] else 0.0
+    )
+
+    # Ingest: the configured service, batch or scalar path.
+    resilience = None
+    if config.get("resilience"):
+        from repro.resilience import ResilienceConfig
+
+        resilience = ResilienceConfig(seed=seed)
+    cache_size = (1 << 16) if cached else 0
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            shards=shards,
+            workers=workers,
+            backpressure="block",
+            queue_capacity=4096,
+            batch_max=batch_max,
+            store_compression=compression,
+            piece_cache=cache_size,
+            context_cache=cache_size,
+        ),
+        resilience=resilience,
+    )
+    service.start()
+    start = time.perf_counter()
+    if batch_mode:
+        for lo in range(0, len(stream), batch_max):
+            service.submit_batch(
+                SampleBatch.from_observations(
+                    stream[lo:lo + batch_max], epoch=0
+                )
+            )
+    else:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for node, snapshot in stream:
+                service.submit(node, snapshot)
+    service.flush(timeout=240)
+    ingest_elapsed = time.perf_counter() - start
+    acct = service.accounting()
+    service.stop()
+    ingest_per_s = (
+        acct["submitted"] / ingest_elapsed if ingest_elapsed else 0.0
+    )
+
+    # Retained footprint of the configured store compression. The
+    # block size is shrunk so the workload actually seals blocks —
+    # compression only applies at sealing, and an all-open-tail store
+    # would report the same bytes for every compression setting.
+    paths = _cct_paths(2000 if quick else 8000, seed=seed)
+    store = ContextStore(compression=compression, pid_cache=0, block_size=512)
+    for path in paths:
+        store.intern(path)
+    bytes_per_context = store.stats()["bytes_per_context"]
+    del store
+
+    metrics = {
+        "decode_per_s": decode["per_s"],
+        "decode_uncached_per_s": uncached["per_s"],
+        "decode_speedup_x": decode_speedup,
+        "ingest_per_s": ingest_per_s,
+        "ingest_samples": acct["submitted"],
+        "ingest_aggregated": acct["aggregated"],
+        "ingest_lost": acct["submitted"] - (
+            acct["aggregated"] + acct["dead_lettered"]
+            + acct["epoch_mismatches"] + acct["dropped"]
+            + acct["fallback_dropped"] + acct["fallback_pending"]
+        ),
+        "store_bytes_per_context": bytes_per_context,
+    }
+    return {
+        "target": "serve",
+        "metrics": metrics,
+        "gated": {
+            "ingest_per_s": ingest_per_s,
+            "decode_speedup_x": decode_speedup,
+            "store_bytes_per_context": bytes_per_context,
+        },
+    }
+
+
 _DECODE_COLUMNS: List[Column] = [
     ("config", "config", str),
     ("samples", "samples", sci),
@@ -642,7 +771,3 @@ def render_serve_bench(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def write_bench_json(result: Dict[str, object], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(result, fh, indent=2, sort_keys=True)
-        fh.write("\n")

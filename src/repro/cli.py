@@ -18,6 +18,9 @@ Usage::
     python -m repro query --dir segments/ [--window LO:HI] [--flame PATH]
     python -m repro query-bench [--smoke] [--json BENCH_query.json]
     python -m repro resilience-bench [--smoke] [--json PATH]
+    python -m repro bench-matrix [--configs all] [--targets all]
+        [--quick] [--jobs N] [--baseline BENCH_matrix.json]
+        [--json BENCH_matrix.json]
     python -m repro decode-demo
     python -m repro list
 
@@ -335,6 +338,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full result as JSON (BENCH_resilience.json)",
     )
 
+    pm = _command(
+        sub,
+        "bench-matrix",
+        "configs x targets benchmark matrix with a regression gate",
+    )
+    pm.add_argument(
+        "--configs", nargs="*", default=None, metavar="NAME",
+        help="configurations to run ('all' or omit for every one)",
+    )
+    pm.add_argument(
+        "--targets", nargs="*", default=None, metavar="NAME",
+        help="bench targets to run ('all' or omit for every one)",
+    )
+    pm.add_argument(
+        "--quick", action="store_true",
+        help="smoke-size workloads per cell (CI size)",
+    )
+    pm.add_argument(
+        "--jobs", type=int, default=1,
+        help="run cells in a thread pool of this size (default: 1; "
+             "parallel runs blur absolute throughput numbers)",
+    )
+    pm.add_argument("--seed", type=int, default=1)
+    pm.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="gate against this committed BENCH_matrix.json "
+             "(default: the --json path when it already exists)",
+    )
+    pm.add_argument(
+        "--gate-tolerance", type=float, default=None,
+        help="relative regression tolerance (default: 0.10 = 10%%)",
+    )
+    pm.add_argument(
+        "--no-gate", action="store_true",
+        help="run and write the artifact without diffing a baseline",
+    )
+    pm.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the merged matrix artifact (BENCH_matrix.json)",
+    )
+
     _command(sub, "list", "list available benchmarks")
     _command(
         sub,
@@ -625,11 +669,79 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"\nwrote {args.json}")
         return 0
 
+    if args.command == "bench-matrix":
+        return _run_bench_matrix(args)
+
     if args.command == "decode-demo":
         _decode_demo()
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _run_bench_matrix(args: argparse.Namespace) -> int:
+    """The ``bench-matrix`` subcommand: run the cells, gate, write."""
+    import os
+
+    from repro.bench.matrix import (
+        DEFAULT_TOLERANCE,
+        MatrixError,
+        diff_against_baseline,
+        load_baseline,
+        render_matrix,
+        run_matrix,
+        write_matrix_json,
+    )
+
+    try:
+        result = run_matrix(
+            args.configs,
+            args.targets,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=max(1, args.jobs),
+            log=print,
+        )
+    except MatrixError as exc:
+        sys.exit(f"bench-matrix: {exc}")
+
+    print()
+    print(render_matrix(result))
+
+    # The committed artifact doubles as the baseline: gating against
+    # the --json path (when it already exists) is the default, so CI
+    # needs no extra flag to compare against what is in the tree.
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and args.json and os.path.exists(args.json):
+        baseline_path = args.json
+    if baseline_path is not None and not args.no_gate:
+        try:
+            baseline = load_baseline(baseline_path)
+        except MatrixError as exc:
+            sys.exit(f"bench-matrix: {exc}")
+
+    status = 0
+    if baseline is not None:
+        tolerance = (
+            args.gate_tolerance
+            if args.gate_tolerance is not None
+            else DEFAULT_TOLERANCE
+        )
+        report = diff_against_baseline(
+            result["gated"], baseline["gated"], tolerance=tolerance
+        )
+        print()
+        print(f"gate vs {baseline_path} (commit "
+              f"{baseline.get('commit', 'unknown')}):")
+        print(report.summary())
+        if not report.ok:
+            status = 1
+
+    if args.json:
+        write_matrix_json(result, args.json, baseline)
+        print(f"\nwrote {args.json}")
+    return status
 
 
 def _parse_window(spec: str) -> Tuple[float, float]:

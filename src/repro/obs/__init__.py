@@ -67,6 +67,7 @@ __all__ = [
     "expose_prometheus",
     "flatten",
     "gauge",
+    "get_profiler",
     "get_registry",
     "get_tracer",
     "histogram",
@@ -76,12 +77,15 @@ __all__ = [
     "set_tracer",
     "snapshot",
     "span",
+    "start_profiler",
+    "stop_profiler",
     "tracing_enabled",
 ]
 
 _registry = MetricsRegistry("repro")
 _tracer = Tracer(enabled=False)
 _probe_sample_rate = 0
+_profiler = None
 
 
 # ----------------------------------------------------------------------
@@ -175,3 +179,37 @@ def flatten() -> Dict[str, float]:
 
 def expose_prometheus() -> str:
     return _registry.expose_prometheus()
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+def get_profiler():
+    """The process-wide profiler, or ``None`` if never started."""
+    return _profiler
+
+
+def start_profiler(hz: float = 100.0, max_samples: int = 100_000):
+    """Start (or return the already-running) process-wide profiler.
+
+    The profiler registers its ``profile.*`` metrics on the default
+    registry. A second call while running returns the same instance;
+    call :func:`stop_profiler` first to change the rate.
+    """
+    global _profiler
+    from repro.obs.profiler import SamplingProfiler
+
+    if _profiler is not None and _profiler.running:
+        return _profiler
+    _profiler = SamplingProfiler(
+        hz=hz, max_samples=max_samples, registry=_registry
+    )
+    return _profiler.start()
+
+
+def stop_profiler() -> None:
+    """Stop the process-wide profiler if one is running."""
+    global _profiler
+    if _profiler is not None:
+        _profiler.stop()
+        _profiler = None

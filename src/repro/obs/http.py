@@ -1,0 +1,255 @@
+"""Live HTTP scrape surface over the registry, service and profiler.
+
+A tiny stdlib-only (``http.server``) endpoint so a running
+:class:`~repro.service.ContextService` is observable without restarts or
+log scraping:
+
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4), byte-identical
+  to :meth:`MetricsRegistry.expose_prometheus` on the same snapshot;
+* ``GET /health`` — process liveness (always 200 while the server runs)
+  plus uptime;
+* ``GET /ready`` — traffic-worthiness: 200 only while the service is
+  started, not degraded, and its circuit breaker is not open; 503 with
+  the failing reasons otherwise (the shape load balancers expect);
+* ``GET /snapshot`` — the flat dotted-name metric namespace as JSON;
+* ``GET /profile?seconds=N`` — folded flame-graph stacks from the
+  sampling profiler (the running one's last-N-seconds window, or a
+  temporary profiler spun up for N seconds when none is running).
+
+The server binds ``127.0.0.1`` on an ephemeral port by default: scrape
+surfaces expose internals, so reaching them from off-box is an explicit
+deployment decision (front it with a reverse proxy), not a default.
+Requests are served by daemon threads (``ThreadingHTTPServer``), so a
+slow ``/profile`` cannot block a ``/ready`` probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ObservabilityError
+
+__all__ = ["ObsHttpServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Cap on ``/profile?seconds=N`` so one request cannot hold a worker
+#: thread for minutes.
+MAX_PROFILE_SECONDS = 60.0
+
+
+class ObsHttpServer:
+    """Serve ``/metrics``, ``/health``, ``/ready``, ``/snapshot``,
+    ``/profile`` for one registry (and optionally one service).
+
+    ``registry`` defaults to the process-wide :mod:`repro.obs` registry.
+    ``service`` (a :class:`~repro.service.ContextService`) drives
+    ``/ready``; without one, readiness degenerates to liveness.
+    ``profiler`` defaults to whatever :func:`repro.obs.get_profiler`
+    returns at request time, so a profiler started after the server
+    still serves ``/profile`` windows.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        service=None,
+        profiler=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        self.registry = registry
+        self.service = service
+        self._profiler = profiler
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 -> the ephemeral port chosen)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsHttpServer":
+        if self._httpd is not None:
+            raise ObservabilityError("obs HTTP server already running")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies (status, content type, payload)
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> Tuple[int, str, bytes]:
+        text = self.registry.expose_prometheus()
+        return 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+
+    def render_health(self) -> Tuple[int, str, bytes]:
+        body = {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+        return 200, "application/json", _json_bytes(body)
+
+    def readiness(self) -> Tuple[bool, List[str], Dict[str, object]]:
+        """(ready?, failing reasons, detail) for the wired service."""
+        reasons: List[str] = []
+        detail: Dict[str, object] = {}
+        service = self.service
+        if service is None:
+            return True, reasons, {"service": None}
+        if not getattr(service, "_started", False):
+            reasons.append("service not started")
+        if getattr(service, "_stopped", False):
+            reasons.append("service stopped")
+        stats = service.resilience_stats()
+        if stats["degraded"]:
+            reasons.append("service degraded (worker restart budget spent)")
+        supervisor = stats["supervisor"]
+        if supervisor is not None:
+            detail["supervisor"] = supervisor["state"]
+            if supervisor["state"] == "degraded":
+                reasons.append("supervisor degraded")
+        breaker = stats["breaker"]
+        if breaker is not None:
+            detail["breaker"] = breaker["state"]
+            if breaker["state"] == "open":
+                reasons.append("circuit breaker open")
+        return not reasons, reasons, detail
+
+    def render_ready(self) -> Tuple[int, str, bytes]:
+        ready, reasons, detail = self.readiness()
+        body = {"ready": ready, "reasons": reasons, **detail}
+        return (200 if ready else 503), "application/json", _json_bytes(body)
+
+    def render_snapshot(self) -> Tuple[int, str, bytes]:
+        return 200, "application/json", _json_bytes(self.registry.flatten())
+
+    def render_profile(self, query: str) -> Tuple[int, str, bytes]:
+        params = parse_qs(query)
+        raw = params.get("seconds", ["1"])[0]
+        try:
+            seconds = float(raw)
+        except ValueError:
+            return _bad_request(f"seconds={raw!r} is not a number")
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            return _bad_request(
+                f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}]"
+            )
+        profiler = self._profiler
+        if profiler is None:
+            from repro import obs
+
+            profiler = obs.get_profiler()
+        if profiler is not None and profiler.running:
+            # Serve the trailing window of the always-on profiler;
+            # wait out any shortfall so the window is actually N deep.
+            time.sleep(seconds)
+            folded = profiler.folded(seconds=seconds)
+        else:
+            from repro.obs.profiler import SamplingProfiler
+
+            with SamplingProfiler(registry=self.registry) as temp:
+                time.sleep(seconds)
+                folded = temp.folded()
+        return 200, "text/plain; charset=utf-8", folded.encode("utf-8")
+
+
+def _json_bytes(body) -> bytes:
+    return (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _bad_request(message: str) -> Tuple[int, str, bytes]:
+    return 400, "application/json", _json_bytes({"error": message})
+
+
+def _make_handler(server: ObsHttpServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-obs"
+
+        def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+            parsed = urlparse(self.path)
+            server.registry.labeled_counter("obs.http_requests", 16).inc(
+                parsed.path
+            )
+            route = {
+                "/metrics": server.render_metrics,
+                "/health": server.render_health,
+                "/ready": server.render_ready,
+                "/snapshot": server.render_snapshot,
+            }.get(parsed.path)
+            try:
+                if route is not None:
+                    status, ctype, payload = route()
+                elif parsed.path == "/profile":
+                    status, ctype, payload = server.render_profile(
+                        parsed.query
+                    )
+                else:
+                    status, ctype, payload = 404, "application/json", (
+                        _json_bytes({"error": f"no route {parsed.path}"})
+                    )
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                status, ctype, payload = 500, "application/json", (
+                    _json_bytes({"error": f"{type(exc).__name__}: {exc}"})
+                )
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, fmt, *args):  # noqa: A003 - silence stderr
+            pass
+
+    return Handler

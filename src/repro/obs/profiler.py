@@ -1,0 +1,243 @@
+"""Wall-clock sampling profiler: always-on flame graphs for a live process.
+
+A background daemon thread wakes ``hz`` times per second, grabs every
+thread's current Python frame stack via :func:`sys._current_frames`, and
+appends one timestamped, root-first stack tuple per thread to a bounded
+ring buffer. Nothing is instrumented and no thread is interrupted — the
+profiled code pays zero cost between ticks, which is what makes the
+profiler safe to leave on in production (the paper's bar for the encoder
+itself: observability must cost less than the ≤5% probe budget).
+
+Frame names are sanitized into ``module:function:line`` tokens that are
+valid folded-stack frames (no ``;``, no whitespace), so
+:meth:`SamplingProfiler.folded` output round-trips exactly through
+:func:`repro.query.flamegraph.from_folded` and renders in any
+off-the-shelf flame-graph tool.
+
+The profiler reports on itself through the registry:
+
+* ``profile.samples`` — stacks captured (one per thread per tick);
+* ``profile.dropped`` — stacks evicted from the full ring buffer;
+* ``profile.ticks`` — sampling passes completed;
+* ``profile.tick_us`` — histogram of per-tick capture cost;
+* ``profile.running`` — gauge, 1 while the thread is alive.
+
+``stats()`` derives the *duty cycle* (fraction of wall time spent
+capturing) from ``tick_us`` — the honest measure of profiler overhead,
+since per-tick cost is independent of how much work the process does.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.query.flamegraph import to_folded
+
+__all__ = ["SamplingProfiler"]
+
+#: Characters the folded format forbids inside a frame name.
+_BAD = set("; \t\n\r\x0b\x0c")
+
+_Sample = Tuple[float, Tuple[str, ...]]
+
+
+def _frame_token(filename: str, func: str, lineno: int) -> str:
+    """``module:function:line``, sanitized for the folded format."""
+    module = filename.rsplit("/", 1)[-1]
+    if module.endswith(".py"):
+        module = module[:-3]
+    token = f"{module}:{func}:{lineno}"
+    if _BAD.intersection(token):
+        token = "".join("_" if ch in _BAD else ch for ch in token)
+    return token or "unknown"
+
+
+def _capture_stack(frame, max_depth: int) -> Tuple[str, ...]:
+    """Leaf frame -> root-first tuple of folded-safe frame names."""
+    out: List[str] = []
+    while frame is not None and len(out) < max_depth:
+        code = frame.f_code
+        out.append(_frame_token(code.co_filename, code.co_name, frame.f_lineno))
+        frame = frame.f_back
+    out.reverse()
+    return tuple(out)
+
+
+class SamplingProfiler:
+    """Background wall-clock sampler over :func:`sys._current_frames`.
+
+    ``hz`` is the target sampling rate (ticks per second); each tick
+    captures every live thread except the profiler's own. The buffer
+    holds at most ``max_samples`` stacks; when full, the oldest are
+    evicted and counted in ``profile.dropped`` — memory is bounded no
+    matter how long the profiler runs.
+    """
+
+    def __init__(
+        self,
+        hz: float = 100.0,
+        max_samples: int = 100_000,
+        max_depth: int = 128,
+        registry=None,
+    ):
+        if hz <= 0:
+            raise ObservabilityError("profiler hz must be > 0")
+        if max_samples < 1:
+            raise ObservabilityError("profiler max_samples must be >= 1")
+        if max_depth < 1:
+            raise ObservabilityError("profiler max_depth must be >= 1")
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        self.hz = float(hz)
+        self.max_samples = int(max_samples)
+        self.max_depth = int(max_depth)
+        self._interval = 1.0 / self.hz
+        self._samples: Deque[_Sample] = deque()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._samples_total = registry.counter("profile.samples")
+        self._dropped_total = registry.counter("profile.dropped")
+        self._ticks_total = registry.counter("profile.ticks")
+        self._tick_us = registry.histogram("profile.tick_us")
+        self._running_gauge = registry.gauge("profile.running")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            raise ObservabilityError("profiler already running")
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        self._running_gauge.set(1)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout)
+        if thread.is_alive():  # pragma: no cover - join timeout
+            raise ObservabilityError("profiler thread did not stop")
+        self._thread = None
+        self._running_gauge.set(0)
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        interval = self._interval
+        next_tick = time.monotonic()
+        while not self._stop.is_set():
+            started = time.monotonic()
+            self._tick(started)
+            self._tick_us.observe_us((time.monotonic() - started) * 1e6)
+            next_tick += interval
+            delay = next_tick - time.monotonic()
+            if delay <= 0:
+                # Fell behind (heavy GIL contention): resynchronize
+                # rather than spinning to catch up.
+                next_tick = time.monotonic() + interval
+                delay = interval
+            self._stop.wait(delay)
+
+    def _tick(self, now: float) -> None:
+        me = threading.get_ident()
+        frames = sys._current_frames()
+        captured = [
+            (now, _capture_stack(frame, self.max_depth))
+            for ident, frame in frames.items()
+            if ident != me
+        ]
+        del frames  # drop the frame references promptly
+        if not captured:  # pragma: no cover - always >= main thread
+            return
+        dropped = 0
+        with self._lock:
+            samples = self._samples
+            samples.extend(captured)
+            overflow = len(samples) - self.max_samples
+            if overflow > 0:
+                dropped = overflow
+                for _ in range(overflow):
+                    samples.popleft()
+        self._samples_total.inc(len(captured))
+        if dropped:
+            self._dropped_total.inc(dropped)
+        self._ticks_total.inc()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def take_samples(self, seconds: Optional[float] = None) -> List[_Sample]:
+        """Timestamped samples, optionally only the last ``seconds``."""
+        with self._lock:
+            samples = list(self._samples)
+        if seconds is not None:
+            cutoff = time.monotonic() - seconds
+            samples = [s for s in samples if s[0] >= cutoff]
+        return samples
+
+    def counts(
+        self, seconds: Optional[float] = None
+    ) -> Dict[Tuple[str, ...], int]:
+        """Aggregate the buffer into ``{stack: samples}``."""
+        out: Dict[Tuple[str, ...], int] = {}
+        for _ts, stack in self.take_samples(seconds):
+            if stack:
+                out[stack] = out.get(stack, 0) + 1
+        return out
+
+    def folded(self, seconds: Optional[float] = None) -> str:
+        """The buffer as folded-stack text (``from_folded``-compatible)."""
+        return to_folded(self.counts(seconds))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Self-measured cost: tick cost, duty cycle, buffer state."""
+        snap = self._tick_us.snapshot()
+        elapsed = (
+            time.monotonic() - self._started_at if self._started_at else 0.0
+        )
+        duty_pct = (
+            100.0 * (snap["sum_us"] / 1e6) / elapsed if elapsed > 0 else 0.0
+        )
+        with self._lock:
+            buffered = len(self._samples)
+        return {
+            "hz": self.hz,
+            "ticks": snap["count"],
+            "tick_mean_us": snap["mean_us"],
+            "tick_p99_us": snap["p99_us"],
+            "duty_pct": round(duty_pct, 4),
+            "buffered": buffered,
+            "running": 1.0 if self.running else 0.0,
+        }

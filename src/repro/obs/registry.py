@@ -25,7 +25,7 @@ up in one namespace.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
 from repro.errors import ObservabilityError
 
@@ -157,23 +157,29 @@ class LatencyHistogram:
     def percentile_us(self, q: float) -> float:
         """Upper bucket bound holding the ``q``-quantile (0 < q <= 1)."""
         with self._lock:
-            if not self._total:
-                return 0.0
-            rank = q * self._total
-            seen = 0
-            for bucket, count in enumerate(self._counts):
-                seen += count
-                if seen >= rank:
-                    return float(2 ** (bucket + 1))
-            return float(2 ** self.BUCKETS)  # pragma: no cover
+            return _bucket_percentile(self._counts, self._total, q)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
+        """Derived stats plus the raw merge state (``buckets``/``sum_us``).
+
+        The raw fields make snapshots *mergeable*: two processes can each
+        ship their snapshot and :meth:`MetricsRegistry.merge` reconstructs
+        the union histogram exactly — the scrape-time primitive the
+        multi-process scale-out needs.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+            sum_us = self._sum_us
+            max_us = self._max_us
         return {
-            "count": self.count,
-            "mean_us": round(self.mean_us, 3),
-            "p50_us": self.percentile_us(0.50),
-            "p99_us": self.percentile_us(0.99),
-            "max_us": round(self.max_us, 3),
+            "count": total,
+            "mean_us": round(sum_us / total, 3) if total else 0.0,
+            "p50_us": _bucket_percentile(counts, total, 0.50),
+            "p99_us": _bucket_percentile(counts, total, 0.99),
+            "max_us": round(max_us, 3),
+            "sum_us": sum_us,
+            "buckets": counts,
         }
 
 
@@ -184,11 +190,17 @@ class LabeledCounter:
     later new label folds into :data:`OVERFLOW`. Existing labels keep
     counting exactly whatever the arrival order was, so hot labels that
     showed up early never lose precision to a late storm of unique ones.
+
+    Overflow is not silent: every increment that had to fold into
+    :data:`OVERFLOW` is also tallied in :attr:`overflowed`, which the
+    exporters surface as its own ``<name>.overflowed`` metric — a
+    cardinality-cap breach is an observable event, not a quiet loss of
+    label resolution.
     """
 
     OVERFLOW = "__other__"
 
-    __slots__ = ("name", "max_labels", "_counts", "_lock")
+    __slots__ = ("name", "max_labels", "_counts", "_overflowed", "_lock")
 
     def __init__(self, name: str, max_labels: int = 64):
         if max_labels < 1:
@@ -196,12 +208,14 @@ class LabeledCounter:
         self.name = name
         self.max_labels = max_labels
         self._counts: Dict[str, int] = {}
+        self._overflowed = 0
         self._lock = threading.Lock()
 
     def inc(self, label: str, delta: int = 1) -> None:
         with self._lock:
             if label not in self._counts and len(self._counts) >= self.max_labels:
                 label = self.OVERFLOW
+                self._overflowed += delta
             self._counts[label] = self._counts.get(label, 0) + delta
 
     @property
@@ -209,9 +223,33 @@ class LabeledCounter:
         with self._lock:
             return sum(self._counts.values())
 
+    @property
+    def overflowed(self) -> int:
+        """How many increments folded into the overflow bucket."""
+        with self._lock:
+            return self._overflowed
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return dict(self._counts)
+
+
+def _bucket_percentile(counts: List[int], total: int, q: float) -> float:
+    """Upper bucket bound holding the ``q``-quantile of ``counts``.
+
+    Shared by :meth:`LatencyHistogram.percentile_us` and
+    :meth:`MetricsRegistry.merge` so a merged snapshot reports exactly
+    the percentile the union histogram would.
+    """
+    if not total:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for bucket, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            return float(2 ** (bucket + 1))
+    return float(2 ** len(counts))  # pragma: no cover
 
 
 def _prom_name(*parts: str) -> str:
@@ -219,10 +257,14 @@ def _prom_name(*parts: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in out)
 
 
+#: Prometheus text-format label-value escapes: backslash, double quote
+#: and line feed (exposition format v0.0.4). Applied in a single pass so
+#: no rewrite can re-expose a character an earlier rewrite produced.
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
 def _prom_label_value(value: str) -> str:
-    return (
-        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
-    )
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
 
 
 class MetricsRegistry:
@@ -307,11 +349,17 @@ class MetricsRegistry:
             return list(self._instruments.items())
 
     def snapshot(self) -> Dict[str, object]:
-        """Structured snapshot: one dict per instrument kind + children."""
+        """Structured snapshot: one dict per instrument kind + children.
+
+        The result is self-describing and mergeable: histograms carry
+        their raw buckets and labeled counters their overflow tally, so
+        :meth:`merge` can reconstruct the union of several processes'
+        snapshots exactly.
+        """
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
-        histograms: Dict[str, Dict[str, float]] = {}
-        labeled: Dict[str, Dict[str, int]] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        labeled: Dict[str, Dict[str, object]] = {}
         for name, instrument in self._items():
             if isinstance(instrument, Counter):
                 counters[name] = instrument.value
@@ -320,7 +368,10 @@ class MetricsRegistry:
             elif isinstance(instrument, LatencyHistogram):
                 histograms[name] = instrument.snapshot()
             elif isinstance(instrument, LabeledCounter):
-                labeled[name] = instrument.snapshot()
+                labeled[name] = {
+                    "labels": instrument.snapshot(),
+                    "overflowed": instrument.overflowed,
+                }
         out: Dict[str, object] = {
             "counters": counters,
             "gauges": gauges,
@@ -334,6 +385,110 @@ class MetricsRegistry:
             out["children"] = children
         return out
 
+    @classmethod
+    def merge(cls, *snapshots: Mapping) -> Dict[str, object]:
+        """Merge :meth:`snapshot` dicts from several registries into one.
+
+        The per-process snapshot-merge primitive for multi-process
+        scale-out: each worker process ships its own snapshot and the
+        scrape endpoint serves the merged view. Rules per kind:
+
+        * **counters** sum (so do labeled counters, per label, plus
+          their ``overflowed`` tallies);
+        * **gauges** take the max — high-water-mark gauges merge
+          exactly, last-value gauges merge to the largest writer;
+        * **histograms** merge bucket-by-bucket, summing ``count`` /
+          ``sum_us`` and maxing ``max_us``, then re-derive
+          ``mean_us`` / ``p50_us`` / ``p99_us`` from the union — the
+          merged snapshot equals the snapshot one registry would have
+          produced had it seen every observation.
+
+        Children merge recursively by name. ``merge()`` of zero
+        snapshots is the empty snapshot.
+        """
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        hist_state: Dict[str, Dict[str, object]] = {}
+        labeled: Dict[str, Dict[str, object]] = {}
+        children: Dict[str, List[Mapping]] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                if name not in gauges or value > gauges[name]:
+                    gauges[name] = value
+            for name, hist in snap.get("histograms", {}).items():
+                try:
+                    buckets = list(hist["buckets"])
+                    count = hist["count"]
+                    sum_us = hist["sum_us"]
+                    max_us = hist["max_us"]
+                except (KeyError, TypeError):
+                    raise ObservabilityError(
+                        f"histogram snapshot {name!r} is not mergeable "
+                        "(missing buckets/sum_us; produced by an older "
+                        "snapshot format?)"
+                    ) from None
+                state = hist_state.get(name)
+                if state is None:
+                    hist_state[name] = {
+                        "buckets": buckets,
+                        "count": count,
+                        "sum_us": sum_us,
+                        "max_us": max_us,
+                    }
+                else:
+                    merged = state["buckets"]
+                    if len(buckets) > len(merged):  # pragma: no cover
+                        merged.extend([0] * (len(buckets) - len(merged)))
+                    for index, n in enumerate(buckets):
+                        merged[index] += n
+                    state["count"] += count
+                    state["sum_us"] += sum_us
+                    if max_us > state["max_us"]:
+                        state["max_us"] = max_us
+            for name, lab in snap.get("labeled", {}).items():
+                slot = labeled.setdefault(
+                    name, {"labels": {}, "overflowed": 0}
+                )
+                for label, value in lab.get("labels", {}).items():
+                    slot["labels"][label] = (
+                        slot["labels"].get(label, 0) + value
+                    )
+                slot["overflowed"] += lab.get("overflowed", 0)
+            for name, child in snap.get("children", {}).items():
+                children.setdefault(name, []).append(child)
+        histograms = {
+            name: {
+                "count": state["count"],
+                "mean_us": (
+                    round(state["sum_us"] / state["count"], 3)
+                    if state["count"] else 0.0
+                ),
+                "p50_us": _bucket_percentile(
+                    state["buckets"], state["count"], 0.50
+                ),
+                "p99_us": _bucket_percentile(
+                    state["buckets"], state["count"], 0.99
+                ),
+                "max_us": round(state["max_us"], 3),
+                "sum_us": state["sum_us"],
+                "buckets": state["buckets"],
+            }
+            for name, state in hist_state.items()
+        }
+        out: Dict[str, object] = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "labeled": labeled,
+        }
+        if children:
+            out["children"] = {
+                name: cls.merge(*parts) for name, parts in children.items()
+            }
+        return out
+
     def flatten(self) -> Dict[str, float]:
         """The whole tree as one flat dotted-name -> number mapping."""
         flat: Dict[str, float] = {}
@@ -344,10 +499,13 @@ class MetricsRegistry:
                 flat[name] = instrument.value
             elif isinstance(instrument, LatencyHistogram):
                 for key, value in instrument.snapshot().items():
+                    if key == "buckets":
+                        continue  # flat maps hold scalars only
                     flat[f"{name}.{key}"] = value
             elif isinstance(instrument, LabeledCounter):
                 for label, value in instrument.snapshot().items():
                     flat[f"{name}.{label}"] = value
+                flat[f"{name}.overflowed"] = instrument.overflowed
         for child_name, child in self.children().items():
             for key, value in child.flatten().items():
                 flat[f"{child_name}.{key}"] = value
@@ -393,6 +551,8 @@ class MetricsRegistry:
                     lines.append(
                         f'{metric}{{key="{_prom_label_value(label)}"}} {value}'
                     )
+                lines.append(f"# TYPE {metric}_overflowed counter")
+                lines.append(f"{metric}_overflowed {instrument.overflowed}")
         for child_name, child in sorted(self.children().items()):
             child._expose_into(lines, prefix=_prom_name(prefix, child_name))
 

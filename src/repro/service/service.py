@@ -123,6 +123,13 @@ class ServiceConfig:
     #: Directory for the durable query-segment store (None disables the
     #: ``repro.query`` layer: no SegmentWriter, ``query()`` raises).
     segment_dir: Optional[str] = None
+    #: Bind an ``repro.obs.http`` scrape endpoint on this port while the
+    #: service runs (0 = ephemeral port, None disables). Serves
+    #: ``/metrics``, ``/health``, ``/ready``, ``/snapshot``, ``/profile``.
+    http_port: Optional[int] = None
+    #: Scrape-endpoint bind address. Loopback by default: exposing the
+    #: surface off-box is a deployment decision, not a default.
+    http_host: str = "127.0.0.1"
 
     @property
     def drain_budget(self) -> int:
@@ -255,6 +262,10 @@ class ContextService:
         self._stopped = False
         self._stop_result: Optional[bool] = None
 
+        #: The live scrape endpoint (``repro.obs.http.ObsHttpServer``)
+        #: while running with ``config.http_port`` set, else None.
+        self.http = None
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -276,6 +287,15 @@ class ContextService:
                     self, self.resilience.checkpoint_interval
                 )
                 self._daemon.start()
+            if self.config.http_port is not None:
+                from repro.obs.http import ObsHttpServer
+
+                self.http = ObsHttpServer(
+                    registry=obs.get_registry(),
+                    service=self,
+                    host=self.config.http_host,
+                    port=self.config.http_port,
+                ).start()
         return self
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
@@ -290,6 +310,11 @@ class ContextService:
         if self._stopped:
             return self._stop_result if self._stop_result is not None else True
         self._stopped = True
+        if self.http is not None:
+            # Down first so load balancers stop routing before drain;
+            # /ready already reports "service stopped" at this point.
+            self.http.stop()
+            self.http = None
         if self._supervisor is not None:
             self._supervisor.stop()
         if self._daemon is not None:

@@ -184,10 +184,15 @@ class TestServeBench:
         assert "context store footprint" in out
         assert "hottest contexts:" in out
 
-    def test_json_round_trips(self, result, tmp_path):
+    def test_json_round_trips_with_a_stamp(self, result, tmp_path):
         target = tmp_path / "BENCH_serve.json"
         write_bench_json(result, str(target))
-        assert json.loads(target.read_text()) == result
+        saved = json.loads(target.read_text())
+        # The artifact is the result plus the self-description stamp.
+        for key, value in result.items():
+            assert saved[key] == value
+        assert saved["schema_version"] >= 2
+        assert saved["commit"] and saved["timestamp"]
 
 
 class TestCli:

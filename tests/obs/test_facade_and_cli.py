@@ -158,6 +158,44 @@ class TestCliArtifacts:
         out = capsys.readouterr().out
         json.loads(out)
 
+    def test_artifacts_survive_keyboard_interrupt(self, tmp_path, capsys,
+                                                  monkeypatch):
+        """Ctrl-C mid-run must still leave the metrics/trace artifacts:
+        a partial trace of an aborted run is exactly when you want one."""
+        import repro.bench.table1 as table1
+
+        def boom(*args, **kwargs):
+            obs.counter("cli.test_interrupted").inc()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(table1, "generate_table1", boom)
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        with pytest.raises(KeyboardInterrupt):
+            main([
+                "table1",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+            ])
+        flat = json.loads(metrics.read_text())
+        assert flat["cli.test_interrupted"] >= 1
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_artifacts_survive_a_crashing_subcommand(self, tmp_path,
+                                                     capsys, monkeypatch):
+        import repro.bench.table1 as table1
+
+        def boom(*args, **kwargs):
+            obs.counter("cli.test_crashed").inc()
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(table1, "generate_table1", boom)
+        metrics = tmp_path / "metrics.prom"
+        with pytest.raises(RuntimeError, match="synthetic failure"):
+            main(["table1", "--metrics-out", str(metrics)])
+        # Prometheus flavour for the .prom suffix, counter included.
+        assert "repro_cli_test_crashed 1" in metrics.read_text()
+
     def test_obs_bench_smoke_writes_the_artifact(self, tmp_path, capsys):
         path = tmp_path / "BENCH_obs.json"
         assert main([

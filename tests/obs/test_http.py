@@ -1,0 +1,223 @@
+"""The HTTP scrape surface: endpoints, readiness semantics, wiring."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.widths import Width
+from repro.errors import ObservabilityError
+from repro.graph.callgraph import CallGraph
+from repro.obs.http import (
+    MAX_PROFILE_SECONDS,
+    ObsHttpServer,
+    PROMETHEUS_CONTENT_TYPE,
+)
+from repro.query.flamegraph import from_folded
+from repro.resilience import ResilienceConfig
+from repro.runtime.plan import build_plan_from_graph
+from repro.service import ContextService, ServiceConfig
+
+
+def chain(depth=5):
+    graph = CallGraph("main")
+    prev = "main"
+    for d in range(depth):
+        graph.add_edge(prev, f"f{d}", f"c{d}")
+        prev = f"f{d}"
+    return graph
+
+
+def get(url, timeout=10.0):
+    """(status, content-type, body bytes) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read()
+
+
+@pytest.fixture
+def registry():
+    reg = obs.MetricsRegistry("http-test")
+    reg.counter("demo.hits").inc(3)
+    reg.histogram("demo.lat_us").observe_us(42.0)
+    return reg
+
+
+@pytest.fixture
+def server(registry):
+    with ObsHttpServer(registry=registry) as srv:
+        yield srv
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, server):
+        assert server.running
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_double_start_rejected(self, server):
+        with pytest.raises(ObservabilityError):
+            server.start()
+
+    def test_stop_is_idempotent(self, registry):
+        srv = ObsHttpServer(registry=registry).start()
+        srv.stop()
+        srv.stop()
+        assert not srv.running
+
+
+class TestEndpoints:
+    def test_metrics_is_byte_identical_to_the_exporter(self, server,
+                                                       registry):
+        status, ctype, body = get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        # The scrape surface and the in-process exporter must never
+        # disagree: same snapshot, same bytes.
+        assert body == registry.expose_prometheus().encode("utf-8")
+        assert b"# TYPE http_test_demo_hits counter" in body
+
+    def test_health_reports_uptime(self, server):
+        status, ctype, body = get(server.url + "/health")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_snapshot_is_the_flattened_registry(self, server, registry):
+        status, _ctype, body = get(server.url + "/snapshot")
+        assert status == 200
+        assert json.loads(body) == registry.flatten()
+
+    def test_unknown_route_is_404(self, server):
+        status, _ctype, body = get(server.url + "/nope")
+        assert status == 404
+        assert "no route" in json.loads(body)["error"]
+
+    def test_requests_are_counted_by_path(self, server, registry):
+        get(server.url + "/health")
+        get(server.url + "/health")
+        flat = registry.flatten()
+        assert flat["obs.http_requests./health"] >= 2
+
+    def test_ready_without_a_service_is_liveness(self, server):
+        status, _ctype, body = get(server.url + "/ready")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+
+class TestProfileEndpoint:
+    def test_profile_round_trips_through_from_folded(self, server):
+        status, ctype, body = get(
+            server.url + "/profile?seconds=0.3", timeout=30.0
+        )
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        counts = from_folded(body.decode("utf-8"))
+        assert counts, "a live process must produce stacks"
+        for stack in counts:
+            for frame in stack:
+                assert ";" not in frame
+
+    def test_profile_rejects_bad_seconds(self, server):
+        for query in ("seconds=abc", "seconds=0", "seconds=-1",
+                      f"seconds={MAX_PROFILE_SECONDS + 1}"):
+            status, _ctype, body = get(f"{server.url}/profile?{query}")
+            assert status == 400, query
+            assert "seconds" in json.loads(body)["error"]
+
+    def test_profile_uses_a_running_profiler_window(self, registry):
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=400, registry=registry)
+        with profiler, ObsHttpServer(
+            registry=registry, profiler=profiler
+        ) as srv:
+            status, _ctype, body = get(
+                srv.url + "/profile?seconds=0.3", timeout=30.0
+            )
+        assert status == 200
+        assert from_folded(body.decode("utf-8"))
+
+
+class TestReadinessAgainstALiveService:
+    """The acceptance shape: /ready flips with the resilience state."""
+
+    @pytest.fixture
+    def service(self):
+        plan = build_plan_from_graph(chain(), width=Width(16))
+        service = ContextService(
+            plan,
+            ServiceConfig(workers=1, shards=2, http_port=0),
+            resilience=ResilienceConfig(),
+        )
+        service.start()
+        yield service
+        service.stop()
+
+    def test_service_starts_its_own_scrape_surface(self, service):
+        assert service.http is not None and service.http.running
+        status, _ctype, body = get(service.http.url + "/ready")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+        # The surface serves live service metrics, not a copy.
+        from repro.service import SampleBatch
+
+        batch = SampleBatch().append(
+            "main", ((), 0), epoch=service.epoch
+        )
+        service.submit_batch(batch)
+        service.flush()
+        _status, _ctype, body = get(service.http.url + "/snapshot")
+        assert json.loads(body)["service.submitted"] >= 1
+
+    def test_ready_flips_when_the_breaker_opens(self, service):
+        breaker = service._breaker
+        for _ in range(64):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        status, _ctype, body = get(service.http.url + "/ready")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["ready"] is False
+        assert "circuit breaker open" in payload["reasons"]
+        assert payload["breaker"] == "open"
+
+    def test_ready_flips_in_degraded_mode(self, service):
+        service._degraded = True
+        status, _ctype, body = get(service.http.url + "/ready")
+        assert status == 503
+        assert any(
+            "degraded" in reason for reason in json.loads(body)["reasons"]
+        )
+
+    def test_ready_flips_after_stop_and_surface_goes_down(self, service):
+        url = service.http.url
+        server = ObsHttpServer(service=service)
+        service.stop()
+        # The embedded surface is torn down with the service ...
+        assert service.http is None
+        with pytest.raises(OSError):
+            get(url + "/ready", timeout=2.0)
+        # ... and any external surface now reports not-ready.
+        with server:
+            status, _ctype, body = get(server.url + "/ready")
+        assert status == 503
+        assert "service stopped" in json.loads(body)["reasons"]
+
+    def test_ready_flips_when_supervisor_degrades(self, service):
+        supervisor = service._supervisor
+        assert supervisor is not None
+        surface = ObsHttpServer(service=service)
+        ok, _reasons, detail = surface.readiness()
+        assert ok and detail["supervisor"] in ("running", "idle")
+        with supervisor._lock:
+            supervisor._state = "degraded"
+        ok, reasons, detail = surface.readiness()
+        assert not ok
+        assert "supervisor degraded" in reasons
+        assert detail["supervisor"] == "degraded"

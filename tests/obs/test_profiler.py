@@ -1,0 +1,162 @@
+"""The sampling profiler: lifecycle, capture, bounds, self-metrics."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs.profiler import SamplingProfiler, _capture_stack, _frame_token
+from repro.query.flamegraph import from_folded
+
+
+def fresh_registry():
+    return obs.MetricsRegistry("profiler-test")
+
+
+def busy_until(stop: threading.Event):
+    while not stop.is_set():
+        sum(i * i for i in range(256))
+
+
+def spin_for(profiler, seconds=0.15):
+    """Burn CPU on this thread until the profiler has some samples."""
+    deadline = time.monotonic() + 2.0
+    end = time.monotonic() + seconds
+    while time.monotonic() < end:
+        sum(i * i for i in range(256))
+    while not profiler.take_samples() and time.monotonic() < deadline:
+        sum(i * i for i in range(256))
+
+
+class TestFrameTokens:
+    def test_token_shape(self):
+        assert _frame_token("/a/b/mod.py", "func", 7) == "mod:func:7"
+
+    def test_forbidden_characters_are_replaced(self):
+        token = _frame_token("/x/my mod.py", "fn;bad", 1)
+        assert ";" not in token
+        assert " " not in token
+        assert token == "my_mod:fn_bad:1"
+
+    def test_capture_stack_is_root_first_and_depth_bounded(self):
+        frame = None
+        for frame in [__import__("sys")._getframe()]:
+            pass
+        stack = _capture_stack(frame, max_depth=3)
+        assert 1 <= len(stack) <= 3
+        deeper = _capture_stack(frame, max_depth=128)
+        # Root-first: the leaf (this test function) is the LAST entry.
+        assert "test_capture_stack_is_root_first_and_depth_bounded" in (
+            deeper[-1]
+        )
+
+
+class TestLifecycle:
+    def test_bad_arguments_rejected(self):
+        registry = fresh_registry()
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(hz=0, registry=registry)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(max_samples=0, registry=registry)
+        with pytest.raises(ObservabilityError):
+            SamplingProfiler(max_depth=0, registry=registry)
+
+    def test_double_start_rejected_and_stop_idempotent(self):
+        profiler = SamplingProfiler(hz=200, registry=fresh_registry())
+        with profiler:
+            assert profiler.running
+            with pytest.raises(ObservabilityError):
+                profiler.start()
+        assert not profiler.running
+        profiler.stop()  # second stop is a no-op
+
+    def test_running_gauge_tracks_lifecycle(self):
+        registry = fresh_registry()
+        profiler = SamplingProfiler(hz=200, registry=registry)
+        gauge = registry.gauge("profile.running")
+        assert gauge.value == 0
+        with profiler:
+            assert gauge.value == 1
+        assert gauge.value == 0
+
+
+class TestSampling:
+    def test_samples_busy_threads_and_round_trips_folded(self):
+        registry = fresh_registry()
+        stop = threading.Event()
+        worker = threading.Thread(target=busy_until, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(hz=400, registry=registry) as profiler:
+                spin_for(profiler)
+                counts = profiler.counts()
+                folded = profiler.folded()
+        finally:
+            stop.set()
+            worker.join()
+        assert counts, "a busy process must produce samples"
+        # Every frame is folded-safe, and the text round-trips exactly.
+        for stack in counts:
+            for frame in stack:
+                assert ";" not in frame and not frame.split() == []
+        assert from_folded(folded) == counts
+        # The worker thread's target function shows up somewhere.
+        assert any(
+            "busy_until" in frame for stack in counts for frame in stack
+        )
+
+    def test_buffer_is_bounded_and_evictions_counted(self):
+        registry = fresh_registry()
+        with SamplingProfiler(
+            hz=400, max_samples=5, registry=registry
+        ) as profiler:
+            spin_for(profiler)
+            deadline = time.monotonic() + 2.0
+            while (
+                registry.counter("profile.dropped").value == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            buffered = len(profiler.take_samples())
+        assert buffered <= 5
+        assert registry.counter("profile.dropped").value > 0
+
+    def test_window_filter_and_clear(self):
+        registry = fresh_registry()
+        with SamplingProfiler(hz=400, registry=registry) as profiler:
+            spin_for(profiler)
+            everything = profiler.take_samples()
+            nothing_old = profiler.take_samples(seconds=0.0)
+            profiler.clear()
+            assert profiler.take_samples() == [] or profiler.running
+        assert everything
+        assert nothing_old == []
+
+    def test_self_metrics_and_stats(self):
+        registry = fresh_registry()
+        with SamplingProfiler(hz=400, registry=registry) as profiler:
+            spin_for(profiler)
+            stats = profiler.stats()
+        flat = registry.flatten()
+        assert flat["profile.samples"] > 0
+        assert flat["profile.ticks"] > 0
+        assert flat["profile.tick_us.count"] > 0
+        assert stats["ticks"] > 0
+        assert stats["hz"] == 400
+        assert 0.0 <= stats["duty_pct"] < 100.0
+
+
+class TestFacadeProfiler:
+    def test_start_get_stop_profiler(self):
+        assert obs.get_profiler() is None or not obs.get_profiler().running
+        profiler = obs.start_profiler(hz=200)
+        try:
+            assert obs.get_profiler() is profiler
+            assert profiler.running
+            # Starting again returns the running instance, no duplicate.
+            assert obs.start_profiler() is profiler
+        finally:
+            obs.stop_profiler()
+        assert not profiler.running

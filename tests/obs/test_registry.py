@@ -3,6 +3,8 @@
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ObservabilityError
 from repro.obs.registry import (
@@ -68,7 +70,8 @@ class TestLatencyHistogramBuckets:
         snap = LatencyHistogram("t").snapshot()
         assert snap == {
             "count": 0, "mean_us": 0.0, "p50_us": 0.0, "p99_us": 0.0,
-            "max_us": 0.0,
+            "max_us": 0.0, "sum_us": 0.0,
+            "buckets": [0] * LatencyHistogram.BUCKETS,
         }
 
 
@@ -233,6 +236,8 @@ class TestPrometheusGolden:
             "# TYPE repro_errors counter",
             'repro_errors{key="a"} 1',
             'repro_errors{key="b"} 2',
+            "# TYPE repro_errors_overflowed counter",
+            "repro_errors_overflowed 0",
             "# TYPE repro_lat histogram",
             'repro_lat_bucket{le="2"} 0',
             'repro_lat_bucket{le="4"} 1',
@@ -260,5 +265,131 @@ class TestPrometheusGolden:
         text = registry.expose_prometheus()
         assert 'key="bad \\"quote\\"\\nnewline"' in text
 
+    def test_label_value_escaping_golden(self):
+        """All three escapes (backslash, quote, newline), exact text."""
+        registry = MetricsRegistry("repro")
+        errors = registry.labeled_counter("errors")
+        errors.inc("back\\slash")
+        errors.inc('quo"te', 2)
+        errors.inc("new\nline", 3)
+        errors.inc('all\\"\n', 4)
+        expected = "\n".join([
+            "# TYPE repro_errors counter",
+            'repro_errors{key="all\\\\\\"\\n"} 4',
+            'repro_errors{key="back\\\\slash"} 1',
+            'repro_errors{key="new\\nline"} 3',
+            'repro_errors{key="quo\\"te"} 2',
+            "# TYPE repro_errors_overflowed counter",
+            "repro_errors_overflowed 0",
+        ]) + "\n"
+        assert registry.expose_prometheus() == expected
+
+    def test_overflowed_counts_surface_in_every_exporter(self):
+        registry = MetricsRegistry("repro")
+        errors = registry.labeled_counter("errors", max_labels=1)
+        errors.inc("a")
+        errors.inc("b")
+        errors.inc("c", 2)
+        assert errors.overflowed == 3
+        snap = registry.snapshot()["labeled"]["errors"]
+        assert snap == {
+            "labels": {"a": 1, LabeledCounter.OVERFLOW: 3},
+            "overflowed": 3,
+        }
+        assert registry.flatten()["errors.overflowed"] == 3
+        text = registry.expose_prometheus()
+        assert "repro_errors_overflowed 3" in text
+
     def test_empty_registry_exposes_empty_string(self):
         assert MetricsRegistry("r").expose_prometheus() == ""
+
+
+def _observe_all(registry, events):
+    """Apply a generated event stream to ``registry``."""
+    for kind, name, value in events:
+        name = f"{kind}.{name}"  # one kind per name (registry invariant)
+        if kind == "counter":
+            registry.counter(name).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name).set_max(value)
+        elif kind == "hist":
+            registry.histogram(name).observe_us(value)
+        else:
+            registry.labeled_counter(name, max_labels=2).inc(
+                f"label{value % 4}"
+            )
+
+
+_EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "hist", "labeled"]),
+        st.sampled_from(["m0", "m1", "m2"]),
+        st.integers(0, 10_000),
+    ),
+    max_size=60,
+)
+
+
+class TestMerge:
+    @given(events=_EVENTS, cut=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_split_parts_equals_whole(self, events, cut):
+        """merge(part A, part B) == snapshot of one registry seeing all.
+
+        Uses ``set_max`` gauges (mergeable by max) and integer-valued
+        microseconds so float sums are exact.
+        """
+        whole = MetricsRegistry("r")
+        _observe_all(whole, events)
+        cut = min(cut, len(events))
+        left, right = MetricsRegistry("r"), MetricsRegistry("r")
+        _observe_all(left, events[:cut])
+        _observe_all(right, events[cut:])
+        merged = MetricsRegistry.merge(left.snapshot(), right.snapshot())
+        # Labeled counters may fold different labels into __other__
+        # depending on arrival order, so compare their totals only.
+        expected = whole.snapshot()
+        for snap in (merged, expected):
+            snap["labeled"] = {
+                name: sum(entry["labels"].values())
+                for name, entry in snap["labeled"].items()
+            }
+        assert merged == expected
+
+    def test_merge_recurses_into_children(self):
+        a_root, b_root = MetricsRegistry("root"), MetricsRegistry("root")
+        for root, n in ((a_root, 2), (b_root, 5)):
+            child = MetricsRegistry("svc")
+            child.counter("submitted").inc(n)
+            child.histogram("lat").observe_us(n)
+            root.attach(child)
+        merged = MetricsRegistry.merge(a_root.snapshot(), b_root.snapshot())
+        svc = merged["children"]["svc"]
+        assert svc["counters"] == {"submitted": 7}
+        assert svc["histograms"]["lat"]["count"] == 2
+        assert svc["histograms"]["lat"]["sum_us"] == 7.0
+
+    def test_merge_of_nothing_is_empty(self):
+        assert MetricsRegistry.merge() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "labeled": {},
+        }
+
+    def test_merge_rejects_unmergeable_histogram(self):
+        legacy = {
+            "counters": {}, "gauges": {},
+            "histograms": {"lat": {"count": 1, "mean_us": 3.0}},
+            "labeled": {},
+        }
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry.merge(legacy)
+
+    def test_merged_percentiles_match_union_histogram(self):
+        """The derived stats of a merge equal those of a whole registry."""
+        whole = MetricsRegistry("r")
+        parts = [MetricsRegistry("r") for _ in range(3)]
+        for i, us in enumerate([3, 9, 9, 120, 4000, 7, 2, 2, 64, 900]):
+            whole.histogram("lat").observe_us(us)
+            parts[i % 3].histogram("lat").observe_us(us)
+        merged = MetricsRegistry.merge(*[p.snapshot() for p in parts])
+        assert merged["histograms"]["lat"] == whole.snapshot()[
+            "histograms"]["lat"]
