@@ -81,6 +81,8 @@ class MatrixConfig:
     resilience: bool = False
     batch: bool = True
     compression: str = "zlib"
+    #: Decode worker processes (0 = the in-process thread pool).
+    worker_processes: int = 0
 
     def knobs(self, *, quick: bool, seed: int) -> Dict[str, object]:
         """The plain mapping handed to every target's ``run()``."""
@@ -92,6 +94,7 @@ class MatrixConfig:
             "resilience": self.resilience,
             "batch": self.batch,
             "compression": self.compression,
+            "worker_processes": self.worker_processes,
             "quick": quick,
             "seed": seed,
         }
@@ -110,6 +113,11 @@ CONFIGS: Tuple[MatrixConfig, ...] = (
     MatrixConfig("scalar", "per-sample submit() shim", batch=False),
     MatrixConfig(
         "store-none", "uncompressed context store", compression="none"
+    ),
+    MatrixConfig(
+        "multiproc-2",
+        "two decode worker processes over shared-memory lanes",
+        worker_processes=2,
     ),
 )
 

@@ -45,6 +45,7 @@ __all__ = [
     "decode_study",
     "ingest_study",
     "batch_ingest_study",
+    "multiproc_ingest_study",
     "store_study",
     "serve_bench",
     "render_serve_bench",
@@ -398,7 +399,82 @@ def batch_ingest_study(
 
 
 # ----------------------------------------------------------------------
-# Study 4: compressed context store vs tuples-of-strings
+# Study 4: decode scale-out across worker processes
+# ----------------------------------------------------------------------
+def multiproc_ingest_study(
+    plan: DeltaPathPlan,
+    observations: Sequence[Observation],
+    *,
+    samples: int = 24_000,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    batch_max: int = 1024,
+) -> Dict[str, object]:
+    """Batch ingest through the process fleet at increasing widths.
+
+    The stream cycles the distinct contexts so dedup-then-decode cannot
+    collapse the work, and the decode children run uncached — the cost
+    being distributed across processes is real per-sample decode, not
+    cache lookups. Throughput is end-to-end: submit every batch over
+    the shared-memory lanes, then drain to quiescence. ``scaling_x``
+    maps each fleet width to its throughput relative to one worker;
+    genuine scaling needs as many cores as workers, so ``cores`` is
+    recorded alongside and a single-core machine will (correctly)
+    report ~1x.
+    """
+    import os
+
+    from repro.service import SampleBatch
+
+    stream = [observations[i % len(observations)] for i in range(samples)]
+    batches = [
+        SampleBatch.from_observations(stream[lo:lo + batch_max], epoch=0)
+        for lo in range(0, len(stream), batch_max)
+    ]
+    counts: Dict[str, object] = {}
+    for width in worker_counts:
+        service = ContextService(
+            plan,
+            ServiceConfig(
+                worker_processes=width,
+                shards=max(8, 2 * width),
+                piece_cache=0,
+                context_cache=0,
+                batch_max=batch_max,
+            ),
+        )
+        service.start()
+        start = time.perf_counter()
+        for batch in batches:
+            service.submit_batch(batch)
+        service.flush(timeout=600)
+        elapsed = time.perf_counter() - start
+        acct = service.accounting()
+        service.stop()
+        counts[str(width)] = {
+            "workers": width,
+            "samples": acct["submitted"],
+            "aggregated": acct["aggregated"],
+            "elapsed_ms": elapsed * 1000.0,
+            "per_s": (
+                acct["submitted"] / elapsed if elapsed else float("inf")
+            ),
+        }
+    base = counts[str(worker_counts[0])]["per_s"]
+    return {
+        "batch_max": batch_max,
+        "cores": os.cpu_count() or 1,
+        "counts": counts,
+        "scaling_x": {
+            str(width): (
+                counts[str(width)]["per_s"] / base if base else None
+            )
+            for width in worker_counts
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Study 5: compressed context store vs tuples-of-strings
 # ----------------------------------------------------------------------
 def _cct_paths(
     contexts: int, *, names: int = 512, max_depth: int = 64, seed: int = 1
@@ -545,6 +621,9 @@ def serve_bench(
     batch_ingest = batch_ingest_study(
         plan, stream, workers=workers, shards=shards
     )
+    multiproc = multiproc_ingest_study(
+        plan, observations, samples=min(samples, 24_000)
+    )
     store = store_study(4000 if quick else 20000, seed=seed)
 
     engine = DecodeEngine(plan)
@@ -574,9 +653,11 @@ def serve_bench(
         },
         "ingest": ingest,
         "batch_ingest": batch_ingest,
+        "multiproc": multiproc,
         "store": store,
         # Headline numbers, surfaced flat for dashboards and the CI gate.
         "batch_ingest_per_s": batch_ingest["batch"]["per_s"],
+        "multiproc_scaling_x": multiproc["scaling_x"]["4"],
         "bytes_per_context": store["zlib"]["bytes_per_context"],
         "top_contexts": [
             {"count": count, "path": list(path)} for path, count in hottest
@@ -593,7 +674,8 @@ def run(config: Mapping[str, object]) -> Dict[str, object]:
 
     ``config`` is a plain mapping from :mod:`repro.bench.matrix` — the
     knobs this target honours are ``cached``, ``shards``, ``workers``,
-    ``resilience``, ``batch``, ``compression``, ``quick`` and ``seed``.
+    ``worker_processes``, ``resilience``, ``batch``, ``compression``,
+    ``quick`` and ``seed``.
     Returns flat scalar ``metrics`` plus the ``gated`` subset the
     regression gate diffs against the committed baseline. Gated keys are
     config-independent (every cell reports the same names), so each
@@ -608,6 +690,7 @@ def run(config: Mapping[str, object]) -> Dict[str, object]:
     cached = bool(config.get("cached", True))
     shards = int(config.get("shards", 8))
     workers = int(config.get("workers", 2))
+    worker_processes = int(config.get("worker_processes", 0))
     batch_mode = bool(config.get("batch", True))
     compression = str(config.get("compression", "zlib"))
     batch_max = 2048
@@ -647,6 +730,7 @@ def run(config: Mapping[str, object]) -> Dict[str, object]:
             store_compression=compression,
             piece_cache=cache_size,
             context_cache=cache_size,
+            worker_processes=worker_processes,
         ),
         resilience=resilience,
     )
@@ -752,6 +836,19 @@ def render_serve_bench(result: Dict[str, object]) -> str:
         f"batch {sci(batch['batch']['per_s'])}/s "
         f"(speedup {sci(batch['speedup'])}x, "
         f"accounting {'match' if batch['accounting_match'] else 'DIVERGED'})"
+    )
+    multiproc = result["multiproc"]
+    lines.append(
+        "process-fleet batch ingest ({} core(s)): ".format(
+            multiproc["cores"]
+        )
+        + ", ".join(
+            f"{row['workers']}w {sci(row['per_s'])}/s "
+            f"({sci(multiproc['scaling_x'][key])}x)"
+            for key, row in sorted(
+                multiproc["counts"].items(), key=lambda kv: int(kv[0])
+            )
+        )
     )
     store = result["store"]
     lines.append(

@@ -47,6 +47,7 @@ __all__ = [
     "service_fault_scenario",
     "batch_equivalence_scenario",
     "resilient_fault_scenario",
+    "multiprocess_conservation_scenario",
     "checkpoint_recovery_scenario",
 ]
 
@@ -507,6 +508,121 @@ def resilient_fault_scenario(
                 "stop() reported unaccounted samples after chaos ingestion"
             )
     failures.extend(conservation_failures(service))
+    return failures
+
+
+def multiprocess_conservation_scenario(
+    plan: DeltaPathPlan,
+    observations: Sequence[Tuple[str, tuple]],
+    seed: int = 0,
+    workers: int = 2,
+    kills: int = 1,
+) -> List[str]:
+    """SIGKILL real decode worker processes mid-stream and demand
+    conservation.
+
+    The decode fleet runs as ``workers`` separate processes fed over
+    shared-memory lanes; a seeded schedule kills ``kills`` of them with
+    SIGKILL between batches while the supervisor is armed. At
+    quiescence the conservation law must hold exactly — samples lost
+    inside a dead worker are charged to ``crash_lost`` (rolled into
+    ``dead_lettered``), never silently vanished — and ``stop()`` must
+    stay truthful. Returns failure descriptions (empty when all held).
+    """
+    import time
+
+    from repro.resilience import ResilienceConfig
+    from repro.service.batch import SampleBatch
+    from repro.service.service import ContextService, ServiceConfig
+
+    rng = random.Random(seed ^ 0x9C0C)
+    failures: List[str] = []
+    resilience = ResilienceConfig(
+        supervise=True,
+        heartbeat_interval=0.02,
+        heartbeat_timeout=5.0,
+        max_restarts=workers * 2,
+        restart_backoff=0.001,
+        restart_backoff_max=0.01,
+        seed=seed,
+    )
+    service = ContextService(
+        plan,
+        ServiceConfig(worker_processes=workers, shards=workers * 2),
+        resilience=resilience,
+    )
+    service.start()
+    submitted = 0
+    kills_landed = 0
+    live_stats: dict = {}
+    try:
+        rounds = 5
+        kill_rounds = set(
+            rng.sample(range(1, rounds), min(kills, rounds - 1))
+        )
+        for round_no in range(rounds):
+            batch = SampleBatch.from_observations(
+                observations, epoch=service.epoch
+            )
+            service.submit_batch(batch)
+            submitted += len(batch)
+            if round_no in kill_rounds:
+                if service._procs.kill_worker(
+                    rng.randrange(workers)
+                ) is not None:
+                    kills_landed += 1
+            time.sleep(0.02)
+        deadline = time.monotonic() + 15.0
+        while (
+            time.monotonic() < deadline
+            and service._procs.alive() < workers
+        ):
+            time.sleep(0.02)
+        if service._procs.alive() < workers:
+            failures.append(
+                f"supervisor restored only {service._procs.alive()} of "
+                f"{workers} workers after {kills_landed} kill(s)"
+            )
+        try:
+            service.flush(timeout=30.0)
+        except ReproError as exc:
+            failures.append(f"flush after worker kill failed: {exc}")
+        live_stats = service.resilience_stats()
+    finally:
+        if not service.stop(timeout=30.0):
+            failures.append(
+                "stop() reported unaccounted samples after worker kills"
+            )
+    acct = service.accounting()
+    accounted = (
+        acct["aggregated"]
+        + acct["dead_lettered"]
+        + acct["epoch_mismatches"]
+        + acct["dropped"]
+        + acct["fallback_dropped"]
+        + acct["fallback_pending"]
+    )
+    if acct["submitted"] != submitted:
+        failures.append(
+            f"multiproc service lost track of submissions: counted "
+            f"{acct['submitted']}, stream carried {submitted}"
+        )
+    if acct["submitted"] != accounted:
+        failures.append(
+            f"multiproc accounting leak: submitted={acct['submitted']} != "
+            f"aggregated+dead_lettered+mismatches+dropped+fallback="
+            f"{accounted} ({acct!r})"
+        )
+    if kills_landed:
+        worker_restarts = sum(
+            w.get("restarts", 0)
+            for w in live_stats.get("workers", {}).get("workers", [])
+        )
+        if worker_restarts < kills_landed:
+            failures.append(
+                f"{kills_landed} worker(s) killed but only "
+                f"{worker_restarts} restart(s) recorded"
+            )
     return failures
 
 

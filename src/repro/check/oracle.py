@@ -23,6 +23,10 @@ oracle         cross-checks
                storms) with supervision armed: the conservation law
                ``submitted == aggregated + dead_lettered + mismatches +
                dropped + fallback`` and a truthful ``stop()``
+``multiproc``  the same conservation law with the decode fleet running
+               as real worker *processes* over shared-memory lanes,
+               one of them SIGKILLed mid-stream (sampled: process
+               spawn is expensive, so one case in sixteen runs it)
 ``recovery``   checkpoint → crash → recover: recovery replays exactly
                the newest valid snapshot (torn/corrupt files rejected),
                a subset of the pre-crash tree, no phantom contexts
@@ -46,6 +50,7 @@ from repro.check.invariants import (
     CheckedProbe,
     batch_equivalence_scenario,
     checkpoint_recovery_scenario,
+    multiprocess_conservation_scenario,
     resilient_fault_scenario,
     service_fault_scenario,
 )
@@ -75,6 +80,7 @@ __all__ = [
     "check_service",
     "check_batch",
     "check_conservation",
+    "check_multiproc",
     "check_recovery",
     "sid_equivalence_failures",
     "canonical_query_answers",
@@ -517,6 +523,31 @@ def check_conservation(case: FuzzCase, observations: int = 24) -> List[str]:
     return [f"conservation: {f}" for f in failures]
 
 
+#: One fuzz case in this many runs the multiprocess oracle — spawning a
+#: process fleet per case would dominate check-smoke's budget, and the
+#: sampling stays deterministic per seed so failures always reproduce.
+MULTIPROC_SAMPLE_EVERY = 16
+
+
+def check_multiproc(case: FuzzCase, observations: int = 12) -> List[str]:
+    """Process-fleet conservation under seeded worker SIGKILLs (see
+    :func:`repro.check.invariants.multiprocess_conservation_scenario`)."""
+    if case.seed % MULTIPROC_SAMPLE_EVERY:
+        return []
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []
+    rng = random.Random(case.seed ^ 0x3C0B)
+    obs_pairs = _collect_observations(plan, rng, observations)
+    if not obs_pairs:
+        return []
+    failures = multiprocess_conservation_scenario(
+        plan, obs_pairs, seed=case.seed
+    )
+    return [f"multiproc: {f}" for f in failures]
+
+
 def check_recovery(case: FuzzCase, observations: int = 24) -> List[str]:
     """Checkpoint/crash/recover equivalence (see
     :func:`repro.check.invariants.checkpoint_recovery_scenario`)."""
@@ -596,11 +627,15 @@ ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
     ("service", check_service),
     ("batch", check_batch),
     ("conservation", check_conservation),
+    ("multiproc", check_multiproc),
     ("recovery", check_recovery),
 )
 
-#: Oracles that spin up worker threads; ``with_service=False`` skips them.
-_SERVICE_ORACLES = frozenset({"service", "batch", "conservation", "recovery"})
+#: Oracles that spin up worker threads (or processes);
+#: ``with_service=False`` skips them.
+_SERVICE_ORACLES = frozenset(
+    {"service", "batch", "conservation", "multiproc", "recovery"}
+)
 
 
 def check_case(

@@ -10,6 +10,7 @@ Usage::
     python -m repro opcounts [--benchmarks ...]
     python -m repro scaling [--benchmark crypto.rsa]
     python -m repro incremental [--sizes 64 256 1024]
+    python -m repro serve [--workers N] [--port P] [--duration SECONDS]
     python -m repro serve-bench [--quick] [--json BENCH_serve.json]
     python -m repro obs [--format prometheus|json]
     python -m repro obs-bench [--smoke] [--json BENCH_obs.json]
@@ -136,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("--sizes", nargs="*", type=int, default=None)
     pi.add_argument("--width", type=int, default=8)
     pi.add_argument("--repeats", type=int, default=3)
+
+    psv = _command(
+        sub,
+        "serve",
+        "run a live collection service: scrape surface + demo traffic",
+    )
+    psv.add_argument(
+        "--workers", type=int, default=0,
+        help="decode worker processes over shared-memory lanes "
+             "(0 = the in-process thread pool)",
+    )
+    psv.add_argument("--shards", type=int, default=8)
+    psv.add_argument(
+        "--port", type=int, default=0,
+        help="scrape-surface port (0 = ephemeral; printed at startup)",
+    )
+    psv.add_argument(
+        "--segment-dir", metavar="DIR", default=None,
+        help="persist durable query segments under DIR",
+    )
+    psv.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until Ctrl-C)",
+    )
+    psv.add_argument(
+        "--rate", type=float, default=200.0,
+        help="demo samples/second to ingest (0 disables demo traffic)",
+    )
+    psv.add_argument("--depth", type=int, default=16)
+    psv.add_argument("--contexts", type=int, default=64)
+    psv.add_argument("--seed", type=int, default=1)
 
     pv = _command(
         sub,
@@ -526,6 +558,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(render_incremental(rows))
         return 0
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     if args.command == "serve-bench":
         from repro.bench.servebench import (
             DEFAULT_DEPTH,
@@ -677,6 +712,74 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: a live service over a demo workload."""
+    import time as _time
+
+    from repro.bench.servebench import _stream, build_workload
+    from repro.resilience import ResilienceConfig
+    from repro.service import ContextService, SampleBatch, ServiceConfig
+
+    _graph, plan, observations, weights = build_workload(
+        depth=args.depth, contexts=args.contexts, seed=args.seed
+    )
+    service = ContextService(
+        plan,
+        ServiceConfig(
+            worker_processes=max(0, args.workers),
+            shards=args.shards,
+            http_port=args.port,
+            segment_dir=args.segment_dir,
+        ),
+        resilience=ResilienceConfig(),
+    )
+    service.start()
+    topology = (
+        f"{args.workers} decode worker process(es) over shared-memory lanes"
+        if args.workers
+        else "in-process decode thread pool"
+    )
+    print(f"serving http://127.0.0.1:{service.http_port} ({topology})")
+    print("endpoints: /metrics /health /ready /snapshot /profile")
+    if args.duration is None:
+        print("Ctrl-C to stop")
+    deadline = (
+        _time.monotonic() + args.duration
+        if args.duration is not None
+        else None
+    )
+    # Demo traffic in quarter-second ticks, so the scrape surface has
+    # live numbers to serve and worker restarts are observable.
+    tick_s = 0.25
+    chunk = max(1, int(args.rate * tick_s)) if args.rate > 0 else 0
+    tick = 0
+    try:
+        while deadline is None or _time.monotonic() < deadline:
+            if chunk:
+                pairs = _stream(
+                    observations, weights, chunk, args.seed + tick
+                )
+                service.submit_batch(
+                    SampleBatch.from_observations(
+                        pairs, epoch=service.epoch
+                    )
+                )
+            tick += 1
+            _time.sleep(tick_s)
+    except KeyboardInterrupt:
+        print("\nstopping")
+    service.flush(timeout=60)
+    if args.segment_dir:
+        service.flush_segments()
+    acct = service.accounting()
+    service.stop()
+    print(
+        f"ingested {acct['submitted']} demo sample(s), "
+        f"{acct['aggregated']} aggregated, {acct['dropped']} dropped"
+    )
+    return 0
 
 
 def _run_bench_matrix(args: argparse.Namespace) -> int:

@@ -75,6 +75,7 @@ class ObsHttpServer:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
+        self._lifecycle = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,27 +96,47 @@ class ObsHttpServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "ObsHttpServer":
-        if self._httpd is not None:
-            raise ObservabilityError("obs HTTP server already running")
-        handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self._requested_port), handler
-        )
-        self._httpd.daemon_threads = True
-        self._started_at = time.monotonic()
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-obs-http",
-            daemon=True,
-        )
-        self._thread.start()
+        """Bind and serve.  A failed start (port in use, thread spawn
+        failure) leaves the server fully stopped: the socket is closed,
+        no state lingers, and a later :meth:`stop` is a safe no-op."""
+        with self._lifecycle:
+            if self._httpd is not None:
+                raise ObservabilityError("obs HTTP server already running")
+            handler = _make_handler(self)
+            httpd = ThreadingHTTPServer(
+                (self.host, self._requested_port), handler
+            )
+            try:
+                httpd.daemon_threads = True
+                thread = threading.Thread(
+                    target=httpd.serve_forever,
+                    name="repro-obs-http",
+                    daemon=True,
+                )
+                thread.start()
+            except Exception:
+                httpd.server_close()
+                raise
+            self._started_at = time.monotonic()
+            self._httpd = httpd
+            self._thread = thread
         return self
 
     def stop(self) -> None:
-        httpd, thread = self._httpd, self._thread
-        self._httpd = self._thread = None
+        """Idempotent teardown, safe after a failed :meth:`start`.
+
+        Claims the server under the lifecycle lock (a concurrent second
+        ``stop()`` sees None and returns), and only calls ``shutdown()``
+        when the serving thread actually ran — ``BaseServer.shutdown``
+        on a server whose ``serve_forever`` never started would wait on
+        an event that is never set.
+        """
+        with self._lifecycle:
+            httpd, thread = self._httpd, self._thread
+            self._httpd = self._thread = None
         if httpd is not None:
-            httpd.shutdown()
+            if thread is not None and thread.is_alive():
+                httpd.shutdown()
             httpd.server_close()
         if thread is not None:
             thread.join(timeout=5.0)
@@ -129,8 +150,31 @@ class ObsHttpServer:
     # ------------------------------------------------------------------
     # Endpoint bodies (status, content type, payload)
     # ------------------------------------------------------------------
+    def _merged_snapshot(self):
+        """The service's cross-process merged snapshot, when it has one.
+
+        A multi-process :class:`ContextService` merges its workers'
+        registry snapshots into the parent's at scrape time so
+        ``/metrics`` and ``/snapshot`` stay truthful about work done in
+        other processes; single-process services return None and the
+        endpoints serve the live registry directly.
+        """
+        service = self.service
+        if service is None:
+            return None
+        merged = getattr(service, "merged_registry_snapshot", None)
+        if merged is None:
+            return None
+        return merged()
+
     def render_metrics(self) -> Tuple[int, str, bytes]:
-        text = self.registry.expose_prometheus()
+        snap = self._merged_snapshot()
+        if snap is not None:
+            from repro.obs.registry import expose_prometheus_snapshot
+
+            text = expose_prometheus_snapshot(snap, name=self.registry.name)
+        else:
+            text = self.registry.expose_prometheus()
         return 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
 
     def render_health(self) -> Tuple[int, str, bytes]:
@@ -172,6 +216,13 @@ class ObsHttpServer:
         return (200 if ready else 503), "application/json", _json_bytes(body)
 
     def render_snapshot(self) -> Tuple[int, str, bytes]:
+        snap = self._merged_snapshot()
+        if snap is not None:
+            from repro.obs.registry import flatten_snapshot
+
+            return 200, "application/json", _json_bytes(
+                flatten_snapshot(snap)
+            )
         return 200, "application/json", _json_bytes(self.registry.flatten())
 
     def render_profile(self, query: str) -> Tuple[int, str, bytes]:

@@ -25,7 +25,7 @@ up in one namespace.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -559,3 +559,98 @@ class MetricsRegistry:
 
 def _prom_float(value: float) -> str:
     return repr(round(float(value), 6))
+
+
+# ----------------------------------------------------------------------
+# Snapshot-level exporters
+# ----------------------------------------------------------------------
+# The multi-process service merges per-worker snapshot dicts at scrape
+# time (`MetricsRegistry.merge`); these render that merged *snapshot*
+# with exactly the shape the live-registry exporters produce, so a
+# scraper cannot tell whether one process or five answered.
+
+def flatten_snapshot(snap: Mapping) -> Dict[str, float]:
+    """:meth:`MetricsRegistry.flatten`, but over a snapshot dict.
+
+    A labeled counter's overflow bucket (``__other__``) is a *label*
+    and its ``overflowed`` tally is a separate metric — they are never
+    summed together, so the cardinality-overflow count appears exactly
+    once no matter how many worker snapshots fed the merge.
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snap.get("counters", {}).items():
+        flat[name] = value
+    for name, value in snap.get("gauges", {}).items():
+        flat[name] = value
+    for name, hist in snap.get("histograms", {}).items():
+        for key, value in hist.items():
+            if key == "buckets":
+                continue  # flat maps hold scalars only
+            flat[f"{name}.{key}"] = value
+    for name, lab in snap.get("labeled", {}).items():
+        for label, value in lab.get("labels", {}).items():
+            flat[f"{name}.{label}"] = value
+        flat[f"{name}.overflowed"] = lab.get("overflowed", 0)
+    for child_name, child in snap.get("children", {}).items():
+        for key, value in flatten_snapshot(child).items():
+            flat[f"{child_name}.{key}"] = value
+    return flat
+
+
+def expose_prometheus_snapshot(snap: Mapping, name: str = "repro") -> str:
+    """Prometheus text exposition (v0.0.4) of a snapshot dict."""
+    lines: List[str] = []
+    _expose_snapshot_into(snap, lines, prefix=name)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _expose_snapshot_into(
+    snap: Mapping, lines: List[str], prefix: str
+) -> None:
+    entries: List[Tuple[str, str, object]] = []
+    for name, value in snap.get("counters", {}).items():
+        entries.append((name, "counter", value))
+    for name, value in snap.get("gauges", {}).items():
+        entries.append((name, "gauge", value))
+    for name, hist in snap.get("histograms", {}).items():
+        entries.append((name, "histogram", hist))
+    for name, lab in snap.get("labeled", {}).items():
+        entries.append((name, "labeled", lab))
+    for name, kind, value in sorted(entries):
+        metric = _prom_name(prefix, name)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_float(value)}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            counts = list(value.get("buckets", []))
+            last = 0
+            for index, count in enumerate(counts):
+                if count:
+                    last = index
+            cumulative = 0
+            for index in range(last + 1 if counts else 0):
+                cumulative += counts[index]
+                bound = 2 ** (index + 1)
+                lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+            total = value.get("count", 0)
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+            lines.append(
+                f"{metric}_sum {_prom_float(value.get('sum_us', 0.0))}"
+            )
+            lines.append(f"{metric}_count {total}")
+        else:  # labeled
+            lines.append(f"# TYPE {metric} counter")
+            for label, count in sorted(value.get("labels", {}).items()):
+                lines.append(
+                    f'{metric}{{key="{_prom_label_value(label)}"}} {count}'
+                )
+            lines.append(f"# TYPE {metric}_overflowed counter")
+            lines.append(f"{metric}_overflowed {value.get('overflowed', 0)}")
+    for child_name, child in sorted(snap.get("children", {}).items()):
+        _expose_snapshot_into(
+            child, lines, prefix=_prom_name(prefix, child_name)
+        )

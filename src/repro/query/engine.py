@@ -76,17 +76,25 @@ class WindowDiff:
 
 
 class QueryEngine:
-    """Read-side API over one segment directory (or SegmentStore)."""
+    """Read-side API over one segment directory (or a store).
+
+    ``source`` may be a directory path, a :class:`SegmentStore`, or any
+    store-shaped object (``refresh()``/``segments()``) — notably a
+    :class:`~repro.query.manifest.CompositeSegmentStore` unioning the
+    per-worker stores of a multi-process service.
+    """
 
     def __init__(self, source):
-        if isinstance(source, SegmentStore):
-            self.store = source
-        elif isinstance(source, str):
+        if isinstance(source, str):
             self.store = SegmentStore(source)
+        elif callable(getattr(source, "segments", None)) and callable(
+            getattr(source, "refresh", None)
+        ):
+            self.store = source
         else:
             raise QueryError(
-                f"QueryEngine source must be a directory path or "
-                f"SegmentStore, not {type(source).__name__}"
+                f"QueryEngine source must be a directory path or a "
+                f"segment store, not {type(source).__name__}"
             )
 
     def refresh(self) -> "QueryEngine":

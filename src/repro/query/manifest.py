@@ -47,7 +47,13 @@ from repro.resilience.checkpoint import (
     record_line,
 )
 
-__all__ = ["MANIFEST_VERSION", "SegmentStore", "load_manifest", "write_manifest"]
+__all__ = [
+    "MANIFEST_VERSION",
+    "CompositeSegmentStore",
+    "SegmentStore",
+    "load_manifest",
+    "write_manifest",
+]
 
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "manifest.dpqm"
@@ -241,3 +247,53 @@ class SegmentStore:
                 "rejected": self.rejected,
                 "manifest_fallbacks": self.manifest_fallbacks,
             }
+
+
+class CompositeSegmentStore:
+    """A read-only union of several :class:`SegmentStore` directories.
+
+    The multi-process topology writes one store per decode worker (plus
+    the parent's); queries must see them as one segment set.  Segment
+    deltas are order-independent sums, so the union is served as a
+    plain concatenation — re-sorted by ``(t_lo, seq, directory)`` so
+    listings are deterministic across refreshes.  ``append`` is
+    deliberately absent: each store keeps its single writer.
+    """
+
+    def __init__(self, stores: List[SegmentStore]):
+        if not stores:
+            raise QueryError("CompositeSegmentStore needs at least one store")
+        self.stores = list(stores)
+        self.directory = [store.directory for store in self.stores]
+
+    def refresh(self) -> List[Segment]:
+        segments: List[Segment] = []
+        for store in self.stores:
+            segments.extend(store.refresh())
+        return self._ordered(segments)
+
+    def segments(self) -> List[Segment]:
+        segments: List[Segment] = []
+        for store in self.stores:
+            segments.extend(store.segments())
+        return self._ordered(segments)
+
+    @staticmethod
+    def _ordered(segments: List[Segment]) -> List[Segment]:
+        return sorted(
+            segments, key=lambda s: (s.t_lo, s.seq, os.path.dirname(s.path))
+        )
+
+    def stats(self) -> dict:
+        parts = [store.stats() for store in self.stores]
+        return {
+            "directory": self.directory,
+            "stores": parts,
+            "segments": sum(p["segments"] for p in parts),
+            "rows": sum(p["rows"] for p in parts),
+            "samples": sum(p["samples"] for p in parts),
+            "rejected": sum(p["rejected"] for p in parts),
+            "manifest_fallbacks": sum(
+                p["manifest_fallbacks"] for p in parts
+            ),
+        }

@@ -62,6 +62,7 @@ class SegmentWriter:
         self._window_start = clock()
         self.flushes = 0
         self.empty_flushes = 0
+        self.salvaged_flushes = 0
 
     def set_fingerprint(self, fingerprint: str) -> None:
         self.fingerprint = fingerprint
@@ -71,16 +72,29 @@ class SegmentWriter:
         """Write one segment of deltas since the last flush.
 
         Returns the new segment's path, or None when nothing changed.
-        On any exception the baseline/window are left as they were, so
-        retrying covers the same samples.
+        On an exception the baseline/window are left as they were, so
+        retrying covers the same samples — with one exception: when the
+        failed ``append`` turns out to have landed its segment durably
+        (the rename happened, then loading or the manifest rewrite
+        blew up — a crash window a dying worker process hits), the
+        flush is *salvaged*: the baseline advances, the landed path is
+        returned, and ``query.flush_salvaged`` counts it.  Without the
+        salvage a retry would re-emit the same delta on top of the
+        durable segment and every sample in it would be counted twice.
+
+        Deltas clamp at zero per component: a reconciled baseline (see
+        :meth:`rebase`) can sit *ahead* of a recovered tree for keys
+        whose flushed counts outlived the checkpoint; those keys emit
+        nothing until the tree catches back up, instead of handing
+        :class:`SegmentState` a negative row.
         """
         with self._lock:
             cumulative = _cumulative(self.tree.rows())
             rows = []
             for key, (count, gaps) in cumulative.items():
                 base_count, base_gaps = self._baseline.get(key, (0, 0))
-                d_count = count - base_count
-                d_gaps = gaps - base_gaps
+                d_count = max(0, count - base_count)
+                d_gaps = max(0, gaps - base_gaps)
                 if d_count or d_gaps:
                     rows.append((key[0], d_count, d_gaps, key[1]))
             now = self._clock()
@@ -96,28 +110,104 @@ class SegmentWriter:
                 rows=tuple(rows),
             )
             with obs.span("query.flush", rows=len(rows)):
-                path = self.store.append(state, fault=fault)
-            self._baseline = cumulative
+                try:
+                    path = self.store.append(state, fault=fault)
+                except Exception:
+                    path = self._salvage(state)
+                    if path is None:
+                        raise
+                    self.salvaged_flushes += 1
+                    obs.counter("query.flush_salvaged").inc()
+            self._advance_baseline(cumulative)
             self._window_start = state.t_hi
             self.flushes += 1
             return path
 
-    def rebase(self, rows: Iterable[tuple]) -> None:
-        """Reset the baseline to ``rows`` (post-recovery tree contents).
+    def _advance_baseline(self, cumulative: Dict[_Key, Tuple[int, int]]) -> None:
+        """Move the baseline forward, never backward, per key.
 
-        Counts restored from a checkpoint were already flushed to
-        segments before the crash (or lost with the process — either
-        way they are not *new*), so they must not be emitted again.
+        For keys where the baseline ran ahead of the tree (durable
+        segments outliving a checkpoint), adopting the smaller tree
+        value would let a later flush re-emit counts the store already
+        holds; the component-wise max keeps the baseline equal to what
+        the segments durably contain.
+        """
+        merged = dict(self._baseline)
+        for key, (count, gaps) in cumulative.items():
+            base_count, base_gaps = merged.get(key, (0, 0))
+            merged[key] = (max(base_count, count), max(base_gaps, gaps))
+        self._baseline = merged
+
+    def _salvage(self, state: SegmentState) -> Optional[str]:
+        """After a failed append: did the segment land durably anyway?
+
+        Scans the refreshed store (which adopts orphan segments the
+        manifest never recorded) for a segment whose content is exactly
+        the attempted state.  Returns its path, or None when the write
+        genuinely never made it.
+        """
+        try:
+            self.store.refresh()
+            for seg in self.store.segments():
+                if (
+                    seg.rows == state.rows
+                    and seg.fingerprint == state.fingerprint
+                    and abs(seg.t_lo - state.t_lo) < 1e-9
+                    and abs(seg.t_hi - state.t_hi) < 1e-9
+                ):
+                    return seg.path
+        except Exception:  # noqa: BLE001 - salvage is best-effort
+            return None
+        return None
+
+    def rebase(
+        self, rows: Iterable[tuple], *, reconcile_store: bool = False
+    ) -> None:
+        """Reset the baseline after recovery.
+
+        Plain ``rebase(rows)`` adopts the recovered tree contents as
+        the baseline: counts restored from a checkpoint are not *new*
+        and must not be emitted again.
+
+        ``reconcile_store=True`` goes further and rebuilds the baseline
+        from the **durable segments themselves** — the correct baseline
+        after a process crash, where checkpoint cadence and segment
+        cadence disagree in either direction.  Per key: counts the
+        store holds beyond the checkpoint are never re-emitted (no
+        double count), and counts the checkpoint restored that never
+        reached a segment are emitted by the next flush (not dropped).
+        ``rows`` is only the fallback when the store cannot be read.
         """
         with self._lock:
-            self._baseline = _cumulative(rows)
+            if reconcile_store:
+                baseline = self._store_cumulative()
+                if baseline is None:
+                    baseline = _cumulative(rows)
+            else:
+                baseline = _cumulative(rows)
+            self._baseline = baseline
             self._window_start = self._clock()
+
+    def _store_cumulative(self) -> Optional[Dict[_Key, Tuple[int, int]]]:
+        """Sum every durable segment's delta rows, or None on failure."""
+        try:
+            self.store.refresh()
+            out: Dict[_Key, Tuple[int, int]] = {}
+            for seg in self.store.segments():
+                for path, count, gaps, epoch in seg.rows:
+                    key = (tuple(path), epoch)
+                    prev = out.get(key, (0, 0))
+                    out[key] = (prev[0] + count, prev[1] + gaps)
+            return out
+        except Exception:  # noqa: BLE001 - recovery must not die here
+            return None
 
     def stats(self) -> dict:
         with self._lock:
             out = {
                 "flushes": self.flushes,
                 "empty_flushes": self.empty_flushes,
+                "salvaged_flushes": self.salvaged_flushes,
                 "baseline_rows": len(self._baseline),
                 "window_start": self._window_start,
             }

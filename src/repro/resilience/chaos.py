@@ -49,7 +49,13 @@ from repro.errors import (
 )
 from repro.service.ingest import WorkerKilled
 
-__all__ = ["ChaosConfig", "ChaosInjector", "ChaosReport", "run_chaos"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosReport",
+    "kill_during_flush_failures",
+    "run_chaos",
+]
 
 
 @dataclass(frozen=True)
@@ -279,6 +285,133 @@ def _tree_counts(service) -> Dict[Tuple[str, ...], int]:
     return counts
 
 
+def kill_during_flush_failures(
+    seed: int = 0, observations: int = 32
+) -> List[str]:
+    """Chaos oracle: a worker SIGKILLed *inside* ``flush_segments()``,
+    in the window after the segment file is durably renamed but before
+    the writer's in-memory bookkeeping runs.
+
+    The fsync'd segment must be neither dropped (its samples are on
+    disk; recovery must serve them) nor double-counted (the recovered
+    writer's reconciled baseline must know the store already holds
+    them, even though the dead process's checkpoint predates the
+    segment).  Asserted with the byte-equivalence query oracle: the
+    durable answers readable the instant after the kill are exactly the
+    answers after recovery, and stay exact after the recovered service
+    flushes again.
+
+    Returns a list of failure strings (empty = the invariants held).
+    """
+    from repro.check.fuzz import generate_case
+    from repro.check.oracle import (
+        _collect_observations,
+        canonical_query_answers,
+        query_equivalence_failures,
+    )
+    from repro.query.engine import QueryEngine
+    from repro.resilience import ResilienceConfig
+    from repro.runtime.plan import build_plan_from_graph
+    from repro.service.service import ContextService, ServiceConfig
+
+    case = generate_case(seed)
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []  # this seed's graph does not fit; nothing to test
+    rng = random.Random(seed ^ 0xF1D5)
+    obs_list = _collect_observations(plan, rng, observations)
+    if len(obs_list) < 2:
+        return []
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-killflush-") as tmp:
+        segment_dir = os.path.join(tmp, "segments")
+        resilience = ResilienceConfig(
+            checkpoint_dir=os.path.join(tmp, "checkpoints"),
+            checkpoint_on_stop=False,
+        )
+        service = ContextService(
+            plan,
+            ServiceConfig(workers=1, shards=2, segment_dir=segment_dir),
+            resilience=resilience,
+        ).start()
+        from repro.service.batch import SampleBatch
+
+        midpoint = len(obs_list) // 2
+        service.submit_batch(
+            SampleBatch.from_observations(
+                obs_list[:midpoint], epoch=service.epoch
+            )
+        )
+        service.flush(timeout=30.0)
+        service.flush_segments()
+        service.checkpoint()  # durable tree state: first half only
+        service.submit_batch(
+            SampleBatch.from_observations(
+                obs_list[midpoint:], epoch=service.epoch
+            )
+        )
+        service.flush(timeout=30.0)
+
+        # The kill: append lands the segment durably, then the process
+        # "dies" — the raise stands in for the SIGKILL, and disabling
+        # salvage models that no post-append code ever ran.
+        writer = service._segments
+        real_append = writer.store.append
+
+        def dying_append(state, fault=None):
+            real_append(state, fault=fault)
+            raise ChaosError("chaos: worker killed after segment fsync")
+
+        writer.store.append = dying_append
+        writer._salvage = lambda state: None
+        try:
+            service.flush_segments()
+            failures.append(
+                "kill-during-flush was not injected (flush succeeded)"
+            )
+        except (ChaosError, ReproError):
+            pass
+        finally:
+            writer.store.append = real_append
+        # What a reader could durably see the instant after the kill.
+        pre_answers = canonical_query_answers(
+            QueryEngine(segment_dir).refresh()
+        )
+        service.stop(timeout=30.0)  # the dead process's teardown
+
+        # Recovery into a fresh process.
+        fresh = ContextService(
+            plan,
+            ServiceConfig(workers=1, shards=2, segment_dir=segment_dir),
+            resilience=resilience,
+        )
+        try:
+            fresh.recover(resilience.checkpoint_dir)
+        except CheckpointError as exc:
+            fresh.start()
+            fresh.stop(timeout=10.0)
+            return [f"recover() found no valid checkpoint: {exc}"]
+        post_answers = canonical_query_answers(fresh.query())
+        failures.extend(
+            f"fsync'd segment dropped across recovery: {f}"
+            for f in query_equivalence_failures(pre_answers, post_answers)
+        )
+        # The reconciled baseline must treat the orphan segment's counts
+        # as already-emitted: another flush may not re-emit them.
+        fresh.start()
+        fresh.flush_segments()
+        fresh.stop(timeout=10.0)
+        flushed_answers = canonical_query_answers(
+            QueryEngine(segment_dir).refresh()
+        )
+        failures.extend(
+            f"fsync'd segment double-counted by post-recovery flush: {f}"
+            for f in query_equivalence_failures(pre_answers, flushed_answers)
+        )
+    return failures
+
+
 def run_chaos(
     iterations: int = 25,
     seed: int = 0,
@@ -353,6 +486,23 @@ def run_chaos(
                     log(f"FAIL iteration {i} seed={case_seed}: {failures[0]}")
             elif log and i % 10 == 0:
                 log(f"iteration {i} ok ({case.label}, seed={case_seed})")
+        # Targeted scenario: the crash window inside flush_segments().
+        for i in range(min(2, max(1, iterations // 8))):
+            case_seed = seed + 7919 * (i + 1)
+            kill_failures = kill_during_flush_failures(
+                case_seed, observations=observations
+            )
+            report.query_checks += 1
+            if kill_failures:
+                report.failures.extend(
+                    f"kill-during-flush (seed={case_seed}): {f}"
+                    for f in kill_failures
+                )
+                if log:
+                    log(
+                        f"FAIL kill-during-flush seed={case_seed}: "
+                        f"{kill_failures[0]}"
+                    )
     report.elapsed_s = time.perf_counter() - start
     return report
 

@@ -33,7 +33,6 @@ from typing import Callable, Optional
 
 from repro import obs
 from repro.errors import ResilienceError
-from repro.service.ingest import WorkerPool
 
 __all__ = ["Supervisor", "SupervisorConfig"]
 
@@ -64,11 +63,24 @@ class SupervisorConfig:
 
 
 class Supervisor:
-    """Heartbeat monitor + restart driver for one worker pool."""
+    """Heartbeat monitor + restart driver for one worker pool.
+
+    ``pool`` is duck-typed, not a concrete class: anything exposing
+    ``worker_states() -> [WorkerState]``, ``restart_worker(slot) ->
+    bool`` (truthy = a replacement was spawned; the restart budget is
+    charged), and a sized ``_queue`` (``len()`` = pending samples,
+    ``.dropped``) can be supervised.  The thread
+    :class:`~repro.service.ingest.WorkerPool` and the process
+    :class:`~repro.service.workers.ProcessWorkerPool` both satisfy it —
+    process death shows up as ``WorkerState.dead`` exactly like thread
+    death (pid liveness + heartbeat-file mtimes translated to parent
+    monotonic time), so real process crashes ride the same budgeted
+    holdoff discipline with no supervisor changes.
+    """
 
     def __init__(
         self,
-        pool: WorkerPool,
+        pool,
         *,
         config: Optional[SupervisorConfig] = None,
         on_degraded: Optional[Callable[[], None]] = None,

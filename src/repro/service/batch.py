@@ -65,7 +65,17 @@ from repro.core.stackmodel import EntryKind, StackEntry
 from repro.errors import ServiceError
 from repro.graph.callgraph import CallSite
 
-__all__ = ["SampleBatch", "GroupKey"]
+__all__ = ["SampleBatch", "GroupKey", "node_lane"]
+
+
+def node_lane(node: str, lanes: int) -> int:
+    """The lane a function name routes to under *n*-way node sharding.
+
+    Stable across processes and interpreter restarts (``zlib.crc32`` of
+    the UTF-8 name — never ``hash()``, which is salted per process), so
+    the parent's router and every worker agree on shard ownership.
+    """
+    return zlib.crc32(node.encode("utf-8")) % lanes
 
 _MAGIC = b"DPSB"
 _VERSION = 1
@@ -321,6 +331,72 @@ class SampleBatch:
             else:
                 out[key] = (got[0] + 1, got[1] + weights[i])
         return out
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same columns, same interning tables.
+
+        Stricter than sample-set equality — table *order* matters — which
+        is exactly what the wire-form round-trip property needs:
+        ``from_bytes(to_bytes(b)) == b`` must hold bit-for-bit.
+        """
+        if not isinstance(other, SampleBatch):
+            return NotImplemented
+        return (
+            self._cols == other._cols
+            and self._nodes == other._nodes
+            and self._stacks == other._stacks
+        )
+
+    def split_by_node(self, lanes: int) -> List["SampleBatch"]:
+        """Partition the batch into ``lanes`` sub-batches by node shard.
+
+        Every row routes by :func:`node_lane` of its function name, so a
+        given function's samples always land on the same decode worker
+        regardless of which process (or run) does the splitting.  Tables
+        are re-interned per sub-batch; rows keep their relative order.
+        """
+        if lanes < 1:
+            raise ServiceError(f"lane count must be >= 1, got {lanes}")
+        outs = [SampleBatch() for _ in range(lanes)]
+        if not len(self):
+            return outs
+        route = [node_lane(n, lanes) for n in self._nodes]
+        node_map: List[Dict[int, int]] = [{} for _ in range(lanes)]
+        stack_map: List[Dict[int, int]] = [{} for _ in range(lanes)]
+        cols = self._cols
+        rows = zip(
+            cols["epoch"], cols["node_idx"], cols["stack_idx"],
+            cols["current_id"], cols["thread"], cols["weight"],
+        )
+        for epoch, ni, si, current_id, thread, weight in rows:
+            lane = route[ni]
+            out = outs[lane]
+            nm = node_map[lane]
+            new_ni = nm.get(ni)
+            if new_ni is None:
+                name = self._nodes[ni]
+                new_ni = len(out._nodes)
+                out._nodes.append(name)
+                out._node_ids[name] = new_ni
+                nm[ni] = new_ni
+            sm = stack_map[lane]
+            new_si = sm.get(si)
+            if new_si is None:
+                stack = self._stacks[si]
+                new_si = len(out._stacks)
+                out._stacks.append(stack)
+                out._stack_ids[stack] = new_si
+                sm[si] = new_si
+            if weight != 1:
+                out._uniform = False
+            ocols = out._cols
+            ocols["epoch"].append(epoch)
+            ocols["node_idx"].append(new_ni)
+            ocols["stack_idx"].append(new_si)
+            ocols["current_id"].append(current_id)
+            ocols["thread"].append(thread)
+            ocols["weight"].append(weight)
+        return outs
 
     def indices_of(self, key: GroupKey) -> List[int]:
         """Row indices of one group (failure triage; scans the batch)."""

@@ -55,6 +55,7 @@ Typical wiring::
 
 from __future__ import annotations
 
+import os
 import random
 import sys
 import threading
@@ -130,6 +131,20 @@ class ServiceConfig:
     #: Scrape-endpoint bind address. Loopback by default: exposing the
     #: surface off-box is a deployment decision, not a default.
     http_host: str = "127.0.0.1"
+    #: Decode worker **processes** (0 = the in-process thread pool).
+    #: When >= 1 the service fans ingestion out over shared-memory
+    #: batch lanes to per-process shard owners (see
+    #: :mod:`repro.service.workers`); hot swaps are unsupported in this
+    #: topology and metrics/accounting merge at read time.
+    worker_processes: int = 0
+    #: Ring slots per shared-memory lane (one lane per worker process).
+    lane_slots: int = 64
+    #: Bytes per lane slot; one DPSB record must fit (oversized batches
+    #: are split, an unsplittable record is dropped and counted).
+    lane_slot_bytes: int = 1 << 20
+    #: Root for worker heartbeat/status/checkpoint files (None = a
+    #: private temp dir, removed when the pool is destroyed).
+    worker_dir: Optional[str] = None
 
     @property
     def drain_budget(self) -> int:
@@ -212,12 +227,21 @@ class ContextService:
             fault=chaos.worker_fault if chaos is not None else None,
         )
 
+        # Multi-process scale-out: decode worker processes behind
+        # shared-memory lanes. The thread pool stays constructed (it is
+        # the leftovers/replay engine at stop time) but never starts.
+        self._procs = None
+        if self.config.worker_processes:
+            from repro.service.workers import ProcessWorkerPool
+
+            self._procs = ProcessWorkerPool(plan, self.config)
+
         self._supervisor = None
         if resilience is not None and resilience.supervise:
             from repro.resilience.supervisor import Supervisor
 
             self._supervisor = Supervisor(
-                self._pool,
+                self._procs if self._procs is not None else self._pool,
                 config=resilience.supervisor_config(),
                 on_degraded=self._enter_degraded,
             )
@@ -274,7 +298,10 @@ class ContextService:
             raise ServiceError("service was stopped; build a new one")
         if not self._started:
             self._started = True
-            self._pool.start()
+            if self._procs is not None:
+                self._procs.start()
+            else:
+                self._pool.start()
             if self._supervisor is not None:
                 self._supervisor.start()
             if (
@@ -321,7 +348,26 @@ class ContextService:
             self._daemon.stop()
         self._queue.close()
         ok = True
-        if self._started and drain:
+        if self._procs is not None:
+            # Process topology: close the lanes, let workers drain and
+            # exit (each writes its final checkpoint/segments/status),
+            # then ingest inline whatever a dead worker left behind so
+            # every sample still lands in a conservation bucket.
+            leftovers = self._procs.stop(drain=self._started and drain,
+                                         timeout=timeout)
+            if self._started:
+                for batch in leftovers:
+                    self._handle_items([batch])
+                if len(self._queue):
+                    self._shed_queue_to_fallback()
+                self.replay_fallback()
+                ok = (
+                    self._procs.alive() == 0
+                    and not len(self._procs._queue)
+                )
+                if not ok and drain:
+                    self.metrics.count("flush_timeout")
+        elif self._started and drain:
             self._pool.join(timeout=timeout)
             if self._pool.alive() == 0:
                 # All workers finished (normally or dead): anything the
@@ -344,6 +390,8 @@ class ContextService:
                 self.checkpoint()
             except Exception:  # noqa: BLE001 - counted by the store
                 pass
+        if self._procs is not None:
+            self._procs.destroy()
         self._stop_result = ok
         return ok
 
@@ -393,6 +441,11 @@ class ContextService:
                 if self._retain_fallback(sample):
                     retained += 1
             return retained
+        if self._procs is not None:
+            # Lane routing is by function name (stable across processes)
+            # so each context always decodes on its shard owner; drops
+            # are tallied per lane, by sample count.
+            return self._procs.submit(batch, timeout=timeout)
         # Drops of every flavour (newest, oldest, timeout, error, and
         # closed-while-racing-stop) are tallied by the queue itself, by
         # sample count, so accounting stays exact even when the
@@ -513,6 +566,12 @@ class ContextService:
         self.metrics.observe_queue_depth(len(self._queue))
         if self._degraded:
             return self._retain_fallback(sample)
+        if self._procs is not None:
+            packed = SampleBatch()
+            packed.append(
+                node, (stack, current_id), epoch=epoch, weight=weight
+            )
+            return self._procs.submit(packed, timeout=timeout) == 1
         return self._queue.put(sample, timeout=timeout, on_closed="drop")
 
     def submit_many(
@@ -567,6 +626,28 @@ class ContextService:
         and raises — never a silent half-flush.
         """
         deadline = time.monotonic() + timeout
+        if self._procs is not None:
+            while time.monotonic() < deadline:
+                if self._degraded:
+                    self._drain_dead_lanes()
+                remaining = max(0.01, deadline - time.monotonic())
+                synced = self._procs.sync(timeout=remaining)
+                if len(self._fallback):
+                    self.replay_fallback()
+                acct = self.accounting()
+                done = (
+                    acct["aggregated"]
+                    + acct["dead_lettered"]
+                    + acct["epoch_mismatches"]
+                    + acct["dropped"]
+                    + acct["fallback_dropped"]
+                    + acct["fallback_pending"]
+                )
+                if synced and done >= acct["submitted"]:
+                    return
+                time.sleep(0.002)
+            self.metrics.count("flush_timeout")
+            raise ServiceError(f"flush timed out after {timeout}s")
         while time.monotonic() < deadline:
             if self._degraded:
                 # No workers left: the flushing thread does the work.
@@ -598,6 +679,7 @@ class ContextService:
         still decode under their own plans; new submissions against the
         repaired plan stamp the new epoch.
         """
+        self._reject_multiproc_swap()
         epoch = self.engine.install_update(update)
         self.metrics.count("hot_swaps")
         delta = update.delta
@@ -611,10 +693,27 @@ class ContextService:
 
     def install_plan(self, plan: DeltaPathPlan) -> int:
         """Adopt a full rebuild as the next epoch."""
+        self._reject_multiproc_swap()
         epoch = self.engine.install(plan)
         self.metrics.count("hot_swaps")
         self._record_epoch(epoch, None)
         return epoch
+
+    def _reject_multiproc_swap(self) -> None:
+        """Hot swaps are a single-process feature, for now.
+
+        Worker processes decode with the plan they were forked with;
+        installing a new epoch in the parent only would stamp samples
+        with epochs the workers cannot resolve, turning every
+        post-swap sample into a dead letter. Until a cross-process
+        plan-distribution protocol exists, the swap is refused loudly.
+        """
+        if self._procs is not None:
+            raise ServiceError(
+                "hot swaps are not supported with worker_processes >= 1; "
+                "decode workers hold the plan they were spawned with — "
+                "stop the fleet and start a new one on the new plan"
+            )
 
     def _fingerprint_of(self, epoch: int) -> str:
         """The SHA-256 plan fingerprint of ``epoch`` ("" once pruned).
@@ -947,6 +1046,17 @@ class ContextService:
             self._degraded = True
         obs.gauge("resilience.degraded").set(1)
         self._shed_queue_to_fallback()
+        if self._procs is not None:
+            self._drain_dead_lanes()
+
+    def _drain_dead_lanes(self) -> int:
+        """Retain raw whatever dead workers left queued in their lanes."""
+        shed = 0
+        for batch in self._procs.drain_leftovers(only_dead=True):
+            for sample in batch:
+                self._retain_fallback(sample)
+                shed += 1
+        return shed
 
     @property
     def degraded(self) -> bool:
@@ -1006,6 +1116,11 @@ class ContextService:
                 "no checkpoint directory configured; pass directory= or "
                 "set ResilienceConfig.checkpoint_dir"
             )
+        if self._procs is not None and self._started and not self._stopped:
+            # Workers checkpoint their own shards when they ack the
+            # sync; the parent snapshot below covers only parent-side
+            # rows (leftover re-ingest, fallback replay).
+            self._procs.sync(timeout=10.0)
         state = CheckpointState(
             epoch=self.engine.epoch,
             fingerprint=plan_fingerprint(self.engine.plan),
@@ -1036,6 +1151,9 @@ class ContextService:
                 "no segment directory configured; set "
                 "ServiceConfig.segment_dir to enable the query layer"
             )
+        if self._procs is not None and self._started and not self._stopped:
+            # Workers flush their own segment stores on the sync ack.
+            self._procs.sync(timeout=10.0)
         fault = (
             self._chaos.checkpoint_fault() if self._chaos is not None else None
         )
@@ -1064,6 +1182,18 @@ class ContextService:
                 "recover() needs an empty tree; this service already "
                 "aggregated samples"
             )
+        if isinstance(source, str) and os.path.isdir(source):
+            worker_stores = sorted(
+                entry.path
+                for entry in os.scandir(source)
+                if entry.is_dir()
+                and entry.name.startswith("worker-")
+                and os.path.isdir(os.path.join(entry.path, "checkpoints"))
+            )
+            if worker_stores:
+                return self._recover_worker_fleet(
+                    worker_stores, allow_mismatch=allow_mismatch
+                )
         store = (
             source
             if isinstance(source, CheckpointStore)
@@ -1087,10 +1217,11 @@ class ContextService:
         self.metrics.count("recovered", restored)
         self.engine.advance_epoch_to(state.epoch)
         if self._segments is not None:
-            # Recovered counts were either flushed to segments before
-            # the crash or lost with it; rebasing the writer's baseline
-            # keeps them from being re-emitted as a fresh delta.
-            self._segments.rebase(self.tree.rows())
+            # Rebase against the durable segments themselves: counts
+            # they already hold are never re-emitted, and recovered
+            # counts that never reached a segment (checkpoint ran ahead
+            # of the flush cadence) go out with the next flush.
+            self._segments.rebase(self.tree.rows(), reconcile_store=True)
             self._segments.set_fingerprint(
                 self._fingerprint_of(self.engine.epoch)
             )
@@ -1104,6 +1235,100 @@ class ContextService:
             "rows": len(state.rows),
             "samples": restored,
         }
+
+    def _recover_worker_fleet(
+        self, worker_dirs: List[str], *, allow_mismatch: bool
+    ) -> Dict:
+        """Reassemble a multi-process fleet's state from its pool root.
+
+        Each ``worker-N/checkpoints`` holds that worker's newest
+        snapshot of its *disjoint* shard set, so restoring them
+        additively into one tree reconstructs the fleet total exactly
+        (row keys never collide across workers; colliding keys from an
+        old pre-crash generation sum correctly because
+        :meth:`ShardedContextTree.restore_rows` is additive).  The
+        segment baseline is rebuilt from the durable segments of every
+        store (parent + per-worker), so the first post-recovery flush
+        emits exactly the counts that never reached a segment.
+        """
+        from repro.resilience.checkpoint import (
+            CheckpointStore,
+            plan_fingerprint,
+        )
+
+        t0 = time.perf_counter()
+        fingerprint = plan_fingerprint(self.engine.plan)
+        restored = 0
+        rows_seen = 0
+        epoch = self.engine.epoch
+        loaded: List[str] = []
+        for directory in worker_dirs:
+            found = CheckpointStore(
+                os.path.join(directory, "checkpoints")
+            ).load_newest()
+            if found is None:
+                continue
+            path, state = found
+            if state.fingerprint != fingerprint and not allow_mismatch:
+                raise CheckpointError(
+                    f"worker checkpoint {path!r} was written under a "
+                    f"different plan (fingerprint "
+                    f"{state.fingerprint[:12]}… vs installed "
+                    f"{fingerprint[:12]}…); pass allow_mismatch=True"
+                )
+            restored += self.tree.restore_rows(state.rows)
+            rows_seen += len(state.rows)
+            epoch = max(epoch, state.epoch)
+            loaded.append(path)
+        if not loaded:
+            raise CheckpointError(
+                f"no valid worker checkpoint under {worker_dirs!r}"
+            )
+        self.metrics.count("recovered", restored)
+        self.engine.advance_epoch_to(epoch)
+        if self._segments is not None:
+            self._segments.rebase(self._durable_segment_rows())
+            self._segments.set_fingerprint(
+                self._fingerprint_of(self.engine.epoch)
+            )
+        obs.counter("resilience.recoveries").inc()
+        obs.histogram("resilience.recover_us").observe_us(
+            (time.perf_counter() - t0) * 1e6
+        )
+        return {
+            "path": loaded[0],
+            "paths": loaded,
+            "workers": len(loaded),
+            "epoch": epoch,
+            "rows": rows_seen,
+            "samples": restored,
+        }
+
+    def _worker_segment_dirs(self) -> List[str]:
+        """Per-worker segment stores under ``segment_dir`` (sorted)."""
+        root = self.config.segment_dir
+        if not root or not os.path.isdir(root):
+            return []
+        return sorted(
+            entry.path
+            for entry in os.scandir(root)
+            if entry.is_dir() and entry.name.startswith("worker-")
+        )
+
+    def _durable_segment_rows(self) -> List[tuple]:
+        """Every durable segment row across parent + worker stores."""
+        from repro.query.manifest import SegmentStore
+
+        stores = [self._segments.store]
+        stores.extend(
+            SegmentStore(path) for path in self._worker_segment_dirs()
+        )
+        rows: List[tuple] = []
+        for store in stores:
+            store.refresh()
+            for seg in store.segments():
+                rows.extend(seg.rows)
+        return rows
 
     # ------------------------------------------------------------------
     # Query API — uniform keyword-only ``epoch=`` / ``decoded=`` contract
@@ -1121,7 +1346,31 @@ class ContextService:
         plan epoch; ``decoded=False`` returns compact integer context
         ids in place of paths (resolve with ``service.store.path``).
         """
-        return self.tree.top_contexts(k, epoch=epoch, decoded=decoded)
+        return self._merged_tree().top_contexts(
+            k, epoch=epoch, decoded=decoded
+        )
+
+    def _merged_tree(self):
+        """The tree the query views read: local, or fleet-merged.
+
+        Single-process, this is ``self.tree``.  With worker processes
+        it is a fresh tree holding the parent rows plus every worker's
+        latest reported rows (each worker's shard set appears exactly
+        once — see :meth:`ProcessWorkerPool.merged_rows`).  A running
+        fleet is synced first so the merged view is exact at a
+        quiescent point rather than trailing the last heavy status.
+        """
+        if self._procs is None:
+            return self.tree
+        if self._started and not self._stopped:
+            self._procs.sync(timeout=5.0)
+        merged = ShardedContextTree(
+            self.config.shards,
+            store=ContextStore(compression=self.config.store_compression),
+        )
+        merged.restore_rows(self.tree.rows())
+        merged.restore_rows(self._procs.merged_rows())
+        return merged
 
     def function_totals(
         self,
@@ -1131,7 +1380,7 @@ class ContextService:
         decoded: bool = True,
     ) -> Dict[object, int]:
         """Per-function rollups (see :meth:`ShardedContextTree.function_totals`)."""
-        return self.tree.function_totals(
+        return self._merged_tree().function_totals(
             leaf_only=leaf_only, epoch=epoch, decoded=decoded
         )
 
@@ -1147,11 +1396,12 @@ class ContextService:
         ``decoded`` is accepted for signature uniformity with the other
         queries; the stats are purely numeric, so it has no effect.
         """
+        tree = self._merged_tree()
         if epoch is None:
-            total = self.tree.total_samples
+            total = tree.total_samples
         else:
-            total = self.tree.weight_total(epoch=epoch)
-        gaps = self.tree.gap_total(epoch=epoch)
+            total = tree.weight_total(epoch=epoch)
+        gaps = tree.gap_total(epoch=epoch)
         return {
             "samples": total,
             "gap_samples": gaps,
@@ -1171,10 +1421,25 @@ class ContextService:
                 "no segment directory configured; set "
                 "ServiceConfig.segment_dir to enable the query layer"
             )
-        if self._query_engine is None:
+        worker_dirs = tuple(self._worker_segment_dirs())
+        if (
+            self._query_engine is None
+            or worker_dirs != getattr(self, "_query_dirs", None)
+        ):
             from repro.query.engine import QueryEngine
 
-            self._query_engine = QueryEngine(self._segments.store)
+            store = self._segments.store
+            if worker_dirs:
+                from repro.query.manifest import (
+                    CompositeSegmentStore,
+                    SegmentStore,
+                )
+
+                store = CompositeSegmentStore(
+                    [store] + [SegmentStore(d) for d in worker_dirs]
+                )
+            self._query_engine = QueryEngine(store)
+            self._query_dirs = worker_dirs
         return self._query_engine.refresh()
 
     def forensics(self) -> List[dict]:
@@ -1201,12 +1466,14 @@ class ContextService:
 
     def report(self) -> ContextTreeReport:
         """The merged calling-context tree (a fresh copy)."""
-        return self.tree.merged_report()
+        return self._merged_tree().merged_report()
 
     def render_report(
         self, min_total: int = 1, max_depth: Optional[int] = None
     ) -> str:
-        return self.tree.render(min_total=min_total, max_depth=max_depth)
+        return self._merged_tree().render(
+            min_total=min_total, max_depth=max_depth
+        )
 
     def accounting(self) -> Dict[str, int]:
         """The conservation-law terms, in one place.
@@ -1217,7 +1484,7 @@ class ContextService:
         oracles assert exactly this dict.
         """
         counters = self.metrics.snapshot()
-        return {
+        out = {
             "submitted": counters["submitted"],
             "aggregated": counters["aggregated"],
             "dead_lettered": counters["dead_lettered"],
@@ -1228,6 +1495,27 @@ class ContextService:
             "decode_errors": counters["decode_errors"],
             "recovered": counters["recovered"],
         }
+        if self._procs is not None:
+            # The parent owns ``submitted`` and its own buckets
+            # (leftover re-ingest, fallback replay); workers own the
+            # decode-side buckets, merged from sealed generations and
+            # live statuses.  ``crash_lost`` (samples a SIGKILL ate
+            # between lane pop and status write) is already folded into
+            # the pool's dead_lettered, and lane drops into dropped.
+            fleet = self._procs.accounting()
+            for bucket in (
+                "aggregated",
+                "dead_lettered",
+                "epoch_mismatches",
+                "dropped",
+                "fallback_dropped",
+                "fallback_pending",
+                "decode_errors",
+                "recovered",
+            ):
+                out[bucket] += fleet.get(bucket, 0)
+            out["crash_lost"] = fleet.get("crash_lost", 0)
+        return out
 
     def resilience_stats(self) -> Dict[str, object]:
         """Supervisor / breaker / quarantine / checkpoint state."""
@@ -1252,6 +1540,9 @@ class ContextService:
                 "dropped": self._fallback.dropped,
             },
             "checkpoints_written": self._checkpoints_written,
+            "workers": (
+                self._procs.stats() if self._procs is not None else None
+            ),
         }
 
     def service_metrics(self) -> Dict[str, object]:
@@ -1276,6 +1567,41 @@ class ContextService:
         )
         return out
 
+    @property
+    def http_port(self) -> Optional[int]:
+        """The scrape endpoint's actually-bound port while it serves.
+
+        With ``http_port=0`` the OS picks an ephemeral port; this
+        resolves it so callers (tests, service discovery) never need to
+        reach into ``service.http``. None while no endpoint is up.
+        """
+        if self.http is None:
+            return None
+        return self.http.port
+
+    def merged_registry_snapshot(self) -> Optional[Dict[str, object]]:
+        """The parent registry snapshot merged with every worker's.
+
+        None in single-process topology (the live registry is already
+        the whole truth).  With worker processes, merges the parent's
+        snapshot with the sealed final snapshot of every dead worker
+        generation plus the latest heavy snapshot of every live one
+        (:meth:`MetricsRegistry.merge` semantics: counters sum, gauges
+        max, histogram buckets sum exactly), and grafts a synthetic
+        ``workers`` child carrying per-slot counters so scrapes can
+        tell the workers apart.
+        """
+        if self._procs is None:
+            return None
+        from repro.obs.registry import MetricsRegistry
+
+        snaps = [obs.get_registry().snapshot()]
+        snaps.extend(self._procs.registry_snapshots())
+        merged = MetricsRegistry.merge(*snaps)
+        children = merged.setdefault("children", {})
+        children["workers"] = self._procs.worker_labels()
+        return merged
+
     def stats(self) -> Dict[str, object]:
         """:meth:`service_metrics` plus the flat registry namespace.
 
@@ -1291,4 +1617,6 @@ class ContextService:
             f"{registry.name}.{key}": value
             for key, value in registry.flatten().items()
         }
+        out["http_port"] = self.http_port
+        out["accounting"] = self.accounting()
         return out

@@ -48,7 +48,7 @@ class TestConfigsAndTargets:
     def test_default_config_set_covers_the_required_axes(self):
         names = {config.name for config in CONFIGS}
         assert len(CONFIGS) >= 4
-        assert {"default", "uncached", "scalar"} <= names
+        assert {"default", "uncached", "scalar", "multiproc-2"} <= names
         # Each non-default config flips exactly one axis vs default.
         default = resolve_configs(["default"])[0]
         for config in CONFIGS:
@@ -58,7 +58,7 @@ class TestConfigsAndTargets:
                 knob
                 for knob in (
                     "cached", "shards", "workers", "resilience",
-                    "batch", "compression",
+                    "batch", "compression", "worker_processes",
                 )
                 if getattr(config, knob) != getattr(default, knob)
             ]

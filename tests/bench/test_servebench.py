@@ -10,6 +10,7 @@ from repro.bench.servebench import (
     decode_study,
     ingest_study,
     lane_chain,
+    multiproc_ingest_study,
     render_serve_bench,
     serve_bench,
     store_study,
@@ -142,6 +143,26 @@ class TestStudies:
             for cut in range(1, len(path)):
                 assert path[:cut] in universe
 
+    def test_multiproc_ingest_study_is_lossless_per_fleet(self):
+        graph, plan, observations, weights = build_workload(
+            depth=TINY["depth"], lanes=TINY["lanes"],
+            contexts=TINY["contexts"], seed=TINY["seed"],
+        )
+        out = multiproc_ingest_study(
+            plan, observations,
+            samples=256, worker_counts=(1, 2), batch_max=64,
+        )
+        assert out["cores"] >= 1
+        assert out["batch_max"] == 64
+        assert set(out["counts"]) == {"1", "2"}
+        for entry in out["counts"].values():
+            # Every fleet width must ingest the full stream losslessly.
+            assert entry["samples"] == 256
+            assert entry["aggregated"] == 256
+            assert entry["per_s"] > 0
+        assert out["scaling_x"]["1"] == pytest.approx(1.0)
+        assert out["scaling_x"]["2"] > 0
+
     def test_store_study_round_trips_and_measures(self):
         out = store_study(contexts=300, seed=2)
         assert out["contexts"] == 300
@@ -175,12 +196,19 @@ class TestServeBench:
         store = result["store"]
         assert result["bytes_per_context"] == \
             store["zlib"]["bytes_per_context"]
+        multiproc = result["multiproc"]
+        assert multiproc["cores"] >= 1
+        for entry in multiproc["counts"].values():
+            assert entry["aggregated"] == entry["samples"]
+        assert result["multiproc_scaling_x"] == \
+            multiproc["scaling_x"]["4"]
 
     def test_render(self, result):
         out = render_serve_bench(result)
         assert "speedup cached/uncached" in out
         assert "lost 0" in out
         assert "batch vs scalar ingestion" in out
+        assert "process-fleet batch ingest" in out
         assert "context store footprint" in out
         assert "hottest contexts:" in out
 
@@ -221,3 +249,15 @@ class TestCli:
         assert f"wrote {target}" in out
         data = json.loads(target.read_text())
         assert data["ingest"]["lost"] == 0
+
+    def test_serve_command_runs_a_bounded_demo(self, capsys):
+        code = main([
+            "serve", "--workers", "1", "--duration", "0.6",
+            "--rate", "50", "--depth", "8", "--contexts", "16",
+            "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving http://127.0.0.1:" in out
+        assert "decode worker process(es)" in out
+        assert "0 dropped" in out

@@ -166,3 +166,40 @@ class TestBatchOracle:
         failures = check_batch(generate_case(0), observations=16)
         assert failures
         assert all(f.startswith("batch: ") for f in failures)
+
+
+class TestMultiprocOracle:
+    def test_registered_and_sampled(self):
+        from repro.check.oracle import (
+            MULTIPROC_SAMPLE_EVERY,
+            ORACLES,
+            check_multiproc,
+        )
+
+        assert "multiproc" in {name for name, _ in ORACLES}
+        # Off-sample seeds skip without spawning a fleet.
+        assert check_multiproc(generate_case(1)) == []
+        assert 1 % MULTIPROC_SAMPLE_EVERY != 0
+
+    @pytest.mark.parametrize("seed", [0, 16])
+    def test_sampled_seeds_hold_conservation(self, seed):
+        from repro.check.oracle import check_multiproc
+
+        assert check_multiproc(generate_case(seed), observations=10) == []
+
+    def test_scenario_counts_kills_and_restarts(self):
+        # Drive the scenario directly: two kills on a seeded schedule
+        # must both land and both be restarted under supervision.
+        import random
+
+        from repro.check.invariants import (
+            multiprocess_conservation_scenario,
+        )
+        from repro.check.oracle import _collect_observations
+
+        case = generate_case(0)
+        plan = build_plan_from_graph(case.graph, width=case.width)
+        obs = _collect_observations(plan, random.Random(7), 10)
+        assert multiprocess_conservation_scenario(
+            plan, obs, seed=3, workers=2, kills=2
+        ) == []

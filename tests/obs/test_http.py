@@ -68,6 +68,49 @@ class TestLifecycle:
         srv.stop()
         assert not srv.running
 
+    def test_stop_without_start_is_a_noop(self, registry):
+        ObsHttpServer(registry=registry).stop()  # must not raise
+
+    def test_stop_after_failed_start_cannot_raise(self, registry):
+        blocker = ObsHttpServer(registry=registry).start()
+        try:
+            clash = ObsHttpServer(registry=registry, port=blocker.port)
+            with pytest.raises(OSError):
+                clash.start()
+            # Teardown after the failed start must neither raise nor
+            # hang (shutdown() on a server whose serve_forever never ran
+            # would wait forever on an event nothing sets).
+            clash.stop()
+            clash.stop()
+            assert not clash.running
+            # The instance is reusable once the clash is resolved.
+            clash._requested_port = 0
+            clash.start()
+            assert clash.running and clash.port > 0
+            clash.stop()
+        finally:
+            blocker.stop()
+
+    def test_concurrent_stops_race_cleanly(self, registry):
+        import threading
+
+        srv = ObsHttpServer(registry=registry).start()
+        errors = []
+
+        def stopper():
+            try:
+                srv.stop()
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stopper) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        assert not srv.running
+
 
 class TestEndpoints:
     def test_metrics_is_byte_identical_to_the_exporter(self, server,
@@ -159,6 +202,13 @@ class TestReadinessAgainstALiveService:
         yield service
         service.stop()
 
+    def test_bound_port_is_exposed_by_the_service(self, service):
+        # http_port=0 asks for an ephemeral port; the service reports
+        # the port actually bound, both as an attribute and in stats().
+        assert service.http_port == service.http.port
+        assert service.http_port > 0
+        assert service.stats()["http_port"] == service.http_port
+
     def test_service_starts_its_own_scrape_surface(self, service):
         assert service.http is not None and service.http.running
         status, _ctype, body = get(service.http.url + "/ready")
@@ -221,3 +271,35 @@ class TestReadinessAgainstALiveService:
         assert not ok
         assert "supervisor degraded" in reasons
         assert detail["supervisor"] == "degraded"
+
+
+class TestMultiprocessScrape:
+    """/metrics and /snapshot merge the workers' registries at scrape
+    time, so cross-process work is visible from the parent's surface."""
+
+    def test_scrape_reflects_worker_process_work(self):
+        from repro.service import SampleBatch
+
+        plan = build_plan_from_graph(chain(), width=Width(16))
+        service = ContextService(
+            plan,
+            ServiceConfig(worker_processes=1, shards=2, http_port=0),
+        ).start()
+        try:
+            batch = SampleBatch().append(
+                "main", ((), 0), epoch=service.epoch
+            )
+            service.submit_batch(batch)
+            service.flush(timeout=30)
+            _status, _ctype, body = get(service.http.url + "/snapshot")
+            flat = json.loads(body)
+            # "aggregated" happened in the child process; the parent's
+            # own registry never saw it — only the merged view has it.
+            assert flat["service.aggregated"] >= 1
+            assert flat["service.submitted"] >= 1
+            status, ctype, body = get(service.http.url + "/metrics")
+            assert status == 200
+            assert ctype == PROMETHEUS_CONTENT_TYPE
+            assert b"service_aggregated" in body
+        finally:
+            service.stop()

@@ -393,3 +393,80 @@ class TestMerge:
         merged = MetricsRegistry.merge(*[p.snapshot() for p in parts])
         assert merged["histograms"]["lat"] == whole.snapshot()[
             "histograms"]["lat"]
+
+    def test_overflow_is_not_double_counted_across_snapshots(self):
+        """Several workers can each overflow into ``__other__``; the
+        merge must sum the fold target and the overflow tally each
+        exactly once — never add ``overflowed`` into ``__other__`` (or
+        vice versa) a second time."""
+        parts = []
+        for _ in range(3):
+            reg = MetricsRegistry("r")
+            errs = reg.labeled_counter("errs", max_labels=2)
+            errs.inc("a")          # own bucket
+            errs.inc("b")          # own bucket (cap reached)
+            errs.inc("late", 5)    # folds: __other__ += 5, overflowed += 5
+            errs.inc("later", 2)   # folds again
+            parts.append(reg.snapshot())
+        merged = MetricsRegistry.merge(*parts)
+        entry = merged["labeled"]["errs"]
+        assert entry["labels"] == {
+            "a": 3, "b": 3, LabeledCounter.OVERFLOW: 21,
+        }
+        assert entry["overflowed"] == 21
+        # Total conservation: every increment of every worker appears in
+        # exactly one label bucket of the merged view.
+        assert sum(entry["labels"].values()) == 3 * (1 + 1 + 5 + 2)
+
+    def test_merge_keeps_explicit_other_distinct_from_overflow(self):
+        # A worker may count into "__other__" directly without ever
+        # overflowing; its overflowed tally must stay 0 after merging
+        # with a worker that did overflow.
+        a = MetricsRegistry("r")
+        a.labeled_counter("errs", max_labels=1).inc(
+            LabeledCounter.OVERFLOW, 4
+        )
+        b = MetricsRegistry("r")
+        lab = b.labeled_counter("errs", max_labels=1)
+        lab.inc("x")
+        lab.inc("y", 2)  # folds
+        merged = MetricsRegistry.merge(a.snapshot(), b.snapshot())
+        entry = merged["labeled"]["errs"]
+        assert entry["labels"][LabeledCounter.OVERFLOW] == 6
+        assert entry["overflowed"] == 2
+
+    @given(events=_EVENTS, cuts=st.tuples(st.integers(0, 60),
+                                          st.integers(0, 60)))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_merges_equals_flat_merge(self, events, cuts):
+        """merge(merge(A, B), C) == merge(A, B, C), exactly.
+
+        Full structural equality — histogram bucket lists, labeled
+        label maps, and overflowed tallies included — so re-merging a
+        scrape-time merge (e.g. an aggregator over several services)
+        never drifts from the flat union.
+        """
+        lo, hi = sorted((min(c, len(events)) for c in cuts))
+        regs = [MetricsRegistry("r") for _ in range(3)]
+        for reg, chunk in zip(
+            regs, (events[:lo], events[lo:hi], events[hi:])
+        ):
+            _observe_all(reg, chunk)
+        snaps = [reg.snapshot() for reg in regs]
+        nested = MetricsRegistry.merge(
+            MetricsRegistry.merge(snaps[0], snaps[1]), snaps[2]
+        )
+        flat = MetricsRegistry.merge(*snaps)
+        assert nested == flat
+        # Bucket sums are exact: the merged histogram counts equal the
+        # per-part sums, bucket by bucket.
+        for name, hist in flat["histograms"].items():
+            per_part = [
+                snap["histograms"].get(name) for snap in snaps
+            ]
+            want_count = sum(p["count"] for p in per_part if p)
+            assert hist["count"] == want_count
+            assert hist["count"] == sum(hist["buckets"])
+            assert hist["sum_us"] == sum(
+                p["sum_us"] for p in per_part if p
+            )

@@ -129,3 +129,93 @@ class TestRebase:
         assert stats["flushes"] == 1
         assert stats["segments"] == 1
         assert stats["baseline_rows"] == 1
+
+
+class TestCrashWindows:
+    """The worker-crash windows inside flush(): durable-but-raised
+    appends are salvaged, and a reconciled baseline clamps instead of
+    re-emitting or going negative."""
+
+    def test_durable_but_raised_append_is_salvaged(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=5)
+        clock[0] = 110.0
+        real_append = writer.store.append
+
+        def dying_append(state, fault=None):
+            real_append(state, fault=fault)
+            raise OSError("died after the segment landed")
+
+        writer.store.append = dying_append
+        try:
+            path = writer.flush()
+        finally:
+            writer.store.append = real_append
+        # The flush is salvaged, not retried: the landed path comes
+        # back, the baseline advances, and no duplicate is ever written.
+        assert path is not None and os.path.exists(path)
+        assert writer.salvaged_flushes == 1
+        assert writer.flushes == 1
+        assert writer.flush() is None
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert len(engine.segments()) == 1
+        assert engine.top_contexts(5) == [(5, ("a", "b"))]
+
+    def test_reconciled_baseline_clamps_when_store_is_ahead(self, tmp_path):
+        # Segments outlived the checkpoint: the store holds 5, the
+        # recovered tree only 3.  Nothing may be re-emitted, and the
+        # 2-sample deficit must not produce a negative row.
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=5)
+        clock[0] = 110.0
+        writer.flush()
+
+        recovered = ShardedContextTree(2)
+        recovered.add(("a", "b"), epoch=0, weight=3)
+        clock2 = [200.0]
+        writer2 = SegmentWriter(
+            recovered, str(tmp_path), fingerprint="fp",
+            clock=lambda: clock2[0],
+        )
+        writer2.rebase(recovered.rows(), reconcile_store=True)
+        assert writer2.flush() is None  # clamped: store already ahead
+        # The tree catches back up past the durable count: only the
+        # genuinely new sample goes out.
+        recovered.add(("a", "b"), epoch=0, weight=3)
+        clock2[0] = 210.0
+        assert writer2.flush() is not None
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.top_contexts(5) == [(6, ("a", "b"))]
+
+    def test_reconcile_emits_checkpointed_counts_segments_missed(
+        self, tmp_path
+    ):
+        # Checkpoint outlived the segments: the tree recovered 5 but
+        # only 3 ever reached a segment.  The next flush must emit the
+        # missing 2 — recovery may not drop them.
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=3)
+        clock[0] = 110.0
+        writer.flush()
+
+        recovered = ShardedContextTree(2)
+        recovered.add(("a", "b"), epoch=0, weight=5)
+        clock2 = [200.0]
+        writer2 = SegmentWriter(
+            recovered, str(tmp_path), fingerprint="fp",
+            clock=lambda: clock2[0],
+        )
+        writer2.rebase(recovered.rows(), reconcile_store=True)
+        clock2[0] = 210.0
+        assert writer2.flush() is not None
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.top_contexts(5) == [(5, ("a", "b"))]
+
+    def test_plain_rebase_falls_back_to_rows(self, tmp_path):
+        # reconcile_store=True with an unreadable store falls back to
+        # the passed rows instead of dying mid-recovery.
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a",), epoch=0, weight=2)
+        writer._store_cumulative = lambda: None
+        writer.rebase(tree.rows(), reconcile_store=True)
+        assert writer.flush() is None  # rows adopted as the baseline

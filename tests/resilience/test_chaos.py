@@ -7,6 +7,7 @@ from repro.resilience.chaos import (
     ChaosConfig,
     ChaosInjector,
     conservation_failures,
+    kill_during_flush_failures,
     recovery_failures,
     run_chaos,
 )
@@ -112,3 +113,20 @@ class TestRunChaos:
         )
         assert report.ok, report.failures
         assert sum(report.injected.values()) > 0
+
+    def test_run_chaos_includes_kill_during_flush_checks(self):
+        report = run_chaos(iterations=1, seed=21, observations=16)
+        assert report.ok, report.failures
+        # One flood iteration + at least one kill-during-flush byte
+        # comparison ride in the same report.
+        assert report.query_checks >= 2
+
+
+class TestKillDuringFlush:
+    """A worker killed after the segment fsync but before any
+    bookkeeping: the durable segment is neither dropped nor
+    double-counted across recovery (byte-equivalence oracle)."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_invariants_hold(self, seed):
+        assert kill_during_flush_failures(seed, observations=24) == []

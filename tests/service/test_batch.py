@@ -1,11 +1,14 @@
 """SampleBatch: columnar packing, grouping, and binary serialization."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.stackmodel import EntryKind, StackEntry
 from repro.errors import ServiceError
 from repro.graph.callgraph import CallSite
 from repro.service import SampleBatch
+from repro.service.batch import node_lane
 from repro.service.ingest import Sample
 
 
@@ -170,3 +173,94 @@ class TestSerialization:
         batch = SampleBatch().append("n", ((bad,), 1), epoch=0)
         with pytest.raises(ServiceError, match="label"):
             batch.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# Wire-form round-trip audit (DPSB v1 is the shared-memory record; a
+# lossy or order-scrambling round trip would silently corrupt every
+# cross-process batch).
+# ----------------------------------------------------------------------
+
+#: Function names the multiprocess router must survive: empty, spaces,
+#: non-ASCII (CJK, combining marks, emoji), and JSON-hostile characters.
+NASTY_NAMES = ["", " ", "função", "关数", "ńame", "🔥hot", 'q"uo\\te', "a;b\nc"]
+
+
+def nasty_entry(node, label):
+    return StackEntry(
+        kind=EntryKind.ANCHOR, node=node, saved_id=11,
+        site=CallSite("呼び出し元", label),
+        expected_sid=3, resume_node=node, resume_executed=True,
+    )
+
+
+class TestRoundTripAudit:
+    """`from_bytes(to_bytes(b)) == b` — structurally, not just as a
+    sample multiset."""
+
+    def test_empty_batch(self):
+        batch = SampleBatch()
+        assert SampleBatch.from_bytes(batch.to_bytes()) == batch
+
+    def test_single_row(self):
+        batch = SampleBatch().append(
+            "solo", ((entry(),), 42), epoch=3, weight=5, thread=7
+        )
+        rebuilt = SampleBatch.from_bytes(batch.to_bytes())
+        assert rebuilt == batch
+        assert list(rebuilt) == list(batch)
+
+    def test_non_ascii_names_survive(self):
+        batch = SampleBatch()
+        for i, name in enumerate(NASTY_NAMES):
+            stack = (nasty_entry(name, label=i),)
+            batch.append(name, (stack, i), epoch=i % 3)
+        rebuilt = SampleBatch.from_bytes(batch.to_bytes())
+        assert rebuilt == batch
+        assert rebuilt._nodes == NASTY_NAMES
+        assert [s.node for s in rebuilt] == NASTY_NAMES
+
+    def test_round_trip_preserves_lane_routing(self):
+        # split_by_node on the decoded copy must route every sample to
+        # the same lane the parent chose — shard ownership is part of
+        # the wire contract.
+        batch = SampleBatch()
+        for name in NASTY_NAMES:
+            batch.append(name, ((), 1), epoch=0)
+        rebuilt = SampleBatch.from_bytes(batch.to_bytes())
+        for lanes in (1, 2, 3, 5):
+            want = [len(part) for part in batch.split_by_node(lanes)]
+            got = [len(part) for part in rebuilt.split_by_node(lanes)]
+            assert got == want
+        assert node_lane("関数", 4) == node_lane("関数", 4)
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(NASTY_NAMES + ["f", "g", "h"]),  # node
+                st.integers(0, 3),        # stack variant
+                st.integers(-1, 2 ** 40),  # current_id
+                st.integers(0, 4),        # epoch
+                st.integers(1, 9),        # weight
+                st.integers(0, 3),        # thread
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_identity(self, rows):
+        batch = SampleBatch()
+        for node, variant, current_id, epoch, weight, thread in rows:
+            stack = tuple(
+                nasty_entry(node, label=j) for j in range(variant)
+            )
+            batch.append(
+                node, (stack, current_id),
+                epoch=epoch, weight=weight, thread=thread,
+            )
+        rebuilt = SampleBatch.from_bytes(batch.to_bytes())
+        assert rebuilt == batch
+        assert rebuilt.groups() == batch.groups()
+        assert rebuilt._uniform == batch._uniform
+        # Serialization is deterministic: same batch, same bytes.
+        assert rebuilt.to_bytes() == batch.to_bytes()

@@ -1,0 +1,216 @@
+"""ShmLane: ring semantics, backpressure policies, integrity, sync."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import (
+    IngestOverflowError,
+    ServiceError,
+    StoreCorruptionError,
+)
+from repro.service.shm import LANE_MAGIC, LANE_VERSION, ShmLane
+
+
+@pytest.fixture
+def lane():
+    lane = ShmLane(nslots=4, slot_bytes=256)
+    yield lane
+    lane.destroy()
+
+
+def record(tag, samples=1):
+    """A payload byte string; ``samples`` is the declared sample count."""
+    return (b"payload-%d-" % tag) * 3, samples
+
+
+class TestRing:
+    def test_fifo_round_trip(self, lane):
+        for tag in range(3):
+            payload, n = record(tag, samples=tag + 1)
+            assert lane.push(payload, n)
+        assert len(lane) == 1 + 2 + 3
+        for tag in range(3):
+            payload, n = lane.pop(timeout=0.1)
+            assert payload == record(tag)[0]
+            assert n == tag + 1
+        assert len(lane) == 0
+        assert lane.consumed_samples == 6
+        assert lane.pushed_records == 3
+        assert lane.popped_records == 3
+
+    def test_wraparound_preserves_order(self, lane):
+        # Push/pop more records than slots so head and tail wrap.
+        for tag in range(11):
+            assert lane.push(b"rec-%02d" % tag, 1)
+            got, _ = lane.pop(timeout=0.1)
+            assert got == b"rec-%02d" % tag
+
+    def test_empty_pop_times_out_to_none(self, lane):
+        assert lane.pop(timeout=0.01) is None
+
+    def test_zero_sample_record_is_a_noop(self, lane):
+        assert lane.push(b"x", 0)
+        assert lane.pushed_records == 0
+        assert len(lane) == 0
+
+    def test_oversized_record_raises(self, lane):
+        with pytest.raises(IngestOverflowError, match="split the batch"):
+            lane.push(b"x" * (lane.capacity_bytes + 1), 1)
+
+    def test_attach_sees_the_same_ring(self, lane):
+        other = ShmLane.attach(lane.name, lane._lock)
+        try:
+            lane.push(b"hello", 2)
+            payload, n = other.pop(timeout=0.1)
+            assert (payload, n) == (b"hello", 2)
+            assert lane.consumed_samples == 2
+        finally:
+            other.detach()
+
+    def test_attach_rejects_bad_magic(self, lane):
+        lane._shm.buf[0:4] = b"NOPE"
+        with pytest.raises(StoreCorruptionError, match="magic"):
+            ShmLane.attach(lane.name, lane._lock)
+        lane._shm.buf[0:4] = LANE_MAGIC  # restore for clean destroy
+
+    def test_header_constants(self, lane):
+        magic, version = struct.unpack_from("<4sB", lane._shm.buf, 0)
+        assert magic == LANE_MAGIC
+        assert version == LANE_VERSION
+
+
+class TestBackpressure:
+    def fill(self, lane):
+        for tag in range(lane.nslots):
+            assert lane.push(b"fill-%d" % tag, 10)
+
+    def test_block_times_out_and_counts_drop(self, lane):
+        self.fill(lane)
+        assert not lane.push(b"late", 5, policy="block", timeout=0.02)
+        assert lane.dropped == 5
+        assert len(lane) == 40
+
+    def test_drop_newest_counts_incoming(self, lane):
+        self.fill(lane)
+        assert not lane.push(b"new", 7, policy="drop-newest")
+        assert lane.dropped == 7
+        payload, _ = lane.pop(timeout=0.1)
+        assert payload == b"fill-0"
+
+    def test_drop_oldest_evicts_and_admits(self, lane):
+        self.fill(lane)
+        assert lane.push(b"new", 7, policy="drop-oldest")
+        # The evicted record's own sample count is what gets charged.
+        assert lane.dropped == 10
+        assert len(lane) == 37
+        payload, _ = lane.pop(timeout=0.1)
+        assert payload == b"fill-1"
+
+    def test_error_policy_counts_then_raises(self, lane):
+        self.fill(lane)
+        with pytest.raises(IngestOverflowError, match="lane full"):
+            lane.push(b"new", 3, policy="error")
+        assert lane.dropped == 3
+
+    def test_unknown_policy_rejected(self, lane):
+        with pytest.raises(ServiceError, match="backpressure"):
+            lane.push(b"x", 1, policy="whatever")
+
+    def test_count_dropped_charges_the_lane(self, lane):
+        lane.count_dropped(9)
+        assert lane.dropped == 9
+
+    def test_conservation_across_policies(self, lane):
+        # pushed = consumed + queued + (dropped via drop-oldest), in
+        # samples — the lane-local slice of the service conservation law.
+        self.fill(lane)
+        lane.push(b"new", 7, policy="drop-oldest")
+        while lane.pop(timeout=0.01) is not None:
+            pass
+        submitted = 4 * 10 + 7
+        assert submitted == lane.consumed_samples + len(lane) + lane.dropped
+
+
+class TestClose:
+    def test_closed_lane_drops_and_counts(self, lane):
+        lane.close()
+        assert lane.closed
+        assert not lane.push(b"x", 4)
+        assert lane.dropped == 4
+
+    def test_closed_lane_raises_when_asked(self, lane):
+        lane.close()
+        with pytest.raises(ServiceError, match="closed"):
+            lane.push(b"x", 1, on_closed="raise")
+
+    def test_pop_drains_then_returns_none_without_waiting(self, lane):
+        lane.push(b"last", 2)
+        lane.close()
+        assert lane.pop(timeout=5.0) == (b"last", 2)
+        # Closed + empty returns immediately, not after the timeout.
+        assert lane.pop(timeout=5.0) is None
+
+
+class TestIntegrity:
+    def test_crc_flip_detected(self, lane):
+        lane.push(b"good-payload", 1)
+        off = 96 + 24  # first slot's payload start
+        lane._shm.buf[off] ^= 0xFF
+        with pytest.raises(StoreCorruptionError, match="CRC"):
+            lane.pop(timeout=0.1)
+
+    def test_sequence_mismatch_detected(self, lane):
+        lane.push(b"good-payload", 1)
+        struct.pack_into("<Q", lane._shm.buf, 96, 77)  # stomp slot seq
+        with pytest.raises(StoreCorruptionError, match="sequence"):
+            lane.pop(timeout=0.1)
+
+    def test_bogus_length_detected(self, lane):
+        lane.push(b"good-payload", 1)
+        struct.pack_into("<I", lane._shm.buf, 96 + 8, 1 << 30)
+        with pytest.raises(StoreCorruptionError, match="claims"):
+            lane.pop(timeout=0.1)
+
+    def test_slot_crc_matches_payload(self, lane):
+        payload = b"check-me"
+        lane.push(payload, 1)
+        _seq, length, _n, crc, _ = struct.unpack_from("<QIIII",
+                                                      lane._shm.buf, 96)
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload) & 0xFFFFFFFF
+
+
+class TestSync:
+    def test_request_sync_bumps_generation(self, lane):
+        assert lane.sync_req == 0
+        assert lane.request_sync() == 1
+        assert lane.request_sync() == 2
+        assert lane.sync_req == 2
+
+    def test_sync_generation_visible_through_attach(self, lane):
+        other = ShmLane.attach(lane.name, lane._lock)
+        try:
+            lane.request_sync()
+            assert other.sync_req == 1
+        finally:
+            other.detach()
+
+
+class TestValidation:
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ServiceError, match="at least one slot"):
+            ShmLane(nslots=0, slot_bytes=256)
+
+    def test_rejects_tiny_slot_bytes(self):
+        with pytest.raises(ServiceError, match="slot header"):
+            ShmLane(nslots=1, slot_bytes=24)
+
+    def test_stats_shape(self, lane):
+        lane.push(b"x", 3)
+        stats = lane.stats()
+        assert stats["nslots"] == 4
+        assert stats["queued_samples"] == 3
+        assert stats["pushed_records"] == 1
+        assert stats["closed"] is False

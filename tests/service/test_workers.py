@@ -1,0 +1,369 @@
+"""Multi-process decode scale-out: lanes, workers, merge, crash paths.
+
+End-to-end tests drive a real :class:`ContextService` with
+``worker_processes >= 1`` — actual forked processes, actual shared
+memory — because the bugs this layer exists to prevent (double-counted
+merges, lost crash samples, stale merged views) only happen across a
+process boundary.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.callgraph import CallGraph
+from repro.resilience import ResilienceConfig
+from repro.runtime.agent import DeltaPathProbe
+from repro.runtime.plan import build_plan_from_graph
+from repro.service import ContextService, SampleBatch, ServiceConfig
+from repro.service.workers import ProcessWorkerPool, worker_paths
+
+
+def sample_graph():
+    g = CallGraph("main")
+    g.add_edge("main", "a", "s1")
+    g.add_edge("main", "b", "s2")
+    g.add_edge("a", "c", "s3")
+    g.add_edge("b", "c", "s4")
+    g.add_edge("c", "d", "s5")
+    g.add_edge("c", "e", "s6")
+    return g
+
+
+def walk_snapshot(plan, path):
+    probe = DeltaPathProbe(plan, cpt=True)
+    probe.begin_execution(plan.graph.entry)
+    probe.enter_function(plan.graph.entry)
+    node = plan.graph.entry
+    for caller, label, callee in path:
+        probe.before_call(caller, label, callee)
+        probe.enter_function(callee)
+        node = callee
+    return node, probe.snapshot(node)
+
+
+PATH_ACE = [("main", "s1", "a"), ("a", "s3", "c"), ("c", "s6", "e")]
+PATH_BCD = [("main", "s2", "b"), ("b", "s4", "c"), ("c", "s5", "d")]
+
+CONSERVED = (
+    "aggregated", "dead_lettered", "epoch_mismatches", "dropped",
+    "fallback_dropped", "fallback_pending",
+)
+
+
+def accounted(acct):
+    return sum(acct[bucket] for bucket in CONSERVED)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan_from_graph(sample_graph())
+
+
+@pytest.fixture(scope="module")
+def snapshots(plan):
+    return {
+        "ace": walk_snapshot(plan, PATH_ACE),
+        "bcd": walk_snapshot(plan, PATH_BCD),
+    }
+
+
+def mkbatch(snapshots, n, epoch=0):
+    batch = SampleBatch()
+    for i in range(n):
+        node, snap = snapshots["ace"] if i % 2 == 0 else snapshots["bcd"]
+        batch.append(node, snap, epoch=epoch)
+    return batch
+
+
+class TestMultiprocessIngest:
+    def test_ingest_flush_and_merged_views(self, plan, snapshots, tmp_path):
+        config = ServiceConfig(
+            worker_processes=2, shards=4, segment_dir=str(tmp_path / "seg")
+        )
+        service = ContextService(plan, config).start()
+        try:
+            batch = SampleBatch()
+            for _ in range(3):
+                service_node, snap = snapshots["ace"]
+                batch.append(service_node, snap, epoch=0)
+            node, snap = snapshots["bcd"]
+            batch.append(node, snap, epoch=0, weight=2)
+            assert service.submit_batch(batch) == 4
+            service.flush(timeout=30)
+
+            acct = service.accounting()
+            assert acct["submitted"] == 4
+            assert acct["aggregated"] == 4
+            assert acct["crash_lost"] == 0
+            assert accounted(acct) == 4
+
+            # Merged tree views span both workers' disjoint shards.
+            assert service.top_contexts(5) == [
+                (3, ("main", "a", "c", "e")),
+                (2, ("main", "b", "c", "d")),
+            ]
+            totals = service.function_totals()
+            assert totals["main"] == 5
+            assert service.ucp_stats()["samples"] == 5
+        finally:
+            assert service.stop()
+        # Post-stop views still answer (from sealed state).
+        assert service.accounting()["aggregated"] == 4
+        assert service.top_contexts(1) == [(3, ("main", "a", "c", "e"))]
+
+    def test_single_sample_shim_routes_through_lanes(self, plan, snapshots):
+        service = ContextService(
+            plan, ServiceConfig(worker_processes=2, shards=2)
+        ).start()
+        try:
+            node, snap = snapshots["ace"]
+            with pytest.warns(DeprecationWarning):
+                assert service.submit(node, snap, plan=plan)
+            service.flush(timeout=30)
+            assert service.accounting()["aggregated"] == 1
+        finally:
+            service.stop()
+
+    def test_merged_registry_snapshot(self, plan, snapshots):
+        service = ContextService(
+            plan, ServiceConfig(worker_processes=2, shards=2)
+        ).start()
+        try:
+            service.submit_batch(mkbatch(snapshots, 20))
+            service.flush(timeout=30)
+            merged = service.merged_registry_snapshot()
+            service_child = merged["children"]["service"]
+            assert service_child["counters"]["aggregated"] == 20
+            # Per-worker labels: every sample shows up under exactly one
+            # worker slot.
+            workers = merged["children"]["workers"]["counters"]
+            agg = [workers[f"w{s}.aggregated"] for s in (0, 1)]
+            assert sum(agg) == 20
+            assert all(a >= 0 for a in agg)
+            assert workers["w0.restarts"] == 0
+        finally:
+            service.stop()
+
+    def test_segment_query_unions_worker_stores(self, plan, snapshots,
+                                                tmp_path):
+        config = ServiceConfig(
+            worker_processes=2, shards=4, segment_dir=str(tmp_path / "seg")
+        )
+        service = ContextService(plan, config).start()
+        try:
+            service.submit_batch(mkbatch(snapshots, 30))
+            service.flush(timeout=30)
+            service.flush_segments()
+            engine = service.query()
+            assert engine.top_contexts(5) == service.top_contexts(5)
+            assert engine.ucp_stats()["samples"] == 30
+        finally:
+            service.stop()
+
+    def test_hot_swap_rejected(self, plan):
+        service = ContextService(
+            plan, ServiceConfig(worker_processes=1, shards=2)
+        ).start()
+        try:
+            with pytest.raises(ServiceError, match="worker_processes"):
+                service.install_plan(plan)
+        finally:
+            service.stop()
+
+    def test_http_port_exposed(self, plan):
+        service = ContextService(
+            plan,
+            ServiceConfig(worker_processes=1, shards=2, http_port=0),
+        ).start()
+        try:
+            assert service.http_port and service.http_port > 0
+            assert service.stats()["http_port"] == service.http_port
+        finally:
+            service.stop()
+        assert service.http_port is None
+
+
+class TestCrashRecovery:
+    def wait_alive(self, pool, want, timeout=15.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and pool.alive() < want:
+            time.sleep(0.02)
+        return pool.alive()
+
+    def test_kill_one_worker_conserves_and_restarts(self, plan, snapshots,
+                                                    tmp_path):
+        resilience = ResilienceConfig(
+            supervise=True,
+            heartbeat_interval=0.02,
+            heartbeat_timeout=5.0,
+            max_restarts=4,
+        )
+        config = ServiceConfig(
+            worker_processes=2, shards=4, segment_dir=str(tmp_path / "seg")
+        )
+        service = ContextService(plan, config, resilience=resilience).start()
+        try:
+            total = 0
+            for round_no in range(6):
+                service.submit_batch(mkbatch(snapshots, 50))
+                total += 50
+                if round_no == 2:
+                    assert service._procs.kill_worker(0) is not None
+                time.sleep(0.05)
+            assert self.wait_alive(service._procs, 2) == 2
+
+            service.submit_batch(mkbatch(snapshots, 50))
+            total += 50
+            service.flush(timeout=30)
+
+            acct = service.accounting()
+            assert acct["submitted"] == total
+            assert accounted(acct) == total
+            stats = service.resilience_stats()
+            assert stats["supervisor"]["restarts"] >= 1
+            assert stats["workers"]["workers"][0]["restarts"] >= 1
+
+            # The durable story still adds up after the crash.
+            service.flush_segments()
+            engine = service.query()
+            durable = sum(engine.function_totals(leaf_only=True).values())
+            assert durable + acct["crash_lost"] + acct["dead_lettered"] \
+                <= total
+        finally:
+            assert service.stop()
+        acct = service.accounting()
+        assert acct["submitted"] == accounted(acct)
+
+    def test_restart_worker_recovers_own_checkpoint(self, plan, snapshots,
+                                                    tmp_path):
+        pool = ProcessWorkerPool(
+            plan,
+            ServiceConfig(
+                worker_processes=2, shards=4,
+                worker_dir=str(tmp_path / "pool"),
+            ),
+        ).start()
+        try:
+            batch = mkbatch(snapshots, 40)
+            assert pool.submit(batch, timeout=5.0) == 40
+            assert pool.sync(timeout=15.0)
+            before = sorted(tuple(r[0]) for r in pool.merged_rows())
+
+            pool.kill_worker(0)
+            assert pool.restart_worker(0)
+            assert self.wait_alive(pool, 2) == 2
+            assert pool.sync(timeout=15.0)
+
+            # The successor generation recovered the dead worker's
+            # checkpointed shards: same rows, no double counts.
+            after = pool.merged_rows()
+            assert sorted(tuple(r[0]) for r in after) == before
+            counts = {tuple(r[0]): r[1] for r in after}
+            assert sum(counts.values()) == 40
+            acct = pool.accounting()
+            assert acct["aggregated"] + acct["crash_lost"] == 40
+        finally:
+            pool.stop()
+            pool.destroy()
+
+    def test_recover_reassembles_the_fleet(self, plan, snapshots, tmp_path):
+        worker_dir = str(tmp_path / "pool")
+        seg = str(tmp_path / "seg")
+        config = ServiceConfig(
+            worker_processes=2, shards=4,
+            worker_dir=worker_dir, segment_dir=seg,
+        )
+        service = ContextService(plan, config).start()
+        service.submit_batch(mkbatch(snapshots, 24))
+        # flush() syncs the fleet: every worker checkpoints its own
+        # shards and flushes its own segments before acknowledging.
+        service.flush(timeout=30)
+        top = service.top_contexts(5)
+        assert service.stop()
+
+        # A fresh single-process service reassembles the fleet's tree
+        # from the per-worker checkpoint stores under the pool root.
+        revived = ContextService(
+            plan, ServiceConfig(shards=4, segment_dir=seg)
+        )
+        summary = revived.recover(worker_dir)
+        assert summary["workers"] == 2
+        assert summary["samples"] == 24
+        assert revived.top_contexts(5) == top
+        # Recovered counts already captured in durable segments are not
+        # re-emitted by the next flush.
+        revived.start()
+        revived.flush_segments()
+        engine = revived.query()
+        assert engine.ucp_stats()["samples"] == 24
+        revived.stop()
+
+    def test_degraded_mode_sheds_dead_lanes_to_fallback(self, plan,
+                                                        snapshots):
+        resilience = ResilienceConfig(
+            supervise=True,
+            heartbeat_interval=0.02,
+            heartbeat_timeout=5.0,
+            max_restarts=0,  # first death exhausts the budget
+        )
+        service = ContextService(
+            plan,
+            ServiceConfig(worker_processes=2, shards=2),
+            resilience=resilience,
+        ).start()
+        try:
+            service.submit_batch(mkbatch(snapshots, 10))
+            service.flush(timeout=30)
+            service._procs.kill_worker(0)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not service.degraded:
+                time.sleep(0.02)
+            assert service.degraded
+            # Submissions after the kill still land in a bucket.
+            service.submit_batch(mkbatch(snapshots, 10))
+            time.sleep(0.3)
+            acct = service.accounting()
+            assert acct["submitted"] == 20
+        finally:
+            service.stop()
+        acct = service.accounting()
+        assert acct["submitted"] == accounted(acct)
+
+
+class TestPoolPlumbing:
+    def test_worker_paths_layout(self, tmp_path):
+        paths = worker_paths(str(tmp_path), 3)
+        assert paths["base"].endswith("worker-3")
+        for key in ("heartbeat", "status", "checkpoints"):
+            assert paths[key].startswith(paths["base"])
+
+    def test_worker_states_shape(self, plan):
+        pool = ProcessWorkerPool(
+            plan, ServiceConfig(worker_processes=2, shards=2)
+        ).start()
+        try:
+            states = pool.worker_states()
+            assert [s.slot for s in states] == [0, 1]
+            assert all(s.alive for s in states)
+            assert not any(s.dead for s in states)
+        finally:
+            pool.stop()
+            pool.destroy()
+
+    def test_stats_survive_destroy(self, plan):
+        pool = ProcessWorkerPool(
+            plan, ServiceConfig(worker_processes=1, shards=2)
+        ).start()
+        pool.stop()
+        pool.destroy()
+        stats = pool.stats()
+        assert stats["alive"] == 0
+        assert stats["workers"][0]["lane"]["closed"] is True
+        assert pool.accounting()["dropped"] == 0
+
+    def test_rejects_zero_processes(self, plan):
+        with pytest.raises(ServiceError):
+            ProcessWorkerPool(plan, ServiceConfig(worker_processes=0))
