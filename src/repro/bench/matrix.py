@@ -83,6 +83,8 @@ class MatrixConfig:
     compression: str = "zlib"
     #: Decode worker processes (0 = the in-process thread pool).
     worker_processes: int = 0
+    #: Compact the segment store into one generation before querying.
+    compact: bool = False
 
     def knobs(self, *, quick: bool, seed: int) -> Dict[str, object]:
         """The plain mapping handed to every target's ``run()``."""
@@ -95,6 +97,7 @@ class MatrixConfig:
             "batch": self.batch,
             "compression": self.compression,
             "worker_processes": self.worker_processes,
+            "compact": self.compact,
             "quick": quick,
             "seed": seed,
         }
@@ -118,6 +121,11 @@ CONFIGS: Tuple[MatrixConfig, ...] = (
         "multiproc-2",
         "two decode worker processes over shared-memory lanes",
         worker_processes=2,
+    ),
+    MatrixConfig(
+        "compact-on",
+        "segment store swapped to one compacted generation",
+        compact=True,
     ),
 )
 

@@ -8,11 +8,18 @@ the two costs that gate the ``repro.query`` layer:
   (CRC lines, packed sections, inverted index, fsync/rename);
 * **query latency** — windowed top-K over random windows, plus the
   rollup / diff / paths-through family, all answered from re-loaded
-  (validated) segments, and a flame-graph export round-trip.
+  (validated) segments, and a flame-graph export round-trip;
+* **retention plateau** — an unbounded-run study: the same flush
+  stream into an uncapped store vs one compacted under retention caps,
+  asserting the capped store's segment count and bytes plateau while
+  ``live + retired == flushed`` holds.
 
 ``python -m repro query-bench`` renders the tables;
 ``--json BENCH_query.json`` records the artifact CI gates on. The full
-run covers the acceptance shape: 20k contexts across 16 segments.
+run covers the acceptance shape: 20k contexts across 16 segments. The
+matrix entry point honours the ``compact`` knob: the ``compact-on``
+config merges the store into one multi-span generation before the
+query study, gating the same latency metrics over compacted segments.
 """
 
 from __future__ import annotations
@@ -176,32 +183,171 @@ def _query_study(
     }
 
 
+def _compact_store(directory: str, segments: int) -> Dict[str, object]:
+    """Merge the freshly-built store into one generation; timings."""
+    from repro.query.compact import Compactor
+
+    store = SegmentStore(directory)
+    before = len(store.refresh())
+    t0 = time.perf_counter()
+    Compactor(store).compact(now=float(segments) + 1.0, force=True)
+    merge_ms = (time.perf_counter() - t0) * 1000.0
+    after = len(store.refresh())
+    return {
+        "segments_before": before,
+        "segments_after": after,
+        "merge_ms": round(merge_ms, 3),
+    }
+
+
+def _retention_study(smoke: bool, seed: int) -> Dict[str, object]:
+    """Unbounded-run study: does a retention-capped store plateau?
+
+    The identical flush stream goes into two stores: one never
+    compacted (the unbounded baseline) and one swept by the compactor
+    under segment/age caps after every flush. Tracks the segment-count
+    and byte trajectories, and checks the conservation law
+    ``live + retired == flushed`` on the capped store — retention may
+    delete history, never lose track of it.
+    """
+    from repro.query.compact import (
+        CompactionPolicy,
+        Compactor,
+        RetentionPolicy,
+    )
+
+    flushes = 24 if smoke else 64
+    rows_per_flush = 60 if smoke else 150
+    caps = RetentionPolicy(max_segments=6, max_age_s=16.0)
+    rng = random.Random(seed ^ 0x5E7A)
+    streams: List[Tuple[SegmentState, int]] = []
+    for i in range(flushes):
+        rows: Dict[Tuple[str, ...], Tuple[int, int, int]] = {}
+        for j in range(rows_per_flush):
+            path = (
+                f"svc{j % 4}", f"op{j % 32}", f"ctx{rng.randint(0, 400)}"
+            )
+            count, gaps, epoch = rows.get(path, (0, 0, 0))
+            rows[path] = (count + 1 + rng.randint(0, 5), gaps, epoch)
+        state = SegmentState(
+            t_lo=float(i),
+            t_hi=float(i + 1),
+            fingerprint=f"retain-{seed:04x}",
+            rows=tuple(
+                (path, count, gaps, epoch)
+                for path, (count, gaps, epoch) in sorted(rows.items())
+            ),
+        )
+        streams.append((state, sum(c for c, _g, _e in rows.values())))
+    total_flushed = sum(samples for _state, samples in streams)
+
+    def series(directory: str, compact: bool) -> Dict[str, object]:
+        store = SegmentStore(directory)
+        compactor = Compactor(
+            store, CompactionPolicy(min_inputs=4, retention=caps)
+        )
+        seg_series: List[int] = []
+        kb_series: List[float] = []
+        for i, (state, _samples) in enumerate(streams):
+            store.append(state)
+            if compact:
+                compactor.compact(now=float(i + 1))
+            seg_series.append(len(store.refresh()))
+            kb_series.append(
+                sum(
+                    os.path.getsize(os.path.join(directory, name))
+                    for name in os.listdir(directory)
+                    if name.endswith(".dpqs")
+                )
+                / 1024.0
+            )
+        live = sum(
+            count
+            for seg in store.segments()
+            for _path, count, _gaps, _epoch in seg.rows
+        )
+        retired = sum(
+            count for count, _gaps in store.retired_totals().values()
+        )
+        return {
+            "final_segments": seg_series[-1],
+            "max_segments": max(seg_series),
+            "tail_max_segments": max(seg_series[len(seg_series) // 2 :]),
+            "final_kb": round(kb_series[-1], 1),
+            "max_kb": round(max(kb_series), 1),
+            "live_samples": live,
+            "retired_samples": retired,
+            "compactions": compactor.compactions,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-qretain-") as tmp:
+        uncapped_dir = os.path.join(tmp, "uncapped")
+        capped_dir = os.path.join(tmp, "capped")
+        uncapped = series(uncapped_dir, compact=False)
+        capped = series(capped_dir, compact=True)
+    conservation_ok = (
+        capped["live_samples"] + capped["retired_samples"] == total_flushed
+    )
+    plateau_ok = (
+        capped["tail_max_segments"] <= caps.max_segments
+        and capped["final_kb"] < uncapped["final_kb"]
+    )
+    return {
+        "flushes": flushes,
+        "rows_per_flush": rows_per_flush,
+        "total_flushed": total_flushed,
+        "caps": {
+            "max_segments": caps.max_segments,
+            "max_age_s": caps.max_age_s,
+        },
+        "uncapped": uncapped,
+        "capped": capped,
+        "conservation_ok": conservation_ok,
+        "plateau_ok": plateau_ok,
+    }
+
+
 def query_bench(
     smoke: bool = False,
     *,
     contexts: Optional[int] = None,
     segments: Optional[int] = None,
     seed: int = 1,
+    compact: bool = False,
+    with_retention: bool = True,
 ) -> Dict[str, object]:
-    """Run both studies; returns the JSON-ready result dict."""
+    """Run the studies; returns the JSON-ready result dict.
+
+    ``compact=True`` merges the store into one multi-span generation
+    between the write and query studies (the ``compact-on`` matrix
+    cell). ``with_retention=False`` skips the unbounded-run plateau
+    study (matrix cells skip it to keep cell timings clean).
+    """
     if contexts is None:
         contexts = SMOKE_CONTEXTS if smoke else DEFAULT_CONTEXTS
     if segments is None:
         segments = SMOKE_SEGMENTS if smoke else DEFAULT_SEGMENTS
     with tempfile.TemporaryDirectory(prefix="repro-qbench-") as tmp:
         write = _build_store(tmp, contexts, segments, seed)
+        compaction = _compact_store(tmp, segments) if compact else None
         query = _query_study(tmp, contexts, segments, seed)
-    return {
+    result = {
         "benchmark": "query-bench",
         "smoke": smoke,
         "workload": {
             "contexts": contexts,
             "segments": segments,
             "seed": seed,
+            "compact": compact,
         },
         "write": write,
         "query": query,
     }
+    if compaction is not None:
+        result["compaction"] = compaction
+    if with_retention:
+        result["retention"] = _retention_study(smoke, seed)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -213,11 +359,17 @@ def run(config: Mapping[str, object]) -> Dict[str, object]:
     fixed so latency numbers stay comparable across configurations).
 
     Gated metrics: windowed top-K p95 latency (the interactive-query
-    budget) and segment write throughput (the flush-path budget).
+    budget) and segment write throughput (the flush-path budget). The
+    ``compact`` knob swaps the store to one multi-span generation
+    before the query study, so the ``compact-on`` cell gates the same
+    latencies over compacted segments.
     """
     quick = bool(config.get("quick", True))
     seed = int(config.get("seed", 1))
-    result = query_bench(smoke=quick, seed=seed)
+    compact = bool(config.get("compact", False))
+    result = query_bench(
+        smoke=quick, seed=seed, compact=compact, with_retention=False
+    )
     write, query = result["write"], result["query"]
     metrics = {
         "topk_ms_mean": query["topk_ms_mean"],
@@ -228,6 +380,11 @@ def run(config: Mapping[str, object]) -> Dict[str, object]:
         "write_rows_per_s": write["rows_per_s"],
         "load_ms": query["load_ms"],
     }
+    if compact:
+        metrics["compact_merge_ms"] = result["compaction"]["merge_ms"]
+        metrics["compact_segments_after"] = (
+            result["compaction"]["segments_after"]
+        )
     return {
         "target": "query",
         "metrics": metrics,
@@ -257,6 +414,17 @@ _QUERY_COLUMNS: List[Column] = [
 ]
 
 
+_RETENTION_COLUMNS: List[Column] = [
+    ("store", "store", str),
+    ("final_segments", "final segs", sci),
+    ("tail_max_segments", "tail max segs", sci),
+    ("final_kb", "final KB", sci),
+    ("max_kb", "max KB", sci),
+    ("retired_samples", "retired", sci),
+    ("compactions", "swaps", sci),
+]
+
+
 def render_query_bench(result: Dict[str, object]) -> str:
     """Human-readable report of one :func:`query_bench` run."""
     workload = result["workload"]
@@ -282,6 +450,34 @@ def render_query_bench(result: Dict[str, object]) -> str:
             ),
         ),
     ]
+    compaction = result.get("compaction")
+    if compaction:
+        lines.append(
+            f"\ncompacted {compaction['segments_before']} -> "
+            f"{compaction['segments_after']} segment(s) in "
+            f"{compaction['merge_ms']} ms before the query study"
+        )
+    retention = result.get("retention")
+    if retention:
+        rows = [
+            {"store": name, **retention[name]}
+            for name in ("uncapped", "capped")
+        ]
+        conserve = "holds" if retention["conservation_ok"] else "VIOLATED"
+        plateau = "plateaus" if retention["plateau_ok"] else "DOES NOT plateau"
+        lines.extend([
+            "",
+            render_table(
+                rows,
+                _RETENTION_COLUMNS,
+                title=(
+                    f"unbounded-run retention study ({retention['flushes']} "
+                    f"flushes, caps: {retention['caps']['max_segments']} "
+                    f"segments / {retention['caps']['max_age_s']}s): capped "
+                    f"store {plateau}, live+retired==flushed {conserve}"
+                ),
+            ),
+        ])
     return "\n".join(lines)
 
 

@@ -30,6 +30,11 @@ oracle         cross-checks
 ``recovery``   checkpoint → crash → recover: recovery replays exactly
                the newest valid snapshot (torn/corrupt files rejected),
                a subset of the pre-crash tree, no phantom contexts
+``compaction``  segment generation swaps on a store built from the
+               case graph: a clean swap moves no byte of any query
+               answer, a swap crashed at a seed-sampled record
+               recovers to old-or-new (never a mix), and retention
+               keeps ``live + retired == flushed``
 =============  ========================================================
 
 Outcomes the system *documents* as legitimate are skips, not failures:
@@ -41,7 +46,9 @@ not representable under the repaired encoding).
 from __future__ import annotations
 
 import json
+import os
 import random
+import tempfile
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.incremental import apply_delta, diff_graphs
@@ -59,6 +66,7 @@ from repro.core.pcce import encode_pcce
 from repro.core.sid import SidTable, compute_sids, update_sids
 from repro.core.verify import verify_encoding
 from repro.errors import (
+    ChaosError,
     EncodingOverflowError,
     PlanSwapError,
     ReproError,
@@ -82,6 +90,7 @@ __all__ = [
     "check_conservation",
     "check_multiproc",
     "check_recovery",
+    "check_compaction",
     "sid_equivalence_failures",
     "canonical_query_answers",
     "query_equivalence_failures",
@@ -562,6 +571,170 @@ def check_recovery(case: FuzzCase, observations: int = 24) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Compaction oracle (repro.query.compact)
+# ----------------------------------------------------------------------
+def _graph_paths(graph: CallGraph, limit: int = 48) -> List[Tuple[str, ...]]:
+    """Deterministic bounded-depth call paths from the case graph."""
+    paths: List[Tuple[str, ...]] = []
+
+    def walk(node: str, path: List[str], depth: int) -> None:
+        if len(paths) >= limit:
+            return
+        paths.append(tuple(path))
+        if depth >= 4:
+            return
+        for edge in graph.out_edges(node):
+            walk(edge.callee, path + [edge.callee], depth + 1)
+            if len(paths) >= limit:
+                return
+
+    walk(graph.entry, [graph.entry], 1)
+    return paths
+
+
+def check_compaction(case: FuzzCase, observations: int = 24) -> List[str]:
+    """Generation-swap oracle over a store built straight from the case
+    graph (no service threads).
+
+    Three directories, one invariant each:
+
+    * **equivalence** — a clean compaction (no retention) must not move
+      a byte of any canonical query answer, and must actually shrink a
+      multi-segment store to one file;
+    * **atomicity** — a swap crashed at a seed-sampled durable record,
+      then recovered by a fresh compactor, must answer exactly like the
+      old generation or the new one, never a mix;
+    * **conservation** — an age-based retention sweep must keep
+      ``live samples + retired totals == samples ever flushed``, and
+      the answers over the retained window must be byte-identical to
+      the pre-retention store over that same window.
+    """
+    from repro.query.compact import (
+        CompactionPolicy,
+        Compactor,
+        RetentionPolicy,
+    )
+    from repro.query.engine import QueryEngine
+    from repro.query.manifest import SegmentStore
+    from repro.query.writer import SegmentWriter
+    from repro.service.shards import ShardedContextTree
+
+    paths = _graph_paths(case.graph)
+    if len(paths) < 2:
+        return []
+    failures: List[str] = []
+
+    def build(directory: str) -> float:
+        """Identical store every call: 2-4 delta segments, 10s windows."""
+        tree = ShardedContextTree(2)
+        clock = [100.0]
+        writer = SegmentWriter(
+            tree, directory, fingerprint="oracle", clock=lambda: clock[0]
+        )
+        rng = random.Random(case.seed ^ 0x0C7A)
+        quarter = max(1, len(paths) // 4)
+        for lo in range(0, len(paths), quarter):
+            for path in paths[lo : lo + quarter]:
+                tree.add(path, epoch=0, weight=rng.randint(1, 9))
+            clock[0] += 10.0
+            writer.flush()
+        return clock[0]
+
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-compact-") as tmp:
+        # 1. equivalence -----------------------------------------------
+        plain = os.path.join(tmp, "plain")
+        now = build(plain)
+        pre = canonical_query_answers(QueryEngine(plain).refresh())
+        store = SegmentStore(plain)
+        n_before = len(store.refresh())
+        Compactor(store).compact(now=now, force=True)
+        n_after = len(store.refresh())
+        post = canonical_query_answers(QueryEngine(plain).refresh())
+        failures.extend(
+            f"compaction: clean swap moved answers: {f}"
+            for f in query_equivalence_failures(pre, post)
+        )
+        if n_before > 1 and n_after != 1:
+            failures.append(
+                f"compaction: swap left {n_after} segments "
+                f"(expected 1 from {n_before})"
+            )
+
+        # 2. atomicity under a mid-swap crash --------------------------
+        torn = os.path.join(tmp, "torn")
+        build(torn)
+        crash_after = case.seed % 6
+
+        def hook(records: int) -> None:
+            if records > crash_after:
+                raise ChaosError(
+                    f"oracle: compaction crash after {records} record(s)"
+                )
+
+        try:
+            Compactor(SegmentStore(torn)).compact(
+                now=now, fault=hook, force=True
+            )
+        except ChaosError:
+            pass
+        Compactor(SegmentStore(torn)).recover(now=now)
+        recovered = canonical_query_answers(QueryEngine(torn).refresh())
+        failures.extend(
+            f"compaction: crashed swap (record {crash_after}) not "
+            f"atomic: {f}"
+            for f in query_equivalence_failures(pre, recovered)
+        )
+
+        # 3. retention conservation ------------------------------------
+        aged = os.path.join(tmp, "aged")
+        build(aged)
+        aged_store = SegmentStore(aged)
+        live_segs = aged_store.refresh()
+        total = sum(
+            count
+            for seg in live_segs
+            for _path, count, _gaps, _epoch in seg.rows
+        )
+        oldest_hi = min(seg.t_hi for seg in live_segs)
+        cutoff = oldest_hi + 5.0  # mid-window: drops exactly the oldest
+        window = (cutoff, now + 1.0)
+        pre_topk = QueryEngine(aged).refresh().top_contexts(10, window=window)
+        Compactor(
+            aged_store,
+            CompactionPolicy(
+                min_inputs=2,
+                retention=RetentionPolicy(max_age_s=now - cutoff),
+            ),
+        ).compact(now=now, force=True)
+        aged_store.refresh()
+        live = sum(
+            count
+            for seg in aged_store.segments()
+            for _path, count, _gaps, _epoch in seg.rows
+        )
+        retired = sum(
+            count for count, _gaps in aged_store.retired_totals().values()
+        )
+        if live + retired != total:
+            failures.append(
+                f"compaction: retention leak — live {live} + retired "
+                f"{retired} != flushed {total}"
+            )
+        if retired == 0 and len(live_segs) > 1:
+            failures.append(
+                "compaction: retention dropped nothing (oldest span "
+                "should have aged out)"
+            )
+        post_topk = QueryEngine(aged).refresh().top_contexts(10, window=window)
+        if pre_topk != post_topk:
+            failures.append(
+                "compaction: retained-window top-K changed across a "
+                "retention sweep"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # Durable-query equivalence oracle (repro.query)
 # ----------------------------------------------------------------------
 def canonical_query_answers(engine) -> bytes:
@@ -629,6 +802,7 @@ ORACLES: Sequence[Tuple[str, Callable[..., List[str]]]] = (
     ("conservation", check_conservation),
     ("multiproc", check_multiproc),
     ("recovery", check_recovery),
+    ("compaction", check_compaction),
 )
 
 #: Oracles that spin up worker threads (or processes);

@@ -17,6 +17,7 @@ Usage::
     python -m repro check [--iterations 500] [--seed 0] [--corpus DIR]
     python -m repro chaos [--iterations 25] [--seed 5] [--json PATH]
     python -m repro query --dir segments/ [--window LO:HI] [--flame PATH]
+    python -m repro query --dir segments/ --compact [--retain-age SECONDS]
     python -m repro query-bench [--smoke] [--json BENCH_query.json]
     python -m repro resilience-bench [--smoke] [--json PATH]
     python -m repro bench-matrix [--configs all] [--targets all]
@@ -283,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability a checkpoint write crashes mid-record",
     )
     pch.add_argument(
+        "--compaction-crash-rate", type=float, default=0.25,
+        help="probability a segment-compaction swap crashes mid-record",
+    )
+    pch.add_argument(
         "--observations", type=int, default=40,
         help="samples ingested per iteration (default: 40)",
     )
@@ -331,6 +336,23 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument(
         "--flame", metavar="PATH", default=None,
         help="write the window as folded-stack flame-graph lines",
+    )
+    pq.add_argument(
+        "--compact", action="store_true",
+        help="run one generation swap (merge delta segments, apply "
+        "any --retain-* caps) instead of querying",
+    )
+    pq.add_argument(
+        "--retain-segments", type=int, default=None, metavar="N",
+        help="with --compact: keep at most N segment files",
+    )
+    pq.add_argument(
+        "--retain-bytes", type=int, default=None, metavar="BYTES",
+        help="with --compact: cap the store's total size",
+    )
+    pq.add_argument(
+        "--retain-age", type=float, default=None, metavar="SECONDS",
+        help="with --compact: drop windows older than SECONDS",
     )
     pq.add_argument(
         "--json", action="store_true",
@@ -655,6 +677,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             slow_consumer_rate=args.slow_consumer_rate,
             decode_fault_rate=args.decode_fault_rate,
             checkpoint_crash_rate=args.checkpoint_crash_rate,
+            compaction_crash_rate=args.compaction_crash_rate,
             observations=args.observations,
             log=print,
         )
@@ -857,6 +880,7 @@ def _parse_window(spec: str) -> Tuple[float, float]:
 
 def _run_query(args: argparse.Namespace) -> int:
     """The ``query`` subcommand: windowed analytics over segments."""
+    import os
     import tempfile
 
     from repro.query.engine import QueryEngine
@@ -885,8 +909,19 @@ def _run_query(args: argparse.Namespace) -> int:
         print(f"(demo store: 2 segments in {directory})\n")
     elif not directory:
         sys.exit("query: pass --dir DIR (or --demo)")
+    elif not os.path.isdir(directory):
+        sys.exit(f"query: segment directory {directory!r} does not exist")
+    elif not any(
+        name.endswith((".dpqs", ".dpqm")) for name in os.listdir(directory)
+    ):
+        sys.exit(
+            f"query: {directory!r} contains no segments "
+            f"(nothing was ever flushed here)"
+        )
 
     try:
+        if args.compact:
+            return _run_compact(args, directory)
         engine = QueryEngine(directory).refresh()
         window = _parse_window(args.window) if args.window else None
 
@@ -963,6 +998,64 @@ def _run_query(args: argparse.Namespace) -> int:
     finally:
         if demo_tmp is not None:
             demo_tmp.cleanup()
+
+
+def _run_compact(args: argparse.Namespace, directory: str) -> int:
+    """``query --compact``: one generation swap over the store."""
+    from repro.errors import QueryError
+    from repro.query.compact import (
+        CompactionPolicy,
+        Compactor,
+        RetentionPolicy,
+    )
+    from repro.query.locks import LockHeldError
+    from repro.query.manifest import SegmentStore
+
+    try:
+        policy = CompactionPolicy(
+            retention=RetentionPolicy(
+                max_segments=args.retain_segments,
+                max_bytes=args.retain_bytes,
+                max_age_s=args.retain_age,
+            )
+        )
+    except QueryError as exc:
+        sys.exit(f"query: {exc}")
+    compactor = Compactor(SegmentStore(directory), policy)
+    try:
+        recovered = compactor.recover()
+        report = compactor.compact(force=True)
+    except LockHeldError as exc:
+        sys.exit(f"query: {exc}")
+    except QueryError as exc:
+        sys.exit(f"query: compaction failed: {exc}")
+    if args.json:
+        payload = {"recovered": recovered, "report": report}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if recovered:
+        print(f"recovered a half-done swap first: {recovered}")
+    if report is None:
+        print("nothing to compact (store already a single generation)")
+        return 0
+    print(
+        f"compacted generation {report['from_generation']} -> "
+        f"{report['to_generation']}: merged {len(report['inputs'])} "
+        f"segment(s) into seg-{report['output_seq']:08d} "
+        f"({report['spans']} span(s), {report['rows']} row(s))"
+    )
+    if report["dropped_spans"]:
+        print(
+            f"retention dropped {report['dropped_spans']} span(s), "
+            f"{report['dropped_rows']} row(s), "
+            f"{report['dropped_samples']} sample(s) "
+            f"(totals preserved in the retired sidecar)"
+        )
+    print(
+        f"deleted {report['deleted']} superseded file(s), "
+        f"{report['deferred']} deferred to pinned readers"
+    )
+    return 0
 
 
 def _decode_demo() -> None:

@@ -31,6 +31,17 @@ Because segments are immutable files, every query answer is
 reproducible after a crash: the chaos harness asserts byte-identical
 pre-crash / post-recover answers (see ``python -m repro chaos``).
 
+Unbounded runs stay bounded: :class:`~repro.query.compact.Compactor`
+merges accumulated delta segments into one cumulative multi-span
+segment (byte-identical answers, fewer files) and enforces a
+:class:`~repro.query.compact.RetentionPolicy`
+(max_segments/max_bytes/max_age caps, counted tombstoned deletions)
+— every swap journaled so a SIGKILL at any byte leaves either the old
+generation or the new one, never a mix. Cross-process readers pin the
+generation they serve via the advisory locks in
+:mod:`repro.query.locks` (``fcntl`` leases with stale-lock breaking)
+and keep answering while the compactor swaps generations under them.
+
 Wiring::
 
     cfg = ServiceConfig(workers=2, segment_dir="segments/")
@@ -49,8 +60,14 @@ query cookbook.
 
 from __future__ import annotations
 
+from repro.query.compact import (
+    CompactionPolicy,
+    Compactor,
+    RetentionPolicy,
+)
 from repro.query.engine import QueryEngine, WindowDiff, ucp_forensics
 from repro.query.flamegraph import from_folded, to_folded
+from repro.query.locks import DirectoryLock, LockHeldError, SnapshotPin
 from repro.query.manifest import SegmentStore, load_manifest, write_manifest
 from repro.query.segment import (
     Segment,
@@ -62,11 +79,17 @@ from repro.query.segment import (
 from repro.query.writer import SegmentWriter
 
 __all__ = [
+    "CompactionPolicy",
+    "Compactor",
+    "DirectoryLock",
+    "LockHeldError",
     "QueryEngine",
+    "RetentionPolicy",
     "Segment",
     "SegmentState",
     "SegmentStore",
     "SegmentWriter",
+    "SnapshotPin",
     "WindowDiff",
     "from_folded",
     "load_manifest",

@@ -1,0 +1,974 @@
+"""Generation-based segment compaction and retention for one directory.
+
+The append-only store grows one delta segment per checkpoint tick,
+forever. This module folds that history back down without ever
+changing an answer:
+
+* **Compaction** merges N live segments into one cumulative segment.
+  The merged file keeps *one span per input* (format v2, see
+  :mod:`repro.query.segment`), so every windowed query — including the
+  half-window and diff shapes the chaos oracle pins — sums exactly the
+  same rows before and after: byte-identical answers, fewer files,
+  names/trie deduplicated across spans.
+* **Retention** ages history out under explicit caps
+  (``max_segments`` / ``max_bytes`` / ``max_age_s``). Deletions are
+  counted, never silent: every removed file leaves a manifest
+  tombstone, and every removed *row* is added to the cumulative
+  retired-totals sidecar (``retired-GGGGGGGG.dpqr``) so a recovered
+  writer reconciling against the store does not re-emit history that
+  was deliberately dropped.
+
+Every mutation is one **generation swap** executed under the exclusive
+:class:`~repro.query.locks.DirectoryLock` with the PR 5 durability
+discipline, in this order:
+
+1. write the new retired-totals file (if retention dropped rows);
+2. write the CRC'd **intent journal** (``compact.dpqj``) durably —
+   the declaration "generation G+1 = these inputs → this output";
+3. write the merged output segment (temp/fsync/rename);
+4. commit: rewrite the manifest with ``generation = G+1``, the output
+   plus any segments appended mid-swap, and tombstones for the inputs
+   — the manifest rename *is* the commit point;
+5. delete the input files (skipping any a live reader pin still
+   protects — deferred deletions stay tombstoned and are retried),
+   then remove the journal.
+
+A SIGKILL at **any byte** of that sequence leaves either the old
+generation or the new one, never a blend: before the commit rename the
+old manifest still rules and readers quarantine the journal's
+uncommitted output; after it the inputs are tombstoned. The next
+mutator (or :meth:`Compactor.recover`) rolls the journal forward when
+its output validates completely, backward otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.errors import QueryError
+from repro.query.locks import (
+    DEFAULT_LEASE_S,
+    DirectoryLock,
+    LockHeldError,
+    live_pins,
+)
+from repro.query.manifest import (
+    SegmentStore,
+    load_manifest_info,
+    write_manifest,
+)
+from repro.query.segment import (
+    Segment,
+    SegmentState,
+    load_segment,
+    segment_name,
+    write_segment,
+)
+from repro.resilience.checkpoint import (
+    delta_decode_path,
+    delta_encode_rows,
+    fsync_dir,
+    pack_section,
+    parse_record_line,
+    record_line,
+    unpack_section,
+)
+
+__all__ = [
+    "CompactionPolicy",
+    "Compactor",
+    "JOURNAL_NAME",
+    "JOURNAL_VERSION",
+    "RETIRED_VERSION",
+    "RetentionPolicy",
+    "journal_quarantine",
+    "load_journal",
+    "load_retired",
+    "retired_name",
+    "write_journal",
+    "write_retired",
+]
+
+JOURNAL_NAME = "compact.dpqj"
+JOURNAL_VERSION = 1
+RETIRED_VERSION = 1
+_RETIRED_PREFIX = "retired-"
+_RETIRED_SUFFIX = ".dpqr"
+_ROWS_PER_RECORD = 512
+#: Manifest tombstones kept after their file is confirmed deleted.
+_TOMBSTONE_KEEP = 64
+
+_Key = Tuple[Tuple[str, ...], int]  # (path, epoch)
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Caps on what the directory may keep. ``None`` = unbounded.
+
+    * ``max_segments`` — cap on live segment *files*; exceeding it
+      makes a compaction due (merging satisfies any cap >= 1).
+    * ``max_bytes`` — cap on live on-disk bytes; the oldest spans are
+      dropped (their rows retired) until the estimate fits.
+    * ``max_age_s`` — spans whose whole window is older than
+      ``now - max_age_s`` are dropped.
+    * ``keep_spans`` — the newest N spans survive every cap, so a
+      retention sweep can never empty the store entirely.
+    """
+
+    max_segments: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_age_s: Optional[float] = None
+    keep_spans: int = 1
+
+    def __post_init__(self):
+        if self.max_segments is not None and self.max_segments < 1:
+            raise QueryError("retention max_segments must be >= 1")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise QueryError("retention max_bytes must be >= 1")
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise QueryError("retention max_age_s must be positive")
+        if self.keep_spans < 0:
+            raise QueryError("retention keep_spans must be >= 0")
+
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.max_segments is not None
+            or self.max_bytes is not None
+            or self.max_age_s is not None
+        )
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to merge and what to retain."""
+
+    #: Merge as soon as this many live segments have accumulated.
+    min_inputs: int = 4
+    retention: RetentionPolicy = field(default_factory=RetentionPolicy)
+    #: Lease on the directory lock (and the staleness horizon at which
+    #: contenders may break it).
+    lease_s: float = DEFAULT_LEASE_S
+
+    def __post_init__(self):
+        if self.min_inputs < 2:
+            raise QueryError("compaction min_inputs must be >= 2")
+
+
+# ----------------------------------------------------------------------
+# Intent journal
+# ----------------------------------------------------------------------
+def write_journal(
+    directory: str,
+    intent: dict,
+    fault: Optional[Callable[[int], None]] = None,
+) -> str:
+    """Durably declare a generation swap before performing it.
+
+    Same record discipline as everything else; the temp/fsync/rename
+    means a crash mid-write leaves *no* journal (clean roll-back: the
+    swap never started), never a torn one.
+    """
+    final = os.path.join(directory, JOURNAL_NAME)
+    tmp = os.path.join(directory, f".tmp-journal-{os.getpid()}")
+    header = {"kind": "compact-intent", "version": JOURNAL_VERSION}
+    header.update(intent)
+    records = 0
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(record_line(header))
+        records += 1
+        if fault is not None:
+            fault(records)
+        fh.write(record_line({"kind": "footer", "records": records + 1}))
+        records += 1
+        if fault is not None:
+            fault(records)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    fsync_dir(directory)
+    return final
+
+
+def load_journal(directory: str) -> Optional[dict]:
+    """The pending swap intent, or None when absent or untrustworthy.
+
+    Validation is total, mirroring segments: any torn line, bad CRC,
+    malformed header/footer, alien kind, or unknown version rejects
+    the file (counted in ``query.journal_rejected`` by callers that
+    then discard it).
+    """
+    path = os.path.join(directory, JOURNAL_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except (OSError, UnicodeDecodeError):
+        return None
+    if len(lines) != 2:
+        return None
+    header = parse_record_line(lines[0])
+    footer = parse_record_line(lines[1])
+    if header is None or footer is None:
+        return None
+    if header.get("kind") != "compact-intent":
+        return None
+    if header.get("version") != JOURNAL_VERSION:
+        return None
+    if footer.get("kind") != "footer" or footer.get("records") != 2:
+        return None
+    from_gen = header.get("from_generation")
+    to_gen = header.get("to_generation")
+    if not isinstance(from_gen, int) or not isinstance(to_gen, int):
+        return None
+    if from_gen < 0 or to_gen != from_gen + 1:
+        return None
+    inputs = header.get("inputs")
+    if not isinstance(inputs, list):
+        return None
+    for entry in inputs:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 3
+            or not all(isinstance(v, int) and v >= 0 for v in entry)
+        ):
+            return None
+    output_seq = header.get("output_seq")
+    if output_seq is not None and not isinstance(output_seq, int):
+        return None
+    retired = header.get("retired")
+    if retired is not None and not isinstance(retired, str):
+        return None
+    for key in ("drop_spans", "drop_rows", "drop_samples"):
+        value = header.get(key)
+        if not isinstance(value, int) or value < 0:
+            return None
+    return header
+
+
+def journal_pending(directory: str) -> bool:
+    return os.path.exists(os.path.join(directory, JOURNAL_NAME))
+
+
+def journal_quarantine(
+    directory: str, generation: Optional[int]
+) -> Set[int]:
+    """Which segment seqs a reader must skip to see *one* generation.
+
+    ``generation`` is the manifest generation the reader loaded, or
+    None when the manifest could not be trusted (fallback scan).
+
+    * Intent newer than the manifest → the output is uncommitted:
+      skip it, serve the inputs (the old generation still rules).
+    * Intent at or behind the manifest → the swap committed; the
+      inputs are tombstoned by the manifest itself, nothing to do.
+    * No manifest at all → serve exactly one side: the output when it
+      validates *and* the swap dropped nothing (the two sides answer
+      identically), otherwise the inputs.
+    """
+    journal = load_journal(directory)
+    if journal is None:
+        return set()
+    output_seq = journal.get("output_seq")
+    if generation is not None:
+        if journal["to_generation"] > generation and output_seq is not None:
+            return {int(output_seq)}
+        return set()
+    input_seqs = {int(entry[0]) for entry in journal["inputs"]}
+    if output_seq is not None and journal.get("drop_rows", 0) == 0:
+        seg = load_segment(
+            os.path.join(directory, segment_name(output_seq)), output_seq
+        )
+        if seg is not None:
+            return input_seqs
+    return {int(output_seq)} if output_seq is not None else set()
+
+
+# ----------------------------------------------------------------------
+# Retired totals sidecar
+# ----------------------------------------------------------------------
+def retired_name(generation: int) -> str:
+    return f"{_RETIRED_PREFIX}{generation:08d}{_RETIRED_SUFFIX}"
+
+
+def retired_generation_of(name: str) -> Optional[int]:
+    if not (
+        name.startswith(_RETIRED_PREFIX) and name.endswith(_RETIRED_SUFFIX)
+    ):
+        return None
+    try:
+        return int(name[len(_RETIRED_PREFIX):-len(_RETIRED_SUFFIX)])
+    except ValueError:
+        return None
+
+
+def write_retired(
+    directory: str,
+    generation: int,
+    totals: Dict[_Key, Tuple[int, int]],
+    fault: Optional[Callable[[int], None]] = None,
+) -> str:
+    """Durably write the cumulative retired totals for ``generation``.
+
+    Same trie encoding as segment rows so the formats cannot drift;
+    not served by queries — only writer reconciliation reads it.
+    """
+    final = os.path.join(directory, retired_name(generation))
+    tmp = os.path.join(directory, f".tmp-retired-{os.getpid()}")
+    rows = sorted(
+        (path, count, gaps, epoch)
+        for (path, epoch), (count, gaps) in totals.items()
+    )
+    records = 0
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(record_line({
+            "kind": "retired",
+            "version": RETIRED_VERSION,
+            "generation": int(generation),
+            "rows": len(rows),
+        }))
+        records += 1
+        if fault is not None:
+            fault(records)
+        names, nodes_flat, pids = delta_encode_rows(rows)
+        for kind, section in (("names", names), ("nodes", nodes_flat)):
+            payload = {"kind": kind}
+            payload.update(pack_section(section))
+            fh.write(record_line(payload))
+            records += 1
+            if fault is not None:
+                fault(records)
+        for lo in range(0, len(rows), _ROWS_PER_RECORD):
+            chunk = rows[lo:lo + _ROWS_PER_RECORD]
+            fh.write(record_line({
+                "kind": "rows",
+                "rows": [
+                    [pids[lo + i], row[1], row[2], row[3]]
+                    for i, row in enumerate(chunk)
+                ],
+            }))
+            records += 1
+            if fault is not None:
+                fault(records)
+        fh.write(record_line({
+            "kind": "footer",
+            "records": records + 1,
+            "rows": len(rows),
+            "samples": sum(r[1] for r in rows),
+        }))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    fsync_dir(directory)
+    return final
+
+
+def load_retired(path: str) -> Optional[Dict[_Key, Tuple[int, int]]]:
+    """Parse and fully validate a retired-totals file; None when bad."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except (OSError, UnicodeDecodeError):
+        return None
+    if not lines:
+        return None
+    header = parse_record_line(lines[0])
+    if header is None or header.get("kind") != "retired":
+        return None
+    if header.get("version") != RETIRED_VERSION:
+        return None
+    names: Optional[list] = None
+    nodes_flat: Optional[list] = None
+    compact_rows: List[tuple] = []
+    footer = None
+    for line in lines[1:]:
+        payload = parse_record_line(line)
+        if payload is None:
+            return None
+        if footer is not None:
+            return None
+        kind = payload.get("kind")
+        if kind == "rows":
+            try:
+                for pid, count, gaps, epoch in payload["rows"]:
+                    compact_rows.append(
+                        (pid, int(count), int(gaps), int(epoch))
+                    )
+            except (KeyError, TypeError, ValueError):
+                return None
+        elif kind == "names":
+            names = unpack_section(payload)
+            if not isinstance(names, list) or not all(
+                isinstance(n, str) for n in names
+            ):
+                return None
+        elif kind == "nodes":
+            nodes_flat = unpack_section(payload)
+            if (
+                not isinstance(nodes_flat, list)
+                or len(nodes_flat) % 2
+                or not all(isinstance(v, int) for v in nodes_flat)
+            ):
+                return None
+        elif kind == "footer":
+            footer = payload
+        else:
+            return None
+    if footer is None or names is None or nodes_flat is None:
+        return None
+    totals: Dict[_Key, Tuple[int, int]] = {}
+    samples = 0
+    for pid, count, gaps, epoch in compact_rows:
+        decoded = delta_decode_path(pid, nodes_flat, names)
+        if decoded is None or count < 0 or gaps < 0:
+            return None
+        totals[(decoded, epoch)] = (count, gaps)
+        samples += count
+    if (
+        footer.get("records") != len(lines)
+        or footer.get("rows") != len(compact_rows)
+        or header.get("rows") != len(compact_rows)
+        or footer.get("samples") != samples
+        or len(totals) != len(compact_rows)
+    ):
+        return None
+    return totals
+
+
+# ----------------------------------------------------------------------
+# The compactor
+# ----------------------------------------------------------------------
+@dataclass
+class _Span:
+    t_lo: float
+    t_hi: float
+    src_seq: int
+    rows: tuple  # ((path, count, gaps, epoch), ...)
+
+    @property
+    def samples(self) -> int:
+        return sum(r[1] for r in self.rows)
+
+
+class Compactor:
+    """Executes generation swaps over one :class:`SegmentStore`.
+
+    One instance per store; safe to call from the checkpoint daemon
+    thread while the ingest thread keeps appending (the commit runs
+    under the store's own lock, so mid-swap appends survive into the
+    new manifest).
+    """
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        policy: Optional[CompactionPolicy] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.store = store
+        self.policy = policy or CompactionPolicy()
+        self._clock = clock
+        self.compactions = 0
+        self.failures = 0
+        self.rolled_back = 0
+        self.recovered_forward = 0
+        self.skipped_not_due = 0
+        self.deferred_deletes = 0
+        self.deleted_files = 0
+        self.dropped_spans = 0
+        self.dropped_rows = 0
+        self.dropped_samples = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        return self.store.directory
+
+    def stats(self) -> dict:
+        return {
+            "generation": self.store.generation,
+            "compactions": self.compactions,
+            "failures": self.failures,
+            "rolled_back": self.rolled_back,
+            "recovered_forward": self.recovered_forward,
+            "skipped_not_due": self.skipped_not_due,
+            "deferred_deletes": self.deferred_deletes,
+            "deleted_files": self.deleted_files,
+            "dropped_spans": self.dropped_spans,
+            "dropped_rows": self.dropped_rows,
+            "dropped_samples": self.dropped_samples,
+        }
+
+    # ------------------------------------------------------------------
+    def recover(self, now: Optional[float] = None) -> Optional[str]:
+        """Resolve a pending intent journal; returns the action taken.
+
+        Takes the directory lock itself — this is what a freshly
+        restarted process calls before its first swap.
+        """
+        if not journal_pending(self.directory):
+            return None
+        now = self._clock() if now is None else now
+        lock = DirectoryLock(
+            self.directory, lease_s=self.policy.lease_s, clock=self._clock
+        )
+        lock.acquire()
+        try:
+            return self._recover_locked(now)
+        finally:
+            lock.release()
+
+    def _recover_locked(self, now: float) -> Optional[str]:
+        journal = load_journal(self.directory)
+        journal_path = os.path.join(self.directory, JOURNAL_NAME)
+        if journal is None:
+            if os.path.exists(journal_path):
+                # Present but untrustworthy: the swap never committed
+                # (a committed journal was valid by construction), so
+                # discarding it *is* the roll-back.
+                os.unlink(journal_path)
+                fsync_dir(self.directory)
+                obs.counter("query.journal_rejected").inc()
+                self.rolled_back += 1
+                return "rolled-back"
+            return None
+        info = load_manifest_info(self.directory)
+        current = info["generation"] if info is not None else 0
+        if journal["to_generation"] <= current:
+            # Crash after the commit rename: the swap is law, only the
+            # input deletions may be unfinished — the sweep retries
+            # them from the tombstones.
+            os.unlink(journal_path)
+            fsync_dir(self.directory)
+            self.store.refresh()
+            self._sweep_deletions(now)
+            return "committed"
+        output_seq = journal.get("output_seq")
+        output_ok = True
+        if output_seq is not None:
+            seg = load_segment(
+                os.path.join(self.directory, segment_name(output_seq)),
+                output_seq,
+            )
+            output_ok = seg is not None
+        retired = journal.get("retired")
+        if output_ok and retired is not None:
+            output_ok = (
+                load_retired(os.path.join(self.directory, retired))
+                is not None
+            )
+        if not output_ok:
+            # The output never fully landed: roll back. The old
+            # generation was never superseded, so only artifacts of
+            # the dead swap are removed.
+            for name in (
+                segment_name(output_seq) if output_seq is not None else None,
+                retired,
+            ):
+                if name is None:
+                    continue
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+            os.unlink(journal_path)
+            fsync_dir(self.directory)
+            obs.counter("query.compactions_rolled_back").inc()
+            self.rolled_back += 1
+            self.store.refresh()
+            return "rolled-back"
+        # Everything durable: roll forward by performing the commit the
+        # dead process was about to.
+        tombstones = self._merge_tombstones(
+            info["tombstones"] if info is not None else [],
+            journal["inputs"],
+            journal["to_generation"],
+        )
+        output = []
+        if output_seq is not None:
+            seg = load_segment(
+                os.path.join(self.directory, segment_name(output_seq)),
+                output_seq,
+            )
+            output = [seg] if seg is not None else []
+        self._commit(
+            journal["to_generation"], output,
+            {int(e[0]) for e in journal["inputs"]}, tombstones, retired,
+        )
+        os.unlink(journal_path)
+        fsync_dir(self.directory)
+        self._sweep_deletions(now)
+        obs.counter("query.compactions_recovered").inc()
+        self.recovered_forward += 1
+        return "rolled-forward"
+
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        now: Optional[float] = None,
+        fault: Optional[Callable[[int], None]] = None,
+        force: bool = False,
+    ) -> Optional[dict]:
+        """Run one swap if due; returns a report dict or None.
+
+        ``fault`` (chaos) is called with a monotonically increasing
+        record count across every durable step of the swap — raising
+        from it models a SIGKILL at that byte. ``force`` overrides the
+        due-ness policy (the CLI's ``--compact``).
+
+        Raises :class:`~repro.query.locks.LockHeldError` when another
+        live mutator holds the directory lock.
+        """
+        now = self._clock() if now is None else now
+        start = time.perf_counter()
+        lock = DirectoryLock(
+            self.directory, lease_s=self.policy.lease_s, clock=self._clock
+        )
+        lock.acquire()
+        try:
+            self._recover_locked(now)
+            self._sweep_deletions(now)
+            live = self.store.refresh()
+            plan = self._plan(live, now, force)
+            if plan is None:
+                self.skipped_not_due += 1
+                return None
+            report = self._execute(plan, lock, fault, now)
+        except LockHeldError:
+            raise
+        except BaseException:
+            self.failures += 1
+            obs.counter("query.compaction_failures").inc()
+            raise
+        finally:
+            lock.release()
+        report["duration_us"] = (time.perf_counter() - start) * 1e6
+        obs.counter("query.compactions").inc()
+        obs.histogram("query.compaction_us").observe_us(
+            report["duration_us"]
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _plan(
+        self, live: List[Segment], now: float, force: bool
+    ) -> Optional[dict]:
+        if not live:
+            return None
+        retention = self.policy.retention
+        spans: List[_Span] = []
+        for seg in live:
+            per_span: Dict[int, List[tuple]] = {
+                i: [] for i in range(len(seg.state.spans))
+            }
+            for row, span_id in zip(seg.state.rows, seg.state.row_spans):
+                per_span[span_id].append(row)
+            for span_id, (lo, hi) in enumerate(seg.state.spans):
+                spans.append(_Span(
+                    t_lo=lo, t_hi=hi, src_seq=seg.seq,
+                    rows=tuple(per_span[span_id]),
+                ))
+        spans.sort(key=lambda s: (s.t_lo, s.t_hi, s.src_seq))
+        total_bytes = 0
+        for seg in live:
+            try:
+                total_bytes += os.path.getsize(seg.path)
+            except OSError:
+                pass
+        total_rows = sum(len(s.rows) for s in spans)
+
+        # -- retention: decide which (oldest-first) spans to drop ------
+        keep_floor = max(0, retention.keep_spans)
+        droppable = max(0, len(spans) - keep_floor)
+        drop_n = 0
+        if retention.max_age_s is not None:
+            cutoff = now - retention.max_age_s
+            while drop_n < droppable and spans[drop_n].t_hi <= cutoff:
+                drop_n += 1
+        if retention.max_bytes is not None and total_rows:
+            per_row = max(1.0, total_bytes / max(1, total_rows))
+            target_rows = retention.max_bytes / per_row
+            kept_rows = total_rows - sum(
+                len(spans[i].rows) for i in range(drop_n)
+            )
+            while drop_n < droppable and kept_rows > target_rows:
+                kept_rows -= len(spans[drop_n].rows)
+                drop_n += 1
+        dropped, retained = spans[:drop_n], spans[drop_n:]
+
+        over_files = (
+            retention.max_segments is not None
+            and len(live) > retention.max_segments
+        )
+        over_bytes = (
+            retention.max_bytes is not None
+            and total_bytes > retention.max_bytes
+        )
+        merge_worthy = len(live) >= self.policy.min_inputs
+        due = (
+            force or dropped or merge_worthy or over_files or over_bytes
+        )
+        if not due:
+            return None
+        if not dropped and len(live) <= 1:
+            return None  # a single already-compacted segment: no-op
+        return {
+            "live": live,
+            "retained": retained,
+            "dropped": dropped,
+            "now": now,
+        }
+
+    def _execute(
+        self,
+        plan: dict,
+        lock: DirectoryLock,
+        fault: Optional[Callable[[int], None]],
+        now: float,
+    ) -> dict:
+        live: List[Segment] = plan["live"]
+        retained: List[_Span] = plan["retained"]
+        dropped: List[_Span] = plan["dropped"]
+        from_gen = self.store.generation
+        to_gen = from_gen + 1
+        output_seq = self.store.next_seq() if retained else None
+
+        # One monotonically increasing record count across every
+        # durable step, so a crash-matrix test can sweep "kill after
+        # record N" through the *whole* swap.
+        progress = {"n": 0}
+
+        def stepped():
+            if fault is None:
+                return None
+            start = progress["n"]
+
+            def _hook(n: int, _start=start):
+                progress["n"] = max(progress["n"], _start + n)
+                fault(_start + n)
+
+            return _hook
+
+        def point():
+            progress["n"] += 1
+            if fault is not None:
+                fault(progress["n"])
+
+        # 1. retired totals (cumulative: prior retirements + new drops)
+        retired: Optional[str] = self.store.retired_name
+        drop_rows = sum(len(s.rows) for s in dropped)
+        drop_samples = sum(s.samples for s in dropped)
+        if dropped and drop_rows:
+            totals = dict(self.store.retired_totals())
+            for span in dropped:
+                for path, count, gaps, epoch in span.rows:
+                    key = (tuple(path), epoch)
+                    prev = totals.get(key, (0, 0))
+                    totals[key] = (prev[0] + count, prev[1] + gaps)
+            retired = retired_name(to_gen)
+            write_retired(self.directory, to_gen, totals, fault=stepped())
+
+        # 2. the intent journal: the swap is now declared
+        intent = {
+            "from_generation": from_gen,
+            "to_generation": to_gen,
+            "inputs": [
+                [seg.seq, len(seg.rows), seg.samples] for seg in live
+            ],
+            "output_seq": output_seq,
+            "retired": retired,
+            "drop_spans": len(dropped),
+            "drop_rows": drop_rows,
+            "drop_samples": drop_samples,
+        }
+        write_journal(self.directory, intent, fault=stepped())
+
+        # 3. the merged output segment (one span per retained input)
+        output: List[Segment] = []
+        if retained:
+            t_lo = min(s.t_lo for s in retained)
+            t_hi = max(s.t_hi for s in retained)
+            newest = max(live, key=lambda s: s.seq)
+            rows: List[tuple] = []
+            row_spans: List[int] = []
+            for span_id, span in enumerate(retained):
+                for row in span.rows:
+                    rows.append(row)
+                    row_spans.append(span_id)
+            state = SegmentState(
+                t_lo=t_lo,
+                t_hi=t_hi,
+                fingerprint=newest.fingerprint,
+                rows=tuple(rows),
+                spans=tuple((s.t_lo, s.t_hi) for s in retained),
+                row_spans=tuple(row_spans),
+            )
+            path = write_segment(
+                self.directory, output_seq, state, fault=stepped()
+            )
+            seg = load_segment(path, output_seq)
+            if seg is None:  # pragma: no cover - write+load invariant
+                raise QueryError(
+                    f"freshly compacted segment {path!r} failed validation"
+                )
+            output = [seg]
+
+        # 4. commit — the manifest rename is the point of no return
+        point()
+        if not lock.still_valid():
+            raise LockHeldError(
+                f"directory lock on {self.directory!r} was broken "
+                "mid-swap (lease expired?); aborting before commit"
+            )
+        input_seqs = {seg.seq for seg in live}
+        tombstones = self._merge_tombstones(
+            self.store.tombstones, intent["inputs"], to_gen
+        )
+        self._commit(to_gen, output, input_seqs, tombstones, retired)
+        point()
+
+        # 5. delete the superseded inputs (pin-aware), drop the journal
+        deleted, deferred = self._sweep_deletions(now)
+        try:
+            os.unlink(os.path.join(self.directory, JOURNAL_NAME))
+        except OSError:  # pragma: no cover - unlink raced recovery
+            pass
+        self._prune_retired(to_gen)
+        fsync_dir(self.directory)
+
+        self.compactions += 1
+        self.dropped_spans += len(dropped)
+        self.dropped_rows += drop_rows
+        self.dropped_samples += drop_samples
+        if drop_rows:
+            obs.counter("query.retention_dropped_rows").inc(drop_rows)
+        return {
+            "from_generation": from_gen,
+            "to_generation": to_gen,
+            "inputs": sorted(input_seqs),
+            "output_seq": output_seq,
+            "spans": len(retained),
+            "rows": sum(len(s.rows) for s in retained),
+            "dropped_spans": len(dropped),
+            "dropped_rows": drop_rows,
+            "dropped_samples": drop_samples,
+            "deleted": deleted,
+            "deferred": deferred,
+        }
+
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        generation: int,
+        output: List[Segment],
+        input_seqs: Set[int],
+        tombstones: List[dict],
+        retired: Optional[str],
+    ) -> None:
+        self.store.commit_generation(
+            generation, output, input_seqs, tombstones, retired
+        )
+
+    def _merge_tombstones(
+        self, existing: List[dict], inputs: List[list], generation: int
+    ) -> List[dict]:
+        """Old tombstones + one per merged input, pruned of ancient
+        entries whose files are confirmed gone."""
+        merged: List[dict] = []
+        for tomb in existing:
+            merged.append(dict(tomb))
+        seen = {int(t["seq"]) for t in merged}
+        for seq, rows, samples in inputs:
+            if int(seq) in seen:
+                continue
+            merged.append({
+                "seq": int(seq),
+                "rows": int(rows),
+                "samples": int(samples),
+                "reason": "compacted",
+                "generation": int(generation),
+            })
+        merged.sort(key=lambda t: int(t["seq"]))
+        # Prune: only tombstones whose file is actually gone may age
+        # out of the manifest; a lingering (deferred) file keeps its
+        # tombstone forever so it can never be re-adopted.
+        if len(merged) > _TOMBSTONE_KEEP:
+            pruned: List[dict] = []
+            excess = len(merged) - _TOMBSTONE_KEEP
+            for tomb in merged:
+                path = os.path.join(
+                    self.directory, segment_name(int(tomb["seq"]))
+                )
+                if excess > 0 and not os.path.exists(path):
+                    excess -= 1
+                    continue
+                pruned.append(tomb)
+            merged = pruned
+        return merged
+
+    def _sweep_deletions(self, now: float) -> Tuple[int, int]:
+        """Unlink tombstoned files no live reader pin still protects.
+
+        Returns ``(deleted, deferred)`` counts; both are also pushed
+        to the obs counters so deferred deletions are never silent.
+        """
+        tombstones = list(self.store.tombstones)
+        current = self.store.generation
+        if not tombstones:
+            return (0, 0)
+        pins = live_pins(self.directory, now=now)
+        blocking = any(
+            meta["generation"] < 0 or meta["generation"] < current
+            for meta in pins
+        )
+        deleted = deferred = 0
+        dirty = False
+        for tomb in tombstones:
+            path = os.path.join(
+                self.directory, segment_name(int(tomb["seq"]))
+            )
+            if not os.path.exists(path):
+                continue
+            if blocking:
+                deferred += 1
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                deferred += 1
+                continue
+            deleted += 1
+            dirty = True
+        if dirty:
+            fsync_dir(self.directory)
+        if deleted:
+            self.deleted_files += deleted
+            obs.counter("query.segments_deleted").inc(deleted)
+        if deferred:
+            self.deferred_deletes += deferred
+            obs.counter("query.deletes_deferred").inc(deferred)
+        return (deleted, deferred)
+
+    def _prune_retired(self, current_generation: int) -> None:
+        """Drop superseded retired-totals files, keeping the current
+        one and its immediate predecessor (a reader refreshed just
+        before the swap may still resolve the previous name)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        for name in names:
+            gen = retired_generation_of(name)
+            if gen is None:
+                continue
+            if gen <= current_generation - 2 or gen > current_generation:
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass

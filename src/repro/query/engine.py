@@ -82,9 +82,20 @@ class QueryEngine:
     store-shaped object (``refresh()``/``segments()``) — notably a
     :class:`~repro.query.manifest.CompositeSegmentStore` unioning the
     per-worker stores of a multi-process service.
+
+    ``pin_lease_s`` opts a cross-process reader into **snapshot
+    pinning**: every :meth:`refresh` plants/renews an advisory
+    :class:`~repro.query.locks.SnapshotPin` recording the manifest
+    generation being served, so a compactor in another process defers
+    deleting that generation's files until this engine refreshes past
+    it (or the lease lapses). Loaded segments are immaterial to
+    deletion anyway — they are fully materialized in memory — the pin
+    protects the listing→load window of the *next* refresh. Call
+    :meth:`close` (or use the engine as a context manager) to release
+    the pin.
     """
 
-    def __init__(self, source):
+    def __init__(self, source, pin_lease_s: Optional[float] = None):
         if isinstance(source, str):
             self.store = SegmentStore(source)
         elif callable(getattr(source, "segments", None)) and callable(
@@ -96,10 +107,46 @@ class QueryEngine:
                 f"QueryEngine source must be a directory path or a "
                 f"segment store, not {type(source).__name__}"
             )
+        self._pin = None
+        if pin_lease_s is not None:
+            directory = getattr(self.store, "directory", None)
+            if not isinstance(directory, str):
+                raise QueryError(
+                    "snapshot pinning needs a single-directory store"
+                )
+            from repro.query.locks import SnapshotPin
+
+            self._pin = SnapshotPin(directory, lease_s=pin_lease_s)
 
     def refresh(self) -> "QueryEngine":
+        # Pin *before* listing: a brand-new pin (generation -1) blocks
+        # every deletion, so no file can vanish between the manifest
+        # read and the segment loads; after the refresh the pin renews
+        # onto the generation actually served.
+        if self._pin is not None and not self._pin.held:
+            self._pin.acquire()
         self.store.refresh()
+        if self._pin is not None:
+            self._pin.renew(getattr(self.store, "generation", 0))
         return self
+
+    @property
+    def pinned_generation(self) -> Optional[int]:
+        """The generation this reader's pin protects, or None."""
+        if self._pin is None or not self._pin.held:
+            return None
+        return self._pin.generation
+
+    def close(self) -> None:
+        """Release the snapshot pin (if any)."""
+        if self._pin is not None:
+            self._pin.release()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def segments(self, window: Optional[Window] = None) -> List:
         segs = self.store.segments()
@@ -123,11 +170,20 @@ class QueryEngine:
         with_gaps: bool = False,
     ) -> Dict[Path, List[int]]:
         """Sum delta rows over every overlapping segment: {path: [count]}
-        (``with_gaps`` appends a gap-count slot)."""
+        (``with_gaps`` appends a gap-count slot).
+
+        Compacted (multi-span) segments are filtered row by row: each
+        row counts only when *its own span* overlaps the window, so a
+        merged segment answers exactly like the deltas it replaced.
+        """
+        window = _check_window(window)
         out: Dict[Path, List[int]] = {}
         for seg in self.segments(window):
-            for path, count, gaps, row_epoch in seg.rows:
+            spanned = window is not None and seg.state.multi_span
+            for idx, (path, count, gaps, row_epoch) in enumerate(seg.rows):
                 if epoch is not None and row_epoch != epoch:
+                    continue
+                if spanned and not seg.row_overlaps(idx, *window):
                     continue
                 slot = out.get(path)
                 if slot is None:
@@ -205,12 +261,16 @@ class QueryEngine:
         rows are touched, not every row of every segment.
         """
         start = time.perf_counter()
+        window = _check_window(window)
         out: Dict[Path, int] = {}
         for seg in self.segments(window):
             rows = seg.rows
+            spanned = window is not None and seg.state.multi_span
             for row_idx in seg.rows_through(function):
                 path, count, _gaps, row_epoch = rows[row_idx]
                 if epoch is not None and row_epoch != epoch:
+                    continue
+                if spanned and not seg.row_overlaps(row_idx, *window):
                     continue
                 if count:
                     out[path] = out.get(path, 0) + count

@@ -1,0 +1,409 @@
+"""Advisory file locks for the segment directory: writers and readers.
+
+Two cooperating idioms, both built on POSIX ``fcntl.flock`` so the
+kernel releases everything automatically when a process dies — a
+SIGKILL'd compactor can never wedge the store:
+
+* :class:`DirectoryLock` — the *exclusive* lock a mutator (compactor,
+  retention sweep) must hold while it swaps generations. The lock file
+  carries holder metadata (pid, acquire time, lease seconds); a
+  contender that finds the lock held **and** the lease expired breaks
+  it by unlinking the lock file and re-acquiring — the stale holder
+  keeps its flock on an unlinked inode, which
+  :meth:`DirectoryLock.still_valid` detects (the fd's inode no longer
+  matches the directory entry), so a zombie that wakes up refuses to
+  commit.
+* :class:`SnapshotPin` — the *shared* presence marker a reader in
+  another process plants before listing the directory. Each reader
+  owns its own pin file (flock'd exclusively by its creator; nobody
+  else ever locks it), recording the manifest generation it is
+  serving. The compactor commits new generations regardless, but
+  defers *deleting* superseded files while a live, unexpired pin still
+  references them — deferred deletions stay tombstoned in the manifest
+  (counted, never silent) and are retried on the next swap. A pin
+  whose holder died is detected by a successful non-blocking flock on
+  its file and reaped; a pin whose lease lapsed is broken the same way
+  the directory lock is.
+
+Locking is advisory: ``flock`` conflicts are between *open file
+descriptions*, so even two handles in one process conflict — which is
+what makes the semantics testable without subprocesses — while
+``os.read``/``os.write`` remain unaffected. On platforms without
+``fcntl`` (non-POSIX) the primitives degrade to no-ops: single-process
+correctness is unchanged, only cross-process exclusion is lost.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from typing import List, Optional
+
+from repro import obs
+from repro.errors import QueryError
+
+try:  # pragma: no cover - always present on the POSIX CI hosts
+    import fcntl
+
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FCNTL = False
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "DirectoryLock",
+    "LOCK_NAME",
+    "LockHeldError",
+    "PIN_DIR",
+    "SnapshotPin",
+    "live_pins",
+    "pinned_generations",
+]
+
+LOCK_NAME = ".lock-compact"
+PIN_DIR = ".pins"
+#: Default lease: a holder that has not renewed within this many
+#: seconds is presumed dead and its lock/pin may be broken.
+DEFAULT_LEASE_S = 30.0
+
+_ANY_GENERATION = -1
+
+
+class LockHeldError(QueryError):
+    """The directory lock is held by a live, unexpired owner."""
+
+
+def _write_meta(fd: int, meta: dict) -> None:
+    payload = json.dumps(meta, sort_keys=True).encode("utf-8")
+    os.lseek(fd, 0, os.SEEK_SET)
+    os.ftruncate(fd, 0)
+    os.write(fd, payload)
+    os.fsync(fd)
+
+
+def _read_meta(path: str) -> Optional[dict]:
+    try:
+        with open(path, "rb") as fh:
+            payload = fh.read()
+    except OSError:
+        return None
+    try:
+        meta = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return meta if isinstance(meta, dict) else None
+
+
+def _lease_expired(meta: Optional[dict], now: float) -> bool:
+    """A lock/pin file with unreadable metadata is treated as expired:
+    only a crash mid-create leaves one, and its flock (if any) dies
+    with the holder."""
+    if meta is None:
+        return True
+    try:
+        acquired = float(meta["acquired_at"])
+        lease = float(meta["lease_s"])
+    except (KeyError, TypeError, ValueError):
+        return True
+    return acquired + lease <= now
+
+
+def _entry_matches(fd: int, path: str) -> bool:
+    """Whether ``fd`` still *is* the directory entry at ``path``."""
+    try:
+        fd_stat = os.fstat(fd)
+        path_stat = os.stat(path)
+    except OSError:
+        return False
+    return (
+        fd_stat.st_ino == path_stat.st_ino
+        and fd_stat.st_dev == path_stat.st_dev
+        and fd_stat.st_nlink > 0
+    )
+
+
+class DirectoryLock:
+    """Exclusive advisory lock over a segment directory's mutations.
+
+    Usage::
+
+        lock = DirectoryLock(directory, lease_s=30.0)
+        lock.acquire()          # raises LockHeldError when contended
+        try:
+            ...                 # mutate; call still_valid() before commit
+        finally:
+            lock.release()
+
+    ``acquire`` breaks a stale lock (holder dead, or lease expired)
+    automatically; the break is counted in ``query.locks_broken``.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        lease_s: float = DEFAULT_LEASE_S,
+        clock=time.time,
+    ):
+        if lease_s <= 0:
+            raise QueryError(f"lock lease must be positive, got {lease_s}")
+        self.directory = directory
+        self.path = os.path.join(directory, LOCK_NAME)
+        self.lease_s = float(lease_s)
+        self._clock = clock
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self, attempts: int = 4) -> "DirectoryLock":
+        """Take the lock or raise :class:`LockHeldError`.
+
+        The create/flock/verify loop guards the break race: two
+        contenders may both unlink an expired lock, but each verifies
+        after flocking that its fd is still the live directory entry
+        and retries otherwise — exactly one wins.
+        """
+        if self._fd is not None:
+            return self
+        if not _HAVE_FCNTL:  # pragma: no cover - non-POSIX fallback
+            self._fd = -1
+            return self
+        os.makedirs(self.directory, exist_ok=True)
+        failure: Optional[dict] = None
+        for _ in range(max(1, attempts)):
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                os.close(fd)
+                if exc.errno not in (errno.EAGAIN, errno.EACCES):
+                    raise
+                failure = _read_meta(self.path)
+                if _lease_expired(failure, self._clock()):
+                    # Stale holder: break the lock by retiring its
+                    # directory entry. The holder keeps its flock on
+                    # the unlinked inode and will fail still_valid().
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                    obs.counter("query.locks_broken").inc()
+                    continue
+                raise LockHeldError(
+                    f"segment directory {self.directory!r} is locked by "
+                    f"pid {failure.get('pid')} (lease not expired)"
+                )
+            if not _entry_matches(fd, self.path):
+                # We flocked an inode another contender already broke.
+                os.close(fd)
+                continue
+            _write_meta(fd, {
+                "pid": os.getpid(),
+                "acquired_at": self._clock(),
+                "lease_s": self.lease_s,
+            })
+            self._fd = fd
+            obs.counter("query.locks_acquired").inc()
+            return self
+        raise LockHeldError(
+            f"segment directory {self.directory!r} lock: could not win "
+            f"the break race in {attempts} attempts"
+        )
+
+    def renew(self) -> None:
+        """Refresh the lease; call between long phases of a swap."""
+        if self._fd is None or self._fd < 0:
+            return
+        _write_meta(self._fd, {
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+            "lease_s": self.lease_s,
+        })
+
+    def still_valid(self) -> bool:
+        """Whether this process still owns the live lock file.
+
+        A holder whose lease expired and whose lock was broken by a
+        contender sees ``False`` here (its fd points at an unlinked or
+        replaced inode) and must abandon its swap instead of
+        committing over the usurper's.
+        """
+        if self._fd is None:
+            return False
+        if self._fd < 0:  # pragma: no cover - non-POSIX fallback
+            return True
+        return _entry_matches(self._fd, self.path)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if fd < 0:  # pragma: no cover - non-POSIX fallback
+            return
+        if _entry_matches(fd, self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        os.close(fd)  # closing drops the flock
+
+    def __enter__(self) -> "DirectoryLock":
+        return self.acquire()
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class SnapshotPin:
+    """A reader's presence marker: "I am serving generation G".
+
+    The pin is a per-reader file under ``<dir>/.pins/`` that the
+    reader creates and flocks exclusively; the generation it records
+    tells the compactor which superseded files must survive until the
+    reader refreshes or its lease lapses. ``generation=-1`` (the state
+    between planting the pin and finishing the first refresh) pins
+    *everything*.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        lease_s: float = DEFAULT_LEASE_S,
+        clock=time.time,
+    ):
+        if lease_s <= 0:
+            raise QueryError(f"pin lease must be positive, got {lease_s}")
+        self.directory = directory
+        self.pin_dir = os.path.join(directory, PIN_DIR)
+        self.lease_s = float(lease_s)
+        self.generation = _ANY_GENERATION
+        self._clock = clock
+        self._fd: Optional[int] = None
+        self.path: Optional[str] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "SnapshotPin":
+        if self._fd is not None:
+            return self
+        os.makedirs(self.pin_dir, exist_ok=True)
+        name = f"pin-{os.getpid()}-{id(self):x}"
+        path = os.path.join(self.pin_dir, name)
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        if _HAVE_FCNTL:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        self._fd = fd
+        self.path = path
+        self._write()
+        obs.counter("query.pins_acquired").inc()
+        return self
+
+    def _write(self) -> None:
+        assert self._fd is not None
+        _write_meta(self._fd, {
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+            "lease_s": self.lease_s,
+            "generation": self.generation,
+        })
+
+    def renew(self, generation: Optional[int] = None) -> None:
+        """Refresh the lease and (optionally) move to a generation.
+
+        Readers call this after every refresh: the pin then stops
+        protecting files the reader no longer serves.
+        """
+        if generation is not None:
+            self.generation = int(generation)
+        if self._fd is not None:
+            self._write()
+
+    def still_valid(self) -> bool:
+        """False once the pin was broken (lease lapsed, file reaped)."""
+        if self._fd is None or self.path is None:
+            return False
+        return _entry_matches(self._fd, self.path)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if self.path is not None and _entry_matches(fd, self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        os.close(fd)
+        self.path = None
+
+    def __enter__(self) -> "SnapshotPin":
+        return self.acquire()
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+def live_pins(directory: str, now: Optional[float] = None) -> List[dict]:
+    """Scan ``<dir>/.pins/`` and return the pins that still protect.
+
+    Side effects, both counted: a pin whose holder died (its file
+    flocks successfully) is reaped (``query.pins_reaped``); a pin
+    whose lease lapsed is broken like a stale directory lock
+    (``query.pins_broken``). What remains is the list of metadata
+    dicts — ``generation`` of -1 means "pins everything".
+    """
+    pin_dir = os.path.join(directory, PIN_DIR)
+    try:
+        names = sorted(os.listdir(pin_dir))
+    except OSError:
+        return []
+    now = time.time() if now is None else now
+    live: List[dict] = []
+    for name in names:
+        path = os.path.join(pin_dir, name)
+        meta = _read_meta(path)
+        if _HAVE_FCNTL:
+            try:
+                probe = os.open(path, os.O_RDWR)
+            except OSError:
+                continue  # vanished under us: released concurrently
+            try:
+                fcntl.flock(probe, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                pass  # still flocked: the holder process is alive
+            else:
+                # Nobody holds the flock — the reader died or released
+                # without unlinking. Reap the leftover.
+                os.close(probe)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                obs.counter("query.pins_reaped").inc()
+                continue
+            os.close(probe)
+        if _lease_expired(meta, now):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            obs.counter("query.pins_broken").inc()
+            continue
+        try:
+            meta = dict(meta)  # type: ignore[arg-type]
+            meta["generation"] = int(meta.get("generation", _ANY_GENERATION))
+        except (TypeError, ValueError):
+            meta = {"generation": _ANY_GENERATION}
+        live.append(meta)
+    return live
+
+
+def pinned_generations(directory: str, now: Optional[float] = None):
+    """The set of generations live pins reference (-1 = everything)."""
+    return {meta["generation"] for meta in live_pins(directory, now=now)}

@@ -14,23 +14,37 @@ counted in ``query.manifest_fallbacks`` — never to wrong answers.
 
 Manifest format, same record discipline as segments/checkpoints::
 
-    header  {"kind": "manifest", "version": 1, "segments": N}
-    segment {"kind": "segment", "seq", "t_lo", "t_hi", "rows",
-             "samples", "fingerprint"}   (one per live segment)
-    footer  {"kind": "footer", "records": N+2}
+    header    {"kind": "manifest", "version": 2, "segments": N,
+               "generation": G, "tombstones": M, "retired": name|null}
+    segment   {"kind": "segment", "seq", "t_lo", "t_hi", "rows",
+               "samples", "fingerprint"}   (one per live segment)
+    tombstone {"kind": "tombstone", "seq", "rows", "samples",
+               "reason", "generation"}     (one per counted deletion)
+    footer    {"kind": "footer", "records": N+M+2}
+
+Version 2 (this PR) adds the **generation** — a monotonically
+increasing counter bumped by every compaction/retention swap — plus
+**tombstones**: counted records of segments the compactor merged away
+or retention deleted. A tombstoned seq whose file still exists (its
+deletion was deferred for a pinned reader, or the deleting process
+died first) is *not* re-adopted by the scan; nothing is ever deleted
+silently. Version-1 manifests load as generation 0 with no
+tombstones.
 
 :class:`SegmentStore` is the single writer/reader of one directory:
 ``append`` assigns the next sequence number, writes the segment
 durably, then rewrites the manifest (temp/fsync/rename/dir-fsync);
 ``refresh`` replays manifest + scan into the validated, seq-ordered
-segment list the :class:`~repro.query.engine.QueryEngine` queries.
+segment list the :class:`~repro.query.engine.QueryEngine` queries,
+quarantining any segment a pending compaction intent journal names as
+its uncommitted output (see :mod:`repro.query.compact`).
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.errors import QueryError
@@ -52,23 +66,43 @@ __all__ = [
     "CompositeSegmentStore",
     "SegmentStore",
     "load_manifest",
+    "load_manifest_info",
     "write_manifest",
 ]
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 MANIFEST_NAME = "manifest.dpqm"
 _TMP_MANIFEST = ".tmp-manifest"
+#: Tombstones kept in the manifest once their file is confirmed gone.
+#: (A tombstone whose file still exists is never pruned.)
+_TOMBSTONE_KEEP = 64
 
 
-def write_manifest(directory: str, segments: List[Segment]) -> str:
-    """Atomically (re)write the manifest describing ``segments``."""
+def write_manifest(
+    directory: str,
+    segments: List[Segment],
+    generation: int = 0,
+    tombstones: Sequence[dict] = (),
+    retired: Optional[str] = None,
+) -> str:
+    """Atomically (re)write the manifest describing ``segments``.
+
+    The rename of the temp file onto ``manifest.dpqm`` is the *commit
+    point* of a generation swap: a crash anywhere before it leaves the
+    previous manifest (old generation) intact, a crash anywhere after
+    it leaves the new one — never a blend.
+    """
     final = os.path.join(directory, MANIFEST_NAME)
     tmp = os.path.join(directory, f"{_TMP_MANIFEST}-{os.getpid()}")
+    tombs = list(tombstones)
     with open(tmp, "w", encoding="utf-8") as fh:
         fh.write(record_line({
             "kind": "manifest",
             "version": MANIFEST_VERSION,
             "segments": len(segments),
+            "generation": int(generation),
+            "tombstones": len(tombs),
+            "retired": retired,
         }))
         for seg in segments:
             fh.write(record_line({
@@ -80,7 +114,14 @@ def write_manifest(directory: str, segments: List[Segment]) -> str:
                 "samples": seg.samples,
                 "fingerprint": seg.fingerprint,
             }))
-        fh.write(record_line({"kind": "footer", "records": len(segments) + 2}))
+        for tomb in tombs:
+            payload = {"kind": "tombstone"}
+            payload.update(tomb)
+            fh.write(record_line(payload))
+        fh.write(record_line({
+            "kind": "footer",
+            "records": len(segments) + len(tombs) + 2,
+        }))
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, final)
@@ -88,12 +129,14 @@ def write_manifest(directory: str, segments: List[Segment]) -> str:
     return final
 
 
-def load_manifest(directory: str) -> Optional[List[dict]]:
-    """The manifest's segment entries, or None when it cannot be trusted.
+def load_manifest_info(directory: str) -> Optional[dict]:
+    """The full parsed manifest, or None when it cannot be trusted.
 
     None means "fall back to a directory scan": file missing, any line
     torn or checksum-failed, header/footer malformed, or — the forward
     compatibility stub — a version newer than this reader understands.
+    Returns ``{"version", "generation", "entries", "tombstones",
+    "retired"}``; version-1 files yield generation 0, no tombstones.
     """
     path = os.path.join(directory, MANIFEST_NAME)
     try:
@@ -114,7 +157,14 @@ def load_manifest(directory: str) -> Optional[List[dict]]:
         # themselves are still individually validated, so scanning the
         # directory serves correct (if uncached) answers.
         return None
+    generation = header.get("generation", 0) if version >= 2 else 0
+    if not isinstance(generation, int) or generation < 0:
+        return None
+    retired = header.get("retired") if version >= 2 else None
+    if retired is not None and not isinstance(retired, str):
+        return None
     entries: List[dict] = []
+    tombstones: List[dict] = []
     footer = None
     for line in lines[1:]:
         payload = parse_record_line(line)
@@ -127,6 +177,12 @@ def load_manifest(directory: str) -> Optional[List[dict]]:
             if not isinstance(payload.get("seq"), int):
                 return None
             entries.append(payload)
+        elif kind == "tombstone":
+            if version < 2:
+                return None  # a v1 manifest has no tombstones
+            if not isinstance(payload.get("seq"), int):
+                return None
+            tombstones.append(payload)
         elif kind == "footer":
             footer = payload
         else:
@@ -135,7 +191,21 @@ def load_manifest(directory: str) -> Optional[List[dict]]:
         return None
     if header.get("segments") != len(entries):
         return None
-    return entries
+    if version >= 2 and header.get("tombstones") != len(tombstones):
+        return None
+    return {
+        "version": version,
+        "generation": generation,
+        "entries": entries,
+        "tombstones": tombstones,
+        "retired": retired,
+    }
+
+
+def load_manifest(directory: str) -> Optional[List[dict]]:
+    """The manifest's segment entries, or None when it cannot be trusted."""
+    info = load_manifest_info(directory)
+    return None if info is None else list(info["entries"])
 
 
 class SegmentStore:
@@ -147,6 +217,12 @@ class SegmentStore:
         self._segments: Optional[List[Segment]] = None
         self.rejected = 0
         self.manifest_fallbacks = 0
+        self.generation = 0
+        self.tombstones: List[dict] = []
+        self.retired_name: Optional[str] = None
+        self.tombstone_skips = 0
+        self.quarantined = 0
+        self._retired_cache: Optional[Tuple[Optional[str], dict]] = None
         os.makedirs(directory, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -159,12 +235,18 @@ class SegmentStore:
         return sorted(out)
 
     def next_seq(self) -> int:
-        """The next unused sequence number (counts invalid files too,
-        so a rejected segment's number is never reused for different
-        bytes)."""
+        """The next unused sequence number (counts invalid, tombstoned
+        and quarantined files too, so a rejected segment's number is
+        never reused for different bytes)."""
         with self._lock:
-            listing = self._listing()
-            return (listing[-1][0] + 1) if listing else 1
+            return self._next_seq_locked()
+
+    def _next_seq_locked(self) -> int:
+        listing = self._listing()
+        highest = listing[-1][0] if listing else 0
+        for tomb in self.tombstones:
+            highest = max(highest, int(tomb.get("seq", 0)))
+        return highest + 1
 
     # ------------------------------------------------------------------
     def refresh(self) -> List[Segment]:
@@ -174,27 +256,71 @@ class SegmentStore:
         manifest claims; the manifest only tells us what *should* be
         there, so drift (stale entries, orphan segments, corrupt files)
         is observable in the counters rather than silent.
+
+        Consistency under a concurrent generation swap: files named by
+        tombstones (deletions, possibly deferred) and by a pending
+        compaction intent journal (an uncommitted output) are skipped,
+        and the whole replay is retried when the manifest generation
+        moved while we were reading — the result is always *one*
+        generation's view, never a blend.
         """
         with self._lock:
-            manifest = load_manifest(self.directory)
-            if manifest is None:
+            return self._refresh_locked()
+
+    def _refresh_locked(self, attempts: int = 3) -> List[Segment]:
+        from repro.query.compact import journal_quarantine
+
+        last: List[Segment] = []
+        for _ in range(max(1, attempts)):
+            info = load_manifest_info(self.directory)
+            if info is None:
                 self.manifest_fallbacks += 1
                 obs.counter("query.manifest_fallbacks").inc()
+                generation: Optional[int] = None
+            else:
+                generation = info["generation"]
+                self.generation = generation
+                self.tombstones = list(info["tombstones"])
+                self.retired_name = info["retired"]
+            skip = journal_quarantine(self.directory, generation)
+            dead = {int(t["seq"]) for t in self.tombstones}
             listing = self._listing()
             segments: List[Segment] = []
             for seq, path in listing:
+                if seq in dead:
+                    # A deferred (or crashed-mid-delete) deletion: the
+                    # manifest already counted this file out.
+                    self.tombstone_skips += 1
+                    obs.counter("query.tombstone_skips").inc()
+                    continue
+                if seq in skip:
+                    self.quarantined += 1
+                    obs.counter("query.segments_quarantined").inc()
+                    continue
                 seg = load_segment(path, seq)
                 if seg is None:
                     self.rejected += 1
                     obs.counter("query.segments_rejected").inc()
                     continue
                 segments.append(seg)
+            after = load_manifest_info(self.directory)
+            if info is not None and after is not None and (
+                after["generation"] != info["generation"]
+            ):
+                # A compactor committed a swap while we were loading;
+                # what we assembled may blend generations. Replay.
+                obs.counter("query.refresh_retries").inc()
+                last = segments
+                continue
             self._segments = segments
+            self._retired_cache = None
             obs.gauge("query.segments").set(len(segments))
             obs.gauge("query.segment_rows").set(
                 sum(len(s.rows) for s in segments)
             )
             return list(segments)
+        self._segments = last  # pragma: no cover - pathological churn
+        return list(last)
 
     def segments(self) -> List[Segment]:
         """The validated segments (cached; ``refresh()`` to reload)."""
@@ -203,6 +329,30 @@ class SegmentStore:
         if cached is None:
             return self.refresh()
         return list(cached)
+
+    # ------------------------------------------------------------------
+    def retired_totals(self) -> Dict[tuple, Tuple[int, int]]:
+        """Cumulative ``{(path, epoch): (count, gaps)}`` retention
+        deleted from this directory — what reconciliation must add to
+        the live rows so recovered writers do not re-emit history that
+        was deliberately aged out. Empty when nothing was retired."""
+        with self._lock:
+            name = self.retired_name
+            cached = self._retired_cache
+            if cached is not None and cached[0] == name:
+                return dict(cached[1])
+        from repro.query.compact import load_retired
+
+        totals: Dict[tuple, Tuple[int, int]] = {}
+        if name is not None:
+            loaded = load_retired(os.path.join(self.directory, name))
+            if loaded is None:
+                obs.counter("query.retired_rejected").inc()
+            else:
+                totals = loaded
+        with self._lock:
+            self._retired_cache = (name, dict(totals))
+        return totals
 
     # ------------------------------------------------------------------
     def append(
@@ -215,26 +365,93 @@ class SegmentStore:
         Order matters for crash safety: the segment file lands first
         (rename + dir fsync), the manifest rewrite second — a crash
         between the two leaves an orphan segment that ``refresh()``
-        adopts from the scan.
+        adopts from the scan. The rewrite carries the current
+        generation, tombstones and retired-totals reference forward
+        unchanged: appending never performs (or un-does) a swap.
         """
         with self._lock:
-            listing = self._listing()
-            seq = (listing[-1][0] + 1) if listing else 1
+            if self._segments is None:
+                # First touch: learn the directory's generation and
+                # tombstones before rewriting the manifest over them.
+                self._refresh_locked()
+            seq = self._next_seq_locked()
             path = write_segment(self.directory, seq, state, fault=fault)
             seg = load_segment(path, seq)
             if seg is None:  # pragma: no cover - write+load invariant
                 raise QueryError(
                     f"freshly written segment {path!r} failed validation"
                 )
-            if self._segments is None:
+            if self._segments is None:  # pragma: no cover - refreshed above
                 self._segments = []
             self._segments.append(seg)
-            write_manifest(self.directory, self._segments)
+            write_manifest(
+                self.directory,
+                self._segments,
+                generation=self.generation,
+                tombstones=self.tombstones,
+                retired=self.retired_name,
+            )
             obs.gauge("query.segments").set(len(self._segments))
             obs.gauge("query.segment_rows").set(
                 sum(len(s.rows) for s in self._segments)
             )
             return path
+
+    # ------------------------------------------------------------------
+    def commit_generation(
+        self,
+        generation: int,
+        add_segments: List[Segment],
+        drop_seqs,
+        tombstones: Sequence[dict],
+        retired: Optional[str],
+    ) -> List[Segment]:
+        """Publish a generation swap (the compactor's commit point).
+
+        Runs under the store lock so an ingest thread's concurrent
+        ``append`` cannot interleave with the manifest rewrite: any
+        segment appended mid-swap survives into the new manifest, and
+        any append after this call carries the new generation and
+        tombstones forward. The manifest rename inside is the swap's
+        atomic commit.
+        """
+        with self._lock:
+            drop = {int(s) for s in drop_seqs}
+            dead = {int(t["seq"]) for t in tombstones}
+            survivors: List[Segment] = list(add_segments)
+            have = {seg.seq for seg in survivors}
+            cached = self._segments
+            if cached is None:
+                cached = []
+                for seq, path in self._listing():
+                    if seq in drop or seq in dead or seq in have:
+                        continue
+                    seg = load_segment(path, seq)
+                    if seg is not None:
+                        cached.append(seg)
+            for seg in cached:
+                if seg.seq in drop or seg.seq in dead or seg.seq in have:
+                    continue
+                survivors.append(seg)
+                have.add(seg.seq)
+            survivors.sort(key=lambda s: s.seq)
+            write_manifest(
+                self.directory,
+                survivors,
+                generation=int(generation),
+                tombstones=tombstones,
+                retired=retired,
+            )
+            self.generation = int(generation)
+            self.tombstones = list(tombstones)
+            self.retired_name = retired
+            self._segments = survivors
+            self._retired_cache = None
+            obs.gauge("query.segments").set(len(survivors))
+            obs.gauge("query.segment_rows").set(
+                sum(len(s.rows) for s in survivors)
+            )
+            return list(survivors)
 
     def stats(self) -> dict:
         with self._lock:
@@ -246,6 +463,11 @@ class SegmentStore:
                 "samples": sum(s.samples for s in segments),
                 "rejected": self.rejected,
                 "manifest_fallbacks": self.manifest_fallbacks,
+                "generation": self.generation,
+                "tombstones": len(self.tombstones),
+                "tombstone_skips": self.tombstone_skips,
+                "quarantined": self.quarantined,
+                "retired": self.retired_name,
             }
 
 

@@ -27,8 +27,15 @@ Record kinds, in file order:
   sorted posting lists mapping each function to the rows whose context
   contains it. The index is *verified on load* by rebuilding it from
   the rows — a segment whose postings lie is invalid, full stop;
-* ``rows`` — batches of compact ``[pid, count, gap_count, epoch]``
-  rows;
+* ``spans`` (format v2) — the list of ``[t_lo, t_hi]`` sub-windows the
+  rows are attributed to. A freshly flushed delta segment has exactly
+  one span (its own window); a *compacted* segment carries one span
+  per merged input so that windowed queries keep answering
+  byte-identically: each row belongs to the span of the delta it came
+  from, never to the merged envelope;
+* ``rows`` — batches of compact ``[pid, count, gap_count, epoch,
+  span]`` rows (format v1 files carry 4-column rows and load as a
+  single implicit span covering the whole window);
 * ``footer`` — the record/row/sample totals actually written.
 
 A file is valid only if every line's checksum matches, the header
@@ -70,10 +77,12 @@ __all__ = [
     "load_segment",
     "segment_name",
     "sequence_of",
+    "span_overlaps",
     "write_segment",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 _PREFIX = "seg-"
 _SUFFIX = ".dpqs"
 _TMP_PREFIX = ".tmp-seg-"
@@ -102,6 +111,13 @@ class SegmentState:
     ``rows`` normalize on construction to the canonical 4-tuple
     ``(path, count, gap_count, epoch)``; counts are the *delta* over
     the segment's window, not cumulative totals.
+
+    ``spans`` are the sub-windows the rows are attributed to and
+    ``row_spans[i]`` is the index into ``spans`` for ``rows[i]``. Both
+    default to the trivial single-span form (every row in the
+    ``[t_lo, t_hi)`` envelope) so delta flushes and format-v1 files
+    need not mention them; the compactor sets one span per merged
+    input segment so windowed answers stay byte-identical.
     """
 
     #: Wall-clock window covered, half-open ``[t_lo, t_hi)``.
@@ -110,6 +126,8 @@ class SegmentState:
     #: SHA-256 fingerprint of the newest plan the rows decoded under.
     fingerprint: str
     rows: Tuple[Tuple[Tuple[str, ...], int, int, int], ...]
+    spans: Tuple[Tuple[float, float], ...] = ()
+    row_spans: Tuple[int, ...] = ()
 
     def __post_init__(self):
         if self.t_hi < self.t_lo:
@@ -126,6 +144,37 @@ class SegmentState:
                 raise QueryError(f"segment row has negative counts: {row!r}")
             normalized.append((path, count, gaps, epoch))
         object.__setattr__(self, "rows", tuple(normalized))
+        spans = tuple(
+            (float(lo), float(hi)) for lo, hi in self.spans
+        ) or ((float(self.t_lo), float(self.t_hi)),)
+        row_spans = tuple(int(s) for s in self.row_spans)
+        if not row_spans:
+            row_spans = (0,) * len(normalized)
+        if len(row_spans) != len(normalized):
+            raise QueryError(
+                f"segment has {len(normalized)} rows but "
+                f"{len(row_spans)} span assignments"
+            )
+        for lo, hi in spans:
+            if hi < lo:
+                raise QueryError(f"segment span is inverted: [{lo}, {hi})")
+            if lo < self.t_lo or hi > self.t_hi:
+                raise QueryError(
+                    f"segment span [{lo}, {hi}) escapes the envelope "
+                    f"[{self.t_lo}, {self.t_hi})"
+                )
+        if spans:
+            if min(lo for lo, _ in spans) != self.t_lo or max(
+                hi for _, hi in spans
+            ) != self.t_hi:
+                raise QueryError(
+                    "segment spans do not cover the window envelope"
+                )
+        for span_id in row_spans:
+            if not 0 <= span_id < len(spans):
+                raise QueryError(f"segment row cites unknown span {span_id}")
+        object.__setattr__(self, "spans", spans)
+        object.__setattr__(self, "row_spans", row_spans)
 
     @property
     def total_samples(self) -> int:
@@ -134,6 +183,23 @@ class SegmentState:
     @property
     def epochs(self) -> Tuple[int, ...]:
         return tuple(sorted({row[3] for row in self.rows}))
+
+    @property
+    def multi_span(self) -> bool:
+        return len(self.spans) > 1
+
+
+def span_overlaps(s_lo: float, s_hi: float, t_lo: float, t_hi: float) -> bool:
+    """Half-open intersection of span ``[s_lo, s_hi)`` with a window.
+
+    A zero-width span (flush with no time elapsed) still counts as
+    inside any window containing its instant — the same rule
+    :meth:`Segment.overlaps` applies to whole segments, so compacting
+    N segments into N spans cannot change any windowed answer.
+    """
+    if s_lo == s_hi:
+        return t_lo <= s_lo < t_hi
+    return s_lo < t_hi and s_hi > t_lo
 
 
 def _build_postings(
@@ -192,9 +258,25 @@ class Segment:
         A zero-width segment (flush with no time elapsed) still counts
         as inside any window containing its instant.
         """
-        if self.t_lo == self.t_hi:
-            return t_lo <= self.t_lo < t_hi
-        return self.t_lo < t_hi and self.t_hi > t_lo
+        return span_overlaps(self.t_lo, self.t_hi, t_lo, t_hi)
+
+    @property
+    def spans(self) -> Tuple[Tuple[float, float], ...]:
+        return self.state.spans
+
+    def row_window(self, row_idx: int) -> Tuple[float, float]:
+        """The sub-window ``rows[row_idx]`` is attributed to."""
+        return self.state.spans[self.state.row_spans[row_idx]]
+
+    def row_overlaps(self, row_idx: int, t_lo: float, t_hi: float) -> bool:
+        """Whether ``rows[row_idx]``'s own span intersects the window.
+
+        For single-span (delta) segments this is exactly
+        :meth:`overlaps`; for compacted segments it scopes the row to
+        the delta it was merged from.
+        """
+        lo, hi = self.row_window(row_idx)
+        return span_overlaps(lo, hi, t_lo, t_hi)
 
     # -- content --------------------------------------------------------
     @property
@@ -255,6 +337,7 @@ def write_segment(
                 "t_hi": state.t_hi,
                 "fingerprint": state.fingerprint,
                 "rows": len(state.rows),
+                "spans": len(state.spans),
             }))
             records += 1
             if fault is not None:
@@ -262,8 +345,12 @@ def write_segment(
             rows = list(state.rows)
             names, nodes_flat, pids = delta_encode_rows(rows)
             index = _build_postings(nodes_flat, pids)
+            spans = [[lo, hi] for lo, hi in state.spans]
             for kind, section in (
-                ("names", names), ("nodes", nodes_flat), ("index", index)
+                ("names", names),
+                ("nodes", nodes_flat),
+                ("index", index),
+                ("spans", spans),
             ):
                 payload = {"kind": kind}
                 payload.update(pack_section(section))
@@ -276,7 +363,13 @@ def write_segment(
                 fh.write(record_line({
                     "kind": "rows",
                     "rows": [
-                        [pids[lo + i], row[1], row[2], row[3]]
+                        [
+                            pids[lo + i],
+                            row[1],
+                            row[2],
+                            row[3],
+                            state.row_spans[lo + i],
+                        ]
                         for i, row in enumerate(chunk)
                     ],
                 }))
@@ -327,7 +420,8 @@ def load_segment(path: str, seq: Optional[int] = None) -> Optional[Segment]:
     header = parse_record_line(lines[0])
     if header is None or header.get("kind") != "header":
         return None
-    if header.get("version") != FORMAT_VERSION:
+    version = header.get("version")
+    if version not in _READABLE_VERSIONS:
         return None
     t_lo, t_hi = header.get("t_lo"), header.get("t_hi")
     if not isinstance(t_lo, (int, float)) or not isinstance(t_hi, (int, float)):
@@ -337,7 +431,8 @@ def load_segment(path: str, seq: Optional[int] = None) -> Optional[Segment]:
     names: Optional[list] = None
     nodes_flat: Optional[list] = None
     index: Optional[list] = None
-    compact_rows: List[Tuple[object, int, int, int]] = []
+    spans: Optional[list] = None
+    compact_rows: List[Tuple[object, int, int, int, int]] = []
     footer = None
     for line in lines[1:]:
         payload = parse_record_line(line)
@@ -348,11 +443,27 @@ def load_segment(path: str, seq: Optional[int] = None) -> Optional[Segment]:
         kind = payload.get("kind")
         if kind == "rows":
             try:
-                for pid, count, gaps, epoch in payload["rows"]:
+                for row in payload["rows"]:
+                    if version >= 2:
+                        pid, count, gaps, epoch, span = row
+                    else:
+                        pid, count, gaps, epoch = row
+                        span = 0
                     compact_rows.append(
-                        (pid, int(count), int(gaps), int(epoch))
+                        (pid, int(count), int(gaps), int(epoch), int(span))
                     )
             except (KeyError, TypeError, ValueError):
+                return None
+        elif kind == "spans":
+            if version < 2:
+                return None  # a v1 file has no spans section
+            spans = unpack_section(payload)
+            if not isinstance(spans, list) or not all(
+                isinstance(s, list)
+                and len(s) == 2
+                and all(isinstance(v, (int, float)) for v in s)
+                for s in spans
+            ):
                 return None
         elif kind == "names":
             names = unpack_section(payload)
@@ -378,16 +489,28 @@ def load_segment(path: str, seq: Optional[int] = None) -> Optional[Segment]:
             return None
     if footer is None or names is None or nodes_flat is None or index is None:
         return None  # torn write: a section or the footer never landed
+    if version >= 2:
+        if spans is None:
+            return None  # torn write: the spans section never landed
+        span_windows = [(float(lo), float(hi)) for lo, hi in spans]
+        if header.get("spans") != len(span_windows):
+            return None
+    else:
+        span_windows = [(float(t_lo), float(t_hi))]
     rows: List[tuple] = []
     pids: List[int] = []
-    for pid, count, gaps, epoch in compact_rows:
+    row_spans: List[int] = []
+    for pid, count, gaps, epoch, span in compact_rows:
         decoded = delta_decode_path(pid, nodes_flat, names)
         if decoded is None:
             return None  # dangling pid: corrupt sections
         if count < 0 or gaps < 0:
             return None
+        if not 0 <= span < len(span_windows):
+            return None  # dangling span id: corrupt sections
         rows.append((decoded, count, gaps, epoch))
         pids.append(pid)
+        row_spans.append(span)
     if (
         footer.get("records") != len(lines)
         or footer.get("rows") != len(rows)
@@ -403,12 +526,17 @@ def load_segment(path: str, seq: Optional[int] = None) -> Optional[Segment]:
     postings: Dict[int, Tuple[int, ...]] = {
         entry[0]: tuple(entry[1]) for entry in expected
     }
-    state = SegmentState(
-        t_lo=float(t_lo),
-        t_hi=float(t_hi),
-        fingerprint=str(header.get("fingerprint", "")),
-        rows=tuple(rows),
-    )
+    try:
+        state = SegmentState(
+            t_lo=float(t_lo),
+            t_hi=float(t_hi),
+            fingerprint=str(header.get("fingerprint", "")),
+            rows=tuple(rows),
+            spans=tuple(span_windows),
+            row_spans=tuple(row_spans),
+        )
+    except QueryError:
+        return None  # inverted/escaping spans: corrupt sections
     if footer.get("samples") != state.total_samples:
         return None
     return Segment(path, seq, state, list(names), postings)

@@ -22,6 +22,7 @@ import time
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro import obs
+from repro.errors import QueryError
 from repro.query.manifest import SegmentStore
 from repro.query.segment import SegmentState
 
@@ -161,7 +162,11 @@ class SegmentWriter:
         return None
 
     def rebase(
-        self, rows: Iterable[tuple], *, reconcile_store: bool = False
+        self,
+        rows: Iterable[tuple],
+        *,
+        reconcile_store: bool = False,
+        expected_generation: Optional[int] = None,
     ) -> None:
         """Reset the baseline after recovery.
 
@@ -177,8 +182,28 @@ class SegmentWriter:
         double count), and counts the checkpoint restored that never
         reached a segment are emitted by the next flush (not dropped).
         ``rows`` is only the fallback when the store cannot be read.
+        The reconciliation includes the directory's **retired totals**
+        (rows retention deliberately deleted), so aged-out history is
+        not mistaken for un-flushed samples and re-emitted.
+
+        ``expected_generation`` guards recovery flows that captured
+        ``rows`` against a specific manifest generation: if the store
+        has since been compacted past it, the captured rows describe a
+        world that no longer exists and the rebase is rejected with
+        :class:`QueryError` — reconcile against the live store instead
+        of silently adopting a pre-compaction baseline.
         """
         with self._lock:
+            if expected_generation is not None:
+                self.store.refresh()
+                current = self.store.generation
+                if int(expected_generation) < current:
+                    raise QueryError(
+                        f"rebase rejected: rows were captured at "
+                        f"generation {expected_generation} but the store "
+                        f"was compacted to generation {current}; "
+                        f"reconcile against the store instead"
+                    )
             if reconcile_store:
                 baseline = self._store_cumulative()
                 if baseline is None:
@@ -189,7 +214,12 @@ class SegmentWriter:
             self._window_start = self._clock()
 
     def _store_cumulative(self) -> Optional[Dict[_Key, Tuple[int, int]]]:
-        """Sum every durable segment's delta rows, or None on failure."""
+        """Sum every durable segment's delta rows — plus the retired
+        totals retention deleted from the directory — or None on
+        failure. Without the retired component a recovered writer
+        whose tree outlived a retention sweep would see "the store
+        holds less than the tree" and re-emit history that was
+        deliberately aged out."""
         try:
             self.store.refresh()
             out: Dict[_Key, Tuple[int, int]] = {}
@@ -198,6 +228,9 @@ class SegmentWriter:
                     key = (tuple(path), epoch)
                     prev = out.get(key, (0, 0))
                     out[key] = (prev[0] + count, prev[1] + gaps)
+            for key, (count, gaps) in self.store.retired_totals().items():
+                prev = out.get(key, (0, 0))
+                out[key] = (prev[0] + count, prev[1] + gaps)
             return out
         except Exception:  # noqa: BLE001 - recovery must not die here
             return None

@@ -12,6 +12,10 @@ hot paths when constructed with ``chaos=ChaosConfig(...)``:
 * ``checkpoint_fault()`` — per checkpoint write, maybe returns a hook
   that crashes the write after N records, leaving a torn temp file the
   recovery path must ignore.
+* ``compaction_fault()`` — per segment-compaction swap, maybe returns
+  a hook that crashes the generation swap after N durable records,
+  leaving a half-done swap the intent journal must roll forward or
+  back.
 
 :func:`run_chaos` is the harness behind ``python -m repro chaos``: for
 each seeded iteration it builds a fuzz case, floods a fully-resilient
@@ -53,6 +57,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosInjector",
     "ChaosReport",
+    "kill_during_compaction_failures",
     "kill_during_flush_failures",
     "run_chaos",
 ]
@@ -74,6 +79,10 @@ class ChaosConfig:
     checkpoint_crash_rate: float = 0.3
     #: Crash lands after 0..N records of the write.
     checkpoint_crash_after_records: int = 2
+    #: P(crash) per compaction attempt.
+    compaction_crash_rate: float = 0.0
+    #: Compaction crash lands after 0..N records of the swap.
+    compaction_crash_after_records: int = 4
 
     def __post_init__(self):
         for name in (
@@ -81,6 +90,7 @@ class ChaosConfig:
             "slow_consumer_rate",
             "decode_fault_rate",
             "checkpoint_crash_rate",
+            "compaction_crash_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -98,6 +108,7 @@ class ChaosInjector:
         self.slow_consumers = 0
         self.decode_faults = 0
         self.checkpoint_crashes = 0
+        self.compaction_crashes = 0
 
     # -- WorkerPool `fault` hook ----------------------------------------
     def worker_fault(self, slot: int) -> None:
@@ -151,6 +162,33 @@ class ChaosInjector:
 
         return crash
 
+    # -- per-compaction-swap hook ---------------------------------------
+    def compaction_fault(self) -> Optional[Callable[[int], None]]:
+        """Maybe a crash hook for one compaction swap (else None).
+
+        The hook fires per durable record the compactor writes (retired
+        sidecar lines, journal records, merged-segment lines, the
+        manifest commit), so a hit simulates a SIGKILL at an arbitrary
+        byte of the generation swap.
+        """
+        with self._lock:
+            if self._rng.random() >= self.config.compaction_crash_rate:
+                return None
+            crash_after = self._rng.randint(
+                0, self.config.compaction_crash_after_records
+            )
+
+        def crash(records: int) -> None:
+            if records > crash_after:
+                with self._lock:
+                    self.compaction_crashes += 1
+                obs.counter("resilience.chaos_compaction_crashes").inc()
+                raise ChaosError(
+                    f"chaos: compaction crash after {records} record(s)"
+                )
+
+        return crash
+
     def tallies(self) -> Dict[str, int]:
         with self._lock:
             return {
@@ -158,6 +196,7 @@ class ChaosInjector:
                 "slow_consumers": self.slow_consumers,
                 "decode_faults": self.decode_faults,
                 "checkpoint_crashes": self.checkpoint_crashes,
+                "compaction_crashes": self.compaction_crashes,
             }
 
 
@@ -412,6 +451,165 @@ def kill_during_flush_failures(
     return failures
 
 
+def kill_during_compaction_failures(
+    seed: int = 0, observations: int = 32
+) -> List[str]:
+    """Chaos oracle: SIGKILL at *every byte* of a generation swap.
+
+    Builds a store of several delta segments, then sweeps the crash
+    point across every durable record the compactor writes (retired
+    sidecar lines, intent-journal records, merged-segment lines, the
+    manifest commit), with an age-based retention cap armed so the swap
+    also deletes history. After each crash a fresh compactor — the
+    restarted process — recovers, and two invariants are asserted at
+    every point:
+
+    * **all-or-nothing**: the durable answers are byte-identical either
+      to the pre-swap store (the journal rolled the swap back) or to a
+      clean uninterrupted swap's result (it rolled forward) — never a
+      mix of generations;
+    * **retained-row conservation**: live samples plus the retired
+      sidecar's deleted totals equal every sample ever flushed, so
+      retention deletes are counted, never silent.
+
+    Returns a list of failure strings (empty = the invariants held).
+    """
+    import shutil
+
+    from repro.check.fuzz import generate_case
+    from repro.check.oracle import (
+        _collect_observations,
+        canonical_query_answers,
+        query_equivalence_failures,
+    )
+    from repro.query.compact import (
+        CompactionPolicy,
+        Compactor,
+        RetentionPolicy,
+    )
+    from repro.query.engine import QueryEngine
+    from repro.query.manifest import SegmentStore
+    from repro.runtime.plan import build_plan_from_graph
+    from repro.service.batch import SampleBatch
+    from repro.service.service import ContextService, ServiceConfig
+
+    case = generate_case(seed)
+    try:
+        plan = build_plan_from_graph(case.graph, width=case.width)
+    except EncodingOverflowError:
+        return []  # this seed's graph does not fit; nothing to test
+    rng = random.Random(seed ^ 0xC09A)
+    obs_list = _collect_observations(plan, rng, observations)
+    if len(obs_list) < 4:
+        return []
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-killcompact-") as tmp:
+        segment_dir = os.path.join(tmp, "segments")
+        service = ContextService(
+            plan,
+            ServiceConfig(workers=1, shards=2, segment_dir=segment_dir),
+        ).start()
+        # Four delta segments with distinct windows, so the swap has
+        # real spans to merge and retention has an oldest span to drop.
+        quarter = max(1, len(obs_list) // 4)
+        for lo in range(0, len(obs_list), quarter):
+            service.submit_batch(
+                SampleBatch.from_observations(
+                    obs_list[lo : lo + quarter], epoch=service.epoch
+                )
+            )
+            service.flush(timeout=30.0)
+            time.sleep(0.002)  # keep the four windows disjoint
+            service.flush_segments()
+        service.stop(timeout=30.0)
+
+        def store_totals(store: SegmentStore) -> Tuple[int, int]:
+            store.refresh()
+            live = sum(
+                count
+                for seg in store.segments()
+                for _path, count, _gaps, _epoch in seg.rows
+            )
+            retired = sum(
+                count for count, _gaps in store.retired_totals().values()
+            )
+            return live, retired
+
+        base = SegmentStore(segment_dir)
+        live0, retired0 = store_totals(base)
+        total_samples = live0 + retired0
+        segs = sorted(base.segments(), key=lambda s: s.t_lo)
+        if len(segs) < 2:
+            return []  # degenerate seed: nothing to compact
+        now = max(s.t_hi for s in segs) + 1.0
+        # Age the oldest span out: cutoff lands just past the oldest
+        # segment's t_hi, so the swap both merges and deletes.
+        retention = RetentionPolicy(max_age_s=now - segs[0].t_hi - 1e-6)
+        policy = CompactionPolicy(min_inputs=2, retention=retention)
+
+        # A clean uninterrupted swap on a copy of the directory: the
+        # roll-forward target every crashed swap must converge to.
+        clean_dir = os.path.join(tmp, "clean")
+        shutil.copytree(segment_dir, clean_dir)
+        Compactor(SegmentStore(clean_dir), policy).compact(
+            now=now, force=True
+        )
+        post_answers = canonical_query_answers(QueryEngine(clean_dir).refresh())
+        pre_answers = canonical_query_answers(
+            QueryEngine(segment_dir).refresh()
+        )
+
+        def crash_after(k: int) -> Callable[[int], None]:
+            def hook(records: int) -> None:
+                if records > k:
+                    raise ChaosError(
+                        f"chaos: compaction crash after {records} record(s)"
+                    )
+
+            return hook
+
+        for point in range(256):  # far past any real record count
+            compactor = Compactor(SegmentStore(segment_dir), policy)
+            try:
+                compactor.compact(now=now, fault=crash_after(point), force=True)
+                crashed = False
+            except ChaosError:
+                crashed = True
+            # The restarted process: a fresh compactor resolves any
+            # half-done swap before anything reads the directory.
+            recovered = Compactor(SegmentStore(segment_dir), policy)
+            recovered.recover(now=now)
+            live, retired = store_totals(recovered.store)
+            if live + retired != total_samples:
+                failures.append(
+                    f"crash point {point}: retention leak — live {live} + "
+                    f"retired {retired} != flushed {total_samples}"
+                )
+                break
+            answers = canonical_query_answers(
+                QueryEngine(segment_dir).refresh()
+            )
+            if query_equivalence_failures(
+                pre_answers, answers
+            ) and query_equivalence_failures(post_answers, answers):
+                failures.append(
+                    f"crash point {point}: recovered answers match neither "
+                    f"the old generation nor the new one"
+                )
+                break
+            if not crashed:
+                break
+        else:
+            failures.append("compaction crash sweep never completed a swap")
+        if not failures:
+            final = canonical_query_answers(QueryEngine(segment_dir).refresh())
+            failures.extend(
+                f"completed swap diverged from the clean swap: {f}"
+                for f in query_equivalence_failures(post_answers, final)
+            )
+    return failures
+
+
 def run_chaos(
     iterations: int = 25,
     seed: int = 0,
@@ -420,6 +618,7 @@ def run_chaos(
     slow_consumer_rate: float = 0.02,
     decode_fault_rate: float = 0.05,
     checkpoint_crash_rate: float = 0.3,
+    compaction_crash_rate: float = 0.25,
     observations: int = 40,
     log: Optional[Callable[[str], None]] = None,
 ) -> ChaosReport:
@@ -452,6 +651,7 @@ def run_chaos(
                 slow_consumer_rate=slow_consumer_rate,
                 decode_fault_rate=decode_fault_rate,
                 checkpoint_crash_rate=checkpoint_crash_rate,
+                compaction_crash_rate=compaction_crash_rate,
             )
             with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
                 resilience = ResilienceConfig(
@@ -502,6 +702,23 @@ def run_chaos(
                     log(
                         f"FAIL kill-during-flush seed={case_seed}: "
                         f"{kill_failures[0]}"
+                    )
+        # Targeted scenario: SIGKILL at every byte of a generation swap.
+        for i in range(min(2, max(1, iterations // 8))):
+            case_seed = seed + 6959 * (i + 1)
+            compact_failures = kill_during_compaction_failures(
+                case_seed, observations=observations
+            )
+            report.query_checks += 1
+            if compact_failures:
+                report.failures.extend(
+                    f"kill-during-compaction (seed={case_seed}): {f}"
+                    for f in compact_failures
+                )
+                if log:
+                    log(
+                        f"FAIL kill-during-compaction seed={case_seed}: "
+                        f"{compact_failures[0]}"
                     )
     report.elapsed_s = time.perf_counter() - start
     return report
@@ -559,9 +776,14 @@ def _chaos_iteration(
         midpoint = len(obs_list) // 2
         for idx, (node, snap) in enumerate(obs_list):
             if idx == midpoint and idx:
-                # Mid-flood flush: the store ends the iteration with
-                # multiple segments, so windowed queries cross real
-                # segment boundaries.
+                # Mid-flood drain + flush: the store ends the iteration
+                # with multiple segments, so windowed queries cross real
+                # segment boundaries and the compaction below has an
+                # actual multi-segment swap to crash into.
+                try:
+                    service.flush(timeout=30.0)
+                except ReproError as exc:
+                    failures.append(f"mid-flood flush failed: {exc}")
                 flush_segments_retried()
             service.submit(node, snap, plan=plan)
         try:
@@ -569,6 +791,31 @@ def _chaos_iteration(
         except ReproError as exc:
             failures.append(f"flush failed under chaos: {exc}")
         flush_segments_retried()
+
+        # Mid-life compaction: swap the delta segments for one
+        # cumulative generation while the store is live. Injected
+        # crashes tear the swap at a seeded record; the next attempt's
+        # recover() rolls the half-done generation forward or back.
+        # Retention is off in iterations, so whatever happens — clean
+        # swap, torn swap, rolled-back swap — the durable answers must
+        # not move by a byte.
+        pre_compact = canonical_query_answers(service.query())
+        compacted = False
+        for _ in range(12):
+            try:
+                service.compact_segments(force=True)
+                compacted = True
+                break
+            except ChaosError:
+                continue
+        if not compacted:
+            failures.append("compaction crashed 12 times in a row")
+        post_compact = canonical_query_answers(service.query())
+        failures.extend(
+            f"compaction moved durable answers: {f}"
+            for f in query_equivalence_failures(pre_compact, post_compact)
+        )
+        report.query_checks += 1
 
         # Durable snapshot — retried past injected write crashes, like a
         # checkpoint daemon would keep trying. At least one attempt runs

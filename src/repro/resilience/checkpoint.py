@@ -515,10 +515,14 @@ class CheckpointDaemon:
     service also carries a segment writer (``flush_segments`` — the
     ``repro.query`` durable store), each period additionally flushes the
     aggregation delta into a query segment, so the analytics store grows
-    on the same cadence that keeps recovery fresh. A failed write is
-    counted (``resilience.checkpoint_failures`` — already incremented by
-    the store — or :attr:`segment_failures`) and retried next period;
-    the daemon never dies of one bad write.
+    on the same cadence that keeps recovery fresh; after a successful
+    flush the service's ``maybe_compact_segments`` hook runs, which
+    compacts and ages the store every ``ServiceConfig.compact_every``
+    flushes so an unbounded run's directory stays bounded. A failed
+    write is counted (``resilience.checkpoint_failures`` — already
+    incremented by the store — or :attr:`segment_failures` /
+    :attr:`compaction_failures`) and retried next period; the daemon
+    never dies of one bad write.
     """
 
     def __init__(self, service, interval: float):
@@ -532,6 +536,8 @@ class CheckpointDaemon:
         self.failed = 0
         self.segments_written = 0
         self.segment_failures = 0
+        self.compactions = 0
+        self.compaction_failures = 0
 
     def start(self) -> None:
         if self._thread is not None:
@@ -562,6 +568,15 @@ class CheckpointDaemon:
             return  # service has no segment store configured
         except Exception:  # noqa: BLE001 - keep flushing next period
             self.segment_failures += 1
+            return
+        compact = getattr(self._service, "maybe_compact_segments", None)
+        if compact is None:
+            return
+        try:
+            if compact() is not None:
+                self.compactions += 1
+        except Exception:  # noqa: BLE001 - retried next period
+            self.compaction_failures += 1
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):

@@ -145,6 +145,18 @@ class ServiceConfig:
     #: Root for worker heartbeat/status/checkpoint files (None = a
     #: private temp dir, removed when the pool is destroyed).
     worker_dir: Optional[str] = None
+    #: Run the segment compactor after every N successful
+    #: CheckpointDaemon segment flushes (0 disables automatic
+    #: compaction; :meth:`ContextService.compact_segments` still works
+    #: on demand). Each run merges accumulated delta segments into one
+    #: cumulative generation and applies the retention caps below.
+    compact_every: int = 0
+    #: Retention caps enforced at compaction time (None = unbounded):
+    #: live segment-file count, live on-disk bytes, and span age in
+    #: seconds. Deletions are tombstoned and counted, never silent.
+    retention_max_segments: Optional[int] = None
+    retention_max_bytes: Optional[int] = None
+    retention_max_age_s: Optional[float] = None
 
     @property
     def drain_budget(self) -> int:
@@ -269,6 +281,23 @@ class ContextService:
                 self.tree,
                 self.config.segment_dir,
                 fingerprint=self._fingerprint_of(self.engine.epoch),
+            )
+        self._compactor = None
+        self._flushes_since_compact = 0
+        if self._segments is not None:
+            from repro.query.compact import (
+                CompactionPolicy,
+                Compactor,
+                RetentionPolicy,
+            )
+
+            self._compactor = Compactor(
+                self._segments.store,
+                CompactionPolicy(retention=RetentionPolicy(
+                    max_segments=self.config.retention_max_segments,
+                    max_bytes=self.config.retention_max_bytes,
+                    max_age_s=self.config.retention_max_age_s,
+                )),
             )
         # Epoch forensics: what each epoch's plan looked like and which
         # GraphDelta installed it — the join target for dead letters.
@@ -1159,6 +1188,45 @@ class ContextService:
         )
         return self._segments.flush(fault=fault)
 
+    def compact_segments(
+        self, force: bool = True, fault=None
+    ) -> Optional[dict]:
+        """Run one generation swap over the segment store.
+
+        Merges accumulated delta segments into one cumulative segment
+        and applies the configured retention caps; returns the
+        compactor's report dict, or None when nothing was due
+        (``force=False``). Chaos compaction faults are threaded
+        through so a swap can "crash" at any byte like every other
+        durable write. Raises :class:`QueryError` when no
+        ``segment_dir`` is configured.
+        """
+        if self._compactor is None:
+            raise QueryError(
+                "no segment directory configured; set "
+                "ServiceConfig.segment_dir to enable the query layer"
+            )
+        if fault is None and self._chaos is not None:
+            fault = self._chaos.compaction_fault()
+        return self._compactor.compact(fault=fault, force=force)
+
+    def maybe_compact_segments(self) -> Optional[dict]:
+        """CheckpointDaemon hook: compact every ``compact_every`` flushes.
+
+        Returns the report of a swap that ran, else None. Never raises
+        for "not configured" — the daemon calls this unconditionally.
+        """
+        if self._compactor is None or self.config.compact_every <= 0:
+            return None
+        self._flushes_since_compact += 1
+        if self._flushes_since_compact < self.config.compact_every:
+            return None
+        self._flushes_since_compact = 0
+        fault = (
+            self._chaos.compaction_fault() if self._chaos is not None else None
+        )
+        return self._compactor.compact(fault=fault, force=False)
+
     def recover(self, source, *, allow_mismatch: bool = False) -> Dict:
         """Replay the newest valid checkpoint from ``source``.
 
@@ -1217,6 +1285,17 @@ class ContextService:
         self.metrics.count("recovered", restored)
         self.engine.advance_epoch_to(state.epoch)
         if self._segments is not None:
+            # A compaction swap the dead process left half-done is
+            # resolved first (roll forward when its output is fully
+            # durable, back otherwise), so the reconciliation below
+            # sees exactly one generation.
+            if self._compactor is not None:
+                from repro.query.locks import LockHeldError
+
+                try:
+                    self._compactor.recover()
+                except LockHeldError:
+                    pass  # a live mutator owns the swap; reads stay safe
             # Rebase against the durable segments themselves: counts
             # they already hold are never re-emitted, and recovered
             # counts that never reached a segment (checkpoint ran ahead
@@ -1564,6 +1643,9 @@ class ContextService:
         out["resilience"] = self.resilience_stats()
         out["segments"] = (
             self._segments.stats() if self._segments is not None else None
+        )
+        out["compaction"] = (
+            self._compactor.stats() if self._compactor is not None else None
         )
         return out
 

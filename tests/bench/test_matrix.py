@@ -48,7 +48,9 @@ class TestConfigsAndTargets:
     def test_default_config_set_covers_the_required_axes(self):
         names = {config.name for config in CONFIGS}
         assert len(CONFIGS) >= 4
-        assert {"default", "uncached", "scalar", "multiproc-2"} <= names
+        assert {
+            "default", "uncached", "scalar", "multiproc-2", "compact-on",
+        } <= names
         # Each non-default config flips exactly one axis vs default.
         default = resolve_configs(["default"])[0]
         for config in CONFIGS:
@@ -59,6 +61,7 @@ class TestConfigsAndTargets:
                 for knob in (
                     "cached", "shards", "workers", "resilience",
                     "batch", "compression", "worker_processes",
+                    "compact",
                 )
                 if getattr(config, knob) != getattr(default, knob)
             ]

@@ -1,0 +1,47 @@
+"""query-bench: compaction cell and the retention-plateau study."""
+
+from repro.bench.querybench import (
+    _retention_study,
+    query_bench,
+    render_query_bench,
+)
+
+
+class TestRetentionStudy:
+    def test_capped_store_plateaus_and_conserves(self):
+        study = _retention_study(True, seed=7)
+        assert study["conservation_ok"]
+        assert study["plateau_ok"]
+        capped, uncapped = study["capped"], study["uncapped"]
+        # the uncapped baseline grows one file per flush, forever
+        assert uncapped["final_segments"] == study["flushes"]
+        assert uncapped["retired_samples"] == 0
+        # the capped store stays under its file cap once warmed up
+        assert capped["tail_max_segments"] <= \
+            study["caps"]["max_segments"]
+        assert capped["final_kb"] < uncapped["final_kb"]
+        assert capped["retired_samples"] > 0
+        assert capped["compactions"] > 0
+
+
+class TestQueryBenchKnobs:
+    def test_compact_knob_adds_compaction_block(self):
+        result = query_bench(
+            smoke=True, seed=3, compact=True, with_retention=False
+        )
+        compaction = result["compaction"]
+        assert compaction["segments_after"] == 1
+        assert compaction["segments_before"] > 1
+        assert result["query"]["round_trip_ok"]
+        assert "retention" not in result
+
+    def test_default_has_no_compaction_block(self):
+        result = query_bench(smoke=True, seed=3, with_retention=False)
+        assert "compaction" not in result
+
+    def test_render_mentions_retention_verdicts(self):
+        result = query_bench(smoke=True, seed=3, compact=True)
+        text = render_query_bench(result)
+        assert "retention study" in text
+        assert "live+retired==flushed" in text
+        assert "compacted" in text

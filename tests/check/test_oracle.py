@@ -203,3 +203,41 @@ class TestMultiprocOracle:
         assert multiprocess_conservation_scenario(
             plan, obs, seed=3, workers=2, kills=2
         ) == []
+
+
+class TestCompactionOracle:
+    def test_registered_in_the_oracle_matrix(self):
+        from repro.check.oracle import ORACLES
+
+        assert "compaction" in {name for name, _ in ORACLES}
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_clean_cases_pass(self, seed):
+        from repro.check.oracle import check_compaction
+
+        assert check_compaction(
+            generate_case(seed), observations=16
+        ) == []
+
+    def test_catches_an_answer_moving_merge(self, monkeypatch):
+        # Mutation: the merge silently inflates one row's count. The
+        # equivalence leg must flag the plain compaction as moving
+        # durable answers.
+        from repro.check.oracle import check_compaction
+        from repro.query import compact as compact_mod
+
+        real_execute = compact_mod.Compactor._execute
+
+        def lossy(self, plan, lock, fault, now):
+            retained = plan["retained"]
+            if retained and retained[0].rows:
+                path, count, gaps, epoch = retained[0].rows[0]
+                retained[0].rows = (
+                    (path, count + 1, gaps, epoch),
+                ) + retained[0].rows[1:]
+            return real_execute(self, plan, lock, fault, now)
+
+        monkeypatch.setattr(compact_mod.Compactor, "_execute", lossy)
+        failures = check_compaction(generate_case(0), observations=16)
+        assert failures
+        assert all(f.startswith("compaction") for f in failures)

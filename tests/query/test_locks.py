@@ -1,0 +1,140 @@
+"""Advisory directory locks and reader snapshot pins.
+
+``flock`` conflicts are between open file *descriptions*, so two lock
+objects in one process genuinely contend — the cross-process semantics
+are testable without subprocesses.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.locks import (
+    LOCK_NAME,
+    PIN_DIR,
+    DirectoryLock,
+    LockHeldError,
+    SnapshotPin,
+    live_pins,
+    pinned_generations,
+)
+
+
+def make_clock(start=1000.0):
+    clock = [start]
+    return clock, (lambda: clock[0])
+
+
+class TestDirectoryLock:
+    def test_acquire_release_round_trip(self, tmp_path):
+        lock = DirectoryLock(str(tmp_path))
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        assert os.path.exists(tmp_path / LOCK_NAME)
+        assert lock.still_valid()
+        lock.release()
+        assert not lock.held
+        assert not os.path.exists(tmp_path / LOCK_NAME)
+
+    def test_second_holder_is_refused_while_lease_lives(self, tmp_path):
+        clock, tick = make_clock()
+        first = DirectoryLock(str(tmp_path), lease_s=30.0, clock=tick)
+        second = DirectoryLock(str(tmp_path), lease_s=30.0, clock=tick)
+        first.acquire()
+        with pytest.raises(LockHeldError):
+            second.acquire()
+        first.release()
+        second.acquire()  # free now
+        second.release()
+
+    def test_expired_lease_is_broken_and_zombie_detects_it(self, tmp_path):
+        clock, tick = make_clock()
+        zombie = DirectoryLock(str(tmp_path), lease_s=5.0, clock=tick)
+        zombie.acquire()
+        clock[0] += 6.0  # the zombie stalls past its lease
+        usurper = DirectoryLock(str(tmp_path), lease_s=5.0, clock=tick)
+        usurper.acquire()  # breaks the stale lock instead of raising
+        assert usurper.held and usurper.still_valid()
+        # The woken zombie must refuse to commit over the usurper.
+        assert not zombie.still_valid()
+        zombie.release()
+        assert usurper.still_valid()  # zombie's release touched nothing
+        usurper.release()
+
+    def test_renew_extends_the_lease(self, tmp_path):
+        clock, tick = make_clock()
+        holder = DirectoryLock(str(tmp_path), lease_s=5.0, clock=tick)
+        holder.acquire()
+        clock[0] += 4.0
+        holder.renew()
+        clock[0] += 4.0  # 8s after acquire, but only 4 since renew
+        contender = DirectoryLock(str(tmp_path), lease_s=5.0, clock=tick)
+        with pytest.raises(LockHeldError):
+            contender.acquire()
+        holder.release()
+
+    def test_reacquire_is_idempotent(self, tmp_path):
+        lock = DirectoryLock(str(tmp_path))
+        assert lock.acquire() is lock.acquire()
+        lock.release()
+
+    def test_context_manager(self, tmp_path):
+        with DirectoryLock(str(tmp_path)) as lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_nonpositive_lease_rejected(self, tmp_path):
+        with pytest.raises(QueryError):
+            DirectoryLock(str(tmp_path), lease_s=0.0)
+
+
+class TestSnapshotPin:
+    def test_pin_lifecycle(self, tmp_path):
+        pin = SnapshotPin(str(tmp_path))
+        pin.acquire()
+        assert pin.held and pin.still_valid()
+        assert pin.generation == -1  # pins everything until renewed
+        pin.renew(generation=3)
+        assert pin.generation == 3
+        assert pinned_generations(str(tmp_path)) == {3}
+        pin.release()
+        assert not pin.held
+        assert live_pins(str(tmp_path)) == []
+
+    def test_fresh_pin_reports_any_generation(self, tmp_path):
+        with SnapshotPin(str(tmp_path)):
+            assert pinned_generations(str(tmp_path)) == {-1}
+
+    def test_lapsed_pin_is_broken(self, tmp_path):
+        clock, tick = make_clock()
+        pin = SnapshotPin(str(tmp_path), lease_s=5.0, clock=tick)
+        pin.acquire()
+        pin.renew(generation=1)
+        assert live_pins(str(tmp_path), now=clock[0]) != []
+        assert live_pins(str(tmp_path), now=clock[0] + 6.0) == []
+        assert not pin.still_valid()  # its file was unlinked
+        pin.release()
+
+    def test_dead_holders_leftover_is_reaped(self, tmp_path):
+        # Model a dead reader: a pin file nobody flocks.
+        pin_dir = tmp_path / PIN_DIR
+        pin_dir.mkdir()
+        leftover = pin_dir / "pin-99999-dead"
+        leftover.write_text(
+            '{"pid": 99999, "acquired_at": 0, "lease_s": 1e9, '
+            '"generation": 2}'
+        )
+        assert live_pins(str(tmp_path)) == []
+        assert not leftover.exists()
+
+    def test_two_pins_coexist(self, tmp_path):
+        a = SnapshotPin(str(tmp_path)).acquire()
+        b = SnapshotPin(str(tmp_path)).acquire()
+        a.renew(generation=1)
+        b.renew(generation=2)
+        assert pinned_generations(str(tmp_path)) == {1, 2}
+        a.release()
+        b.release()
+        assert pinned_generations(str(tmp_path)) == set()

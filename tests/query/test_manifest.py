@@ -9,6 +9,7 @@ from repro.query.manifest import (
     MANIFEST_VERSION,
     SegmentStore,
     load_manifest,
+    load_manifest_info,
     write_manifest,
 )
 from repro.query.segment import SegmentState, segment_name, write_segment
@@ -125,3 +126,90 @@ class TestSegmentStore:
         assert stats["segments"] == 1
         assert stats["rows"] == 4
         assert stats["samples"] == 1 + 2 + 3 + 4
+
+
+class TestGenerationAndTombstones:
+    def test_fresh_store_is_generation_zero(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        info = load_manifest_info(str(tmp_path))
+        assert info["generation"] == 0
+        assert info["tombstones"] == []
+        assert info["retired"] is None
+
+    def test_commit_generation_round_trips(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        tombs = [
+            {"seq": 1, "rows": 3, "samples": 6, "reason": "compacted",
+             "generation": 1},
+        ]
+        survivors = store.commit_generation(1, [], {1}, tombs, None)
+        assert [s.seq for s in survivors] == [2]
+        info = load_manifest_info(str(tmp_path))
+        assert info["generation"] == 1
+        assert [t["seq"] for t in info["tombstones"]] == [1]
+        assert store.generation == 1
+
+        # a fresh store (another process) sees the same swap
+        other = SegmentStore(str(tmp_path))
+        assert [s.seq for s in other.refresh()] == [2]
+        assert other.generation == 1
+
+    def test_appends_preserve_generation_and_tombstones(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        tombs = [{"seq": 1, "rows": 3, "samples": 6,
+                  "reason": "compacted", "generation": 1}]
+        store.commit_generation(1, [], {1}, tombs, None)
+        store.append(state(20, 30))
+        info = load_manifest_info(str(tmp_path))
+        assert info["generation"] == 1
+        assert [t["seq"] for t in info["tombstones"]] == [1]
+
+    def test_next_seq_skips_tombstoned_numbers(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        tombs = [{"seq": s, "rows": 3, "samples": 6,
+                  "reason": "compacted", "generation": 1}
+                 for s in (1, 2)]
+        store.commit_generation(1, [], {1, 2}, tombs, None)
+        assert store.next_seq() > 2
+
+    def test_tombstoned_file_on_disk_is_not_readopted(self, tmp_path):
+        """A deferred deletion (the file still exists) must stay
+        invisible: the tombstone wins over the directory entry."""
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        store.append(state(10, 20))
+        tombs = [{"seq": 1, "rows": 3, "samples": 6,
+                  "reason": "compacted", "generation": 1}]
+        store.commit_generation(1, [], set(), tombs, None)
+        assert os.path.exists(tmp_path / segment_name(1))
+        other = SegmentStore(str(tmp_path))
+        assert [s.seq for s in other.refresh()] == [2]
+
+    def test_negative_generation_falls_back(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        lines = open(path).readlines()
+        header = json.loads(lines[0].split(" ", 1)[1])
+        header["generation"] = -1
+        lines[0] = _line(header)
+        open(path, "w").writelines(lines)
+        assert load_manifest_info(str(tmp_path)) is None
+
+    def test_tombstone_count_mismatch_falls_back(self, tmp_path):
+        store = SegmentStore(str(tmp_path))
+        store.append(state(0, 10))
+        path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        lines = open(path).readlines()
+        header = json.loads(lines[0].split(" ", 1)[1])
+        header["tombstones"] = 3
+        lines[0] = _line(header)
+        open(path, "w").writelines(lines)
+        assert load_manifest_info(str(tmp_path)) is None

@@ -197,3 +197,160 @@ class TestCorruption:
         lines[-1] = _line(footer)
         open(path, "w").writelines(lines)
         assert load_segment(path) is None
+
+
+def multi_span_state():
+    return SegmentState(
+        t_lo=0.0, t_hi=20.0, fingerprint="fp",
+        rows=(
+            (("a", "b"), 5, 1, 0),
+            (("a", "c"), 3, 0, 0),
+            (("a", "b"), 7, 0, 1),
+        ),
+        spans=((0.0, 10.0), (10.0, 20.0)),
+        row_spans=(0, 0, 1),
+    )
+
+
+class TestMultiSpanState:
+    def test_defaults_are_single_span(self):
+        state = small_state()
+        assert state.spans == ((0.0, 10.0),)
+        assert state.row_spans == (0,) * len(state.rows)
+        assert not state.multi_span
+
+    def test_multi_span_round_trip(self, tmp_path):
+        path = write_segment(str(tmp_path), 1, multi_span_state())
+        seg = load_segment(path)
+        assert seg is not None
+        assert seg.state.multi_span
+        assert seg.spans == ((0.0, 10.0), (10.0, 20.0))
+        assert seg.row_window(0) == (0.0, 10.0)
+        assert seg.row_window(2) == (10.0, 20.0)
+        assert seg.row_overlaps(0, 0.0, 10.0)
+        assert not seg.row_overlaps(0, 10.0, 20.0)
+        assert seg.row_overlaps(2, 10.0, 20.0)
+
+    def test_spans_must_cover_envelope(self):
+        with pytest.raises(QueryError):
+            SegmentState(
+                t_lo=0.0, t_hi=20.0, fingerprint="fp",
+                rows=((("a",), 1, 0, 0),),
+                spans=((0.0, 10.0),),  # stops short of t_hi
+                row_spans=(0,),
+            )
+
+    def test_row_span_assignment_must_match_rows(self):
+        with pytest.raises(QueryError):
+            SegmentState(
+                t_lo=0.0, t_hi=10.0, fingerprint="fp",
+                rows=((("a",), 1, 0, 0), (("b",), 2, 0, 0)),
+                spans=((0.0, 10.0),),
+                row_spans=(0,),  # one assignment for two rows
+            )
+
+    def test_dangling_span_id_rejected(self):
+        with pytest.raises(QueryError):
+            SegmentState(
+                t_lo=0.0, t_hi=10.0, fingerprint="fp",
+                rows=((("a",), 1, 0, 0),),
+                spans=((0.0, 10.0),),
+                row_spans=(1,),
+            )
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(QueryError):
+            SegmentState(
+                t_lo=0.0, t_hi=10.0, fingerprint="fp",
+                rows=((("a",), 1, 0, 0),),
+                spans=((10.0, 0.0),),
+                row_spans=(0,),
+            )
+
+
+class TestV2Corruption:
+    def _rewrite_header(self, path, **mutate):
+        lines = open(path).readlines()
+        header = json.loads(lines[0].split(" ", 1)[1])
+        header.update(mutate)
+        lines[0] = _line(header)
+        open(path, "w").writelines(lines)
+
+    def test_span_count_mismatch_rejected(self, tmp_path):
+        path = write_segment(str(tmp_path), 1, multi_span_state())
+        self._rewrite_header(path, spans=3)
+        assert load_segment(path) is None
+
+    def test_garbled_spans_section_rejected(self, tmp_path):
+        path = write_segment(str(tmp_path), 1, multi_span_state())
+        lines = open(path).readlines()
+        for i, line in enumerate(lines):
+            payload = json.loads(line.split(" ", 1)[1])
+            if payload.get("kind") == "spans":
+                lines[i] = line[:-10] + "tampered!\n"
+        open(path, "w").writelines(lines)
+        assert load_segment(path) is None
+
+    def test_dangling_row_span_id_rejected(self, tmp_path):
+        path = write_segment(str(tmp_path), 1, multi_span_state())
+        lines = open(path).readlines()
+        for i, line in enumerate(lines):
+            payload = json.loads(line.split(" ", 1)[1])
+            if payload.get("kind") == "rows":
+                payload["rows"][0][4] = 9  # points past the span list
+                lines[i] = _line(payload)
+        open(path, "w").writelines(lines)
+        assert load_segment(path) is None
+
+
+class TestV1BackCompat:
+    def _write_v1(self, tmp_path, rows):
+        """A version-1 file: 4-column rows, no spans section."""
+        from repro.query.segment import _build_postings
+        from repro.resilience.checkpoint import delta_encode_rows
+
+        names, nodes_flat, pids = delta_encode_rows(list(rows))
+        index = _build_postings(nodes_flat, pids)
+        from repro.resilience.checkpoint import pack_section
+        lines = [_line({
+            "kind": "header", "version": 1, "t_lo": 0.0, "t_hi": 10.0,
+            "fingerprint": "old", "rows": len(rows),
+        })]
+        for kind, section in (
+            ("names", names), ("nodes", nodes_flat), ("index", index),
+        ):
+            payload = {"kind": kind}
+            payload.update(pack_section(section))
+            lines.append(_line(payload))
+        lines.append(_line({
+            "kind": "rows",
+            "rows": [[pids[i], r[1], r[2], r[3]]
+                     for i, r in enumerate(rows)],
+        }))
+        lines.append(_line({
+            "kind": "footer", "records": len(lines) + 1,
+            "rows": len(rows), "samples": sum(r[1] for r in rows),
+        }))
+        path = os.path.join(str(tmp_path), segment_name(1))
+        open(path, "w").writelines(lines)
+        return path
+
+    def test_v1_file_still_loads_as_single_span(self, tmp_path):
+        rows = [(("a", "b"), 5, 1, 0), (("a",), 2, 0, 1)]
+        seg = load_segment(self._write_v1(tmp_path, rows))
+        assert seg is not None
+        assert seg.spans == ((0.0, 10.0),)
+        assert not seg.state.multi_span
+        assert seg.rows == tuple(rows)
+
+    def test_v1_file_with_spans_section_rejected(self, tmp_path):
+        from repro.resilience.checkpoint import pack_section
+        path = self._write_v1(tmp_path, [(("a",), 1, 0, 0)])
+        lines = open(path).readlines()
+        payload = {"kind": "spans"}
+        payload.update(pack_section([[0.0, 10.0]]))
+        footer = json.loads(lines[-1].split(" ", 1)[1])
+        footer["records"] += 1
+        lines[-1:] = [_line(payload), _line(footer)]
+        open(path, "w").writelines(lines)
+        assert load_segment(path) is None

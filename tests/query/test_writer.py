@@ -219,3 +219,53 @@ class TestCrashWindows:
         writer._store_cumulative = lambda: None
         writer.rebase(tree.rows(), reconcile_store=True)
         assert writer.flush() is None  # rows adopted as the baseline
+
+
+class TestRebaseGenerationGuard:
+    """Satellite regression: rows captured before a compaction must
+    not be adopted as a baseline after one."""
+
+    def _compact(self, tmp_path):
+        from repro.query.compact import Compactor
+        from repro.query.manifest import SegmentStore
+        store = SegmentStore(str(tmp_path))
+        return Compactor(store).compact(now=1000.0, force=True)
+
+    def test_stale_generation_is_rejected(self, tmp_path):
+        import pytest
+
+        from repro.errors import QueryError
+
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=3)
+        writer.flush()
+        clock[0] = 110.0
+        tree.add(("a", "c"), epoch=0, weight=2)
+        writer.flush()
+        captured = tree.rows()  # snapshotted at generation 0
+
+        assert self._compact(tmp_path)["to_generation"] == 1
+        with pytest.raises(QueryError, match="compacted to generation"):
+            writer.rebase(captured, expected_generation=0)
+
+    def test_current_generation_is_accepted(self, tmp_path):
+        tree, writer, clock = make_writer(tmp_path)
+        tree.add(("a", "b"), epoch=0, weight=3)
+        writer.flush()
+        clock[0] = 110.0
+        tree.add(("a", "c"), epoch=0, weight=2)
+        writer.flush()
+
+        report = self._compact(tmp_path)
+        # rows re-captured against the compacted store are fine
+        writer.rebase(
+            tree.rows(),
+            reconcile_store=True,
+            expected_generation=report["to_generation"],
+        )
+        clock[0] = 120.0
+        assert writer.flush() is None  # nothing new to emit
+        engine = QueryEngine(str(tmp_path)).refresh()
+        assert engine.top_contexts(5) == [
+            (3, ("a", "b")), (2, ("a", "c")),
+        ]

@@ -130,3 +130,65 @@ class TestKillDuringFlush:
     @pytest.mark.parametrize("seed", [0, 3, 11])
     def test_invariants_hold(self, seed):
         assert kill_during_flush_failures(seed, observations=24) == []
+
+
+class TestCompactionFault:
+    def test_fires_at_full_rate(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, compaction_crash_rate=1.0,
+                        compaction_crash_after_records=0)
+        )
+        fault = injector.compaction_fault()
+        assert fault is not None
+        with pytest.raises(ChaosError):
+            fault(1)
+        assert injector.tallies()["compaction_crashes"] == 1
+
+    def test_zero_rate_never_arms(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, compaction_crash_rate=0.0)
+        )
+        assert all(
+            injector.compaction_fault() is None for _ in range(50)
+        )
+
+    def test_crash_point_is_seed_deterministic(self):
+        def arm(seed):
+            injector = ChaosInjector(
+                ChaosConfig(seed=seed, compaction_crash_rate=1.0,
+                            compaction_crash_after_records=16)
+            )
+            fault = injector.compaction_fault()
+            for n in range(1, 64):
+                try:
+                    fault(n)
+                except ChaosError:
+                    return n
+            return None
+
+        assert arm(7) == arm(7)
+
+    def test_rate_validation(self):
+        with pytest.raises(ResilienceError):
+            ChaosConfig(compaction_crash_rate=1.5)
+
+
+class TestKillDuringCompaction:
+    """The crash sweep: a SIGKILL after every durable record of a
+    retention-armed swap leaves pre- or post-swap answers, never a
+    blend, and never loses a sample."""
+
+    @pytest.mark.parametrize("seed", [0, 7919])
+    def test_invariants_hold(self, seed):
+        from repro.resilience.chaos import kill_during_compaction_failures
+        assert kill_during_compaction_failures(
+            seed, observations=24
+        ) == []
+
+    def test_run_chaos_counts_compaction_crashes(self):
+        report = run_chaos(
+            iterations=3, seed=11, observations=16,
+            compaction_crash_rate=0.9,
+        )
+        assert report.ok, report.failures
+        assert report.injected.get("compaction_crashes", 0) > 0

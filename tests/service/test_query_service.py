@@ -200,3 +200,118 @@ class TestForensics:
         service.stop()
         (group,) = service.forensics()
         assert group["segments"] == []
+
+
+class TestServiceCompaction:
+    def chunked(self, observations, parts=4):
+        size = max(1, len(observations) // parts)
+        for lo in range(0, len(observations), size):
+            yield observations[lo:lo + size]
+
+    def build_segments(self, service, plan, observations, parts=4):
+        for chunk in self.chunked(observations, parts):
+            for node, snap in chunk:
+                service.submit(node, snap, plan=plan)
+            service.flush()
+            service.flush_segments()
+            time.sleep(0.002)  # distinct segment windows
+
+    def test_compact_segments_merges_without_moving_answers(
+        self, plan, observations, tmp_path
+    ):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        self.build_segments(service, plan, observations)
+        service.stop()
+        before = canonical_query_answers(service.query())
+        report = service.compact_segments(force=True)
+        assert report is not None
+        assert report["to_generation"] == 1
+        after = canonical_query_answers(service.query())
+        assert query_equivalence_failures(before, after) == []
+
+    def test_compact_segments_without_dir_raises(self, plan):
+        service = ContextService(plan)
+        with pytest.raises(QueryError):
+            service.compact_segments()
+
+    def test_metrics_carry_compaction_stats(
+        self, plan, observations, tmp_path
+    ):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        self.build_segments(service, plan, observations)
+        service.stop()
+        service.compact_segments(force=True)
+        stats = service.service_metrics()["compaction"]
+        assert stats["compactions"] == 1
+        assert stats["generation"] == 1
+
+    def test_metrics_without_dir_have_no_compaction(self, plan):
+        service = ContextService(plan)
+        assert service.service_metrics()["compaction"] is None
+
+    def test_maybe_compact_honours_cadence(
+        self, plan, observations, tmp_path
+    ):
+        service = ContextService(
+            plan, segment_config(tmp_path, compact_every=2)
+        )
+        service.start()
+        self.build_segments(service, plan, observations)
+        service.stop()
+        # two flushes per maybe_compact call => fires on the second
+        assert service.maybe_compact_segments() is None
+        report = service.maybe_compact_segments()
+        assert report is not None and report["to_generation"] == 1
+
+    def test_maybe_compact_disabled_by_default(
+        self, plan, observations, tmp_path
+    ):
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        self.build_segments(service, plan, observations)
+        service.stop()
+        for _ in range(8):
+            assert service.maybe_compact_segments() is None
+
+    def test_recover_resolves_pending_journal(
+        self, plan, observations, tmp_path
+    ):
+        from repro.errors import ChaosError
+        from repro.query.compact import Compactor, journal_pending
+        from repro.query.manifest import SegmentStore
+
+        service = ContextService(plan, segment_config(tmp_path))
+        service.start()
+        self.build_segments(service, plan, observations)
+        ckpt = str(tmp_path / "ckpt")
+        service.checkpoint(ckpt)
+        service.stop()
+        before = canonical_query_answers(service.query())
+
+        # a compactor dies mid-swap, leaving its intent journal behind
+        directory = str(tmp_path / "segments")
+        store = SegmentStore(directory)
+
+        def crash(records):
+            if records > 2:
+                raise ChaosError("chaos: die mid-swap")
+
+        with pytest.raises(ChaosError):
+            Compactor(store).compact(fault=crash, force=True)
+        assert journal_pending(directory)
+
+        fresh = ContextService(plan, segment_config(tmp_path))
+        fresh.recover(ckpt)
+        assert not journal_pending(directory)
+        after = canonical_query_answers(fresh.query())
+        assert query_equivalence_failures(before, after) == []
+
+    def test_retention_caps_flow_from_config(self, plan, tmp_path):
+        service = ContextService(
+            plan,
+            segment_config(tmp_path, retention_max_segments=3),
+        )
+        policy = service._compactor.policy
+        assert policy.retention.max_segments == 3
