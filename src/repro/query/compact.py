@@ -520,11 +520,19 @@ class Compactor:
         )
         lock.acquire()
         try:
-            return self._recover_locked(now)
+            return self._recover_locked(now, lock)
         finally:
             lock.release()
 
-    def _recover_locked(self, now: float) -> Optional[str]:
+    def _require_lock(self, lock: DirectoryLock) -> None:
+        """Refuse to mutate after the lock was broken by a contender."""
+        if not lock.still_valid():
+            raise LockHeldError(
+                f"directory lock on {self.directory!r} was broken "
+                "(lease expired?); abandoning recovery before mutating"
+            )
+
+    def _recover_locked(self, now: float, lock: DirectoryLock) -> Optional[str]:
         journal = load_journal(self.directory)
         journal_path = os.path.join(self.directory, JOURNAL_NAME)
         if journal is None:
@@ -532,6 +540,7 @@ class Compactor:
                 # Present but untrustworthy: the swap never committed
                 # (a committed journal was valid by construction), so
                 # discarding it *is* the roll-back.
+                self._require_lock(lock)
                 os.unlink(journal_path)
                 fsync_dir(self.directory)
                 obs.counter("query.journal_rejected").inc()
@@ -544,6 +553,7 @@ class Compactor:
             # Crash after the commit rename: the swap is law, only the
             # input deletions may be unfinished — the sweep retries
             # them from the tombstones.
+            self._require_lock(lock)
             os.unlink(journal_path)
             fsync_dir(self.directory)
             self.store.refresh()
@@ -558,7 +568,16 @@ class Compactor:
             )
             output_ok = seg is not None
         retired = journal.get("retired")
-        if output_ok and retired is not None:
+        # A retired name whose generation is the journal's target was
+        # *created* by the dead swap; anything older is the previous
+        # sidecar carried forward unchanged — still referenced by the
+        # live manifest, so it neither gates the roll-forward nor may
+        # a roll-back delete it.
+        retired_is_new = (
+            retired is not None
+            and retired_generation_of(retired) == journal["to_generation"]
+        )
+        if output_ok and retired_is_new:
             output_ok = (
                 load_retired(os.path.join(self.directory, retired))
                 is not None
@@ -567,9 +586,10 @@ class Compactor:
             # The output never fully landed: roll back. The old
             # generation was never superseded, so only artifacts of
             # the dead swap are removed.
+            self._require_lock(lock)
             for name in (
                 segment_name(output_seq) if output_seq is not None else None,
-                retired,
+                retired if retired_is_new else None,
             ):
                 if name is None:
                     continue
@@ -597,6 +617,7 @@ class Compactor:
                 output_seq,
             )
             output = [seg] if seg is not None else []
+        self._require_lock(lock)
         self._commit(
             journal["to_generation"], output,
             {int(e[0]) for e in journal["inputs"]}, tombstones, retired,
@@ -632,7 +653,7 @@ class Compactor:
         )
         lock.acquire()
         try:
-            self._recover_locked(now)
+            self._recover_locked(now, lock)
             self._sweep_deletions(now)
             live = self.store.refresh()
             plan = self._plan(live, now, force)
@@ -761,7 +782,8 @@ class Compactor:
                 fault(progress["n"])
 
         # 1. retired totals (cumulative: prior retirements + new drops)
-        retired: Optional[str] = self.store.retired_name
+        prev_retired: Optional[str] = self.store.retired_name
+        retired: Optional[str] = prev_retired
         drop_rows = sum(len(s.rows) for s in dropped)
         drop_samples = sum(s.samples for s in dropped)
         if dropped and drop_rows:
@@ -839,7 +861,9 @@ class Compactor:
             os.unlink(os.path.join(self.directory, JOURNAL_NAME))
         except OSError:  # pragma: no cover - unlink raced recovery
             pass
-        self._prune_retired(to_gen)
+        self._prune_retired(
+            {name for name in (prev_retired, retired) if name is not None}
+        )
         fsync_dir(self.directory)
 
         self.compactions += 1
@@ -955,20 +979,26 @@ class Compactor:
             obs.counter("query.deletes_deferred").inc(deferred)
         return (deleted, deferred)
 
-    def _prune_retired(self, current_generation: int) -> None:
-        """Drop superseded retired-totals files, keeping the current
-        one and its immediate predecessor (a reader refreshed just
-        before the swap may still resolve the previous name)."""
+    def _prune_retired(self, keep: Set[str]) -> None:
+        """Drop retired-totals files no manifest references.
+
+        ``keep`` names what must survive: the file the just-committed
+        manifest references plus the one the superseded manifest did
+        (a reader refreshed just before the swap may still resolve
+        that name). The referenced name is carried forward *unchanged*
+        through no-drop swaps, so it can be generations older than the
+        current one — pruning must go by the names themselves, never
+        by generation arithmetic. Everything else, including
+        uncommitted leftovers of rolled-back swaps, is deleted.
+        """
         try:
             names = os.listdir(self.directory)
         except OSError:  # pragma: no cover - directory vanished
             return
         for name in names:
-            gen = retired_generation_of(name)
-            if gen is None:
+            if retired_generation_of(name) is None or name in keep:
                 continue
-            if gen <= current_generation - 2 or gen > current_generation:
-                try:
-                    os.unlink(os.path.join(self.directory, name))
-                except OSError:
-                    pass
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass

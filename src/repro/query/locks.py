@@ -98,9 +98,12 @@ def _read_meta(path: str) -> Optional[dict]:
 
 
 def _lease_expired(meta: Optional[dict], now: float) -> bool:
-    """A lock/pin file with unreadable metadata is treated as expired:
-    only a crash mid-create leaves one, and its flock (if any) dies
-    with the holder."""
+    """Whether ``meta``'s lease has lapsed. A parsed dict missing or
+    mangling its lease fields was written by something else entirely
+    and gets no lease protection. ``None`` (unreadable) metadata is
+    NOT handled here — callers must apply :func:`_stale_without_meta`
+    instead, because an unreadable file usually means a live holder
+    between creating the file and writing its metadata."""
     if meta is None:
         return True
     try:
@@ -109,6 +112,24 @@ def _lease_expired(meta: Optional[dict], now: float) -> bool:
     except (KeyError, TypeError, ValueError):
         return True
     return acquired + lease <= now
+
+
+def _stale_without_meta(path: str, lease_s: float) -> bool:
+    """May a lock/pin file with *unreadable* metadata be broken?
+
+    Unreadable metadata is the normal state of a live holder caught
+    between creating (and flocking) the file and writing its metadata
+    — breaking it then would usurp a live lock. Only a file older
+    than the lease is presumed a crash-mid-create leftover. The age
+    test uses the file mtime against the wall clock (an injected test
+    clock has no bearing on mtimes), so a freshly created file is
+    always honoured as live.
+    """
+    try:
+        mtime = os.stat(path).st_mtime
+    except OSError:
+        return True  # vanished under us: nothing left to honour
+    return mtime + lease_s <= time.time()
 
 
 def _entry_matches(fd: int, path: str) -> bool:
@@ -183,7 +204,11 @@ class DirectoryLock:
                 if exc.errno not in (errno.EAGAIN, errno.EACCES):
                     raise
                 failure = _read_meta(self.path)
-                if _lease_expired(failure, self._clock()):
+                if failure is None:
+                    expired = _stale_without_meta(self.path, self.lease_s)
+                else:
+                    expired = _lease_expired(failure, self._clock())
+                if expired:
                     # Stale holder: break the lock by retiring its
                     # directory entry. The holder keeps its flock on
                     # the unlinked inode and will fail still_valid().
@@ -193,9 +218,14 @@ class DirectoryLock:
                         pass
                     obs.counter("query.locks_broken").inc()
                     continue
+                holder = (
+                    f"pid {failure.get('pid')} (lease not expired)"
+                    if failure is not None
+                    else "a holder still writing its metadata"
+                )
                 raise LockHeldError(
                     f"segment directory {self.directory!r} is locked by "
-                    f"pid {failure.get('pid')} (lease not expired)"
+                    f"{holder}"
                 )
             if not _entry_matches(fd, self.path):
                 # We flocked an inode another contender already broke.
@@ -388,6 +418,19 @@ def live_pins(directory: str, now: Optional[float] = None) -> List[dict]:
                 obs.counter("query.pins_reaped").inc()
                 continue
             os.close(probe)
+        if meta is None:
+            # Flocked (holder alive) but metadata not yet written: the
+            # reader is mid-acquire. Honour it as pinning everything
+            # unless the file is older than any plausible lease.
+            if _stale_without_meta(path, DEFAULT_LEASE_S):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                obs.counter("query.pins_broken").inc()
+                continue
+            live.append({"generation": _ANY_GENERATION})
+            continue
         if _lease_expired(meta, now):
             try:
                 os.unlink(path)

@@ -368,6 +368,18 @@ class SegmentStore:
         adopts from the scan. The rewrite carries the current
         generation, tombstones and retired-totals reference forward
         unchanged: appending never performs (or un-does) a swap.
+
+        A generation swap committed by *another process* (e.g. the
+        ``query --compact`` CLI run against a live service's
+        directory) since our last refresh is detected by re-reading
+        the on-disk manifest before the rewrite, and adopted — the
+        rewrite then carries the swap's generation, tombstones and
+        retired reference instead of resurrecting its merged-away
+        inputs. The detect-then-rewrite window cannot be fully closed
+        without holding the :class:`~repro.query.locks.DirectoryLock`
+        across every append, so appender and compactor should share a
+        process where possible; the cross-process CLI path is a
+        narrow-window best effort.
         """
         with self._lock:
             if self._segments is None:
@@ -383,7 +395,17 @@ class SegmentStore:
                 )
             if self._segments is None:  # pragma: no cover - refreshed above
                 self._segments = []
-            self._segments.append(seg)
+            info = load_manifest_info(self.directory)
+            if info is not None and info["generation"] != self.generation:
+                # Another process swapped generations under us. Replay
+                # the directory (the segment just written is adopted
+                # from the scan like any orphan) so the rewrite below
+                # publishes *their* generation, tombstones and retired
+                # reference plus our new segment — not our stale view.
+                obs.counter("query.append_swap_adoptions").inc()
+                self._refresh_locked()
+            else:
+                self._segments.append(seg)
             write_manifest(
                 self.directory,
                 self._segments,

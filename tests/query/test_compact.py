@@ -253,6 +253,20 @@ class TestJournalMatrix:
         store = fill(tmp_path, n=2)
         assert Compactor(store).recover(now=100.0) is None
 
+    def test_recover_refuses_to_mutate_after_lock_usurped(self, tmp_path):
+        """A recover whose directory lock was broken mid-flight must
+        abandon the journal untouched instead of committing (or
+        rolling back) over the usurper's in-flight swap."""
+        store = fill(tmp_path, n=2)
+        write_journal(str(tmp_path), dict(self.INTENT))
+        lock = DirectoryLock(str(tmp_path)).acquire()
+        os.unlink(lock.path)  # a contender broke the lease
+        assert not lock.still_valid()
+        with pytest.raises(LockHeldError):
+            Compactor(store)._recover_locked(100.0, lock)
+        assert os.path.exists(tmp_path / JOURNAL_NAME)
+        lock.release()
+
 
 class TestCrashMatrix:
     """Kill the swap after every durable record; recovery must land on
@@ -402,6 +416,69 @@ class TestRetention:
         store.refresh()
         assert store.retired_name in left
 
+    def test_no_drop_swaps_preserve_carried_retired_file(self, tmp_path):
+        """Regression: the retired name is carried forward *unchanged*
+        through no-drop swaps, so pruning by generation arithmetic
+        (keep >= current-1) deleted the very file the live manifest
+        still referenced — retired_totals() silently went empty and a
+        recovered writer would re-emit retention-deleted history."""
+        store = fill(tmp_path, n=4)
+        total = total_samples(store)
+        policy = CompactionPolicy(
+            min_inputs=2, retention=RetentionPolicy(max_age_s=15.0)
+        )
+        report = Compactor(store, policy).compact(now=50.0, force=True)
+        assert report["dropped_rows"] > 0  # retired-00000001 written
+        store.refresh()
+        totals = store.retired_totals()
+        assert totals
+        # two no-drop swaps carry retired-00000001 forward to gen 3
+        for i, now in ((4, 51.0), (5, 52.0)):
+            store.append(SegmentState(
+                t_lo=10.0 * i, t_hi=10.0 * i + 10.0,
+                fingerprint=f"fp{i}",
+                rows=((("main", "f0", f"ctx{i}"), i, 0, 0),),
+            ))
+            report = Compactor(store).compact(now=now, force=True)
+            assert report["dropped_rows"] == 0
+        store.refresh()
+        assert store.generation == 3
+        assert store.retired_name == retired_name(1)
+        assert os.path.exists(tmp_path / retired_name(1))
+        assert store.retired_totals() == totals
+        assert total_samples(store) == total + 4 + 5  # + the appends
+
+    def test_rollback_preserves_carried_forward_retired(self, tmp_path):
+        """Regression: a crashed no-drop swap's journal names the
+        previous generation's retired sidecar (carried forward, not
+        created by the swap); rolling the journal back must leave it
+        alone — only artifacts of the dead swap may be deleted."""
+        store = fill(tmp_path, n=4)
+        policy = CompactionPolicy(
+            min_inputs=2, retention=RetentionPolicy(max_age_s=15.0)
+        )
+        Compactor(store, policy).compact(now=50.0, force=True)
+        store.refresh()
+        totals = store.retired_totals()
+        assert totals
+        store.append(SegmentState(
+            t_lo=40.0, t_hi=50.0, fingerprint="fp9",
+            rows=((("main", "f0", "late"), 3, 0, 0),),
+        ))
+        # the journal commits (records 1-2), then the output dies
+        with pytest.raises(ChaosError):
+            Compactor(store).compact(
+                now=51.0, force=True, fault=crash_after(2)
+            )
+        assert os.path.exists(tmp_path / JOURNAL_NAME)
+        compactor = Compactor(store)
+        assert compactor.recover(now=51.0) == "rolled-back"
+        store.refresh()
+        assert store.generation == 1
+        assert store.retired_name == retired_name(1)
+        assert os.path.exists(tmp_path / retired_name(1))
+        assert store.retired_totals() == totals
+
 
 class TestRetiredSidecar:
     TOTALS = {
@@ -427,6 +504,35 @@ class TestRetiredSidecar:
                 fault=crash_after(1),
             )
         assert not os.path.exists(tmp_path / retired_name(2))
+
+
+class TestCrossProcessAppend:
+    def test_append_adopts_foreign_generation_swap(self, tmp_path):
+        """Regression: an appender whose cached manifest predates a
+        swap committed by another process (the ``--compact`` CLI run
+        against a live service's directory) must adopt that swap
+        before rewriting the manifest — not publish its stale
+        generation, resurrect tombstoned inputs and revert the swap."""
+        appender = fill(tmp_path, n=4)
+        other = SegmentStore(str(tmp_path))  # a second process
+        report = Compactor(other).compact(now=100.0, force=True)
+        assert report["to_generation"] == 1
+        appender.append(SegmentState(
+            t_lo=40.0, t_hi=50.0, fingerprint="fp9",
+            rows=((("main", "f0", "late"), 3, 0, 0),),
+        ))
+        info = load_manifest_info(str(tmp_path))
+        assert info is not None
+        assert info["generation"] == 1
+        assert appender.generation == 1
+        entry_seqs = {e["seq"] for e in info["entries"]}
+        tombstoned = {t["seq"] for t in info["tombstones"]}
+        assert tombstoned == set(report["inputs"])
+        assert not entry_seqs & tombstoned
+        assert report["output_seq"] in entry_seqs
+        # both the merged output and the new append are served
+        live = SegmentStore(str(tmp_path)).refresh()
+        assert {seg.seq for seg in live} == entry_seqs
 
 
 class TestPinnedReaders:

@@ -89,6 +89,36 @@ class TestDirectoryLock:
         with pytest.raises(QueryError):
             DirectoryLock(str(tmp_path), lease_s=0.0)
 
+    def test_meta_less_lock_of_live_holder_is_not_broken(self, tmp_path):
+        """Regression: a holder caught between flock and writing its
+        metadata looked lease-expired and was usurped; a fresh
+        meta-less lock file must be honoured as live."""
+        fcntl = pytest.importorskip("fcntl")
+        path = os.path.join(str(tmp_path), LOCK_NAME)
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        try:
+            with pytest.raises(LockHeldError):
+                DirectoryLock(str(tmp_path)).acquire()
+            assert os.path.exists(path)
+        finally:
+            os.close(fd)
+
+    def test_meta_less_lock_breaks_once_older_than_lease(self, tmp_path):
+        """A meta-less file *older than the lease* is a crash-mid-create
+        leftover and may still be broken."""
+        fcntl = pytest.importorskip("fcntl")
+        path = os.path.join(str(tmp_path), LOCK_NAME)
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        os.utime(path, (1.0, 1.0))  # ancient mtime: presumed dead
+        try:
+            usurper = DirectoryLock(str(tmp_path)).acquire()
+            assert usurper.held and usurper.still_valid()
+            usurper.release()
+        finally:
+            os.close(fd)
+
 
 class TestSnapshotPin:
     def test_pin_lifecycle(self, tmp_path):
@@ -128,6 +158,22 @@ class TestSnapshotPin:
         )
         assert live_pins(str(tmp_path)) == []
         assert not leftover.exists()
+
+    def test_meta_less_pin_of_live_holder_pins_everything(self, tmp_path):
+        """Regression: a reader between planting its pin and writing
+        the metadata was reaped as lease-expired; while its flock is
+        held and the file is fresh it must pin everything instead."""
+        fcntl = pytest.importorskip("fcntl")
+        pin_dir = tmp_path / PIN_DIR
+        pin_dir.mkdir()
+        path = str(pin_dir / "pin-mid-acquire")
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        try:
+            assert pinned_generations(str(tmp_path)) == {-1}
+            assert os.path.exists(path)
+        finally:
+            os.close(fd)
 
     def test_two_pins_coexist(self, tmp_path):
         a = SnapshotPin(str(tmp_path)).acquire()
